@@ -1,0 +1,79 @@
+// E4 (paper §4.1.1 / Figure 2): bushy join trees may produce cheaper plans
+// but "expand the cost of enumerating the search space considerably".
+#include "bench_util.h"
+#include "optimizer/rewrite/rule_engine.h"
+#include "optimizer/selinger/selinger.h"
+#include "plan/query_graph.h"
+#include "workload/query_gen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+namespace {
+
+plan::QueryGraph GraphFor(Database* db, const std::string& sql) {
+  auto bound = db->BindSql(sql);
+  QOPT_DCHECK(bound.ok());
+  int next_rel = 10000;
+  auto rr =
+      opt::RuleEngine::Default().Rewrite(bound->root, db->catalog(), &next_rel);
+  plan::LogicalPtr op = rr.plan;
+  while (!plan::IsJoinBlock(*op)) op = op->children[0];
+  auto graph = plan::ExtractQueryGraph(op);
+  QOPT_DCHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+}  // namespace
+
+int main() {
+  Banner("E4", "Linear vs bushy join trees (Figure 2)",
+         "\"bushy trees may result in cheaper plans, [but] expand the cost "
+         "of enumerating the search space considerably\"");
+
+  Database db;
+  QOPT_DCHECK(workload::CreateJoinTables(&db, 10, 3000, 150, 13).ok());
+  cost::CostModel model;
+
+  TablePrinter table({"topology", "n", "linear plans", "linear ms",
+                      "bushy plans", "bushy ms", "enum blowup x",
+                      "linear cost", "bushy cost", "bushy gain %"});
+
+  for (auto topo : {workload::Topology::kChain, workload::Topology::kStar}) {
+    for (int n = 4; n <= 10; n += 2) {
+      plan::QueryGraph g = GraphFor(&db, workload::JoinQuery(topo, n, false));
+
+      opt::SelingerOptions linear;
+      opt::SelingerOptions bushy;
+      bushy.bushy = true;
+
+      opt::SelingerOptimizer lin(db.catalog(), model, linear);
+      Stopwatch lt;
+      auto pl = lin.OptimizeJoinBlock(g);
+      double lin_ms = lt.ElapsedMs();
+
+      opt::SelingerOptimizer bsh(db.catalog(), model, bushy);
+      Stopwatch bt;
+      auto pb = bsh.OptimizeJoinBlock(g);
+      double bushy_ms = bt.ElapsedMs();
+      QOPT_DCHECK(pl.ok() && pb.ok());
+
+      double cl = (*pl)->est_cost.total();
+      double cb = (*pb)->est_cost.total();
+      table.AddRow(
+          {workload::TopologyName(topo), std::to_string(n),
+           FmtInt(lin.counters().join_plans_costed), Fmt(lin_ms),
+           FmtInt(bsh.counters().join_plans_costed), Fmt(bushy_ms),
+           Fmt(static_cast<double>(bsh.counters().join_plans_costed) /
+                   static_cast<double>(lin.counters().join_plans_costed),
+               2),
+           Fmt(cl), Fmt(cb), Fmt(100.0 * (cl - cb) / cl, 2)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Shape check: bushy enumeration costs grow much faster with n (the "
+      "blowup column), while cost gains are zero-to-modest — matching the "
+      "paper's observation that most systems stay linear.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E17 (paper §5.2): cost-model fidelity — "optimization is only as good as
+// its cost estimates". Compares the model's estimated I/O and cardinality
+// against counters observed during execution, per operator family.
+#include <cmath>
+
+#include "bench_util.h"
+#include "engine/database.h"
+#include "workload/query_gen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+namespace {
+
+struct Obs {
+  double est_rows = 0;
+  double act_rows = 0;
+  double est_io = 0;
+  double act_io = 0;
+};
+
+Obs Measure(Database* db, const std::string& sql) {
+  Obs o;
+  auto plan = db->PlanQuery(sql);
+  QOPT_DCHECK(plan.ok());
+  exec::PhysPtr p = *plan;
+  while (p->kind == exec::PhysOpKind::kProject ||
+         p->kind == exec::PhysOpKind::kSort) {
+    p = p->children[0];
+  }
+  o.est_rows = p->est_rows;
+  o.est_io = (*plan)->est_cost.io;
+  auto r = db->Query(sql);
+  QOPT_DCHECK(r.ok());
+  o.act_rows = static_cast<double>(r->rows.size());
+  o.act_io = r->exec_stats.modeled_pages_read;
+  return o;
+}
+
+std::string Ratio(double a, double b) {
+  double lo = std::max(1.0, std::min(a, b));
+  double hi = std::max(1.0, std::max(a, b));
+  return Fmt(hi / lo, 1) + "x";
+}
+
+}  // namespace
+
+int main() {
+  Banner("E17", "Cost-model fidelity: estimated vs observed",
+         "\"the cost estimation must be accurate because optimization is "
+         "only as good as its cost estimates\" — estimates should track "
+         "observed work within small factors on stat-friendly workloads");
+
+  Database db;
+  QOPT_DCHECK(workload::CreateJoinTables(&db, 4, 20000, 500, 3).ok());
+
+  TablePrinter table({"query shape", "est rows", "actual rows", "row err",
+                      "est IO", "observed IO", "IO err"});
+
+  struct Case {
+    const char* label;
+    std::string sql;
+  };
+  for (const Case& c : std::vector<Case>{
+           {"seq scan + filter", "SELECT t0.pk FROM t0 WHERE t0.c < 250"},
+           {"index eq lookup", "SELECT t0.pk FROM t0 WHERE t0.a = 42"},
+           {"index range", "SELECT t0.pk FROM t0 WHERE t0.a BETWEEN 10 "
+                           "AND 30"},
+           {"2-way equi join",
+            "SELECT t0.pk, t1.pk FROM t0, t1 WHERE t0.a = t1.b"},
+           {"3-way chain join",
+            "SELECT COUNT(*) FROM t0, t1, t2 WHERE t0.a = t1.b AND "
+            "t1.a = t2.b AND t0.c < 100"},
+           {"group-by",
+            "SELECT t0.a, COUNT(*) FROM t0 GROUP BY t0.a"},
+           {"join + group-by",
+            "SELECT t0.a, SUM(t1.c) FROM t0, t1 WHERE t0.a = t1.b "
+            "GROUP BY t0.a"},
+       }) {
+    Obs o = Measure(&db, c.sql);
+    table.AddRow({c.label, Fmt(o.est_rows, 0), Fmt(o.act_rows, 0),
+                  Ratio(o.est_rows, o.act_rows), Fmt(o.est_io, 1),
+                  Fmt(o.act_io, 1), Ratio(o.est_io, o.act_io)});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: with fresh statistics and near-independent columns, "
+      "cardinality estimates land within small factors of actuals and "
+      "I/O estimates track the observed page traffic. Note: estimated I/O "
+      "is in cost units where one RANDOM page read costs %g sequential "
+      "reads, so index-lookup rows legitimately show ~that factor against "
+      "raw page counts; the residual gap is the paper's \"difficult open "
+      "issue\".\n",
+      cost::CostParams{}.random_page_io);
+  return 0;
+}

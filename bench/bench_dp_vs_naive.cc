@@ -1,0 +1,81 @@
+// E2 (paper §3): dynamic programming enumerates O(n·2^(n-1)) plans while
+// naive enumeration costs O(n!) complete join orders — with identical
+// best-plan cost.
+#include "bench_util.h"
+#include "optimizer/rewrite/rule_engine.h"
+#include "optimizer/selinger/selinger.h"
+#include "plan/query_graph.h"
+#include "workload/query_gen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+namespace {
+
+plan::QueryGraph GraphFor(Database* db, const std::string& sql) {
+  auto bound = db->BindSql(sql);
+  QOPT_DCHECK(bound.ok());
+  int next_rel = 10000;
+  auto rr =
+      opt::RuleEngine::Default().Rewrite(bound->root, db->catalog(), &next_rel);
+  plan::LogicalPtr op = rr.plan;
+  while (!plan::IsJoinBlock(*op)) op = op->children[0];
+  auto graph = plan::ExtractQueryGraph(op);
+  QOPT_DCHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+}  // namespace
+
+int main() {
+  Banner("E2", "DP enumeration vs naive O(n!) enumeration",
+         "\"instead of O(n!) plans, only O(n 2^(n-1)) plans need to be "
+         "enumerated\" — same optimal cost, exponentially less work");
+
+  Database db;
+  QOPT_DCHECK(workload::CreateJoinTables(&db, 9, 2000, 100, 11).ok());
+  cost::CostModel model;
+
+  TablePrinter table({"topology", "n", "naive join orders", "naive ms",
+                      "DP subsets", "DP plans costed", "DP ms",
+                      "best cost (naive)", "best cost (DP)", "match"});
+
+  for (auto topo : {workload::Topology::kChain, workload::Topology::kStar}) {
+    for (int n = 3; n <= 9; ++n) {
+      plan::QueryGraph g =
+          GraphFor(&db, workload::JoinQuery(topo, n, false));
+
+      opt::SelingerOptions options;
+      options.defer_cartesian = false;  // same space as the naive search
+      opt::SelingerOptimizer dp(db.catalog(), model, options);
+      Stopwatch dp_timer;
+      auto dp_plan = dp.OptimizeJoinBlock(g);
+      double dp_ms = dp_timer.ElapsedMs();
+      QOPT_DCHECK(dp_plan.ok());
+
+      std::string naive_orders = "-", naive_ms = "-", naive_cost = "-";
+      std::string match = "-";
+      if (n <= 8) {  // n! growth makes 9+ impractical — the paper's point
+        Stopwatch naive_timer;
+        auto naive = opt::NaiveEnumerateLinear(g, db.catalog(), model);
+        QOPT_DCHECK(naive.ok());
+        naive_ms = Fmt(naive_timer.ElapsedMs());
+        naive_orders = FmtInt(naive->plans_costed);
+        naive_cost = Fmt(naive->best_cost);
+        bool same = std::abs(naive->best_cost -
+                             (*dp_plan)->est_cost.total()) <
+                    1e-6 * naive->best_cost + 1e-9;
+        match = same ? "yes" : "NO";
+      }
+      table.AddRow({workload::TopologyName(topo), std::to_string(n),
+                    naive_orders, naive_ms,
+                    FmtInt(dp.counters().subsets_expanded),
+                    FmtInt(dp.counters().join_plans_costed), Fmt(dp_ms),
+                    naive_cost, Fmt((*dp_plan)->est_cost.total()), match});
+    }
+  }
+  table.Print();
+  std::printf("Shape check: naive orders follow n! (6, 24, 120, 720, ...);\n"
+              "DP subsets follow 2^n; both find the same optimum.\n");
+  return 0;
+}

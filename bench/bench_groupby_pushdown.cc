@@ -1,0 +1,70 @@
+// E6 (paper §4.1.3 / Figure 4): performing the group-by before the join
+// can significantly reduce join cost via its data-reduction effect.
+#include "bench_util.h"
+#include "engine/database.h"
+#include "workload/datagen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+int main() {
+  Banner("E6", "Group-by pushdown / eager aggregation (Figure 4)",
+         "\"by first doing the group-by, the cost of the join may be "
+         "significantly reduced\" — applied cost-based, since it does not "
+         "always win");
+
+  TablePrinter table({"fact rows", "groups", "plain cost", "pushed cost",
+                      "gain x", "plain ms", "pushed ms", "rows match"});
+
+  for (auto [rows, groups] : std::vector<std::pair<int64_t, int64_t>>{
+           {20000, 50}, {100000, 50}, {100000, 20000}}) {
+    Database db;
+    using workload::ColumnSpec;
+    // dim(did PRIMARY KEY, attr); fact(fk -> dim.did, val).
+    std::vector<ColumnSpec> dim = {
+        {.name = "did", .kind = ColumnSpec::Kind::kSequential},
+        {.name = "attr", .kind = ColumnSpec::Kind::kUniform, .ndv = 10}};
+    QOPT_DCHECK(
+        workload::CreateAndLoadTable(&db, "dim", dim, groups, 1, "did").ok());
+    std::vector<ColumnSpec> fact = {
+        {.name = "fk", .kind = ColumnSpec::Kind::kUniform, .ndv = groups},
+        {.name = "val", .kind = ColumnSpec::Kind::kUniform, .ndv = 1000}};
+    QOPT_DCHECK(
+        workload::CreateAndLoadTable(&db, "fact", fact, rows, 2).ok());
+    QOPT_DCHECK(db.AddForeignKey("fact", "fk", "dim", "did").ok());
+    QOPT_DCHECK(db.AnalyzeAll().ok());
+
+    const char* sql =
+        "SELECT fact.fk, SUM(fact.val), COUNT(*) FROM fact, dim "
+        "WHERE fact.fk = dim.did GROUP BY fact.fk";
+
+    QueryOptions plain;
+    plain.optimizer.use_alternatives = false;  // Figure 4(a) shape
+    QueryOptions pushed;                       // alternatives considered
+
+    opt::OptimizeInfo pi, qi;
+    QOPT_DCHECK(db.PlanQuery(sql, plain, &pi).ok());
+    QOPT_DCHECK(db.PlanQuery(sql, pushed, &qi).ok());
+
+    Stopwatch t1;
+    auto r_plain = db.Query(sql, plain);
+    double ms_plain = t1.ElapsedMs();
+    Stopwatch t2;
+    auto r_pushed = db.Query(sql, pushed);
+    double ms_pushed = t2.ElapsedMs();
+    QOPT_DCHECK(r_plain.ok() && r_pushed.ok());
+
+    table.AddRow({std::to_string(rows), std::to_string(groups),
+                  Fmt(pi.chosen_cost), Fmt(qi.chosen_cost),
+                  Fmt(pi.chosen_cost / qi.chosen_cost, 2), Fmt(ms_plain),
+                  Fmt(ms_pushed),
+                  r_plain->rows.size() == r_pushed->rows.size() ? "yes"
+                                                                : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: pushdown wins big when the group count is far below the "
+      "fact cardinality (strong data reduction) and fades as groups "
+      "approach input size — which is why the rule is cost-based.\n");
+  return 0;
+}

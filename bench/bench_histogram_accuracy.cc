@@ -1,0 +1,97 @@
+// E9 (paper §5.1.1, after Poosala et al. [52]): histogram bucketization
+// schemes vs estimation error across skew — equi-depth beats equi-width,
+// and compressed (end-biased) histograms are effective for both high- and
+// low-skew data.
+#include <cmath>
+#include <map>
+#include <random>
+
+#include "bench_util.h"
+#include "stats/histogram.h"
+#include "workload/datagen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+using stats::Histogram;
+using stats::HistogramKind;
+
+namespace {
+
+// Average absolute selectivity error over all equality predicates plus a
+// sweep of range predicates.
+struct Errors {
+  double eq = 0;
+  double range = 0;
+};
+
+Errors Measure(const Histogram& h, const std::vector<double>& data,
+               int64_t domain) {
+  std::map<double, double> freq;
+  for (double v : data) freq[v] += 1;
+  double n = static_cast<double>(data.size());
+
+  Errors e;
+  // Equality over every domain value (absent values have truth 0).
+  for (int64_t v = 0; v < domain; ++v) {
+    double truth = (freq.count(v) ? freq[v] : 0) / n;
+    e.eq += std::abs(h.SelectivityEq(static_cast<double>(v)) - truth);
+  }
+  e.eq /= static_cast<double>(domain);
+
+  // Ranges of width domain/10 sliding across the domain.
+  int64_t width = std::max<int64_t>(1, domain / 10);
+  int count = 0;
+  for (int64_t lo = 0; lo + width <= domain; lo += width, ++count) {
+    double truth = 0;
+    for (auto it = freq.lower_bound(lo); it != freq.end() && it->first <= lo + width;
+         ++it) {
+      truth += it->second;
+    }
+    truth /= n;
+    e.range += std::abs(
+        h.SelectivityRange(static_cast<double>(lo),
+                           static_cast<double>(lo + width)) -
+        truth);
+  }
+  e.range /= std::max(1, count);
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  Banner("E9", "Histogram accuracy across skew ([52])",
+         "equi-depth histograms are \"used in many database systems\"; "
+         "compressed histograms with singleton buckets \"are effective for "
+         "either high or low skew data\"");
+
+  const int64_t kRows = 100000;
+  const int64_t kDomain = 1000;
+  const int kBuckets = 32;
+
+  TablePrinter table({"skew (zipf theta)", "kind", "avg |eq err| x1e4",
+                      "avg |range err| x1e4"});
+
+  for (double theta : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    std::vector<double> data;
+    workload::ZipfGen zipf(kDomain, theta, 42);
+    for (int64_t i = 0; i < kRows; ++i) {
+      data.push_back(static_cast<double>(zipf.Next()));
+    }
+    for (HistogramKind kind :
+         {HistogramKind::kEquiWidth, HistogramKind::kEquiDepth,
+          HistogramKind::kCompressed}) {
+      auto h = Histogram::Build(kind, data, kBuckets);
+      Errors e = Measure(*h, data, kDomain);
+      table.AddRow({Fmt(theta, 1), stats::HistogramKindName(kind),
+                    Fmt(e.eq * 1e4, 2), Fmt(e.range * 1e4, 2)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Shape check: (1) equi-depth <= equi-width at every skew; (2) "
+      "compressed tracks the best scheme at low skew AND dominates at high "
+      "skew, where its singleton buckets capture the heavy hitters "
+      "exactly.\n");
+  return 0;
+}

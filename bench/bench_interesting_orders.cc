@@ -1,0 +1,78 @@
+// E3 (paper §3): pruning without interesting orders yields suboptimal
+// global plans. The classic example: R1 ⋈ R2 ⋈ R3 on a common column —
+// the sort-merge join of (R1,R2) may lose locally but its sorted output
+// wins globally.
+#include "bench_util.h"
+#include "optimizer/rewrite/rule_engine.h"
+#include "optimizer/selinger/selinger.h"
+#include "plan/query_graph.h"
+#include "workload/query_gen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+namespace {
+
+plan::QueryGraph GraphFor(Database* db, const std::string& sql) {
+  auto bound = db->BindSql(sql);
+  QOPT_DCHECK(bound.ok());
+  int next_rel = 10000;
+  auto rr =
+      opt::RuleEngine::Default().Rewrite(bound->root, db->catalog(), &next_rel);
+  plan::LogicalPtr op = rr.plan;
+  while (!plan::IsJoinBlock(*op)) op = op->children[0];
+  auto graph = plan::ExtractQueryGraph(op);
+  QOPT_DCHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+}  // namespace
+
+int main() {
+  Banner("E3", "Interesting orders",
+         "\"pruning the plan that represents the sort-merge join ... can "
+         "result in sub-optimality of the global plan\"; plans compare only "
+         "at equal (expression, order)");
+
+  Database db;
+  // Pure 1979 operator set makes the effect sharp: NL vs sort-merge only.
+  QOPT_DCHECK(workload::CreateJoinTables(&db, 6, 4000, 400, 5).ok());
+  cost::CostModel model;
+
+  TablePrinter table({"query", "with orders: cost", "candidates kept",
+                      "without orders: cost", "penalty %"});
+
+  for (int n = 2; n <= 6; ++n) {
+    // n-way join on the common column a (clique): every intermediate order
+    // on `a` is useful downstream; also ORDER BY t0.a at the top.
+    plan::QueryGraph g = GraphFor(
+        &db, workload::JoinQuery(workload::Topology::kClique, n, false));
+    std::vector<plan::SortKey> required = {
+        {ColumnId{g.relations[0].rel_id, 1}, true}};
+
+    opt::SelingerOptions with;
+    with.enable_hash_join = false;
+    with.enable_index_nl_join = false;
+    opt::SelingerOptions without = with;
+    without.use_interesting_orders = false;
+
+    opt::SelingerOptimizer o_with(db.catalog(), model, with);
+    opt::SelingerOptimizer o_without(db.catalog(), model, without);
+    auto p_with = o_with.OptimizeJoinBlock(g, required);
+    auto p_without = o_without.OptimizeJoinBlock(g, required);
+    QOPT_DCHECK(p_with.ok() && p_without.ok());
+
+    double c_with = (*p_with)->est_cost.total();
+    double c_without = (*p_without)->est_cost.total();
+    table.AddRow({"clique-" + std::to_string(n) + " + ORDER BY",
+                  Fmt(c_with), FmtInt(o_with.counters().candidates_retained),
+                  Fmt(c_without),
+                  Fmt(100.0 * (c_without - c_with) / c_with, 2)});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: penalty >= 0 always; positive penalty demonstrates the "
+      "paper's suboptimality example (an order-producing plan that lost "
+      "locally won globally).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E8 (paper §4.3): magic-sets / semijoin reduction — restrict a view's
+// computation to the keys the rest of the query can actually use. Uses the
+// paper's own DepAvgSal query.
+#include "bench_util.h"
+#include "engine/database.h"
+#include "workload/datagen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+int main() {
+  Banner("E8", "Magic sets / semijoin reduction (DepAvgSal query)",
+         "\"the goal is to avoid redundant computation in the views\"; the "
+         "filter-set tradeoff must be cost-based");
+
+  TablePrinter table(
+      {"emps", "depts", "selective filter", "plain cost", "magic cost",
+       "gain x", "plain ms", "magic ms", "rows match"});
+
+  for (auto [emps, budget_cut] :
+       std::vector<std::pair<int64_t, double>>{{20000, 0.02},
+                                               {20000, 0.5},
+                                               {80000, 0.02}}) {
+    Database db;
+    int64_t depts = 500;
+    using workload::ColumnSpec;
+    std::vector<ColumnSpec> dept_cols = {
+        {.name = "did", .kind = ColumnSpec::Kind::kSequential},
+        {.name = "budget", .kind = ColumnSpec::Kind::kUniformReal,
+         .lo = 0, .hi = 1000000}};
+    QOPT_DCHECK(workload::CreateAndLoadTable(&db, "Dept", dept_cols, depts, 3,
+                                             "did")
+                    .ok());
+    std::vector<ColumnSpec> emp_cols = {
+        {.name = "eid", .kind = ColumnSpec::Kind::kSequential},
+        {.name = "did", .kind = ColumnSpec::Kind::kUniform, .ndv = depts},
+        {.name = "sal", .kind = ColumnSpec::Kind::kUniformReal,
+         .lo = 20000, .hi = 150000},
+        {.name = "age", .kind = ColumnSpec::Kind::kUniform, .ndv = 50}};
+    QOPT_DCHECK(
+        workload::CreateAndLoadTable(&db, "Emp", emp_cols, emps, 4, "eid")
+            .ok());
+    QOPT_DCHECK(db.CreateIndex("idx_emp_did", "Emp", "did").ok());
+    QOPT_DCHECK(db.AnalyzeAll().ok());
+
+    // The paper's reformulated query: E joins D and the aggregate view.
+    double budget_floor = 1000000 * (1 - budget_cut);
+    std::string sql =
+        "SELECT e.eid, e.sal FROM Emp e, Dept d, "
+        "(SELECT did, AVG(sal) AS avgsal FROM Emp GROUP BY did) v "
+        "WHERE e.did = d.did AND e.did = v.did AND e.age < 3 "
+        "AND d.budget > " +
+        std::to_string(budget_floor) + " AND e.sal > v.avgsal";
+
+    QueryOptions plain;
+    plain.optimizer.use_alternatives = false;
+    QueryOptions magic;  // alternatives on: magic rewrite competes by cost
+
+    opt::OptimizeInfo pi, mi;
+    QOPT_DCHECK(db.PlanQuery(sql, plain, &pi).ok());
+    QOPT_DCHECK(db.PlanQuery(sql, magic, &mi).ok());
+
+    Stopwatch t1;
+    auto rp = db.Query(sql, plain);
+    double plain_ms = t1.ElapsedMs();
+    Stopwatch t2;
+    auto rm = db.Query(sql, magic);
+    double magic_ms = t2.ElapsedMs();
+    QOPT_DCHECK(rp.ok() && rm.ok());
+
+    table.AddRow({std::to_string(emps), std::to_string(depts),
+                  Fmt(budget_cut * 100, 0) + "% of depts", Fmt(pi.chosen_cost),
+                  Fmt(mi.chosen_cost),
+                  Fmt(pi.chosen_cost / mi.chosen_cost, 2), Fmt(plain_ms),
+                  Fmt(magic_ms),
+                  rp->rows.size() == rm->rows.size() ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: with a selective outer block (2%% of departments) the "
+      "semijoin-reduced plan wins — the view aggregates only relevant "
+      "groups; with an unselective filter the rewrite's benefit shrinks "
+      "toward (or below) its cost, which is why it must be cost-based.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E16 (paper §7.3): answering queries using materialized views — using a
+// cached aggregate instead of recomputing it from base data, with the
+// engine's view machinery standing in for transparent matching (the
+// general reformulation problem is undecidable; we evaluate the payoff on
+// the rewrite the optimizer CAN do: routing the query to the materialized
+// result vs expanding the view definition inline).
+#include "bench_util.h"
+#include "engine/database.h"
+#include "workload/star_schema.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+int main() {
+  Banner("E16", "Answering queries using materialized views",
+         "\"results of views cached by the querying subsystem and used by "
+         "the optimizer transparently\" — a matched materialized aggregate "
+         "replaces a scan-and-aggregate over base data");
+
+  TablePrinter table({"fact rows", "virtual view cost", "materialized cost",
+                      "gain x", "virtual ms", "materialized ms",
+                      "rows match"});
+
+  for (int64_t fact_rows : {50000, 200000}) {
+    Database db;
+    workload::StarSchemaSpec spec;
+    spec.num_dimensions = 2;
+    spec.fact_rows = fact_rows;
+    spec.dim_rows = 100;
+    QOPT_DCHECK(workload::BuildStarSchema(&db, spec).ok());
+
+    // Virtual view: expanded inline (recomputes the aggregate every time).
+    QOPT_DCHECK(db.Execute("CREATE VIEW sales_by_d0 AS SELECT d0_id, "
+                           "SUM(measure) AS total, COUNT(*) AS cnt "
+                           "FROM fact GROUP BY d0_id")
+                    .ok());
+
+    // Materialization: compute once, store as a table (the cache).
+    auto view_data = db.Query("SELECT d0_id, total, cnt FROM sales_by_d0");
+    QOPT_DCHECK(view_data.ok());
+    QOPT_DCHECK(db.Execute("CREATE TABLE sales_by_d0_mat (d0_id INT PRIMARY "
+                           "KEY, total DOUBLE, cnt INT)")
+                    .ok());
+    QOPT_DCHECK(
+        db.BulkLoad("sales_by_d0_mat", std::move(view_data->rows)).ok());
+    QOPT_DCHECK(db.Analyze("sales_by_d0_mat").ok());
+
+    // The query, phrased against the view vs against its materialization.
+    const char* q_virtual =
+        "SELECT v.d0_id, v.total FROM sales_by_d0 v, dim0 d "
+        "WHERE v.d0_id = d.id AND d.attr = 3 AND v.cnt > 10";
+    const char* q_mat =
+        "SELECT v.d0_id, v.total FROM sales_by_d0_mat v, dim0 d "
+        "WHERE v.d0_id = d.id AND d.attr = 3 AND v.cnt > 10";
+
+    opt::OptimizeInfo vi, mi;
+    QOPT_DCHECK(db.PlanQuery(q_virtual, {}, &vi).ok());
+    QOPT_DCHECK(db.PlanQuery(q_mat, {}, &mi).ok());
+
+    Stopwatch t1;
+    auto rv = db.Query(q_virtual);
+    double v_ms = t1.ElapsedMs();
+    Stopwatch t2;
+    auto rm = db.Query(q_mat);
+    double m_ms = t2.ElapsedMs();
+    QOPT_DCHECK(rv.ok() && rm.ok());
+
+    table.AddRow({std::to_string(fact_rows), Fmt(vi.chosen_cost),
+                  Fmt(mi.chosen_cost),
+                  Fmt(vi.chosen_cost / mi.chosen_cost, 1), Fmt(v_ms),
+                  Fmt(m_ms),
+                  rv->rows.size() == rm->rows.size() ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: the materialized route wins by roughly the ratio of "
+      "base-data size to view size, and the gap widens with fact-table "
+      "growth — the economics that motivate transparent view matching.\n");
+  return 0;
+}

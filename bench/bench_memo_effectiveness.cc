@@ -1,0 +1,73 @@
+// E14 (paper §6.2): memoization — "when presented with an optimization
+// task, it checks whether the task has already been accomplished by
+// looking up the table of plans optimized in the past".
+#include "bench_util.h"
+#include "optimizer/cascades/cascades.h"
+#include "optimizer/rewrite/rule_engine.h"
+#include "plan/query_graph.h"
+#include "workload/query_gen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+namespace {
+
+plan::QueryGraph GraphFor(Database* db, const std::string& sql) {
+  auto bound = db->BindSql(sql);
+  QOPT_DCHECK(bound.ok());
+  int next_rel = 10000;
+  auto rr =
+      opt::RuleEngine::Default().Rewrite(bound->root, db->catalog(), &next_rel);
+  plan::LogicalPtr op = rr.plan;
+  while (!plan::IsJoinBlock(*op)) op = op->children[0];
+  auto graph = plan::ExtractQueryGraph(op);
+  QOPT_DCHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+}  // namespace
+
+int main() {
+  Banner("E14", "Memo effectiveness in top-down search",
+         "top-down dynamic programming ('memoization') avoids re-deriving "
+         "subplans: cache-hit rate grows with join size; groups follow "
+         "2^n - 1, logical expressions stay polynomial per group");
+
+  Database db;
+  QOPT_DCHECK(workload::CreateJoinTables(&db, 9, 1500, 100, 31).ok());
+  cost::CostModel model;
+
+  TablePrinter table({"topology", "n", "groups", "logical exprs",
+                      "opt tasks", "memo hits", "hit rate %",
+                      "rules applied", "ms"});
+
+  for (auto topo : {workload::Topology::kChain, workload::Topology::kClique}) {
+    int max_n = topo == workload::Topology::kClique ? 8 : 9;
+    for (int n = 3; n <= max_n; ++n) {
+      plan::QueryGraph g = GraphFor(&db, workload::JoinQuery(topo, n, false));
+      opt::cascades::CascadesOptions copt;
+      copt.allow_cartesian = topo == workload::Topology::kChain;
+      opt::cascades::CascadesOptimizer casc(db.catalog(), model, copt);
+      Stopwatch timer;
+      auto plan = casc.OptimizeJoinBlock(g);
+      double ms = timer.ElapsedMs();
+      QOPT_DCHECK(plan.ok());
+      const auto& c = casc.counters();
+      double hit_rate =
+          100.0 * static_cast<double>(c.winner_cache_hits) /
+          static_cast<double>(c.winner_cache_hits + c.optimize_group_tasks);
+      table.AddRow({workload::TopologyName(topo), std::to_string(n),
+                    FmtInt(c.groups), FmtInt(c.logical_exprs),
+                    FmtInt(c.optimize_group_tasks),
+                    FmtInt(c.winner_cache_hits), Fmt(hit_rate),
+                    FmtInt(c.rules_applied), Fmt(ms)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Shape check: group counts track 2^n - 1 (clique reaches all "
+      "subsets); the memo hit rate climbs with n — without it, the "
+      "top-down search would degenerate to the naive exponential "
+      "re-derivation.\n");
+  return 0;
+}

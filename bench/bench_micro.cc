@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark): throughput of the optimizer stack's
+// hot paths — parsing, binding, rewriting, join enumeration (both
+// architectures) and execution. Complements the paper experiments
+// (E1–E18) with per-component performance numbers.
+#include <benchmark/benchmark.h>
+
+#include "optimizer/rewrite/rule_engine.h"
+#include "parser/parser.h"
+#include "plan/binder.h"
+#include "plan/query_graph.h"
+#include "workload/query_gen.h"
+
+namespace qopt {
+namespace {
+
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    QOPT_DCHECK(workload::CreateJoinTables(d, 8, 2000, 100, 19).ok());
+    return d;
+  }();
+  return db;
+}
+
+const std::string& ChainSql(int n) {
+  static std::map<int, std::string> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, workload::JoinQuery(workload::Topology::kChain, n))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_Parse(benchmark::State& state) {
+  const std::string& sql = ChainSql(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = parser::Parse(sql);
+    benchmark::DoNotOptimize(r);
+    QOPT_DCHECK(r.ok());
+  }
+}
+BENCHMARK(BM_Parse)->Arg(3)->Arg(8);
+
+void BM_Bind(benchmark::State& state) {
+  Database* db = SharedDb();
+  const std::string& sql = ChainSql(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = db->BindSql(sql);
+    benchmark::DoNotOptimize(r);
+    QOPT_DCHECK(r.ok());
+  }
+}
+BENCHMARK(BM_Bind)->Arg(3)->Arg(8);
+
+void BM_Rewrite(benchmark::State& state) {
+  Database* db = SharedDb();
+  auto bound = db->BindSql(ChainSql(static_cast<int>(state.range(0))));
+  QOPT_DCHECK(bound.ok());
+  for (auto _ : state) {
+    int next_rel = 1000;
+    auto rr = opt::RuleEngine::Default().Rewrite(bound->root->Clone(),
+                                                 db->catalog(), &next_rel);
+    benchmark::DoNotOptimize(rr);
+  }
+}
+BENCHMARK(BM_Rewrite)->Arg(3)->Arg(8);
+
+void BM_OptimizeSelinger(benchmark::State& state) {
+  Database* db = SharedDb();
+  const std::string& sql = ChainSql(static_cast<int>(state.range(0)));
+  QueryOptions options;
+  for (auto _ : state) {
+    auto plan = db->PlanQuery(sql, options);
+    benchmark::DoNotOptimize(plan);
+    QOPT_DCHECK(plan.ok());
+  }
+}
+BENCHMARK(BM_OptimizeSelinger)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_OptimizeSelingerBushy(benchmark::State& state) {
+  Database* db = SharedDb();
+  const std::string& sql = ChainSql(static_cast<int>(state.range(0)));
+  QueryOptions options;
+  options.optimizer.selinger.bushy = true;
+  for (auto _ : state) {
+    auto plan = db->PlanQuery(sql, options);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeSelingerBushy)->Arg(5)->Arg(8);
+
+void BM_OptimizeCascades(benchmark::State& state) {
+  Database* db = SharedDb();
+  const std::string& sql = ChainSql(static_cast<int>(state.range(0)));
+  QueryOptions options;
+  options.optimizer.enumerator = opt::EnumeratorKind::kCascades;
+  for (auto _ : state) {
+    auto plan = db->PlanQuery(sql, options);
+    benchmark::DoNotOptimize(plan);
+    QOPT_DCHECK(plan.ok());
+  }
+}
+BENCHMARK(BM_OptimizeCascades)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_ExecuteHashJoin(benchmark::State& state) {
+  Database* db = SharedDb();
+  const std::string& sql = ChainSql(3);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto r = db->Query(sql);
+    QOPT_DCHECK(r.ok());
+    rows += static_cast<int64_t>(r->rows.size());
+  }
+  benchmark::DoNotOptimize(rows);
+}
+BENCHMARK(BM_ExecuteHashJoin);
+
+void BM_SelectivityEstimation(benchmark::State& state) {
+  Database* db = SharedDb();
+  auto bound = db->BindSql("SELECT t0.pk FROM t0 WHERE t0.a = 5 AND "
+                           "t0.c BETWEEN 100 AND 500 AND t0.b <> 7");
+  QOPT_DCHECK(bound.ok());
+  plan::LogicalPtr filter = bound->root;
+  while (filter->kind != plan::LogicalOpKind::kFilter) {
+    filter = filter->children[0];
+  }
+  const TableDef* t0 = db->catalog().GetTable("t0");
+  stats::RelStats base = stats::BaseRelStats(
+      /*rel_id=*/filter->children[0]->rel_id, t0->stats.get(),
+      static_cast<int>(t0->columns.size()));
+  for (auto _ : state) {
+    stats::RelStats out = cost::ApplyPredicateStats(base, filter->predicate);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SelectivityEstimation);
+
+}  // namespace
+}  // namespace qopt
+
+BENCHMARK_MAIN();

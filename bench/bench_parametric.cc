@@ -1,0 +1,86 @@
+// E18 (paper §7.4, [19]/[33]): parametric / dynamic query evaluation plans
+// — "defer generation of complete plans subject to availability of runtime
+// information". We sweep a range-predicate parameter, extract the
+// piecewise-optimal plan, and quantify the penalty of committing to one
+// static plan across the whole range.
+#include "bench_util.h"
+#include "engine/parametric.h"
+#include "workload/datagen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+int main() {
+  Banner("E18", "Parametric optimization / dynamic plans",
+         "the optimal plan depends on a runtime parameter; a choose-plan "
+         "over parameter intervals avoids the penalty of a single static "
+         "plan optimized for one value");
+
+  Database db;
+  using workload::ColumnSpec;
+  std::vector<ColumnSpec> big = {
+      {.name = "pk", .kind = ColumnSpec::Kind::kSequential},
+      {.name = "a", .kind = ColumnSpec::Kind::kUniform, .ndv = 10000},
+      {.name = "b", .kind = ColumnSpec::Kind::kUniform, .ndv = 200},
+  };
+  QOPT_DCHECK(workload::CreateAndLoadTable(&db, "big", big, 200000, 5, "pk")
+                  .ok());
+  QOPT_DCHECK(db.CreateIndex("idx_big_a", "big", "a").ok());
+  std::vector<ColumnSpec> small = {
+      {.name = "id", .kind = ColumnSpec::Kind::kSequential},
+      {.name = "attr", .kind = ColumnSpec::Kind::kUniform, .ndv = 10},
+  };
+  QOPT_DCHECK(
+      workload::CreateAndLoadTable(&db, "small", small, 200, 6, "id").ok());
+  QOPT_DCHECK(db.AnalyzeAll().ok());
+
+  auto sql_for = [](double v) {
+    return "SELECT COUNT(*) FROM big, small WHERE big.b = small.id AND "
+           "big.a < " +
+           std::to_string(static_cast<int64_t>(v));
+  };
+
+  ParametricOptions options;
+  options.lo = 1;
+  options.hi = 10000;
+  options.initial_samples = 17;
+  auto plan = ParametricOptimize(&db, sql_for, options);
+  QOPT_DCHECK(plan.ok());
+
+  std::printf("Piecewise-optimal plan over big.a < v, v in [1, 10000]:\n%s\n",
+              plan->ToString().c_str());
+  std::printf("distinct plan structures: %d\n\n", plan->DistinctPlans());
+
+  // Static-plan penalty: the two committed structures (index-driven vs
+  // scan-driven) forced via access-path knobs, costed across the range.
+  // A dynamic plan picks the best of both at runtime; a static plan pays
+  // the penalty at the wrong end of the range.
+  TablePrinter table({"v (param)", "optimal cost", "static scan-plan",
+                      "scan penalty x", "static index-plan",
+                      "index penalty x"});
+  QueryOptions scan_only;
+  scan_only.optimizer.selinger.enable_index_scan = false;
+  scan_only.optimizer.selinger.enable_index_nl_join = false;
+  scan_only.optimizer.use_alternatives = false;
+  QueryOptions index_only;
+  index_only.optimizer.selinger.enable_seq_scan = false;
+  index_only.optimizer.use_alternatives = false;
+
+  for (double v : {10.0, 100.0, 1000.0, 5000.0, 9500.0}) {
+    opt::OptimizeInfo oi, sci, ixi;
+    QOPT_DCHECK(db.PlanQuery(sql_for(v), {}, &oi).ok());
+    QOPT_DCHECK(db.PlanQuery(sql_for(v), scan_only, &sci).ok());
+    QOPT_DCHECK(db.PlanQuery(sql_for(v), index_only, &ixi).ok());
+    table.AddRow({Fmt(v, 0), Fmt(oi.chosen_cost), Fmt(sci.chosen_cost),
+                  Fmt(sci.chosen_cost / oi.chosen_cost, 2),
+                  Fmt(ixi.chosen_cost),
+                  Fmt(ixi.chosen_cost / oi.chosen_cost, 2)});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: the plan structure switches across the range (bounded "
+      "index scan for selective v, scans/eager-agg for wide v); each static "
+      "structure is optimal at one end and pays a growing penalty at the "
+      "other — choose-plan gets min(scan, index) everywhere.\n");
+  return 0;
+}

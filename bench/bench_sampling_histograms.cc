@@ -1,0 +1,81 @@
+// E10 (paper §5.1.2, after Chaudhuri-Motwani-Narasayya [11]): a modest
+// random sample suffices to build a histogram that is accurate for a large
+// class of queries — error falls quickly with sample rate and stabilizes.
+#include <cmath>
+#include <map>
+
+#include "bench_util.h"
+#include "stats/stats_builder.h"
+#include "workload/datagen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+namespace {
+
+// Average |estimated - true| selectivity over a workload of range queries.
+double RangeErrorOverWorkload(const stats::ColumnStats& cs,
+                              const std::vector<Value>& data,
+                              int64_t domain) {
+  std::map<int64_t, double> freq;
+  for (const Value& v : data) freq[v.AsInt()] += 1;
+  double n = static_cast<double>(data.size());
+  double err = 0;
+  int count = 0;
+  int64_t width = std::max<int64_t>(1, domain / 20);
+  for (int64_t lo = 0; lo + width <= domain; lo += width, ++count) {
+    double truth = 0;
+    for (auto it = freq.lower_bound(lo);
+         it != freq.end() && it->first <= lo + width; ++it) {
+      truth += it->second;
+    }
+    truth /= n;
+    double est = cs.histogram->SelectivityRange(
+        static_cast<double>(lo), static_cast<double>(lo + width));
+    err += std::abs(est - truth);
+  }
+  return err / count;
+}
+
+}  // namespace
+
+int main() {
+  Banner("E10", "Sampling for histogram construction ([11], [48])",
+         "\"only a small sample is needed\" for a histogram accurate over a "
+         "workload of queries — accuracy saturates well below a full scan");
+
+  TablePrinter table({"table rows", "sample %", "avg |range err| x1e4",
+                      "build ms", "ndv est (true 1000)"});
+
+  for (int64_t rows : {10000, 100000, 1000000}) {
+    const int64_t kDomain = 1000;
+    std::vector<workload::ColumnSpec> spec = {
+        {.name = "v", .kind = workload::ColumnSpec::Kind::kZipf,
+         .ndv = kDomain, .theta = 1.0}};
+    std::vector<Row> data = workload::GenerateRows(spec, rows, 99);
+    std::vector<Value> col;
+    col.reserve(rows);
+    for (const Row& r : data) col.push_back(r[0]);
+
+    for (double rate : {0.001, 0.01, 0.05, 0.2, 1.0}) {
+      if (rate < 0.01 && rows < 100000) continue;  // too few samples
+      stats::StatsOptions opts;
+      opts.sample_fraction = rate;
+      opts.histogram_kind = stats::HistogramKind::kCompressed;
+      opts.histogram_buckets = 64;
+      Stopwatch timer;
+      stats::ColumnStats cs = stats::BuildColumnStats(col, opts);
+      double ms = timer.ElapsedMs();
+      double err = RangeErrorOverWorkload(cs, col, kDomain);
+      table.AddRow({std::to_string(rows), Fmt(rate * 100, 1),
+                    Fmt(err * 1e4, 2), Fmt(ms), Fmt(cs.num_distinct, 0)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Shape check: error drops steeply from the smallest sample and is "
+      "already close to the full-scan histogram at a few percent sampled, "
+      "while build time scales with the sample — the paper's point that "
+      "small samples suffice.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E5 (paper §4.1.1): in star queries, "a Cartesian product among
+// appropriate [dimension tables] results in a significant reduction in
+// cost" — deferring Cartesian products can hurt.
+#include "bench_util.h"
+#include "workload/star_schema.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+int main() {
+  Banner("E5", "Early Cartesian products in star queries",
+         "\"in many decision-support queries where the query graph forms a "
+         "star ... a Cartesian product among appropriate dimensional tables "
+         "results in a significant reduction in cost\"");
+
+  TablePrinter table({"dims", "dim rows", "fact rows", "deferred cost",
+                      "early-cartesian cost", "gain x", "deferred pages",
+                      "cartesian pages"});
+
+  for (int64_t dim_rows : {20, 50}) {
+    Database db;
+    workload::StarSchemaSpec spec;
+    spec.num_dimensions = 3;
+    spec.fact_rows = 100000;
+    spec.dim_rows = dim_rows;
+    spec.dim_filter_ndv = 10;  // attr = v keeps ~10% of each dimension
+    QOPT_DCHECK(workload::BuildStarSchema(&db, spec).ok());
+    std::string sql = workload::StarQuery(3);
+
+    // The observation comes from System-R-era engines: restrict to the
+    // 1979 operator set (nested-loop + sort-merge) where serial fact-table
+    // passes are expensive; hash joins would mute (not negate) the effect.
+    QueryOptions deferred;  // System-R default: defer Cartesian products
+    deferred.optimizer.selinger.enable_hash_join = false;
+    deferred.optimizer.selinger.enable_index_nl_join = false;
+    QueryOptions cartesian = deferred;
+    cartesian.optimizer.selinger.defer_cartesian = false;
+    cartesian.optimizer.selinger.bushy = true;
+
+    opt::OptimizeInfo di, ci;
+    auto pd = db.PlanQuery(sql, deferred, &di);
+    auto pc = db.PlanQuery(sql, cartesian, &ci);
+    QOPT_DCHECK(pd.ok() && pc.ok());
+
+    auto rd = db.Query(sql, deferred);
+    auto rc = db.Query(sql, cartesian);
+    QOPT_DCHECK(rd.ok() && rc.ok());
+    QOPT_DCHECK(rd->rows.size() == rc->rows.size());
+
+    table.AddRow({"3", std::to_string(dim_rows),
+                  std::to_string(spec.fact_rows), Fmt(di.chosen_cost),
+                  Fmt(ci.chosen_cost), Fmt(di.chosen_cost / ci.chosen_cost, 2),
+                  Fmt(rd->exec_stats.modeled_pages_read),
+                  Fmt(rc->exec_stats.modeled_pages_read)});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: allowing early Cartesian products among the small, "
+      "filtered dimension tables never loses and wins when the combined "
+      "dimension product is much smaller than the fact table (gain > 1).\n");
+  return 0;
+}

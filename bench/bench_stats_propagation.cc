@@ -1,0 +1,116 @@
+// E12 (paper §5.1.3): propagation of statistics through operators — the
+// independence assumption is a "key source of error" on correlated
+// columns, and errors compound through subsequent operators.
+#include <cmath>
+
+#include "bench_util.h"
+#include "engine/database.h"
+#include "stats/histogram2d.h"
+#include "workload/datagen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+namespace {
+
+// Loads table corr(a, b, c) where b is a deterministic function of a
+// (perfect correlation) and c is independent of both.
+void LoadCorrelated(Database* db, int64_t rows) {
+  QOPT_DCHECK(db->Execute("CREATE TABLE corr (a INT, b INT, c INT)").ok());
+  std::mt19937_64 rng(3);
+  std::vector<Row> data;
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t a = static_cast<int64_t>(rng() % 100);
+    data.push_back({Value::Int(a), Value::Int(a * 2),
+                    Value::Int(static_cast<int64_t>(rng() % 100))});
+  }
+  QOPT_DCHECK(db->BulkLoad("corr", std::move(data)).ok());
+  QOPT_DCHECK(db->AnalyzeAll().ok());
+}
+
+struct EstVsTrue {
+  double est = 0;
+  double truth = 0;
+  double ratio() const {
+    double t = std::max(1.0, truth);
+    double e = std::max(1.0, est);
+    return std::max(e / t, t / e);
+  }
+};
+
+EstVsTrue Measure(Database* db, const std::string& sql) {
+  EstVsTrue out;
+  auto plan = db->PlanQuery(sql);
+  QOPT_DCHECK(plan.ok());
+  // Estimated output rows of the plan under the final projection.
+  exec::PhysPtr p = *plan;
+  while (p->kind == exec::PhysOpKind::kProject) p = p->children[0];
+  out.est = p->est_rows;
+  auto result = db->Query(sql);
+  QOPT_DCHECK(result.ok());
+  out.truth = static_cast<double>(result->rows.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Banner("E12", "Propagation of statistics & the independence assumption",
+         "\"if multiple predicates are present, then the independence "
+         "assumption is made\" — accurate for independent columns, badly "
+         "wrong for correlated ones; errors compound through operators");
+
+  Database db;
+  LoadCorrelated(&db, 100000);
+
+  // Second database, identical data, but ANALYZEd with a joint (2-D)
+  // histogram on (a, b) — the paper's proposed remedy for correlations
+  // (§5.1.1: "one option is to consider 2-dimensional histograms
+  // [45,51]"). The optimizer's selectivity estimation consumes it
+  // transparently.
+  Database db_joint;
+  LoadCorrelated(&db_joint, 100000);
+  stats::StatsOptions joint_opts;
+  joint_opts.joint_columns = {{"a", "b"}};
+  QOPT_DCHECK(db_joint.Analyze("corr", joint_opts).ok());
+
+  TablePrinter table({"predicate set", "true rows", "estimated (1-D indep)",
+                      "ratio err", "estimated (2-D joint)", "2-D ratio err"});
+
+  struct Case {
+    const char* label;
+    const char* sql;
+  };
+  auto ratio = [](double est, double truth) {
+    double t = std::max(1.0, truth);
+    double e = std::max(1.0, est);
+    return std::max(e / t, t / e);
+  };
+  for (const Case& c : std::vector<Case>{
+           {"single: a=10", "SELECT a FROM corr WHERE a = 10"},
+           {"independent: a=10 AND c=10",
+            "SELECT a FROM corr WHERE a = 10 AND c = 10"},
+           {"correlated: a=10 AND b=20",
+            "SELECT a FROM corr WHERE a = 10 AND b = 20"},
+           {"anti-correlated: a=10 AND b=30",
+            "SELECT a FROM corr WHERE a = 10 AND b = 30"},
+           {"correlated range: a<50 AND b<100",
+            "SELECT a FROM corr WHERE a < 50 AND b < 100"},
+       }) {
+    EstVsTrue indep = Measure(&db, c.sql);
+    EstVsTrue with_joint = Measure(&db_joint, c.sql);
+    table.AddRow({c.label, Fmt(indep.truth, 0), Fmt(indep.est, 0),
+                  Fmt(ratio(indep.est, indep.truth), 1) + "x",
+                  Fmt(with_joint.est, 0),
+                  Fmt(ratio(with_joint.est, with_joint.truth), 1) + "x"});
+  }
+  table.Print();
+
+  std::printf(
+      "Shape check: single-column and independent conjunctions estimate "
+      "within a small factor (histograms at work); under the independence "
+      "assumption, correlated conjunctions are off by ~ndv — the paper's "
+      "'key source of error' — while the 2-D joint histogram pulls the "
+      "same predicates back within a small factor of truth.\n");
+  return 0;
+}

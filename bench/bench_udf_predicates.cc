@@ -1,0 +1,149 @@
+// E15 (paper §7.2): expensive user-defined predicates — "it is no longer a
+// sound heuristic to evaluate such predicates as early as possible";
+// without joins they order optimally by RANK = selectivity gain per unit
+// cost (Hellerstein-Stonebraker predicate migration).
+//
+// The engine models a UDF as a predicate with per-tuple evaluation cost
+// `c_i` and selectivity `s_i`; we sweep orderings of a predicate pipeline
+// and compare: push-early (arbitrary syntactic order), rank order, and
+// worst order.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "bench_util.h"
+
+using namespace qopt::bench;
+
+namespace {
+
+struct UdfPred {
+  const char* name;
+  double selectivity;  // fraction of tuples passing
+  double cost;         // per-tuple evaluation cost
+  double rank() const { return (1.0 - selectivity) / cost; }
+};
+
+// Total evaluation cost of applying predicates in the given order to
+// `rows` tuples (each surviving tuple pays the next predicate's cost).
+double PipelineCost(const std::vector<UdfPred>& order, double rows) {
+  double cost = 0;
+  double remaining = rows;
+  for (const UdfPred& p : order) {
+    cost += remaining * p.cost;
+    remaining *= p.selectivity;
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  Banner("E15", "Ordering expensive (user-defined) predicates",
+         "\"expensive predicates may be ordered by their ranks, computed "
+         "from selectivity and per-tuple cost\" ([29],[30]); evaluating "
+         "them as early as possible is unsound");
+
+  const double kRows = 1000000;
+  // A cheap selective predicate, a cheap unselective one, an expensive
+  // selective image-analysis-style UDF, and a middling one.
+  std::vector<UdfPred> preds = {
+      {"cheap_selective", 0.05, 1.0},
+      {"cheap_broad", 0.8, 1.0},
+      {"udf_image_match", 0.02, 200.0},
+      {"udf_moderate", 0.4, 20.0},
+  };
+
+  // All orderings.
+  std::vector<int> idx(preds.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  double best = -1, worst = -1;
+  std::vector<int> best_order;
+  std::sort(idx.begin(), idx.end());
+  do {
+    std::vector<UdfPred> order;
+    for (int i : idx) order.push_back(preds[i]);
+    double c = PipelineCost(order, kRows);
+    if (best < 0 || c < best) {
+      best = c;
+      best_order = idx;
+    }
+    worst = std::max(worst, c);
+  } while (std::next_permutation(idx.begin(), idx.end()));
+
+  // Rank order (descending rank).
+  std::vector<UdfPred> by_rank = preds;
+  std::sort(by_rank.begin(), by_rank.end(),
+            [](const UdfPred& a, const UdfPred& b) {
+              return a.rank() > b.rank();
+            });
+  double rank_cost = PipelineCost(by_rank, kRows);
+
+  // "Push-early": UDFs first, as a naive push-all-predicates-down
+  // optimizer would do if it treated UDFs like cheap predicates and the
+  // UDF columns happened to come first syntactically.
+  std::vector<UdfPred> push_early = {preds[2], preds[3], preds[0], preds[1]};
+  double early_cost = PipelineCost(push_early, kRows);
+
+  TablePrinter table({"strategy", "predicate order", "total cost",
+                      "vs optimal"});
+  auto order_str = [&](const std::vector<UdfPred>& order) {
+    std::string s;
+    for (const UdfPred& p : order) {
+      if (!s.empty()) s += " -> ";
+      s += p.name;
+    }
+    return s;
+  };
+  std::vector<UdfPred> best_preds;
+  for (int i : best_order) best_preds.push_back(preds[i]);
+  table.AddRow({"exhaustive optimum", order_str(best_preds), Fmt(best, 0),
+                "1.00x"});
+  table.AddRow({"rank ordering", order_str(by_rank), Fmt(rank_cost, 0),
+                Fmt(rank_cost / best, 2) + "x"});
+  table.AddRow({"push-early (naive)", order_str(push_early),
+                Fmt(early_cost, 0), Fmt(early_cost / best, 2) + "x"});
+  table.AddRow({"worst order", "-", Fmt(worst, 0),
+                Fmt(worst / best, 2) + "x"});
+  table.Print();
+
+  // Rank-order optimality sweep: random predicate sets, rank vs optimum.
+  std::printf("Sweep: 200 random predicate sets (4 preds each):\n");
+  std::mt19937_64 rng(17);
+  int rank_optimal = 0;
+  double worst_early_ratio = 1;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<UdfPred> ps;
+    for (int i = 0; i < 4; ++i) {
+      double s = 0.01 + 0.98 * std::uniform_real_distribution<double>(0, 1)(rng);
+      double c = std::pow(10.0, std::uniform_real_distribution<double>(0, 2.5)(rng));
+      ps.push_back({"p", s, c});
+    }
+    std::vector<int> perm(4);
+    std::iota(perm.begin(), perm.end(), 0);
+    double opt = -1, naive_first = -1;
+    do {
+      std::vector<UdfPred> order;
+      for (int i : perm) order.push_back(ps[i]);
+      double c = PipelineCost(order, 1000);
+      if (opt < 0 || c < opt) opt = c;
+      if (naive_first < 0) naive_first = c;  // syntactic order
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    std::vector<UdfPred> by_r = ps;
+    std::sort(by_r.begin(), by_r.end(), [](auto& a, auto& b) {
+      return a.rank() > b.rank();
+    });
+    double rc = PipelineCost(by_r, 1000);
+    if (rc <= opt * (1 + 1e-9)) ++rank_optimal;
+    worst_early_ratio = std::max(worst_early_ratio, naive_first / opt);
+  }
+  std::printf("  rank ordering optimal in %d/200 trials (theory: always, "
+              "for pure predicate pipelines);\n", rank_optimal);
+  std::printf("  syntactic order was up to %.1fx worse than optimal.\n\n",
+              worst_early_ratio);
+  std::printf("Shape check: rank ordering matches the exhaustive optimum "
+              "(the [29] theorem), while push-early pays the expensive UDF "
+              "on every tuple.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E7 (paper §4.2.2): unnesting correlated subqueries beats tuple-iteration
+// execution, which evaluates the inner block once per outer tuple.
+#include "bench_util.h"
+#include "engine/database.h"
+#include "workload/datagen.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+int main() {
+  Banner("E7", "Merging nested subqueries",
+         "tuple-iteration semantics evaluate the inner query per outer "
+         "tuple; unnesting (Kim/Dayal) flattens to joins/outerjoins with "
+         "identical results");
+
+  TablePrinter table({"query", "outer rows", "naive ms", "naive subq execs",
+                      "unnested ms", "unnested subq execs", "speedup x",
+                      "rows match"});
+
+  for (int64_t scale : {200, 1000, 4000}) {
+    Database db;
+    QOPT_DCHECK(db.Execute("CREATE TABLE Dept (did INT PRIMARY KEY, "
+                           "name STRING, loc STRING, num_of_machines INT, "
+                           "mgr INT)")
+                    .ok());
+    QOPT_DCHECK(db.Execute("CREATE TABLE Emp (eid INT PRIMARY KEY, did INT, "
+                           "sal DOUBLE, dept_name STRING)")
+                    .ok());
+    int64_t depts = std::max<int64_t>(10, scale / 20);
+    std::vector<Row> dept_rows, emp_rows;
+    for (int64_t d = 0; d < depts; ++d) {
+      dept_rows.push_back({Value::Int(d),
+                           Value::String("d" + std::to_string(d)),
+                           Value::String(d % 2 ? "Denver" : "Austin"),
+                           Value::Int(d % 25),
+                           Value::Int((d * 13) % scale)});
+    }
+    for (int64_t e = 0; e < scale; ++e) {
+      int64_t d = e % depts;
+      emp_rows.push_back({Value::Int(e), Value::Int(d),
+                          Value::Double(30000 + (e * 631) % 80000),
+                          Value::String("d" + std::to_string(d))});
+    }
+    QOPT_DCHECK(db.BulkLoad("Dept", std::move(dept_rows)).ok());
+    QOPT_DCHECK(db.BulkLoad("Emp", std::move(emp_rows)).ok());
+    QOPT_DCHECK(db.AnalyzeAll().ok());
+
+    struct Q {
+      const char* label;
+      std::string sql;
+      int64_t outer;
+    };
+    std::vector<Q> queries = {
+        {"IN-subq (correlated)",
+         "SELECT Emp.eid FROM Emp WHERE Emp.did IN "
+         "(SELECT Dept.did FROM Dept WHERE Dept.loc = 'Denver' "
+         " AND Emp.eid = Dept.mgr)",
+         scale},
+        {"COUNT-subq (paper)",
+         "SELECT Dept.name FROM Dept WHERE Dept.num_of_machines >= "
+         "(SELECT COUNT(*) FROM Emp WHERE Dept.name = Emp.dept_name)",
+         depts},
+    };
+
+    for (const Q& q : queries) {
+      QueryOptions naive;
+      naive.naive_execution = true;
+      Stopwatch t1;
+      auto rn = db.Query(q.sql, naive);
+      double naive_ms = t1.ElapsedMs();
+      Stopwatch t2;
+      auto ro = db.Query(q.sql);
+      double opt_ms = t2.ElapsedMs();
+      QOPT_DCHECK(rn.ok() && ro.ok());
+      table.AddRow({std::string(q.label) + " n=" + std::to_string(scale),
+                    std::to_string(q.outer), Fmt(naive_ms),
+                    FmtInt(rn->exec_stats.subquery_executions), Fmt(opt_ms),
+                    FmtInt(ro->exec_stats.subquery_executions),
+                    Fmt(naive_ms / std::max(0.01, opt_ms), 1),
+                    rn->rows.size() == ro->rows.size() ? "yes" : "NO"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Shape check: naive inner executions equal the outer cardinality and "
+      "grow linearly with scale; the unnested plans execute zero inner "
+      "subqueries and the speedup widens with scale.\n");
+  return 0;
+}

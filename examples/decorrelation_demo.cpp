@@ -1,0 +1,68 @@
+// Decorrelation demo: the paper's §4.2.2 nested queries, executed both
+// with tuple-iteration semantics (naive) and after the unnesting rewrites,
+// showing identical answers and the executed-subquery counts.
+#include <cstdio>
+
+#include "engine/database.h"
+
+using qopt::Database;
+using qopt::QueryOptions;
+
+int main() {
+  Database db;
+  db.Execute("CREATE TABLE Dept (did INT PRIMARY KEY, name STRING, "
+             "loc STRING, num_of_machines INT, mgr INT)");
+  db.Execute("CREATE TABLE Emp (eid INT PRIMARY KEY, did INT, sal DOUBLE, "
+             "dept_name STRING)");
+  std::vector<qopt::Row> emps, depts;
+  for (int d = 0; d < 30; ++d) {
+    depts.push_back({qopt::Value::Int(d),
+                     qopt::Value::String("d" + std::to_string(d)),
+                     qopt::Value::String(d % 2 ? "Denver" : "Austin"),
+                     qopt::Value::Int(d % 15),
+                     qopt::Value::Int(d * 13 % 400)});
+  }
+  for (int e = 0; e < 400; ++e) {
+    int d = e % 30;
+    emps.push_back({qopt::Value::Int(e), qopt::Value::Int(d),
+                    qopt::Value::Double(30000 + (e * 631) % 80000),
+                    qopt::Value::String("d" + std::to_string(d))});
+  }
+  db.BulkLoad("Dept", std::move(depts));
+  db.BulkLoad("Emp", std::move(emps));
+  db.AnalyzeAll();
+
+  const char* queries[] = {
+      // The paper's IN-subquery example.
+      "SELECT Emp.eid FROM Emp WHERE Emp.did IN "
+      "(SELECT Dept.did FROM Dept WHERE Dept.loc = 'Denver' "
+      " AND Emp.eid = Dept.mgr)",
+      // The paper's COUNT example (needs LOJ + GROUP BY to stay correct).
+      "SELECT Dept.name FROM Dept WHERE Dept.num_of_machines >= "
+      "(SELECT COUNT(*) FROM Emp WHERE Dept.name = Emp.dept_name)",
+  };
+
+  for (const char* sql : queries) {
+    std::printf("=====\nQuery:\n  %s\n\n", sql);
+    QueryOptions naive;
+    naive.naive_execution = true;
+    auto r_naive = db.Query(sql, naive);
+    auto r_opt = db.Query(sql);
+    if (!r_naive.ok() || !r_opt.ok()) {
+      std::fprintf(stderr, "failed: %s / %s\n",
+                   r_naive.status().ToString().c_str(),
+                   r_opt.status().ToString().c_str());
+      return 1;
+    }
+    auto plan = db.Explain(sql);
+    std::printf("Unnested plan:\n%s\n", plan->c_str());
+    std::printf("rows: naive=%zu optimized=%zu (must match)\n",
+                r_naive->rows.size(), r_opt->rows.size());
+    std::printf("inner-subquery executions: naive=%llu optimized=%llu\n\n",
+                static_cast<unsigned long long>(
+                    r_naive->exec_stats.subquery_executions),
+                static_cast<unsigned long long>(
+                    r_opt->exec_stats.subquery_executions));
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "catalog/catalog.h"
+
+namespace qopt {
+
+int TableDef::FindColumn(const std::string& col_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == col_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int> Catalog::CreateTable(const std::string& name,
+                                 std::vector<ColumnDef> columns,
+                                 int primary_key) {
+  if (table_names_.count(name) || views_.count(name)) {
+    return Status::AlreadyExists("table or view '" + name + "' exists");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table '" + name + "' has no columns");
+  }
+  if (primary_key >= static_cast<int>(columns.size())) {
+    return Status::InvalidArgument("primary key ordinal out of range");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (columns[i].name == columns[j].name) {
+        return Status::InvalidArgument("duplicate column '" + columns[i].name +
+                                       "' in table '" + name + "'");
+      }
+    }
+  }
+  auto def = std::make_unique<TableDef>();
+  def->id = static_cast<int>(tables_.size());
+  def->name = name;
+  def->columns = std::move(columns);
+  def->primary_key = primary_key;
+  table_names_[name] = def->id;
+  tables_.push_back(std::move(def));
+  return tables_.back()->id;
+}
+
+Result<int> Catalog::CreateIndex(const std::string& name,
+                                 const std::string& table,
+                                 const std::string& column, bool clustered,
+                                 bool unique) {
+  const TableDef* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no table '" + table + "'");
+  int col = t->FindColumn(column);
+  if (col < 0) {
+    return Status::NotFound("no column '" + column + "' in '" + table + "'");
+  }
+  for (const auto& idx : indexes_) {
+    if (idx->name == name) {
+      return Status::AlreadyExists("index '" + name + "' exists");
+    }
+  }
+  if (clustered) {
+    for (int existing : t->index_ids) {
+      if (indexes_[existing]->clustered) {
+        return Status::InvalidArgument("table '" + table +
+                                       "' already has a clustered index");
+      }
+    }
+  }
+  auto idx = std::make_unique<IndexDef>();
+  idx->id = static_cast<int>(indexes_.size());
+  idx->name = name;
+  idx->table_id = t->id;
+  idx->column = col;
+  idx->clustered = clustered;
+  idx->unique = unique;
+  tables_[t->id]->index_ids.push_back(idx->id);
+  indexes_.push_back(std::move(idx));
+  return indexes_.back()->id;
+}
+
+Status Catalog::AddForeignKey(const std::string& table,
+                              const std::string& column,
+                              const std::string& ref_table,
+                              const std::string& ref_column) {
+  TableDef* t = nullptr;
+  if (const TableDef* ct = GetTable(table)) t = tables_[ct->id].get();
+  if (t == nullptr) return Status::NotFound("no table '" + table + "'");
+  const TableDef* rt = GetTable(ref_table);
+  if (rt == nullptr) return Status::NotFound("no table '" + ref_table + "'");
+  int col = t->FindColumn(column);
+  int ref_col = rt->FindColumn(ref_column);
+  if (col < 0 || ref_col < 0) return Status::NotFound("fk column not found");
+  if (!IsUniqueColumn(rt->id, ref_col)) {
+    return Status::InvalidArgument(
+        "foreign key must reference a unique/primary key column");
+  }
+  t->foreign_keys.push_back({col, rt->id, ref_col});
+  return Status::OK();
+}
+
+Status Catalog::CreateView(const std::string& name, const std::string& sql) {
+  if (table_names_.count(name) || views_.count(name)) {
+    return Status::AlreadyExists("table or view '" + name + "' exists");
+  }
+  views_[name] = ViewDef{name, sql};
+  return Status::OK();
+}
+
+const TableDef* Catalog::GetTable(const std::string& name) const {
+  auto it = table_names_.find(name);
+  if (it == table_names_.end()) return nullptr;
+  return tables_[it->second].get();
+}
+
+const TableDef* Catalog::GetTable(int id) const {
+  if (id < 0 || id >= static_cast<int>(tables_.size())) return nullptr;
+  return tables_[id].get();
+}
+
+TableDef* Catalog::GetMutableTable(int id) {
+  if (id < 0 || id >= static_cast<int>(tables_.size())) return nullptr;
+  return tables_[id].get();
+}
+
+const IndexDef* Catalog::GetIndex(int id) const {
+  if (id < 0 || id >= static_cast<int>(indexes_.size())) return nullptr;
+  return indexes_[id].get();
+}
+
+const ViewDef* Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<const IndexDef*> Catalog::IndexesOn(int table_id) const {
+  std::vector<const IndexDef*> out;
+  const TableDef* t = GetTable(table_id);
+  if (t == nullptr) return out;
+  for (int id : t->index_ids) out.push_back(indexes_[id].get());
+  return out;
+}
+
+const IndexDef* Catalog::FindIndexOn(int table_id, int column) const {
+  const IndexDef* found = nullptr;
+  for (const IndexDef* idx : IndexesOn(table_id)) {
+    if (idx->column != column) continue;
+    if (idx->clustered) return idx;
+    if (found == nullptr) found = idx;
+  }
+  return found;
+}
+
+bool Catalog::IsUniqueColumn(int table_id, int column) const {
+  const TableDef* t = GetTable(table_id);
+  if (t == nullptr) return false;
+  if (t->primary_key == column) return true;
+  for (const IndexDef* idx : IndexesOn(table_id)) {
+    if (idx->column == column && idx->unique) return true;
+  }
+  return false;
+}
+
+const ForeignKeyDef* Catalog::FindForeignKey(int table_id, int column) const {
+  const TableDef* t = GetTable(table_id);
+  if (t == nullptr) return nullptr;
+  for (const ForeignKeyDef& fk : t->foreign_keys) {
+    if (fk.column == column) return &fk;
+  }
+  return nullptr;
+}
+
+}  // namespace qopt

@@ -1,0 +1,126 @@
+// Catalog: metadata for tables, columns, indexes, keys and views.
+//
+// The catalog also anchors the statistical summaries of Section 5.1 of the
+// paper: each table definition can carry a stats::TableStats built by
+// stats::StatsBuilder (attached by the engine after ANALYZE/load).
+#ifndef QOPT_CATALOG_CATALOG_H_
+#define QOPT_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace qopt {
+
+namespace stats {
+struct TableStats;
+}  // namespace stats
+
+/// Declared column of a base table.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+};
+
+/// A single-column index. `clustered` means the base table is stored in this
+/// index's order (at most one per table); clustering matters to the cost
+/// model because a clustered range scan does sequential I/O.
+struct IndexDef {
+  int id = -1;
+  std::string name;
+  int table_id = -1;
+  int column = -1;  ///< Ordinal of the indexed column in the table.
+  bool clustered = false;
+  bool unique = false;
+};
+
+/// Declarative foreign key: this table's `column` references
+/// `ref_table_id`.`ref_column` (which must be unique/primary there).
+/// Used by the group-by pushdown rule (paper Section 4.1.3), which requires
+/// a foreign-key join to guarantee the "joins with at most one tuple"
+/// invariant.
+struct ForeignKeyDef {
+  int column = -1;
+  int ref_table_id = -1;
+  int ref_column = -1;
+};
+
+/// Base-table definition.
+struct TableDef {
+  int id = -1;
+  std::string name;
+  std::vector<ColumnDef> columns;
+  int primary_key = -1;  ///< Column ordinal, or -1 if none.
+  std::vector<ForeignKeyDef> foreign_keys;
+  std::vector<int> index_ids;  ///< Indexes declared on this table.
+
+  /// Statistical summary (row count, pages, per-column histograms).
+  /// Null until the engine analyzes the table.
+  std::shared_ptr<const stats::TableStats> stats;
+
+  /// Ordinal of column `name`, or -1.
+  int FindColumn(const std::string& name) const;
+};
+
+/// Named view: SQL text expanded inline by the binder (paper Section 4.2.1,
+/// "merging views").
+struct ViewDef {
+  std::string name;
+  std::string sql;
+};
+
+/// In-memory catalog of table / index / view metadata.
+class Catalog {
+ public:
+  /// Registers a table; returns its id.
+  Result<int> CreateTable(const std::string& name,
+                          std::vector<ColumnDef> columns,
+                          int primary_key = -1);
+
+  /// Registers a single-column index; returns its id.
+  Result<int> CreateIndex(const std::string& name, const std::string& table,
+                          const std::string& column, bool clustered = false,
+                          bool unique = false);
+
+  /// Declares `table`.`column` as referencing `ref_table`.`ref_column`.
+  Status AddForeignKey(const std::string& table, const std::string& column,
+                       const std::string& ref_table,
+                       const std::string& ref_column);
+
+  /// Registers a view over `sql` (a SELECT statement).
+  Status CreateView(const std::string& name, const std::string& sql);
+
+  const TableDef* GetTable(const std::string& name) const;
+  const TableDef* GetTable(int id) const;
+  TableDef* GetMutableTable(int id);
+  const IndexDef* GetIndex(int id) const;
+  const ViewDef* GetView(const std::string& name) const;
+
+  /// All indexes declared on table `table_id`.
+  std::vector<const IndexDef*> IndexesOn(int table_id) const;
+
+  /// Index on `table_id`.`column`, or nullptr. Prefers a clustered index.
+  const IndexDef* FindIndexOn(int table_id, int column) const;
+
+  /// True if `column` of `table_id` is unique (PK or unique index).
+  bool IsUniqueColumn(int table_id, int column) const;
+
+  /// Foreign key from `table_id`.`column`, or nullptr.
+  const ForeignKeyDef* FindForeignKey(int table_id, int column) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<TableDef>> tables_;
+  std::vector<std::unique_ptr<IndexDef>> indexes_;
+  std::map<std::string, int> table_names_;
+  std::map<std::string, ViewDef> views_;
+};
+
+}  // namespace qopt
+
+#endif  // QOPT_CATALOG_CATALOG_H_

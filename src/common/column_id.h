@@ -1,0 +1,43 @@
+// ColumnId: stable identity of a column within a bound query.
+//
+// Every relation instance in a query (each base-table occurrence, each
+// aggregate/projection output) gets a unique `rel` id from the binder;
+// a column is addressed as (rel, col). This is the key used by expressions,
+// derived statistics, interesting orders and executor output maps.
+#ifndef QOPT_COMMON_COLUMN_ID_H_
+#define QOPT_COMMON_COLUMN_ID_H_
+
+#include <cstddef>
+#include <string>
+
+namespace qopt {
+
+/// Identity of one column of one relation instance in a bound query.
+struct ColumnId {
+  int rel = -1;
+  int col = -1;
+
+  bool valid() const { return rel >= 0 && col >= 0; }
+
+  bool operator==(const ColumnId& o) const {
+    return rel == o.rel && col == o.col;
+  }
+  bool operator!=(const ColumnId& o) const { return !(*this == o); }
+  bool operator<(const ColumnId& o) const {
+    return rel != o.rel ? rel < o.rel : col < o.col;
+  }
+
+  std::string ToString() const {
+    return "#" + std::to_string(rel) + "." + std::to_string(col);
+  }
+};
+
+struct ColumnIdHash {
+  size_t operator()(const ColumnId& c) const {
+    return static_cast<size_t>(c.rel) * 1000003u + static_cast<size_t>(c.col);
+  }
+};
+
+}  // namespace qopt
+
+#endif  // QOPT_COMMON_COLUMN_ID_H_

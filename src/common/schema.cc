@@ -1,0 +1,23 @@
+#include "common/schema.h"
+
+namespace qopt {
+
+int Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) s += ", ";
+    s += columns_[i].name;
+    s += ":";
+    s += TypeName(columns_[i].type);
+  }
+  return s;
+}
+
+}  // namespace qopt

@@ -1,0 +1,45 @@
+// Output schema description for plans and query results.
+#ifndef QOPT_COMMON_SCHEMA_H_
+#define QOPT_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qopt {
+
+/// One output column of a plan / result set.
+struct OutputColumn {
+  std::string name;   ///< Display name (alias or base column name).
+  TypeId type = TypeId::kNull;
+};
+
+/// Ordered list of output columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<OutputColumn> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  const OutputColumn& at(size_t i) const { return columns_[i]; }
+  const std::vector<OutputColumn>& columns() const { return columns_; }
+
+  void Add(std::string name, TypeId type) {
+    columns_.push_back({std::move(name), type});
+  }
+
+  /// Index of the first column named `name`, or -1.
+  int Find(const std::string& name) const;
+
+  /// "name:TYPE, name:TYPE, ...".
+  std::string ToString() const;
+
+ private:
+  std::vector<OutputColumn> columns_;
+};
+
+}  // namespace qopt
+
+#endif  // QOPT_COMMON_SCHEMA_H_

@@ -1,0 +1,144 @@
+// Status / Result<T> error handling, in the style of Arrow and RocksDB.
+//
+// qopt does not throw exceptions across module boundaries. Fallible public
+// APIs return `Status` or `Result<T>`; internal invariants use QOPT_DCHECK.
+#ifndef QOPT_COMMON_STATUS_H_
+#define QOPT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qopt {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< Named object (table, column, index) does not exist.
+  kAlreadyExists,     ///< Object with that name already registered.
+  kParseError,        ///< SQL text could not be parsed.
+  kBindError,         ///< SQL parsed but references could not be resolved.
+  kNotImplemented,    ///< Recognized but unsupported construct.
+  kInternal,          ///< Invariant violation; indicates a bug in qopt.
+};
+
+/// Returns a short human-readable name for `code` ("ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: OK, or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Move-friendly analogue of
+/// arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                  // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] inline void DCheckFail(const char* expr, const char* file,
+                                    int line) {
+  std::fprintf(stderr, "QOPT_DCHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace internal
+
+/// Internal invariant check; aborts with location info on failure.
+#define QOPT_DCHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr)) ::qopt::internal::DCheckFail(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define QOPT_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::qopt::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#define QOPT_CONCAT_IMPL(a, b) a##b
+#define QOPT_CONCAT(a, b) QOPT_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define QOPT_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto QOPT_CONCAT(_res_, __LINE__) = (rexpr);                  \
+  if (!QOPT_CONCAT(_res_, __LINE__).ok())                       \
+    return QOPT_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(QOPT_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace qopt
+
+#endif  // QOPT_COMMON_STATUS_H_

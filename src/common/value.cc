@@ -1,0 +1,94 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qopt {
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    // Compare in the int domain when both are ints to avoid precision loss.
+    if (type_ == TypeId::kInt64 && other.type_ == TypeId::kInt64) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsNumeric(), b = other.AsNumeric();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ != other.type_) {
+    return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+  }
+  switch (type_) {
+    case TypeId::kBool: {
+      bool a = AsBool(), b = other.AsBool();
+      return a == b ? 0 : (a ? 1 : -1);
+    }
+    case TypeId::kString:
+      return AsString().compare(other.AsString());
+    default:
+      return 0;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return 0xdeadbeefULL;
+    case TypeId::kBool:
+      return AsBool() ? 1 : 2;
+    case TypeId::kInt64: {
+      // Hash ints through double so that 3 and 3.0 collide with equality.
+      double d = static_cast<double>(AsInt());
+      if (d == std::floor(d) &&
+          std::abs(d) < 9.0e15) {  // representable exactly
+        return std::hash<int64_t>()(AsInt());
+      }
+      return std::hash<double>()(d);
+    }
+    case TypeId::kDouble: {
+      double d = AsDouble();
+      if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case TypeId::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case TypeId::kInt64:
+      return std::to_string(AsInt());
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case TypeId::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+std::string RowToString(const Row& row) {
+  std::string s = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) s += ", ";
+    s += row[i].ToString();
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace qopt

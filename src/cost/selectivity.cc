@@ -1,0 +1,297 @@
+#include "cost/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qopt::cost {
+
+using ast::BinaryOp;
+using plan::BExpr;
+using plan::BoundKind;
+using stats::ColumnStatsView;
+using stats::RelStats;
+
+namespace {
+
+// Selectivity of `col <op> constant` using the column's statistics.
+double ColumnConstantSelectivity(const ColumnStatsView* cs, BinaryOp op,
+                                 const Value& constant) {
+  if (constant.is_null()) return 0.0;  // comparisons with NULL never match
+  bool numeric = IsNumeric(constant.type());
+  double v = numeric ? constant.AsNumeric() : 0;
+
+  switch (op) {
+    case BinaryOp::kEq: {
+      if (cs == nullptr) return kDefaultEqSelectivity;
+      if (numeric && cs->histogram) return cs->histogram->SelectivityEq(v);
+      return (1.0 - cs->null_fraction) / std::max(1.0, cs->ndv);
+    }
+    case BinaryOp::kNe: {
+      double eq = ColumnConstantSelectivity(cs, BinaryOp::kEq, constant);
+      double nn = cs != nullptr ? 1.0 - cs->null_fraction : 1.0;
+      return std::max(0.0, nn - eq);
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kLe: {
+      if (cs == nullptr || !numeric) return kDefaultRangeSelectivity;
+      if (cs->histogram) {
+        return cs->histogram->SelectivityRange({}, v, true,
+                                               op == BinaryOp::kLe);
+      }
+      if (cs->min.has_value() && cs->max.has_value() &&
+          *cs->max > *cs->min) {
+        return std::clamp((v - *cs->min) / (*cs->max - *cs->min), 0.0, 1.0) *
+               (1.0 - cs->null_fraction);
+      }
+      return kDefaultRangeSelectivity;
+    }
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (cs == nullptr || !numeric) return kDefaultRangeSelectivity;
+      if (cs->histogram) {
+        return cs->histogram->SelectivityRange(v, {}, op == BinaryOp::kGe,
+                                               true);
+      }
+      if (cs->min.has_value() && cs->max.has_value() &&
+          *cs->max > *cs->min) {
+        return std::clamp((*cs->max - v) / (*cs->max - *cs->min), 0.0, 1.0) *
+               (1.0 - cs->null_fraction);
+      }
+      return kDefaultRangeSelectivity;
+    }
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+}  // namespace
+
+double EstimateSelectivity(const BExpr& pred, const RelStats& input) {
+  switch (pred->kind) {
+    case BoundKind::kLiteral:
+      if (pred->type == TypeId::kBool && !pred->literal.is_null()) {
+        return pred->literal.AsBool() ? 1.0 : 0.0;
+      }
+      return pred->literal.is_null() ? 0.0 : 1.0;
+    case BoundKind::kNot:
+      return std::clamp(1.0 - EstimateSelectivity(pred->children[0], input),
+                        0.0, 1.0);
+    case BoundKind::kIsNull: {
+      if (pred->children[0]->kind == BoundKind::kColumn) {
+        const ColumnStatsView* cs = input.column(pred->children[0]->column);
+        double nf = cs != nullptr ? cs->null_fraction : 0.05;
+        return pred->negated ? 1.0 - nf : nf;
+      }
+      return pred->negated ? 0.95 : 0.05;
+    }
+    case BoundKind::kInList: {
+      if (pred->children[0]->kind != BoundKind::kColumn) {
+        return kDefaultSelectivity;
+      }
+      const ColumnStatsView* cs = input.column(pred->children[0]->column);
+      double sel = 0;
+      for (size_t i = 1; i < pred->children.size(); ++i) {
+        if (pred->children[i]->kind != BoundKind::kLiteral) {
+          sel += kDefaultEqSelectivity;
+          continue;
+        }
+        sel += ColumnConstantSelectivity(cs, BinaryOp::kEq,
+                                         pred->children[i]->literal);
+      }
+      sel = std::min(1.0, sel);
+      return pred->negated ? 1.0 - sel : sel;
+    }
+    case BoundKind::kLike:
+      return kDefaultLikeSelectivity;
+    case BoundKind::kBinary: {
+      switch (pred->op) {
+        case BinaryOp::kAnd:
+          // Independence assumption (§5.1.3).
+          return EstimateSelectivity(pred->children[0], input) *
+                 EstimateSelectivity(pred->children[1], input);
+        case BinaryOp::kOr: {
+          double a = EstimateSelectivity(pred->children[0], input);
+          double b = EstimateSelectivity(pred->children[1], input);
+          return std::min(1.0, a + b - a * b);
+        }
+        default:
+          break;
+      }
+      // col <op> constant.
+      ColumnId col;
+      BinaryOp op;
+      Value constant;
+      if (plan::MatchColumnConstant(pred, &col, &op, &constant)) {
+        return ColumnConstantSelectivity(input.column(col), op, constant);
+      }
+      // col1 <op> col2.
+      const BExpr& a = pred->children[0];
+      const BExpr& b = pred->children[1];
+      if (a->kind == BoundKind::kColumn && b->kind == BoundKind::kColumn) {
+        const ColumnStatsView* ca = input.column(a->column);
+        const ColumnStatsView* cb = input.column(b->column);
+        if (pred->op == BinaryOp::kEq) {
+          double ndv = std::max(
+              {1.0, ca != nullptr ? ca->ndv : 0, cb != nullptr ? cb->ndv : 0});
+          return 1.0 / ndv;
+        }
+        return kDefaultRangeSelectivity;
+      }
+      return kDefaultSelectivity;
+    }
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+namespace {
+
+/// Column-constant conjunct in normalized form.
+struct ColConstPred {
+  size_t index;  // into the conjunct list
+  ColumnId col;
+  BinaryOp op;
+  double value;
+};
+
+// Bounds of a single normalized comparison for joint-histogram estimation.
+void PredBounds(const ColConstPred& p, std::optional<double>* lo,
+                std::optional<double>* hi) {
+  switch (p.op) {
+    case BinaryOp::kEq:
+      *lo = p.value;
+      *hi = p.value;
+      break;
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      *hi = p.value;
+      break;
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      *lo = p.value;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+double PredicateEvalCost(const BExpr& e) {
+  double cost = 1;
+  for (const BExpr& c : e->children) cost += PredicateEvalCost(c);
+  // String matching is disproportionately expensive per node.
+  if (e->kind == plan::BoundKind::kLike) cost += 8;
+  if (e->kind == plan::BoundKind::kCase) cost += 4;
+  return cost;
+}
+
+std::vector<BExpr> OrderConjunctsByRank(std::vector<BExpr> conjuncts,
+                                        const RelStats& input) {
+  std::stable_sort(conjuncts.begin(), conjuncts.end(),
+                   [&input](const BExpr& a, const BExpr& b) {
+                     double rank_a =
+                         (1.0 - EstimateSelectivity(a, input)) /
+                         PredicateEvalCost(a);
+                     double rank_b =
+                         (1.0 - EstimateSelectivity(b, input)) /
+                         PredicateEvalCost(b);
+                     return rank_a > rank_b;
+                   });
+  return conjuncts;
+}
+
+RelStats ApplyPredicateStats(const RelStats& input, const BExpr& pred) {
+  std::vector<BExpr> conjuncts;
+  plan::SplitConjuncts(pred, &conjuncts);
+  RelStats cur = input;
+
+  // Joint-histogram pre-pass (§5.1.1): pairs of column-constant conjuncts
+  // whose columns share a 2-D histogram are estimated jointly instead of
+  // under the independence assumption.
+  std::set<size_t> consumed;
+  if (!cur.joints.empty()) {
+    std::vector<ColConstPred> ccs;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      ColumnId col;
+      BinaryOp op;
+      Value constant;
+      if (plan::MatchColumnConstant(conjuncts[i], &col, &op, &constant) &&
+          !constant.is_null() && IsNumeric(constant.type()) &&
+          op != BinaryOp::kNe) {
+        ccs.push_back({i, col, op, constant.AsNumeric()});
+      }
+    }
+    for (size_t a = 0; a < ccs.size(); ++a) {
+      if (consumed.count(ccs[a].index)) continue;
+      for (size_t b = a + 1; b < ccs.size(); ++b) {
+        if (consumed.count(ccs[b].index)) continue;
+        const stats::Histogram2D* joint = cur.joint(ccs[a].col, ccs[b].col);
+        if (joint == nullptr) continue;
+        // Orient (x, y) to the joint histogram's (lower, higher) ColumnId.
+        const ColConstPred& x =
+            ccs[a].col < ccs[b].col ? ccs[a] : ccs[b];
+        const ColConstPred& y =
+            ccs[a].col < ccs[b].col ? ccs[b] : ccs[a];
+        double sel;
+        if (x.op == BinaryOp::kEq && y.op == BinaryOp::kEq) {
+          sel = joint->SelectivityEqEq(x.value, y.value);
+        } else {
+          std::optional<double> lx, hx, ly, hy;
+          PredBounds(x, &lx, &hx);
+          PredBounds(y, &ly, &hy);
+          sel = joint->SelectivityRange(lx, hx, ly, hy);
+        }
+        cur = stats::ApplyFilter(cur, std::clamp(sel, 0.0, 1.0));
+        // Metadata-only column adjustments (scaling already applied).
+        for (const ColConstPred* p : {&x, &y}) {
+          if (p->op == BinaryOp::kEq) {
+            cur = stats::ApplyColumnEq(cur, p->col, 1.0);
+          } else {
+            std::optional<double> lo, hi;
+            PredBounds(*p, &lo, &hi);
+            cur = stats::ApplyColumnRange(cur, p->col, 1.0, lo, hi);
+          }
+        }
+        consumed.insert(x.index);
+        consumed.insert(y.index);
+        break;  // a is consumed; move to the next unconsumed conjunct
+      }
+    }
+  }
+
+  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+    if (consumed.count(ci)) continue;
+    const BExpr& c = conjuncts[ci];
+    double sel = std::clamp(EstimateSelectivity(c, cur), 0.0, 1.0);
+    ColumnId col;
+    BinaryOp op;
+    Value constant;
+    if (plan::MatchColumnConstant(c, &col, &op, &constant) &&
+        !constant.is_null()) {
+      if (op == BinaryOp::kEq) {
+        cur = stats::ApplyColumnEq(cur, col, sel);
+        continue;
+      }
+      if (IsNumeric(constant.type())) {
+        double v = constant.AsNumeric();
+        switch (op) {
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+            cur = stats::ApplyColumnRange(cur, col, sel, {}, v);
+            continue;
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+            cur = stats::ApplyColumnRange(cur, col, sel, v, {});
+            continue;
+          default:
+            break;
+        }
+      }
+    }
+    cur = stats::ApplyFilter(cur, sel);
+  }
+  return cur;
+}
+
+}  // namespace qopt::cost

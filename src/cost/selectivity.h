@@ -1,0 +1,45 @@
+// Selectivity estimation for bound predicates over derived statistics
+// (paper Sections 5.1.1 and 5.1.3).
+//
+// Uses histograms when available, ndv/min-max otherwise, and falls back to
+// the System-R "ad-hoc constants" ([55]) when no statistics apply.
+// Conjunctions use the independence assumption; disjunctions use
+// inclusion-exclusion.
+#ifndef QOPT_COST_SELECTIVITY_H_
+#define QOPT_COST_SELECTIVITY_H_
+
+#include "plan/expr.h"
+#include "stats/derived_stats.h"
+
+namespace qopt::cost {
+
+/// System-R style magic constants used in the absence of statistics.
+inline constexpr double kDefaultEqSelectivity = 0.1;
+inline constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+inline constexpr double kDefaultLikeSelectivity = 0.1;
+inline constexpr double kDefaultSelectivity = 1.0 / 3.0;
+
+/// Estimated fraction of `input` rows satisfying `pred` (a boolean scalar
+/// predicate; no subqueries).
+double EstimateSelectivity(const plan::BExpr& pred,
+                           const stats::RelStats& input);
+
+/// Applies `pred` to `input`, returning the output stream's statistics:
+/// cardinality scaled by selectivity, per-column stats adjusted (§5.1.3).
+stats::RelStats ApplyPredicateStats(const stats::RelStats& input,
+                                    const plan::BExpr& pred);
+
+/// Modeled per-tuple evaluation cost of `e` (expression node count — the
+/// stand-in for user-defined-function cost declarations, §7.2).
+double PredicateEvalCost(const plan::BExpr& e);
+
+/// Orders conjuncts by descending rank = (1 - selectivity) / cost, the
+/// optimal ordering for a predicate pipeline (Hellerstein-Stonebraker
+/// [29], paper §7.2): cheap selective predicates first, expensive
+/// unselective ones last. Evaluation short-circuits in list order.
+std::vector<plan::BExpr> OrderConjunctsByRank(
+    std::vector<plan::BExpr> conjuncts, const stats::RelStats& input);
+
+}  // namespace qopt::cost
+
+#endif  // QOPT_COST_SELECTIVITY_H_

@@ -1,0 +1,267 @@
+#include "engine/database.h"
+
+#include "parser/parser.h"
+#include "plan/binder.h"
+
+namespace qopt {
+
+Status Database::Execute(const std::string& sql) {
+  QOPT_ASSIGN_OR_RETURN(ast::Statement stmt, parser::Parse(sql));
+  switch (stmt.kind) {
+    case ast::Statement::Kind::kCreateTable: {
+      const ast::CreateTableStatement& ct = *stmt.create_table;
+      std::vector<ColumnDef> cols;
+      int pk = -1;
+      for (size_t i = 0; i < ct.columns.size(); ++i) {
+        cols.push_back({ct.columns[i].first, ct.columns[i].second});
+        if (ct.columns[i].first == ct.primary_key) pk = static_cast<int>(i);
+      }
+      QOPT_ASSIGN_OR_RETURN(int table_id,
+                            catalog_.CreateTable(ct.name, cols, pk));
+      (void)table_id;
+      for (const auto& fk : ct.foreign_keys) {
+        QOPT_RETURN_IF_ERROR(catalog_.AddForeignKey(ct.name, fk.column,
+                                                    fk.ref_table,
+                                                    fk.ref_column));
+      }
+      return Status::OK();
+    }
+    case ast::Statement::Kind::kCreateIndex: {
+      const ast::CreateIndexStatement& ci = *stmt.create_index;
+      QOPT_ASSIGN_OR_RETURN(int id, catalog_.CreateIndex(ci.name, ci.table,
+                                                         ci.column,
+                                                         ci.clustered,
+                                                         ci.unique));
+      (void)id;
+      return Status::OK();
+    }
+    case ast::Statement::Kind::kCreateView:
+      return catalog_.CreateView(stmt.create_view->name,
+                                 stmt.create_view->body_sql);
+    case ast::Statement::Kind::kInsert: {
+      const ast::InsertStatement& ins = *stmt.insert;
+      const TableDef* def = catalog_.GetTable(ins.table);
+      if (def == nullptr) {
+        return Status::NotFound("no table '" + ins.table + "'");
+      }
+      Table* table = storage_.GetTable(def->id);
+      for (const std::vector<Value>& row : ins.rows) {
+        QOPT_RETURN_IF_ERROR(table->Append(row));
+      }
+      storage_.InvalidateIndexes(def->id);
+      return Status::OK();
+    }
+    case ast::Statement::Kind::kSelect:
+    case ast::Statement::Kind::kExplain:
+      return Status::InvalidArgument(
+          "use Query()/Explain() for SELECT statements");
+  }
+  return Status::Internal("unhandled statement");
+}
+
+Result<int> Database::CreateTable(const std::string& name,
+                                  std::vector<ColumnDef> columns,
+                                  int primary_key) {
+  return catalog_.CreateTable(name, std::move(columns), primary_key);
+}
+
+Result<int> Database::CreateIndex(const std::string& name,
+                                  const std::string& table,
+                                  const std::string& column, bool clustered,
+                                  bool unique) {
+  return catalog_.CreateIndex(name, table, column, clustered, unique);
+}
+
+Status Database::AddForeignKey(const std::string& table,
+                               const std::string& column,
+                               const std::string& ref_table,
+                               const std::string& ref_column) {
+  return catalog_.AddForeignKey(table, column, ref_table, ref_column);
+}
+
+Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
+  const TableDef* def = catalog_.GetTable(table);
+  if (def == nullptr) return Status::NotFound("no table '" + table + "'");
+  storage_.GetTable(def->id)->AppendUnchecked(std::move(rows));
+  storage_.InvalidateIndexes(def->id);
+  return Status::OK();
+}
+
+Status Database::Analyze(const std::string& table,
+                         const stats::StatsOptions& options) {
+  const TableDef* def = catalog_.GetTable(table);
+  if (def == nullptr) return Status::NotFound("no table '" + table + "'");
+  Table* t = storage_.GetTable(def->id);
+  catalog_.GetMutableTable(def->id)->stats = stats::BuildTableStats(*t,
+                                                                    options);
+  return Status::OK();
+}
+
+Status Database::AnalyzeAll(const stats::StatsOptions& options) {
+  for (size_t i = 0; i < catalog_.num_tables(); ++i) {
+    const TableDef* def = catalog_.GetTable(static_cast<int>(i));
+    QOPT_RETURN_IF_ERROR(Analyze(def->name, options));
+  }
+  return Status::OK();
+}
+
+Result<plan::BoundQuery> Database::BindSql(const std::string& sql,
+                                           int* next_rel_id) {
+  QOPT_ASSIGN_OR_RETURN(ast::Statement stmt, parser::Parse(sql));
+  if (stmt.kind != ast::Statement::Kind::kSelect &&
+      stmt.kind != ast::Statement::Kind::kExplain) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  int local = 0;
+  return plan::Bind(*stmt.select, catalog_,
+                    next_rel_id != nullptr ? next_rel_id : &local);
+}
+
+Result<exec::PhysPtr> Database::PlanQuery(const std::string& sql,
+                                          const QueryOptions& options,
+                                          opt::OptimizeInfo* info,
+                                          std::vector<std::string>* names) {
+  int next_rel_id = 0;
+  QOPT_ASSIGN_OR_RETURN(plan::BoundQuery bound, BindSql(sql, &next_rel_id));
+  if (names != nullptr) *names = bound.output_names;
+  if (options.naive_execution) {
+    // Normalize + push predicates down (System-R evaluates predicates as
+    // early as possible even in the unoptimized plan), but keep syntactic
+    // join order, nested-loop joins and tuple-iteration subqueries.
+    opt::RewriteResult rr = opt::RuleEngine::NormalizeOnly().Rewrite(
+        bound.root, catalog_, &next_rel_id);
+    return NaivePhysicalPlan(rr.plan, catalog_);
+  }
+  opt::Optimizer optimizer(catalog_, options.optimizer);
+  return optimizer.Optimize(bound.root, &next_rel_id, info);
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const QueryOptions& options) {
+  // EXPLAIN SELECT ... returns the rendered plan as a one-column result.
+  {
+    auto parsed = parser::Parse(sql);
+    if (parsed.ok() && parsed->kind == ast::Statement::Kind::kExplain) {
+      QOPT_ASSIGN_OR_RETURN(std::string text,
+                            Explain(parsed->select->ToString(), options));
+      QueryResult explain_result;
+      explain_result.column_names = {"plan"};
+      std::string line;
+      for (char c : text) {
+        if (c == '\n') {
+          explain_result.rows.push_back({Value::String(line)});
+          line.clear();
+        } else {
+          line += c;
+        }
+      }
+      if (!line.empty()) explain_result.rows.push_back({Value::String(line)});
+      return explain_result;
+    }
+  }
+  QueryResult result;
+  QOPT_ASSIGN_OR_RETURN(
+      exec::PhysPtr plan,
+      PlanQuery(sql, options, &result.optimize_info, &result.column_names));
+  exec::ExecContext ctx;
+  ctx.storage = &storage_;
+  ctx.catalog = &catalog_;
+  result.rows = exec::ExecuteAll(plan, &ctx);
+  result.exec_stats = ctx.stats;
+  return result;
+}
+
+Result<std::string> Database::Explain(const std::string& sql,
+                                      const QueryOptions& options) {
+  QOPT_ASSIGN_OR_RETURN(exec::PhysPtr plan, PlanQuery(sql, options));
+  return plan->ToString();
+}
+
+Result<exec::PhysPtr> NaivePhysicalPlan(const plan::LogicalPtr& op,
+                                        const Catalog& catalog) {
+  using plan::LogicalOpKind;
+  switch (op->kind) {
+    case LogicalOpKind::kGet: {
+      const TableDef* table = catalog.GetTable(op->table_id);
+      QOPT_DCHECK(table != nullptr);
+      return exec::MakeTableScan(op->table_id, op->rel_id, op->alias,
+                                 op->get_cols, nullptr);
+    }
+    case LogicalOpKind::kFilter: {
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr child,
+                            NaivePhysicalPlan(op->children[0], catalog));
+      return exec::MakeFilterExec(std::move(child), op->predicate);
+    }
+    case LogicalOpKind::kProject: {
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr child,
+                            NaivePhysicalPlan(op->children[0], catalog));
+      return exec::MakeProjectExec(std::move(child), op->proj_exprs,
+                                   op->proj_cols);
+    }
+    case LogicalOpKind::kJoin: {
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr left,
+                            NaivePhysicalPlan(op->children[0], catalog));
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr right,
+                            NaivePhysicalPlan(op->children[1], catalog));
+      return exec::MakeNestedLoopJoin(op->join_type, std::move(left),
+                                      std::move(right), op->predicate);
+    }
+    case LogicalOpKind::kAggregate: {
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr child,
+                            NaivePhysicalPlan(op->children[0], catalog));
+      std::vector<ColumnId> group_cols;
+      for (const plan::BExpr& g : op->group_by) group_cols.push_back(g->column);
+      return exec::MakeHashAggregate(std::move(child), group_cols, op->aggs,
+                                     op->OutputCols());
+    }
+    case LogicalOpKind::kDistinct: {
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr child,
+                            NaivePhysicalPlan(op->children[0], catalog));
+      return exec::MakeDistinctExec(std::move(child));
+    }
+    case LogicalOpKind::kSort: {
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr child,
+                            NaivePhysicalPlan(op->children[0], catalog));
+      return exec::MakeSortExec(std::move(child), op->sort_keys);
+    }
+    case LogicalOpKind::kLimit: {
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr child,
+                            NaivePhysicalPlan(op->children[0], catalog));
+      return exec::MakeLimitExec(std::move(child), op->limit);
+    }
+    case LogicalOpKind::kApply: {
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr left,
+                            NaivePhysicalPlan(op->children[0], catalog));
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr right,
+                            NaivePhysicalPlan(op->children[1], catalog));
+      return exec::MakeApplyExec(op->apply_type, std::move(left),
+                                 std::move(right), op->predicate,
+                                 op->correlated_cols, op->scalar_output,
+                                 op->scalar_type);
+    }
+    case LogicalOpKind::kUnion: {
+      std::vector<exec::PhysPtr> children;
+      for (const plan::LogicalPtr& c : op->children) {
+        QOPT_ASSIGN_OR_RETURN(exec::PhysPtr child,
+                              NaivePhysicalPlan(c, catalog));
+        children.push_back(std::move(child));
+      }
+      return exec::MakeUnionAllExec(std::move(children), op->proj_cols);
+    }
+    case LogicalOpKind::kExcept:
+    case LogicalOpKind::kIntersect: {
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr left,
+                            NaivePhysicalPlan(op->children[0], catalog));
+      QOPT_ASSIGN_OR_RETURN(exec::PhysPtr right,
+                            NaivePhysicalPlan(op->children[1], catalog));
+      return exec::MakeSetOpExec(op->kind == plan::LogicalOpKind::kExcept
+                                     ? exec::PhysOpKind::kHashExcept
+                                     : exec::PhysOpKind::kHashIntersect,
+                                 std::move(left), std::move(right),
+                                 op->proj_cols);
+    }
+  }
+  return Status::Internal("unhandled logical operator");
+}
+
+}  // namespace qopt

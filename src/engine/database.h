@@ -1,0 +1,100 @@
+// Database: the top-level facade tying together catalog, storage,
+// statistics, parser, binder, optimizer and executor.
+#ifndef QOPT_ENGINE_DATABASE_H_
+#define QOPT_ENGINE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/executors.h"
+#include "optimizer/optimizer.h"
+#include "stats/stats_builder.h"
+
+namespace qopt {
+
+/// Per-query knobs.
+struct QueryOptions {
+  opt::OptimizerOptions optimizer;
+  /// Bypass the optimizer entirely: execute the bound logical plan 1:1
+  /// (syntactic join order, nested-loop joins, tuple-iteration subqueries).
+  /// The correctness oracle for tests and the "unoptimized" baseline for
+  /// benchmarks.
+  bool naive_execution = false;
+};
+
+/// A query's results plus diagnostics.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+  exec::ExecStats exec_stats;
+  opt::OptimizeInfo optimize_info;
+
+  /// Pretty-printed table (for examples / debugging).
+  std::string ToString(size_t max_rows = 25) const;
+};
+
+/// An embedded single-threaded SQL database with a cost-based optimizer.
+class Database {
+ public:
+  Database() : storage_(&catalog_) {}
+
+  // --- DDL / DML (SQL) ---
+
+  /// Executes CREATE TABLE / CREATE INDEX / CREATE VIEW / INSERT.
+  Status Execute(const std::string& sql);
+
+  // --- Programmatic DDL / loading (workload generators) ---
+
+  Result<int> CreateTable(const std::string& name,
+                          std::vector<ColumnDef> columns,
+                          int primary_key = -1);
+  Result<int> CreateIndex(const std::string& name, const std::string& table,
+                          const std::string& column, bool clustered = false,
+                          bool unique = false);
+  Status AddForeignKey(const std::string& table, const std::string& column,
+                       const std::string& ref_table,
+                       const std::string& ref_column);
+  Status BulkLoad(const std::string& table, std::vector<Row> rows);
+
+  /// Collects statistics for one table / all tables (paper §5.1).
+  Status Analyze(const std::string& table,
+                 const stats::StatsOptions& options = {});
+  Status AnalyzeAll(const stats::StatsOptions& options = {});
+
+  // --- Queries ---
+
+  /// Parses, binds, optimizes and executes a SELECT.
+  Result<QueryResult> Query(const std::string& sql,
+                            const QueryOptions& options = {});
+
+  /// Returns the physical plan chosen for `sql` without executing it.
+  Result<exec::PhysPtr> PlanQuery(const std::string& sql,
+                                  const QueryOptions& options = {},
+                                  opt::OptimizeInfo* info = nullptr,
+                                  std::vector<std::string>* names = nullptr);
+
+  /// EXPLAIN: rendered physical plan with cost annotations.
+  Result<std::string> Explain(const std::string& sql,
+                              const QueryOptions& options = {});
+
+  /// Binds `sql` to a logical plan (tests / tooling).
+  Result<plan::BoundQuery> BindSql(const std::string& sql,
+                                   int* next_rel_id = nullptr);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  Storage& storage() { return storage_; }
+
+ private:
+  Catalog catalog_;
+  Storage storage_;
+};
+
+/// Direct 1:1 translation of a logical plan to executors (no optimization);
+/// exposed for tests and benchmarks.
+Result<exec::PhysPtr> NaivePhysicalPlan(const plan::LogicalPtr& op,
+                                        const Catalog& catalog);
+
+}  // namespace qopt
+
+#endif  // QOPT_ENGINE_DATABASE_H_

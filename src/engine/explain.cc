@@ -1,0 +1,49 @@
+#include <algorithm>
+
+#include "engine/database.h"
+
+namespace qopt {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  // Compute column widths.
+  std::vector<size_t> widths;
+  for (const std::string& name : column_names) widths.push_back(name.size());
+  size_t shown = std::min(max_rows, rows.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      std::string s = rows[r][c].ToString();
+      if (c < widths.size()) widths[c] = std::max(widths[c], s.size());
+      row.push_back(std::move(s));
+    }
+    cells.push_back(std::move(row));
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w > s.size() ? w - s.size() : 0, ' ');
+  };
+  std::string out;
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    out += (c ? " | " : "") + pad(column_names[c], widths[c]);
+  }
+  out += "\n";
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    out += (c ? "-+-" : "") + std::string(widths[c], '-');
+  }
+  out += "\n";
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      size_t w = c < widths.size() ? widths[c] : row[c].size();
+      out += (c ? " | " : "") + pad(row[c], w);
+    }
+    out += "\n";
+  }
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  } else {
+    out += "(" + std::to_string(rows.size()) + " rows)\n";
+  }
+  return out;
+}
+
+}  // namespace qopt

@@ -1,0 +1,159 @@
+#include "engine/parametric.h"
+#include <set>
+
+#include <cmath>
+
+namespace qopt {
+
+namespace {
+
+void SignatureRec(const exec::PhysPtr& p, std::string* out) {
+  *out += exec::PhysOpKindName(p->kind);
+  switch (p->kind) {
+    case exec::PhysOpKind::kTableScan:
+      *out += "(" + p->alias + ")";
+      break;
+    case exec::PhysOpKind::kIndexScan:
+      *out += "(" + p->alias + ",idx" + std::to_string(p->index_id) +
+              (p->lo.has_value() || p->hi.has_value() ? ",bounded" : ",full") +
+              ")";
+      break;
+    case exec::PhysOpKind::kIndexNestedLoopJoin:
+    case exec::PhysOpKind::kMergeJoin:
+    case exec::PhysOpKind::kHashJoin:
+      *out += "(" + p->left_key.ToString() + "=" + p->right_key.ToString() +
+              ")";
+      break;
+    default:
+      break;
+  }
+  if (!p->children.empty()) {
+    *out += "[";
+    for (size_t i = 0; i < p->children.size(); ++i) {
+      if (i) *out += ",";
+      SignatureRec(p->children[i], out);
+    }
+    *out += "]";
+  }
+}
+
+}  // namespace
+
+std::string PlanSignature(const exec::PhysPtr& plan) {
+  std::string out;
+  SignatureRec(plan, &out);
+  return out;
+}
+
+const PlanInterval& ParametricPlan::Choose(double value) const {
+  QOPT_DCHECK(!intervals.empty());
+  for (const PlanInterval& piece : intervals) {
+    if (value <= piece.hi) return piece;
+  }
+  return intervals.back();
+}
+
+int ParametricPlan::DistinctPlans() const {
+  std::set<std::string> sigs;
+  for (const PlanInterval& piece : intervals) sigs.insert(piece.signature);
+  return static_cast<int>(sigs.size());
+}
+
+std::string ParametricPlan::ToString() const {
+  std::string out;
+  for (const PlanInterval& piece : intervals) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "[%.4g, %.4g]  cost %.1f..%.1f  ",
+                  piece.lo, piece.hi, piece.cost_at_lo, piece.cost_at_hi);
+    out += buf;
+    out += piece.signature + "\n";
+  }
+  return out;
+}
+
+Result<ParametricPlan> ParametricOptimize(
+    Database* db, const std::function<std::string(double)>& sql_for,
+    const ParametricOptions& options) {
+  if (options.hi <= options.lo || options.initial_samples < 2) {
+    return Status::InvalidArgument("bad parametric sweep range");
+  }
+
+  struct Sample {
+    double v;
+    std::string sig;
+    exec::PhysPtr plan;
+    double cost;
+  };
+  auto sample_at = [&](double v) -> Result<Sample> {
+    opt::OptimizeInfo info;
+    QOPT_ASSIGN_OR_RETURN(
+        exec::PhysPtr plan,
+        db->PlanQuery(sql_for(v), options.query_options, &info));
+    Sample s;
+    s.v = v;
+    s.sig = PlanSignature(plan);
+    s.plan = std::move(plan);
+    s.cost = info.chosen_cost;
+    return s;
+  };
+
+  // Coarse sweep.
+  std::vector<Sample> samples;
+  for (int i = 0; i < options.initial_samples; ++i) {
+    double v = options.lo + (options.hi - options.lo) * i /
+                                (options.initial_samples - 1);
+    QOPT_ASSIGN_OR_RETURN(Sample s, sample_at(v));
+    samples.push_back(std::move(s));
+  }
+
+  // Refine each boundary where the signature changes by bisection.
+  double min_width = (options.hi - options.lo) * options.refine_tolerance;
+  std::vector<Sample> refined;
+  refined.push_back(samples[0]);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    Sample left = refined.back();
+    Sample right = samples[i];
+    while (left.sig != right.sig && right.v - left.v > min_width) {
+      double mid = (left.v + right.v) / 2;
+      QOPT_ASSIGN_OR_RETURN(Sample m, sample_at(mid));
+      if (m.sig == left.sig) {
+        left = std::move(m);
+      } else {
+        right = std::move(m);
+      }
+    }
+    // Keep both narrowed endpoints: `left` extends the previous piece up
+    // to the boundary, `right` opens the next one.
+    if (left.v > refined.back().v) refined.push_back(left);
+    refined.push_back(right);
+  }
+
+  // Collapse consecutive samples with equal signatures into intervals.
+  ParametricPlan result;
+  PlanInterval cur;
+  cur.lo = refined[0].v;
+  cur.hi = refined[0].v;
+  cur.signature = refined[0].sig;
+  cur.plan = refined[0].plan;
+  cur.cost_at_lo = refined[0].cost;
+  cur.cost_at_hi = refined[0].cost;
+  for (size_t i = 1; i < refined.size(); ++i) {
+    if (refined[i].sig == cur.signature) {
+      cur.hi = refined[i].v;
+      cur.cost_at_hi = refined[i].cost;
+      continue;
+    }
+    result.intervals.push_back(cur);
+    cur = PlanInterval();
+    cur.lo = result.intervals.back().hi;
+    cur.hi = refined[i].v;
+    cur.signature = refined[i].sig;
+    cur.plan = refined[i].plan;
+    cur.cost_at_lo = refined[i].cost;
+    cur.cost_at_hi = refined[i].cost;
+  }
+  result.intervals.push_back(cur);
+  return result;
+}
+
+}  // namespace qopt

@@ -1,0 +1,68 @@
+// Parametric query optimization (paper §7.4, after Ioannidis-Ng-Shim-
+// Sellis [33] and Graefe-Ward's dynamic plans [19]): "being able to defer
+// generation of complete plans subject to availability of runtime
+// information".
+//
+// The optimizer is run over a sweep of a numeric parameter (e.g. the
+// constant of a range predicate). Sample points where the chosen plan's
+// *structure* changes are refined by bisection into a piecewise-optimal
+// plan: a list of parameter intervals, each with the plan that is optimal
+// throughout it. At runtime, Choose(value) picks the right piece — the
+// "choose-plan" operator of dynamic query evaluation plans.
+#ifndef QOPT_ENGINE_PARAMETRIC_H_
+#define QOPT_ENGINE_PARAMETRIC_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace qopt {
+
+/// One piece of a piecewise-optimal parametric plan.
+struct PlanInterval {
+  double lo = 0;            ///< Parameter range [lo, hi] this piece covers.
+  double hi = 0;
+  std::string signature;    ///< Structural signature of the optimal plan.
+  exec::PhysPtr plan;       ///< Plan optimized at a point inside the range.
+  double cost_at_lo = 0;    ///< Estimated cost at the sampled endpoints.
+  double cost_at_hi = 0;
+};
+
+/// A parametric plan: intervals in increasing parameter order.
+struct ParametricPlan {
+  std::vector<PlanInterval> intervals;
+
+  /// The piece covering `value` (clamped to the sweep range).
+  const PlanInterval& Choose(double value) const;
+
+  /// Number of structurally distinct plans across the range.
+  int DistinctPlans() const;
+
+  std::string ToString() const;
+};
+
+/// Options for the parameter sweep.
+struct ParametricOptions {
+  double lo = 0;
+  double hi = 1;
+  int initial_samples = 9;       ///< Coarse sweep grid.
+  double refine_tolerance = 1e-3;  ///< Bisection width (fraction of range).
+  QueryOptions query_options;
+};
+
+/// Structural signature of a physical plan: operator kinds, access paths
+/// and join keys, ignoring cost annotations and literal constants.
+std::string PlanSignature(const exec::PhysPtr& plan);
+
+/// Optimizes `sql_for(v)` across the parameter range, returning the
+/// piecewise-optimal plan. `sql_for` must produce the same query shape for
+/// every v (only literals may differ).
+Result<ParametricPlan> ParametricOptimize(
+    Database* db, const std::function<std::string(double)>& sql_for,
+    const ParametricOptions& options);
+
+}  // namespace qopt
+
+#endif  // QOPT_ENGINE_PARAMETRIC_H_

@@ -1,0 +1,244 @@
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "exec/executors_internal.h"
+
+namespace qopt::exec::internal {
+
+namespace {
+
+using ast::AggFunc;
+
+/// Accumulator for one aggregate function instance.
+class AggAcc {
+ public:
+  explicit AggAcc(const plan::AggItem* item) : item_(item) {}
+
+  void Accumulate(const Value& v) {
+    if (item_->func == AggFunc::kCountStar) {
+      ++count_;
+      return;
+    }
+    if (v.is_null()) return;
+    if (item_->distinct && !distinct_.insert(v).second) return;
+    ++count_;
+    switch (item_->func) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        sum_ += v.AsNumeric();
+        if (v.type() == TypeId::kInt64) isum_ += v.AsInt();
+        else all_int_ = false;
+        break;
+      case AggFunc::kMin:
+        if (min_.is_null() || v.Compare(min_) < 0) min_ = v;
+        break;
+      case AggFunc::kMax:
+        if (max_.is_null() || v.Compare(max_) > 0) max_ = v;
+        break;
+      default:
+        break;
+    }
+  }
+
+  Value Finalize() const {
+    switch (item_->func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        return Value::Int(count_);
+      case AggFunc::kSum:
+        if (count_ == 0) return Value::Null();
+        return all_int_ ? Value::Int(isum_) : Value::Double(sum_);
+      case AggFunc::kAvg:
+        if (count_ == 0) return Value::Null();
+        return Value::Double(sum_ / static_cast<double>(count_));
+      case AggFunc::kMin:
+        return min_;
+      case AggFunc::kMax:
+        return max_;
+    }
+    return Value::Null();
+  }
+
+ private:
+  const plan::AggItem* item_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  int64_t isum_ = 0;
+  bool all_int_ = true;
+  Value min_, max_;
+  std::set<Value> distinct_;
+};
+
+/// Group state: key values + one accumulator per aggregate.
+struct Group {
+  std::vector<AggAcc> accs;
+};
+
+/// Common machinery: grouping keys extraction and result materialization.
+class AggregateExecBase : public Executor {
+ public:
+  AggregateExecBase(const PhysicalPlan* plan, ExecContext* ctx,
+                    std::unique_ptr<Executor> child)
+      : Executor(plan, ctx), child_(std::move(child)) {}
+
+ protected:
+  void ResolveKeyPositions() {
+    key_pos_.clear();
+    for (ColumnId id : plan_->group_by) {
+      auto it = child_->colmap().find(id);
+      QOPT_DCHECK(it != child_->colmap().end());
+      key_pos_.push_back(it->second);
+    }
+  }
+
+  Row KeyOf(const Row& in) const {
+    Row key;
+    key.reserve(key_pos_.size());
+    for (int p : key_pos_) key.push_back(in[p]);
+    return key;
+  }
+
+  void Accumulate(Group* g, const Row& in) const {
+    EvalContext ev{&child_->colmap(), &in, &ctx_->params};
+    for (size_t i = 0; i < plan_->aggs.size(); ++i) {
+      const plan::AggItem& item = plan_->aggs[i];
+      if (item.func == AggFunc::kCountStar) {
+        g->accs[i].Accumulate(Value::Null());
+      } else {
+        g->accs[i].Accumulate(EvalExpr(*item.arg, ev));
+      }
+    }
+  }
+
+  Group NewGroup() const {
+    Group g;
+    for (const plan::AggItem& item : plan_->aggs) g.accs.emplace_back(&item);
+    return g;
+  }
+
+  Row FinalizeRow(const Row& key, const Group& g) const {
+    Row out = key;
+    for (const AggAcc& acc : g.accs) out.push_back(acc.Finalize());
+    return out;
+  }
+
+  std::unique_ptr<Executor> child_;
+  std::vector<int> key_pos_;
+};
+
+class HashAggregateExec : public AggregateExecBase {
+ public:
+  using AggregateExecBase::AggregateExecBase;
+
+  void Init() override {
+    child_->Init();
+    ResolveKeyPositions();
+    results_.clear();
+    pos_ = 0;
+
+    std::unordered_map<Row, Group, RowHash, RowEq> groups;
+    Row in;
+    // Preserve first-seen group order for deterministic output.
+    std::vector<const Row*> order;
+    while (child_->Next(&in)) {
+      Row key = KeyOf(in);
+      auto [it, inserted] = groups.emplace(std::move(key), NewGroup());
+      if (inserted) order.push_back(&it->first);
+      Accumulate(&it->second, in);
+    }
+    if (groups.empty() && plan_->group_by.empty()) {
+      // Scalar aggregate over empty input still yields one row
+      // (COUNT(*) = 0, SUM = NULL, ...).
+      Group g = NewGroup();
+      results_.push_back(FinalizeRow({}, g));
+      return;
+    }
+    for (const Row* key : order) {
+      results_.push_back(FinalizeRow(*key, groups.at(*key)));
+    }
+  }
+
+  bool Next(Row* out) override {
+    if (pos_ >= results_.size()) return false;
+    *out = results_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+/// Streaming aggregation over input sorted by the grouping columns: emits a
+/// group when the key changes (exploits interesting orders, §3).
+class StreamAggregateExec : public AggregateExecBase {
+ public:
+  using AggregateExecBase::AggregateExecBase;
+
+  void Init() override {
+    child_->Init();
+    ResolveKeyPositions();
+    done_ = false;
+    has_current_ = false;
+    produced_any_ = false;
+  }
+
+  bool Next(Row* out) override {
+    if (done_) return false;
+    Row in;
+    while (child_->Next(&in)) {
+      Row key = KeyOf(in);
+      if (!has_current_) {
+        current_key_ = std::move(key);
+        current_ = NewGroup();
+        has_current_ = true;
+        Accumulate(&current_, in);
+        continue;
+      }
+      if (RowEq()(key, current_key_)) {
+        Accumulate(&current_, in);
+        continue;
+      }
+      *out = FinalizeRow(current_key_, current_);
+      produced_any_ = true;
+      current_key_ = std::move(key);
+      current_ = NewGroup();
+      Accumulate(&current_, in);
+      return true;
+    }
+    done_ = true;
+    if (has_current_) {
+      *out = FinalizeRow(current_key_, current_);
+      produced_any_ = true;
+      return true;
+    }
+    if (!produced_any_ && plan_->group_by.empty()) {
+      Group g = NewGroup();
+      *out = FinalizeRow({}, g);
+      produced_any_ = true;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  bool done_ = false;
+  bool has_current_ = false;
+  bool produced_any_ = false;
+  Row current_key_;
+  Group current_{};
+};
+
+}  // namespace
+
+std::unique_ptr<Executor> NewAggregateExec(const PhysicalPlan* plan,
+                                           ExecContext* ctx,
+                                           std::unique_ptr<Executor> child) {
+  if (plan->kind == PhysOpKind::kHashAggregate) {
+    return std::make_unique<HashAggregateExec>(plan, ctx, std::move(child));
+  }
+  return std::make_unique<StreamAggregateExec>(plan, ctx, std::move(child));
+}
+
+}  // namespace qopt::exec::internal

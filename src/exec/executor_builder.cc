@@ -1,0 +1,76 @@
+#include "exec/executors_internal.h"
+
+namespace qopt::exec {
+
+std::unique_ptr<Executor> BuildExecutor(const PhysPtr& plan,
+                                        ExecContext* ctx) {
+  using internal::NewAggregateExec;
+  using internal::NewApplyExec;
+  using internal::NewDistinctExec;
+  using internal::NewFilterExec;
+  using internal::NewJoinExec;
+  using internal::NewLimitExec;
+  using internal::NewProjectExec;
+  using internal::NewScanExec;
+  using internal::NewSortExec;
+
+  switch (plan->kind) {
+    case PhysOpKind::kTableScan:
+    case PhysOpKind::kIndexScan:
+      return NewScanExec(plan.get(), ctx);
+    case PhysOpKind::kFilter:
+      return NewFilterExec(plan.get(), ctx,
+                           BuildExecutor(plan->children[0], ctx));
+    case PhysOpKind::kProject:
+      return NewProjectExec(plan.get(), ctx,
+                            BuildExecutor(plan->children[0], ctx));
+    case PhysOpKind::kSort:
+      return NewSortExec(plan.get(), ctx,
+                         BuildExecutor(plan->children[0], ctx));
+    case PhysOpKind::kDistinct:
+      return NewDistinctExec(plan.get(), ctx,
+                             BuildExecutor(plan->children[0], ctx));
+    case PhysOpKind::kLimit:
+      return NewLimitExec(plan.get(), ctx,
+                          BuildExecutor(plan->children[0], ctx));
+    case PhysOpKind::kNestedLoopJoin:
+    case PhysOpKind::kIndexNestedLoopJoin:
+    case PhysOpKind::kMergeJoin:
+    case PhysOpKind::kHashJoin:
+      return NewJoinExec(plan.get(), ctx, BuildExecutor(plan->children[0], ctx),
+                         BuildExecutor(plan->children[1], ctx));
+    case PhysOpKind::kApply:
+      return NewApplyExec(plan.get(), ctx,
+                          BuildExecutor(plan->children[0], ctx),
+                          BuildExecutor(plan->children[1], ctx));
+    case PhysOpKind::kHashAggregate:
+    case PhysOpKind::kStreamAggregate:
+      return NewAggregateExec(plan.get(), ctx,
+                              BuildExecutor(plan->children[0], ctx));
+    case PhysOpKind::kUnionAll: {
+      std::vector<std::unique_ptr<Executor>> children;
+      for (const PhysPtr& c : plan->children) {
+        children.push_back(BuildExecutor(c, ctx));
+      }
+      return internal::NewUnionAllExec(plan.get(), ctx, std::move(children));
+    }
+    case PhysOpKind::kHashExcept:
+    case PhysOpKind::kHashIntersect:
+      return internal::NewHashSetOpExec(plan.get(), ctx,
+                                        BuildExecutor(plan->children[0], ctx),
+                                        BuildExecutor(plan->children[1], ctx));
+  }
+  QOPT_DCHECK(false);
+  return nullptr;
+}
+
+std::vector<Row> ExecuteAll(const PhysPtr& plan, ExecContext* ctx) {
+  std::unique_ptr<Executor> exec = BuildExecutor(plan, ctx);
+  exec->Init();
+  std::vector<Row> rows;
+  Row r;
+  while (exec->Next(&r)) rows.push_back(std::move(r));
+  return rows;
+}
+
+}  // namespace qopt::exec

@@ -1,0 +1,315 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "exec/executors_internal.h"
+
+namespace qopt::exec::internal {
+
+namespace {
+
+/// Sequential or index-range scan over a base table with an optional
+/// residual filter.
+class ScanExec : public Executor {
+ public:
+  ScanExec(const PhysicalPlan* plan, ExecContext* ctx) : Executor(plan, ctx) {}
+
+  void Init() override {
+    table_ = ctx_->storage->GetTable(plan_->table_id);
+    QOPT_DCHECK(table_ != nullptr);
+    pos_ = 0;
+    if (plan_->kind == PhysOpKind::kIndexScan) {
+      const SortedIndex* index =
+          ctx_->storage->GetSortedIndex(plan_->index_id);
+      QOPT_DCHECK(index != nullptr);
+      std::optional<IndexBound> lo, hi;
+      if (plan_->lo.has_value()) {
+        lo = IndexBound{plan_->lo->value, plan_->lo->inclusive};
+      }
+      if (plan_->hi.has_value()) {
+        hi = IndexBound{plan_->hi->value, plan_->hi->inclusive};
+      }
+      row_ids_ = index->RangeScan(lo, hi);
+      use_ids_ = true;
+      // Root/inner B-tree path pages.
+      for (double level = 0; level < index->tree_height(); ++level) {
+        ctx_->TouchPage(BufferPoolSim::IndexPage(
+            plan_->index_id, static_cast<uint64_t>(level)));
+      }
+    } else {
+      use_ids_ = false;
+    }
+  }
+
+  bool Next(Row* out) override {
+    size_t n = use_ids_ ? row_ids_.size() : table_->num_rows();
+    double rows = std::max<double>(1.0, static_cast<double>(table_->num_rows()));
+    while (pos_ < n) {
+      uint32_t rid = use_ids_ ? row_ids_[pos_] : static_cast<uint32_t>(pos_);
+      const Row& row = table_->row(rid);
+      if (use_ids_) {
+        // Leaf page along the scan, then the row's data page.
+        ctx_->TouchPage(BufferPoolSim::IndexPage(
+            plan_->index_id, 1000 + pos_ / 256));
+      }
+      uint64_t data_page = static_cast<uint64_t>(
+          static_cast<double>(rid) * table_->num_pages() / rows);
+      ctx_->TouchPage(BufferPoolSim::DataPage(plan_->table_id, data_page));
+      ++pos_;
+      ++ctx_->stats.rows_scanned;
+      if (!plan_->predicate || EvalPredicate(plan_->predicate, MakeEval(row))) {
+        *out = row;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const Table* table_ = nullptr;
+  std::vector<uint32_t> row_ids_;
+  bool use_ids_ = false;
+  size_t pos_ = 0;
+};
+
+class FilterExec : public Executor {
+ public:
+  FilterExec(const PhysicalPlan* plan, ExecContext* ctx,
+             std::unique_ptr<Executor> child)
+      : Executor(plan, ctx), child_(std::move(child)) {}
+
+  void Init() override { child_->Init(); }
+
+  bool Next(Row* out) override {
+    while (child_->Next(out)) {
+      if (EvalPredicate(plan_->predicate, MakeEval(*out))) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+};
+
+class ProjectExec : public Executor {
+ public:
+  ProjectExec(const PhysicalPlan* plan, ExecContext* ctx,
+              std::unique_ptr<Executor> child)
+      : Executor(plan, ctx), child_(std::move(child)) {}
+
+  void Init() override { child_->Init(); }
+
+  bool Next(Row* out) override {
+    Row in;
+    if (!child_->Next(&in)) return false;
+    EvalContext ev{&child_->colmap(), &in, &ctx_->params};
+    out->clear();
+    out->reserve(plan_->proj_exprs.size());
+    for (const plan::BExpr& e : plan_->proj_exprs) {
+      out->push_back(EvalExpr(*e, ev));
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+};
+
+class SortExec : public Executor {
+ public:
+  SortExec(const PhysicalPlan* plan, ExecContext* ctx,
+           std::unique_ptr<Executor> child)
+      : Executor(plan, ctx), child_(std::move(child)) {}
+
+  void Init() override {
+    child_->Init();
+    rows_.clear();
+    Row r;
+    while (child_->Next(&r)) rows_.push_back(std::move(r));
+    // Resolve key positions in the child's layout (same as ours).
+    std::vector<std::pair<int, bool>> keys;
+    for (const plan::SortKey& k : plan_->sort_keys) {
+      auto it = colmap_.find(k.column);
+      QOPT_DCHECK(it != colmap_.end());
+      keys.emplace_back(it->second, k.ascending);
+    }
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [&keys](const Row& a, const Row& b) {
+                       for (const auto& [pos, asc] : keys) {
+                         int c = a[pos].Compare(b[pos]);
+                         if (c != 0) return asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+    pos_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class DistinctExec : public Executor {
+ public:
+  DistinctExec(const PhysicalPlan* plan, ExecContext* ctx,
+               std::unique_ptr<Executor> child)
+      : Executor(plan, ctx), child_(std::move(child)) {}
+
+  void Init() override {
+    child_->Init();
+    seen_.clear();
+  }
+
+  bool Next(Row* out) override {
+    while (child_->Next(out)) {
+      if (seen_.insert(*out).second) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+class UnionAllExec : public Executor {
+ public:
+  UnionAllExec(const PhysicalPlan* plan, ExecContext* ctx,
+               std::vector<std::unique_ptr<Executor>> children)
+      : Executor(plan, ctx), children_(std::move(children)) {}
+
+  void Init() override {
+    for (auto& c : children_) c->Init();
+    current_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    while (current_ < children_.size()) {
+      if (children_[current_]->Next(out)) return true;
+      ++current_;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Executor>> children_;
+  size_t current_ = 0;
+};
+
+/// EXCEPT / INTERSECT: hashes the right input, streams distinct left rows
+/// filtered by (non-)membership. Set semantics per the SQL standard.
+class HashSetOpExec : public Executor {
+ public:
+  HashSetOpExec(const PhysicalPlan* plan, ExecContext* ctx,
+                std::unique_ptr<Executor> left,
+                std::unique_ptr<Executor> right)
+      : Executor(plan, ctx),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  void Init() override {
+    left_->Init();
+    right_->Init();
+    right_rows_.clear();
+    emitted_.clear();
+    Row r;
+    while (right_->Next(&r)) right_rows_.insert(std::move(r));
+  }
+
+  bool Next(Row* out) override {
+    bool want_member = plan_->kind == PhysOpKind::kHashIntersect;
+    while (left_->Next(out)) {
+      if ((right_rows_.count(*out) > 0) != want_member) continue;
+      if (emitted_.insert(*out).second) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<Executor> left_;
+  std::unique_ptr<Executor> right_;
+  std::unordered_set<Row, RowHash, RowEq> right_rows_;
+  std::unordered_set<Row, RowHash, RowEq> emitted_;
+};
+
+class LimitExec : public Executor {
+ public:
+  LimitExec(const PhysicalPlan* plan, ExecContext* ctx,
+            std::unique_ptr<Executor> child)
+      : Executor(plan, ctx), child_(std::move(child)) {}
+
+  void Init() override {
+    child_->Init();
+    produced_ = 0;
+  }
+
+  bool Next(Row* out) override {
+    if (produced_ >= plan_->limit) return false;
+    if (!child_->Next(out)) return false;
+    ++produced_;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  int64_t produced_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Executor> NewScanExec(const PhysicalPlan* plan,
+                                      ExecContext* ctx) {
+  return std::make_unique<ScanExec>(plan, ctx);
+}
+
+std::unique_ptr<Executor> NewFilterExec(const PhysicalPlan* plan,
+                                        ExecContext* ctx,
+                                        std::unique_ptr<Executor> child) {
+  return std::make_unique<FilterExec>(plan, ctx, std::move(child));
+}
+
+std::unique_ptr<Executor> NewProjectExec(const PhysicalPlan* plan,
+                                         ExecContext* ctx,
+                                         std::unique_ptr<Executor> child) {
+  return std::make_unique<ProjectExec>(plan, ctx, std::move(child));
+}
+
+std::unique_ptr<Executor> NewSortExec(const PhysicalPlan* plan,
+                                      ExecContext* ctx,
+                                      std::unique_ptr<Executor> child) {
+  return std::make_unique<SortExec>(plan, ctx, std::move(child));
+}
+
+std::unique_ptr<Executor> NewDistinctExec(const PhysicalPlan* plan,
+                                          ExecContext* ctx,
+                                          std::unique_ptr<Executor> child) {
+  return std::make_unique<DistinctExec>(plan, ctx, std::move(child));
+}
+
+std::unique_ptr<Executor> NewLimitExec(const PhysicalPlan* plan,
+                                       ExecContext* ctx,
+                                       std::unique_ptr<Executor> child) {
+  return std::make_unique<LimitExec>(plan, ctx, std::move(child));
+}
+
+std::unique_ptr<Executor> NewUnionAllExec(
+    const PhysicalPlan* plan, ExecContext* ctx,
+    std::vector<std::unique_ptr<Executor>> children) {
+  return std::make_unique<UnionAllExec>(plan, ctx, std::move(children));
+}
+
+std::unique_ptr<Executor> NewHashSetOpExec(const PhysicalPlan* plan,
+                                           ExecContext* ctx,
+                                           std::unique_ptr<Executor> left,
+                                           std::unique_ptr<Executor> right) {
+  return std::make_unique<HashSetOpExec>(plan, ctx, std::move(left),
+                                         std::move(right));
+}
+
+}  // namespace qopt::exec::internal

@@ -1,0 +1,123 @@
+// Volcano-style iterator execution engine (paper Section 2: "physical
+// operators are pieces of code used as building blocks for execution").
+//
+// Each PhysicalPlan node maps to an Executor producing Rows via
+// Init()/Next(). Init() may be called again to rescan (used by the Apply
+// operator, which re-executes its inner subtree per outer tuple — the
+// tuple-iteration semantics of §4.2.2).
+#ifndef QOPT_EXEC_EXECUTORS_H_
+#define QOPT_EXEC_EXECUTORS_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "exec/expr_eval.h"
+#include "exec/physical_plan.h"
+#include "storage/storage.h"
+
+namespace qopt::exec {
+
+/// Observed execution counters, used to validate the cost model (E17).
+struct ExecStats {
+  double modeled_pages_read = 0;  ///< Buffer-pool MISSES (modeled I/O).
+  uint64_t page_touches = 0;      ///< All page accesses, hit or miss.
+  uint64_t rows_scanned = 0;      ///< Base rows read by scans.
+  uint64_t index_lookups = 0;
+  uint64_t rows_joined = 0;       ///< Join output rows.
+  uint64_t subquery_executions = 0;  ///< Apply inner re-executions.
+};
+
+/// LRU buffer-pool simulator: execution counts a modeled page read only on
+/// a miss, mirroring the buffer-utilization modeling the paper calls out
+/// as key to accurate cost estimation (§5.2, after [40]).
+class BufferPoolSim {
+ public:
+  explicit BufferPoolSim(size_t capacity = 512) : capacity_(capacity) {}
+
+  /// Accesses `page_key`; returns true on a miss (page was not resident).
+  bool Touch(uint64_t page_key) {
+    auto it = map_.find(page_key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return false;
+    }
+    lru_.push_front(page_key);
+    map_[page_key] = lru_.begin();
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return true;
+  }
+
+  /// Page-key namespaces.
+  static uint64_t DataPage(int table_id, uint64_t page) {
+    return (1ULL << 62) | (static_cast<uint64_t>(table_id) << 40) | page;
+  }
+  static uint64_t IndexPage(int index_id, uint64_t page) {
+    return (2ULL << 62) | (static_cast<uint64_t>(index_id) << 40) | page;
+  }
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+};
+
+/// Shared execution state: storage handles, correlated parameters and
+/// counters.
+struct ExecContext {
+  Storage* storage = nullptr;
+  const Catalog* catalog = nullptr;
+  ParamMap params;
+  ExecStats stats;
+  BufferPoolSim buffer_pool;
+
+  /// Records an access to `page_key`, counting a modeled read on miss.
+  void TouchPage(uint64_t page_key) {
+    ++stats.page_touches;
+    if (buffer_pool.Touch(page_key)) stats.modeled_pages_read += 1;
+  }
+};
+
+/// Iterator-model operator.
+class Executor {
+ public:
+  Executor(const PhysicalPlan* plan, ExecContext* ctx)
+      : plan_(plan), ctx_(ctx) {
+    for (size_t i = 0; i < plan->output_cols.size(); ++i) {
+      colmap_[plan->output_cols[i].id] = static_cast<int>(i);
+    }
+  }
+  virtual ~Executor() = default;
+
+  /// (Re)opens the operator; idempotent, used for rescans.
+  virtual void Init() = 0;
+
+  /// Produces the next row; false at end of stream.
+  virtual bool Next(Row* out) = 0;
+
+  const PhysicalPlan& plan() const { return *plan_; }
+  const ColMap& colmap() const { return colmap_; }
+
+ protected:
+  EvalContext MakeEval(const Row& row) const {
+    return EvalContext{&colmap_, &row, &ctx_->params};
+  }
+
+  const PhysicalPlan* plan_;
+  ExecContext* ctx_;
+  ColMap colmap_;
+};
+
+/// Builds the executor tree for `plan`.
+std::unique_ptr<Executor> BuildExecutor(const PhysPtr& plan, ExecContext* ctx);
+
+/// Runs `plan` to completion and returns all rows.
+std::vector<Row> ExecuteAll(const PhysPtr& plan, ExecContext* ctx);
+
+}  // namespace qopt::exec
+
+#endif  // QOPT_EXEC_EXECUTORS_H_

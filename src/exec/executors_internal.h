@@ -1,0 +1,50 @@
+// Internal factories connecting the executor builder to the per-family
+// implementation files. Not part of the public API.
+#ifndef QOPT_EXEC_EXECUTORS_INTERNAL_H_
+#define QOPT_EXEC_EXECUTORS_INTERNAL_H_
+
+#include <memory>
+
+#include "exec/executors.h"
+
+namespace qopt::exec::internal {
+
+std::unique_ptr<Executor> NewScanExec(const PhysicalPlan* plan,
+                                      ExecContext* ctx);
+std::unique_ptr<Executor> NewFilterExec(const PhysicalPlan* plan,
+                                        ExecContext* ctx,
+                                        std::unique_ptr<Executor> child);
+std::unique_ptr<Executor> NewProjectExec(const PhysicalPlan* plan,
+                                         ExecContext* ctx,
+                                         std::unique_ptr<Executor> child);
+std::unique_ptr<Executor> NewSortExec(const PhysicalPlan* plan,
+                                      ExecContext* ctx,
+                                      std::unique_ptr<Executor> child);
+std::unique_ptr<Executor> NewDistinctExec(const PhysicalPlan* plan,
+                                          ExecContext* ctx,
+                                          std::unique_ptr<Executor> child);
+std::unique_ptr<Executor> NewLimitExec(const PhysicalPlan* plan,
+                                       ExecContext* ctx,
+                                       std::unique_ptr<Executor> child);
+std::unique_ptr<Executor> NewJoinExec(const PhysicalPlan* plan,
+                                      ExecContext* ctx,
+                                      std::unique_ptr<Executor> left,
+                                      std::unique_ptr<Executor> right);
+std::unique_ptr<Executor> NewApplyExec(const PhysicalPlan* plan,
+                                       ExecContext* ctx,
+                                       std::unique_ptr<Executor> left,
+                                       std::unique_ptr<Executor> right);
+std::unique_ptr<Executor> NewAggregateExec(const PhysicalPlan* plan,
+                                           ExecContext* ctx,
+                                           std::unique_ptr<Executor> child);
+std::unique_ptr<Executor> NewUnionAllExec(
+    const PhysicalPlan* plan, ExecContext* ctx,
+    std::vector<std::unique_ptr<Executor>> children);
+std::unique_ptr<Executor> NewHashSetOpExec(const PhysicalPlan* plan,
+                                           ExecContext* ctx,
+                                           std::unique_ptr<Executor> left,
+                                           std::unique_ptr<Executor> right);
+
+}  // namespace qopt::exec::internal
+
+#endif  // QOPT_EXEC_EXECUTORS_INTERNAL_H_

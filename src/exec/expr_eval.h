@@ -1,0 +1,40 @@
+// Runtime expression evaluation with SQL three-valued logic.
+#ifndef QOPT_EXEC_EXPR_EVAL_H_
+#define QOPT_EXEC_EXPR_EVAL_H_
+
+#include <unordered_map>
+
+#include "common/column_id.h"
+#include "common/value.h"
+#include "plan/expr.h"
+
+namespace qopt::exec {
+
+/// Maps ColumnId -> position in an operator's output row.
+using ColMap = std::unordered_map<ColumnId, int, ColumnIdHash>;
+
+/// Correlated parameter bindings (outer-row values) for Apply subtrees.
+using ParamMap = std::unordered_map<ColumnId, Value, ColumnIdHash>;
+
+/// Evaluation context: the current row with its column map, plus optional
+/// correlated parameters consulted when a column is not in the map.
+struct EvalContext {
+  const ColMap* colmap = nullptr;
+  const Row* row = nullptr;
+  const ParamMap* params = nullptr;
+};
+
+/// Evaluates `e` under `ctx`. Comparisons/arithmetic over NULL yield NULL;
+/// AND/OR follow Kleene logic. Aborts (DCHECK) on unresolvable columns —
+/// that indicates a planner bug, not a user error.
+Value EvalExpr(const plan::BoundExpr& e, const EvalContext& ctx);
+
+/// True iff `pred` evaluates to TRUE (NULL and FALSE both reject).
+bool EvalPredicate(const plan::BExpr& pred, const EvalContext& ctx);
+
+/// SQL LIKE with % and _ wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace qopt::exec
+
+#endif  // QOPT_EXEC_EXPR_EVAL_H_

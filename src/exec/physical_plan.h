@@ -1,0 +1,149 @@
+// Physical operator trees — execution plans (paper Figure 1).
+//
+// A PhysicalPlan node names a concrete algorithm (physical operator) plus
+// its parameters; the executor builder turns a tree of them into a Volcano
+// iterator tree. Optimizers annotate nodes with estimated cost, estimated
+// cardinality and output ordering (the "physical property" of §3).
+#ifndef QOPT_EXEC_PHYSICAL_PLAN_H_
+#define QOPT_EXEC_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "plan/logical_plan.h"
+
+namespace qopt::exec {
+
+/// Physical operator kinds.
+enum class PhysOpKind {
+  kTableScan,
+  kIndexScan,
+  kFilter,
+  kProject,
+  kNestedLoopJoin,
+  kIndexNestedLoopJoin,
+  kMergeJoin,
+  kHashJoin,
+  kSort,
+  kHashAggregate,
+  kStreamAggregate,  ///< Requires input sorted on the grouping columns.
+  kDistinct,
+  kLimit,
+  kApply,  ///< Tuple-iteration correlated subquery (the naive baseline).
+  kUnionAll,  ///< Bag concatenation (positional).
+  kHashExcept,     ///< Distinct left rows absent from the right input.
+  kHashIntersect,  ///< Distinct left rows present in the right input.
+};
+
+const char* PhysOpKindName(PhysOpKind kind);
+
+/// Bound of an index range scan.
+struct ScanBound {
+  Value value;
+  bool inclusive = true;
+};
+
+struct PhysicalPlan;
+using PhysPtr = std::shared_ptr<PhysicalPlan>;
+
+/// A physical plan node.
+struct PhysicalPlan {
+  PhysOpKind kind = PhysOpKind::kTableScan;
+  std::vector<PhysPtr> children;
+  std::vector<plan::OutputCol> output_cols;
+
+  // Scans.
+  int table_id = -1;
+  int rel_id = -1;
+  std::string alias;
+  int index_id = -1;
+  std::optional<ScanBound> lo;  ///< kIndexScan range bounds.
+  std::optional<ScanBound> hi;
+
+  /// Residual predicate (scan filter, join residual, or kFilter predicate).
+  plan::BExpr predicate;
+
+  // Joins.
+  plan::JoinType join_type = plan::JoinType::kInner;
+  ColumnId left_key;    ///< Equi-join key (merge/hash/index-NL joins).
+  ColumnId right_key;
+
+  // Apply.
+  plan::ApplyType apply_type = plan::ApplyType::kSemi;
+  std::set<ColumnId> correlated_cols;
+  ColumnId scalar_output;
+  TypeId scalar_type = TypeId::kNull;
+
+  // Project.
+  std::vector<plan::BExpr> proj_exprs;
+
+  // Aggregate.
+  std::vector<ColumnId> group_by;
+  std::vector<plan::AggItem> aggs;
+
+  // Sort.
+  std::vector<plan::SortKey> sort_keys;
+
+  // Limit.
+  int64_t limit = -1;
+
+  // Optimizer annotations.
+  cost::Cost est_cost;          ///< Cumulative estimated cost of subtree.
+  double est_rows = 0;          ///< Estimated output cardinality.
+  std::vector<plan::SortKey> output_order;  ///< Known ordering, if any.
+
+  /// Position of ColumnId `id` in this node's output row, or -1.
+  int FindOutput(ColumnId id) const;
+
+  /// Indented rendering including cost annotations (EXPLAIN).
+  std::string ToString(int indent = 0) const;
+};
+
+PhysPtr MakeTableScan(int table_id, int rel_id, std::string alias,
+                      std::vector<plan::OutputCol> cols, plan::BExpr filter);
+PhysPtr MakeIndexScan(int table_id, int rel_id, std::string alias,
+                      std::vector<plan::OutputCol> cols, int index_id,
+                      std::optional<ScanBound> lo, std::optional<ScanBound> hi,
+                      plan::BExpr filter);
+PhysPtr MakeFilterExec(PhysPtr child, plan::BExpr predicate);
+PhysPtr MakeProjectExec(PhysPtr child, std::vector<plan::BExpr> exprs,
+                        std::vector<plan::OutputCol> cols);
+/// Generic-predicate nested-loop join (any join type).
+PhysPtr MakeNestedLoopJoin(plan::JoinType type, PhysPtr left, PhysPtr right,
+                           plan::BExpr predicate);
+/// Index nested-loop join: right child must be an index scan without bounds;
+/// each left row probes the index at `left_key`.
+PhysPtr MakeIndexNLJoin(plan::JoinType type, PhysPtr left, PhysPtr right,
+                        ColumnId left_key, ColumnId right_key,
+                        plan::BExpr residual);
+PhysPtr MakeMergeJoin(plan::JoinType type, PhysPtr left, PhysPtr right,
+                      ColumnId left_key, ColumnId right_key,
+                      plan::BExpr residual);
+PhysPtr MakeHashJoin(plan::JoinType type, PhysPtr left, PhysPtr right,
+                     ColumnId left_key, ColumnId right_key,
+                     plan::BExpr residual);
+PhysPtr MakeSortExec(PhysPtr child, std::vector<plan::SortKey> keys);
+PhysPtr MakeHashAggregate(PhysPtr child, std::vector<ColumnId> group_by,
+                          std::vector<plan::AggItem> aggs,
+                          std::vector<plan::OutputCol> cols);
+PhysPtr MakeStreamAggregate(PhysPtr child, std::vector<ColumnId> group_by,
+                            std::vector<plan::AggItem> aggs,
+                            std::vector<plan::OutputCol> cols);
+PhysPtr MakeDistinctExec(PhysPtr child);
+PhysPtr MakeLimitExec(PhysPtr child, int64_t limit);
+PhysPtr MakeApplyExec(plan::ApplyType type, PhysPtr left, PhysPtr right,
+                      plan::BExpr predicate, std::set<ColumnId> correlated,
+                      ColumnId scalar_output, TypeId scalar_type);
+/// UNION ALL: concatenates children positionally, exposing `cols`.
+PhysPtr MakeUnionAllExec(std::vector<PhysPtr> children,
+                         std::vector<plan::OutputCol> cols);
+/// EXCEPT / INTERSECT via a hash set of the right input (set semantics).
+PhysPtr MakeSetOpExec(PhysOpKind kind, PhysPtr left, PhysPtr right,
+                      std::vector<plan::OutputCol> cols);
+
+}  // namespace qopt::exec
+
+#endif  // QOPT_EXEC_PHYSICAL_PLAN_H_

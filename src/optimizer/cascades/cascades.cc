@@ -1,0 +1,448 @@
+#include "optimizer/cascades/cascades.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "optimizer/cascades/rules.h"
+#include "optimizer/join_common.h"
+#include "optimizer/selinger/access_paths.h"
+
+namespace qopt::opt::cascades {
+
+using plan::QueryGraph;
+using plan::SortKey;
+using stats::RelStats;
+
+namespace {
+
+/// The recursive search engine. Methods correspond to the classic Cascades
+/// tasks: ExploreGroup, OptimizeGroup, OptimizeExpr(+inputs).
+class Search {
+ public:
+  Search(const QueryGraph& graph, const Catalog& catalog,
+         const cost::CostModel& model, const CascadesOptions& options,
+         Memo* memo, CascadesCounters* counters)
+      : graph_(graph),
+        catalog_(catalog),
+        model_(model),
+        options_(options),
+        memo_(memo),
+        counters_(counters) {}
+
+  static uint64_t Bit(int i) { return 1ULL << i; }
+
+  /// Seeds the memo: leaf groups and an initial left-deep expression.
+  int Seed() {
+    int n = static_cast<int>(graph_.relations.size());
+    int current = -1;
+    for (int i = 0; i < n; ++i) {
+      int leaf = memo_->GetOrCreateGroup(Bit(i));
+      LExpr e;
+      e.op = LExpr::Op::kLeaf;
+      e.rel_index = i;
+      memo_->AddExpr(leaf, e);
+      EnsureStats(leaf);
+      if (current < 0) {
+        current = leaf;
+      } else {
+        uint64_t mask = memo_->group(current).mask | Bit(i);
+        int joined = memo_->GetOrCreateGroup(mask);
+        LExpr j;
+        j.op = LExpr::Op::kJoin;
+        j.left = current;
+        j.right = leaf;
+        memo_->AddExpr(joined, j);
+        EnsureStats(joined);
+        current = joined;
+      }
+    }
+    return current;
+  }
+
+  void EnsureStats(int gid) {
+    Group& g = memo_->group(gid);
+    if (g.stats_set) return;
+    // Logical property: shared canonical derivation (identical to the
+    // Selinger enumerator's).
+    g.stats = StatsCache().Get(g.mask);
+    g.stats_set = true;
+  }
+
+  SubsetStatsCache& StatsCache() {
+    if (!stats_cache_) {
+      std::vector<RelStats> base;
+      for (size_t i = 0; i < graph_.relations.size(); ++i) {
+        RelStats rs;
+        EnumerateAccessPaths(graph_.relations[i], catalog_, model_, &rs);
+        base.push_back(std::move(rs));
+      }
+      stats_cache_ =
+          std::make_unique<SubsetStatsCache>(&graph_, std::move(base));
+    }
+    return *stats_cache_;
+  }
+
+  /// True if every ordering column is produced by group `gid` — only then
+  /// may the requirement be pushed into that child; otherwise the parent's
+  /// enforcer must handle it.
+  bool GroupProduces(int gid, const PhysProps& props) {
+    EnsureStats(gid);
+    const Group& g = memo_->group(gid);
+    for (const plan::SortKey& k : props.order) {
+      if (!g.stats.columns.count(k.column)) return false;
+    }
+    return true;
+  }
+
+  bool JoinAllowed(uint64_t a, uint64_t b) const {
+    return options_.allow_cartesian || graph_.Connected(a, b);
+  }
+
+  /// Runs transformation rules to closure over the whole memo. (Volcano
+  /// explores exhaustively before costing; Cascades interleaves — we keep
+  /// the exhaustive exploration with Cascades' memoized, promise-ordered,
+  /// bound-pruned costing.)
+  void ExploreToClosure() {
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (size_t gid = 0; gid < memo_->num_groups(); ++gid) {
+        grew |= ExploreGroup(static_cast<int>(gid));
+      }
+    }
+  }
+
+  /// Applies transformation rules once over the group's current logical
+  /// expressions; true if anything new was derived.
+  bool ExploreGroup(int gid) {
+    bool added = false;
+    // Index-based loop: AddExpr may grow the vector.
+    for (size_t i = 0; i < memo_->group(gid).exprs.size(); ++i) {
+      LExpr e = memo_->group(gid).exprs[i];
+      if (e.op != LExpr::Op::kJoin) continue;
+
+      // Rule 1: join commutativity  A ⋈ B  =>  B ⋈ A.
+      if (!(e.applied_rules & kRuleCommute)) {
+        memo_->group(gid).exprs[i].applied_rules |= kRuleCommute;
+        LExpr c;
+        c.op = LExpr::Op::kJoin;
+        c.left = e.right;
+        c.right = e.left;
+        c.applied_rules = kRuleCommute;  // avoid ping-pong
+        if (memo_->AddExpr(gid, c)) {
+          ++counters_->rules_applied;
+          added = true;
+        }
+      }
+
+      // Rule 2: join associativity  (A ⋈ B) ⋈ C  =>  A ⋈ (B ⋈ C).
+      // Re-derivations across fixpoint rounds are deduplicated by the memo,
+      // so no "already applied" bit is needed for convergence.
+      {
+        uint64_t cmask = memo_->group(e.right).mask;
+        for (size_t j = 0; j < memo_->group(e.left).exprs.size(); ++j) {
+          LExpr le = memo_->group(e.left).exprs[j];
+          if (le.op != LExpr::Op::kJoin) continue;
+          uint64_t amask = memo_->group(le.left).mask;
+          uint64_t bmask = memo_->group(le.right).mask;
+          if (!JoinAllowed(bmask, cmask)) continue;
+          int bc = memo_->GetOrCreateGroup(bmask | cmask);
+          LExpr inner;
+          inner.op = LExpr::Op::kJoin;
+          inner.left = le.right;
+          inner.right = e.right;
+          if (memo_->AddExpr(bc, inner)) {
+            ++counters_->rules_applied;
+            added = true;
+          }
+          EnsureStats(bc);
+          if (!JoinAllowed(amask, bmask | cmask)) continue;
+          LExpr outer;
+          outer.op = LExpr::Op::kJoin;
+          outer.left = le.left;
+          outer.right = bc;
+          if (memo_->AddExpr(gid, outer)) {
+            ++counters_->rules_applied;
+            added = true;
+          }
+        }
+      }
+    }
+    return added;
+  }
+
+  /// Returns the optimal plan for `gid` under `props` (memoized).
+  Winner OptimizeGroup(int gid, const PhysProps& props) {
+    Group& g = memo_->group(gid);
+    std::string key = props.Key();
+    auto it = g.winners.find(key);
+    if (it != g.winners.end()) {
+      ++counters_->winner_cache_hits;
+      return it->second;
+    }
+    ++counters_->optimize_group_tasks;
+    EnsureStats(gid);
+
+    Winner best;
+    auto offer = [&](exec::PhysPtr plan, cost::Cost cost) {
+      if (!plan) return;
+      ++counters_->impl_plans_costed;
+      if (!best.valid || cost.total() < best.cost.total()) {
+        plan->est_rows = memo_->group(gid).stats.rows;
+        plan->est_cost = cost;
+        best.plan = std::move(plan);
+        best.cost = cost;
+        best.valid = true;
+      }
+    };
+
+    // Enforcer move: optimize without properties, then sort.
+    if (!props.empty()) {
+      Winner relaxed = OptimizeGroup(gid, PhysProps{});
+      if (relaxed.valid &&
+          !props.SatisfiedBy(relaxed.plan->output_order)) {
+        const Group& gg = memo_->group(gid);
+        double width = static_cast<double>(gg.stats.columns.size());
+        cost::Cost c = relaxed.cost +
+                       model_.Sort(gg.stats.rows,
+                                   EstimatePages(gg.stats.rows, width));
+        exec::PhysPtr sorted = exec::MakeSortExec(relaxed.plan, props.order);
+        sorted->est_rows = gg.stats.rows;
+        offer(std::move(sorted), c);
+      } else if (relaxed.valid) {
+        offer(relaxed.plan, relaxed.cost);
+      }
+    }
+
+    size_t num_exprs = memo_->group(gid).exprs.size();
+    for (size_t i = 0; i < num_exprs; ++i) {
+      LExpr e = memo_->group(gid).exprs[i];
+      if (e.op == LExpr::Op::kLeaf) {
+        OptimizeLeaf(gid, e, props, offer, best);
+      } else {
+        OptimizeJoin(gid, e, props, offer, best);
+      }
+    }
+    memo_->group(gid).winners[key] = best;
+    return best;
+  }
+
+ private:
+  template <typename Offer>
+  void OptimizeLeaf(int gid, const LExpr& e, const PhysProps& props,
+                    Offer&& offer, Winner& best) {
+    (void)gid;
+    (void)best;
+    stats::RelStats rs;
+    std::vector<AccessPath> paths = EnumerateAccessPaths(
+        graph_.relations[e.rel_index], catalog_, model_, &rs);
+    for (AccessPath& p : paths) {
+      if (props.SatisfiedBy(p.order)) {
+        offer(std::move(p.plan), p.cost);
+      }
+      // Non-satisfying paths reach `props` via the enforcer move above.
+    }
+  }
+
+  template <typename Offer>
+  void OptimizeJoin(int gid, const LExpr& e, const PhysProps& props,
+                    Offer&& offer, Winner& best) {
+    const Group& g = memo_->group(gid);
+    uint64_t lmask = memo_->group(e.left).mask;
+    uint64_t rmask = memo_->group(e.right).mask;
+    JoinSpec spec = ComputeJoinSpec(graph_, lmask, rmask);
+    double out_rows = g.stats.rows;
+    EnsureStats(e.left);
+    EnsureStats(e.right);
+    const RelStats& ls = memo_->group(e.left).stats;
+    const RelStats& rs = memo_->group(e.right).stats;
+    double lw = static_cast<double>(ls.columns.size());
+    double rw = static_cast<double>(rs.columns.size());
+    plan::BExpr residual = ResidualOf(spec);
+
+    auto bounded = [&](const cost::Cost& partial) {
+      if (best.valid && partial.total() >= best.cost.total()) {
+        ++counters_->pruned_by_bound;
+        return true;
+      }
+      return false;
+    };
+
+    // Implementation rules in promise order (see rules.h).
+    for (ImplRule rule : kImplRulePromiseOrder) {
+      switch (rule) {
+        case ImplRule::kHashJoin: {
+          if (!options_.enable_hash_join || !spec.has_equi) break;
+          // Hash join preserves probe (left) order: push props to left —
+          // but only if the left side produces the ordering columns.
+          if (!props.empty() && !GroupProduces(e.left, props)) break;
+          Winner l = OptimizeGroup(e.left, props);
+          if (!l.valid || bounded(l.cost)) break;
+          Winner r = OptimizeGroup(e.right, PhysProps{});
+          if (!r.valid) break;
+          cost::Cost c = l.cost + r.cost +
+                         model_.HashJoin(rs.rows, EstimatePages(rs.rows, rw),
+                                         ls.rows, EstimatePages(ls.rows, lw),
+                                         out_rows);
+          if (bounded(c)) break;
+          exec::PhysPtr p = exec::MakeHashJoin(
+              plan::JoinType::kInner, l.plan, r.plan, spec.left_col,
+              spec.right_col, residual);
+          p->output_order = l.plan->output_order;
+          offer(std::move(p), c);
+          break;
+        }
+        case ImplRule::kIndexNLJoin: {
+          if (!options_.enable_index_nl_join || !spec.has_equi) break;
+          if (__builtin_popcountll(rmask) != 1) break;
+          int rel_index = __builtin_ctzll(rmask);
+          const plan::QGRelation& rrel = graph_.relations[rel_index];
+          if (spec.right_col.rel != rrel.rel_id) break;
+          const IndexDef* index =
+              catalog_.FindIndexOn(rrel.table_id, spec.right_col.col);
+          if (index == nullptr) break;
+          if (!props.empty() && !GroupProduces(e.left, props)) break;
+          Winner l = OptimizeGroup(e.left, props);
+          if (!l.valid || bounded(l.cost)) break;
+          const TableDef* table = catalog_.GetTable(rrel.table_id);
+          const stats::TableStats* ts = table->stats.get();
+          double table_rows = ts != nullptr ? ts->row_count : 1000.0;
+          double table_pages = ts != nullptr
+                                   ? ts->num_pages
+                                   : EstimatePages(table_rows, rw);
+          double key_ndv = table_rows;
+          if (ts != nullptr) {
+            if (const stats::ColumnStats* cs = ts->column(index->column)) {
+              key_ndv = cs->num_distinct;
+            }
+          }
+          double matches = table_rows / std::max(1.0, key_ndv);
+          double height =
+              std::max(1.0, std::ceil(std::log(std::max(2.0, table_rows)) /
+                                      std::log(256.0)));
+          cost::Cost c = l.cost + model_.RepeatedIndexLookup(
+                                      ls.rows, matches, table_rows, height,
+                                      index->clustered, table_pages,
+                                      table_rows);
+          if (!rrel.local_preds.empty()) {
+            c += model_.Filter(ls.rows * matches,
+                               static_cast<int>(rrel.local_preds.size()));
+          }
+          if (bounded(c)) break;
+          std::vector<plan::OutputCol> cols;
+          std::string alias = rrel.alias.empty() ? table->name : rrel.alias;
+          for (size_t ci = 0; ci < table->columns.size(); ++ci) {
+            cols.push_back({ColumnId{rrel.rel_id, static_cast<int>(ci)},
+                            table->columns[ci].type,
+                            alias + "." + table->columns[ci].name});
+          }
+          plan::BExpr local = rrel.local_preds.empty()
+                                  ? nullptr
+                                  : plan::MakeConjunction(rrel.local_preds);
+          exec::PhysPtr inner =
+              exec::MakeIndexScan(rrel.table_id, rrel.rel_id, alias, cols,
+                                  index->id, {}, {}, local);
+          exec::PhysPtr p = exec::MakeIndexNLJoin(
+              plan::JoinType::kInner, l.plan, inner, spec.left_col,
+              spec.right_col, residual);
+          p->output_order = l.plan->output_order;
+          offer(std::move(p), c);
+          break;
+        }
+        case ImplRule::kMergeJoin: {
+          if (!options_.enable_merge_join || !spec.has_equi) break;
+          PhysProps lneed{{{spec.left_col, true}}};
+          PhysProps rneed{{{spec.right_col, true}}};
+          // Merge join delivers {left_col asc}; only usable directly when
+          // that satisfies the requirement (else the enforcer move covers).
+          if (!props.SatisfiedBy(lneed.order)) break;
+          Winner l = OptimizeGroup(e.left, lneed);
+          if (!l.valid || bounded(l.cost)) break;
+          Winner r = OptimizeGroup(e.right, rneed);
+          if (!r.valid) break;
+          cost::Cost c =
+              l.cost + r.cost + model_.MergeJoin(ls.rows, rs.rows, out_rows);
+          if (bounded(c)) break;
+          exec::PhysPtr p = exec::MakeMergeJoin(
+              plan::JoinType::kInner, l.plan, r.plan, spec.left_col,
+              spec.right_col, residual);
+          p->output_order = lneed.order;
+          offer(std::move(p), c);
+          break;
+        }
+        case ImplRule::kNLJoin: {
+          if (!options_.enable_nl_join && spec.has_equi) break;
+          if (!props.empty() && !GroupProduces(e.left, props)) break;
+          Winner l = OptimizeGroup(e.left, props);
+          if (!l.valid || bounded(l.cost)) break;
+          Winner r = OptimizeGroup(e.right, PhysProps{});
+          if (!r.valid) break;
+          cost::Cost c =
+              l.cost + r.cost + model_.NestedLoopCPU(ls.rows, rs.rows);
+          if (bounded(c)) break;
+          plan::BExpr pred = FullPredicateOf(spec);
+          exec::PhysPtr p = exec::MakeNestedLoopJoin(
+              pred != nullptr ? plan::JoinType::kInner
+                              : plan::JoinType::kCross,
+              l.plan, r.plan, pred);
+          p->output_order = l.plan->output_order;
+          offer(std::move(p), c);
+          break;
+        }
+      }
+    }
+  }
+
+  const QueryGraph& graph_;
+  const Catalog& catalog_;
+  const cost::CostModel& model_;
+  const CascadesOptions& options_;
+  Memo* memo_;
+  CascadesCounters* counters_;
+  std::unique_ptr<SubsetStatsCache> stats_cache_;
+};
+
+}  // namespace
+
+CascadesOptimizer::CascadesOptimizer(const Catalog& catalog,
+                                     const cost::CostModel& model,
+                                     CascadesOptions options)
+    : catalog_(catalog), model_(model), options_(options) {}
+
+Result<exec::PhysPtr> CascadesOptimizer::OptimizeJoinBlock(
+    const QueryGraph& graph, const std::vector<SortKey>& required_order) {
+  if (graph.relations.empty()) {
+    return Status::InvalidArgument("empty query graph");
+  }
+  if (graph.relations.size() > 20) {
+    return Status::InvalidArgument("join block too large for memo (n > 20)");
+  }
+  memo_ = Memo();
+  Search search(graph, catalog_, model_, options_, &memo_, &counters_);
+  int root = search.Seed();
+  search.ExploreToClosure();
+  PhysProps props;
+  props.order = required_order;
+  Winner w = search.OptimizeGroup(root, props);
+  counters_.groups = memo_.num_groups();
+  counters_.logical_exprs = memo_.num_exprs();
+  if (!w.valid) {
+    // Disconnected graph under allow_cartesian=false: retry allowing
+    // Cartesian products (the deferral fallback, as in Selinger).
+    if (!options_.allow_cartesian) {
+      CascadesOptions retry = options_;
+      retry.allow_cartesian = true;
+      CascadesOptimizer fallback(catalog_, model_, retry);
+      auto result = fallback.OptimizeJoinBlock(graph, required_order);
+      counters_ = fallback.counters_;
+      result_stats_ = fallback.result_stats_;
+      return result;
+    }
+    return Status::Internal("cascades search found no plan");
+  }
+  result_stats_ = memo_.group(root).stats;
+  return w.plan;
+}
+
+}  // namespace qopt::opt::cascades

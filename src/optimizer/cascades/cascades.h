@@ -1,0 +1,71 @@
+// Volcano/Cascades top-down optimizer (paper Section 6.2).
+//
+// Contrast with the Selinger enumerator (§6.2's three differences):
+//  (a) one phase — all transformations are algebraic and cost-based;
+//  (b) logical-to-physical mapping happens in a single step via
+//      implementation rules;
+//  (c) rules apply goal-driven (top-down memoized search with required
+//      physical properties), not forward-chaining — "memoization".
+//
+// Transformation rules: join commutativity and associativity. Implementation
+// rules: scans (sequential / index), nested-loop, index-nested-loop, sort-
+// merge and hash joins. Enforcer: Sort, inserted when a required ordering
+// is not delivered naturally. Rule application is promise-ordered and the
+// search prunes against the best cost found so far.
+#ifndef QOPT_OPTIMIZER_CASCADES_CASCADES_H_
+#define QOPT_OPTIMIZER_CASCADES_CASCADES_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/cascades/memo.h"
+#include "plan/query_graph.h"
+
+namespace qopt::opt::cascades {
+
+/// Search-space knobs (mirrors SelingerOptions where meaningful).
+struct CascadesOptions {
+  bool allow_cartesian = false;
+  bool enable_nl_join = true;
+  bool enable_merge_join = true;
+  bool enable_hash_join = true;
+  bool enable_index_nl_join = true;
+};
+
+/// Search-effort counters (E13/E14).
+struct CascadesCounters {
+  uint64_t optimize_group_tasks = 0;
+  uint64_t winner_cache_hits = 0;   ///< Memoization hits.
+  uint64_t rules_applied = 0;       ///< Transformation-rule firings.
+  uint64_t impl_plans_costed = 0;   ///< Physical candidates costed.
+  uint64_t pruned_by_bound = 0;     ///< Candidates cut by cost bound.
+  uint64_t groups = 0;
+  uint64_t logical_exprs = 0;
+};
+
+/// The optimizer. One instance per query (the memo is per-query state).
+class CascadesOptimizer {
+ public:
+  CascadesOptimizer(const Catalog& catalog, const cost::CostModel& model,
+                    CascadesOptions options = {});
+
+  /// Optimizes an inner-join block; the result delivers `required_order`.
+  Result<exec::PhysPtr> OptimizeJoinBlock(
+      const plan::QueryGraph& graph,
+      const std::vector<plan::SortKey>& required_order = {});
+
+  const CascadesCounters& counters() const { return counters_; }
+  const stats::RelStats& result_stats() const { return result_stats_; }
+  const Memo& memo() const { return memo_; }
+
+ private:
+  const Catalog& catalog_;
+  const cost::CostModel& model_;
+  CascadesOptions options_;
+  CascadesCounters counters_;
+  Memo memo_;
+  stats::RelStats result_stats_;
+};
+
+}  // namespace qopt::opt::cascades
+
+#endif  // QOPT_OPTIMIZER_CASCADES_CASCADES_H_

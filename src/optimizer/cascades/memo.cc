@@ -1,0 +1,48 @@
+#include "optimizer/cascades/memo.h"
+
+namespace qopt::opt::cascades {
+
+std::string PhysProps::Key() const {
+  std::string k;
+  for (const plan::SortKey& s : order) {
+    k += s.column.ToString();
+    k += s.ascending ? "+" : "-";
+  }
+  return k;
+}
+
+bool PhysProps::SatisfiedBy(const std::vector<plan::SortKey>& have) const {
+  if (order.size() > have.size()) return false;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (!(order[i] == have[i])) return false;
+  }
+  return true;
+}
+
+std::string LExpr::Key() const {
+  if (op == Op::kLeaf) return "L" + std::to_string(rel_index);
+  return "J" + std::to_string(left) + "," + std::to_string(right);
+}
+
+int Memo::GetOrCreateGroup(uint64_t mask) {
+  auto it = by_mask_.find(mask);
+  if (it != by_mask_.end()) return it->second;
+  int id = static_cast<int>(groups_.size());
+  Group g;
+  g.mask = mask;
+  groups_.push_back(std::move(g));
+  by_mask_[mask] = id;
+  return id;
+}
+
+bool Memo::AddExpr(int group_id, LExpr expr) {
+  Group& g = groups_[group_id];
+  std::string key = expr.Key();
+  if (g.expr_keys.count(key)) return false;
+  g.expr_keys.insert(key);
+  g.exprs.push_back(std::move(expr));
+  ++num_exprs_;
+  return true;
+}
+
+}  // namespace qopt::opt::cascades

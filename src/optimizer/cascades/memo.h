@@ -1,0 +1,90 @@
+// The memo: groups of logically equivalent expressions with per-physical-
+// property winners (Volcano/Cascades, paper §6.2).
+//
+// Scope: the memo covers inner-join blocks (the same plan space the
+// Selinger enumerator searches), with groups identified by relation-set
+// masks over a QueryGraph. Logical properties (derived statistics) attach
+// to groups; physical properties (ordering) key the winner table — the
+// "table of plans that have been optimized in the past" the paper
+// describes for memoization.
+#ifndef QOPT_OPTIMIZER_CASCADES_MEMO_H_
+#define QOPT_OPTIMIZER_CASCADES_MEMO_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "exec/physical_plan.h"
+#include "stats/derived_stats.h"
+
+namespace qopt::opt::cascades {
+
+/// Physical properties of a data stream: its ordering. (Partitioning would
+/// slot in here for a parallel system, §7.1 — see DESIGN.md.)
+struct PhysProps {
+  std::vector<plan::SortKey> order;
+
+  bool empty() const { return order.empty(); }
+  std::string Key() const;
+  /// True if a stream ordered `have` satisfies these properties.
+  bool SatisfiedBy(const std::vector<plan::SortKey>& have) const;
+};
+
+/// A logical expression within a group: Leaf(relation) or Join(g1, g2).
+struct LExpr {
+  enum class Op { kLeaf, kJoin };
+  Op op = Op::kLeaf;
+  int rel_index = -1;          ///< kLeaf: index into the query graph.
+  int left = -1, right = -1;   ///< kJoin: child group ids.
+  uint32_t applied_rules = 0;  ///< Bitmask of transformation rules fired.
+
+  std::string Key() const;
+};
+
+/// Optimization outcome for one (group, properties) pair.
+struct Winner {
+  exec::PhysPtr plan;
+  cost::Cost cost;
+  bool valid = false;
+};
+
+/// A memo group: all logically equivalent expressions over one relation
+/// set, its derived statistics (logical property), and cached winners.
+struct Group {
+  uint64_t mask = 0;
+  std::vector<LExpr> exprs;
+  std::set<std::string> expr_keys;
+  stats::RelStats stats;
+  bool stats_set = false;
+  bool explored = false;
+  std::map<std::string, Winner> winners;
+};
+
+/// The memo structure.
+class Memo {
+ public:
+  /// Group id for `mask`, creating an empty group on first use.
+  int GetOrCreateGroup(uint64_t mask);
+
+  /// Adds `expr` to `group_id` if not already present; true if added.
+  bool AddExpr(int group_id, LExpr expr);
+
+  Group& group(int id) { return groups_[id]; }
+  const Group& group(int id) const { return groups_[id]; }
+
+  size_t num_groups() const { return groups_.size(); }
+  size_t num_exprs() const { return num_exprs_; }
+
+ private:
+  std::vector<Group> groups_;
+  std::unordered_map<uint64_t, int> by_mask_;
+  size_t num_exprs_ = 0;
+};
+
+}  // namespace qopt::opt::cascades
+
+#endif  // QOPT_OPTIMIZER_CASCADES_MEMO_H_

@@ -1,0 +1,22 @@
+#include "optimizer/cascades/rules.h"
+
+namespace qopt::opt::cascades {
+
+const ImplRule kImplRulePromiseOrder[4] = {
+    ImplRule::kHashJoin,     // usually cheapest: tight bound early
+    ImplRule::kIndexNLJoin,  // wins on selective outer + index
+    ImplRule::kMergeJoin,    // wins when orders align
+    ImplRule::kNLJoin,       // fallback, also the only cross-join impl
+};
+
+const char* ImplRuleName(ImplRule rule) {
+  switch (rule) {
+    case ImplRule::kHashJoin: return "Join->HashJoin";
+    case ImplRule::kIndexNLJoin: return "Join->IndexNLJoin";
+    case ImplRule::kMergeJoin: return "Join->MergeJoin";
+    case ImplRule::kNLJoin: return "Join->NestedLoopJoin";
+  }
+  return "?";
+}
+
+}  // namespace qopt::opt::cascades

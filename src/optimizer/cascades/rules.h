@@ -1,0 +1,28 @@
+// Rule descriptors for the Cascades search: transformation-rule bits and
+// implementation-rule promise ordering (paper §6.2: "at every stage, it
+// uses the promise of an action to determine the next move"; the promise
+// parameter is programmable).
+#ifndef QOPT_OPTIMIZER_CASCADES_RULES_H_
+#define QOPT_OPTIMIZER_CASCADES_RULES_H_
+
+#include <cstdint>
+
+namespace qopt::opt::cascades {
+
+/// Transformation-rule bits recorded per logical expression.
+inline constexpr uint32_t kRuleCommute = 1u << 0;
+inline constexpr uint32_t kRuleAssoc = 1u << 1;
+
+/// Implementation rules (logical join -> physical operator).
+enum class ImplRule { kHashJoin, kIndexNLJoin, kMergeJoin, kNLJoin };
+
+/// Promise order: rules likelier to produce a tight cost upper bound run
+/// first so bound pruning cuts the rest.
+extern const ImplRule kImplRulePromiseOrder[4];
+
+/// Human-readable rule name.
+const char* ImplRuleName(ImplRule rule);
+
+}  // namespace qopt::opt::cascades
+
+#endif  // QOPT_OPTIMIZER_CASCADES_RULES_H_

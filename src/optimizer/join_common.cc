@@ -1,0 +1,97 @@
+#include "optimizer/join_common.h"
+
+namespace qopt::opt {
+
+using plan::BExpr;
+using plan::QueryGraph;
+
+uint64_t PredRelMask(const QueryGraph& graph, const BExpr& pred) {
+  std::set<ColumnId> cols;
+  plan::CollectColumns(pred, &cols);
+  uint64_t m = 0;
+  for (ColumnId c : cols) {
+    int idx = graph.RelIndex(c.rel);
+    if (idx >= 0) m |= 1ULL << idx;
+  }
+  return m;
+}
+
+JoinSpec ComputeJoinSpec(const QueryGraph& graph, uint64_t left_mask,
+                         uint64_t right_mask) {
+  JoinSpec spec;
+  uint64_t both = left_mask | right_mask;
+  for (const plan::QGEdge& e : graph.edges) {
+    uint64_t lm = 1ULL << graph.RelIndex(e.left.rel);
+    uint64_t rm = 1ULL << graph.RelIndex(e.right.rel);
+    bool spans = ((lm & left_mask) && (rm & right_mask)) ||
+                 ((lm & right_mask) && (rm & left_mask));
+    if (!spans) continue;
+    if (!spec.has_equi) {
+      spec.has_equi = true;
+      spec.primary = e.pred;
+      if (lm & left_mask) {
+        spec.left_col = e.left;
+        spec.right_col = e.right;
+      } else {
+        spec.left_col = e.right;
+        spec.right_col = e.left;
+      }
+    } else {
+      spec.extra.push_back(e.pred);
+    }
+  }
+  for (const BExpr& p : graph.complex_preds) {
+    uint64_t m = PredRelMask(graph, p);
+    if ((m & both) == m && (m & left_mask) != m && (m & right_mask) != m) {
+      spec.extra.push_back(p);
+    }
+  }
+  return spec;
+}
+
+stats::RelStats ComputeJoinStats(const stats::RelStats& left,
+                                 const stats::RelStats& right,
+                                 const JoinSpec& spec) {
+  stats::RelStats s =
+      spec.has_equi
+          ? stats::JoinStats(left, right, spec.left_col, spec.right_col)
+          : stats::CrossStats(left, right);
+  for (const BExpr& p : spec.extra) {
+    s = stats::ApplyFilter(s, cost::EstimateSelectivity(p, s));
+  }
+  return s;
+}
+
+BExpr ResidualOf(const JoinSpec& spec) {
+  if (spec.extra.empty()) return nullptr;
+  return plan::MakeConjunction(spec.extra);
+}
+
+const stats::RelStats& SubsetStatsCache::Get(uint64_t mask) {
+  auto it = memo_.find(mask);
+  if (it != memo_.end()) return it->second;
+  int bits = __builtin_popcountll(mask);
+  QOPT_DCHECK(bits >= 1);
+  if (bits == 1) {
+    int idx = __builtin_ctzll(mask);
+    return memo_.emplace(mask, base_[idx]).first->second;
+  }
+  // Canonical split: peel the lowest relation off last.
+  uint64_t low = mask & (~mask + 1);
+  uint64_t rest = mask ^ low;
+  // Copies: recursive Get() calls may rehash the memo.
+  stats::RelStats left = Get(rest);
+  stats::RelStats right = Get(low);
+  JoinSpec spec = ComputeJoinSpec(*graph_, rest, low);
+  stats::RelStats joined = ComputeJoinStats(left, right, spec);
+  return memo_.emplace(mask, std::move(joined)).first->second;
+}
+
+BExpr FullPredicateOf(const JoinSpec& spec) {
+  std::vector<BExpr> all = spec.extra;
+  if (spec.primary) all.insert(all.begin(), spec.primary);
+  if (all.empty()) return nullptr;
+  return plan::MakeConjunction(all);
+}
+
+}  // namespace qopt::opt

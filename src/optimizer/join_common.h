@@ -1,0 +1,69 @@
+// Helpers shared by the Selinger and Cascades enumerators: join-predicate
+// lookup between relation sets and derived-statistics computation. Both
+// optimizers sit on the same cost model and statistics (paper §6: the
+// architectures differ in *search strategy*, not in costing).
+#ifndef QOPT_OPTIMIZER_JOIN_COMMON_H_
+#define QOPT_OPTIMIZER_JOIN_COMMON_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/selectivity.h"
+#include "plan/query_graph.h"
+#include "stats/derived_stats.h"
+
+namespace qopt::opt {
+
+/// Join predicates applicable between two disjoint relation-index sets.
+struct JoinSpec {
+  bool has_equi = false;
+  ColumnId left_col, right_col;  ///< Primary equi keys, oriented to sides.
+  plan::BExpr primary;
+  std::vector<plan::BExpr> extra;  ///< Applied as residual at this join.
+};
+
+/// Bitmask of relation indexes referenced by `pred`'s columns.
+uint64_t PredRelMask(const plan::QueryGraph& graph, const plan::BExpr& pred);
+
+/// Computes the JoinSpec for joining `left_mask` with `right_mask`
+/// (complex predicates attach to the join that first covers them).
+JoinSpec ComputeJoinSpec(const plan::QueryGraph& graph, uint64_t left_mask,
+                         uint64_t right_mask);
+
+/// Derived statistics of left ⨝ right under `spec` (histogram join when
+/// available, containment otherwise; extra predicates via independence).
+stats::RelStats ComputeJoinStats(const stats::RelStats& left,
+                                 const stats::RelStats& right,
+                                 const JoinSpec& spec);
+
+/// Conjunction of spec.extra, or nullptr.
+plan::BExpr ResidualOf(const JoinSpec& spec);
+
+/// Memoized derived statistics per relation subset, computed from one
+/// CANONICAL derivation (lowest-relation-last), so that every optimizer —
+/// and every partition of a subset — sees identical statistics. This
+/// enforces the paper's §5 invariant: "statistical summary is a logical
+/// property, but the cost of a plan is a physical property".
+class SubsetStatsCache {
+ public:
+  SubsetStatsCache(const plan::QueryGraph* graph,
+                   std::vector<stats::RelStats> base_stats)
+      : graph_(graph), base_(std::move(base_stats)) {}
+
+  /// Statistics for the join of the relations in `mask` (bit i = relation
+  /// index i).
+  const stats::RelStats& Get(uint64_t mask);
+
+ private:
+  const plan::QueryGraph* graph_;
+  std::vector<stats::RelStats> base_;
+  std::unordered_map<uint64_t, stats::RelStats> memo_;
+};
+
+/// Conjunction of primary + extra (full join predicate), or nullptr.
+plan::BExpr FullPredicateOf(const JoinSpec& spec);
+
+}  // namespace qopt::opt
+
+#endif  // QOPT_OPTIMIZER_JOIN_COMMON_H_

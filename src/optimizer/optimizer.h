@@ -1,0 +1,71 @@
+// Optimizer facade: rewrite phase + cost-based phase over a full logical
+// plan.
+//
+// Mirrors the two-phase Starburst pipeline (§6.1): the rule engine rewrites
+// the plan (and emits cost-based alternatives); then the cost-based phase
+// plans each candidate — inner-join blocks go through the configured join
+// enumerator (Selinger DP or the Cascades memo), remaining operators map
+// 1:1 with local physical decisions (hash vs. stream aggregation, join
+// algorithm for outer/semi/anti joins, sort avoidance via delivered
+// orderings) — and the cheapest candidate wins.
+#ifndef QOPT_OPTIMIZER_OPTIMIZER_H_
+#define QOPT_OPTIMIZER_OPTIMIZER_H_
+
+#include <map>
+#include <string>
+
+#include "optimizer/cascades/cascades.h"
+#include "optimizer/rewrite/rule_engine.h"
+#include "optimizer/selinger/selinger.h"
+
+namespace qopt::opt {
+
+/// Which join enumerator drives the cost-based phase.
+enum class EnumeratorKind { kSelinger, kCascades };
+
+/// End-to-end optimizer configuration.
+struct OptimizerOptions {
+  EnumeratorKind enumerator = EnumeratorKind::kSelinger;
+  SelingerOptions selinger;
+  cascades::CascadesOptions cascades;
+  cost::CostParams cost_params;
+  bool enable_rewrites = true;
+  /// Consider the rewrite phase's cost-based alternatives (group-by
+  /// pushdown, eager aggregation, magic sets) and keep the cheapest.
+  bool use_alternatives = true;
+};
+
+/// Diagnostics from one optimization.
+struct OptimizeInfo {
+  SelingerCounters selinger_counters;
+  cascades::CascadesCounters cascades_counters;
+  std::map<std::string, int> rewrite_applications;
+  int alternatives_considered = 0;
+  double chosen_cost = 0;
+  bool alternative_chosen = false;
+};
+
+/// The full optimizer.
+class Optimizer {
+ public:
+  Optimizer(const Catalog& catalog, OptimizerOptions options = {})
+      : catalog_(catalog), options_(options), model_(options.cost_params) {}
+
+  /// Optimizes a bound logical plan into an executable physical plan.
+  /// `next_rel_id` continues the binder's relation-id allocation (rewrite
+  /// rules may introduce relations).
+  Result<exec::PhysPtr> Optimize(const plan::LogicalPtr& root,
+                                 int* next_rel_id,
+                                 OptimizeInfo* info = nullptr);
+
+  const cost::CostModel& model() const { return model_; }
+
+ private:
+  const Catalog& catalog_;
+  OptimizerOptions options_;
+  cost::CostModel model_;
+};
+
+}  // namespace qopt::opt
+
+#endif  // QOPT_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,244 @@
+#include "optimizer/rewrite/rule_engine.h"
+
+namespace qopt::opt {
+
+using plan::BExpr;
+using plan::BoundKind;
+using plan::JoinType;
+using plan::LogicalOp;
+using plan::LogicalOpKind;
+using plan::LogicalPtr;
+
+namespace {
+
+/// Columns of a subtree as a set.
+std::set<ColumnId> ColsOf(const LogicalOp& op) { return op.OutputColumnSet(); }
+
+/// True if every group-by column and aggregate argument references only
+/// `side_cols`. COUNT(*) is side-agnostic.
+bool AggsBoundBy(const LogicalOp& agg, const std::set<ColumnId>& side_cols,
+                 bool group_too) {
+  if (group_too) {
+    for (const BExpr& g : agg.group_by) {
+      if (!side_cols.count(g->column)) return false;
+    }
+  }
+  for (const plan::AggItem& a : agg.aggs) {
+    if (a.func == ast::AggFunc::kCountStar) continue;
+    if (a.arg && !plan::ColumnsBoundBy(a.arg, side_cols)) return false;
+  }
+  return true;
+}
+
+/// Finds the single equi-join condition of an inner join; false otherwise.
+bool SingleEquiCondition(const LogicalOp& join, ColumnId* left_col,
+                         ColumnId* right_col) {
+  if (!join.predicate) return false;
+  std::vector<BExpr> conjuncts;
+  plan::SplitConjuncts(join.predicate, &conjuncts);
+  if (conjuncts.size() != 1) return false;
+  return plan::MatchEquiJoin(conjuncts[0], join.children[0]->OutputColumnSet(),
+                             join.children[1]->OutputColumnSet(), left_col,
+                             right_col);
+}
+
+/// True if `col` is unique in its base table and the subtree is a bare
+/// (possibly filtered) scan of that table, so each join partner matches at
+/// most one tuple.
+bool IsUniqueColumnOfBareRel(const LogicalOp& op, ColumnId col,
+                             const Catalog& catalog) {
+  const LogicalOp* cur = &op;
+  while (cur->kind == LogicalOpKind::kFilter) cur = cur->children[0].get();
+  if (cur->kind != LogicalOpKind::kGet) return false;
+  if (cur->rel_id != col.rel) return false;
+  return catalog.IsUniqueColumn(cur->table_id, col.col);
+}
+
+/// Invariant group-by pushdown (paper Fig. 4(b)): when the join partner
+/// matches each tuple at most once (key/foreign-key join) and the join
+/// column is among the grouping columns, the whole group survives or dies
+/// together, so the group-by commutes below the join for arbitrary
+/// side-effect-free aggregates.
+class GroupByPushdownRule : public Rule {
+ public:
+  const char* name() const override { return "groupby_pushdown"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext& ctx) const override {
+    return Walk(root, ctx) ? root : nullptr;
+  }
+
+ private:
+  static bool Walk(const LogicalPtr& op, RewriteContext& ctx) {
+    for (LogicalPtr& child : op->children) {
+      if (Walk(child, ctx)) return true;
+    }
+    if (op->kind != LogicalOpKind::kAggregate) return false;
+    LogicalPtr join = op->children[0];
+    if (join->kind != LogicalOpKind::kJoin ||
+        join->join_type != JoinType::kInner) {
+      return false;
+    }
+    ColumnId lcol, rcol;
+    if (!SingleEquiCondition(*join, &lcol, &rcol)) return false;
+
+    for (int r1 = 0; r1 < 2; ++r1) {
+      const LogicalPtr& r1_side = join->children[r1];
+      const LogicalPtr& r2_side = join->children[1 - r1];
+      ColumnId r1_join_col = r1 == 0 ? lcol : rcol;
+      ColumnId r2_join_col = r1 == 0 ? rcol : lcol;
+      std::set<ColumnId> r1_cols = ColsOf(*r1_side);
+      if (!AggsBoundBy(*op, r1_cols, /*group_too=*/true)) continue;
+      // Join column must be grouped so partitions are join-invariant.
+      bool grouped = false;
+      for (const BExpr& g : op->group_by) {
+        if (g->column == r1_join_col) grouped = true;
+      }
+      if (!grouped) continue;
+      if (!IsUniqueColumnOfBareRel(*r2_side, r2_join_col, *ctx.catalog)) {
+        continue;
+      }
+      // Push: Aggregate moves below the join.
+      LogicalPtr pushed =
+          plan::MakeAggregate(r1_side, op->group_by, op->aggs);
+      LogicalPtr new_join =
+          plan::MakeJoin(JoinType::kInner,
+                         r1 == 0 ? pushed : r2_side,
+                         r1 == 0 ? r2_side : pushed, join->predicate);
+      // Replace the Aggregate node in place with the new join.
+      *op = *new_join;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Eager/staged aggregation (paper Fig. 4(c), Chaudhuri-Shim [5] /
+/// Yan-Larson [60]): introduces a partial aggregate G1 below the join that
+/// shrinks the join input, and a combining aggregate above. Requires
+/// decomposable aggregates: Agg(S ∪ S') computable from Agg(S), Agg(S').
+class EagerAggregationRule : public Rule {
+ public:
+  const char* name() const override { return "eager_aggregation"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext& ctx) const override {
+    return Walk(root, ctx) ? root : nullptr;
+  }
+
+ private:
+  static bool Decomposable(const std::vector<plan::AggItem>& aggs) {
+    for (const plan::AggItem& a : aggs) {
+      if (a.distinct) return false;
+      switch (a.func) {
+        case ast::AggFunc::kSum:
+        case ast::AggFunc::kCount:
+        case ast::AggFunc::kCountStar:
+        case ast::AggFunc::kMin:
+        case ast::AggFunc::kMax:
+          break;
+        default:
+          return false;  // AVG needs SUM/COUNT decomposition; skipped
+      }
+    }
+    return true;
+  }
+
+  static bool Walk(const LogicalPtr& op, RewriteContext& ctx) {
+    for (LogicalPtr& child : op->children) {
+      if (Walk(child, ctx)) return true;
+    }
+    if (op->kind != LogicalOpKind::kAggregate) return false;
+    if (op->aggs.empty() || !Decomposable(op->aggs)) return false;
+    LogicalPtr join = op->children[0];
+    if (join->kind != LogicalOpKind::kJoin ||
+        join->join_type != JoinType::kInner) {
+      return false;
+    }
+    ColumnId lcol, rcol;
+    if (!SingleEquiCondition(*join, &lcol, &rcol)) return false;
+
+    for (int r1 = 0; r1 < 2; ++r1) {
+      const LogicalPtr& r1_side = join->children[r1];
+      const LogicalPtr& r2_side = join->children[1 - r1];
+      ColumnId r1_join_col = r1 == 0 ? lcol : rcol;
+      std::set<ColumnId> r1_cols = ColsOf(*r1_side);
+      if (!AggsBoundBy(*op, r1_cols, /*group_too=*/false)) continue;
+
+      // G1 = (G ∩ R1) ∪ {R1 join column}.
+      std::vector<BExpr> g1;
+      bool has_join_col = false;
+      for (const BExpr& g : op->group_by) {
+        if (r1_cols.count(g->column)) {
+          g1.push_back(g);
+          if (g->column == r1_join_col) has_join_col = true;
+        }
+      }
+      if (!has_join_col) {
+        TypeId t = TypeId::kInt64;
+        std::string name = r1_join_col.ToString();
+        for (const plan::OutputCol& c : r1_side->OutputCols()) {
+          if (c.id == r1_join_col) {
+            t = c.type;
+            name = c.name;
+          }
+        }
+        g1.push_back(plan::MakeColumn(r1_join_col, t, name));
+      }
+
+      // Partial aggregates below, combining aggregates above.
+      int partial_rel = (*ctx.next_rel_id)++;
+      std::vector<plan::AggItem> partials;
+      std::vector<plan::AggItem> finals;
+      for (size_t i = 0; i < op->aggs.size(); ++i) {
+        const plan::AggItem& a = op->aggs[i];
+        plan::AggItem partial = a;
+        partial.output = ColumnId{partial_rel, static_cast<int>(i)};
+        partial.name = "partial_" + a.name;
+        partials.push_back(partial);
+
+        plan::AggItem final = a;  // keeps original output id/type/name
+        final.arg = plan::MakeColumn(partial.output, partial.type,
+                                     partial.name);
+        switch (a.func) {
+          case ast::AggFunc::kSum:
+          case ast::AggFunc::kCount:
+          case ast::AggFunc::kCountStar:
+            final.func = ast::AggFunc::kSum;
+            break;
+          case ast::AggFunc::kMin:
+            final.func = ast::AggFunc::kMin;
+            break;
+          case ast::AggFunc::kMax:
+            final.func = ast::AggFunc::kMax;
+            break;
+          default:
+            break;
+        }
+        finals.push_back(std::move(final));
+      }
+
+      LogicalPtr partial_agg =
+          plan::MakeAggregate(r1_side, std::move(g1), std::move(partials));
+      LogicalPtr new_join =
+          plan::MakeJoin(JoinType::kInner,
+                         r1 == 0 ? partial_agg : r2_side,
+                         r1 == 0 ? r2_side : partial_agg, join->predicate);
+      LogicalPtr final_agg =
+          plan::MakeAggregate(new_join, op->group_by, std::move(finals));
+      *op = *final_agg;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeGroupByPushdownRule() {
+  return std::make_unique<GroupByPushdownRule>();
+}
+
+std::unique_ptr<Rule> MakeEagerAggregationRule() {
+  return std::make_unique<EagerAggregationRule>();
+}
+
+}  // namespace qopt::opt

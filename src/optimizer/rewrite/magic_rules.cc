@@ -1,0 +1,173 @@
+#include <unordered_map>
+
+#include "optimizer/rewrite/rule_engine.h"
+
+namespace qopt::opt {
+
+using plan::BExpr;
+using plan::BoundKind;
+using plan::JoinType;
+using plan::LogicalOp;
+using plan::LogicalOpKind;
+using plan::LogicalPtr;
+
+plan::LogicalPtr CloneWithFreshRels(const plan::LogicalPtr& op,
+                                    int* next_rel_id) {
+  LogicalPtr copy = op->Clone();
+  // Collect rel ids defined inside and assign fresh replacements.
+  std::unordered_map<int, int> rel_map;
+  std::function<void(const LogicalPtr&)> collect = [&](const LogicalPtr& n) {
+    if (n->kind == LogicalOpKind::kGet && !rel_map.count(n->rel_id)) {
+      rel_map[n->rel_id] = (*next_rel_id)++;
+    }
+    for (const plan::OutputCol& c : n->proj_cols) {
+      if (!rel_map.count(c.id.rel)) rel_map[c.id.rel] = (*next_rel_id)++;
+    }
+    for (const plan::AggItem& a : n->aggs) {
+      if (!rel_map.count(a.output.rel)) {
+        rel_map[a.output.rel] = (*next_rel_id)++;
+      }
+    }
+    for (const LogicalPtr& c : n->children) collect(c);
+  };
+  collect(copy);
+
+  auto remap_col = [&rel_map](ColumnId c) {
+    auto it = rel_map.find(c.rel);
+    return it == rel_map.end() ? c : ColumnId{it->second, c.col};
+  };
+  std::function<BExpr(const BExpr&)> remap_expr = [&](const BExpr& e) -> BExpr {
+    if (e->kind == BoundKind::kColumn) {
+      ColumnId mapped = remap_col(e->column);
+      if (mapped == e->column) return e;
+      return plan::MakeColumn(mapped, e->type, e->name);
+    }
+    if (e->children.empty()) return e;
+    auto c = std::make_shared<plan::BoundExpr>(*e);
+    for (BExpr& ch : c->children) ch = remap_expr(ch);
+    return c;
+  };
+  std::function<void(const LogicalPtr&)> apply = [&](const LogicalPtr& n) {
+    if (n->kind == LogicalOpKind::kGet) n->rel_id = rel_map[n->rel_id];
+    for (plan::OutputCol& c : n->get_cols) c.id = remap_col(c.id);
+    for (plan::OutputCol& c : n->proj_cols) c.id = remap_col(c.id);
+    for (plan::AggItem& a : n->aggs) {
+      a.output = remap_col(a.output);
+      if (a.arg) a.arg = remap_expr(a.arg);
+    }
+    if (n->predicate) n->predicate = remap_expr(n->predicate);
+    for (BExpr& e : n->proj_exprs) e = remap_expr(e);
+    for (BExpr& g : n->group_by) g = remap_expr(g);
+    for (plan::SortKey& k : n->sort_keys) k.column = remap_col(k.column);
+    std::set<ColumnId> corr;
+    for (ColumnId c : n->correlated_cols) corr.insert(remap_col(c));
+    n->correlated_cols = std::move(corr);
+    if (n->scalar_output.valid()) {
+      n->scalar_output = remap_col(n->scalar_output);
+    }
+    for (const LogicalPtr& c : n->children) apply(c);
+  };
+  apply(copy);
+  return copy;
+}
+
+namespace {
+
+/// Magic-sets / semijoin reduction (§4.3): for Join(A, AggView) on
+/// A.x = View.g, the set of relevant group keys is Distinct(π_x(A));
+/// restricting the view's input by a semijoin against that set avoids
+/// computing aggregates for groups the outer block will discard. The outer
+/// block is duplicated (we materialize no shared views), which is exactly
+/// the PartialResult-tradeoff the paper describes — hence an ALTERNATIVE
+/// rule, chosen by cost.
+class MagicSetRule : public Rule {
+ public:
+  const char* name() const override { return "magic_semijoin_reduction"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext& ctx) const override {
+    return Walk(root, ctx) ? root : nullptr;
+  }
+
+ private:
+  static bool Walk(const LogicalPtr& op, RewriteContext& ctx) {
+    for (LogicalPtr& child : op->children) {
+      if (Walk(child, ctx)) return true;
+    }
+    if (op->kind != LogicalOpKind::kJoin ||
+        op->join_type != JoinType::kInner || !op->predicate) {
+      return false;
+    }
+    for (int agg_side = 0; agg_side < 2; ++agg_side) {
+      LogicalPtr view = op->children[agg_side];
+      LogicalPtr outer = op->children[1 - agg_side];
+      if (view->kind != LogicalOpKind::kAggregate) continue;
+      if (view->group_by.empty()) continue;
+      if (outer->kind == LogicalOpKind::kGet) continue;  // nothing to gain
+
+      // Join condition must include outer.x = view.groupcol.
+      std::vector<BExpr> conjuncts;
+      plan::SplitConjuncts(op->predicate, &conjuncts);
+      ColumnId outer_x, view_g;
+      bool found = false;
+      std::set<ColumnId> outer_cols = outer->OutputColumnSet();
+      std::set<ColumnId> group_cols;
+      for (const BExpr& g : view->group_by) group_cols.insert(g->column);
+      for (const BExpr& c : conjuncts) {
+        if (plan::MatchEquiJoin(c, outer_cols, group_cols, &outer_x,
+                                &view_g)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;
+
+      // Filter set: DISTINCT(π_x(outer')) with outer' a fresh-rel clone.
+      LogicalPtr outer_clone = CloneWithFreshRels(outer, ctx.next_rel_id);
+      // outer_x in the clone: rel ids changed positionally; find by
+      // re-running the same remap — simplest is to locate the column with
+      // equal (col index, name) in the clone's output at the same position.
+      std::vector<plan::OutputCol> orig_cols_v = outer->OutputCols();
+      std::vector<plan::OutputCol> clone_cols_v = outer_clone->OutputCols();
+      QOPT_DCHECK(orig_cols_v.size() == clone_cols_v.size());
+      ColumnId clone_x;
+      TypeId clone_x_type = TypeId::kInt64;
+      for (size_t i = 0; i < orig_cols_v.size(); ++i) {
+        if (orig_cols_v[i].id == outer_x) {
+          clone_x = clone_cols_v[i].id;
+          clone_x_type = clone_cols_v[i].type;
+        }
+      }
+      if (!clone_x.valid()) continue;
+
+      int proj_rel = (*ctx.next_rel_id)++;
+      plan::OutputCol proj_col{ColumnId{proj_rel, 0}, clone_x_type, "magic"};
+      LogicalPtr magic = plan::MakeDistinct(plan::MakeProject(
+          outer_clone, {plan::MakeColumn(clone_x, clone_x_type, "magic")},
+          {proj_col}));
+
+      // Semijoin the view's input against the magic set on the grouping
+      // source column.
+      TypeId g_type = TypeId::kInt64;
+      for (const BExpr& g : view->group_by) {
+        if (g->column == view_g) g_type = g->type;
+      }
+      BExpr semi_cond = plan::MakeBinary(
+          ast::BinaryOp::kEq,
+          plan::MakeColumn(view_g, g_type, "g"),
+          plan::MakeColumn(proj_col.id, clone_x_type, "magic"));
+      view->children[0] =
+          plan::MakeJoin(JoinType::kSemi, view->children[0], magic,
+                         semi_cond);
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeMagicSetRule() {
+  return std::make_unique<MagicSetRule>();
+}
+
+}  // namespace qopt::opt

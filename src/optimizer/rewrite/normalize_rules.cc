@@ -1,0 +1,271 @@
+#include <unordered_map>
+
+#include "exec/expr_eval.h"
+#include "optimizer/rewrite/rule_engine.h"
+
+namespace qopt::opt {
+
+using plan::BExpr;
+using plan::BoundExpr;
+using plan::BoundKind;
+using plan::LogicalOp;
+using plan::LogicalOpKind;
+using plan::LogicalPtr;
+
+namespace {
+
+using ColExprMap = std::unordered_map<ColumnId, BExpr, ColumnIdHash>;
+
+/// Rewrites every expression in the subtree per `mapping`. Mapping targets
+/// must be plain columns wherever they land in GROUP BY / sort keys /
+/// correlation sets.
+void RemapColumns(const LogicalPtr& op, const ColExprMap& mapping) {
+  if (op->predicate) op->predicate = SubstituteColumns(op->predicate, mapping);
+  for (BExpr& e : op->proj_exprs) e = SubstituteColumns(e, mapping);
+  for (BExpr& g : op->group_by) g = SubstituteColumns(g, mapping);
+  for (plan::AggItem& a : op->aggs) {
+    if (a.arg) a.arg = SubstituteColumns(a.arg, mapping);
+  }
+  auto remap_col = [&mapping](ColumnId c) {
+    auto it = mapping.find(c);
+    if (it == mapping.end()) return c;
+    QOPT_DCHECK(it->second->kind == BoundKind::kColumn);
+    return it->second->column;
+  };
+  for (plan::SortKey& k : op->sort_keys) k.column = remap_col(k.column);
+  if (op->kind == LogicalOpKind::kApply) {
+    std::set<ColumnId> remapped;
+    for (ColumnId c : op->correlated_cols) remapped.insert(remap_col(c));
+    op->correlated_cols = std::move(remapped);
+    if (op->scalar_output.valid()) {
+      op->scalar_output = remap_col(op->scalar_output);
+    }
+  }
+  for (const LogicalPtr& c : op->children) RemapColumns(c, mapping);
+}
+
+/// Folds literal-only subexpressions using the runtime evaluator.
+BExpr FoldExpr(const BExpr& e, bool* changed) {
+  if (e->kind == BoundKind::kColumn || e->kind == BoundKind::kLiteral) {
+    return e;
+  }
+  std::vector<BExpr> folded;
+  bool child_changed = false;
+  for (const BExpr& c : e->children) {
+    folded.push_back(FoldExpr(c, &child_changed));
+  }
+  BExpr cur = e;
+  if (child_changed) {
+    auto copy = std::make_shared<BoundExpr>(*e);
+    copy->children = std::move(folded);
+    cur = copy;
+    *changed = true;
+  }
+  bool all_literal = true;
+  for (const BExpr& c : cur->children) {
+    if (c->kind != BoundKind::kLiteral) {
+      all_literal = false;
+      break;
+    }
+  }
+  // AND/OR with one literal side simplify even when the other side is not
+  // a literal (TRUE AND x => x, FALSE AND x => FALSE, ...).
+  if (cur->kind == BoundKind::kBinary &&
+      (cur->op == ast::BinaryOp::kAnd || cur->op == ast::BinaryOp::kOr)) {
+    for (int side = 0; side < 2; ++side) {
+      const BExpr& lit = cur->children[side];
+      const BExpr& other = cur->children[1 - side];
+      if (lit->kind != BoundKind::kLiteral || lit->literal.is_null()) {
+        continue;
+      }
+      bool v = lit->literal.AsBool();
+      if (cur->op == ast::BinaryOp::kAnd) {
+        *changed = true;
+        return v ? other : plan::MakeLiteral(Value::Bool(false));
+      }
+      *changed = true;
+      return v ? plan::MakeLiteral(Value::Bool(true)) : other;
+    }
+  }
+  if (all_literal && !cur->children.empty() && cur->kind != BoundKind::kCase) {
+    exec::EvalContext ctx;
+    Value v = exec::EvalExpr(*cur, ctx);
+    *changed = true;
+    return plan::MakeLiteral(std::move(v));
+  }
+  return cur;
+}
+
+class ConstantFoldingRule : public Rule {
+ public:
+  const char* name() const override { return "constant_folding"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext&) const override {
+    bool changed = false;
+    Walk(root, &changed);
+    changed |= DropTrueFilters(root);
+    return changed ? root : nullptr;
+  }
+
+ private:
+  static void Walk(const LogicalPtr& op, bool* changed) {
+    if (op->predicate) op->predicate = FoldExpr(op->predicate, changed);
+    for (BExpr& e : op->proj_exprs) e = FoldExpr(e, changed);
+    for (plan::AggItem& a : op->aggs) {
+      if (a.arg) a.arg = FoldExpr(a.arg, changed);
+    }
+    for (const LogicalPtr& c : op->children) Walk(c, changed);
+  }
+
+  /// Removes Filter(TRUE) nodes.
+  static bool DropTrueFilters(const LogicalPtr& op) {
+    bool changed = false;
+    for (LogicalPtr& c : op->children) {
+      while (c->kind == LogicalOpKind::kFilter && c->predicate &&
+             c->predicate->kind == BoundKind::kLiteral &&
+             !c->predicate->literal.is_null() &&
+             c->predicate->literal.AsBool()) {
+        c = c->children[0];
+        changed = true;
+      }
+      changed |= DropTrueFilters(c);
+    }
+    return changed;
+  }
+};
+
+class MergeFiltersRule : public Rule {
+ public:
+  const char* name() const override { return "merge_filters"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext&) const override {
+    return Walk(root) ? root : nullptr;
+  }
+
+ private:
+  static bool Walk(const LogicalPtr& op) {
+    bool changed = false;
+    if (op->kind == LogicalOpKind::kFilter &&
+        op->children[0]->kind == LogicalOpKind::kFilter) {
+      LogicalPtr inner = op->children[0];
+      op->predicate = plan::MakeBinary(ast::BinaryOp::kAnd, op->predicate,
+                                       inner->predicate);
+      op->children[0] = inner->children[0];
+      changed = true;
+    }
+    for (const LogicalPtr& c : op->children) changed |= Walk(c);
+    return changed;
+  }
+};
+
+class MergeProjectsRule : public Rule {
+ public:
+  const char* name() const override { return "merge_projects"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext&) const override {
+    return Walk(root) ? root : nullptr;
+  }
+
+ private:
+  static bool Walk(const LogicalPtr& op) {
+    bool changed = false;
+    if (op->kind == LogicalOpKind::kProject &&
+        op->children[0]->kind == LogicalOpKind::kProject) {
+      LogicalPtr inner = op->children[0];
+      ColExprMap mapping;
+      for (size_t i = 0; i < inner->proj_cols.size(); ++i) {
+        mapping[inner->proj_cols[i].id] = inner->proj_exprs[i];
+      }
+      for (BExpr& e : op->proj_exprs) e = SubstituteColumns(e, mapping);
+      op->children[0] = inner->children[0];
+      changed = true;
+    }
+    for (const LogicalPtr& c : op->children) changed |= Walk(c);
+    return changed;
+  }
+};
+
+/// View merging (§4.2.1): removes pure-column Project nodes that are not
+/// the query's final projection, remapping references globally so the
+/// wrapped subtree participates in join reordering.
+class MergeTrivialProjectsRule : public Rule {
+ public:
+  const char* name() const override { return "merge_trivial_projects"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext&) const override {
+    // The final projection is the first Project on the root spine.
+    const LogicalOp* final_project = nullptr;
+    const LogicalOp* cur = root.get();
+    while (cur != nullptr) {
+      if (cur->kind == LogicalOpKind::kProject) {
+        final_project = cur;
+        break;
+      }
+      if (cur->children.size() != 1) break;
+      cur = cur->children[0].get();
+    }
+    ColExprMap mapping;
+    bool changed = RemoveTrivial(root, final_project, &mapping);
+    if (!changed) return nullptr;
+    // Resolve chains (A -> B, B -> C  becomes  A -> C).
+    for (auto& [id, target] : mapping) {
+      while (target->kind == BoundKind::kColumn) {
+        auto it = mapping.find(target->column);
+        if (it == mapping.end()) break;
+        target = it->second;
+      }
+    }
+    RemapColumns(root, mapping);
+    return root;
+  }
+
+ private:
+  static bool IsTrivial(const LogicalOp& op) {
+    if (op.kind != LogicalOpKind::kProject) return false;
+    for (const BExpr& e : op.proj_exprs) {
+      if (e->kind != BoundKind::kColumn) return false;
+    }
+    return true;
+  }
+
+  static bool RemoveTrivial(const LogicalPtr& op,
+                            const LogicalOp* final_project,
+                            ColExprMap* mapping) {
+    bool changed = false;
+    for (LogicalPtr& c : op->children) {
+      // A Project under Distinct defines the distinct row shape, and one
+      // under a set operation defines the arm's positional layout: keep
+      // those.
+      while (op->kind != LogicalOpKind::kDistinct &&
+             op->kind != LogicalOpKind::kUnion &&
+             op->kind != LogicalOpKind::kExcept &&
+             op->kind != LogicalOpKind::kIntersect &&
+             c.get() != final_project && IsTrivial(*c)) {
+        for (size_t i = 0; i < c->proj_cols.size(); ++i) {
+          (*mapping)[c->proj_cols[i].id] = c->proj_exprs[i];
+        }
+        c = c->children[0];
+        changed = true;
+      }
+      changed |= RemoveTrivial(c, final_project, mapping);
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeConstantFoldingRule() {
+  return std::make_unique<ConstantFoldingRule>();
+}
+std::unique_ptr<Rule> MakeMergeFiltersRule() {
+  return std::make_unique<MergeFiltersRule>();
+}
+std::unique_ptr<Rule> MakeMergeProjectsRule() {
+  return std::make_unique<MergeProjectsRule>();
+}
+std::unique_ptr<Rule> MakeMergeTrivialProjectsRule() {
+  return std::make_unique<MergeTrivialProjectsRule>();
+}
+
+}  // namespace qopt::opt

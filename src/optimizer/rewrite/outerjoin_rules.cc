@@ -1,0 +1,108 @@
+#include "optimizer/rewrite/rule_engine.h"
+
+namespace qopt::opt {
+
+using plan::BExpr;
+using plan::JoinType;
+using plan::LogicalOp;
+using plan::LogicalOpKind;
+using plan::LogicalPtr;
+
+namespace {
+
+/// LOJ simplification: a null-rejecting predicate over the outer join's
+/// inner (right) side above the join discards exactly the null-padded
+/// tuples, so the outer join degenerates to an inner join. This is the
+/// workhorse that turns the unnesting LOJ back into a join when a HAVING /
+/// WHERE condition rejects the padded rows.
+class OuterJoinSimplifyRule : public Rule {
+ public:
+  const char* name() const override { return "outerjoin_simplify"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext&) const override {
+    return Walk(root) ? root : nullptr;
+  }
+
+ private:
+  static bool Walk(const LogicalPtr& op) {
+    bool changed = false;
+    if (op->kind == LogicalOpKind::kFilter &&
+        op->children[0]->kind == LogicalOpKind::kJoin &&
+        op->children[0]->join_type == JoinType::kLeftOuter) {
+      LogicalPtr join = op->children[0];
+      std::set<int> right_rels = join->children[1]->BaseRels();
+      if (op->predicate && plan::IsNullRejecting(op->predicate, right_rels)) {
+        join->join_type = JoinType::kInner;
+        changed = true;
+      }
+    }
+    for (const LogicalPtr& c : op->children) changed |= Walk(c);
+    return changed;
+  }
+};
+
+/// Join / outerjoin association (§4.1.2):
+///   Join(R, S LOJ T) = Join(R, S) LOJ T   when the inner-join condition
+/// references only R and S. Repeated application produces a block of joins
+/// below a block of outerjoins, letting the joins reorder freely.
+class JoinOuterJoinAssocRule : public Rule {
+ public:
+  const char* name() const override { return "join_outerjoin_assoc"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext&) const override {
+    LogicalPtr holder = plan::MakeLimit(root, -1);
+    if (!Walk(holder)) return nullptr;
+    return holder->children[0];
+  }
+
+ private:
+  static bool Walk(const LogicalPtr& op) {
+    for (LogicalPtr& child : op->children) {
+      if (Walk(child)) return true;
+      if (child->kind != LogicalOpKind::kJoin ||
+          child->join_type != JoinType::kInner) {
+        continue;
+      }
+      // Pattern A: Join(R, LOJ(S, T)) with condition over R ∪ S.
+      for (int side = 0; side < 2; ++side) {
+        LogicalPtr loj = child->children[side];
+        LogicalPtr other = child->children[1 - side];
+        if (loj->kind != LogicalOpKind::kJoin ||
+            loj->join_type != JoinType::kLeftOuter) {
+          continue;
+        }
+        LogicalPtr s = loj->children[0];
+        LogicalPtr t = loj->children[1];
+        std::set<ColumnId> allowed = other->OutputColumnSet();
+        for (ColumnId c : s->OutputColumnSet()) allowed.insert(c);
+        if (!child->predicate ||
+            !plan::ColumnsBoundBy(child->predicate, allowed)) {
+          continue;
+        }
+        // Hoist: (other ⋈ S) LOJ T — preserving left/right orientation of
+        // the inner join for cost symmetry is unnecessary; both orders are
+        // explored later by the join enumerator.
+        LogicalPtr inner_join =
+            plan::MakeJoin(JoinType::kInner,
+                           side == 0 ? s : other,
+                           side == 0 ? other : s, child->predicate);
+        child = plan::MakeJoin(JoinType::kLeftOuter, inner_join, t,
+                               loj->predicate);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeOuterJoinSimplifyRule() {
+  return std::make_unique<OuterJoinSimplifyRule>();
+}
+
+std::unique_ptr<Rule> MakeJoinOuterJoinAssocRule() {
+  return std::make_unique<JoinOuterJoinAssocRule>();
+}
+
+}  // namespace qopt::opt

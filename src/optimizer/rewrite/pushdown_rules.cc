@@ -1,0 +1,319 @@
+#include <unordered_map>
+
+#include "optimizer/rewrite/rule_engine.h"
+#include "plan/query_graph.h"
+
+namespace qopt::opt {
+
+using plan::BExpr;
+using plan::BoundKind;
+using plan::JoinType;
+using plan::LogicalOp;
+using plan::LogicalOpKind;
+using plan::LogicalPtr;
+
+namespace {
+
+/// Predicate pushdown / move-around: conjuncts sink to the lowest operator
+/// that binds all their columns; two-sided conjuncts over a cross join
+/// become an inner join condition ("predicates are evaluated as early as
+/// possible", §3; predicate move-around after [36]).
+class PredicatePushdownRule : public Rule {
+ public:
+  const char* name() const override { return "predicate_pushdown"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext&) const override {
+    std::string before = root->ToString();
+    std::vector<BExpr> none;
+    LogicalPtr result = Push(root, std::move(none));
+    if (result->ToString() == before) return nullptr;
+    return result;
+  }
+
+ private:
+  static LogicalPtr WrapRemaining(LogicalPtr op, std::vector<BExpr> preds) {
+    if (preds.empty()) return op;
+    return plan::MakeFilter(std::move(op), plan::MakeConjunction(preds));
+  }
+
+  static bool BoundBy(const BExpr& pred, const std::set<ColumnId>& cols) {
+    return plan::ColumnsBoundBy(pred, cols);
+  }
+
+  static LogicalPtr Push(LogicalPtr op, std::vector<BExpr> preds) {
+    switch (op->kind) {
+      case LogicalOpKind::kFilter: {
+        plan::SplitConjuncts(op->predicate, &preds);
+        return Push(op->children[0], std::move(preds));
+      }
+      case LogicalOpKind::kJoin: {
+        std::set<ColumnId> left_cols = op->children[0]->OutputColumnSet();
+        std::set<ColumnId> right_cols = op->children[1]->OutputColumnSet();
+        std::vector<BExpr> to_left, to_right, to_cond, stay;
+
+        bool inner = op->join_type == JoinType::kInner ||
+                     op->join_type == JoinType::kCross;
+        // The join's own condition re-dispatches for inner joins (a
+        // decorrelated condition may reference only one side).
+        if (inner && op->predicate) {
+          plan::SplitConjuncts(op->predicate, &preds);
+          op->predicate = nullptr;
+        }
+        for (const BExpr& p : preds) {
+          if (BoundBy(p, left_cols)) {
+            to_left.push_back(p);
+          } else if (op->join_type == JoinType::kSemi ||
+                     op->join_type == JoinType::kAnti) {
+            stay.push_back(p);  // output is left-only; shouldn't happen
+          } else if (BoundBy(p, right_cols) && inner) {
+            to_right.push_back(p);
+          } else if (inner) {
+            to_cond.push_back(p);
+          } else {
+            stay.push_back(p);
+          }
+        }
+        if (inner && !to_cond.empty()) {
+          op->predicate = plan::MakeConjunction(to_cond);
+          op->join_type = JoinType::kInner;
+        } else if (inner && op->predicate == nullptr) {
+          op->join_type = JoinType::kCross;
+        }
+        op->children[0] = Push(op->children[0], std::move(to_left));
+        op->children[1] = Push(op->children[1], std::move(to_right));
+        return WrapRemaining(op, std::move(stay));
+      }
+      case LogicalOpKind::kApply: {
+        std::set<ColumnId> left_cols = op->children[0]->OutputColumnSet();
+        std::vector<BExpr> to_left, stay;
+        for (const BExpr& p : preds) {
+          if (BoundBy(p, left_cols)) {
+            to_left.push_back(p);
+          } else {
+            stay.push_back(p);
+          }
+        }
+        op->children[0] = Push(op->children[0], std::move(to_left));
+        std::vector<BExpr> none;
+        op->children[1] = Push(op->children[1], std::move(none));
+        return WrapRemaining(op, std::move(stay));
+      }
+      case LogicalOpKind::kProject: {
+        std::unordered_map<ColumnId, BExpr, ColumnIdHash> mapping;
+        for (size_t i = 0; i < op->proj_cols.size(); ++i) {
+          mapping[op->proj_cols[i].id] = op->proj_exprs[i];
+        }
+        std::set<ColumnId> child_cols = op->children[0]->OutputColumnSet();
+        std::vector<BExpr> below, stay;
+        for (const BExpr& p : preds) {
+          BExpr sub = plan::SubstituteColumns(p, mapping);
+          if (BoundBy(sub, child_cols)) {
+            below.push_back(sub);
+          } else {
+            stay.push_back(p);
+          }
+        }
+        op->children[0] = Push(op->children[0], std::move(below));
+        return WrapRemaining(op, std::move(stay));
+      }
+      case LogicalOpKind::kAggregate: {
+        std::set<ColumnId> group_cols;
+        for (const BExpr& g : op->group_by) group_cols.insert(g->column);
+        std::vector<BExpr> below, stay;
+        for (const BExpr& p : preds) {
+          if (BoundBy(p, group_cols)) {
+            below.push_back(p);
+          } else {
+            stay.push_back(p);
+          }
+        }
+        op->children[0] = Push(op->children[0], std::move(below));
+        return WrapRemaining(op, std::move(stay));
+      }
+      case LogicalOpKind::kDistinct:
+      case LogicalOpKind::kSort: {
+        op->children[0] = Push(op->children[0], std::move(preds));
+        return op;
+      }
+      case LogicalOpKind::kExcept: {
+        // σp(L EXCEPT R) = σp(L) EXCEPT R — pushing into the right arm
+        // would wrongly re-admit rows of R that fail p. Push left only.
+        std::unordered_map<ColumnId, BExpr, ColumnIdHash> mapping;
+        std::vector<plan::OutputCol> left_cols = op->children[0]->OutputCols();
+        for (size_t i = 0; i < op->proj_cols.size(); ++i) {
+          mapping[op->proj_cols[i].id] = plan::MakeColumn(
+              left_cols[i].id, left_cols[i].type, left_cols[i].name);
+        }
+        std::vector<BExpr> left_preds;
+        for (const BExpr& p : preds) {
+          left_preds.push_back(plan::SubstituteColumns(p, mapping));
+        }
+        op->children[0] = Push(op->children[0], std::move(left_preds));
+        std::vector<BExpr> none;
+        op->children[1] = Push(op->children[1], std::move(none));
+        return op;
+      }
+      case LogicalOpKind::kIntersect:
+      case LogicalOpKind::kUnion: {
+        // A predicate over the output columns applies identically to each
+        // arm (positionally remapped), filtering arms early.
+        for (size_t arm = 0; arm < op->children.size(); ++arm) {
+          std::unordered_map<ColumnId, BExpr, ColumnIdHash> mapping;
+          std::vector<plan::OutputCol> arm_cols =
+              op->children[arm]->OutputCols();
+          for (size_t i = 0; i < op->proj_cols.size(); ++i) {
+            mapping[op->proj_cols[i].id] = plan::MakeColumn(
+                arm_cols[i].id, arm_cols[i].type, arm_cols[i].name);
+          }
+          std::vector<BExpr> arm_preds;
+          for (const BExpr& p : preds) {
+            arm_preds.push_back(plan::SubstituteColumns(p, mapping));
+          }
+          op->children[arm] = Push(op->children[arm], std::move(arm_preds));
+        }
+        return op;
+      }
+      case LogicalOpKind::kLimit: {
+        // Filters must not cross a LIMIT.
+        std::vector<BExpr> none;
+        op->children[0] = Push(op->children[0], std::move(none));
+        return WrapRemaining(op, std::move(preds));
+      }
+      case LogicalOpKind::kGet:
+        return WrapRemaining(op, std::move(preds));
+    }
+    return WrapRemaining(op, std::move(preds));
+  }
+};
+
+/// Predicate inference (predicate move-around, Levy-Mumick-Sagiv [36]):
+/// within an inner-join block, columns linked by equality conjuncts form
+/// equivalence classes; a constant predicate on one member holds for all
+/// members. Deriving the copies lets pushdown filter every relation early
+/// — e.g. t0.a = t1.b AND t0.a = 5 additionally yields t1.b = 5.
+class PredicateInferenceRule : public Rule {
+ public:
+  const char* name() const override { return "predicate_inference"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext&) const override {
+    LogicalPtr holder = plan::MakeFilter(root, nullptr);  // parent handle
+    bool changed = Walk(holder->children[0], holder, 0);
+    return changed ? holder->children[0] : nullptr;
+  }
+
+ private:
+  /// Recurse; `parent`/`slot` identify where `op` hangs so a derived
+  /// Filter can be spliced above a block root.
+  static bool Walk(const LogicalPtr& op, const LogicalPtr& parent,
+                   size_t slot) {
+    if (plan::IsJoinBlock(*op)) {
+      return InferForBlock(op, parent, slot);
+    }
+    bool changed = false;
+    for (size_t i = 0; i < op->children.size(); ++i) {
+      changed |= Walk(op->children[i], op, i);
+    }
+    return changed;
+  }
+
+  static int Find(std::vector<int>* uf, int x) {
+    while ((*uf)[x] != x) x = (*uf)[x] = (*uf)[(*uf)[x]];
+    return x;
+  }
+
+  static bool InferForBlock(const LogicalPtr& block, const LogicalPtr& parent,
+                            size_t slot) {
+    // Gather all conjuncts of the block.
+    std::vector<BExpr> conjuncts;
+    CollectConjuncts(block, &conjuncts);
+
+    // Union-find over the columns appearing in col=col conjuncts.
+    std::vector<ColumnId> cols;
+    auto col_index = [&cols](ColumnId c) {
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i] == c) return static_cast<int>(i);
+      }
+      cols.push_back(c);
+      return static_cast<int>(cols.size() - 1);
+    };
+    std::vector<std::pair<int, int>> equalities;
+    for (const BExpr& c : conjuncts) {
+      if (c->kind == plan::BoundKind::kBinary &&
+          c->op == ast::BinaryOp::kEq &&
+          c->children[0]->kind == plan::BoundKind::kColumn &&
+          c->children[1]->kind == plan::BoundKind::kColumn) {
+        equalities.emplace_back(col_index(c->children[0]->column),
+                                col_index(c->children[1]->column));
+      }
+    }
+    if (equalities.empty()) return false;
+    std::vector<int> uf(cols.size());
+    for (size_t i = 0; i < uf.size(); ++i) uf[i] = static_cast<int>(i);
+    for (auto [a, b] : equalities) uf[Find(&uf, a)] = Find(&uf, b);
+
+    // Existing predicate fingerprints (to avoid re-deriving forever).
+    std::set<std::string> existing;
+    for (const BExpr& c : conjuncts) existing.insert(Fingerprint(c));
+
+    // Derive constant predicates across each equivalence class.
+    std::vector<BExpr> derived;
+    for (const BExpr& c : conjuncts) {
+      ColumnId col;
+      ast::BinaryOp op;
+      Value constant;
+      if (!plan::MatchColumnConstant(c, &col, &op, &constant)) continue;
+      if (constant.is_null()) continue;
+      int ci = -1;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i] == col) ci = static_cast<int>(i);
+      }
+      if (ci < 0) continue;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (static_cast<int>(i) == ci) continue;
+        if (Find(&uf, static_cast<int>(i)) != Find(&uf, ci)) continue;
+        TypeId t = c->children[0]->kind == plan::BoundKind::kColumn
+                       ? c->children[0]->type
+                       : c->children[1]->type;
+        BExpr copy = plan::MakeBinary(
+            op, plan::MakeColumn(cols[i], t, cols[i].ToString()),
+            plan::MakeLiteral(constant));
+        std::string fp = Fingerprint(copy);
+        if (existing.insert(fp).second) derived.push_back(std::move(copy));
+      }
+    }
+    if (derived.empty()) return false;
+    parent->children[slot] =
+        plan::MakeFilter(block, plan::MakeConjunction(derived));
+    return true;
+  }
+
+  static void CollectConjuncts(const LogicalPtr& op,
+                               std::vector<BExpr>* out) {
+    if (op->predicate) plan::SplitConjuncts(op->predicate, out);
+    for (const LogicalPtr& c : op->children) CollectConjuncts(c, out);
+  }
+
+  /// Canonical fingerprint for dedup: column+op+constant for constant
+  /// predicates, rendered text otherwise.
+  static std::string Fingerprint(const BExpr& e) {
+    ColumnId col;
+    ast::BinaryOp op;
+    Value constant;
+    if (plan::MatchColumnConstant(e, &col, &op, &constant)) {
+      return col.ToString() + ast::BinaryOpName(op) + constant.ToString();
+    }
+    return e->ToString();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakePredicatePushdownRule() {
+  return std::make_unique<PredicatePushdownRule>();
+}
+
+std::unique_ptr<Rule> MakePredicateInferenceRule() {
+  return std::make_unique<PredicateInferenceRule>();
+}
+
+}  // namespace qopt::opt

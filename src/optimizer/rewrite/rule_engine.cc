@@ -1,0 +1,87 @@
+#include "optimizer/rewrite/rule_engine.h"
+
+namespace qopt::opt {
+
+void RuleEngine::AddRule(RuleClass cls, std::unique_ptr<Rule> rule) {
+  rules_[cls].push_back(std::move(rule));
+}
+
+RuleEngine RuleEngine::Default() {
+  RuleEngine engine;
+  engine.AddRule(RuleClass::kNormalize, MakeConstantFoldingRule());
+  engine.AddRule(RuleClass::kNormalize, MakeMergeFiltersRule());
+  engine.AddRule(RuleClass::kNormalize, MakeMergeProjectsRule());
+  engine.AddRule(RuleClass::kNormalize, MakeMergeTrivialProjectsRule());
+  engine.AddRule(RuleClass::kUnnest, MakeUnnestSemiApplyRule());
+  engine.AddRule(RuleClass::kUnnest, MakeUnnestScalarAggApplyRule());
+  engine.AddRule(RuleClass::kOuterJoin, MakeOuterJoinSimplifyRule());
+  engine.AddRule(RuleClass::kOuterJoin, MakeJoinOuterJoinAssocRule());
+  engine.AddRule(RuleClass::kPushdown, MakePredicateInferenceRule());
+  engine.AddRule(RuleClass::kPushdown, MakePredicatePushdownRule());
+  engine.AddRule(RuleClass::kAlternative, MakeGroupByPushdownRule());
+  engine.AddRule(RuleClass::kAlternative, MakeEagerAggregationRule());
+  engine.AddRule(RuleClass::kAlternative, MakeMagicSetRule());
+  return engine;
+}
+
+RuleEngine RuleEngine::NormalizeOnly() {
+  RuleEngine engine;
+  engine.AddRule(RuleClass::kNormalize, MakeConstantFoldingRule());
+  engine.AddRule(RuleClass::kNormalize, MakeMergeFiltersRule());
+  engine.AddRule(RuleClass::kNormalize, MakeMergeProjectsRule());
+  engine.AddRule(RuleClass::kPushdown, MakePredicatePushdownRule());
+  return engine;
+}
+
+RewriteResult RuleEngine::Rewrite(plan::LogicalPtr root,
+                                  const Catalog& catalog, int* next_rel_id,
+                                  int budget) const {
+  RewriteResult result;
+  RewriteContext ctx;
+  ctx.catalog = &catalog;
+  ctx.next_rel_id = next_rel_id;
+
+  // Non-alternative rule classes run to fixpoint in class order; a firing
+  // in a later class re-triggers the earlier classes (forward chaining).
+  auto run_heuristic = [&](plan::LogicalPtr plan) {
+    int remaining = budget;
+    bool changed = true;
+    while (changed && remaining > 0) {
+      changed = false;
+      for (const auto& [cls, rules] : rules_) {
+        if (cls == RuleClass::kAlternative) continue;
+        for (const auto& rule : rules) {
+          for (;;) {
+            plan::LogicalPtr next = rule->Apply(plan, ctx);
+            if (!next) break;
+            plan = std::move(next);
+            ++result.applications[rule->name()];
+            changed = true;
+            if (--remaining <= 0) break;
+          }
+          if (remaining <= 0) break;
+        }
+        if (remaining <= 0) break;
+      }
+    }
+    return plan;
+  };
+
+  result.plan = run_heuristic(std::move(root));
+
+  // Alternatives: each cost-based rule applied once to a clone of the
+  // canonical plan, then re-normalized.
+  auto alt_it = rules_.find(RuleClass::kAlternative);
+  if (alt_it != rules_.end()) {
+    for (const auto& rule : alt_it->second) {
+      plan::LogicalPtr alt = rule->Apply(result.plan->Clone(), ctx);
+      if (alt) {
+        ++result.applications[rule->name()];
+        result.alternatives.push_back(run_heuristic(std::move(alt)));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qopt::opt

@@ -1,0 +1,138 @@
+// Starburst-style query-rewrite engine (paper Section 6.1).
+//
+// Rules are condition/transform pairs over the logical plan, grouped into
+// rule classes evaluated in a configurable order by a forward-chaining
+// engine with an application budget. As in Starburst, the rewrite phase has
+// no cost information: rules whose benefit is not universal ("transformations
+// do not necessarily reduce cost and therefore must be applied in a
+// cost-based manner", §4) are ALTERNATIVE rules — the engine emits a
+// rewritten copy of the whole plan and the cost-based phase picks the
+// winner.
+#ifndef QOPT_OPTIMIZER_REWRITE_RULE_ENGINE_H_
+#define QOPT_OPTIMIZER_REWRITE_RULE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+
+namespace qopt::opt {
+
+/// Shared state available to rules.
+struct RewriteContext {
+  const Catalog* catalog = nullptr;
+  int* next_rel_id = nullptr;  ///< For rules that introduce operators.
+};
+
+/// A rewrite rule: matches anywhere in the plan and returns the transformed
+/// root, or nullptr if it does not apply. Rules must be semantics-preserving.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* name() const = 0;
+  /// Applies the rule once somewhere in `root`; nullptr = no match.
+  virtual plan::LogicalPtr Apply(const plan::LogicalPtr& root,
+                                 RewriteContext& ctx) const = 0;
+};
+
+/// Rule classes, evaluated in this order (Starburst rule-class sequencing).
+enum class RuleClass {
+  kNormalize,    ///< Always-good: constant folding, merge filters/projects.
+  kUnnest,       ///< Subquery unnesting / decorrelation (§4.2.2).
+  kOuterJoin,    ///< Outerjoin simplification & association (§4.1.2).
+  kPushdown,     ///< Predicate pushdown / move-around.
+  kAlternative,  ///< Cost-based: group-by pushdown (§4.1.3), magic (§4.3).
+};
+
+/// Outcome of the rewrite phase.
+struct RewriteResult {
+  plan::LogicalPtr plan;  ///< Heuristically rewritten canonical plan.
+  /// Fully-normalized alternatives produced by kAlternative rules, each the
+  /// canonical plan with one cost-based transformation applied.
+  std::vector<plan::LogicalPtr> alternatives;
+  /// Rule name -> number of applications (diagnostics / tests).
+  std::map<std::string, int> applications;
+};
+
+/// The forward-chaining engine.
+class RuleEngine {
+ public:
+  void AddRule(RuleClass cls, std::unique_ptr<Rule> rule);
+
+  /// Engine with the full standard rule set.
+  static RuleEngine Default();
+
+  /// Engine with only the always-good normalization + predicate-pushdown
+  /// rules (no unnesting, no cost-based alternatives). Used by the naive
+  /// execution baseline, which keeps syntactic join order and
+  /// tuple-iteration subqueries but — like System-R — still "evaluates
+  /// predicates as early as possible".
+  static RuleEngine NormalizeOnly();
+
+  /// Rewrites `root` to fixpoint (bounded by `budget` total applications).
+  RewriteResult Rewrite(plan::LogicalPtr root, const Catalog& catalog,
+                        int* next_rel_id, int budget = 256) const;
+
+ private:
+  std::map<RuleClass, std::vector<std::shared_ptr<Rule>>> rules_;
+};
+
+// ---- Rule factories (one translation unit per family) ----
+
+// normalize_rules.cc
+std::unique_ptr<Rule> MakeConstantFoldingRule();
+std::unique_ptr<Rule> MakeMergeFiltersRule();
+std::unique_ptr<Rule> MakeMergeProjectsRule();
+/// View merging (§4.2.1): inlines pure-column Project nodes (the wrappers
+/// created when views/derived tables are bound) so joins reorder freely.
+std::unique_ptr<Rule> MakeMergeTrivialProjectsRule();
+
+// pushdown_rules.cc
+/// Predicate pushdown & move-around: splits conjuncts, converts Cross+pred
+/// to Inner join, pushes single-side predicates below joins (left side of
+/// outer joins only), through projections and into aggregates when they
+/// reference grouping columns.
+std::unique_ptr<Rule> MakePredicatePushdownRule();
+/// Predicate inference / move-around ([36]): derives constant predicates
+/// across equality-equivalence classes so every relation filters early.
+std::unique_ptr<Rule> MakePredicateInferenceRule();
+
+// unnest_rules.cc
+/// Apply(semi/anti) over an SPJ subquery -> semi/anti join with the
+/// correlated predicates pulled up (Kim/Dayal, §4.2.2).
+std::unique_ptr<Rule> MakeUnnestSemiApplyRule();
+/// Apply(scalar) over a correlated scalar aggregate -> left outer join +
+/// group-by (the COUNT example of §4.2.2).
+std::unique_ptr<Rule> MakeUnnestScalarAggApplyRule();
+
+// outerjoin_rules.cc
+/// LOJ + null-rejecting predicate on the inner side -> inner join.
+std::unique_ptr<Rule> MakeOuterJoinSimplifyRule();
+/// Join(R, S LOJ T) = Join(R,S) LOJ T  (§4.1.2): hoists outerjoins above
+/// inner joins so the join block reorders freely.
+std::unique_ptr<Rule> MakeJoinOuterJoinAssocRule();
+
+// groupby_rules.cc (alternatives)
+/// Invariant group-by pushdown below a key/foreign-key join (Fig. 4b).
+std::unique_ptr<Rule> MakeGroupByPushdownRule();
+/// Eager/staged aggregation: introduces a partial aggregate below the join
+/// and a combining aggregate above (Fig. 4c).
+std::unique_ptr<Rule> MakeEagerAggregationRule();
+
+// magic_rules.cc (alternative)
+/// Magic-sets / semijoin reduction (§4.3): restricts an aggregate view's
+/// input to the keys produced by the rest of the query.
+std::unique_ptr<Rule> MakeMagicSetRule();
+
+/// Deep-clones `op`, assigning fresh rel ids to every relation defined
+/// inside and remapping column references accordingly (used when a rule
+/// duplicates a subtree, e.g. magic sets).
+plan::LogicalPtr CloneWithFreshRels(const plan::LogicalPtr& op,
+                                    int* next_rel_id);
+
+}  // namespace qopt::opt
+
+#endif  // QOPT_OPTIMIZER_REWRITE_RULE_ENGINE_H_

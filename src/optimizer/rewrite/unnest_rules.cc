@@ -1,0 +1,245 @@
+#include "optimizer/rewrite/rule_engine.h"
+#include "plan/binder.h"
+
+namespace qopt::opt {
+
+using plan::BExpr;
+using plan::BoundKind;
+using plan::JoinType;
+using plan::LogicalOp;
+using plan::LogicalOpKind;
+using plan::LogicalPtr;
+
+namespace {
+
+/// True if the subtree is a pure SPJ block (Get/Filter/inner/cross Join).
+bool IsSPJ(const LogicalOp& op) {
+  switch (op.kind) {
+    case LogicalOpKind::kGet:
+      return true;
+    case LogicalOpKind::kFilter:
+      return IsSPJ(*op.children[0]);
+    case LogicalOpKind::kJoin:
+      if (op.join_type != JoinType::kInner &&
+          op.join_type != JoinType::kCross) {
+        return false;
+      }
+      return IsSPJ(*op.children[0]) && IsSPJ(*op.children[1]);
+    default:
+      return false;
+  }
+}
+
+/// rel ids defined inside a subtree (base rels + synthesized outputs).
+std::set<int> DefinedRels(const LogicalOp& op) {
+  std::set<int> rels;
+  if (op.kind == LogicalOpKind::kGet) rels.insert(op.rel_id);
+  for (const plan::OutputCol& c : op.proj_cols) rels.insert(c.id.rel);
+  for (const plan::AggItem& a : op.aggs) rels.insert(a.output.rel);
+  for (const LogicalPtr& c : op.children) {
+    std::set<int> sub = DefinedRels(*c);
+    rels.insert(sub.begin(), sub.end());
+  }
+  return rels;
+}
+
+bool IsCorrelated(const BExpr& pred, const std::set<int>& defined) {
+  std::set<ColumnId> cols;
+  plan::CollectColumns(pred, &cols);
+  for (ColumnId c : cols) {
+    if (!defined.count(c.rel)) return true;
+  }
+  return false;
+}
+
+/// Removes correlated conjuncts from Filter nodes in `op` (an SPJ subtree)
+/// into `out`. Join conditions are left alone (they cannot be correlated
+/// in plans the binder produces).
+void ExtractCorrelatedConjuncts(const LogicalPtr& op,
+                                const std::set<int>& defined,
+                                std::vector<BExpr>* out) {
+  if (op->kind == LogicalOpKind::kFilter) {
+    std::vector<BExpr> conjuncts, keep;
+    plan::SplitConjuncts(op->predicate, &conjuncts);
+    for (const BExpr& c : conjuncts) {
+      if (IsCorrelated(c, defined)) {
+        out->push_back(c);
+      } else {
+        keep.push_back(c);
+      }
+    }
+    op->predicate = plan::MakeConjunction(std::move(keep));
+  }
+  for (const LogicalPtr& c : op->children) {
+    ExtractCorrelatedConjuncts(c, defined, out);
+  }
+}
+
+/// Kim/Dayal unnesting: Apply(semi/anti) over an SPJ subquery becomes a
+/// semi/anti join whose condition carries the correlated predicates
+/// ("flattening" the nested query, §4.2.2).
+class UnnestSemiApplyRule : public Rule {
+ public:
+  const char* name() const override { return "unnest_semi_apply"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext& ctx) const override {
+    // Holder node so a match at the root itself is replaceable.
+    LogicalPtr holder = plan::MakeLimit(root, -1);
+    if (!Rewrite(holder, ctx)) return nullptr;
+    return holder->children[0];
+  }
+
+ private:
+  static bool Rewrite(const LogicalPtr& op, RewriteContext& ctx) {
+    for (LogicalPtr& child : op->children) {
+      if (Rewrite(child, ctx)) return true;
+      if (child->kind != LogicalOpKind::kApply) continue;
+      if (child->apply_type == plan::ApplyType::kScalar) continue;
+      LogicalPtr right = child->children[1];
+      if (!IsSPJ(*right)) {
+        // Uncorrelated subqueries convert regardless of their shape: the
+        // inner result is a plain relation.
+        if (!child->correlated_cols.empty()) continue;
+      }
+      std::set<int> defined = DefinedRels(*right);
+      std::vector<BExpr> correlated;
+      if (IsSPJ(*right)) {
+        ExtractCorrelatedConjuncts(right, defined, &correlated);
+      }
+      std::vector<BExpr> cond_parts = std::move(correlated);
+      if (child->predicate) cond_parts.push_back(child->predicate);
+      BExpr cond = plan::MakeConjunction(std::move(cond_parts));
+      JoinType jt = child->apply_type == plan::ApplyType::kSemi
+                        ? JoinType::kSemi
+                        : JoinType::kAnti;
+      child = plan::MakeJoin(jt, child->children[0], right, cond);
+      return true;
+    }
+    return false;
+  }
+};
+
+/// The paper's COUNT example (§4.2.2): Apply(scalar) over a correlated
+/// scalar aggregate becomes LEFT OUTER JOIN + GROUP BY, preserving outer
+/// tuples that have no match (COUNT(*) is rewritten to count an inner join
+/// column so null-padded rows count as zero).
+class UnnestScalarAggApplyRule : public Rule {
+ public:
+  const char* name() const override { return "unnest_scalar_agg_apply"; }
+
+  LogicalPtr Apply(const LogicalPtr& root, RewriteContext& ctx) const override {
+    LogicalPtr holder = plan::MakeLimit(root, -1);
+    if (!Rewrite(holder, ctx)) return nullptr;
+    return holder->children[0];
+  }
+
+ private:
+  static bool Rewrite(const LogicalPtr& op, RewriteContext& ctx) {
+    for (LogicalPtr& child : op->children) {
+      if (Rewrite(child, ctx)) return true;
+      if (child->kind != LogicalOpKind::kApply) continue;
+      if (child->apply_type != plan::ApplyType::kScalar) continue;
+      if (child->correlated_cols.empty()) continue;
+      LogicalPtr right = child->children[1];
+      if (right->kind != LogicalOpKind::kAggregate) continue;
+      if (!right->group_by.empty()) continue;  // scalar aggregate only
+      LogicalPtr inner = right->children[0];
+      if (!IsSPJ(*inner)) continue;
+
+      // The transform multiplies outer rows through a join and re-groups;
+      // that is only an identity when the outer stream carries a key.
+      LogicalPtr left = child->children[0];
+      if (!LeftHasKeyColumn(*left, *ctx.catalog)) continue;
+
+      // Pull correlated equality conjuncts (outer_col = inner_col).
+      std::set<int> defined = DefinedRels(*inner);
+      std::vector<BExpr> correlated;
+      ExtractCorrelatedConjuncts(inner, defined, &correlated);
+      if (correlated.empty()) continue;
+      ColumnId inner_probe;  // a non-null-on-match inner column
+      bool all_equi = true;
+      for (const BExpr& c : correlated) {
+        if (c->kind != BoundKind::kBinary || c->op != ast::BinaryOp::kEq) {
+          all_equi = false;
+          break;
+        }
+        for (const BExpr& side : c->children) {
+          if (side->kind == BoundKind::kColumn &&
+              defined.count(side->column.rel)) {
+            inner_probe = side->column;
+          }
+        }
+      }
+      if (!all_equi || !inner_probe.valid()) {
+        // Restore extracted conjuncts (wrap inner in a filter again).
+        if (!correlated.empty()) {
+          right->children[0] =
+              plan::MakeFilter(inner, plan::MakeConjunction(correlated));
+        }
+        continue;
+      }
+
+      // COUNT(*) must not count null-padded rows: count the probe column.
+      TypeId probe_type = TypeId::kInt64;
+      for (const plan::OutputCol& c : inner->OutputCols()) {
+        if (c.id == inner_probe) probe_type = c.type;
+      }
+      std::vector<plan::AggItem> aggs = right->aggs;
+      for (plan::AggItem& a : aggs) {
+        if (a.func == ast::AggFunc::kCountStar) {
+          a.func = ast::AggFunc::kCount;
+          a.arg = plan::MakeColumn(inner_probe, probe_type, "<probe>");
+        }
+      }
+
+      BExpr cond = plan::MakeConjunction(std::move(correlated));
+      LogicalPtr loj =
+          plan::MakeJoin(JoinType::kLeftOuter, left, inner, cond);
+      std::vector<BExpr> group;
+      for (const plan::OutputCol& c : left->OutputCols()) {
+        group.push_back(plan::MakeColumn(c.id, c.type, c.name));
+      }
+      child = plan::MakeAggregate(loj, std::move(group), std::move(aggs));
+      return true;
+    }
+    return false;
+  }
+
+  /// True if some base-table primary key column appears in the output of
+  /// `op` (so outer rows are pairwise distinct and re-grouping by all
+  /// outer columns reconstructs them exactly).
+  static bool LeftHasKeyColumn(const LogicalOp& op, const Catalog& catalog) {
+    std::set<ColumnId> outputs;
+    for (const plan::OutputCol& c : op.OutputCols()) outputs.insert(c.id);
+    return SubtreeHasKey(op, outputs, catalog);
+  }
+
+  static bool SubtreeHasKey(const LogicalOp& op,
+                            const std::set<ColumnId>& outputs,
+                            const Catalog& catalog) {
+    if (op.kind == LogicalOpKind::kGet) {
+      const TableDef* t = catalog.GetTable(op.table_id);
+      if (t != nullptr && t->primary_key >= 0 &&
+          outputs.count(ColumnId{op.rel_id, t->primary_key})) {
+        return true;
+      }
+      return false;
+    }
+    for (const LogicalPtr& c : op.children) {
+      if (SubtreeHasKey(*c, outputs, catalog)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeUnnestSemiApplyRule() {
+  return std::make_unique<UnnestSemiApplyRule>();
+}
+
+std::unique_ptr<Rule> MakeUnnestScalarAggApplyRule() {
+  return std::make_unique<UnnestScalarAggApplyRule>();
+}
+
+}  // namespace qopt::opt

@@ -1,0 +1,175 @@
+#include "optimizer/selinger/access_paths.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/table.h"
+
+namespace qopt::opt {
+
+using ast::BinaryOp;
+using plan::BExpr;
+
+double EstimatePages(double rows, double num_cols) {
+  return std::max(rows > 0 ? 1.0 : 0.0,
+                  rows * num_cols * 8.0 / kPageSizeBytes);
+}
+
+namespace {
+
+/// Splits `preds` into range/equality bounds on `column` (usable by an index
+/// scan) and residual predicates.
+struct BoundSplit {
+  std::optional<exec::ScanBound> lo, hi;
+  std::vector<BExpr> bound_preds;
+  std::vector<BExpr> residual;
+};
+
+BoundSplit SplitBounds(const std::vector<BExpr>& preds, ColumnId column) {
+  BoundSplit out;
+  for (const BExpr& p : preds) {
+    ColumnId col;
+    BinaryOp op;
+    Value constant;
+    if (plan::MatchColumnConstant(p, &col, &op, &constant) && col == column &&
+        !constant.is_null()) {
+      auto tighten_lo = [&](const Value& v, bool inclusive) {
+        if (!out.lo.has_value() || out.lo->value.Compare(v) < 0 ||
+            (out.lo->value.Compare(v) == 0 && !inclusive)) {
+          out.lo = exec::ScanBound{v, inclusive};
+        }
+      };
+      auto tighten_hi = [&](const Value& v, bool inclusive) {
+        if (!out.hi.has_value() || out.hi->value.Compare(v) > 0 ||
+            (out.hi->value.Compare(v) == 0 && !inclusive)) {
+          out.hi = exec::ScanBound{v, inclusive};
+        }
+      };
+      switch (op) {
+        case BinaryOp::kEq:
+          tighten_lo(constant, true);
+          tighten_hi(constant, true);
+          out.bound_preds.push_back(p);
+          continue;
+        case BinaryOp::kLt:
+          tighten_hi(constant, false);
+          out.bound_preds.push_back(p);
+          continue;
+        case BinaryOp::kLe:
+          tighten_hi(constant, true);
+          out.bound_preds.push_back(p);
+          continue;
+        case BinaryOp::kGt:
+          tighten_lo(constant, false);
+          out.bound_preds.push_back(p);
+          continue;
+        case BinaryOp::kGe:
+          tighten_lo(constant, true);
+          out.bound_preds.push_back(p);
+          continue;
+        default:
+          break;
+      }
+    }
+    out.residual.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AccessPath> EnumerateAccessPaths(const plan::QGRelation& rel,
+                                             const Catalog& catalog,
+                                             const cost::CostModel& model,
+                                             stats::RelStats* out_stats,
+                                             bool include_index_paths,
+                                             bool include_seq_scan) {
+  std::vector<AccessPath> paths;
+  const TableDef* table = catalog.GetTable(rel.table_id);
+  QOPT_DCHECK(table != nullptr);
+  const stats::TableStats* tstats = table->stats.get();
+
+  stats::RelStats base = stats::BaseRelStats(
+      rel.rel_id, tstats, static_cast<int>(table->columns.size()));
+  // Apply all local predicates together so pairwise joint-histogram
+  // estimation (§5.1.1) can see correlated conjunct pairs.
+  stats::RelStats after =
+      rel.local_preds.empty()
+          ? base
+          : cost::ApplyPredicateStats(
+                base, plan::MakeConjunction(rel.local_preds));
+  *out_stats = after;
+
+  double table_rows = base.rows;
+  double table_pages =
+      tstats != nullptr ? tstats->num_pages
+                        : EstimatePages(table_rows, table->columns.size());
+
+  std::vector<plan::OutputCol> cols;
+  std::string alias = rel.alias.empty() ? table->name : rel.alias;
+  for (size_t i = 0; i < table->columns.size(); ++i) {
+    cols.push_back({ColumnId{rel.rel_id, static_cast<int>(i)},
+                    table->columns[i].type,
+                    alias + "." + table->columns[i].name});
+  }
+
+  // 1. Sequential scan, all local predicates as residual filter (rank-
+  // ordered, §7.2). Kept unconditionally when the table has no index.
+  if (include_seq_scan || catalog.IndexesOn(rel.table_id).empty() ||
+      !include_index_paths) {
+    AccessPath path;
+    BExpr filter =
+        rel.local_preds.empty()
+            ? nullptr
+            : plan::MakeConjunction(
+                  cost::OrderConjunctsByRank(rel.local_preds, base));
+    path.plan = exec::MakeTableScan(rel.table_id, rel.rel_id, alias, cols,
+                                    filter);
+    path.cost = model.SeqScan(table_pages, table_rows);
+    path.cost += model.Filter(table_rows,
+                              static_cast<int>(rel.local_preds.size()));
+    path.plan->est_cost = path.cost;
+    path.plan->est_rows = after.rows;
+    paths.push_back(std::move(path));
+  }
+
+  // 2. Index scans: bounded when a local predicate constrains the indexed
+  // column, full otherwise (still useful for its interesting order).
+  if (!include_index_paths) return paths;
+  for (const IndexDef* index : catalog.IndexesOn(rel.table_id)) {
+    ColumnId index_col{rel.rel_id, index->column};
+    BoundSplit split = SplitBounds(rel.local_preds, index_col);
+
+    // Matching-row estimate: selectivity of the bound predicates.
+    stats::RelStats bound_stats = base;
+    for (const BExpr& p : split.bound_preds) {
+      bound_stats = cost::ApplyPredicateStats(bound_stats, p);
+    }
+    double matching = bound_stats.rows;
+    bool bounded = split.lo.has_value() || split.hi.has_value();
+    if (!bounded) matching = table_rows;
+
+    AccessPath path;
+    BExpr filter = split.residual.empty()
+                       ? nullptr
+                       : plan::MakeConjunction(cost::OrderConjunctsByRank(
+                             split.residual, base));
+    path.plan = exec::MakeIndexScan(rel.table_id, rel.rel_id, alias, cols,
+                                    index->id, split.lo, split.hi, filter);
+    double height =
+        std::max(1.0, std::ceil(std::log(std::max(2.0, table_rows)) /
+                                std::log(256.0)));
+    path.cost = model.IndexScan(matching, table_rows, height,
+                                index->clustered, table_pages, table_rows);
+    path.cost +=
+        model.Filter(matching, static_cast<int>(split.residual.size()));
+    path.order = {{index_col, true}};
+    path.plan->output_order = path.order;
+    path.plan->est_cost = path.cost;
+    path.plan->est_rows = after.rows;
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace qopt::opt

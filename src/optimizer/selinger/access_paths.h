@@ -1,0 +1,43 @@
+// Access-path selection for a single relation (paper §3, after Selinger et
+// al. [55]): sequential scan vs. index scans, with index-range bounds pulled
+// out of the relation's local predicates and residual predicates applied in
+// the scan. Index scans additionally produce an *interesting order*.
+#ifndef QOPT_OPTIMIZER_SELINGER_ACCESS_PATHS_H_
+#define QOPT_OPTIMIZER_SELINGER_ACCESS_PATHS_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "cost/selectivity.h"
+#include "exec/physical_plan.h"
+#include "plan/query_graph.h"
+#include "stats/derived_stats.h"
+
+namespace qopt::opt {
+
+/// One candidate access path for a base relation.
+struct AccessPath {
+  exec::PhysPtr plan;
+  cost::Cost cost;
+  std::vector<plan::SortKey> order;  ///< Output ordering, possibly empty.
+};
+
+/// Enumerates access paths for `rel` (base relation + local predicates).
+/// Populates `out_stats` with the relation's post-predicate derived
+/// statistics (a logical property shared by all paths). With
+/// `include_index_paths` false only the sequential scan is produced
+/// (search-space knob for experiments).
+std::vector<AccessPath> EnumerateAccessPaths(const plan::QGRelation& rel,
+                                             const Catalog& catalog,
+                                             const cost::CostModel& model,
+                                             stats::RelStats* out_stats,
+                                             bool include_index_paths = true,
+                                             bool include_seq_scan = true);
+
+/// Modeled page count of an intermediate result (8 bytes/column).
+double EstimatePages(double rows, double num_cols);
+
+}  // namespace qopt::opt
+
+#endif  // QOPT_OPTIMIZER_SELINGER_ACCESS_PATHS_H_

@@ -1,0 +1,564 @@
+#include "optimizer/selinger/selinger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "optimizer/join_common.h"
+
+namespace qopt::opt {
+
+using plan::BExpr;
+using plan::QGRelation;
+using plan::QueryGraph;
+using plan::SortKey;
+using stats::RelStats;
+
+namespace {
+
+/// One plan candidate for a relation subset, keyed by its physical property
+/// (output ordering). "Two plans are compared only if they represent the
+/// same expression as well as have the same interesting order" (§3).
+struct Cand {
+  exec::PhysPtr plan;
+  cost::Cost cost;
+  std::vector<SortKey> order;
+};
+
+/// DP-table entry for a relation subset: derived statistics (the logical
+/// property, shared by every plan for the subset) plus the Pareto frontier
+/// of candidates.
+struct Entry {
+  RelStats stats;
+  bool stats_set = false;
+  std::vector<Cand> cands;
+};
+
+/// True if `have` delivers ordering `need` (prefix containment).
+bool OrderSatisfies(const std::vector<SortKey>& have,
+                    const std::vector<SortKey>& need) {
+  if (need.size() > have.size()) return false;
+  for (size_t i = 0; i < need.size(); ++i) {
+    if (!(have[i] == need[i])) return false;
+  }
+  return true;
+}
+
+class SelingerImpl {
+ public:
+  SelingerImpl(const QueryGraph& graph, const Catalog& catalog,
+               const cost::CostModel& model, const SelingerOptions& options,
+               SelingerCounters* counters)
+      : graph_(graph),
+        catalog_(catalog),
+        model_(model),
+        options_(options),
+        counters_(counters) {
+    for (const plan::QGEdge& e : graph.edges) {
+      interesting_.insert(e.left);
+      interesting_.insert(e.right);
+    }
+  }
+
+  void AddInteresting(const std::vector<SortKey>& keys) {
+    for (const SortKey& k : keys) interesting_.insert(k.column);
+  }
+
+  /// Bitmask with relation index `i` set.
+  static uint64_t Bit(int i) { return 1ULL << i; }
+
+  Entry MakeBaseEntry(int rel_index) {
+    Entry entry;
+    std::vector<AccessPath> paths = EnumerateAccessPaths(
+        graph_.relations[rel_index], catalog_, model_, &entry.stats,
+        options_.enable_index_scan, options_.enable_seq_scan);
+    entry.stats_set = true;
+    for (AccessPath& p : paths) {
+      AddCandidate(&entry, {std::move(p.plan), p.cost, std::move(p.order)});
+    }
+    ++counters_->subsets_expanded;
+    return entry;
+  }
+
+  /// Lazily builds the shared canonical subset-statistics cache.
+  SubsetStatsCache& StatsCache() {
+    if (!stats_cache_) {
+      std::vector<RelStats> base;
+      for (size_t i = 0; i < graph_.relations.size(); ++i) {
+        RelStats rs;
+        EnumerateAccessPaths(graph_.relations[i], catalog_, model_, &rs);
+        base.push_back(std::move(rs));
+      }
+      stats_cache_ =
+          std::make_unique<SubsetStatsCache>(&graph_, std::move(base));
+    }
+    return *stats_cache_;
+  }
+
+  void AddCandidate(Entry* entry, Cand cand) {
+    // Orders over non-interesting columns cannot pay off later: normalize
+    // them away so they compete purely on cost.
+    if (!cand.order.empty() && !interesting_.count(cand.order[0].column)) {
+      cand.order.clear();
+    }
+    if (!options_.use_interesting_orders) cand.order.clear();
+    for (const Cand& e : entry->cands) {
+      if (e.cost.total() <= cand.cost.total() &&
+          OrderSatisfies(e.order, cand.order)) {
+        ++counters_->candidates_pruned;
+        return;  // dominated
+      }
+    }
+    entry->cands.erase(
+        std::remove_if(entry->cands.begin(), entry->cands.end(),
+                       [&](const Cand& e) {
+                         bool dom = cand.cost.total() <= e.cost.total() &&
+                                    OrderSatisfies(cand.order, e.order);
+                         if (dom) ++counters_->candidates_pruned;
+                         return dom;
+                       }),
+        entry->cands.end());
+    entry->cands.push_back(std::move(cand));
+  }
+
+  /// Connected components of the full query graph (by relation index).
+  std::vector<uint64_t> GraphComponents() const {
+    int n = static_cast<int>(graph_.relations.size());
+    std::vector<int> comp(n, -1);
+    std::vector<uint64_t> comps;
+    for (int start = 0; start < n; ++start) {
+      if (comp[start] >= 0) continue;
+      uint64_t mask = 0;
+      std::vector<int> stack = {start};
+      comp[start] = static_cast<int>(comps.size());
+      while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        mask |= Bit(cur);
+        for (const plan::QGEdge& e : graph_.edges) {
+          int a = graph_.RelIndex(e.left.rel);
+          int b = graph_.RelIndex(e.right.rel);
+          int other = a == cur ? b : (b == cur ? a : -1);
+          if (other >= 0 && comp[other] < 0) {
+            comp[other] = comp[start];
+            stack.push_back(other);
+          }
+        }
+      }
+      comps.push_back(mask);
+    }
+    return comps;
+  }
+
+  /// True if `mask` is connected using only edges within `mask`.
+  bool ConnectedWithin(uint64_t mask) const {
+    if (mask == 0) return true;
+    uint64_t reached = mask & (~mask + 1);  // lowest bit
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const plan::QGEdge& e : graph_.edges) {
+        uint64_t a = Bit(graph_.RelIndex(e.left.rel));
+        uint64_t b = Bit(graph_.RelIndex(e.right.rel));
+        if (!(a & mask) || !(b & mask)) continue;
+        if ((a & reached) && !(b & reached)) {
+          reached |= b;
+          grew = true;
+        } else if ((b & reached) && !(a & reached)) {
+          reached |= a;
+          grew = true;
+        }
+      }
+    }
+    return reached == mask;
+  }
+
+  /// System-R Cartesian-product deferral: a subset is admissible if every
+  /// query-graph component it touches is either taken completely or as a
+  /// connected partial subset, and at most one component is partial —
+  /// "Cartesian product among relations is deferred until after all the
+  /// joins" (§4.1.1), crossing only completed components.
+  bool AdmissibleSubset(uint64_t mask,
+                        const std::vector<uint64_t>& comps) const {
+    int partial = 0;
+    for (uint64_t c : comps) {
+      uint64_t t = mask & c;
+      if (t == 0 || t == c) continue;
+      if (++partial > 1) return false;
+      if (!ConnectedWithin(t)) return false;
+    }
+    return true;
+  }
+
+  /// Sort-enforcer candidates: for every interesting order producible by
+  /// this subset, add "cheapest plan + Sort". Order-preserving joins above
+  /// can then carry the ordering, matching the Cascades enforcer's plan
+  /// space (System-R's orders originated only in access paths and merge
+  /// joins; the generalization to enforced physical properties is [22]).
+  void AddEnforcedOrders(Entry* entry) {
+    if (!options_.use_interesting_orders || entry->cands.empty()) return;
+    Cand cheapest = entry->cands[0];
+    for (const Cand& c : entry->cands) {
+      if (c.cost.total() < cheapest.cost.total()) cheapest = c;
+    }
+    double rows = entry->stats.rows;
+    double width = static_cast<double>(entry->stats.columns.size());
+    for (ColumnId ic : interesting_) {
+      if (!entry->stats.columns.count(ic)) continue;
+      std::vector<SortKey> need = {{ic, true}};
+      if (OrderSatisfies(cheapest.order, need)) continue;
+      Cand sorted;
+      sorted.cost = cheapest.cost + model_.Sort(rows, EstimatePages(rows,
+                                                                    width));
+      sorted.plan = exec::MakeSortExec(cheapest.plan, need);
+      sorted.plan->est_rows = rows;
+      sorted.plan->est_cost = sorted.cost;
+      sorted.order = need;
+      AddCandidate(entry, std::move(sorted));
+    }
+  }
+
+  exec::PhysPtr WithSortIfNeeded(const Cand& cand,
+                                 const std::vector<SortKey>& need,
+                                 double rows, double width,
+                                 cost::Cost* out_cost) const {
+    *out_cost = cand.cost;
+    if (need.empty() || OrderSatisfies(cand.order, need)) return cand.plan;
+    exec::PhysPtr sorted = exec::MakeSortExec(cand.plan, need);
+    *out_cost += model_.Sort(rows, EstimatePages(rows, width));
+    sorted->est_rows = rows;
+    sorted->est_cost = *out_cost;
+    return sorted;
+  }
+
+  /// Generates all physical join candidates for left ⨝ right and adds them
+  /// to `entry`. `right_rel_index` >= 0 iff the right side is a single base
+  /// relation (enables index nested-loop joins).
+  void ExpandJoin(const Entry& left, const Entry& right, uint64_t left_mask,
+                  uint64_t right_mask, int right_rel_index, Entry* entry) {
+    JoinSpec spec = ComputeJoinSpec(graph_, left_mask, right_mask);
+    if (!entry->stats_set) {
+      // Logical property: identical for every partition of the subset.
+      entry->stats = StatsCache().Get(left_mask | right_mask);
+      entry->stats_set = true;
+    }
+    double out_rows = entry->stats.rows;
+    double lw = static_cast<double>(left.stats.columns.size());
+    double rw = static_cast<double>(right.stats.columns.size());
+    BExpr residual = ResidualOf(spec);
+
+    for (const Cand& l : left.cands) {
+      for (const Cand& r : right.cands) {
+        // Nested-loop join (inner materialized once; preserves outer order).
+        if (options_.enable_nl_join || !spec.has_equi) {
+          BExpr pred = FullPredicateOf(spec);
+          Cand c;
+          c.plan = exec::MakeNestedLoopJoin(
+              pred != nullptr ? plan::JoinType::kInner
+                              : plan::JoinType::kCross,
+              l.plan, r.plan, pred);
+          c.cost = l.cost + r.cost +
+                   model_.NestedLoopCPU(left.stats.rows, right.stats.rows);
+          c.order = l.order;
+          Finish(&c, out_rows, entry);
+        }
+
+        if (!spec.has_equi) continue;
+
+        // Hash join: build right, probe left (preserves left order).
+        if (options_.enable_hash_join) {
+          Cand c;
+          c.plan = exec::MakeHashJoin(plan::JoinType::kInner, l.plan, r.plan,
+                                      spec.left_col, spec.right_col, residual);
+          c.cost = l.cost + r.cost +
+                   model_.HashJoin(right.stats.rows,
+                                   EstimatePages(right.stats.rows, rw),
+                                   left.stats.rows,
+                                   EstimatePages(left.stats.rows, lw),
+                                   out_rows);
+          c.order = l.order;
+          Finish(&c, out_rows, entry);
+        }
+
+        // Sort-merge join: sorts enforced as needed; produces an
+        // interesting order on the join keys.
+        if (options_.enable_merge_join) {
+          std::vector<SortKey> lneed = {{spec.left_col, true}};
+          std::vector<SortKey> rneed = {{spec.right_col, true}};
+          Cand c;
+          cost::Cost lcost, rcost;
+          exec::PhysPtr lp =
+              WithSortIfNeeded(l, lneed, left.stats.rows, lw, &lcost);
+          exec::PhysPtr rp =
+              WithSortIfNeeded(r, rneed, right.stats.rows, rw, &rcost);
+          c.plan = exec::MakeMergeJoin(plan::JoinType::kInner, lp, rp,
+                                       spec.left_col, spec.right_col,
+                                       residual);
+          c.cost = lcost + rcost +
+                   model_.MergeJoin(left.stats.rows, right.stats.rows,
+                                    out_rows);
+          c.order = lneed;
+          Finish(&c, out_rows, entry);
+        }
+      }
+    }
+
+    // Index nested-loop join: right side must be a bare base relation with
+    // an index on its join column. Built once per left candidate (the right
+    // side is a fresh unbounded index scan).
+    if (spec.has_equi && options_.enable_index_nl_join &&
+        right_rel_index >= 0) {
+      const QGRelation& rrel = graph_.relations[right_rel_index];
+      if (spec.right_col.rel == rrel.rel_id) {
+        const IndexDef* index =
+            catalog_.FindIndexOn(rrel.table_id, spec.right_col.col);
+        if (index != nullptr) {
+          const TableDef* table = catalog_.GetTable(rrel.table_id);
+          const stats::TableStats* ts = table->stats.get();
+          double table_rows = ts != nullptr ? ts->row_count : 1000.0;
+          double table_pages =
+              ts != nullptr ? ts->num_pages
+                            : EstimatePages(table_rows, rw);
+          double key_ndv = table_rows;
+          if (ts != nullptr) {
+            if (const stats::ColumnStats* cs = ts->column(index->column)) {
+              key_ndv = cs->num_distinct;
+            }
+          }
+          double matches = table_rows / std::max(1.0, key_ndv);
+          double height = std::max(
+              1.0, std::ceil(std::log(std::max(2.0, table_rows)) /
+                             std::log(256.0)));
+
+          std::vector<plan::OutputCol> cols;
+          std::string alias =
+              rrel.alias.empty() ? table->name : rrel.alias;
+          for (size_t i = 0; i < table->columns.size(); ++i) {
+            cols.push_back({ColumnId{rrel.rel_id, static_cast<int>(i)},
+                            table->columns[i].type,
+                            alias + "." + table->columns[i].name});
+          }
+          BExpr local = rrel.local_preds.empty()
+                            ? nullptr
+                            : plan::MakeConjunction(rrel.local_preds);
+          for (const Cand& l : left.cands) {
+            exec::PhysPtr inner = exec::MakeIndexScan(
+                rrel.table_id, rrel.rel_id, alias, cols, index->id, {}, {},
+                local);
+            Cand c;
+            c.plan = exec::MakeIndexNLJoin(plan::JoinType::kInner, l.plan,
+                                           inner, spec.left_col,
+                                           spec.right_col, residual);
+            c.cost = l.cost + model_.RepeatedIndexLookup(
+                                  left.stats.rows, matches, table_rows,
+                                  height, index->clustered, table_pages,
+                                  table_rows);
+            if (local) {
+              c.cost += model_.Filter(
+                  left.stats.rows * matches,
+                  static_cast<int>(rrel.local_preds.size()));
+            }
+            c.order = l.order;
+            Finish(&c, out_rows, entry);
+          }
+        }
+      }
+    }
+  }
+
+  void Finish(Cand* c, double out_rows, Entry* entry) {
+    ++counters_->join_plans_costed;
+    c->plan->est_rows = out_rows;
+    c->plan->est_cost = c->cost;
+    c->plan->output_order = c->order;
+    AddCandidate(entry, std::move(*c));
+  }
+
+  /// Full bottom-up DP over relation subsets.
+  Result<Entry> Run() {
+    int n = static_cast<int>(graph_.relations.size());
+    if (n == 0) return Status::InvalidArgument("empty query graph");
+    if (n > 24) {
+      return Status::InvalidArgument("join block too large for DP (n > 24)");
+    }
+    std::unordered_map<uint64_t, Entry> dp;
+    for (int i = 0; i < n; ++i) {
+      Entry base = MakeBaseEntry(i);
+      AddEnforcedOrders(&base);
+      dp[Bit(i)] = std::move(base);
+    }
+    uint64_t full = n == 64 ? ~0ULL : (1ULL << n) - 1;
+
+    // Enumerate masks in increasing popcount order.
+    std::vector<uint64_t> masks;
+    for (uint64_t m = 1; m <= full; ++m) {
+      if (__builtin_popcountll(m) >= 2) masks.push_back(m);
+    }
+    std::stable_sort(masks.begin(), masks.end(),
+                     [](uint64_t a, uint64_t b) {
+                       return __builtin_popcountll(a) <
+                              __builtin_popcountll(b);
+                     });
+    std::vector<uint64_t> comps = GraphComponents();
+
+    for (uint64_t mask : masks) {
+      if (options_.defer_cartesian && !AdmissibleSubset(mask, comps)) {
+        continue;
+      }
+      Entry entry;
+      bool have_any = false;
+      // Two passes: first requiring graph connectivity between the parts,
+      // then (if nothing produced) allowing Cartesian products.
+      for (int pass = 0; pass < 2; ++pass) {
+        if (pass == 1 && (have_any || !options_.defer_cartesian)) break;
+        auto consider = [&](uint64_t a, uint64_t b, int right_rel) {
+          auto ia = dp.find(a);
+          auto ib = dp.find(b);
+          if (ia == dp.end() || ib == dp.end()) return;
+          if (ia->second.cands.empty() || ib->second.cands.empty()) return;
+          bool connected = graph_.Connected(a, b);
+          if (options_.defer_cartesian && pass == 0 && !connected) return;
+          ExpandJoin(ia->second, ib->second, a, b, right_rel, &entry);
+          have_any = !entry.cands.empty();
+        };
+        if (options_.bushy) {
+          for (uint64_t sub = (mask - 1) & mask; sub; sub = (sub - 1) & mask) {
+            uint64_t rest = mask & ~sub;
+            int right_rel = __builtin_popcountll(rest) == 1
+                                ? __builtin_ctzll(rest)
+                                : -1;
+            consider(sub, rest, right_rel);
+          }
+        } else {
+          for (int b = 0; b < n; ++b) {
+            if (!(mask & Bit(b))) continue;
+            uint64_t restm = mask & ~Bit(b);
+            if (restm == 0) continue;
+            // Left-deep: composite (or single) outer, single inner.
+            consider(restm, Bit(b), b);
+          }
+        }
+      }
+      if (!entry.cands.empty()) {
+        AddEnforcedOrders(&entry);
+        ++counters_->subsets_expanded;
+        dp[mask] = std::move(entry);
+      }
+    }
+    auto it = dp.find(full);
+    if (it == dp.end() || it->second.cands.empty()) {
+      return Status::Internal("DP produced no plan for the full subset");
+    }
+    counters_->candidates_retained = 0;
+    for (const auto& [m, e] : dp) {
+      counters_->candidates_retained += e.cands.size();
+    }
+    return std::move(it->second);
+  }
+
+  /// Picks the cheapest candidate delivering `required_order` (adding a
+  /// sort enforcer when beneficial).
+  exec::PhysPtr PickFinal(const Entry& entry,
+                          const std::vector<SortKey>& required_order) {
+    double rows = entry.stats.rows;
+    double width = static_cast<double>(entry.stats.columns.size());
+    const Cand* best = nullptr;
+    cost::Cost best_cost;
+    exec::PhysPtr best_plan;
+    for (const Cand& c : entry.cands) {
+      cost::Cost total;
+      exec::PhysPtr p = WithSortIfNeeded(c, required_order, rows, width,
+                                         &total);
+      if (best == nullptr || total.total() < best_cost.total()) {
+        best = &c;
+        best_cost = total;
+        best_plan = p;
+      }
+    }
+    return best_plan;
+  }
+
+  const QueryGraph& graph_;
+  const Catalog& catalog_;
+  const cost::CostModel& model_;
+  const SelingerOptions& options_;
+  SelingerCounters* counters_;
+  std::set<ColumnId> interesting_;
+  std::unique_ptr<SubsetStatsCache> stats_cache_;
+
+ public:
+  Result<exec::PhysPtr> Optimize(const std::vector<SortKey>& required_order,
+                                 RelStats* out_stats) {
+    AddInteresting(required_order);
+    QOPT_ASSIGN_OR_RETURN(Entry entry, Run());
+    *out_stats = entry.stats;
+    return PickFinal(entry, required_order);
+  }
+};
+
+}  // namespace
+
+Result<exec::PhysPtr> SelingerOptimizer::OptimizeJoinBlock(
+    const QueryGraph& graph, const std::vector<SortKey>& required_order) {
+  SelingerImpl impl(graph, catalog_, model_, options_, &counters_);
+  return impl.Optimize(required_order, &result_stats_);
+}
+
+Result<NaiveEnumResult> NaiveEnumerateLinear(const QueryGraph& graph,
+                                             const Catalog& catalog,
+                                             const cost::CostModel& model) {
+  // Exhaustive: every permutation of relations as a left-deep chain, each
+  // costed through the same ExpandJoin machinery (so the best cost matches
+  // the DP's result with Cartesian products allowed).
+  int n = static_cast<int>(graph.relations.size());
+  if (n == 0) return Status::InvalidArgument("empty query graph");
+  if (n > 10) {
+    return Status::InvalidArgument("naive enumeration capped at n=10");
+  }
+  SelingerOptions options;
+  options.defer_cartesian = false;
+  NaiveEnumResult result;
+  result.best_cost = -1;
+
+  SelingerCounters scratch;
+  SelingerImpl impl(graph, catalog, model, options, &scratch);
+
+  // Base entries.
+  std::vector<Entry> base(n);
+  for (int i = 0; i < n; ++i) {
+    base[i] = impl.MakeBaseEntry(i);
+    impl.AddEnforcedOrders(&base[i]);
+  }
+
+  std::function<void(const Entry&, uint64_t)> recurse =
+      [&](const Entry& current, uint64_t mask) {
+        if (__builtin_popcountll(mask) == n) {
+          ++result.plans_costed;
+          for (const Cand& c : current.cands) {
+            if (result.best_cost < 0 || c.cost.total() < result.best_cost) {
+              result.best_cost = c.cost.total();
+            }
+          }
+          return;
+        }
+        for (int b = 0; b < n; ++b) {
+          if (mask & SelingerImpl::Bit(b)) continue;
+          Entry next;
+          impl.ExpandJoin(current, base[b], mask, SelingerImpl::Bit(b), b,
+                          &next);
+          if (!next.cands.empty()) {
+            impl.AddEnforcedOrders(&next);
+            recurse(next, mask | SelingerImpl::Bit(b));
+          }
+        }
+      };
+
+  for (int first = 0; first < n; ++first) {
+    recurse(base[first], SelingerImpl::Bit(first));
+  }
+  return result;
+}
+
+}  // namespace qopt::opt

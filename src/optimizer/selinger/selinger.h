@@ -1,0 +1,88 @@
+// System-R / Selinger dynamic-programming join optimizer (paper Section 3).
+//
+// Implements the two signature techniques of [55]:
+//   * bottom-up dynamic programming over relation subsets — O(n·2^(n-1))
+//     plans instead of the naive O(n!);
+//   * interesting orders — plans are compared only at equal (expression,
+//     output ordering), so a more expensive sort-merge plan survives when
+//     its ordering helps a later join / GROUP BY / ORDER BY.
+//
+// Options toggle every search-space dimension the paper discusses: linear
+// vs bushy trees (§4.1.1), Cartesian-product deferral (§3, §4.1.1), the set
+// of join implementations, and interesting orders themselves (disabling
+// them reproduces the suboptimality example of §3).
+#ifndef QOPT_OPTIMIZER_SELINGER_SELINGER_H_
+#define QOPT_OPTIMIZER_SELINGER_SELINGER_H_
+
+#include <cstdint>
+
+#include "optimizer/selinger/access_paths.h"
+
+namespace qopt::opt {
+
+/// Search-space knobs.
+struct SelingerOptions {
+  bool bushy = false;              ///< false: left-deep linear only (System-R).
+  bool defer_cartesian = true;     ///< Avoid Cartesian products while possible.
+  bool use_interesting_orders = true;
+  bool enable_index_scan = true;   ///< Off: sequential access paths only.
+  /// Off: prefer index paths; seq scans kept only for index-less tables.
+  bool enable_seq_scan = true;
+  bool enable_nl_join = true;
+  bool enable_merge_join = true;
+  bool enable_hash_join = true;    ///< Off reproduces the 1979 operator set.
+  bool enable_index_nl_join = true;
+};
+
+/// Enumeration-effort counters (E2, E4).
+struct SelingerCounters {
+  uint64_t join_plans_costed = 0;   ///< Physical join candidates costed.
+  uint64_t subsets_expanded = 0;    ///< DP table entries created.
+  uint64_t candidates_pruned = 0;   ///< Candidates dominated and discarded.
+  uint64_t candidates_retained = 0; ///< Live candidates at completion.
+};
+
+/// The DP join enumerator for one inner-join block.
+class SelingerOptimizer {
+ public:
+  SelingerOptimizer(const Catalog& catalog, const cost::CostModel& model,
+                    SelingerOptions options = {})
+      : catalog_(catalog), model_(model), options_(options) {}
+
+  /// Produces the cheapest physical plan for `graph`; if `required_order`
+  /// is non-empty, the result is guaranteed to deliver that ordering
+  /// (via interesting orders or a final sort enforcer).
+  Result<exec::PhysPtr> OptimizeJoinBlock(
+      const plan::QueryGraph& graph,
+      const std::vector<plan::SortKey>& required_order = {});
+
+  const SelingerCounters& counters() const { return counters_; }
+
+  /// Derived statistics of the full join result from the last run
+  /// (a logical property; used by callers stacking aggregates on top).
+  const stats::RelStats& result_stats() const { return result_stats_; }
+
+ private:
+  const Catalog& catalog_;
+  const cost::CostModel& model_;
+  SelingerOptions options_;
+  SelingerCounters counters_;
+  stats::RelStats result_stats_;
+};
+
+/// Result of the naive exhaustive linear enumeration (E2's baseline).
+struct NaiveEnumResult {
+  double best_cost = 0;
+  uint64_t plans_costed = 0;  ///< Complete join orders costed: n! worst case.
+};
+
+/// Costs every linear join order by brute force (no memoization). Uses the
+/// same cost model / stats as the DP, so best_cost must match the DP's
+/// linear result — asserted in tests. Only practical for small n.
+Result<NaiveEnumResult> NaiveEnumerateLinear(const plan::QueryGraph& graph,
+                                             const Catalog& catalog,
+                                             const cost::CostModel& model);
+
+}  // namespace qopt::opt
+
+#endif  // QOPT_OPTIMIZER_SELINGER_SELINGER_H_

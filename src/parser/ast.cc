@@ -1,0 +1,235 @@
+#include "parser/ast.h"
+
+namespace qopt::ast {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar: return "COUNT";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeColumn(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->child = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->table = table;
+  e->column = column;
+  e->op = op;
+  if (child) e->child = child->Clone();
+  if (rhs) e->rhs = rhs->Clone();
+  for (const ExprPtr& a : args) e->args.push_back(a->Clone());
+  e->agg = agg;
+  e->agg_distinct = agg_distinct;
+  if (subquery) e->subquery = subquery->Clone();
+  e->negated = negated;
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kStar:
+      return table.empty() ? "*" : table + ".*";
+    case ExprKind::kBinary:
+      return "(" + child->ToString() + " " + BinaryOpName(op) + " " +
+             rhs->ToString() + ")";
+    case ExprKind::kNot:
+      return "NOT " + child->ToString();
+    case ExprKind::kNegate:
+      return "-" + child->ToString();
+    case ExprKind::kAggCall: {
+      std::string s = AggFuncName(agg);
+      s += "(";
+      if (agg_distinct) s += "DISTINCT ";
+      s += child ? child->ToString() : "*";
+      return s + ")";
+    }
+    case ExprKind::kIsNull:
+      return child->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kBetween:
+      return child->ToString() + " BETWEEN " + args[0]->ToString() + " AND " +
+             args[1]->ToString();
+    case ExprKind::kInList: {
+      std::string s = child->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kInSubquery:
+      return child->ToString() + (negated ? " NOT IN (" : " IN (") +
+             subquery->ToString() + ")";
+    case ExprKind::kExists:
+      return std::string(negated ? "NOT " : "") + "EXISTS (" +
+             subquery->ToString() + ")";
+    case ExprKind::kScalarSubquery:
+      return "(" + subquery->ToString() + ")";
+    case ExprKind::kLike:
+      return child->ToString() + " LIKE " + args[0]->ToString();
+    case ExprKind::kCase: {
+      std::string s = "CASE";
+      size_t i = 0;
+      for (; i + 1 < args.size(); i += 2) {
+        s += " WHEN " + args[i]->ToString() + " THEN " + args[i + 1]->ToString();
+      }
+      if (i < args.size()) s += " ELSE " + args[i]->ToString();
+      return s + " END";
+    }
+  }
+  return "?";
+}
+
+TableRefPtr TableRef::Clone() const {
+  auto t = std::make_unique<TableRef>();
+  t->kind = kind;
+  t->name = name;
+  t->alias = alias;
+  if (left) t->left = left->Clone();
+  if (right) t->right = right->Clone();
+  t->join_kind = join_kind;
+  if (on) t->on = on->Clone();
+  if (derived) t->derived = derived->Clone();
+  return t;
+}
+
+std::string TableRef::ToString() const {
+  switch (kind) {
+    case TableRefKind::kBase:
+      return alias.empty() ? name : name + " " + alias;
+    case TableRefKind::kJoin: {
+      const char* jk = join_kind == JoinKind::kInner
+                           ? " JOIN "
+                           : (join_kind == JoinKind::kLeft ? " LEFT JOIN "
+                                                           : " CROSS JOIN ");
+      std::string s = left->ToString() + jk + right->ToString();
+      if (on) s += " ON " + on->ToString();
+      return s;
+    }
+    case TableRefKind::kDerived:
+      return "(" + derived->ToString() + ") " + alias;
+  }
+  return "?";
+}
+
+std::unique_ptr<SelectStatement> SelectStatement::Clone() const {
+  auto s = std::make_unique<SelectStatement>();
+  s->distinct = distinct;
+  for (const SelectItem& item : items) {
+    s->items.push_back({item.expr->Clone(), item.alias});
+  }
+  for (const TableRefPtr& t : from) s->from.push_back(t->Clone());
+  if (where) s->where = where->Clone();
+  for (const ExprPtr& g : group_by) s->group_by.push_back(g->Clone());
+  if (having) s->having = having->Clone();
+  for (const OrderItem& o : order_by) {
+    s->order_by.push_back({o.expr->Clone(), o.ascending});
+  }
+  s->limit = limit;
+  s->grouping = grouping;
+  if (union_next) {
+    s->union_next = union_next->Clone();
+    s->union_all = union_all;
+    s->set_op = set_op;
+  }
+  return s;
+}
+
+std::string SelectStatement::ToString() const {
+  std::string s = "SELECT ";
+  if (distinct) s += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) s += ", ";
+    s += items[i].expr->ToString();
+    if (!items[i].alias.empty()) s += " AS " + items[i].alias;
+  }
+  s += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i) s += ", ";
+    s += from[i]->ToString();
+  }
+  if (where) s += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    s += " GROUP BY ";
+    if (grouping == Grouping::kCube) s += "CUBE (";
+    if (grouping == Grouping::kRollup) s += "ROLLUP (";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) s += ", ";
+      s += group_by[i]->ToString();
+    }
+    if (grouping != Grouping::kPlain) s += ")";
+  }
+  if (having) s += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    s += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) s += ", ";
+      s += order_by[i].expr->ToString();
+      if (!order_by[i].ascending) s += " DESC";
+    }
+  }
+  if (limit >= 0) s += " LIMIT " + std::to_string(limit);
+  if (union_next) {
+    switch (set_op) {
+      case SetOp::kUnionAll: s += " UNION ALL "; break;
+      case SetOp::kUnion: s += " UNION "; break;
+      case SetOp::kExcept: s += " EXCEPT "; break;
+      case SetOp::kIntersect: s += " INTERSECT "; break;
+    }
+    s += union_next->ToString();
+  }
+  return s;
+}
+
+}  // namespace qopt::ast

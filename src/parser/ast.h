@@ -1,0 +1,193 @@
+// Abstract syntax tree for the supported SQL dialect.
+//
+// Supported statements: SELECT (with joins, WHERE, GROUP BY/HAVING,
+// ORDER BY, LIMIT, DISTINCT, IN/EXISTS/scalar subqueries — possibly
+// correlated — and derived tables), CREATE TABLE / INDEX / VIEW, INSERT,
+// EXPLAIN.
+#ifndef QOPT_PARSER_AST_H_
+#define QOPT_PARSER_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+
+namespace qopt::ast {
+
+struct SelectStatement;
+
+/// Binary operators, in SQL semantics.
+enum class BinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kAdd, kSub, kMul, kDiv,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+/// Aggregate functions.
+enum class AggFunc { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,   ///< [table.]column
+  kStar,        ///< `*` in a SELECT list or COUNT(*)
+  kBinary,
+  kNot,
+  kNegate,      ///< Unary minus.
+  kAggCall,
+  kIsNull,      ///< expr IS [NOT] NULL (negated flag)
+  kBetween,     ///< child BETWEEN args[0] AND args[1]
+  kInList,      ///< child IN (args...)
+  kInSubquery,  ///< child [NOT] IN (SELECT ...)
+  kExists,      ///< [NOT] EXISTS (SELECT ...)
+  kScalarSubquery,
+  kLike,        ///< child LIKE pattern (args[0] literal)
+  kCase,        ///< CASE WHEN args[2i] THEN args[2i+1] ... [ELSE last] END
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One AST expression node (tagged union; fields used depend on `kind`).
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;                    // kLiteral
+  std::string table;                // kColumnRef (may be empty), kStar prefix
+  std::string column;               // kColumnRef
+  BinaryOp op = BinaryOp::kEq;      // kBinary
+  ExprPtr child;                    // unary/agg arg/IN lhs/BETWEEN lhs
+  ExprPtr rhs;                      // kBinary right operand
+  std::vector<ExprPtr> args;        // kInList, kBetween bounds, kCase arms
+  AggFunc agg = AggFunc::kCount;    // kAggCall (child null for COUNT(*))
+  bool agg_distinct = false;        // COUNT(DISTINCT x) etc.
+  std::unique_ptr<SelectStatement> subquery;  // subquery kinds
+  bool negated = false;             // NOT IN / NOT EXISTS / IS NOT NULL
+
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeColumn(std::string table, std::string column);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+  /// Deep copy (subqueries included).
+  ExprPtr Clone() const;
+
+  /// SQL-ish rendering for diagnostics.
+  std::string ToString() const;
+};
+
+/// Join syntax kinds in the FROM clause.
+enum class JoinKind { kInner, kLeft, kCross };
+
+/// FROM-clause item kinds.
+enum class TableRefKind { kBase, kJoin, kDerived };
+
+struct TableRef;
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+/// One FROM-clause item: base table, join tree, or derived table.
+struct TableRef {
+  TableRefKind kind = TableRefKind::kBase;
+  std::string name;    // kBase: table or view name
+  std::string alias;   // optional
+  TableRefPtr left;    // kJoin
+  TableRefPtr right;
+  JoinKind join_kind = JoinKind::kInner;
+  ExprPtr on;          // kJoin (null for CROSS)
+  std::unique_ptr<SelectStatement> derived;  // kDerived
+
+  TableRefPtr Clone() const;
+  std::string ToString() const;
+};
+
+/// SELECT-list entry.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // optional
+};
+
+/// ORDER BY entry.
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A (possibly nested) SELECT query block.
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRefPtr> from;  ///< Comma-separated items (implicit join).
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  ///< -1 = no limit.
+  /// Set-operation chain (left-associative): this block combined with
+  /// `union_next` by `set_op`. UNION/EXCEPT/INTERSECT have set (distinct)
+  /// semantics; UNION ALL keeps duplicates.
+  enum class SetOp { kUnion, kUnionAll, kExcept, kIntersect };
+  std::unique_ptr<SelectStatement> union_next;
+  SetOp set_op = SetOp::kUnionAll;
+  bool union_all = false;  ///< Equivalent to set_op == kUnionAll (kept in
+                           ///< sync by the parser; used by desugaring).
+  /// GROUP BY CUBE(...) / ROLLUP(...) (paper §7.4, Data Cube [24]):
+  /// aggregate over every subset / every prefix of the grouping columns.
+  enum class Grouping { kPlain, kCube, kRollup };
+  Grouping grouping = Grouping::kPlain;
+
+  std::unique_ptr<SelectStatement> Clone() const;
+  std::string ToString() const;
+};
+
+/// CREATE TABLE t (col TYPE [PRIMARY KEY], ..., FOREIGN KEY (c) REFERENCES t2(c2)).
+struct CreateTableStatement {
+  std::string name;
+  std::vector<std::pair<std::string, TypeId>> columns;
+  std::string primary_key;  // column name or empty
+  struct Fk {
+    std::string column, ref_table, ref_column;
+  };
+  std::vector<Fk> foreign_keys;
+};
+
+/// CREATE [UNIQUE] [CLUSTERED] INDEX name ON table(column).
+struct CreateIndexStatement {
+  std::string name, table, column;
+  bool unique = false;
+  bool clustered = false;
+};
+
+/// CREATE VIEW name AS SELECT ...  (view body kept as text; re-parsed and
+/// inlined by the binder — paper Section 4.2.1).
+struct CreateViewStatement {
+  std::string name;
+  std::string body_sql;
+};
+
+/// INSERT INTO t VALUES (...), (...).
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<Value>> rows;
+};
+
+/// Top-level parsed statement.
+struct Statement {
+  enum class Kind {
+    kSelect, kCreateTable, kCreateIndex, kCreateView, kInsert, kExplain,
+  };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStatement> select;  // kSelect / kExplain
+  std::unique_ptr<CreateTableStatement> create_table;
+  std::unique_ptr<CreateIndexStatement> create_index;
+  std::unique_ptr<CreateViewStatement> create_view;
+  std::unique_ptr<InsertStatement> insert;
+};
+
+}  // namespace qopt::ast
+
+#endif  // QOPT_PARSER_AST_H_

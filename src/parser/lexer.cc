@@ -1,0 +1,143 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace qopt::parser {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT",  "FROM",    "WHERE",   "GROUP",    "BY",      "HAVING",
+      "ORDER",   "LIMIT",   "AS",      "AND",      "OR",      "NOT",
+      "IN",      "EXISTS",  "BETWEEN", "IS",       "NULL",    "LIKE",
+      "JOIN",    "INNER",   "LEFT",    "RIGHT",    "OUTER",   "CROSS",
+      "ON",      "DISTINCT", "COUNT",  "SUM",      "AVG",     "MIN",
+      "MAX",     "ASC",     "DESC",    "CREATE",   "TABLE",   "VIEW",
+      "INDEX",   "UNIQUE",  "CLUSTERED", "PRIMARY", "KEY",    "FOREIGN",
+      "REFERENCES", "INSERT", "INTO",  "VALUES",   "INT",     "DOUBLE",
+      "STRING",  "VARCHAR", "BOOL",    "BOOLEAN",  "BIGINT",  "EXPLAIN",
+      "TRUE",    "FALSE",   "UNION",   "ALL",      "CASE",    "WHEN",
+      "THEN",    "ELSE",    "END",     "ANY",      "SEMI",    "ANTI",
+      "CUBE",    "ROLLUP",  "EXCEPT",  "INTERSECT",
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      for (char& ch : upper) ch = std::toupper(static_cast<unsigned char>(ch));
+      if (Keywords().count(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          is_double = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string num = sql.substr(start, i - start);
+      if (is_double) {
+        tok.kind = TokenKind::kDoubleLiteral;
+        tok.double_value = std::stod(num);
+      } else {
+        tok.kind = TokenKind::kIntLiteral;
+        tok.int_value = std::stoll(num);
+      }
+      tok.text = num;
+    } else if (c == '\'') {
+      ++i;
+      std::string s;
+      while (i < n && sql[i] != '\'') {
+        s += sql[i++];
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      ++i;  // closing quote
+      tok.kind = TokenKind::kStringLiteral;
+      tok.text = s;
+    } else {
+      // Two-character symbols first.
+      static const char* kTwoChar[] = {"<>", "!=", "<=", ">="};
+      std::string two = sql.substr(i, 2);
+      bool matched = false;
+      for (const char* s : kTwoChar) {
+        if (two == s) {
+          tok.kind = TokenKind::kSymbol;
+          tok.text = two;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kOneChar = "=<>+-*/(),.;";
+        if (kOneChar.find(c) == std::string::npos) {
+          return Status::ParseError("unexpected character '" +
+                                    std::string(1, c) + "' at offset " +
+                                    std::to_string(i));
+        }
+        tok.kind = TokenKind::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace qopt::parser

@@ -1,0 +1,46 @@
+// SQL lexer: turns query text into a token stream.
+#ifndef QOPT_PARSER_LEXER_H_
+#define QOPT_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qopt::parser {
+
+/// Lexical token categories. Keywords are recognized case-insensitively and
+/// reported as kKeyword with an upper-cased text.
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kSymbol,  ///< Operators and punctuation: = <> != <= >= < > + - * / ( ) , . ;
+};
+
+/// One token with source position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       ///< Keyword/symbol text, identifier, or literal.
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;      ///< Byte offset in the input.
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes `sql`. The returned vector ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace qopt::parser
+
+#endif  // QOPT_PARSER_LEXER_H_

@@ -1,0 +1,773 @@
+#include "parser/parser.h"
+
+#include <utility>
+
+#include "parser/lexer.h"
+
+namespace qopt::parser {
+
+using ast::BinaryOp;
+using ast::Expr;
+using ast::ExprKind;
+using ast::ExprPtr;
+using ast::SelectStatement;
+using ast::TableRef;
+using ast::TableRefPtr;
+
+namespace {
+
+/// Token-stream cursor with the grammar's recursive-descent productions.
+///
+/// Expression precedence (loosest to tightest):
+///   OR < AND < NOT < comparison/IN/BETWEEN/IS/LIKE < +- < */ < unary.
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ast::Statement> ParseStatement(const std::string& original_sql);
+  Result<std::unique_ptr<SelectStatement>> ParseSelectOnly();
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool MatchKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return Err(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!MatchSymbol(sym)) {
+      return Err(std::string("expected '") + sym + "'");
+    }
+    return Status::OK();
+  }
+  Status Err(const std::string& what) const {
+    return Status::ParseError(what + " near offset " +
+                              std::to_string(Peek().offset) + " (got '" +
+                              Peek().text + "')");
+  }
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelectStatement();
+  Result<TableRefPtr> ParseTableRef();      // with JOIN chaining
+  Result<TableRefPtr> ParseTablePrimary();  // base table or (subquery)
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ast::Statement> ParseCreate();
+  Result<ast::Statement> ParseInsert();
+  Result<Value> ParseLiteralValue();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<ast::Statement> ParserImpl::ParseStatement(
+    const std::string& original_sql) {
+  ast::Statement stmt;
+  if (Peek().IsKeyword("EXPLAIN")) {
+    Advance();
+    stmt.kind = ast::Statement::Kind::kExplain;
+    QOPT_ASSIGN_OR_RETURN(stmt.select, ParseSelectStatement());
+  } else if (Peek().IsKeyword("SELECT")) {
+    stmt.kind = ast::Statement::Kind::kSelect;
+    QOPT_ASSIGN_OR_RETURN(stmt.select, ParseSelectStatement());
+  } else if (Peek().IsKeyword("CREATE")) {
+    QOPT_ASSIGN_OR_RETURN(stmt, ParseCreate());
+    if (stmt.kind == ast::Statement::Kind::kCreateView) {
+      // Preserve the original body text for catalog storage.
+      size_t as_offset = stmt.create_view->body_sql.empty()
+                             ? 0
+                             : std::stoul(stmt.create_view->body_sql);
+      stmt.create_view->body_sql = original_sql.substr(as_offset);
+      // Trim trailing semicolons/space.
+      while (!stmt.create_view->body_sql.empty() &&
+             (stmt.create_view->body_sql.back() == ';' ||
+              std::isspace(static_cast<unsigned char>(
+                  stmt.create_view->body_sql.back())))) {
+        stmt.create_view->body_sql.pop_back();
+      }
+    }
+  } else if (Peek().IsKeyword("INSERT")) {
+    QOPT_ASSIGN_OR_RETURN(stmt, ParseInsert());
+  } else {
+    return Err("expected SELECT, CREATE, INSERT or EXPLAIN");
+  }
+  MatchSymbol(";");
+  if (Peek().kind != TokenKind::kEnd) {
+    return Err("unexpected trailing input");
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStatement>> ParserImpl::ParseSelectOnly() {
+  QOPT_ASSIGN_OR_RETURN(auto sel, ParseSelectStatement());
+  MatchSymbol(";");
+  if (Peek().kind != TokenKind::kEnd) {
+    return Err("unexpected trailing input");
+  }
+  return sel;
+}
+
+Result<std::unique_ptr<SelectStatement>> ParserImpl::ParseSelectStatement() {
+  QOPT_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  auto sel = std::make_unique<SelectStatement>();
+  if (MatchKeyword("DISTINCT")) sel->distinct = true;
+  else MatchKeyword("ALL");
+
+  // SELECT list.
+  do {
+    ast::SelectItem item;
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      item.expr = std::make_unique<Expr>();
+      item.expr->kind = ExprKind::kStar;
+    } else if (Peek().kind == TokenKind::kIdentifier &&
+               Peek(1).IsSymbol(".") && Peek(2).IsSymbol("*")) {
+      item.expr = std::make_unique<Expr>();
+      item.expr->kind = ExprKind::kStar;
+      item.expr->table = Advance().text;
+      Advance();  // .
+      Advance();  // *
+    } else {
+      QOPT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    }
+    if (MatchKeyword("AS")) {
+      if (Peek().kind != TokenKind::kIdentifier) return Err("expected alias");
+      item.alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      item.alias = Advance().text;
+    }
+    sel->items.push_back(std::move(item));
+  } while (MatchSymbol(","));
+
+  // FROM.
+  if (MatchKeyword("FROM")) {
+    do {
+      QOPT_ASSIGN_OR_RETURN(TableRefPtr t, ParseTableRef());
+      sel->from.push_back(std::move(t));
+    } while (MatchSymbol(","));
+  }
+
+  if (MatchKeyword("WHERE")) {
+    QOPT_ASSIGN_OR_RETURN(sel->where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    QOPT_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    if (Peek().IsKeyword("CUBE") || Peek().IsKeyword("ROLLUP")) {
+      sel->grouping = Peek().IsKeyword("CUBE")
+                          ? ast::SelectStatement::Grouping::kCube
+                          : ast::SelectStatement::Grouping::kRollup;
+      Advance();
+      QOPT_RETURN_IF_ERROR(ExpectSymbol("("));
+      do {
+        QOPT_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+        sel->group_by.push_back(std::move(g));
+      } while (MatchSymbol(","));
+      QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      do {
+        QOPT_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+        sel->group_by.push_back(std::move(g));
+      } while (MatchSymbol(","));
+    }
+  }
+  if (MatchKeyword("HAVING")) {
+    QOPT_ASSIGN_OR_RETURN(sel->having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    QOPT_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      ast::OrderItem item;
+      QOPT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) item.ascending = false;
+      else MatchKeyword("ASC");
+      sel->order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().kind != TokenKind::kIntLiteral) {
+      return Err("expected integer after LIMIT");
+    }
+    sel->limit = Advance().int_value;
+  }
+  if (MatchKeyword("UNION")) {
+    sel->union_all = MatchKeyword("ALL");
+    sel->set_op = sel->union_all ? ast::SelectStatement::SetOp::kUnionAll
+                                 : ast::SelectStatement::SetOp::kUnion;
+    QOPT_ASSIGN_OR_RETURN(sel->union_next, ParseSelectStatement());
+  } else if (MatchKeyword("EXCEPT")) {
+    sel->set_op = ast::SelectStatement::SetOp::kExcept;
+    QOPT_ASSIGN_OR_RETURN(sel->union_next, ParseSelectStatement());
+  } else if (MatchKeyword("INTERSECT")) {
+    sel->set_op = ast::SelectStatement::SetOp::kIntersect;
+    QOPT_ASSIGN_OR_RETURN(sel->union_next, ParseSelectStatement());
+  }
+  return sel;
+}
+
+Result<TableRefPtr> ParserImpl::ParseTableRef() {
+  QOPT_ASSIGN_OR_RETURN(TableRefPtr left, ParseTablePrimary());
+  for (;;) {
+    ast::JoinKind jk;
+    if (MatchKeyword("JOIN") ||
+        (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN") &&
+         (Advance(), Advance(), true))) {
+      jk = ast::JoinKind::kInner;
+    } else if (Peek().IsKeyword("LEFT")) {
+      Advance();
+      MatchKeyword("OUTER");
+      QOPT_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      jk = ast::JoinKind::kLeft;
+    } else if (Peek().IsKeyword("CROSS") && Peek(1).IsKeyword("JOIN")) {
+      Advance();
+      Advance();
+      jk = ast::JoinKind::kCross;
+    } else {
+      break;
+    }
+    QOPT_ASSIGN_OR_RETURN(TableRefPtr right, ParseTablePrimary());
+    auto join = std::make_unique<TableRef>();
+    join->kind = ast::TableRefKind::kJoin;
+    join->join_kind = jk;
+    join->left = std::move(left);
+    join->right = std::move(right);
+    if (jk != ast::JoinKind::kCross) {
+      QOPT_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      QOPT_ASSIGN_OR_RETURN(join->on, ParseExpr());
+    }
+    left = std::move(join);
+  }
+  return left;
+}
+
+Result<TableRefPtr> ParserImpl::ParseTablePrimary() {
+  auto t = std::make_unique<TableRef>();
+  if (MatchSymbol("(")) {
+    // Either a derived table (subquery) or a parenthesized join tree.
+    if (!Peek().IsKeyword("SELECT")) {
+      QOPT_ASSIGN_OR_RETURN(TableRefPtr inner, ParseTableRef());
+      QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    t->kind = ast::TableRefKind::kDerived;
+    QOPT_ASSIGN_OR_RETURN(t->derived, ParseSelectStatement());
+    QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+  } else {
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected table name");
+    t->kind = ast::TableRefKind::kBase;
+    t->name = Advance().text;
+  }
+  if (MatchKeyword("AS")) {
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected alias");
+    t->alias = Advance().text;
+  } else if (Peek().kind == TokenKind::kIdentifier) {
+    t->alias = Advance().text;
+  }
+  if (t->kind == ast::TableRefKind::kDerived && t->alias.empty()) {
+    return Err("derived table requires an alias");
+  }
+  return t;
+}
+
+Result<ExprPtr> ParserImpl::ParseOr() {
+  QOPT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchKeyword("OR")) {
+    QOPT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParserImpl::ParseAnd() {
+  QOPT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (MatchKeyword("AND")) {
+    QOPT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = Expr::MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParserImpl::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    QOPT_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+    // NOT EXISTS / NOT IN fold into the negated flag.
+    if (inner->kind == ExprKind::kExists ||
+        inner->kind == ExprKind::kInSubquery ||
+        inner->kind == ExprKind::kInList ||
+        inner->kind == ExprKind::kIsNull) {
+      inner->negated = !inner->negated;
+      return inner;
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kNot;
+    e->child = std::move(inner);
+    return e;
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> ParserImpl::ParseComparison() {
+  if (Peek().IsKeyword("EXISTS") ||
+      (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("EXISTS"))) {
+    bool negated = MatchKeyword("NOT");
+    Advance();  // EXISTS
+    QOPT_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kExists;
+    e->negated = negated;
+    QOPT_ASSIGN_OR_RETURN(e->subquery, ParseSelectStatement());
+    QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+
+  QOPT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+  // IS [NOT] NULL
+  if (MatchKeyword("IS")) {
+    bool negated = MatchKeyword("NOT");
+    QOPT_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kIsNull;
+    e->negated = negated;
+    e->child = std::move(lhs);
+    return e;
+  }
+
+  // [NOT] BETWEEN / IN / LIKE
+  bool negated = false;
+  if (Peek().IsKeyword("NOT") &&
+      (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN") ||
+       Peek(1).IsKeyword("LIKE"))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("BETWEEN")) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBetween;
+    e->child = std::move(lhs);
+    QOPT_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    QOPT_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    QOPT_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    e->args.push_back(std::move(lo));
+    e->args.push_back(std::move(hi));
+    if (negated) {
+      auto n = std::make_unique<Expr>();
+      n->kind = ExprKind::kNot;
+      n->child = std::move(e);
+      return n;
+    }
+    return e;
+  }
+  if (MatchKeyword("IN")) {
+    QOPT_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto e = std::make_unique<Expr>();
+    e->child = std::move(lhs);
+    e->negated = negated;
+    if (Peek().IsKeyword("SELECT")) {
+      e->kind = ExprKind::kInSubquery;
+      QOPT_ASSIGN_OR_RETURN(e->subquery, ParseSelectStatement());
+    } else {
+      e->kind = ExprKind::kInList;
+      do {
+        QOPT_ASSIGN_OR_RETURN(ExprPtr v, ParseAdditive());
+        e->args.push_back(std::move(v));
+      } while (MatchSymbol(","));
+    }
+    QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+  if (MatchKeyword("LIKE")) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLike;
+    e->child = std::move(lhs);
+    QOPT_ASSIGN_OR_RETURN(ExprPtr pat, ParseAdditive());
+    e->args.push_back(std::move(pat));
+    if (negated) {
+      auto n = std::make_unique<Expr>();
+      n->kind = ExprKind::kNot;
+      n->child = std::move(e);
+      return n;
+    }
+    return e;
+  }
+
+  // Plain comparison operators.
+  static const std::pair<const char*, BinaryOp> kOps[] = {
+      {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"!=", BinaryOp::kNe},
+      {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},
+      {">", BinaryOp::kGt},
+  };
+  for (const auto& [sym, op] : kOps) {
+    if (Peek().IsSymbol(sym)) {
+      Advance();
+      QOPT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParserImpl::ParseAdditive() {
+  QOPT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  for (;;) {
+    BinaryOp op;
+    if (Peek().IsSymbol("+")) op = BinaryOp::kAdd;
+    else if (Peek().IsSymbol("-")) op = BinaryOp::kSub;
+    else break;
+    Advance();
+    QOPT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParserImpl::ParseMultiplicative() {
+  QOPT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  for (;;) {
+    BinaryOp op;
+    if (Peek().IsSymbol("*")) op = BinaryOp::kMul;
+    else if (Peek().IsSymbol("/")) op = BinaryOp::kDiv;
+    else break;
+    Advance();
+    QOPT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> ParserImpl::ParseUnary() {
+  if (MatchSymbol("-")) {
+    QOPT_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+    if (inner->kind == ExprKind::kLiteral && !inner->literal.is_null()) {
+      if (inner->literal.type() == TypeId::kInt64) {
+        inner->literal = Value::Int(-inner->literal.AsInt());
+        return inner;
+      }
+      if (inner->literal.type() == TypeId::kDouble) {
+        inner->literal = Value::Double(-inner->literal.AsDouble());
+        return inner;
+      }
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kNegate;
+    e->child = std::move(inner);
+    return e;
+  }
+  MatchSymbol("+");
+  return ParsePrimary();
+}
+
+Result<ExprPtr> ParserImpl::ParsePrimary() {
+  const Token& tok = Peek();
+  // Literals.
+  if (tok.kind == TokenKind::kIntLiteral) {
+    Advance();
+    return Expr::MakeLiteral(Value::Int(tok.int_value));
+  }
+  if (tok.kind == TokenKind::kDoubleLiteral) {
+    Advance();
+    return Expr::MakeLiteral(Value::Double(tok.double_value));
+  }
+  if (tok.kind == TokenKind::kStringLiteral) {
+    Advance();
+    return Expr::MakeLiteral(Value::String(tok.text));
+  }
+  if (tok.IsKeyword("NULL")) {
+    Advance();
+    return Expr::MakeLiteral(Value::Null());
+  }
+  if (tok.IsKeyword("TRUE")) {
+    Advance();
+    return Expr::MakeLiteral(Value::Bool(true));
+  }
+  if (tok.IsKeyword("FALSE")) {
+    Advance();
+    return Expr::MakeLiteral(Value::Bool(false));
+  }
+
+  // Aggregate calls.
+  static const std::pair<const char*, ast::AggFunc> kAggs[] = {
+      {"COUNT", ast::AggFunc::kCount}, {"SUM", ast::AggFunc::kSum},
+      {"AVG", ast::AggFunc::kAvg},     {"MIN", ast::AggFunc::kMin},
+      {"MAX", ast::AggFunc::kMax},
+  };
+  for (const auto& [name, fn] : kAggs) {
+    if (tok.IsKeyword(name) && Peek(1).IsSymbol("(")) {
+      Advance();
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kAggCall;
+      e->agg = fn;
+      if (fn == ast::AggFunc::kCount &&
+          (Peek().IsSymbol("*") ||
+           (Peek().kind == TokenKind::kIdentifier && Peek(1).IsSymbol(".") &&
+            Peek(2).IsSymbol("*")))) {
+        // COUNT(*) or COUNT(T.*): count tuples.
+        if (Peek().IsSymbol("*")) {
+          Advance();
+        } else {
+          Advance();
+          Advance();
+          Advance();
+        }
+        e->agg = ast::AggFunc::kCountStar;
+      } else {
+        if (MatchKeyword("DISTINCT")) e->agg_distinct = true;
+        QOPT_ASSIGN_OR_RETURN(e->child, ParseExpr());
+      }
+      QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+  }
+
+  // CASE WHEN ... THEN ... [ELSE ...] END
+  if (tok.IsKeyword("CASE")) {
+    Advance();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCase;
+    while (MatchKeyword("WHEN")) {
+      QOPT_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      QOPT_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+      QOPT_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+      e->args.push_back(std::move(cond));
+      e->args.push_back(std::move(then));
+    }
+    if (e->args.empty()) return Err("CASE requires at least one WHEN");
+    if (MatchKeyword("ELSE")) {
+      QOPT_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+      e->args.push_back(std::move(els));
+    }
+    QOPT_RETURN_IF_ERROR(ExpectKeyword("END"));
+    return e;
+  }
+
+  // Parenthesized expression or scalar subquery.
+  if (tok.IsSymbol("(")) {
+    Advance();
+    if (Peek().IsKeyword("SELECT")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kScalarSubquery;
+      QOPT_ASSIGN_OR_RETURN(e->subquery, ParseSelectStatement());
+      QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    QOPT_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return inner;
+  }
+
+  // Column reference: ident or ident.ident
+  if (tok.kind == TokenKind::kIdentifier) {
+    std::string first = Advance().text;
+    if (MatchSymbol(".")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Err("expected column name after '.'");
+      }
+      std::string second = Advance().text;
+      return Expr::MakeColumn(first, second);
+    }
+    return Expr::MakeColumn("", first);
+  }
+  return Err("expected expression");
+}
+
+Result<Value> ParserImpl::ParseLiteralValue() {
+  bool neg = MatchSymbol("-");
+  const Token& tok = Peek();
+  if (tok.kind == TokenKind::kIntLiteral) {
+    Advance();
+    return Value::Int(neg ? -tok.int_value : tok.int_value);
+  }
+  if (tok.kind == TokenKind::kDoubleLiteral) {
+    Advance();
+    return Value::Double(neg ? -tok.double_value : tok.double_value);
+  }
+  if (neg) return Err("expected number after '-'");
+  if (tok.kind == TokenKind::kStringLiteral) {
+    Advance();
+    return Value::String(tok.text);
+  }
+  if (tok.IsKeyword("NULL")) {
+    Advance();
+    return Value::Null();
+  }
+  if (tok.IsKeyword("TRUE")) {
+    Advance();
+    return Value::Bool(true);
+  }
+  if (tok.IsKeyword("FALSE")) {
+    Advance();
+    return Value::Bool(false);
+  }
+  return Err("expected literal value");
+}
+
+Result<ast::Statement> ParserImpl::ParseCreate() {
+  QOPT_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+  ast::Statement stmt;
+  bool unique = false, clustered = false;
+  while (Peek().IsKeyword("UNIQUE") || Peek().IsKeyword("CLUSTERED")) {
+    if (MatchKeyword("UNIQUE")) unique = true;
+    if (MatchKeyword("CLUSTERED")) clustered = true;
+  }
+  if (MatchKeyword("INDEX")) {
+    stmt.kind = ast::Statement::Kind::kCreateIndex;
+    stmt.create_index = std::make_unique<ast::CreateIndexStatement>();
+    stmt.create_index->unique = unique;
+    stmt.create_index->clustered = clustered;
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected index name");
+    stmt.create_index->name = Advance().text;
+    QOPT_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected table name");
+    stmt.create_index->table = Advance().text;
+    QOPT_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected column");
+    stmt.create_index->column = Advance().text;
+    QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+  if (unique || clustered) return Err("UNIQUE/CLUSTERED only valid for INDEX");
+  if (MatchKeyword("TABLE")) {
+    stmt.kind = ast::Statement::Kind::kCreateTable;
+    stmt.create_table = std::make_unique<ast::CreateTableStatement>();
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected table name");
+    stmt.create_table->name = Advance().text;
+    QOPT_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      if (Peek().IsKeyword("PRIMARY")) {
+        Advance();
+        QOPT_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        QOPT_RETURN_IF_ERROR(ExpectSymbol("("));
+        if (Peek().kind != TokenKind::kIdentifier) return Err("expected column");
+        stmt.create_table->primary_key = Advance().text;
+        QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+        continue;
+      }
+      if (Peek().IsKeyword("FOREIGN")) {
+        Advance();
+        QOPT_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        QOPT_RETURN_IF_ERROR(ExpectSymbol("("));
+        ast::CreateTableStatement::Fk fk;
+        if (Peek().kind != TokenKind::kIdentifier) return Err("expected column");
+        fk.column = Advance().text;
+        QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+        QOPT_RETURN_IF_ERROR(ExpectKeyword("REFERENCES"));
+        if (Peek().kind != TokenKind::kIdentifier) return Err("expected table");
+        fk.ref_table = Advance().text;
+        QOPT_RETURN_IF_ERROR(ExpectSymbol("("));
+        if (Peek().kind != TokenKind::kIdentifier) return Err("expected column");
+        fk.ref_column = Advance().text;
+        QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+        stmt.create_table->foreign_keys.push_back(std::move(fk));
+        continue;
+      }
+      if (Peek().kind != TokenKind::kIdentifier) return Err("expected column");
+      std::string col = Advance().text;
+      TypeId type;
+      if (MatchKeyword("INT") || MatchKeyword("BIGINT")) {
+        type = TypeId::kInt64;
+      } else if (MatchKeyword("DOUBLE")) {
+        type = TypeId::kDouble;
+      } else if (MatchKeyword("STRING") || MatchKeyword("VARCHAR")) {
+        // Optional (n) after VARCHAR.
+        if (MatchSymbol("(")) {
+          if (Peek().kind != TokenKind::kIntLiteral) return Err("expected size");
+          Advance();
+          QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+        }
+        type = TypeId::kString;
+      } else if (MatchKeyword("BOOL") || MatchKeyword("BOOLEAN")) {
+        type = TypeId::kBool;
+      } else {
+        return Err("expected column type");
+      }
+      bool pk = false;
+      if (MatchKeyword("PRIMARY")) {
+        QOPT_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        pk = true;
+      }
+      stmt.create_table->columns.emplace_back(col, type);
+      if (pk) stmt.create_table->primary_key = col;
+    } while (MatchSymbol(","));
+    QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+  if (MatchKeyword("VIEW")) {
+    stmt.kind = ast::Statement::Kind::kCreateView;
+    stmt.create_view = std::make_unique<ast::CreateViewStatement>();
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected view name");
+    stmt.create_view->name = Advance().text;
+    QOPT_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    size_t body_offset = Peek().offset;
+    // Validate the body parses, but store source offset; the caller slices
+    // the original SQL text (the catalog stores view text, §4.2.1).
+    QOPT_ASSIGN_OR_RETURN(auto body, ParseSelectStatement());
+    (void)body;
+    stmt.create_view->body_sql = std::to_string(body_offset);
+    return stmt;
+  }
+  return Err("expected TABLE, VIEW or INDEX after CREATE");
+}
+
+Result<ast::Statement> ParserImpl::ParseInsert() {
+  QOPT_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  QOPT_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  ast::Statement stmt;
+  stmt.kind = ast::Statement::Kind::kInsert;
+  stmt.insert = std::make_unique<ast::InsertStatement>();
+  if (Peek().kind != TokenKind::kIdentifier) return Err("expected table name");
+  stmt.insert->table = Advance().text;
+  QOPT_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    QOPT_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<Value> row;
+    do {
+      QOPT_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      row.push_back(std::move(v));
+    } while (MatchSymbol(","));
+    QOPT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.insert->rows.push_back(std::move(row));
+  } while (MatchSymbol(","));
+  return stmt;
+}
+
+}  // namespace
+
+Result<ast::Statement> Parse(const std::string& sql) {
+  QOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  ParserImpl parser(std::move(tokens));
+  return parser.ParseStatement(sql);
+}
+
+Result<std::unique_ptr<ast::SelectStatement>> ParseSelect(
+    const std::string& sql) {
+  QOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  ParserImpl parser(std::move(tokens));
+  return parser.ParseSelectOnly();
+}
+
+}  // namespace qopt::parser

@@ -1,0 +1,22 @@
+// Recursive-descent SQL parser.
+#ifndef QOPT_PARSER_PARSER_H_
+#define QOPT_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace qopt::parser {
+
+/// Parses one SQL statement (trailing semicolon optional).
+Result<ast::Statement> Parse(const std::string& sql);
+
+/// Parses a SELECT statement specifically (used for view bodies).
+Result<std::unique_ptr<ast::SelectStatement>> ParseSelect(
+    const std::string& sql);
+
+}  // namespace qopt::parser
+
+#endif  // QOPT_PARSER_PARSER_H_

@@ -1,0 +1,42 @@
+// Binder: resolves a parsed SELECT against the catalog into a logical plan.
+//
+// Responsibilities (paper Sections 2 and 4.2):
+//  * name resolution and type checking over ColumnIds;
+//  * view expansion — views are parsed and inlined as subtrees, which is
+//    the "merging views" step of Section 4.2.1 (the rewrite engine then
+//    flattens the resulting Project/Filter wrappers so joins reorder
+//    freely);
+//  * nested subqueries — IN / EXISTS / scalar subqueries (correlated or
+//    not) become Apply operators with tuple-iteration semantics, the
+//    unoptimized form of Section 4.2.2; the unnesting rewrite rules merge
+//    them into joins/outerjoins;
+//  * aggregate analysis — GROUP BY / HAVING / aggregate functions become
+//    a kAggregate node with fresh output ColumnIds.
+#ifndef QOPT_PLAN_BINDER_H_
+#define QOPT_PLAN_BINDER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+namespace qopt::plan {
+
+/// Binds `stmt` into a logical plan. `next_rel_id` seeds relation-id
+/// allocation and is advanced past all ids used (callers binding several
+/// statements against one session should thread it through).
+Result<BoundQuery> Bind(const ast::SelectStatement& stmt,
+                        const Catalog& catalog, int* next_rel_id);
+
+/// Convenience overload with a private id counter.
+Result<BoundQuery> Bind(const ast::SelectStatement& stmt,
+                        const Catalog& catalog);
+
+/// Free variables of a plan subtree: referenced ColumnIds whose defining
+/// relation is outside the subtree (used for correlation detection).
+std::set<ColumnId> FreeColumns(const LogicalPtr& op);
+
+}  // namespace qopt::plan
+
+#endif  // QOPT_PLAN_BINDER_H_

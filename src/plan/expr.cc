@@ -1,0 +1,277 @@
+#include "plan/expr.h"
+
+namespace qopt::plan {
+
+using ast::BinaryOp;
+
+std::string BoundExpr::ToString() const {
+  switch (kind) {
+    case BoundKind::kColumn:
+      return name.empty() ? column.ToString() : name;
+    case BoundKind::kLiteral:
+      return literal.ToString();
+    case BoundKind::kBinary:
+      return "(" + children[0]->ToString() + " " + ast::BinaryOpName(op) +
+             " " + children[1]->ToString() + ")";
+    case BoundKind::kNot:
+      return "NOT " + children[0]->ToString();
+    case BoundKind::kNegate:
+      return "-" + children[0]->ToString();
+    case BoundKind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case BoundKind::kInList: {
+      std::string s =
+          children[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) s += ", ";
+        s += children[i]->ToString();
+      }
+      return s + ")";
+    }
+    case BoundKind::kLike:
+      return children[0]->ToString() + " LIKE " + children[1]->ToString();
+    case BoundKind::kCase: {
+      std::string s = "CASE";
+      size_t i = 0;
+      for (; i + 1 < children.size(); i += 2) {
+        s += " WHEN " + children[i]->ToString() + " THEN " +
+             children[i + 1]->ToString();
+      }
+      if (i < children.size()) s += " ELSE " + children[i]->ToString();
+      return s + " END";
+    }
+  }
+  return "?";
+}
+
+BExpr MakeColumn(ColumnId id, TypeId type, std::string name) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BoundKind::kColumn;
+  e->type = type;
+  e->column = id;
+  e->name = std::move(name);
+  return e;
+}
+
+BExpr MakeLiteral(Value v) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BoundKind::kLiteral;
+  e->type = v.type();
+  e->literal = std::move(v);
+  return e;
+}
+
+TypeId BinaryResultType(BinaryOp op, TypeId lhs, TypeId rhs) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      return TypeId::kBool;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+      if (lhs == TypeId::kDouble || rhs == TypeId::kDouble) {
+        return TypeId::kDouble;
+      }
+      return TypeId::kInt64;
+    case BinaryOp::kDiv:
+      return TypeId::kDouble;
+  }
+  return TypeId::kNull;
+}
+
+BExpr MakeBinary(BinaryOp op, BExpr lhs, BExpr rhs) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BoundKind::kBinary;
+  e->op = op;
+  e->type = BinaryResultType(op, lhs->type, rhs->type);
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+BExpr MakeNot(BExpr inner) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BoundKind::kNot;
+  e->type = TypeId::kBool;
+  e->children = {std::move(inner)};
+  return e;
+}
+
+BExpr MakeIsNull(BExpr inner, bool negated) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = BoundKind::kIsNull;
+  e->type = TypeId::kBool;
+  e->negated = negated;
+  e->children = {std::move(inner)};
+  return e;
+}
+
+BExpr MakeConjunction(std::vector<BExpr> conjuncts) {
+  if (conjuncts.empty()) return MakeLiteral(Value::Bool(true));
+  BExpr acc = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    acc = MakeBinary(BinaryOp::kAnd, acc, conjuncts[i]);
+  }
+  return acc;
+}
+
+void SplitConjuncts(const BExpr& e, std::vector<BExpr>* out) {
+  if (e->kind == BoundKind::kBinary && e->op == BinaryOp::kAnd) {
+    SplitConjuncts(e->children[0], out);
+    SplitConjuncts(e->children[1], out);
+    return;
+  }
+  // Drop trivial TRUE conjuncts.
+  if (e->kind == BoundKind::kLiteral && e->type == TypeId::kBool &&
+      !e->literal.is_null() && e->literal.AsBool()) {
+    return;
+  }
+  out->push_back(e);
+}
+
+void CollectColumns(const BExpr& e, std::set<ColumnId>* out) {
+  if (e->kind == BoundKind::kColumn) {
+    out->insert(e->column);
+    return;
+  }
+  for (const BExpr& c : e->children) CollectColumns(c, out);
+}
+
+bool ColumnsBoundBy(const BExpr& e, const std::set<ColumnId>& available) {
+  std::set<ColumnId> used;
+  CollectColumns(e, &used);
+  for (ColumnId c : used) {
+    if (!available.count(c)) return false;
+  }
+  return true;
+}
+
+BExpr SubstituteColumns(
+    const BExpr& e,
+    const std::unordered_map<ColumnId, BExpr, ColumnIdHash>& mapping) {
+  if (e->kind == BoundKind::kColumn) {
+    auto it = mapping.find(e->column);
+    return it == mapping.end() ? e : it->second;
+  }
+  if (e->children.empty()) return e;
+  bool changed = false;
+  std::vector<BExpr> new_children;
+  new_children.reserve(e->children.size());
+  for (const BExpr& c : e->children) {
+    BExpr nc = SubstituteColumns(c, mapping);
+    changed |= (nc != c);
+    new_children.push_back(std::move(nc));
+  }
+  if (!changed) return e;
+  auto copy = std::make_shared<BoundExpr>(*e);
+  copy->children = std::move(new_children);
+  return copy;
+}
+
+bool MatchEquiJoin(const BExpr& e, const std::set<ColumnId>& left_cols,
+                   const std::set<ColumnId>& right_cols, ColumnId* left_col,
+                   ColumnId* right_col) {
+  if (e->kind != BoundKind::kBinary || e->op != BinaryOp::kEq) return false;
+  const BExpr& a = e->children[0];
+  const BExpr& b = e->children[1];
+  if (a->kind != BoundKind::kColumn || b->kind != BoundKind::kColumn) {
+    return false;
+  }
+  if (left_cols.count(a->column) && right_cols.count(b->column)) {
+    *left_col = a->column;
+    *right_col = b->column;
+    return true;
+  }
+  if (left_cols.count(b->column) && right_cols.count(a->column)) {
+    *left_col = b->column;
+    *right_col = a->column;
+    return true;
+  }
+  return false;
+}
+
+bool MatchColumnConstant(const BExpr& e, ColumnId* col, BinaryOp* op,
+                         Value* constant) {
+  if (e->kind != BoundKind::kBinary) return false;
+  BinaryOp o = e->op;
+  switch (o) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      break;
+    default:
+      return false;
+  }
+  const BExpr& a = e->children[0];
+  const BExpr& b = e->children[1];
+  if (a->kind == BoundKind::kColumn && b->kind == BoundKind::kLiteral) {
+    *col = a->column;
+    *op = o;
+    *constant = b->literal;
+    return true;
+  }
+  if (b->kind == BoundKind::kColumn && a->kind == BoundKind::kLiteral) {
+    *col = b->column;
+    *constant = a->literal;
+    // Mirror the operator: 5 < x  ==  x > 5.
+    switch (o) {
+      case BinaryOp::kLt: *op = BinaryOp::kGt; break;
+      case BinaryOp::kLe: *op = BinaryOp::kGe; break;
+      case BinaryOp::kGt: *op = BinaryOp::kLt; break;
+      case BinaryOp::kGe: *op = BinaryOp::kLe; break;
+      default: *op = o; break;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool IsNullRejecting(const BExpr& e, const std::set<int>& rels) {
+  auto references = [&rels](const BExpr& x) {
+    std::set<ColumnId> cols;
+    CollectColumns(x, &cols);
+    for (ColumnId c : cols) {
+      if (rels.count(c.rel)) return true;
+    }
+    return false;
+  };
+  switch (e->kind) {
+    case BoundKind::kBinary:
+      switch (e->op) {
+        case BinaryOp::kAnd:
+          return IsNullRejecting(e->children[0], rels) ||
+                 IsNullRejecting(e->children[1], rels);
+        case BinaryOp::kOr:
+          return IsNullRejecting(e->children[0], rels) &&
+                 IsNullRejecting(e->children[1], rels);
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          // A comparison is not-TRUE whenever an operand is NULL.
+          return references(e);
+        default:
+          return false;
+      }
+    case BoundKind::kIsNull:
+      return e->negated && references(e);
+    case BoundKind::kInList:
+      return !e->negated && references(e->children[0]);
+    case BoundKind::kLike:
+      return references(e);
+    default:
+      return false;
+  }
+}
+
+}  // namespace qopt::plan

@@ -1,0 +1,98 @@
+// Bound expressions: name-resolved, typed expression trees over ColumnIds.
+//
+// Bound expressions are immutable and shared (shared_ptr<const BoundExpr>),
+// so rewrite rules and the two optimizers can share subtrees freely.
+#ifndef QOPT_PLAN_EXPR_H_
+#define QOPT_PLAN_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/column_id.h"
+#include "common/value.h"
+#include "parser/ast.h"
+
+namespace qopt::plan {
+
+/// Bound expression node kinds.
+enum class BoundKind {
+  kColumn,
+  kLiteral,
+  kBinary,   ///< Comparison, logical and arithmetic via ast::BinaryOp.
+  kNot,
+  kNegate,
+  kIsNull,   ///< negated => IS NOT NULL
+  kInList,   ///< child IN (literals...); negated supported
+  kLike,
+  kCase,     ///< args: when,then pairs + optional else
+};
+
+struct BoundExpr;
+using BExpr = std::shared_ptr<const BoundExpr>;
+
+/// One bound expression node.
+struct BoundExpr {
+  BoundKind kind = BoundKind::kLiteral;
+  TypeId type = TypeId::kNull;
+
+  ColumnId column;               // kColumn
+  std::string name;              // kColumn display name ("E.sal")
+  Value literal;                 // kLiteral
+  ast::BinaryOp op = ast::BinaryOp::kEq;  // kBinary
+  std::vector<BExpr> children;   // operands
+  bool negated = false;          // kIsNull / kInList
+
+  std::string ToString() const;
+};
+
+/// Constructors.
+BExpr MakeColumn(ColumnId id, TypeId type, std::string name);
+BExpr MakeLiteral(Value v);
+BExpr MakeBinary(ast::BinaryOp op, BExpr lhs, BExpr rhs);
+BExpr MakeNot(BExpr e);
+BExpr MakeIsNull(BExpr e, bool negated);
+
+/// AND of all `conjuncts` (returns TRUE literal if empty, single if one).
+BExpr MakeConjunction(std::vector<BExpr> conjuncts);
+
+/// Splits nested ANDs into a flat conjunct list.
+void SplitConjuncts(const BExpr& e, std::vector<BExpr>* out);
+
+/// Collects every ColumnId referenced by `e` into `out`.
+void CollectColumns(const BExpr& e, std::set<ColumnId>* out);
+
+/// True if every column referenced by `e` is in `available`.
+bool ColumnsBoundBy(const BExpr& e, const std::set<ColumnId>& available);
+
+/// Rewrites column references per `mapping` (ColumnId -> replacement expr).
+/// Columns not in the mapping are left untouched.
+BExpr SubstituteColumns(
+    const BExpr& e,
+    const std::unordered_map<ColumnId, BExpr, ColumnIdHash>& mapping);
+
+/// If `e` is `col1 = col2` with the two columns on different sides (one in
+/// `left_cols`, other in `right_cols`), returns true and outputs them
+/// oriented left/right.
+bool MatchEquiJoin(const BExpr& e, const std::set<ColumnId>& left_cols,
+                   const std::set<ColumnId>& right_cols, ColumnId* left_col,
+                   ColumnId* right_col);
+
+/// True if `e` is a comparison `col <op> literal` (either orientation);
+/// outputs the column, the op normalized to column-on-left, and the literal.
+bool MatchColumnConstant(const BExpr& e, ColumnId* col, ast::BinaryOp* op,
+                         Value* constant);
+
+/// True if `e` is known null-rejecting on relation-set `rels`: a NULL in any
+/// referenced column of those relations makes the predicate not-TRUE.
+/// (Comparisons, IS NOT NULL, IN, LIKE and conjunctions qualify.)
+bool IsNullRejecting(const BExpr& e, const std::set<int>& rels);
+
+/// Result type of a binary op over operand types (numeric promotion).
+TypeId BinaryResultType(ast::BinaryOp op, TypeId lhs, TypeId rhs);
+
+}  // namespace qopt::plan
+
+#endif  // QOPT_PLAN_EXPR_H_

@@ -1,0 +1,281 @@
+#include "plan/logical_plan.h"
+
+namespace qopt::plan {
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner: return "Inner";
+    case JoinType::kCross: return "Cross";
+    case JoinType::kLeftOuter: return "LeftOuter";
+    case JoinType::kSemi: return "Semi";
+    case JoinType::kAnti: return "Anti";
+  }
+  return "?";
+}
+
+std::vector<OutputCol> LogicalOp::OutputCols() const {
+  switch (kind) {
+    case LogicalOpKind::kGet:
+      return get_cols;
+    case LogicalOpKind::kFilter:
+    case LogicalOpKind::kDistinct:
+    case LogicalOpKind::kSort:
+    case LogicalOpKind::kLimit:
+      return children[0]->OutputCols();
+    case LogicalOpKind::kProject:
+    case LogicalOpKind::kUnion:
+    case LogicalOpKind::kExcept:
+    case LogicalOpKind::kIntersect:
+      return proj_cols;
+    case LogicalOpKind::kJoin: {
+      if (join_type == JoinType::kSemi || join_type == JoinType::kAnti) {
+        return children[0]->OutputCols();
+      }
+      std::vector<OutputCol> cols = children[0]->OutputCols();
+      std::vector<OutputCol> right = children[1]->OutputCols();
+      cols.insert(cols.end(), right.begin(), right.end());
+      return cols;
+    }
+    case LogicalOpKind::kAggregate: {
+      std::vector<OutputCol> cols;
+      for (const BExpr& g : group_by) {
+        QOPT_DCHECK(g->kind == BoundKind::kColumn);
+        cols.push_back({g->column, g->type, g->name});
+      }
+      for (const AggItem& a : aggs) {
+        cols.push_back({a.output, a.type, a.name});
+      }
+      return cols;
+    }
+    case LogicalOpKind::kApply: {
+      if (apply_type == ApplyType::kScalar) {
+        std::vector<OutputCol> cols = children[0]->OutputCols();
+        cols.push_back({scalar_output, scalar_type, "<scalar>"});
+        return cols;
+      }
+      return children[0]->OutputCols();
+    }
+  }
+  return {};
+}
+
+std::set<ColumnId> LogicalOp::OutputColumnSet() const {
+  std::set<ColumnId> out;
+  for (const OutputCol& c : OutputCols()) out.insert(c.id);
+  return out;
+}
+
+std::set<int> LogicalOp::BaseRels() const {
+  std::set<int> rels;
+  if (kind == LogicalOpKind::kGet) {
+    rels.insert(rel_id);
+    return rels;
+  }
+  for (const LogicalPtr& c : children) {
+    std::set<int> sub = c->BaseRels();
+    rels.insert(sub.begin(), sub.end());
+  }
+  return rels;
+}
+
+LogicalPtr LogicalOp::Clone() const {
+  auto copy = std::make_shared<LogicalOp>(*this);
+  copy->children.clear();
+  for (const LogicalPtr& c : children) copy->children.push_back(c->Clone());
+  return copy;
+}
+
+std::string LogicalOp::ToString(int indent) const {
+  std::string pad(indent * 2, ' ');
+  std::string s = pad;
+  switch (kind) {
+    case LogicalOpKind::kGet:
+      s += "Get(" + alias + " rel=" + std::to_string(rel_id) + ")";
+      break;
+    case LogicalOpKind::kFilter:
+      s += "Filter(" + (predicate ? predicate->ToString() : "true") + ")";
+      break;
+    case LogicalOpKind::kProject: {
+      s += "Project(";
+      for (size_t i = 0; i < proj_exprs.size(); ++i) {
+        if (i) s += ", ";
+        s += proj_exprs[i]->ToString();
+      }
+      s += ")";
+      break;
+    }
+    case LogicalOpKind::kJoin:
+      s += std::string(JoinTypeName(join_type)) + "Join(" +
+           (predicate ? predicate->ToString() : "true") + ")";
+      break;
+    case LogicalOpKind::kAggregate: {
+      s += "Aggregate(group=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i) s += ", ";
+        s += group_by[i]->ToString();
+      }
+      s += "], aggs=[";
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (i) s += ", ";
+        s += aggs[i].name;
+      }
+      s += "])";
+      break;
+    }
+    case LogicalOpKind::kDistinct:
+      s += "Distinct";
+      break;
+    case LogicalOpKind::kSort: {
+      s += "Sort(";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i) s += ", ";
+        s += sort_keys[i].column.ToString();
+        if (!sort_keys[i].ascending) s += " DESC";
+      }
+      s += ")";
+      break;
+    }
+    case LogicalOpKind::kLimit:
+      s += "Limit(" + std::to_string(limit) + ")";
+      break;
+    case LogicalOpKind::kUnion:
+      s += "UnionAll";
+      break;
+    case LogicalOpKind::kExcept:
+      s += "Except";
+      break;
+    case LogicalOpKind::kIntersect:
+      s += "Intersect";
+      break;
+    case LogicalOpKind::kApply: {
+      const char* t = apply_type == ApplyType::kSemi
+                          ? "Semi"
+                          : (apply_type == ApplyType::kAnti ? "Anti"
+                                                            : "Scalar");
+      s += std::string("Apply[") + t + "](" +
+           (predicate ? predicate->ToString() : "true") + ", correlated={";
+      bool first = true;
+      for (ColumnId c : correlated_cols) {
+        if (!first) s += ",";
+        first = false;
+        s += c.ToString();
+      }
+      s += "})";
+      break;
+    }
+  }
+  s += "\n";
+  for (const LogicalPtr& c : children) s += c->ToString(indent + 1);
+  return s;
+}
+
+LogicalPtr MakeGet(const TableDef& table, int rel_id, std::string alias) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kGet;
+  op->table_id = table.id;
+  op->rel_id = rel_id;
+  op->alias = alias.empty() ? table.name : std::move(alias);
+  for (size_t i = 0; i < table.columns.size(); ++i) {
+    op->get_cols.push_back({ColumnId{rel_id, static_cast<int>(i)},
+                            table.columns[i].type,
+                            op->alias + "." + table.columns[i].name});
+  }
+  return op;
+}
+
+LogicalPtr MakeFilter(LogicalPtr child, BExpr predicate) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kFilter;
+  op->children = {std::move(child)};
+  op->predicate = std::move(predicate);
+  return op;
+}
+
+LogicalPtr MakeJoin(JoinType type, LogicalPtr left, LogicalPtr right,
+                    BExpr condition) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kJoin;
+  op->join_type = type;
+  op->children = {std::move(left), std::move(right)};
+  op->predicate = std::move(condition);
+  return op;
+}
+
+LogicalPtr MakeApply(ApplyType type, LogicalPtr left, LogicalPtr right,
+                     BExpr condition, std::set<ColumnId> correlated) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kApply;
+  op->apply_type = type;
+  op->children = {std::move(left), std::move(right)};
+  op->predicate = std::move(condition);
+  op->correlated_cols = std::move(correlated);
+  return op;
+}
+
+LogicalPtr MakeProject(LogicalPtr child, std::vector<BExpr> exprs,
+                       std::vector<OutputCol> cols) {
+  QOPT_DCHECK(exprs.size() == cols.size());
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kProject;
+  op->children = {std::move(child)};
+  op->proj_exprs = std::move(exprs);
+  op->proj_cols = std::move(cols);
+  return op;
+}
+
+LogicalPtr MakeAggregate(LogicalPtr child, std::vector<BExpr> group_by,
+                         std::vector<AggItem> aggs) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kAggregate;
+  op->children = {std::move(child)};
+  op->group_by = std::move(group_by);
+  op->aggs = std::move(aggs);
+  return op;
+}
+
+LogicalPtr MakeDistinct(LogicalPtr child) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kDistinct;
+  op->children = {std::move(child)};
+  return op;
+}
+
+LogicalPtr MakeSort(LogicalPtr child, std::vector<SortKey> keys) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kSort;
+  op->children = {std::move(child)};
+  op->sort_keys = std::move(keys);
+  return op;
+}
+
+LogicalPtr MakeLimit(LogicalPtr child, int64_t limit) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kLimit;
+  op->children = {std::move(child)};
+  op->limit = limit;
+  return op;
+}
+
+LogicalPtr MakeUnion(std::vector<LogicalPtr> children,
+                     std::vector<OutputCol> cols) {
+  QOPT_DCHECK(children.size() >= 2);
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kUnion;
+  op->children = std::move(children);
+  op->proj_cols = std::move(cols);
+  op->union_all = true;
+  return op;
+}
+
+LogicalPtr MakeSetOp(LogicalOpKind kind, LogicalPtr left, LogicalPtr right,
+                     std::vector<OutputCol> cols) {
+  QOPT_DCHECK(kind == LogicalOpKind::kExcept ||
+              kind == LogicalOpKind::kIntersect);
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = kind;
+  op->children = {std::move(left), std::move(right)};
+  op->proj_cols = std::move(cols);
+  return op;
+}
+
+}  // namespace qopt::plan

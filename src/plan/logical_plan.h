@@ -1,0 +1,156 @@
+// Logical operator trees ("query trees", paper Figure 2 and Section 4).
+//
+// The binder produces a canonical logical tree; the rewrite engine
+// transforms it; the query-graph extractor (Figure 3) and the two
+// cost-based optimizers consume it.
+#ifndef QOPT_PLAN_LOGICAL_PLAN_H_
+#define QOPT_PLAN_LOGICAL_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/expr.h"
+
+namespace qopt::plan {
+
+/// Logical operator kinds.
+enum class LogicalOpKind {
+  kGet,        ///< Base-table access (one relation instance).
+  kFilter,     ///< Selection.
+  kProject,    ///< Projection / computed expressions.
+  kJoin,       ///< Inner / cross / left-outer / semi / anti join.
+  kAggregate,  ///< Group-by + aggregate functions.
+  kDistinct,   ///< Duplicate elimination over full rows.
+  kSort,       ///< ORDER BY.
+  kLimit,      ///< LIMIT n.
+  kApply,      ///< Correlated subquery (tuple-iteration semantics, §4.2.2).
+  kUnion,      ///< UNION ALL (bag concatenation; UNION adds Distinct).
+  kExcept,     ///< Set difference (distinct left rows absent from right).
+  kIntersect,  ///< Set intersection (distinct left rows present in right).
+};
+
+/// Join types for kJoin.
+enum class JoinType { kInner, kCross, kLeftOuter, kSemi, kAnti };
+
+const char* JoinTypeName(JoinType t);
+
+/// Apply flavors: semi/anti for [NOT] IN / [NOT] EXISTS, scalar for scalar
+/// subqueries in expressions.
+enum class ApplyType { kSemi, kAnti, kScalar };
+
+/// One aggregate computation in a kAggregate node.
+struct AggItem {
+  ast::AggFunc func = ast::AggFunc::kCountStar;
+  BExpr arg;            ///< Null for COUNT(*).
+  bool distinct = false;
+  ColumnId output;      ///< Fresh ColumnId for the aggregate's result.
+  TypeId type = TypeId::kInt64;
+  std::string name;     ///< Display name, e.g. "COUNT(*)".
+};
+
+/// One sort key; sort keys are plain columns after binding.
+struct SortKey {
+  ColumnId column;
+  bool ascending = true;
+  bool operator==(const SortKey& o) const {
+    return column == o.column && ascending == o.ascending;
+  }
+};
+
+/// An output column of a logical operator.
+struct OutputCol {
+  ColumnId id;
+  TypeId type = TypeId::kNull;
+  std::string name;
+};
+
+struct LogicalOp;
+using LogicalPtr = std::shared_ptr<LogicalOp>;
+
+/// A logical operator node. Nodes are mutable while a single owner holds
+/// them (binder/rewriter); optimizers treat received trees as read-only.
+struct LogicalOp {
+  LogicalOpKind kind = LogicalOpKind::kGet;
+  std::vector<LogicalPtr> children;
+
+  // kGet
+  int table_id = -1;
+  int rel_id = -1;
+  std::string alias;
+  std::vector<OutputCol> get_cols;
+
+  // kFilter predicate / kJoin condition / kApply extra condition.
+  BExpr predicate;
+  JoinType join_type = JoinType::kInner;
+
+  // kApply
+  ApplyType apply_type = ApplyType::kSemi;
+  std::set<ColumnId> correlated_cols;  ///< Outer columns used by child[1].
+  ColumnId scalar_output;              ///< kScalar: id exposed for the value.
+  TypeId scalar_type = TypeId::kNull;
+
+  // kProject
+  std::vector<BExpr> proj_exprs;
+  std::vector<OutputCol> proj_cols;  ///< Parallel to proj_exprs.
+
+  // kAggregate
+  std::vector<BExpr> group_by;  ///< Plain column refs.
+  std::vector<AggItem> aggs;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+
+  // kUnion: children combined positionally; proj_cols describes the
+  // output columns (fresh rel id).
+  bool union_all = true;
+
+  /// Columns produced by this operator (computed structurally).
+  std::vector<OutputCol> OutputCols() const;
+  std::set<ColumnId> OutputColumnSet() const;
+
+  /// rel_ids of every base-table Get in this subtree.
+  std::set<int> BaseRels() const;
+
+  /// Deep copy (expressions shared, operators copied).
+  LogicalPtr Clone() const;
+
+  /// Indented tree rendering for EXPLAIN / tests.
+  std::string ToString(int indent = 0) const;
+};
+
+LogicalPtr MakeGet(const TableDef& table, int rel_id, std::string alias);
+LogicalPtr MakeFilter(LogicalPtr child, BExpr predicate);
+LogicalPtr MakeJoin(JoinType type, LogicalPtr left, LogicalPtr right,
+                    BExpr condition);
+LogicalPtr MakeApply(ApplyType type, LogicalPtr left, LogicalPtr right,
+                     BExpr condition, std::set<ColumnId> correlated);
+LogicalPtr MakeProject(LogicalPtr child, std::vector<BExpr> exprs,
+                       std::vector<OutputCol> cols);
+LogicalPtr MakeAggregate(LogicalPtr child, std::vector<BExpr> group_by,
+                         std::vector<AggItem> aggs);
+LogicalPtr MakeDistinct(LogicalPtr child);
+LogicalPtr MakeSort(LogicalPtr child, std::vector<SortKey> keys);
+LogicalPtr MakeLimit(LogicalPtr child, int64_t limit);
+/// UNION ALL of `children` (same arity), exposing `cols` positionally.
+LogicalPtr MakeUnion(std::vector<LogicalPtr> children,
+                     std::vector<OutputCol> cols);
+/// EXCEPT / INTERSECT (set semantics) of two inputs, positional.
+LogicalPtr MakeSetOp(LogicalOpKind kind, LogicalPtr left, LogicalPtr right,
+                     std::vector<OutputCol> cols);
+
+/// A fully bound query: logical tree plus result-column display names.
+struct BoundQuery {
+  LogicalPtr root;
+  std::vector<std::string> output_names;
+};
+
+}  // namespace qopt::plan
+
+#endif  // QOPT_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,127 @@
+#include "plan/query_graph.h"
+
+namespace qopt::plan {
+
+int QueryGraph::RelIndex(int rel_id) const {
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (relations[i].rel_id == rel_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool QueryGraph::Connected(uint64_t a, uint64_t b) const {
+  for (const QGEdge& e : edges) {
+    uint64_t l = 1ULL << RelIndex(e.left.rel);
+    uint64_t r = 1ULL << RelIndex(e.right.rel);
+    if (((l & a) && (r & b)) || ((l & b) && (r & a))) return true;
+  }
+  return false;
+}
+
+std::string QueryGraph::ToString() const {
+  std::string s = "QueryGraph(";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i) s += ", ";
+    s += relations[i].alias;
+    s += "[" + std::to_string(relations[i].local_preds.size()) + " preds]";
+  }
+  s += "; edges: ";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i) s += ", ";
+    s += edges[i].pred->ToString();
+  }
+  return s + ")";
+}
+
+bool IsJoinBlock(const LogicalOp& op) {
+  switch (op.kind) {
+    case LogicalOpKind::kGet:
+      return true;
+    case LogicalOpKind::kFilter:
+      return IsJoinBlock(*op.children[0]);
+    case LogicalOpKind::kJoin:
+      if (op.join_type != JoinType::kInner &&
+          op.join_type != JoinType::kCross) {
+        return false;
+      }
+      return IsJoinBlock(*op.children[0]) && IsJoinBlock(*op.children[1]);
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+Status Walk(const LogicalPtr& op, QueryGraph* graph,
+            std::vector<BExpr>* conjuncts) {
+  switch (op->kind) {
+    case LogicalOpKind::kGet: {
+      QGRelation rel;
+      rel.rel_id = op->rel_id;
+      rel.table_id = op->table_id;
+      rel.alias = op->alias;
+      graph->relations.push_back(std::move(rel));
+      return Status::OK();
+    }
+    case LogicalOpKind::kFilter:
+      SplitConjuncts(op->predicate, conjuncts);
+      return Walk(op->children[0], graph, conjuncts);
+    case LogicalOpKind::kJoin: {
+      if (op->join_type != JoinType::kInner &&
+          op->join_type != JoinType::kCross) {
+        return Status::InvalidArgument("not an inner-join block");
+      }
+      if (op->predicate) SplitConjuncts(op->predicate, conjuncts);
+      QOPT_RETURN_IF_ERROR(Walk(op->children[0], graph, conjuncts));
+      return Walk(op->children[1], graph, conjuncts);
+    }
+    default:
+      return Status::InvalidArgument(
+          "query graph extraction requires a Get/Filter/Join tree");
+  }
+}
+
+}  // namespace
+
+Result<QueryGraph> ExtractQueryGraph(const LogicalPtr& root) {
+  QueryGraph graph;
+  std::vector<BExpr> conjuncts;
+  QOPT_RETURN_IF_ERROR(Walk(root, &graph, &conjuncts));
+
+  for (const BExpr& pred : conjuncts) {
+    std::set<ColumnId> cols;
+    CollectColumns(pred, &cols);
+    // Classify by the relations INSIDE this join block; columns of outer
+    // relations (correlated predicates under an Apply) are free variables
+    // resolved as parameters at execution time.
+    std::set<int> inside;
+    for (ColumnId c : cols) {
+      if (graph.RelIndex(c.rel) >= 0) inside.insert(c.rel);
+    }
+
+    if (inside.size() <= 1) {
+      // Local predicate (constant predicates attach to the first relation).
+      int rel_id =
+          inside.empty() ? graph.relations[0].rel_id : *inside.begin();
+      graph.relations[graph.RelIndex(rel_id)].local_preds.push_back(pred);
+      continue;
+    }
+    if (inside.size() == 2) {
+      int rel_a = *inside.begin();
+      std::set<ColumnId> a_cols, b_cols;
+      for (ColumnId c : cols) {
+        if (graph.RelIndex(c.rel) < 0) continue;
+        (c.rel == rel_a ? a_cols : b_cols).insert(c);
+      }
+      ColumnId l, r;
+      if (MatchEquiJoin(pred, a_cols, b_cols, &l, &r)) {
+        graph.edges.push_back({l, r, pred});
+        continue;
+      }
+    }
+    graph.complex_preds.push_back(pred);
+  }
+  return graph;
+}
+
+}  // namespace qopt::plan

@@ -1,0 +1,61 @@
+// Query graph extraction (paper Figure 3).
+//
+// For the SPJ core of a query, nodes represent relations (correlation
+// variables) and labeled edges represent join predicates among them. The
+// Selinger enumerator consumes this "calculus-oriented" representation.
+#ifndef QOPT_PLAN_QUERY_GRAPH_H_
+#define QOPT_PLAN_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+namespace qopt::plan {
+
+/// One node: a base-relation instance plus its single-relation predicates
+/// ("predicates are evaluated as early as possible", §3).
+struct QGRelation {
+  int rel_id = -1;
+  int table_id = -1;
+  std::string alias;
+  std::vector<BExpr> local_preds;
+};
+
+/// One labeled edge: an equi-join predicate between two relations.
+struct QGEdge {
+  ColumnId left;   ///< Column of relations[x] with x = index of left.rel.
+  ColumnId right;
+  BExpr pred;
+};
+
+/// The query graph of an inner-join block.
+struct QueryGraph {
+  std::vector<QGRelation> relations;
+  std::vector<QGEdge> edges;
+  /// Predicates touching >= 2 relations that are not simple equi-joins
+  /// (applied as residual filters once all their relations are joined).
+  std::vector<BExpr> complex_preds;
+
+  /// Index into `relations` for `rel_id`, or -1.
+  int RelIndex(int rel_id) const;
+
+  /// True if some edge connects a relation in `a` to one in `b`
+  /// (bitmask over relation indexes).
+  bool Connected(uint64_t a, uint64_t b) const;
+
+  std::string ToString() const;
+};
+
+/// True if `op` is a pure inner-join block: Get / Filter / inner/cross Join
+/// nodes only.
+bool IsJoinBlock(const LogicalOp& op);
+
+/// Extracts the query graph from an inner-join block. Fails with
+/// kInvalidArgument if the tree contains other operators.
+Result<QueryGraph> ExtractQueryGraph(const LogicalPtr& root);
+
+}  // namespace qopt::plan
+
+#endif  // QOPT_PLAN_QUERY_GRAPH_H_

@@ -1,0 +1,13 @@
+#include "stats/column_stats.h"
+
+namespace qopt::stats {
+
+std::string ColumnStats::ToString() const {
+  std::string s = "ndv=" + std::to_string(num_distinct);
+  s += " nulls=" + std::to_string(null_fraction);
+  s += " min=" + min.ToString() + " max=" + max.ToString();
+  if (histogram) s += " [" + histogram->ToString() + "]";
+  return s;
+}
+
+}  // namespace qopt::stats

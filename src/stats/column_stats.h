@@ -1,0 +1,58 @@
+// Statistical summaries of stored data (paper Section 5.1.1).
+#ifndef QOPT_STATS_COLUMN_STATS_H_
+#define QOPT_STATS_COLUMN_STATS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "stats/histogram.h"
+#include "stats/histogram2d.h"
+
+namespace qopt::stats {
+
+/// Per-column statistics: distinct count, null fraction, extrema and an
+/// optional histogram (numeric columns only).
+struct ColumnStats {
+  double num_distinct = 1;
+  double null_fraction = 0;
+  Value min;  ///< NULL when the column is all-NULL/empty.
+  Value max;
+  /// Second-lowest / second-highest values: used instead of min/max when
+  /// estimating ranges "since the min and max have a high probability of
+  /// being outlying values" (Section 5.1.1).
+  Value low2;
+  Value high2;
+  std::shared_ptr<const Histogram> histogram;
+
+  std::string ToString() const;
+};
+
+/// Per-table statistics: cardinality, page count, one ColumnStats per
+/// column, plus optional joint (2-D) histograms for declared column pairs
+/// (§5.1.1: capturing correlations needs the joint distribution).
+struct TableStats {
+  double row_count = 0;
+  double num_pages = 0;
+  std::vector<ColumnStats> columns;
+  /// Joint histograms keyed by column-ordinal pair (lower ordinal first).
+  std::map<std::pair<int, int>, std::shared_ptr<const Histogram2D>> joint;
+
+  const ColumnStats* column(int i) const {
+    if (i < 0 || i >= static_cast<int>(columns.size())) return nullptr;
+    return &columns[i];
+  }
+
+  /// Joint histogram for columns (a, b) in either order, or nullptr.
+  const Histogram2D* joint_histogram(int a, int b) const {
+    auto it = joint.find({std::min(a, b), std::max(a, b)});
+    return it == joint.end() ? nullptr : it->second.get();
+  }
+};
+
+}  // namespace qopt::stats
+
+#endif  // QOPT_STATS_COLUMN_STATS_H_

@@ -1,0 +1,220 @@
+#include "stats/derived_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qopt::stats {
+
+namespace {
+
+// Distinct-count shrinkage after a filter keeping fraction `sel` of `rows`:
+// each of d values has rows/d duplicates; the chance a value survives is
+// 1 - (1-sel)^(rows/d).
+double ShrinkNdv(double ndv, double rows, double sel) {
+  if (ndv <= 1 || rows <= 0) return std::max(1.0, std::min(ndv, rows * sel));
+  double dup = std::max(1.0, rows / ndv);
+  double survive = 1.0 - std::pow(1.0 - sel, dup);
+  return std::max(1.0, ndv * survive);
+}
+
+}  // namespace
+
+std::string RelStats::ToString() const {
+  std::string s = "rows=" + std::to_string(rows) + " {";
+  bool first = true;
+  for (const auto& [id, cs] : columns) {
+    if (!first) s += ", ";
+    first = false;
+    s += id.ToString() + ":ndv=" + std::to_string(cs.ndv);
+  }
+  return s + "}";
+}
+
+RelStats BaseRelStats(int rel_id, const TableStats* table_stats,
+                      int num_columns, double fallback_rows) {
+  RelStats rs;
+  if (table_stats == nullptr) {
+    rs.rows = fallback_rows;
+    for (int c = 0; c < num_columns; ++c) {
+      ColumnStatsView v;
+      v.ndv = std::max(1.0, fallback_rows / 10.0);  // ad-hoc constant, as [55]
+      rs.columns[{rel_id, c}] = v;
+    }
+    return rs;
+  }
+  rs.rows = table_stats->row_count;
+  for (const auto& [pair, hist] : table_stats->joint) {
+    rs.joints[{ColumnId{rel_id, pair.first}, ColumnId{rel_id, pair.second}}] =
+        hist;
+  }
+  for (int c = 0; c < num_columns; ++c) {
+    ColumnStatsView v;
+    if (const ColumnStats* cs = table_stats->column(c)) {
+      v.ndv = cs->num_distinct;
+      v.null_fraction = cs->null_fraction;
+      if (!cs->min.is_null() && IsNumeric(cs->min.type())) {
+        v.min = cs->min.AsNumeric();
+        v.max = cs->max.AsNumeric();
+      }
+      v.histogram = cs->histogram;
+    }
+    rs.columns[{rel_id, c}] = v;
+  }
+  return rs;
+}
+
+RelStats ApplyFilter(const RelStats& in, double sel) {
+  sel = std::clamp(sel, 0.0, 1.0);
+  RelStats out = in;
+  out.rows = in.rows * sel;
+  for (auto& [id, cs] : out.columns) {
+    cs.ndv = ShrinkNdv(cs.ndv, in.rows, sel);
+  }
+  return out;
+}
+
+RelStats ApplyColumnEq(const RelStats& in, ColumnId col, double sel) {
+  RelStats out = ApplyFilter(in, sel);
+  auto it = out.columns.find(col);
+  if (it != out.columns.end()) {
+    it->second.ndv = 1;
+    it->second.null_fraction = 0;
+    it->second.histogram.reset();
+  }
+  return out;
+}
+
+RelStats ApplyColumnRange(const RelStats& in, ColumnId col, double sel,
+                          std::optional<double> lo, std::optional<double> hi) {
+  RelStats out = ApplyFilter(in, sel);
+  auto it = out.columns.find(col);
+  if (it != out.columns.end()) {
+    if (lo.has_value()) {
+      it->second.min = it->second.min.has_value()
+                           ? std::max(*it->second.min, *lo)
+                           : *lo;
+    }
+    if (hi.has_value()) {
+      it->second.max = it->second.max.has_value()
+                           ? std::min(*it->second.max, *hi)
+                           : *hi;
+    }
+    it->second.null_fraction = 0;
+  }
+  return out;
+}
+
+namespace {
+
+// Merges column maps of both inputs; join columns' ndv becomes the min.
+RelStats MergeJoinColumns(const RelStats& left, const RelStats& right,
+                          ColumnId left_col, ColumnId right_col,
+                          double out_rows) {
+  RelStats out;
+  out.rows = std::max(0.0, out_rows);
+  out.columns = left.columns;
+  for (const auto& [id, cs] : right.columns) out.columns[id] = cs;
+  out.joints = left.joints;
+  for (const auto& [pair, hist] : right.joints) out.joints[pair] = hist;
+  const ColumnStatsView* l = left.column(left_col);
+  const ColumnStatsView* r = right.column(right_col);
+  if (l != nullptr && r != nullptr) {
+    double joined_ndv = std::min(l->ndv, r->ndv);
+    out.columns[left_col].ndv = joined_ndv;
+    out.columns[right_col].ndv = joined_ndv;
+  }
+  // Every column's ndv is capped by output rows.
+  for (auto& [id, cs] : out.columns) {
+    cs.ndv = std::max(1.0, std::min(cs.ndv, out.rows));
+  }
+  return out;
+}
+
+double EquiJoinCardinality(const RelStats& left, const RelStats& right,
+                           ColumnId left_col, ColumnId right_col,
+                           bool use_histograms) {
+  const ColumnStatsView* l = left.column(left_col);
+  const ColumnStatsView* r = right.column(right_col);
+  if (l == nullptr || r == nullptr) {
+    return left.rows * right.rows * 0.1;  // ad-hoc constant fallback
+  }
+  if (use_histograms && l->histogram && r->histogram &&
+      l->histogram->total_count() > 0 && r->histogram->total_count() > 0) {
+    // Join the histograms, then rescale from base-table cardinalities to the
+    // current stream cardinalities (independence of prior predicates).
+    double base_card = l->histogram->JoinCardinality(*r->histogram);
+    double scale_l = left.rows / l->histogram->total_count();
+    double scale_r = right.rows / r->histogram->total_count();
+    return base_card * scale_l * scale_r;
+  }
+  double ndv = std::max({1.0, l->ndv, r->ndv});
+  double not_null = (1.0 - l->null_fraction) * (1.0 - r->null_fraction);
+  return left.rows * right.rows * not_null / ndv;
+}
+
+}  // namespace
+
+RelStats JoinStats(const RelStats& left, const RelStats& right,
+                   ColumnId left_col, ColumnId right_col,
+                   bool use_histograms) {
+  double card =
+      EquiJoinCardinality(left, right, left_col, right_col, use_histograms);
+  return MergeJoinColumns(left, right, left_col, right_col, card);
+}
+
+RelStats CrossStats(const RelStats& left, const RelStats& right) {
+  RelStats out;
+  out.rows = left.rows * right.rows;
+  out.columns = left.columns;
+  for (const auto& [id, cs] : right.columns) out.columns[id] = cs;
+  out.joints = left.joints;
+  for (const auto& [pair, hist] : right.joints) out.joints[pair] = hist;
+  return out;
+}
+
+RelStats LeftOuterJoinStats(const RelStats& left, const RelStats& right,
+                            ColumnId left_col, ColumnId right_col) {
+  double card = EquiJoinCardinality(left, right, left_col, right_col, true);
+  card = std::max(card, left.rows);  // every left tuple survives
+  return MergeJoinColumns(left, right, left_col, right_col, card);
+}
+
+RelStats SemiJoinStats(const RelStats& left, const RelStats& right,
+                       ColumnId left_col, ColumnId right_col) {
+  const ColumnStatsView* l = left.column(left_col);
+  const ColumnStatsView* r = right.column(right_col);
+  double match_frac = 0.5;
+  if (l != nullptr && r != nullptr && l->ndv > 0) {
+    // Containment: the side with fewer distinct values is contained in the
+    // other; fraction of left keys with a match = min(1, ndv_r / ndv_l).
+    match_frac = std::min(1.0, r->ndv / std::max(1.0, l->ndv));
+  }
+  RelStats out = left;
+  out.rows = left.rows * match_frac;
+  for (auto& [id, cs] : out.columns) {
+    cs.ndv = std::max(1.0, std::min(cs.ndv, out.rows));
+  }
+  return out;
+}
+
+RelStats AggregateStats(const RelStats& in,
+                        const std::vector<ColumnId>& group_cols) {
+  RelStats out = in;
+  if (group_cols.empty()) {
+    out.rows = in.rows > 0 ? 1 : 0;
+    return out;
+  }
+  double groups = 1;
+  for (ColumnId c : group_cols) {
+    const ColumnStatsView* cs = in.column(c);
+    groups *= cs != nullptr ? cs->ndv : 10.0;
+    groups = std::min(groups, in.rows);
+  }
+  out.rows = std::max(in.rows > 0 ? 1.0 : 0.0, groups);
+  for (auto& [id, cs] : out.columns) {
+    cs.ndv = std::max(1.0, std::min(cs.ndv, out.rows));
+  }
+  return out;
+}
+
+}  // namespace qopt::stats

@@ -1,0 +1,98 @@
+// Propagation of statistical information through operators (paper §5.1.3).
+//
+// A RelStats summarizes the data stream produced by a (partial) plan: its
+// estimated cardinality and per-column statistics keyed by ColumnId. The
+// statistical summary is a *logical* property — every plan for the same
+// expression shares it (Section 5) — so the optimizers compute RelStats per
+// logical (sub)expression, not per physical plan.
+//
+// The propagation rules implement the classical assumptions the paper
+// discusses: uniform spread within histogram buckets, independence across
+// predicates, and containment of value sets for joins.
+#ifndef QOPT_STATS_DERIVED_STATS_H_
+#define QOPT_STATS_DERIVED_STATS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/column_id.h"
+#include "stats/column_stats.h"
+
+namespace qopt::stats {
+
+/// Statistics for one column of a derived data stream.
+struct ColumnStatsView {
+  double ndv = 1;
+  double null_fraction = 0;
+  std::optional<double> min;  ///< Numeric domain only.
+  std::optional<double> max;
+  std::shared_ptr<const Histogram> histogram;  ///< Base histogram, if any.
+};
+
+/// Statistics for a derived data stream (output of a logical expression).
+struct RelStats {
+  double rows = 0;
+  std::map<ColumnId, ColumnStatsView> columns;
+  /// Joint (2-D) histograms between column pairs, inherited from base
+  /// tables (lower ColumnId first). Used for correlated conjunctions.
+  std::map<std::pair<ColumnId, ColumnId>,
+           std::shared_ptr<const Histogram2D>>
+      joints;
+
+  const ColumnStatsView* column(ColumnId id) const {
+    auto it = columns.find(id);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+
+  /// Joint histogram covering (a, b) in either order, or nullptr.
+  const Histogram2D* joint(ColumnId a, ColumnId b) const {
+    auto it = joints.find({std::min(a, b), std::max(a, b)});
+    return it == joints.end() ? nullptr : it->second.get();
+  }
+
+  std::string ToString() const;
+};
+
+/// Builds RelStats for base-table relation instance `rel_id` from its
+/// catalog statistics; `fallback_rows` is used when stats are missing.
+RelStats BaseRelStats(int rel_id, const TableStats* table_stats,
+                      int num_columns, double fallback_rows = 1000.0);
+
+/// Scales a stream by filter selectivity `sel`, adjusting per-column ndv via
+/// the standard d' = d * (1 - (1 - sel)^(n/d)) shrinkage.
+RelStats ApplyFilter(const RelStats& in, double sel);
+
+/// Stream after an equality predicate col = constant: one distinct value
+/// survives in `col`; other columns shrink per ApplyFilter.
+RelStats ApplyColumnEq(const RelStats& in, ColumnId col, double sel);
+
+/// Stream after range predicate on `col`: clamps min/max to the range.
+RelStats ApplyColumnRange(const RelStats& in, ColumnId col, double sel,
+                          std::optional<double> lo, std::optional<double> hi);
+
+/// Equi-join of two streams on left_col = right_col. Selectivity is
+/// 1/max(ndv_l, ndv_r) (containment assumption) unless both sides carry base
+/// histograms, in which case the histograms are joined (§5.1.3).
+RelStats JoinStats(const RelStats& left, const RelStats& right,
+                   ColumnId left_col, ColumnId right_col,
+                   bool use_histograms = true);
+
+/// Cartesian product of two streams.
+RelStats CrossStats(const RelStats& left, const RelStats& right);
+
+/// Left outer join: like JoinStats but output has at least `left.rows` rows.
+RelStats LeftOuterJoinStats(const RelStats& left, const RelStats& right,
+                            ColumnId left_col, ColumnId right_col);
+
+/// Semijoin: left rows scaled by the fraction of left keys with a match.
+RelStats SemiJoinStats(const RelStats& left, const RelStats& right,
+                       ColumnId left_col, ColumnId right_col);
+
+/// Group-by on `group_cols`: output rows = min(input rows, product of ndv).
+RelStats AggregateStats(const RelStats& in,
+                        const std::vector<ColumnId>& group_cols);
+
+}  // namespace qopt::stats
+
+#endif  // QOPT_STATS_DERIVED_STATS_H_

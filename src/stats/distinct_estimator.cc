@@ -1,0 +1,67 @@
+#include "stats/distinct_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace qopt::stats {
+
+SampleProfile ProfileSample(const std::vector<double>& sample,
+                            uint64_t table_rows) {
+  SampleProfile p;
+  p.table_rows = table_rows;
+  p.sample_rows = sample.size();
+  std::map<double, uint64_t> counts;
+  for (double v : sample) counts[v]++;
+  uint64_t max_freq = 0;
+  for (const auto& [v, c] : counts) max_freq = std::max(max_freq, c);
+  p.freq.assign(max_freq + 1, 0);
+  for (const auto& [v, c] : counts) p.freq[c]++;
+  return p;
+}
+
+double EstimateDistinctGEE(const SampleProfile& p) {
+  if (p.sample_rows == 0) return 0;
+  double d = std::sqrt(static_cast<double>(p.table_rows) /
+                       static_cast<double>(p.sample_rows)) *
+             static_cast<double>(p.f(1));
+  for (size_t i = 2; i < p.freq.size(); ++i) {
+    d += static_cast<double>(p.freq[i]);
+  }
+  return std::min(d, static_cast<double>(p.table_rows));
+}
+
+double EstimateDistinctChao(const SampleProfile& p) {
+  double d = static_cast<double>(p.distinct_in_sample());
+  double f1 = static_cast<double>(p.f(1));
+  double f2 = static_cast<double>(p.f(2));
+  if (f2 > 0) d += f1 * f1 / (2.0 * f2);
+  return std::min(d, static_cast<double>(p.table_rows));
+}
+
+double EstimateDistinctShlosser(const SampleProfile& p) {
+  if (p.table_rows == 0 || p.sample_rows == 0) return 0;
+  double q = static_cast<double>(p.sample_rows) /
+             static_cast<double>(p.table_rows);
+  if (q >= 1.0) return static_cast<double>(p.distinct_in_sample());
+  double num = 0, den = 0;
+  for (size_t i = 1; i < p.freq.size(); ++i) {
+    double fi = static_cast<double>(p.freq[i]);
+    num += std::pow(1.0 - q, static_cast<double>(i)) * fi;
+    den += static_cast<double>(i) * q *
+           std::pow(1.0 - q, static_cast<double>(i) - 1.0) * fi;
+  }
+  double d = static_cast<double>(p.distinct_in_sample());
+  if (den > 0) d += static_cast<double>(p.f(1)) * num / den;
+  return std::min(d, static_cast<double>(p.table_rows));
+}
+
+double EstimateDistinctScale(const SampleProfile& p) {
+  if (p.sample_rows == 0) return 0;
+  double d = static_cast<double>(p.distinct_in_sample()) *
+             static_cast<double>(p.table_rows) /
+             static_cast<double>(p.sample_rows);
+  return std::min(d, static_cast<double>(p.table_rows));
+}
+
+}  // namespace qopt::stats

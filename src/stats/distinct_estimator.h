@@ -1,0 +1,50 @@
+// Distinct-value estimation from a sample (paper Section 5.1.2).
+//
+// The paper notes that estimating the number of distinct values is "provably
+// error prone: for any estimation scheme, there exists a database where the
+// error is significant" (Charikar et al. / Chaudhuri et al.). We implement
+// the classical estimators studied in that literature so the benchmark
+// bench_distinct_estimation can demonstrate exactly that behavior.
+#ifndef QOPT_STATS_DISTINCT_ESTIMATOR_H_
+#define QOPT_STATS_DISTINCT_ESTIMATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qopt::stats {
+
+/// Frequency-of-frequencies profile of a sample: freq[i] = number of
+/// distinct values appearing exactly i times in the sample (freq[0] unused).
+struct SampleProfile {
+  uint64_t table_rows = 0;   ///< n — rows in the full table.
+  uint64_t sample_rows = 0;  ///< r — rows sampled.
+  std::vector<uint64_t> freq;
+
+  uint64_t distinct_in_sample() const {
+    uint64_t d = 0;
+    for (size_t i = 1; i < freq.size(); ++i) d += freq[i];
+    return d;
+  }
+  uint64_t f(size_t i) const { return i < freq.size() ? freq[i] : 0; }
+};
+
+/// Builds a SampleProfile from raw sampled values.
+SampleProfile ProfileSample(const std::vector<double>& sample,
+                            uint64_t table_rows);
+
+/// Guaranteed-Error Estimator (Charikar et al.): sqrt(n/r)*f1 + sum_{i>1} fi.
+double EstimateDistinctGEE(const SampleProfile& p);
+
+/// Chao's estimator: d + f1^2 / (2 f2).
+double EstimateDistinctChao(const SampleProfile& p);
+
+/// Shlosser's estimator (skewed data, small sampling fractions).
+double EstimateDistinctShlosser(const SampleProfile& p);
+
+/// Naive scale-up: d * n / r, capped at n.
+double EstimateDistinctScale(const SampleProfile& p);
+
+}  // namespace qopt::stats
+
+#endif  // QOPT_STATS_DISTINCT_ESTIMATOR_H_

@@ -1,0 +1,267 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace qopt::stats {
+
+const char* HistogramKindName(HistogramKind kind) {
+  switch (kind) {
+    case HistogramKind::kEquiWidth:
+      return "equi-width";
+    case HistogramKind::kEquiDepth:
+      return "equi-depth";
+    case HistogramKind::kCompressed:
+      return "compressed";
+  }
+  return "?";
+}
+
+namespace {
+
+// Builds range buckets over sorted values using equi-depth boundaries.
+std::vector<Bucket> BuildEquiDepth(const std::vector<double>& sorted,
+                                   int num_buckets) {
+  std::vector<Bucket> buckets;
+  size_t n = sorted.size();
+  if (n == 0) return buckets;
+  size_t per = std::max<size_t>(1, (n + num_buckets - 1) / num_buckets);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = std::min(n, i + per);
+    // Extend so we never split a run of equal values across buckets; this
+    // keeps bucket boundaries meaningful for equality estimation.
+    while (j < n && sorted[j] == sorted[j - 1]) ++j;
+    Bucket b;
+    b.lo = sorted[i];
+    b.hi = sorted[j - 1];
+    b.count = static_cast<double>(j - i);
+    b.ndv = 1;
+    for (size_t k = i + 1; k < j; ++k) {
+      if (sorted[k] != sorted[k - 1]) b.ndv += 1;
+    }
+    buckets.push_back(b);
+    i = j;
+  }
+  return buckets;
+}
+
+std::vector<Bucket> BuildEquiWidth(const std::vector<double>& sorted,
+                                   int num_buckets) {
+  std::vector<Bucket> buckets;
+  size_t n = sorted.size();
+  if (n == 0) return buckets;
+  double min = sorted.front(), max = sorted.back();
+  if (min == max) {
+    buckets.push_back({min, max, static_cast<double>(n), 1});
+    return buckets;
+  }
+  double width = (max - min) / num_buckets;
+  size_t i = 0;
+  for (int b = 0; b < num_buckets && i < n; ++b) {
+    double lo = min + b * width;
+    double hi = (b == num_buckets - 1) ? max : min + (b + 1) * width;
+    Bucket bucket;
+    bucket.lo = lo;
+    bucket.hi = hi;
+    bucket.count = 0;
+    bucket.ndv = 0;
+    double prev = std::nan("");
+    // Last bucket is closed on the right; others half-open.
+    while (i < n && (sorted[i] < hi || b == num_buckets - 1)) {
+      bucket.count += 1;
+      if (sorted[i] != prev) {
+        bucket.ndv += 1;
+        prev = sorted[i];
+      }
+      ++i;
+    }
+    if (bucket.count > 0) {
+      // Tighten bounds to observed values for better range estimates.
+      buckets.push_back(bucket);
+    }
+  }
+  return buckets;
+}
+
+}  // namespace
+
+std::unique_ptr<Histogram> Histogram::Build(HistogramKind kind,
+                                            std::vector<double> values,
+                                            int num_buckets) {
+  if (values.empty() || num_buckets <= 0) return nullptr;
+  std::sort(values.begin(), values.end());
+  auto hist = std::unique_ptr<Histogram>(new Histogram());
+  hist->kind_ = kind;
+  hist->total_count_ = static_cast<double>(values.size());
+
+  if (kind == HistogramKind::kCompressed) {
+    // Pull values with frequency above n/k into singleton buckets.
+    double threshold =
+        static_cast<double>(values.size()) / static_cast<double>(num_buckets);
+    std::vector<double> rest;
+    rest.reserve(values.size());
+    size_t i = 0;
+    while (i < values.size()) {
+      size_t j = i;
+      while (j < values.size() && values[j] == values[i]) ++j;
+      double freq = static_cast<double>(j - i);
+      if (freq > threshold &&
+          hist->singletons_.size() + 1 < static_cast<size_t>(num_buckets)) {
+        hist->singletons_.push_back({values[i], freq});
+      } else {
+        rest.insert(rest.end(), values.begin() + i, values.begin() + j);
+      }
+      i = j;
+    }
+    int range_buckets = num_buckets - static_cast<int>(hist->singletons_.size());
+    if (!rest.empty() && range_buckets > 0) {
+      hist->buckets_ = BuildEquiDepth(rest, range_buckets);
+    } else if (!rest.empty()) {
+      hist->buckets_ = BuildEquiDepth(rest, 1);
+    }
+  } else if (kind == HistogramKind::kEquiDepth) {
+    hist->buckets_ = BuildEquiDepth(values, num_buckets);
+  } else {
+    hist->buckets_ = BuildEquiWidth(values, num_buckets);
+  }
+  return hist;
+}
+
+void Histogram::Scale(double factor) {
+  total_count_ *= factor;
+  for (Bucket& b : buckets_) b.count *= factor;
+  for (SingletonBucket& s : singletons_) s.count *= factor;
+}
+
+double Histogram::BucketOverlapFraction(const Bucket& b, double lo,
+                                        double hi) {
+  if (hi < b.lo || lo > b.hi) return 0.0;
+  if (b.hi == b.lo) return 1.0;  // single-point bucket fully inside
+  double clip_lo = std::max(lo, b.lo);
+  double clip_hi = std::min(hi, b.hi);
+  return std::max(0.0, (clip_hi - clip_lo) / (b.hi - b.lo));
+}
+
+double Histogram::SelectivityEq(double v) const {
+  if (total_count_ <= 0) return 0.0;
+  for (const SingletonBucket& s : singletons_) {
+    if (s.value == v) return s.count / total_count_;
+  }
+  for (const Bucket& b : buckets_) {
+    if (v >= b.lo && v <= b.hi) {
+      double ndv = std::max(1.0, b.ndv);
+      return (b.count / ndv) / total_count_;
+    }
+  }
+  return 0.0;
+}
+
+double Histogram::SelectivityRange(std::optional<double> lo,
+                                   std::optional<double> hi,
+                                   bool lo_inclusive,
+                                   bool hi_inclusive) const {
+  if (total_count_ <= 0) return 0.0;
+  double lo_v = lo.value_or(-std::numeric_limits<double>::infinity());
+  double hi_v = hi.value_or(std::numeric_limits<double>::infinity());
+  if (lo_v > hi_v) return 0.0;
+  double rows = 0;
+  for (const SingletonBucket& s : singletons_) {
+    bool above_lo = lo_inclusive ? s.value >= lo_v : s.value > lo_v;
+    bool below_hi = hi_inclusive ? s.value <= hi_v : s.value < hi_v;
+    if (above_lo && below_hi) rows += s.count;
+  }
+  for (const Bucket& b : buckets_) {
+    double frac = BucketOverlapFraction(b, lo_v, hi_v);
+    // Exclusive endpoints on a single-point bucket exclude it entirely;
+    // on wide buckets the endpoint's mass is negligible under uniform
+    // spread, matching the paper's within-bucket assumption.
+    if (b.lo == b.hi) {
+      bool above_lo = lo_inclusive ? b.lo >= lo_v : b.lo > lo_v;
+      bool below_hi = hi_inclusive ? b.hi <= hi_v : b.hi < hi_v;
+      frac = (above_lo && below_hi) ? 1.0 : 0.0;
+    }
+    rows += b.count * frac;
+  }
+  return std::min(1.0, rows / total_count_);
+}
+
+double Histogram::JoinCardinality(const Histogram& other) const {
+  // Gather all boundary points from both histograms, then integrate over
+  // each elementary interval assuming uniform spread within buckets and
+  // containment of distinct values (|R⋈S| over a segment ≈
+  // rows_r * rows_s / max(ndv_r, ndv_s)).
+  double card = 0;
+
+  // Singleton-vs-singleton and singleton-vs-bucket terms.
+  auto eq_rows = [](const Histogram& h, double v) {
+    return h.SelectivityEq(v) * h.total_count_;
+  };
+  for (const SingletonBucket& s : singletons_) {
+    card += s.count * eq_rows(other, s.value);
+  }
+
+  std::vector<double> bounds;
+  for (const Bucket& b : buckets_) {
+    bounds.push_back(b.lo);
+    bounds.push_back(b.hi);
+  }
+  for (const Bucket& b : other.buckets_) {
+    bounds.push_back(b.lo);
+    bounds.push_back(b.hi);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  auto segment_stats = [](const std::vector<Bucket>& buckets, double lo,
+                          double hi, double* rows, double* ndv) {
+    *rows = 0;
+    *ndv = 0;
+    for (const Bucket& b : buckets) {
+      double f = BucketOverlapFraction(b, lo, hi);
+      *rows += b.count * f;
+      *ndv += std::max(1.0, b.ndv) * f;
+    }
+  };
+
+  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+    double lo = bounds[i], hi = bounds[i + 1];
+    double r_rows, r_ndv, s_rows, s_ndv;
+    segment_stats(buckets_, lo, hi, &r_rows, &r_ndv);
+    segment_stats(other.buckets_, lo, hi, &s_rows, &s_ndv);
+    if (r_rows <= 0 || s_rows <= 0) continue;
+    double ndv = std::max(1.0, std::max(r_ndv, s_ndv));
+    card += r_rows * s_rows / ndv;
+  }
+  // Other-side singletons joining against our range buckets (our singletons
+  // vs their everything was handled above; avoid double counting their
+  // singletons against our singletons).
+  for (const SingletonBucket& s : other.singletons_) {
+    double our_rows = 0;
+    for (const Bucket& b : buckets_) {
+      if (s.value >= b.lo && s.value <= b.hi) {
+        our_rows += b.count / std::max(1.0, b.ndv);
+      }
+    }
+    card += our_rows * s.count;
+  }
+  return card;
+}
+
+double Histogram::TotalNdv() const {
+  double ndv = static_cast<double>(singletons_.size());
+  for (const Bucket& b : buckets_) ndv += b.ndv;
+  return std::max(1.0, ndv);
+}
+
+std::string Histogram::ToString() const {
+  std::string s = HistogramKindName(kind_);
+  s += " histogram, n=" + std::to_string(static_cast<long long>(total_count_));
+  s += ", " + std::to_string(singletons_.size()) + " singleton(s), " +
+       std::to_string(buckets_.size()) + " bucket(s)";
+  return s;
+}
+
+}  // namespace qopt::stats

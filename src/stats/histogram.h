@@ -1,0 +1,98 @@
+// Histograms for selectivity estimation (paper Section 5.1.1).
+//
+// Three bucketization schemes are implemented:
+//  * equi-width   — [min,max] split into k equal ranges;
+//  * equi-depth   — quantile boundaries, n/k values per bucket (the scheme
+//                   "used in many database systems");
+//  * compressed   — frequent values in singleton buckets, the remainder in
+//                   equi-depth buckets (end-biased, after Poosala et al. [52],
+//                   "effective for either high or low skew data").
+//
+// Within a bucket the estimator makes the uniform-spread assumption the paper
+// describes. Histograms are built over the numeric double domain; string
+// columns fall back to distinct-count-based estimation.
+#ifndef QOPT_STATS_HISTOGRAM_H_
+#define QOPT_STATS_HISTOGRAM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qopt::stats {
+
+/// Bucketization scheme.
+enum class HistogramKind { kEquiWidth, kEquiDepth, kCompressed };
+
+const char* HistogramKindName(HistogramKind kind);
+
+/// One range bucket: values in [lo, hi] (hi inclusive), `count` rows,
+/// `ndv` distinct values.
+struct Bucket {
+  double lo = 0;
+  double hi = 0;
+  double count = 0;
+  double ndv = 1;
+};
+
+/// A frequent value pulled into its own singleton bucket (compressed kind).
+struct SingletonBucket {
+  double value = 0;
+  double count = 0;
+};
+
+/// Column-value distribution summary.
+class Histogram {
+ public:
+  /// Builds a histogram of `kind` with (at most) `num_buckets` buckets over
+  /// `values` (non-null column values; need not be sorted). For the
+  /// compressed kind, values with frequency > n/num_buckets become
+  /// singletons. Returns nullptr if `values` is empty.
+  static std::unique_ptr<Histogram> Build(HistogramKind kind,
+                                          std::vector<double> values,
+                                          int num_buckets);
+
+  HistogramKind kind() const { return kind_; }
+  double total_count() const { return total_count_; }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  const std::vector<SingletonBucket>& singletons() const {
+    return singletons_;
+  }
+
+  /// Multiplies all counts by `factor` (scaling a sample-built histogram up
+  /// to the full table, Section 5.1.2).
+  void Scale(double factor);
+
+  /// Estimated fraction of rows with value == v, in [0,1].
+  double SelectivityEq(double v) const;
+
+  /// Estimated fraction of rows with lo <= value <= hi; either bound may be
+  /// absent (open). `lo_inclusive`/`hi_inclusive` tighten endpoint handling
+  /// on singleton buckets.
+  double SelectivityRange(std::optional<double> lo, std::optional<double> hi,
+                          bool lo_inclusive = true,
+                          bool hi_inclusive = true) const;
+
+  /// Estimated join cardinality |R ⋈ S| for an equality predicate between
+  /// this column (in R) and `other` (in S), by aligning bucket boundaries
+  /// ("the histograms may be joined", Section 5.1.3).
+  double JoinCardinality(const Histogram& other) const;
+
+  /// Number of distinct values represented (sum of bucket ndv + singletons).
+  double TotalNdv() const;
+
+  std::string ToString() const;
+
+ private:
+  HistogramKind kind_ = HistogramKind::kEquiDepth;
+  std::vector<Bucket> buckets_;          // sorted by lo
+  std::vector<SingletonBucket> singletons_;  // sorted by value
+  double total_count_ = 0;
+
+  /// Fraction of bucket `b` falling within [lo,hi] under uniform spread.
+  static double BucketOverlapFraction(const Bucket& b, double lo, double hi);
+};
+
+}  // namespace qopt::stats
+
+#endif  // QOPT_STATS_HISTOGRAM_H_

@@ -1,0 +1,97 @@
+#include "stats/histogram2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qopt::stats {
+
+std::unique_ptr<Histogram2D> Histogram2D::Build(
+    std::vector<std::pair<double, double>> values, int grid) {
+  if (values.empty() || grid <= 0) return nullptr;
+  std::sort(values.begin(), values.end());
+  auto hist = std::unique_ptr<Histogram2D>(new Histogram2D());
+  hist->total_count_ = static_cast<double>(values.size());
+
+  size_t n = values.size();
+  size_t per = std::max<size_t>(1, (n + grid - 1) / grid);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = std::min(n, i + per);
+    // Never split a run of equal x values across buckets.
+    while (j < n && values[j].first == values[j - 1].first) ++j;
+    XBucket b;
+    b.lo = values[i].first;
+    b.hi = values[j - 1].first;
+    b.count = static_cast<double>(j - i);
+    b.ndv_x = 1;
+    std::vector<double> ys;
+    ys.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      if (k > i && values[k].first != values[k - 1].first) b.ndv_x += 1;
+      ys.push_back(values[k].second);
+    }
+    b.y_hist = Histogram::Build(HistogramKind::kEquiDepth, std::move(ys),
+                                grid);
+    hist->x_buckets_.push_back(std::move(b));
+    i = j;
+  }
+  std::vector<double> all_y;
+  all_y.reserve(n);
+  for (const auto& [x, y] : values) all_y.push_back(y);
+  hist->y_marginal_ =
+      Histogram::Build(HistogramKind::kEquiDepth, std::move(all_y), grid);
+  return hist;
+}
+
+double Histogram2D::XOverlap(const XBucket& b, double lo, double hi) {
+  if (hi < b.lo || lo > b.hi) return 0.0;
+  if (b.hi == b.lo) return 1.0;
+  double clip_lo = std::max(lo, b.lo);
+  double clip_hi = std::min(hi, b.hi);
+  return std::max(0.0, (clip_hi - clip_lo) / (b.hi - b.lo));
+}
+
+double Histogram2D::SelectivityEqEq(double vx, double vy) const {
+  if (total_count_ <= 0) return 0;
+  for (const XBucket& b : x_buckets_) {
+    if (vx < b.lo || vx > b.hi || !b.y_hist) continue;
+    // Rows with this x value (uniform over distinct x in the bucket), of
+    // which the fraction with y == vy follows the bucket's y distribution.
+    double x_rows = b.count / std::max(1.0, b.ndv_x);
+    return x_rows * b.y_hist->SelectivityEq(vy) / total_count_;
+  }
+  return 0;
+}
+
+double Histogram2D::SelectivityRange(std::optional<double> lo_x,
+                                     std::optional<double> hi_x,
+                                     std::optional<double> lo_y,
+                                     std::optional<double> hi_y) const {
+  if (total_count_ <= 0) return 0;
+  double lo = lo_x.value_or(-std::numeric_limits<double>::infinity());
+  double hi = hi_x.value_or(std::numeric_limits<double>::infinity());
+  double rows = 0;
+  for (const XBucket& b : x_buckets_) {
+    double frac = XOverlap(b, lo, hi);
+    if (frac <= 0 || !b.y_hist) continue;
+    rows += b.count * frac * b.y_hist->SelectivityRange(lo_y, hi_y);
+  }
+  return std::min(1.0, rows / total_count_);
+}
+
+double Histogram2D::IndependenceRange(std::optional<double> lo_x,
+                                      std::optional<double> hi_x,
+                                      std::optional<double> lo_y,
+                                      std::optional<double> hi_y) const {
+  if (total_count_ <= 0 || !y_marginal_) return 0;
+  double lo = lo_x.value_or(-std::numeric_limits<double>::infinity());
+  double hi = hi_x.value_or(std::numeric_limits<double>::infinity());
+  double x_rows = 0;
+  for (const XBucket& b : x_buckets_) x_rows += b.count * XOverlap(b, lo, hi);
+  double px = x_rows / total_count_;
+  double py = y_marginal_->SelectivityRange(lo_y, hi_y);
+  return px * py;
+}
+
+}  // namespace qopt::stats

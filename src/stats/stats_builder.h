@@ -1,0 +1,44 @@
+// StatsBuilder: collects statistical summaries of stored data, either by a
+// full scan or from a random sample (paper Sections 5.1.1–5.1.2).
+#ifndef QOPT_STATS_STATS_BUILDER_H_
+#define QOPT_STATS_STATS_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "stats/column_stats.h"
+#include "stats/distinct_estimator.h"
+#include "storage/table.h"
+
+namespace qopt::stats {
+
+/// Estimator used for distinct counts when building from a sample.
+enum class DistinctMethod { kScale, kGEE, kChao, kShlosser };
+
+/// Knobs for statistics collection.
+struct StatsOptions {
+  HistogramKind histogram_kind = HistogramKind::kCompressed;
+  int histogram_buckets = 64;
+  /// 1.0 = full scan; < 1.0 samples that fraction of rows uniformly and
+  /// scales the histogram up (Section 5.1.2).
+  double sample_fraction = 1.0;
+  uint64_t seed = 42;
+  DistinctMethod distinct_method = DistinctMethod::kGEE;
+  /// Column-name pairs to build joint (2-D) histograms for — the paper's
+  /// remedy for correlated predicates (§5.1.1). Both columns must be
+  /// numeric; pairs naming unknown columns are ignored.
+  std::vector<std::pair<std::string, std::string>> joint_columns;
+};
+
+/// Builds a TableStats for `table`. Histograms are built for numeric
+/// columns; string columns get ndv/null/min/max only.
+std::shared_ptr<const TableStats> BuildTableStats(
+    const Table& table, const StatsOptions& options = {});
+
+/// Builds stats for a single column of values (utility for tests/benches).
+ColumnStats BuildColumnStats(const std::vector<Value>& values,
+                             const StatsOptions& options = {});
+
+}  // namespace qopt::stats
+
+#endif  // QOPT_STATS_STATS_BUILDER_H_

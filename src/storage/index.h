@@ -1,0 +1,76 @@
+// Secondary index structures: a sorted (B+-tree-like) index supporting range
+// scans and a hash index supporting point lookups. Indexes map key values to
+// row ids in the owning Table.
+#ifndef QOPT_STORAGE_INDEX_H_
+#define QOPT_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace qopt {
+
+/// Bound of a range scan: value plus inclusivity.
+struct IndexBound {
+  Value value;
+  bool inclusive = true;
+};
+
+/// Sorted single-column index. Lookup and range scans are binary searches
+/// over a sorted (key, row_id) array — the in-memory stand-in for a B+-tree.
+/// NULL keys are excluded (SQL predicates never match NULL).
+class SortedIndex {
+ public:
+  SortedIndex(const IndexDef* def, const Table* table);
+
+  const IndexDef& def() const { return *def_; }
+
+  /// Row ids whose key equals `key`, in key order.
+  std::vector<uint32_t> Lookup(const Value& key) const;
+
+  /// Row ids with key in [lo, hi] (either bound optional), in key order.
+  std::vector<uint32_t> RangeScan(const std::optional<IndexBound>& lo,
+                                  const std::optional<IndexBound>& hi) const;
+
+  /// All row ids in key order (an ordered full scan).
+  std::vector<uint32_t> FullScan() const;
+
+  /// Modeled depth of the B+-tree (log_F(entries), fanout 256).
+  double tree_height() const;
+
+  /// Modeled leaf-page count.
+  double leaf_pages() const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  const IndexDef* def_;
+  std::vector<std::pair<Value, uint32_t>> entries_;  // sorted by key
+};
+
+/// Hash index: equality lookups only.
+class HashIndex {
+ public:
+  HashIndex(const IndexDef* def, const Table* table);
+
+  const IndexDef& def() const { return *def_; }
+
+  /// Row ids whose key equals `key` (unordered).
+  std::vector<uint32_t> Lookup(const Value& key) const;
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  const IndexDef* def_;
+  std::unordered_multimap<Value, uint32_t, ValueHash> map_;
+};
+
+}  // namespace qopt
+
+#endif  // QOPT_STORAGE_INDEX_H_

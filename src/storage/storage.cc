@@ -1,0 +1,48 @@
+#include "storage/storage.h"
+
+namespace qopt {
+
+Table* Storage::GetTable(int table_id) {
+  const TableDef* def = catalog_->GetTable(table_id);
+  if (def == nullptr) return nullptr;
+  if (table_id >= static_cast<int>(tables_.size())) {
+    tables_.resize(table_id + 1);
+  }
+  if (!tables_[table_id]) {
+    tables_[table_id] = std::make_unique<Table>(def);
+  }
+  return tables_[table_id].get();
+}
+
+const Table* Storage::GetTableConst(int table_id) const {
+  if (table_id < 0 || table_id >= static_cast<int>(tables_.size())) {
+    return nullptr;
+  }
+  return tables_[table_id].get();
+}
+
+const SortedIndex* Storage::GetSortedIndex(int index_id) {
+  const IndexDef* def = catalog_->GetIndex(index_id);
+  if (def == nullptr) return nullptr;
+  if (index_id >= static_cast<int>(indexes_.size())) {
+    indexes_.resize(index_id + 1);
+  }
+  if (!indexes_[index_id]) {
+    Table* table = GetTable(def->table_id);
+    QOPT_DCHECK(table != nullptr);
+    indexes_[index_id] = std::make_unique<SortedIndex>(def, table);
+  }
+  return indexes_[index_id].get();
+}
+
+void Storage::InvalidateIndexes(int table_id) {
+  const TableDef* def = catalog_->GetTable(table_id);
+  if (def == nullptr) return;
+  for (int idx_id : def->index_ids) {
+    if (idx_id < static_cast<int>(indexes_.size())) {
+      indexes_[idx_id].reset();
+    }
+  }
+}
+
+}  // namespace qopt

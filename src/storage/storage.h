@@ -1,0 +1,40 @@
+// Storage: owns the Table instances and index structures for a database.
+#ifndef QOPT_STORAGE_STORAGE_H_
+#define QOPT_STORAGE_STORAGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace qopt {
+
+/// Physical store for all tables and indexes in one database instance.
+/// Indexes are built lazily on first access and invalidated when the base
+/// table grows.
+class Storage {
+ public:
+  explicit Storage(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Returns the table for `table_id`, creating an empty one on first use.
+  Table* GetTable(int table_id);
+  const Table* GetTableConst(int table_id) const;
+
+  /// Returns (building if needed) the sorted index structure for `index_id`.
+  const SortedIndex* GetSortedIndex(int index_id);
+
+  /// Drops cached index structures on `table_id` (after data load).
+  void InvalidateIndexes(int table_id);
+
+ private:
+  const Catalog* catalog_;
+  std::vector<std::unique_ptr<Table>> tables_;          // by table id
+  std::vector<std::unique_ptr<SortedIndex>> indexes_;   // by index id
+};
+
+}  // namespace qopt
+
+#endif  // QOPT_STORAGE_STORAGE_H_

@@ -1,0 +1,71 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace qopt {
+
+Status Table::Append(Row row) {
+  if (row.size() != def_->columns.size()) {
+    return Status::InvalidArgument("row arity mismatch for table '" +
+                                   def_->name + "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (static_cast<int>(i) == def_->primary_key) {
+        return Status::InvalidArgument("NULL primary key in '" + def_->name +
+                                       "'");
+      }
+      continue;
+    }
+    TypeId declared = def_->columns[i].type;
+    if (v.type() != declared &&
+        !(IsNumeric(v.type()) && IsNumeric(declared))) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + def_->columns[i].name + "': expected " +
+          TypeName(declared) + ", got " + TypeName(v.type()));
+    }
+  }
+  total_bytes_ += RowBytes(row);
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::AppendUnchecked(std::vector<Row> new_rows) {
+  for (Row& r : new_rows) {
+    total_bytes_ += RowBytes(r);
+    rows_.push_back(std::move(r));
+  }
+}
+
+double Table::RowBytes(const Row& row) const {
+  double bytes = 0;
+  for (const Value& v : row) {
+    switch (v.type()) {
+      case TypeId::kNull:
+      case TypeId::kBool:
+        bytes += 1;
+        break;
+      case TypeId::kInt64:
+      case TypeId::kDouble:
+        bytes += 8;
+        break;
+      case TypeId::kString:
+        bytes += 4 + static_cast<double>(v.AsString().size());
+        break;
+    }
+  }
+  return bytes;
+}
+
+double Table::avg_row_bytes() const {
+  if (rows_.empty()) return 8.0 * static_cast<double>(def_->columns.size());
+  return total_bytes_ / static_cast<double>(rows_.size());
+}
+
+double Table::num_pages() const {
+  if (rows_.empty()) return 0.0;
+  return std::max(1.0, total_bytes_ / kPageSizeBytes);
+}
+
+}  // namespace qopt

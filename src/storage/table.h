@@ -1,0 +1,57 @@
+// In-memory heap table with page accounting.
+//
+// Execution is in memory, but the table tracks a modeled page count (used by
+// the I/O cost formulas of paper Section 5.2) derived from row widths and a
+// configurable page size, so that the optimizer's cost inputs behave like a
+// disk-resident system's.
+#ifndef QOPT_STORAGE_TABLE_H_
+#define QOPT_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace qopt {
+
+/// Modeled page size in bytes (System-R style 4K pages).
+inline constexpr double kPageSizeBytes = 4096.0;
+
+/// Row storage for one base table.
+class Table {
+ public:
+  explicit Table(const TableDef* def) : def_(def) {}
+
+  const TableDef& def() const { return *def_; }
+
+  /// Appends a row after validating arity and column types (NULL allowed
+  /// in any column except the primary key).
+  Status Append(Row row);
+
+  /// Bulk-append without per-row validation (workload generators).
+  void AppendUnchecked(std::vector<Row> rows);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Average bytes per row under the storage model (8 bytes per numeric,
+  /// string payload + 4, 1 for bool/null).
+  double avg_row_bytes() const;
+
+  /// Modeled number of pages occupied by the table (>= 1 once non-empty).
+  double num_pages() const;
+
+ private:
+  const TableDef* def_;
+  std::vector<Row> rows_;
+  double total_bytes_ = 0;
+
+  double RowBytes(const Row& row) const;
+};
+
+}  // namespace qopt
+
+#endif  // QOPT_STORAGE_TABLE_H_

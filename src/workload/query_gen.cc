@@ -1,0 +1,67 @@
+#include "workload/query_gen.h"
+
+namespace qopt::workload {
+
+const char* TopologyName(Topology t) {
+  switch (t) {
+    case Topology::kChain: return "chain";
+    case Topology::kStar: return "star";
+    case Topology::kClique: return "clique";
+  }
+  return "?";
+}
+
+Status CreateJoinTables(Database* db, int n, int64_t rows, int64_t ndv,
+                        uint64_t seed) {
+  for (int i = 0; i < n; ++i) {
+    std::string name = "t" + std::to_string(i);
+    std::vector<ColumnSpec> cols = {
+        {.name = "pk", .kind = ColumnSpec::Kind::kSequential},
+        {.name = "a", .kind = ColumnSpec::Kind::kUniform, .ndv = ndv},
+        {.name = "b", .kind = ColumnSpec::Kind::kUniform, .ndv = ndv},
+        {.name = "c", .kind = ColumnSpec::Kind::kUniform, .ndv = 1000},
+    };
+    QOPT_RETURN_IF_ERROR(
+        CreateAndLoadTable(db, name, cols, rows, seed + i, "pk"));
+    QOPT_RETURN_IF_ERROR(
+        db->CreateIndex("idx_" + name + "_a", name, "a").status());
+  }
+  return Status::OK();
+}
+
+std::string JoinQuery(Topology topology, int n, bool count_star) {
+  std::string sql = count_star ? "SELECT COUNT(*) FROM " : "SELECT * FROM ";
+  for (int i = 0; i < n; ++i) {
+    if (i) sql += ", ";
+    sql += "t" + std::to_string(i);
+  }
+  std::string where;
+  auto add = [&where](const std::string& pred) {
+    if (!where.empty()) where += " AND ";
+    where += pred;
+  };
+  switch (topology) {
+    case Topology::kChain:
+      for (int i = 0; i + 1 < n; ++i) {
+        add("t" + std::to_string(i) + ".a = t" + std::to_string(i + 1) +
+            ".b");
+      }
+      break;
+    case Topology::kStar:
+      for (int i = 1; i < n; ++i) {
+        add("t0.a = t" + std::to_string(i) + ".b");
+      }
+      break;
+    case Topology::kClique:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          add("t" + std::to_string(i) + ".a = t" + std::to_string(j) + ".a");
+        }
+      }
+      break;
+  }
+  if (!where.empty()) sql += " WHERE " + where;
+  return sql;
+}
+
+}  // namespace qopt::workload

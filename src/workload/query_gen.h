@@ -1,0 +1,29 @@
+// Join-query generators over chain / star / clique query-graph topologies
+// (the shapes used in join-enumeration complexity studies, Ono-Lohman [46]).
+#ifndef QOPT_WORKLOAD_QUERY_GEN_H_
+#define QOPT_WORKLOAD_QUERY_GEN_H_
+
+#include "workload/datagen.h"
+
+namespace qopt::workload {
+
+/// Query-graph topology for generated join queries.
+enum class Topology { kChain, kStar, kClique };
+
+const char* TopologyName(Topology t);
+
+/// Creates `n` tables t0..t(n-1), each with columns (pk, a, b, c) where `a`
+/// and `b` are join attributes with `ndv` distinct values; loads `rows`
+/// rows each; adds an index on `a` of every table.
+Status CreateJoinTables(Database* db, int n, int64_t rows, int64_t ndv,
+                        uint64_t seed);
+
+/// SQL for an n-way join over t0..t(n-1) with the given topology:
+///   chain : t0.a = t1.b AND t1.a = t2.b ...
+///   star  : t0.a = t1.b AND t0.a = t2.b ...   (hub t0)
+///   clique: ti.a = tj.a for all i < j
+std::string JoinQuery(Topology topology, int n, bool count_star = true);
+
+}  // namespace qopt::workload
+
+#endif  // QOPT_WORKLOAD_QUERY_GEN_H_

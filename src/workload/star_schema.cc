@@ -1,0 +1,64 @@
+#include "workload/star_schema.h"
+
+namespace qopt::workload {
+
+Status BuildStarSchema(Database* db, const StarSchemaSpec& spec) {
+  // Dimension tables.
+  for (int d = 0; d < spec.num_dimensions; ++d) {
+    std::string name = "dim" + std::to_string(d);
+    std::vector<ColumnSpec> cols = {
+        {.name = "id", .kind = ColumnSpec::Kind::kSequential},
+        {.name = "attr",
+         .kind = ColumnSpec::Kind::kUniform,
+         .ndv = static_cast<int64_t>(spec.dim_filter_ndv)},
+    };
+    QOPT_RETURN_IF_ERROR(CreateAndLoadTable(db, name, cols, spec.dim_rows,
+                                            spec.seed + d, "id"));
+    QOPT_RETURN_IF_ERROR(
+        db->CreateIndex("idx_" + name + "_id", name, "id",
+                        /*clustered=*/true, /*unique=*/true)
+            .status());
+  }
+  // Fact table.
+  std::vector<ColumnSpec> fact_cols = {
+      {.name = "id", .kind = ColumnSpec::Kind::kSequential}};
+  for (int d = 0; d < spec.num_dimensions; ++d) {
+    fact_cols.push_back({.name = "d" + std::to_string(d) + "_id",
+                         .kind = ColumnSpec::Kind::kUniform,
+                         .ndv = spec.dim_rows});
+  }
+  fact_cols.push_back({.name = "measure",
+                       .kind = ColumnSpec::Kind::kUniformReal,
+                       .lo = 0,
+                       .hi = 1000});
+  QOPT_RETURN_IF_ERROR(CreateAndLoadTable(db, "fact", fact_cols,
+                                          spec.fact_rows, spec.seed + 100,
+                                          "id"));
+  for (int d = 0; d < spec.num_dimensions; ++d) {
+    std::string fk = "d" + std::to_string(d) + "_id";
+    QOPT_RETURN_IF_ERROR(
+        db->AddForeignKey("fact", fk, "dim" + std::to_string(d), "id"));
+    if (spec.index_fact_fks) {
+      QOPT_RETURN_IF_ERROR(
+          db->CreateIndex("idx_fact_" + fk, "fact", fk).status());
+    }
+  }
+  return Status::OK();
+}
+
+std::string StarQuery(int num_dims, int64_t attr_value) {
+  std::string sql = "SELECT SUM(f.measure) FROM fact f";
+  for (int d = 0; d < num_dims; ++d) {
+    sql += ", dim" + std::to_string(d) + " d" + std::to_string(d);
+  }
+  sql += " WHERE ";
+  for (int d = 0; d < num_dims; ++d) {
+    std::string ds = std::to_string(d);
+    if (d) sql += " AND ";
+    sql += "f.d" + ds + "_id = d" + ds + ".id AND d" + ds +
+           ".attr = " + std::to_string(attr_value);
+  }
+  return sql;
+}
+
+}  // namespace qopt::workload

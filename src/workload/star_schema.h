@@ -1,0 +1,34 @@
+// Star-schema generator (paper §4.1.1: decision-support queries whose
+// query graph forms a star, with small "dimensional" tables and a large
+// fact table — the OLAP setting of [7]).
+#ifndef QOPT_WORKLOAD_STAR_SCHEMA_H_
+#define QOPT_WORKLOAD_STAR_SCHEMA_H_
+
+#include "workload/datagen.h"
+
+namespace qopt::workload {
+
+/// Star-schema shape knobs.
+struct StarSchemaSpec {
+  int num_dimensions = 3;
+  int64_t fact_rows = 100000;
+  int64_t dim_rows = 50;          ///< Rows per dimension table.
+  double dim_filter_ndv = 10;     ///< Distinct values of each dim attribute.
+  bool index_fact_fks = true;     ///< Secondary indexes on fact FKs.
+  uint64_t seed = 42;
+};
+
+/// Creates tables: fact(id, d0_id..dk_id, measure) and dim0..dimk(id, attr),
+/// with primary keys, foreign keys and (optionally) indexes; loads and
+/// analyzes them. Table names: "fact", "dim0", "dim1", ...
+Status BuildStarSchema(Database* db, const StarSchemaSpec& spec);
+
+/// A star query joining the fact table with `num_dims` dimensions, with an
+/// equality filter on each dimension's attr and SUM(measure) on top, e.g.
+///   SELECT SUM(f.measure) FROM fact f, dim0 d0, ... WHERE f.d0_id=d0.id
+///   AND d0.attr = 3 AND ...
+std::string StarQuery(int num_dims, int64_t attr_value = 3);
+
+}  // namespace qopt::workload
+
+#endif  // QOPT_WORKLOAD_STAR_SCHEMA_H_

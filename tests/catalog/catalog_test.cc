@@ -1,0 +1,108 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace qopt {
+namespace {
+
+std::vector<ColumnDef> EmpColumns() {
+  return {{"emp_id", TypeId::kInt64},
+          {"dept_id", TypeId::kInt64},
+          {"salary", TypeId::kDouble},
+          {"name", TypeId::kString}};
+}
+
+TEST(CatalogTest, CreateAndLookupTable) {
+  Catalog catalog;
+  auto id = catalog.CreateTable("emp", EmpColumns(), 0);
+  ASSERT_TRUE(id.ok());
+  const TableDef* t = catalog.GetTable("emp");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->id, *id);
+  EXPECT_EQ(t->name, "emp");
+  EXPECT_EQ(t->columns.size(), 4u);
+  EXPECT_EQ(t->primary_key, 0);
+  EXPECT_EQ(t->FindColumn("salary"), 2);
+  EXPECT_EQ(t->FindColumn("nope"), -1);
+  EXPECT_EQ(catalog.GetTable("missing"), nullptr);
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("emp", EmpColumns()).ok());
+  auto dup = catalog.CreateTable("emp", EmpColumns());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DuplicateColumnRejected) {
+  Catalog catalog;
+  auto r = catalog.CreateTable(
+      "bad", {{"a", TypeId::kInt64}, {"a", TypeId::kInt64}});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, Indexes) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("emp", EmpColumns(), 0).ok());
+  ASSERT_TRUE(catalog.CreateIndex("idx_dept", "emp", "dept_id").ok());
+  ASSERT_TRUE(
+      catalog.CreateIndex("idx_id", "emp", "emp_id", true, true).ok());
+
+  const TableDef* t = catalog.GetTable("emp");
+  EXPECT_EQ(catalog.IndexesOn(t->id).size(), 2u);
+  const IndexDef* by_dept = catalog.FindIndexOn(t->id, 1);
+  ASSERT_NE(by_dept, nullptr);
+  EXPECT_FALSE(by_dept->clustered);
+  EXPECT_EQ(catalog.FindIndexOn(t->id, 2), nullptr);
+
+  // Second clustered index on the same table is rejected.
+  auto second = catalog.CreateIndex("idx2", "emp", "salary", true);
+  EXPECT_EQ(second.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, UniqueColumns) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("emp", EmpColumns(), 0).ok());
+  const TableDef* t = catalog.GetTable("emp");
+  EXPECT_TRUE(catalog.IsUniqueColumn(t->id, 0));   // PK
+  EXPECT_FALSE(catalog.IsUniqueColumn(t->id, 1));
+  ASSERT_TRUE(catalog.CreateIndex("u", "emp", "name", false, true).ok());
+  EXPECT_TRUE(catalog.IsUniqueColumn(t->id, 3));
+}
+
+TEST(CatalogTest, ForeignKeys) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog
+          .CreateTable("dept",
+                       {{"dept_id", TypeId::kInt64}, {"loc", TypeId::kString}},
+                       0)
+          .ok());
+  ASSERT_TRUE(catalog.CreateTable("emp", EmpColumns(), 0).ok());
+  ASSERT_TRUE(
+      catalog.AddForeignKey("emp", "dept_id", "dept", "dept_id").ok());
+  const TableDef* emp = catalog.GetTable("emp");
+  const ForeignKeyDef* fk = catalog.FindForeignKey(emp->id, 1);
+  ASSERT_NE(fk, nullptr);
+  EXPECT_EQ(fk->ref_table_id, catalog.GetTable("dept")->id);
+  EXPECT_EQ(fk->ref_column, 0);
+
+  // FK must reference a unique column.
+  auto bad = catalog.AddForeignKey("emp", "emp_id", "dept", "loc");
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, Views) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("emp", EmpColumns()).ok());
+  ASSERT_TRUE(catalog.CreateView("v", "SELECT emp_id FROM emp").ok());
+  const ViewDef* v = catalog.GetView("v");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->sql, "SELECT emp_id FROM emp");
+  // Name collision with a table is rejected.
+  EXPECT_FALSE(catalog.CreateView("emp", "SELECT 1").ok());
+  EXPECT_FALSE(catalog.CreateTable("v", EmpColumns()).ok());
+}
+
+}  // namespace
+}  // namespace qopt

@@ -1,0 +1,32 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "common/column_id.h"
+
+namespace qopt {
+namespace {
+
+TEST(SchemaTest, AddAndFind) {
+  Schema s;
+  s.Add("id", TypeId::kInt64);
+  s.Add("name", TypeId::kString);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.Find("name"), 1);
+  EXPECT_EQ(s.Find("missing"), -1);
+  EXPECT_EQ(s.ToString(), "id:INT, name:STRING");
+}
+
+TEST(ColumnIdTest, OrderingAndHash) {
+  ColumnId a{1, 2}, b{1, 3}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (ColumnId{1, 2}));
+  EXPECT_NE(ColumnIdHash()(a), ColumnIdHash()(b));
+  EXPECT_EQ(a.ToString(), "#1.2");
+  EXPECT_FALSE(ColumnId{}.valid());
+  EXPECT_TRUE(a.valid());
+}
+
+}  // namespace
+}  // namespace qopt

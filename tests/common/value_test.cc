@@ -1,0 +1,74 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace qopt {
+namespace {
+
+TEST(ValueTest, NullConstruction) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), TypeId::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(5).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(3).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.1).Compare(Value::Int(4)), 0);
+}
+
+TEST(ValueTest, LargeIntPrecision) {
+  // Values that lose precision as doubles must still compare exactly.
+  int64_t big = (1LL << 60) + 1;
+  EXPECT_GT(Value::Int(big).Compare(Value::Int(big - 1)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::Int(7), Value::Double(7.0));
+  EXPECT_EQ(Value::String("hi").Hash(), Value::String("hi").Hash());
+}
+
+TEST(ValueTest, RowHashAndEq) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Int(1), Value::String("x")};
+  Row c = {Value::Int(2), Value::String("x")};
+  EXPECT_TRUE(RowEq()(a, b));
+  EXPECT_FALSE(RowEq()(a, c));
+  EXPECT_EQ(RowHash()(a), RowHash()(b));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::String("q").ToString(), "'q'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(RowToString({Value::Int(1), Value::Null()}), "(1, NULL)");
+}
+
+}  // namespace
+}  // namespace qopt

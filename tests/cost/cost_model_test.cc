@@ -1,0 +1,98 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace qopt::cost {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModel model_;
+};
+
+TEST_F(CostModelTest, SeqScanLinearInPages) {
+  Cost small = model_.SeqScan(10, 1000);
+  Cost big = model_.SeqScan(100, 10000);
+  EXPECT_NEAR(big.io / small.io, 10.0, 1e-9);
+  EXPECT_GT(big.cpu, small.cpu);
+}
+
+TEST_F(CostModelTest, ClusteredIndexScanCheaperThanUnclustered) {
+  // Retrieve 1000 of 100k rows on a 500-page table.
+  Cost clustered = model_.IndexScan(1000, 100000, 3, true, 500, 100000);
+  Cost unclustered = model_.IndexScan(1000, 100000, 3, false, 500, 100000);
+  EXPECT_LT(clustered.total(), unclustered.total());
+}
+
+TEST_F(CostModelTest, SelectiveIndexBeatsSeqScan) {
+  // 10 matching rows out of 1M (5000 pages): index wins.
+  Cost idx = model_.IndexScan(10, 1000000, 3, false, 5000, 1000000);
+  Cost seq = model_.SeqScan(5000, 1000000);
+  EXPECT_LT(idx.total(), seq.total());
+  // Retrieving most of the table through an unclustered index loses.
+  Cost idx_all = model_.IndexScan(900000, 1000000, 3, false, 5000, 1000000);
+  EXPECT_GT(idx_all.total(), seq.total());
+}
+
+TEST_F(CostModelTest, BufferPoolMakesRescansCheap) {
+  // Fits in pool: repeats are free.
+  EXPECT_DOUBLE_EQ(model_.RepeatedScanIO(100, 50),
+                   model_.RepeatedScanIO(100, 1));
+  // Exceeds pool: repeats cost extra.
+  EXPECT_GT(model_.RepeatedScanIO(5000, 10), model_.RepeatedScanIO(5000, 1));
+}
+
+TEST_F(CostModelTest, SortInMemoryVsExternal) {
+  Cost mem = model_.Sort(10000, 100);
+  EXPECT_EQ(mem.io, 0);
+  EXPECT_GT(mem.cpu, 0);
+  Cost ext = model_.Sort(1000000, 10000);
+  EXPECT_GT(ext.io, 0);
+}
+
+TEST_F(CostModelTest, JoinCostOrderings) {
+  double n = 100000, m = 100000;
+  Cost nl = model_.NestedLoopCPU(n, m);
+  Cost hj = model_.HashJoin(m, 500, n, 500, n);
+  Cost mj = model_.MergeJoin(n, m, n);
+  // Hash and merge joins are far cheaper than quadratic nested loops.
+  EXPECT_LT(hj.total(), nl.total() / 100);
+  EXPECT_LT(mj.total(), nl.total() / 100);
+}
+
+TEST_F(CostModelTest, HashJoinSpillsWhenBuildExceedsPool) {
+  Cost fits = model_.HashJoin(1000, 100, 1000, 100, 1000);
+  EXPECT_EQ(fits.io, 0);
+  Cost spills = model_.HashJoin(100000, 10000, 1000, 100, 1000);
+  EXPECT_GT(spills.io, 0);
+}
+
+TEST_F(CostModelTest, RepeatedIndexLookupScalesSublinearly) {
+  Cost one = model_.RepeatedIndexLookup(1, 1, 100000, 3, false, 500, 100000);
+  Cost many =
+      model_.RepeatedIndexLookup(1000, 1, 100000, 3, false, 500, 100000);
+  EXPECT_GT(many.total(), one.total());
+  // Buffer-pool hits keep per-lookup cost below a cold lookup.
+  EXPECT_LT(many.total(), one.total() * 1000);
+}
+
+TEST_F(CostModelTest, AggregationCosts) {
+  EXPECT_GT(model_.HashAggregate(10000, 100).cpu, 0);
+  // Streaming aggregation of sorted input is cheaper than hashing.
+  EXPECT_LT(model_.StreamAggregate(10000).cpu,
+            model_.HashAggregate(10000, 100).cpu);
+}
+
+TEST_F(CostModelTest, CostArithmetic) {
+  Cost a{1, 2}, b{3, 4};
+  Cost c = a + b;
+  EXPECT_DOUBLE_EQ(c.cpu, 4);
+  EXPECT_DOUBLE_EQ(c.io, 6);
+  EXPECT_DOUBLE_EQ(c.total(), 10);
+  c += a;
+  EXPECT_DOUBLE_EQ(c.total(), 13);
+  EXPECT_FALSE(c.ToString().empty());
+}
+
+}  // namespace
+}  // namespace qopt::cost

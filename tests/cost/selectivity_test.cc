@@ -1,0 +1,201 @@
+#include "cost/selectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace qopt::cost {
+namespace {
+
+using ast::BinaryOp;
+using plan::BExpr;
+using plan::MakeBinary;
+using plan::MakeColumn;
+using plan::MakeLiteral;
+using stats::RelStats;
+
+BExpr Col(int col) {
+  return MakeColumn({0, col}, TypeId::kInt64, "c" + std::to_string(col));
+}
+
+BExpr Cmp(BinaryOp op, int col, int64_t v) {
+  return MakeBinary(op, Col(col), MakeLiteral(Value::Int(v)));
+}
+
+class SelectivityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    input_.rows = 10000;
+    // Column 0: uniform 0..99 with histogram.
+    std::vector<double> values;
+    for (int i = 0; i < 10000; ++i) values.push_back(i % 100);
+    stats::ColumnStatsView v0;
+    v0.ndv = 100;
+    v0.min = 0;
+    v0.max = 99;
+    v0.histogram = stats::Histogram::Build(stats::HistogramKind::kEquiDepth,
+                                           values, 32);
+    input_.columns[{0, 0}] = v0;
+    // Column 1: ndv/min/max only.
+    stats::ColumnStatsView v1;
+    v1.ndv = 50;
+    v1.min = 0;
+    v1.max = 49;
+    input_.columns[{0, 1}] = v1;
+    // Column 2: no stats.
+  }
+  RelStats input_;
+};
+
+TEST_F(SelectivityTest, EqualityWithHistogram) {
+  EXPECT_NEAR(EstimateSelectivity(Cmp(BinaryOp::kEq, 0, 42), input_), 0.01,
+              0.003);
+  EXPECT_NEAR(EstimateSelectivity(Cmp(BinaryOp::kEq, 0, 12345), input_), 0.0,
+              1e-9);
+}
+
+TEST_F(SelectivityTest, EqualityWithNdvOnly) {
+  EXPECT_NEAR(EstimateSelectivity(Cmp(BinaryOp::kEq, 1, 7), input_), 1.0 / 50,
+              1e-9);
+}
+
+TEST_F(SelectivityTest, EqualityDefaultConstant) {
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(Cmp(BinaryOp::kEq, 2, 7), input_),
+                   kDefaultEqSelectivity);
+}
+
+TEST_F(SelectivityTest, RangeWithHistogram) {
+  EXPECT_NEAR(EstimateSelectivity(Cmp(BinaryOp::kLt, 0, 50), input_), 0.5,
+              0.05);
+  EXPECT_NEAR(EstimateSelectivity(Cmp(BinaryOp::kGe, 0, 90), input_), 0.1,
+              0.05);
+}
+
+TEST_F(SelectivityTest, RangeWithMinMaxInterpolation) {
+  EXPECT_NEAR(EstimateSelectivity(Cmp(BinaryOp::kLt, 1, 25), input_), 0.5,
+              0.1);
+}
+
+TEST_F(SelectivityTest, NullComparisonsNeverMatch) {
+  BExpr p = MakeBinary(BinaryOp::kEq, Col(0), MakeLiteral(Value::Null()));
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(p, input_), 0.0);
+}
+
+TEST_F(SelectivityTest, ConjunctionIndependence) {
+  BExpr a = Cmp(BinaryOp::kEq, 0, 5);
+  BExpr b = Cmp(BinaryOp::kEq, 1, 5);
+  double sa = EstimateSelectivity(a, input_);
+  double sb = EstimateSelectivity(b, input_);
+  BExpr both = MakeBinary(BinaryOp::kAnd, a, b);
+  EXPECT_NEAR(EstimateSelectivity(both, input_), sa * sb, 1e-9);
+}
+
+TEST_F(SelectivityTest, DisjunctionInclusionExclusion) {
+  BExpr a = Cmp(BinaryOp::kEq, 1, 5);
+  BExpr b = Cmp(BinaryOp::kEq, 1, 6);
+  double s = 1.0 / 50;
+  BExpr either = MakeBinary(BinaryOp::kOr, a, b);
+  EXPECT_NEAR(EstimateSelectivity(either, input_), s + s - s * s, 1e-9);
+}
+
+TEST_F(SelectivityTest, NotComplement) {
+  BExpr p = Cmp(BinaryOp::kEq, 1, 5);
+  EXPECT_NEAR(EstimateSelectivity(plan::MakeNot(p), input_), 1 - 1.0 / 50,
+              1e-9);
+}
+
+TEST_F(SelectivityTest, ColumnEqualsColumn) {
+  BExpr p = MakeBinary(BinaryOp::kEq, Col(0), Col(1));
+  EXPECT_NEAR(EstimateSelectivity(p, input_), 1.0 / 100, 1e-9);
+}
+
+TEST_F(SelectivityTest, InList) {
+  auto e = std::make_shared<plan::BoundExpr>();
+  e->kind = plan::BoundKind::kInList;
+  e->type = TypeId::kBool;
+  e->children = {Col(1), MakeLiteral(Value::Int(1)),
+                 MakeLiteral(Value::Int(2)), MakeLiteral(Value::Int(3))};
+  EXPECT_NEAR(EstimateSelectivity(e, input_), 3.0 / 50, 1e-9);
+}
+
+TEST_F(SelectivityTest, ApplyPredicateStatsAdjustsColumns) {
+  RelStats out = ApplyPredicateStats(input_, Cmp(BinaryOp::kEq, 1, 7));
+  EXPECT_NEAR(out.rows, 200, 1);
+  EXPECT_DOUBLE_EQ(out.column({0, 1})->ndv, 1);
+  RelStats range = ApplyPredicateStats(input_, Cmp(BinaryOp::kLe, 1, 24));
+  EXPECT_DOUBLE_EQ(*range.column({0, 1})->max, 24);
+}
+
+TEST_F(SelectivityTest, JointHistogramOverridesIndependence) {
+  // Columns 0 and 1 perfectly correlated (b = 2a); attach a joint
+  // histogram and check the conjunction is estimated jointly.
+  std::vector<std::pair<double, double>> pairs;
+  for (int i = 0; i < 10000; ++i) {
+    double a = i % 100;
+    pairs.emplace_back(a, 2 * a);
+  }
+  RelStats in = input_;
+  in.rows = 10000;
+  in.joints[{ColumnId{0, 0}, ColumnId{0, 1}}] =
+      std::shared_ptr<const stats::Histogram2D>(
+          stats::Histogram2D::Build(std::move(pairs), 32));
+
+  BExpr both = plan::MakeBinary(BinaryOp::kAnd, Cmp(BinaryOp::kEq, 0, 10),
+                                Cmp(BinaryOp::kEq, 1, 20));
+  RelStats out = ApplyPredicateStats(in, both);
+  // Truth = 100 rows. Independence (1/100 * 1/50) would give 2 rows.
+  EXPECT_GT(out.rows, 20);
+  EXPECT_LT(out.rows, 200);
+  // Contradictory pair estimates ~0.
+  BExpr contra = plan::MakeBinary(BinaryOp::kAnd, Cmp(BinaryOp::kEq, 0, 10),
+                                  Cmp(BinaryOp::kEq, 1, 21));
+  RelStats none = ApplyPredicateStats(in, contra);
+  EXPECT_LT(none.rows, 5);
+  // Eq columns get ndv pinned.
+  EXPECT_DOUBLE_EQ(out.column({0, 0})->ndv, 1);
+  EXPECT_DOUBLE_EQ(out.column({0, 1})->ndv, 1);
+}
+
+TEST_F(SelectivityTest, JointHistogramRangePair) {
+  std::vector<std::pair<double, double>> pairs;
+  for (int i = 0; i < 10000; ++i) {
+    double a = i % 100;
+    pairs.emplace_back(a, 2 * a);
+  }
+  RelStats in = input_;
+  in.rows = 10000;
+  in.joints[{ColumnId{0, 0}, ColumnId{0, 1}}] =
+      std::shared_ptr<const stats::Histogram2D>(
+          stats::Histogram2D::Build(std::move(pairs), 32));
+  // a < 50 AND b < 100: truth 50% (b < 100 implied); independence ~25%.
+  BExpr both = plan::MakeBinary(BinaryOp::kAnd, Cmp(BinaryOp::kLt, 0, 50),
+                                Cmp(BinaryOp::kLt, 1, 100));
+  RelStats out = ApplyPredicateStats(in, both);
+  EXPECT_NEAR(out.rows, 5000, 800);
+}
+
+TEST_F(SelectivityTest, RankOrderingPutsCheapSelectiveFirst) {
+  // A cheap selective predicate, an expensive LIKE, a cheap broad range.
+  BExpr selective = Cmp(BinaryOp::kEq, 1, 5);       // sel 2%, cost ~3
+  auto like = std::make_shared<plan::BoundExpr>();  // sel 10%, cost ~13
+  like->kind = plan::BoundKind::kLike;
+  like->type = TypeId::kBool;
+  like->children = {MakeColumn({0, 3}, TypeId::kString, "s"),
+                    MakeLiteral(Value::String("x%"))};
+  BExpr broad = Cmp(BinaryOp::kLt, 0, 95);          // sel ~95%, cheap
+
+  std::vector<BExpr> ordered =
+      OrderConjunctsByRank({broad, like, selective}, input_);
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[0], selective);
+  EXPECT_EQ(ordered[2], broad);
+  EXPECT_GT(PredicateEvalCost(like), PredicateEvalCost(selective));
+}
+
+TEST_F(SelectivityTest, TrueAndFalseLiterals) {
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(MakeLiteral(Value::Bool(true)), input_), 1.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(MakeLiteral(Value::Bool(false)), input_), 0.0);
+}
+
+}  // namespace
+}  // namespace qopt::cost

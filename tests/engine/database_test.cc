@@ -1,0 +1,113 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/db_fixtures.h"
+
+namespace qopt {
+namespace {
+
+TEST(DatabaseTest, SqlDdlAndInsertAndQuery) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id INT PRIMARY KEY, v DOUBLE, "
+                         "s STRING)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE INDEX idx_v ON t(id)").ok());
+  ASSERT_TRUE(
+      db.Execute("INSERT INTO t VALUES (1, 1.5, 'a'), (2, 2.5, 'b'), "
+                 "(3, NULL, 'c')")
+          .ok());
+  auto r = db.Query("SELECT s FROM t WHERE id >= 2 ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "b");
+  EXPECT_EQ(r->column_names, (std::vector<std::string>{"s"}));
+}
+
+TEST(DatabaseTest, InsertValidatesTypes) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  EXPECT_FALSE(db.Execute("INSERT INTO t VALUES ('oops')").ok());
+  EXPECT_FALSE(db.Execute("INSERT INTO nosuch VALUES (1)").ok());
+}
+
+TEST(DatabaseTest, SelectViaExecuteRejected) {
+  Database db;
+  EXPECT_FALSE(db.Execute("SELECT 1 FROM t").ok());
+}
+
+TEST(DatabaseTest, QueryErrorsSurface) {
+  Database db;
+  EXPECT_EQ(db.Query("SELECT * FROM missing").status().code(),
+            StatusCode::kBindError);
+  EXPECT_EQ(db.Query("SELEC oops").status().code(), StatusCode::kParseError);
+}
+
+TEST(DatabaseTest, ExplainShowsPhysicalPlan) {
+  Database db;
+  testing::LoadEmpDept(&db, 100, 5);
+  auto text = db.Explain(
+      "SELECT Emp.eid FROM Emp, Dept WHERE Emp.did = Dept.did AND "
+      "Dept.loc = 'Denver'");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("Join"), std::string::npos);
+  EXPECT_NE(text->find("rows="), std::string::npos);
+}
+
+TEST(DatabaseTest, ViewsQueryable) {
+  Database db;
+  testing::LoadEmpDept(&db, 100, 5);
+  ASSERT_TRUE(db.Execute("CREATE VIEW rich AS SELECT eid, sal FROM Emp "
+                         "WHERE sal > 60000")
+                  .ok());
+  auto all = db.Query("SELECT eid FROM Emp WHERE sal > 60000");
+  auto via_view = db.Query("SELECT eid FROM rich");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(via_view.ok());
+  EXPECT_EQ(all->rows.size(), via_view->rows.size());
+}
+
+TEST(DatabaseTest, AnalyzeAttachesStats) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2), (2)").ok());
+  ASSERT_TRUE(db.Analyze("t").ok());
+  const TableDef* def = db.catalog().GetTable("t");
+  ASSERT_NE(def->stats, nullptr);
+  EXPECT_DOUBLE_EQ(def->stats->row_count, 3);
+  EXPECT_DOUBLE_EQ(def->stats->columns[0].num_distinct, 2);
+}
+
+TEST(DatabaseTest, ResultToStringRendersTable) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT, b STRING)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1, 'x')").ok());
+  auto r = db.Query("SELECT a, b FROM t");
+  ASSERT_TRUE(r.ok());
+  std::string s = r->ToString();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("'x'"), std::string::npos);
+  EXPECT_NE(s.find("(1 rows)"), std::string::npos);
+}
+
+TEST(DatabaseTest, OptimizerInfoPopulated) {
+  Database db;
+  testing::LoadJoinTables(&db, 3, 200, 20);
+  auto r = db.Query(workload::JoinQuery(workload::Topology::kChain, 3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->optimize_info.chosen_cost, 0);
+  EXPECT_GT(r->optimize_info.selinger_counters.join_plans_costed, 0u);
+}
+
+TEST(DatabaseTest, CascadesEnumeratorEndToEnd) {
+  Database db;
+  testing::LoadJoinTables(&db, 3, 200, 20);
+  QueryOptions opts;
+  opts.optimizer.enumerator = opt::EnumeratorKind::kCascades;
+  auto r = db.Query(workload::JoinQuery(workload::Topology::kChain, 3), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->optimize_info.cascades_counters.groups, 0u);
+}
+
+}  // namespace
+}  // namespace qopt

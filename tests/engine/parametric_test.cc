@@ -1,0 +1,118 @@
+#include "engine/parametric.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/db_fixtures.h"
+
+namespace qopt {
+namespace {
+
+class ParametricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A table where the optimal access path flips with range selectivity:
+    // selective ranges -> bounded index scan, wide ranges -> seq scan.
+    std::vector<workload::ColumnSpec> cols = {
+        {.name = "pk", .kind = workload::ColumnSpec::Kind::kSequential},
+        {.name = "a", .kind = workload::ColumnSpec::Kind::kUniform,
+         .ndv = 10000},
+        {.name = "c", .kind = workload::ColumnSpec::Kind::kUniform,
+         .ndv = 1000},
+    };
+    ASSERT_TRUE(
+        workload::CreateAndLoadTable(&db_, "big", cols, 100000, 5, "pk")
+            .ok());
+    ASSERT_TRUE(db_.CreateIndex("idx_big_a", "big", "a").ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(ParametricTest, PlanSignatureIgnoresCosts) {
+  auto p1 = db_.PlanQuery("SELECT pk FROM big WHERE a < 50");
+  auto p2 = db_.PlanQuery("SELECT pk FROM big WHERE a < 60");
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  // Same structure, different literals/costs: identical signature.
+  EXPECT_EQ(PlanSignature(*p1), PlanSignature(*p2));
+  auto p3 = db_.PlanQuery("SELECT pk FROM big WHERE a < 9000");
+  ASSERT_TRUE(p3.ok());
+  EXPECT_NE(PlanSignature(*p1), PlanSignature(*p3));
+}
+
+TEST_F(ParametricTest, FindsAccessPathCrossover) {
+  ParametricOptions options;
+  options.lo = 1;
+  options.hi = 10000;
+  auto result = ParametricOptimize(
+      &db_,
+      [](double v) {
+        return "SELECT pk FROM big WHERE a < " +
+               std::to_string(static_cast<int64_t>(v));
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // There must be (at least) two pieces: index scan then seq scan.
+  EXPECT_GE(result->intervals.size(), 2u);
+  EXPECT_GE(result->DistinctPlans(), 2);
+  EXPECT_NE(result->intervals.front().signature,
+            result->intervals.back().signature);
+  EXPECT_NE(result->intervals.front().signature.find("IndexScan"),
+            std::string::npos);
+  EXPECT_NE(result->intervals.back().signature.find("TableScan"),
+            std::string::npos);
+  // Intervals tile the range in order.
+  EXPECT_DOUBLE_EQ(result->intervals.front().lo, 1);
+  EXPECT_DOUBLE_EQ(result->intervals.back().hi, 10000);
+  for (size_t i = 1; i < result->intervals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result->intervals[i].lo, result->intervals[i - 1].hi);
+  }
+}
+
+TEST_F(ParametricTest, ChoosePicksCoveringPiece) {
+  ParametricOptions options;
+  options.lo = 1;
+  options.hi = 10000;
+  auto result = ParametricOptimize(
+      &db_,
+      [](double v) {
+        return "SELECT pk FROM big WHERE a < " +
+               std::to_string(static_cast<int64_t>(v));
+      },
+      options);
+  ASSERT_TRUE(result.ok());
+  const PlanInterval& selective = result->Choose(options.lo);
+  const PlanInterval& wide = result->Choose(options.hi);
+  EXPECT_NE(selective.signature, wide.signature);
+  EXPECT_FALSE(result->ToString().empty());
+}
+
+TEST_F(ParametricTest, StablePlanYieldsSingleInterval) {
+  ParametricOptions options;
+  options.lo = 1;
+  options.hi = 100;
+  auto result = ParametricOptimize(
+      &db_,
+      [](double v) {
+        return "SELECT pk FROM big WHERE c < " +
+               std::to_string(static_cast<int64_t>(v));
+      },
+      options);
+  ASSERT_TRUE(result.ok());
+  // No index on c: the plan is a sequential scan throughout.
+  EXPECT_EQ(result->DistinctPlans(), 1);
+  EXPECT_EQ(result->intervals.size(), 1u);
+}
+
+TEST_F(ParametricTest, BadRangeRejected) {
+  ParametricOptions options;
+  options.lo = 10;
+  options.hi = 5;
+  auto result =
+      ParametricOptimize(&db_, [](double) { return std::string("x"); },
+                         options);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace qopt

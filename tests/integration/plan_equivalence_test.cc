@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "testing/db_fixtures.h"
+
+namespace qopt {
+namespace {
+
+// Plan equivalence: for a corpus of queries, every optimizer configuration
+// must return exactly the rows the naive (syntactic, nested-loop,
+// tuple-iteration) execution returns. This is the master safety net for
+// the whole optimizer stack.
+class PlanEquivalenceTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  static Database* db() {
+    static Database* db = [] {
+      auto* d = new Database();
+      testing::LoadEmpDept(d, 800, 30);
+      // Extra join tables for multi-way join queries.
+      EXPECT_TRUE(workload::CreateJoinTables(d, 4, 300, 40, 99).ok());
+      return d;
+    }();
+    return db;
+  }
+};
+
+TEST_P(PlanEquivalenceTest, AllConfigurationsAgree) {
+  const char* sql = GetParam();
+  QueryOptions naive;
+  naive.naive_execution = true;
+  auto reference = db()->Query(sql, naive);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString() << " " << sql;
+
+  struct Config {
+    const char* name;
+    QueryOptions options;
+  };
+  std::vector<Config> configs;
+  {
+    Config c;
+    c.name = "selinger";
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "selinger_bushy";
+    c.options.optimizer.selinger.bushy = true;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "selinger_no_orders";
+    c.options.optimizer.selinger.use_interesting_orders = false;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "selinger_1979_ops";
+    c.options.optimizer.selinger.enable_hash_join = false;
+    c.options.optimizer.selinger.enable_index_nl_join = false;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "cascades";
+    c.options.optimizer.enumerator = opt::EnumeratorKind::kCascades;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "no_rewrites";
+    c.options.optimizer.enable_rewrites = false;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "no_alternatives";
+    c.options.optimizer.use_alternatives = false;
+    configs.push_back(c);
+  }
+
+  for (const Config& config : configs) {
+    auto result = db()->Query(sql, config.options);
+    ASSERT_TRUE(result.ok())
+        << config.name << ": " << result.status().ToString() << " " << sql;
+    testing::ExpectSameRows(result->rows, reference->rows,
+                            std::string(config.name) + ": " + sql);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryCorpus, PlanEquivalenceTest,
+    ::testing::Values(
+        // Selections and access paths.
+        "SELECT eid FROM Emp WHERE did = 7",
+        "SELECT eid FROM Emp WHERE sal > 90000 AND age < 25",
+        "SELECT eid FROM Emp WHERE did BETWEEN 3 AND 6",
+        "SELECT COUNT(*) FROM Emp WHERE did = 3 OR did = 17",
+        // Two-way joins.
+        "SELECT Emp.eid, Dept.name FROM Emp, Dept WHERE Emp.did = Dept.did",
+        "SELECT Emp.eid FROM Emp, Dept WHERE Emp.did = Dept.did "
+        "AND Dept.loc = 'Denver' AND Emp.sal > 50000",
+        "SELECT e1.eid, e2.eid FROM Emp e1, Emp e2 "
+        "WHERE e1.did = e2.did AND e1.eid < e2.eid AND e1.sal > 110000",
+        // Multi-way joins over the generated tables.
+        "SELECT COUNT(*) FROM t0, t1 WHERE t0.a = t1.b",
+        "SELECT COUNT(*) FROM t0, t1, t2 WHERE t0.a = t1.b AND t1.a = t2.b",
+        "SELECT COUNT(*) FROM t0, t1, t2, t3 WHERE t0.a = t1.b "
+        "AND t1.a = t2.b AND t2.a = t3.b",
+        "SELECT COUNT(*) FROM t0, t1, t2 WHERE t0.a = t1.b AND t0.a = t2.b "
+        "AND t0.c < 500",
+        // Aggregation.
+        "SELECT did, COUNT(*), SUM(sal), MIN(age), MAX(age) FROM Emp "
+        "GROUP BY did",
+        "SELECT did, AVG(sal) FROM Emp GROUP BY did HAVING COUNT(*) > 20",
+        "SELECT Emp.did, SUM(Emp.sal) FROM Emp, Dept "
+        "WHERE Emp.did = Dept.did AND Dept.budget > 80000 GROUP BY Emp.did",
+        "SELECT COUNT(DISTINCT did) FROM Emp",
+        // Order by / limit / distinct.
+        "SELECT eid, sal FROM Emp ORDER BY sal DESC LIMIT 7",
+        "SELECT DISTINCT did FROM Emp WHERE age > 30",
+        "SELECT did, COUNT(*) AS c FROM Emp GROUP BY did ORDER BY c DESC "
+        "LIMIT 3",
+        // Outer joins.
+        "SELECT Dept.name, Emp.eid FROM Dept LEFT JOIN Emp "
+        "ON Dept.did = Emp.did AND Emp.sal > 100000",
+        "SELECT Dept.name FROM Dept LEFT JOIN Emp ON Dept.did = Emp.did "
+        "WHERE Emp.age > 30",
+        // Subqueries.
+        "SELECT eid FROM Emp WHERE did IN (SELECT did FROM Dept "
+        "WHERE loc = 'Austin')",
+        "SELECT eid FROM Emp WHERE did NOT IN (SELECT did FROM Dept "
+        "WHERE budget > 100000)",
+        "SELECT name FROM Dept WHERE EXISTS (SELECT eid FROM Emp "
+        "WHERE Emp.did = Dept.did AND Emp.age < 22)",
+        "SELECT name FROM Dept WHERE NOT EXISTS (SELECT eid FROM Emp "
+        "WHERE Emp.did = Dept.did AND Emp.sal > 115000)",
+        "SELECT eid FROM Emp e1 WHERE sal > (SELECT AVG(sal) FROM Emp e2 "
+        "WHERE e2.did = e1.did)",
+        "SELECT name FROM Dept WHERE num_of_machines >= "
+        "(SELECT COUNT(*) FROM Emp WHERE Emp.dept_name = Dept.name)",
+        // Views / derived tables.
+        "SELECT v.did, v.avgsal FROM (SELECT did, AVG(sal) AS avgsal "
+        "FROM Emp GROUP BY did) v WHERE v.avgsal > 70000",
+        "SELECT e.eid FROM Emp e, (SELECT did FROM Dept "
+        "WHERE loc = 'Denver') d WHERE e.did = d.did",
+        // Unions.
+        "SELECT did FROM Emp WHERE age < 25 UNION ALL SELECT did FROM Dept",
+        "SELECT did FROM Emp UNION SELECT did FROM Dept",
+        "SELECT u.d FROM (SELECT did AS d FROM Emp UNION ALL "
+        "SELECT did AS d FROM Dept) u WHERE u.d > 10",
+        // Two-level correlated nesting.
+        "SELECT eid FROM Emp e WHERE EXISTS (SELECT 1 FROM Dept d WHERE "
+        "d.did = e.did AND EXISTS (SELECT 1 FROM Emp e2 WHERE "
+        "e2.did = d.did AND e2.sal > e.sal))",
+        // Scalar expressions.
+        "SELECT eid, CASE WHEN sal > 90000 THEN 'high' WHEN sal > 60000 "
+        "THEN 'mid' ELSE 'low' END FROM Emp WHERE age BETWEEN 25 AND 35",
+        "SELECT name FROM Dept WHERE loc LIKE 'De%'",
+        // Grouping sets.
+        "SELECT did, COUNT(*) FROM Emp GROUP BY ROLLUP (did)",
+        "SELECT did, age, COUNT(*), MIN(sal) FROM Emp WHERE did < 5 "
+        "GROUP BY CUBE (did, age)",
+        // EXCEPT / INTERSECT.
+        "SELECT did FROM Dept EXCEPT SELECT did FROM Emp WHERE age > 23",
+        "SELECT did FROM Emp INTERSECT SELECT did FROM Dept "
+        "WHERE budget > 80000"));
+
+}  // namespace
+}  // namespace qopt

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "testing/db_fixtures.h"
+
+namespace qopt {
+namespace {
+
+// Property-based testing: generate random SPJ+aggregate queries over the
+// join tables and check the optimizer invariants on each:
+//   P1  optimized execution == naive execution (soundness);
+//   P2  Selinger and Cascades pick plans of identical estimated cost over
+//       the same search space (bushy / cartesian-allowed);
+//   P3  enabling more of the search space never increases the chosen
+//       plan's estimated cost (monotonicity).
+class QueryPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  static Database* db() {
+    static Database* db = [] {
+      auto* d = new Database();
+      EXPECT_TRUE(workload::CreateJoinTables(d, 4, 400, 30, 21).ok());
+      return d;
+    }();
+    return db;
+  }
+
+  // Deterministic random query from the seed.
+  std::string GenerateQuery(uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    int n = 2 + static_cast<int>(rng() % 3);  // 2..4 tables
+    std::vector<std::string> preds;
+    // Spanning-tree join predicates (random topology).
+    for (int i = 1; i < n; ++i) {
+      int parent = static_cast<int>(rng() % i);
+      preds.push_back("t" + std::to_string(parent) + ".a = t" +
+                      std::to_string(i) + ".b");
+    }
+    // Random local predicates.
+    for (int i = 0; i < n; ++i) {
+      if (rng() % 2 == 0) {
+        preds.push_back("t" + std::to_string(i) + ".c " +
+                        (rng() % 2 ? "< " : ">= ") +
+                        std::to_string(rng() % 1000));
+      }
+      if (rng() % 4 == 0) {
+        preds.push_back("t" + std::to_string(i) + ".a = " +
+                        std::to_string(rng() % 30));
+      }
+    }
+    std::string select;
+    bool aggregate = rng() % 3 == 0;
+    if (aggregate) {
+      select = "SELECT t0.a, COUNT(*), SUM(t1.c) ";
+    } else {
+      select = "SELECT t0.pk, t1.pk ";
+    }
+    std::string sql = select + "FROM ";
+    for (int i = 0; i < n; ++i) {
+      if (i) sql += ", ";
+      sql += "t" + std::to_string(i);
+    }
+    sql += " WHERE ";
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (i) sql += " AND ";
+      sql += preds[i];
+    }
+    if (aggregate) sql += " GROUP BY t0.a";
+    return sql;
+  }
+};
+
+  // Random query with subqueries / unions over the join tables.
+  std::string GenerateNestedQuery(uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    switch (rng() % 4) {
+      case 0: {  // correlated IN
+        int inner = 1 + static_cast<int>(rng() % 3);
+        return "SELECT t0.pk FROM t0 WHERE t0.a IN (SELECT t" +
+               std::to_string(inner) + ".b FROM t" + std::to_string(inner) +
+               " WHERE t" + std::to_string(inner) +
+               ".c < " + std::to_string(200 + rng() % 600) + " AND t" +
+               std::to_string(inner) + ".pk <> t0.pk)";
+      }
+      case 1: {  // NOT EXISTS
+        return "SELECT t0.pk FROM t0 WHERE NOT EXISTS (SELECT t1.pk FROM "
+               "t1 WHERE t1.b = t0.a AND t1.c < " +
+               std::to_string(rng() % 500) + ")";
+      }
+      case 2: {  // scalar aggregate subquery
+        return "SELECT t0.pk FROM t0 WHERE t0.c > (SELECT AVG(t1.c) FROM "
+               "t1 WHERE t1.b = t0.a)";
+      }
+      default: {  // union of filtered arms
+        bool all = rng() % 2 == 0;
+        return "SELECT t0.a FROM t0 WHERE t0.c < " +
+               std::to_string(rng() % 800) +
+               (all ? " UNION ALL " : " UNION ") +
+               "SELECT t1.b FROM t1 WHERE t1.c >= " +
+               std::to_string(rng() % 800);
+      }
+    }
+  }
+
+TEST_P(QueryPropertyTest, NestedAndUnionQueriesMatchNaive) {
+  std::string sql = GenerateNestedQuery(4000 + GetParam());
+  QueryOptions naive;
+  naive.naive_execution = true;
+  auto reference = db()->Query(sql, naive);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString() << " " << sql;
+  for (auto enumerator :
+       {opt::EnumeratorKind::kSelinger, opt::EnumeratorKind::kCascades}) {
+    QueryOptions options;
+    options.optimizer.enumerator = enumerator;
+    auto result = db()->Query(sql, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " " << sql;
+    testing::ExpectSameRows(result->rows, reference->rows, sql);
+  }
+}
+
+TEST_P(QueryPropertyTest, OptimizedMatchesNaive) {
+  std::string sql = GenerateQuery(1000 + GetParam());
+  QueryOptions naive;
+  naive.naive_execution = true;
+  auto reference = db()->Query(sql, naive);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString() << " " << sql;
+
+  for (auto enumerator :
+       {opt::EnumeratorKind::kSelinger, opt::EnumeratorKind::kCascades}) {
+    QueryOptions options;
+    options.optimizer.enumerator = enumerator;
+    auto result = db()->Query(sql, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << " " << sql;
+    testing::ExpectSameRows(result->rows, reference->rows, sql);
+  }
+}
+
+TEST_P(QueryPropertyTest, ArchitecturesAgreeOnOptimalCost) {
+  std::string sql = GenerateQuery(2000 + GetParam());
+  QueryOptions selinger;
+  selinger.optimizer.selinger.bushy = true;
+  selinger.optimizer.selinger.defer_cartesian = false;
+  QueryOptions cascades;
+  cascades.optimizer.enumerator = opt::EnumeratorKind::kCascades;
+  cascades.optimizer.cascades.allow_cartesian = true;
+  opt::OptimizeInfo si, ci;
+  auto ps = db()->PlanQuery(sql, selinger, &si);
+  auto pc = db()->PlanQuery(sql, cascades, &ci);
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString() << " " << sql;
+  ASSERT_TRUE(pc.ok()) << pc.status().ToString() << " " << sql;
+  EXPECT_NEAR(si.chosen_cost, ci.chosen_cost, 1e-6 * si.chosen_cost + 1e-6)
+      << sql;
+}
+
+TEST_P(QueryPropertyTest, LargerSearchSpaceNeverHurts) {
+  std::string sql = GenerateQuery(3000 + GetParam());
+  QueryOptions restricted;
+  restricted.optimizer.selinger.enable_hash_join = false;
+  restricted.optimizer.selinger.enable_index_nl_join = false;
+  restricted.optimizer.selinger.enable_merge_join = false;
+  QueryOptions full;
+  full.optimizer.selinger.bushy = true;
+  opt::OptimizeInfo ri, fi;
+  auto pr = db()->PlanQuery(sql, restricted, &ri);
+  auto pf = db()->PlanQuery(sql, full, &fi);
+  ASSERT_TRUE(pr.ok()) << pr.status().ToString();
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  EXPECT_LE(fi.chosen_cost, ri.chosen_cost * (1 + 1e-9)) << sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace qopt

@@ -1,0 +1,150 @@
+#include "optimizer/cascades/cascades.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "optimizer/rewrite/rule_engine.h"
+#include "optimizer/selinger/selinger.h"
+#include "plan/query_graph.h"
+#include "testing/db_fixtures.h"
+
+namespace qopt::opt::cascades {
+namespace {
+
+class CascadesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::LoadJoinTables(&db_, 5);
+    std::vector<workload::ColumnSpec> cols = {
+        {.name = "pk", .kind = workload::ColumnSpec::Kind::kSequential},
+        {.name = "a", .kind = workload::ColumnSpec::Kind::kUniform,
+         .ndv = 10000},
+    };
+    ASSERT_TRUE(
+        workload::CreateAndLoadTable(&db_, "big", cols, 100000, 77, "pk")
+            .ok());
+    ASSERT_TRUE(db_.CreateIndex("idx_big_a", "big", "a").ok());
+  }
+
+  plan::QueryGraph Graph(const std::string& sql) {
+    auto bound = db_.BindSql(sql);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    int next_rel = 1000;
+    auto rr =
+        RuleEngine::Default().Rewrite(bound->root, db_.catalog(), &next_rel);
+    plan::LogicalPtr op = rr.plan;
+    while (!plan::IsJoinBlock(*op)) op = op->children[0];
+    auto graph = plan::ExtractQueryGraph(op);
+    EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+    return std::move(graph).value();
+  }
+
+  Database db_;
+  cost::CostModel model_;
+};
+
+TEST_F(CascadesTest, SingleRelation) {
+  plan::QueryGraph g = Graph("SELECT * FROM big WHERE big.a = 5");
+  CascadesOptimizer opt(db_.catalog(), model_);
+  auto plan = opt.OptimizeJoinBlock(g);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->kind, exec::PhysOpKind::kIndexScan);
+}
+
+TEST_F(CascadesTest, ExplorationGeneratesAllGroups) {
+  plan::QueryGraph g =
+      Graph(workload::JoinQuery(workload::Topology::kClique, 4, false));
+  CascadesOptimizer opt(db_.catalog(), model_);
+  ASSERT_TRUE(opt.OptimizeJoinBlock(g).ok());
+  // Clique of 4: every non-empty subset is reachable -> 15 groups.
+  EXPECT_EQ(opt.counters().groups, 15u);
+  EXPECT_GT(opt.counters().rules_applied, 0u);
+}
+
+TEST_F(CascadesTest, MemoizationHitsCache) {
+  plan::QueryGraph g =
+      Graph(workload::JoinQuery(workload::Topology::kClique, 5, false));
+  CascadesOptimizer opt(db_.catalog(), model_);
+  ASSERT_TRUE(opt.OptimizeJoinBlock(g).ok());
+  EXPECT_GT(opt.counters().winner_cache_hits, 0u);
+}
+
+TEST_F(CascadesTest, MatchesSelingerBushyCost) {
+  // Same plan space (bushy, same cost model): the two architectures must
+  // agree on the optimal cost — §6's point that they differ in search
+  // strategy, not outcome.
+  for (auto topo : {workload::Topology::kChain, workload::Topology::kStar,
+                    workload::Topology::kClique}) {
+    plan::QueryGraph g = Graph(workload::JoinQuery(topo, 4, false));
+    CascadesOptions copt;
+    copt.allow_cartesian = true;
+    CascadesOptimizer casc(db_.catalog(), model_, copt);
+    auto pc = casc.OptimizeJoinBlock(g);
+    ASSERT_TRUE(pc.ok()) << pc.status().ToString();
+
+    SelingerOptions sopt;
+    sopt.bushy = true;
+    sopt.defer_cartesian = false;
+    SelingerOptimizer sel(db_.catalog(), model_, sopt);
+    auto ps = sel.OptimizeJoinBlock(g);
+    ASSERT_TRUE(ps.ok());
+    EXPECT_NEAR((*pc)->est_cost.total(), (*ps)->est_cost.total(),
+                1e-6 * (*ps)->est_cost.total())
+        << workload::TopologyName(topo);
+  }
+}
+
+TEST_F(CascadesTest, RequiredOrderViaEnforcerOrIndex) {
+  plan::QueryGraph g = Graph("SELECT * FROM t0, t1 WHERE t0.a = t1.b");
+  std::vector<plan::SortKey> order = {
+      {ColumnId{g.relations[0].rel_id, 1}, true}};
+  CascadesOptimizer opt(db_.catalog(), model_);
+  auto plan = opt.OptimizeJoinBlock(g, order);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE((*plan)->output_order.empty());
+  EXPECT_EQ((*plan)->output_order[0].column, order[0].column);
+}
+
+TEST_F(CascadesTest, BoundPruningCutsWork) {
+  plan::QueryGraph g =
+      Graph(workload::JoinQuery(workload::Topology::kChain, 5, false));
+  CascadesOptimizer opt(db_.catalog(), model_);
+  ASSERT_TRUE(opt.OptimizeJoinBlock(g).ok());
+  EXPECT_GT(opt.counters().pruned_by_bound, 0u);
+}
+
+TEST_F(CascadesTest, DisconnectedGraphFallsBackToCartesian) {
+  plan::QueryGraph g = Graph("SELECT * FROM t0, t1");
+  CascadesOptimizer opt(db_.catalog(), model_);
+  auto plan = opt.OptimizeJoinBlock(g);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+TEST_F(CascadesTest, PhysPropsKeyAndSatisfaction) {
+  PhysProps empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.Key(), "");
+  PhysProps p{{{ColumnId{1, 2}, true}}};
+  EXPECT_TRUE(p.SatisfiedBy({{ColumnId{1, 2}, true}, {ColumnId{1, 3}, true}}));
+  EXPECT_FALSE(p.SatisfiedBy({{ColumnId{1, 2}, false}}));
+  EXPECT_FALSE(p.SatisfiedBy({}));
+}
+
+TEST_F(CascadesTest, MemoDeduplicatesExpressions) {
+  Memo memo;
+  int g0 = memo.GetOrCreateGroup(1);
+  int g1 = memo.GetOrCreateGroup(2);
+  int g2 = memo.GetOrCreateGroup(3);
+  LExpr join;
+  join.op = LExpr::Op::kJoin;
+  join.left = g0;
+  join.right = g1;
+  EXPECT_TRUE(memo.AddExpr(g2, join));
+  EXPECT_FALSE(memo.AddExpr(g2, join));
+  EXPECT_EQ(memo.num_exprs(), 1u);
+  EXPECT_EQ(memo.GetOrCreateGroup(3), g2);
+}
+
+}  // namespace
+}  // namespace qopt::opt::cascades

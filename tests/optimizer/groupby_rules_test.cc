@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "optimizer/rewrite/rule_engine.h"
+#include "plan/binder.h"
+#include "testing/db_fixtures.h"
+
+namespace qopt::opt {
+namespace {
+
+using plan::LogicalOpKind;
+using plan::LogicalPtr;
+
+// Group-by pushdown / eager aggregation (paper §4.1.3, Figure 4) and the
+// magic-set rewrite (§4.3) are ALTERNATIVE rules: they must produce
+// candidate plans that return identical results and win only by cost.
+class GroupByRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::LoadEmpDept(&db_, 2000, 25); }
+
+  RewriteResult RewriteSql(const std::string& sql) {
+    auto bound = db_.BindSql(sql);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    next_rel_ = 1000;
+    return RuleEngine::Default().Rewrite(bound->root, db_.catalog(),
+                                         &next_rel_);
+  }
+
+  static int Count(const LogicalPtr& op, LogicalOpKind kind) {
+    int n = op->kind == kind ? 1 : 0;
+    for (const LogicalPtr& c : op->children) n += Count(c, kind);
+    return n;
+  }
+
+  Database db_;
+  int next_rel_ = 1000;
+};
+
+TEST_F(GroupByRulesTest, EagerAggregationAlternativeGenerated) {
+  // SUM over an FK join; args come from Emp only: staged aggregation
+  // (Fig 4c) applies.
+  RewriteResult rr = RewriteSql(
+      "SELECT Emp.did, SUM(Emp.sal) FROM Emp, Dept "
+      "WHERE Emp.did = Dept.did GROUP BY Emp.did");
+  ASSERT_GT(rr.applications["eager_aggregation"], 0);
+  bool found_staged = false;
+  for (const LogicalPtr& alt : rr.alternatives) {
+    if (Count(alt, LogicalOpKind::kAggregate) == 2) found_staged = true;
+  }
+  EXPECT_TRUE(found_staged);
+}
+
+TEST_F(GroupByRulesTest, InvariantPushdownAlternativeGenerated) {
+  RewriteResult rr = RewriteSql(
+      "SELECT Emp.did, COUNT(*), MIN(Emp.sal) FROM Emp, Dept "
+      "WHERE Emp.did = Dept.did GROUP BY Emp.did");
+  EXPECT_GT(rr.applications["groupby_pushdown"], 0);
+}
+
+TEST_F(GroupByRulesTest, NoPushdownWithoutGroupOnJoinColumn) {
+  // Grouping on age (not the join column): the invariant rule must not
+  // fire (partitions are not join-invariant).
+  RewriteResult rr = RewriteSql(
+      "SELECT Emp.age, COUNT(*) FROM Emp, Dept "
+      "WHERE Emp.did = Dept.did GROUP BY Emp.age");
+  EXPECT_EQ(rr.applications["groupby_pushdown"], 0);
+}
+
+TEST_F(GroupByRulesTest, NoEagerForAvgOrDistinct) {
+  RewriteResult rr = RewriteSql(
+      "SELECT Emp.did, AVG(Emp.sal) FROM Emp, Dept "
+      "WHERE Emp.did = Dept.did GROUP BY Emp.did");
+  EXPECT_EQ(rr.applications["eager_aggregation"], 0);
+  RewriteResult rr2 = RewriteSql(
+      "SELECT Emp.did, COUNT(DISTINCT Emp.age) FROM Emp, Dept "
+      "WHERE Emp.did = Dept.did GROUP BY Emp.did");
+  EXPECT_EQ(rr2.applications["eager_aggregation"], 0);
+}
+
+TEST_F(GroupByRulesTest, AlternativesReturnIdenticalResults) {
+  const char* queries[] = {
+      "SELECT Emp.did, SUM(Emp.sal), COUNT(*) FROM Emp, Dept "
+      "WHERE Emp.did = Dept.did GROUP BY Emp.did",
+      "SELECT Emp.did, MIN(Emp.sal), MAX(Emp.age) FROM Emp, Dept "
+      "WHERE Emp.did = Dept.did AND Dept.budget > 60000 GROUP BY Emp.did",
+  };
+  for (const char* sql : queries) {
+    QueryOptions with_alts;
+    QueryOptions no_alts;
+    no_alts.optimizer.use_alternatives = false;
+    auto r1 = db_.Query(sql, with_alts);
+    auto r2 = db_.Query(sql, no_alts);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    testing::ExpectSameRows(r1->rows, r2->rows, sql);
+  }
+}
+
+TEST_F(GroupByRulesTest, EagerAggregationCorrectWithDuplicateJoinPartners) {
+  // The staged decomposition must stay correct when the non-aggregated
+  // side has DUPLICATE join keys (each partial row multiplies): SUM and
+  // COUNT combine via SUM over the duplicated partials.
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE f (k INT, v INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE s (k INT, tag INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO f VALUES (1, 10), (1, 20), (2, 30)")
+                  .ok());
+  // Key 1 appears twice on the s side.
+  ASSERT_TRUE(
+      db.Execute("INSERT INTO s VALUES (1, 7), (1, 8), (2, 9)").ok());
+  ASSERT_TRUE(db.AnalyzeAll().ok());
+  const char* sql =
+      "SELECT f.k, SUM(f.v), COUNT(*) FROM f, s WHERE f.k = s.k "
+      "GROUP BY f.k";
+  QueryOptions with_alts;
+  QueryOptions no_alts;
+  no_alts.optimizer.use_alternatives = false;
+  auto r1 = db.Query(sql, with_alts);
+  auto r2 = db.Query(sql, no_alts);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  testing::ExpectSameRows(r1->rows, r2->rows, sql);
+  // Hand-checked: k=1 joins 2x2=4 rows, SUM = (10+20)*2 = 60, COUNT 4.
+  for (const Row& row : r1->rows) {
+    if (row[0].AsInt() == 1) {
+      EXPECT_EQ(row[1].AsInt(), 60);
+      EXPECT_EQ(row[2].AsInt(), 4);
+    }
+  }
+}
+
+TEST_F(GroupByRulesTest, MagicSetAlternativeGenerated) {
+  // The paper's DepAvgSal pattern (§4.3) as a derived table.
+  RewriteResult rr = RewriteSql(
+      "SELECT e.eid FROM Emp e, Dept d, "
+      "(SELECT did, AVG(sal) AS avgsal FROM Emp GROUP BY did) v "
+      "WHERE e.did = d.did AND e.did = v.did AND e.age < 30 "
+      "AND d.budget > 100000 AND e.sal > v.avgsal");
+  EXPECT_GT(rr.applications["magic_semijoin_reduction"], 0);
+  bool found_semi = false;
+  for (const LogicalPtr& alt : rr.alternatives) {
+    std::function<void(const LogicalPtr&)> walk = [&](const LogicalPtr& op) {
+      if (op->kind == LogicalOpKind::kJoin &&
+          op->join_type == plan::JoinType::kSemi) {
+        found_semi = true;
+      }
+      for (const LogicalPtr& c : op->children) walk(c);
+    };
+    walk(alt);
+  }
+  EXPECT_TRUE(found_semi);
+}
+
+TEST_F(GroupByRulesTest, MagicSetPreservesResults) {
+  const char* sql =
+      "SELECT e.eid, e.sal FROM Emp e, Dept d, "
+      "(SELECT did, AVG(sal) AS avgsal FROM Emp GROUP BY did) v "
+      "WHERE e.did = d.did AND e.did = v.did AND e.age < 30 "
+      "AND d.budget > 100000 AND e.sal > v.avgsal";
+  QueryOptions with_alts;
+  QueryOptions no_alts;
+  no_alts.optimizer.use_alternatives = false;
+  auto r1 = db_.Query(sql, with_alts);
+  auto r2 = db_.Query(sql, no_alts);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  testing::ExpectSameRows(r1->rows, r2->rows, sql);
+}
+
+TEST_F(GroupByRulesTest, CloneWithFreshRelsRemapsEverything) {
+  auto bound = db_.BindSql(
+      "SELECT Emp.did FROM Emp, Dept WHERE Emp.did = Dept.did AND "
+      "Emp.age < 30");
+  ASSERT_TRUE(bound.ok());
+  int next_rel = 500;
+  LogicalPtr clone = CloneWithFreshRels(bound->root, &next_rel);
+  std::set<int> orig = bound->root->BaseRels();
+  std::set<int> fresh = clone->BaseRels();
+  for (int r : fresh) {
+    EXPECT_FALSE(orig.count(r)) << "rel id " << r << " not remapped";
+  }
+  // No dangling references: every referenced column belongs to the clone.
+  EXPECT_TRUE(plan::FreeColumns(clone).empty());
+}
+
+}  // namespace
+}  // namespace qopt::opt

@@ -1,0 +1,237 @@
+#include "optimizer/rewrite/rule_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "testing/db_fixtures.h"
+
+namespace qopt::opt {
+namespace {
+
+using plan::JoinType;
+using plan::LogicalOpKind;
+using plan::LogicalPtr;
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::LoadEmpDept(&db_, 200, 10); }
+
+  LogicalPtr RewriteSql(const std::string& sql,
+                        std::map<std::string, int>* apps = nullptr) {
+    auto bound = db_.BindSql(sql);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    int next_rel = 1000;
+    RewriteResult rr =
+        RuleEngine::Default().Rewrite(bound->root, db_.catalog(), &next_rel);
+    if (apps != nullptr) *apps = rr.applications;
+    return rr.plan;
+  }
+
+  static int Count(const LogicalPtr& op, LogicalOpKind kind) {
+    int n = op->kind == kind ? 1 : 0;
+    for (const LogicalPtr& c : op->children) n += Count(c, kind);
+    return n;
+  }
+
+  static const plan::LogicalOp* Find(const LogicalPtr& op,
+                                     LogicalOpKind kind) {
+    if (op->kind == kind) return op.get();
+    for (const LogicalPtr& c : op->children) {
+      if (const plan::LogicalOp* f = Find(c, kind)) return f;
+    }
+    return nullptr;
+  }
+
+  Database db_;
+};
+
+TEST_F(RewriteTest, PushdownConvertsCrossToInnerJoin) {
+  LogicalPtr p = RewriteSql(
+      "SELECT eid FROM Emp, Dept WHERE Emp.did = Dept.did AND Emp.age < 30");
+  const plan::LogicalOp* join = Find(p, LogicalOpKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_type, JoinType::kInner);
+  ASSERT_NE(join->predicate, nullptr);
+  // The single-table predicate sits below the join, not on it.
+  EXPECT_EQ(join->predicate->ToString().find("age"), std::string::npos);
+  const plan::LogicalOp* filter = Find(p, LogicalOpKind::kFilter);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_NE(filter->predicate->ToString().find("age"), std::string::npos);
+}
+
+TEST_F(RewriteTest, PushdownThroughProject) {
+  LogicalPtr p = RewriteSql(
+      "SELECT s FROM (SELECT sal AS s, age FROM Emp) e WHERE e.s > 100");
+  // Predicate lands directly above the Get.
+  std::function<bool(const LogicalPtr&)> filter_above_get =
+      [&](const LogicalPtr& op) {
+        if (op->kind == LogicalOpKind::kFilter &&
+            op->children[0]->kind == LogicalOpKind::kGet) {
+          return true;
+        }
+        for (const LogicalPtr& c : op->children) {
+          if (filter_above_get(c)) return true;
+        }
+        return false;
+      };
+  EXPECT_TRUE(filter_above_get(p));
+}
+
+TEST_F(RewriteTest, ConstantFolding) {
+  std::map<std::string, int> apps;
+  LogicalPtr p =
+      RewriteSql("SELECT eid FROM Emp WHERE sal > 10 * 1000 + 500", &apps);
+  EXPECT_GT(apps["constant_folding"], 0);
+  const plan::LogicalOp* filter = Find(p, LogicalOpKind::kFilter);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_NE(filter->predicate->ToString().find("10500"), std::string::npos);
+}
+
+TEST_F(RewriteTest, TrueFilterRemoved) {
+  LogicalPtr p = RewriteSql("SELECT eid FROM Emp WHERE 1 = 1");
+  EXPECT_EQ(Count(p, LogicalOpKind::kFilter), 0);
+}
+
+TEST_F(RewriteTest, ViewMergeUnnestsTrivialProjects) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW emp_v AS SELECT eid, did, sal FROM "
+                          "Emp")
+                  .ok());
+  std::map<std::string, int> apps;
+  LogicalPtr p = RewriteSql(
+      "SELECT Dept.name FROM emp_v, Dept WHERE emp_v.did = Dept.did "
+      "AND emp_v.sal > 50000",
+      &apps);
+  EXPECT_GT(apps["merge_trivial_projects"], 0);
+  // One final Project remains; below it a pure join block over two Gets.
+  EXPECT_EQ(Count(p, LogicalOpKind::kProject), 1);
+  LogicalPtr below = p->children[0];
+  EXPECT_TRUE(plan::IsJoinBlock(*below));
+}
+
+TEST_F(RewriteTest, OuterJoinSimplifiedByNullRejectingPredicate) {
+  LogicalPtr p = RewriteSql(
+      "SELECT eid FROM Emp LEFT JOIN Dept ON Emp.did = Dept.did "
+      "WHERE Dept.budget > 60000");
+  const plan::LogicalOp* join = Find(p, LogicalOpKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_type, JoinType::kInner);
+}
+
+TEST_F(RewriteTest, OuterJoinKeptWithoutNullRejection) {
+  LogicalPtr p = RewriteSql(
+      "SELECT eid FROM Emp LEFT JOIN Dept ON Emp.did = Dept.did "
+      "WHERE Dept.budget IS NULL OR Emp.age > 30");
+  const plan::LogicalOp* join = Find(p, LogicalOpKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_type, JoinType::kLeftOuter);
+}
+
+TEST_F(RewriteTest, JoinOuterJoinAssociation) {
+  // Join(Emp, Dept LOJ Emp e2) with inner condition over Emp/Dept hoists
+  // the LOJ above the join (§4.1.2).
+  std::map<std::string, int> apps;
+  LogicalPtr p = RewriteSql(
+      "SELECT Emp.eid FROM Emp JOIN (Dept LEFT JOIN Emp e2 ON Dept.mgr = "
+      "e2.eid) ON Emp.did = Dept.did",
+      &apps);
+  EXPECT_GT(apps["join_outerjoin_assoc"], 0);
+  // Root-side join order: LOJ above, inner join below.
+  const plan::LogicalOp* top_join = Find(p, LogicalOpKind::kJoin);
+  ASSERT_NE(top_join, nullptr);
+  EXPECT_EQ(top_join->join_type, JoinType::kLeftOuter);
+}
+
+TEST_F(RewriteTest, PredicateInferenceDerivesConstantCopies) {
+  // Emp.did = Dept.did AND Dept.did = 3 must derive Emp.did = 3 so both
+  // scans filter early (predicate move-around, [36]).
+  std::map<std::string, int> apps;
+  LogicalPtr p = RewriteSql(
+      "SELECT eid FROM Emp, Dept WHERE Emp.did = Dept.did AND Dept.did = 3",
+      &apps);
+  EXPECT_GT(apps["predicate_inference"], 0);
+  // Both sides now carry a constant filter directly above their Get.
+  int filtered_gets = 0;
+  std::function<void(const LogicalPtr&)> walk = [&](const LogicalPtr& op) {
+    if (op->kind == LogicalOpKind::kFilter &&
+        op->children[0]->kind == LogicalOpKind::kGet &&
+        op->predicate->ToString().find("3") != std::string::npos) {
+      ++filtered_gets;
+    }
+    for (const LogicalPtr& c : op->children) walk(c);
+  };
+  walk(p);
+  EXPECT_EQ(filtered_gets, 2);
+}
+
+TEST_F(RewriteTest, PredicateInferencePreservesResults) {
+  const char* sql =
+      "SELECT Emp.eid FROM Emp, Dept WHERE Emp.did = Dept.did "
+      "AND Dept.did BETWEEN 2 AND 5";
+  QueryOptions with;
+  QueryOptions naive;
+  naive.naive_execution = true;
+  auto r1 = db_.Query(sql, with);
+  auto r2 = db_.Query(sql, naive);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  testing::ExpectSameRows(r1->rows, r2->rows, sql);
+}
+
+TEST_F(RewriteTest, RewriteBudgetTerminates) {
+  // A pathological stack of views must not loop forever.
+  ASSERT_TRUE(db_.Execute("CREATE VIEW v1 AS SELECT eid, did FROM Emp").ok());
+  ASSERT_TRUE(db_.Execute("CREATE VIEW v2 AS SELECT eid, did FROM v1").ok());
+  ASSERT_TRUE(db_.Execute("CREATE VIEW v3 AS SELECT eid, did FROM v2").ok());
+  LogicalPtr p = RewriteSql("SELECT eid FROM v3 WHERE did = 1");
+  EXPECT_NE(p, nullptr);
+}
+
+TEST_F(RewriteTest, NormalizeOnlyEngineLeavesSubqueriesNested) {
+  auto bound = db_.BindSql(
+      "SELECT eid FROM Emp WHERE did IN (SELECT did FROM Dept "
+      "WHERE loc = 'Denver')");
+  ASSERT_TRUE(bound.ok());
+  int next_rel = 1000;
+  RewriteResult rr = RuleEngine::NormalizeOnly().Rewrite(
+      bound->root, db_.catalog(), &next_rel);
+  // The naive-baseline engine must not unnest or emit alternatives.
+  EXPECT_EQ(Count(rr.plan, LogicalOpKind::kApply), 1);
+  EXPECT_TRUE(rr.alternatives.empty());
+  EXPECT_EQ(rr.applications.count("unnest_semi_apply"), 0u);
+}
+
+TEST_F(RewriteTest, ApplicationCountsReported) {
+  std::map<std::string, int> apps;
+  RewriteSql("SELECT eid FROM Emp WHERE 2 + 2 = 4 AND sal > 0", &apps);
+  int total = 0;
+  for (const auto& [name, n] : apps) {
+    EXPECT_GT(n, 0) << name;
+    total += n;
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST_F(RewriteTest, ResultsUnchangedByRewrites) {
+  // Execution with and without the rewrite phase returns identical rows.
+  const char* queries[] = {
+      "SELECT eid FROM Emp WHERE sal > 60000 AND age < 40",
+      "SELECT Emp.eid, Dept.name FROM Emp, Dept WHERE Emp.did = Dept.did "
+      "AND Dept.loc = 'Denver'",
+      "SELECT eid FROM Emp LEFT JOIN Dept ON Emp.did = Dept.did "
+      "WHERE Dept.budget > 60000",
+  };
+  for (const char* sql : queries) {
+    QueryOptions with;
+    QueryOptions without;
+    without.optimizer.enable_rewrites = false;
+    auto r1 = db_.Query(sql, with);
+    auto r2 = db_.Query(sql, without);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString() << " " << sql;
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString() << " " << sql;
+    testing::ExpectSameRows(r1->rows, r2->rows, sql);
+  }
+}
+
+}  // namespace
+}  // namespace qopt::opt

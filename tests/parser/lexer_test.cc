@@ -1,0 +1,81 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace qopt::parser {
+namespace {
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select FROM wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // + end
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Tokenize("Emp dept_name _x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "Emp");
+  EXPECT_EQ((*tokens)[1].text, "dept_name");
+  EXPECT_EQ((*tokens)[2].text, "_x");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("42 3.25 1e3 7.5e-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 3.25);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 1000);
+  EXPECT_DOUBLE_EQ((*tokens)[3].double_value, 0.075);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Tokenize("'Denver' ''");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "Denver");
+  EXPECT_EQ((*tokens)[1].text, "");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, TwoCharSymbols) {
+  auto tokens = Tokenize("<> != <= >= < > =");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[1].IsSymbol("!="));
+  EXPECT_TRUE((*tokens)[2].IsSymbol("<="));
+  EXPECT_TRUE((*tokens)[3].IsSymbol(">="));
+  EXPECT_TRUE((*tokens)[4].IsSymbol("<"));
+  EXPECT_TRUE((*tokens)[5].IsSymbol(">"));
+  EXPECT_TRUE((*tokens)[6].IsSymbol("="));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT -- everything\n1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1].int_value, 1);
+}
+
+TEST(LexerTest, BadCharacter) {
+  EXPECT_FALSE(Tokenize("SELECT @x").ok());
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto tokens = Tokenize("SELECT a");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 7u);
+}
+
+}  // namespace
+}  // namespace qopt::parser

@@ -1,0 +1,240 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace qopt::parser {
+namespace {
+
+using ast::ExprKind;
+using ast::Statement;
+
+std::unique_ptr<ast::SelectStatement> MustSelect(const std::string& sql) {
+  auto r = ParseSelect(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << sql;
+  return r.ok() ? std::move(r).value() : nullptr;
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto s = MustSelect("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->items.size(), 2u);
+  ASSERT_EQ(s->from.size(), 1u);
+  EXPECT_EQ(s->from[0]->name, "t");
+  ASSERT_NE(s->where, nullptr);
+  EXPECT_EQ(s->where->kind, ExprKind::kBinary);
+}
+
+TEST(ParserTest, StarAndQualifiedStar) {
+  auto s = MustSelect("SELECT *, t.* FROM t");
+  ASSERT_EQ(s->items.size(), 2u);
+  EXPECT_EQ(s->items[0].expr->kind, ExprKind::kStar);
+  EXPECT_EQ(s->items[1].expr->table, "t");
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto s = MustSelect("SELECT a AS x, b y FROM t u");
+  EXPECT_EQ(s->items[0].alias, "x");
+  EXPECT_EQ(s->items[1].alias, "y");
+  EXPECT_EQ(s->from[0]->alias, "u");
+}
+
+TEST(ParserTest, PrecedenceOrAndNot) {
+  auto s = MustSelect("SELECT a FROM t WHERE a=1 OR b=2 AND NOT c=3");
+  // OR at top.
+  EXPECT_EQ(s->where->op, ast::BinaryOp::kOr);
+  EXPECT_EQ(s->where->rhs->op, ast::BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto s = MustSelect("SELECT a + b * 2 FROM t");
+  const ast::Expr& e = *s->items[0].expr;
+  EXPECT_EQ(e.op, ast::BinaryOp::kAdd);
+  EXPECT_EQ(e.rhs->op, ast::BinaryOp::kMul);
+}
+
+TEST(ParserTest, JoinSyntax) {
+  auto s = MustSelect(
+      "SELECT * FROM a JOIN b ON a.x = b.x LEFT OUTER JOIN c ON b.y = c.y");
+  ASSERT_EQ(s->from.size(), 1u);
+  const ast::TableRef& top = *s->from[0];
+  EXPECT_EQ(top.kind, ast::TableRefKind::kJoin);
+  EXPECT_EQ(top.join_kind, ast::JoinKind::kLeft);
+  EXPECT_EQ(top.left->join_kind, ast::JoinKind::kInner);
+}
+
+TEST(ParserTest, CrossJoinNoOn) {
+  auto s = MustSelect("SELECT * FROM a CROSS JOIN b");
+  EXPECT_EQ(s->from[0]->join_kind, ast::JoinKind::kCross);
+  EXPECT_EQ(s->from[0]->on, nullptr);
+}
+
+TEST(ParserTest, DerivedTableNeedsAlias) {
+  EXPECT_TRUE(ParseSelect("SELECT * FROM (SELECT a FROM t) d").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM (SELECT a FROM t)").ok());
+}
+
+TEST(ParserTest, GroupByHavingOrderByLimit) {
+  auto s = MustSelect(
+      "SELECT d, COUNT(*) FROM t GROUP BY d HAVING COUNT(*) > 2 "
+      "ORDER BY d DESC LIMIT 10");
+  EXPECT_EQ(s->group_by.size(), 1u);
+  ASSERT_NE(s->having, nullptr);
+  ASSERT_EQ(s->order_by.size(), 1u);
+  EXPECT_FALSE(s->order_by[0].ascending);
+  EXPECT_EQ(s->limit, 10);
+}
+
+TEST(ParserTest, Aggregates) {
+  auto s = MustSelect(
+      "SELECT COUNT(*), COUNT(x), COUNT(DISTINCT x), SUM(x), AVG(x), MIN(x), "
+      "MAX(x) FROM t");
+  EXPECT_EQ(s->items[0].expr->agg, ast::AggFunc::kCountStar);
+  EXPECT_EQ(s->items[1].expr->agg, ast::AggFunc::kCount);
+  EXPECT_TRUE(s->items[2].expr->agg_distinct);
+  EXPECT_EQ(s->items[3].expr->agg, ast::AggFunc::kSum);
+  EXPECT_EQ(s->items[6].expr->agg, ast::AggFunc::kMax);
+}
+
+TEST(ParserTest, CountQualifiedStar) {
+  auto s = MustSelect("SELECT COUNT(Emp.*) FROM Emp");
+  EXPECT_EQ(s->items[0].expr->agg, ast::AggFunc::kCountStar);
+}
+
+TEST(ParserTest, InSubqueryAndNegation) {
+  auto s = MustSelect(
+      "SELECT name FROM Emp WHERE dept IN (SELECT id FROM Dept) "
+      "AND x NOT IN (1, 2, 3)");
+  const ast::Expr& w = *s->where;
+  EXPECT_EQ(w.op, ast::BinaryOp::kAnd);
+  EXPECT_EQ(w.child->kind, ExprKind::kInSubquery);
+  EXPECT_FALSE(w.child->negated);
+  EXPECT_EQ(w.rhs->kind, ExprKind::kInList);
+  EXPECT_TRUE(w.rhs->negated);
+}
+
+TEST(ParserTest, ExistsAndNotExists) {
+  auto s = MustSelect(
+      "SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM u) AND NOT EXISTS "
+      "(SELECT 1 FROM v)");
+  EXPECT_EQ(s->where->child->kind, ExprKind::kExists);
+  EXPECT_FALSE(s->where->child->negated);
+  EXPECT_TRUE(s->where->rhs->negated);
+}
+
+TEST(ParserTest, ScalarSubqueryInComparison) {
+  auto s = MustSelect(
+      "SELECT name FROM Dept WHERE machines >= (SELECT COUNT(*) FROM Emp)");
+  EXPECT_EQ(s->where->rhs->kind, ExprKind::kScalarSubquery);
+}
+
+TEST(ParserTest, BetweenIsNullLike) {
+  auto s = MustSelect(
+      "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IS NOT NULL AND c LIKE "
+      "'x%'");
+  // (BETWEEN AND isnull) AND like
+  const ast::Expr& w = *s->where;
+  EXPECT_EQ(w.rhs->kind, ExprKind::kLike);
+  EXPECT_EQ(w.child->child->kind, ExprKind::kBetween);
+  EXPECT_TRUE(w.child->rhs->negated);
+  EXPECT_EQ(w.child->rhs->kind, ExprKind::kIsNull);
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto s = MustSelect(
+      "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t");
+  EXPECT_EQ(s->items[0].expr->kind, ExprKind::kCase);
+  EXPECT_EQ(s->items[0].expr->args.size(), 3u);
+}
+
+TEST(ParserTest, CreateTableWithKeys) {
+  auto r = Parse(
+      "CREATE TABLE emp (id INT PRIMARY KEY, dept INT, sal DOUBLE, name "
+      "VARCHAR(20), FOREIGN KEY (dept) REFERENCES dept(id))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->kind, Statement::Kind::kCreateTable);
+  const auto& ct = *r->create_table;
+  EXPECT_EQ(ct.columns.size(), 4u);
+  EXPECT_EQ(ct.primary_key, "id");
+  ASSERT_EQ(ct.foreign_keys.size(), 1u);
+  EXPECT_EQ(ct.foreign_keys[0].ref_table, "dept");
+}
+
+TEST(ParserTest, CreateIndexVariants) {
+  auto r = Parse("CREATE UNIQUE CLUSTERED INDEX i ON t(a)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->create_index->unique);
+  EXPECT_TRUE(r->create_index->clustered);
+}
+
+TEST(ParserTest, CreateViewKeepsBodyText) {
+  auto r = Parse("CREATE VIEW v AS SELECT a, b FROM t WHERE a > 1;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->create_view->body_sql, "SELECT a, b FROM t WHERE a > 1");
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto r = Parse("INSERT INTO t VALUES (1, 'a', NULL), (-2, 'b', 3.5)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->insert->rows.size(), 2u);
+  EXPECT_EQ(r->insert->rows[0][0].AsInt(), 1);
+  EXPECT_TRUE(r->insert->rows[0][2].is_null());
+  EXPECT_EQ(r->insert->rows[1][0].AsInt(), -2);
+}
+
+TEST(ParserTest, UnionChain) {
+  auto s = MustSelect(
+      "SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v");
+  ASSERT_NE(s->union_next, nullptr);
+  EXPECT_TRUE(s->union_all);
+  ASSERT_NE(s->union_next->union_next, nullptr);
+  EXPECT_FALSE(s->union_next->union_all);
+  // Round-trips.
+  EXPECT_TRUE(ParseSelect(s->ToString()).ok()) << s->ToString();
+}
+
+TEST(ParserTest, ExceptIntersectSyntax) {
+  auto s = MustSelect("SELECT a FROM t EXCEPT SELECT b FROM u");
+  ASSERT_NE(s->union_next, nullptr);
+  EXPECT_EQ(s->set_op, ast::SelectStatement::SetOp::kExcept);
+  auto i = MustSelect("SELECT a FROM t INTERSECT SELECT b FROM u");
+  EXPECT_EQ(i->set_op, ast::SelectStatement::SetOp::kIntersect);
+  EXPECT_TRUE(ParseSelect(s->ToString()).ok()) << s->ToString();
+}
+
+TEST(ParserTest, CubeAndRollupSyntax) {
+  auto cube = MustSelect("SELECT a, b, COUNT(*) FROM t GROUP BY CUBE (a, b)");
+  EXPECT_EQ(cube->grouping, ast::SelectStatement::Grouping::kCube);
+  EXPECT_EQ(cube->group_by.size(), 2u);
+  auto rollup =
+      MustSelect("SELECT a, COUNT(*) FROM t GROUP BY ROLLUP (a)");
+  EXPECT_EQ(rollup->grouping, ast::SelectStatement::Grouping::kRollup);
+  // Round-trips.
+  EXPECT_TRUE(ParseSelect(cube->ToString()).ok()) << cube->ToString();
+  // Missing parenthesis is an error.
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t GROUP BY CUBE a").ok());
+}
+
+TEST(ParserTest, Explain) {
+  auto r = Parse("EXPLAIN SELECT * FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, Statement::Kind::kExplain);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t GROUP").ok());
+  EXPECT_FALSE(Parse("FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t trailing junk (").ok());
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto s = MustSelect(
+      "SELECT d, SUM(x) total FROM t WHERE y = 3 GROUP BY d ORDER BY d");
+  std::string rendered = s->ToString();
+  // Rendering must itself re-parse.
+  EXPECT_TRUE(ParseSelect(rendered).ok()) << rendered;
+}
+
+}  // namespace
+}  // namespace qopt::parser

@@ -1,0 +1,251 @@
+#include "plan/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace qopt::plan {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .CreateTable("Emp", {{"emp_id", TypeId::kInt64},
+                                         {"dept_id", TypeId::kInt64},
+                                         {"sal", TypeId::kDouble},
+                                         {"name", TypeId::kString},
+                                         {"age", TypeId::kInt64}},
+                                 0)
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .CreateTable("Dept", {{"dept_id", TypeId::kInt64},
+                                          {"loc", TypeId::kString},
+                                          {"budget", TypeId::kDouble},
+                                          {"mgr", TypeId::kInt64}},
+                                 0)
+                    .ok());
+    ASSERT_TRUE(catalog_.CreateView(
+                          "rich", "SELECT emp_id, sal FROM Emp WHERE sal > 100")
+                    .ok());
+  }
+
+  Result<BoundQuery> BindSql(const std::string& sql) {
+    auto stmt = parser::ParseSelect(sql);
+    if (!stmt.ok()) return stmt.status();
+    return Bind(**stmt, catalog_);
+  }
+
+  BoundQuery MustBind(const std::string& sql) {
+    auto r = BindSql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << sql;
+    return r.ok() ? std::move(r).value() : BoundQuery{};
+  }
+
+  // Counts nodes of a kind in the plan tree.
+  static int Count(const LogicalPtr& op, LogicalOpKind kind) {
+    int n = op->kind == kind ? 1 : 0;
+    for (const LogicalPtr& c : op->children) n += Count(c, kind);
+    return n;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, SimpleSelect) {
+  BoundQuery q = MustBind("SELECT name, sal FROM Emp WHERE age < 30");
+  ASSERT_NE(q.root, nullptr);
+  EXPECT_EQ(q.output_names, (std::vector<std::string>{"name", "sal"}));
+  EXPECT_EQ(q.root->kind, LogicalOpKind::kProject);
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kFilter), 1);
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kGet), 1);
+}
+
+TEST_F(BinderTest, StarExpansion) {
+  BoundQuery q = MustBind("SELECT * FROM Dept");
+  EXPECT_EQ(q.output_names.size(), 4u);
+  EXPECT_EQ(q.output_names[1], "loc");
+}
+
+TEST_F(BinderTest, QualifiedAndAmbiguousColumns) {
+  EXPECT_TRUE(BindSql("SELECT Emp.dept_id FROM Emp, Dept").ok());
+  auto amb = BindSql("SELECT dept_id FROM Emp, Dept");
+  EXPECT_FALSE(amb.ok());
+  EXPECT_NE(amb.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, UnknownColumnAndTable) {
+  EXPECT_EQ(BindSql("SELECT nope FROM Emp").status().code(),
+            StatusCode::kBindError);
+  EXPECT_EQ(BindSql("SELECT 1 FROM nope").status().code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, TypeChecking) {
+  EXPECT_FALSE(BindSql("SELECT 1 FROM Emp WHERE name > 5").ok());
+  EXPECT_FALSE(BindSql("SELECT name + 1 FROM Emp").ok());
+  EXPECT_FALSE(BindSql("SELECT 1 FROM Emp WHERE sal").ok());
+  EXPECT_TRUE(BindSql("SELECT sal + age FROM Emp").ok());
+}
+
+TEST_F(BinderTest, CommaJoinBecomesCrossJoin) {
+  BoundQuery q = MustBind(
+      "SELECT name FROM Emp, Dept WHERE Emp.dept_id = Dept.dept_id");
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kJoin), 1);
+}
+
+TEST_F(BinderTest, ExplicitJoins) {
+  BoundQuery q = MustBind(
+      "SELECT name FROM Emp JOIN Dept ON Emp.dept_id = Dept.dept_id");
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kJoin), 1);
+  BoundQuery loj = MustBind(
+      "SELECT name FROM Emp LEFT JOIN Dept ON Emp.dept_id = Dept.dept_id");
+  bool found = false;
+  std::function<void(const LogicalPtr&)> walk = [&](const LogicalPtr& op) {
+    if (op->kind == LogicalOpKind::kJoin &&
+        op->join_type == JoinType::kLeftOuter) {
+      found = true;
+    }
+    for (const LogicalPtr& c : op->children) walk(c);
+  };
+  walk(loj.root);
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BinderTest, SelfJoinDistinctRelIds) {
+  BoundQuery q = MustBind(
+      "SELECT e1.name FROM Emp e1, Emp e2 WHERE e1.emp_id = e2.emp_id");
+  std::set<int> rels = q.root->BaseRels();
+  EXPECT_EQ(rels.size(), 2u);
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  EXPECT_FALSE(BindSql("SELECT 1 FROM Emp e, Dept e").ok());
+}
+
+TEST_F(BinderTest, ViewInlining) {
+  BoundQuery q = MustBind("SELECT sal FROM rich WHERE sal < 500");
+  // View expands to a subtree over Emp.
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kGet), 1);
+  EXPECT_GE(Count(q.root, LogicalOpKind::kProject), 2);
+}
+
+TEST_F(BinderTest, AggregateBinding) {
+  BoundQuery q = MustBind(
+      "SELECT dept_id, COUNT(*), SUM(sal) FROM Emp GROUP BY dept_id "
+      "HAVING COUNT(*) > 1");
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kAggregate), 1);
+  // Shared aggregate: COUNT(*) appears once in the aggregate's item list.
+  std::function<const LogicalOp*(const LogicalPtr&)> find_agg =
+      [&](const LogicalPtr& op) -> const LogicalOp* {
+    if (op->kind == LogicalOpKind::kAggregate) return op.get();
+    for (const LogicalPtr& c : op->children) {
+      if (const LogicalOp* f = find_agg(c)) return f;
+    }
+    return nullptr;
+  };
+  const LogicalOp* agg = find_agg(q.root);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->aggs.size(), 2u);  // COUNT(*) reused by HAVING
+}
+
+TEST_F(BinderTest, NonGroupedColumnRejected) {
+  auto r = BindSql("SELECT name, COUNT(*) FROM Emp GROUP BY dept_id");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(BinderTest, AggregateInWhereRejected) {
+  EXPECT_FALSE(BindSql("SELECT 1 FROM Emp WHERE COUNT(*) > 1").ok());
+}
+
+TEST_F(BinderTest, InSubqueryBecomesSemiApply) {
+  BoundQuery q = MustBind(
+      "SELECT name FROM Emp WHERE dept_id IN (SELECT dept_id FROM Dept "
+      "WHERE loc = 'Denver')");
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kApply), 1);
+}
+
+TEST_F(BinderTest, CorrelatedSubqueryTracksOuterColumns) {
+  BoundQuery q = MustBind(
+      "SELECT name FROM Emp WHERE dept_id IN (SELECT dept_id FROM Dept "
+      "WHERE Emp.emp_id = Dept.mgr)");
+  const LogicalOp* apply = nullptr;
+  std::function<void(const LogicalPtr&)> walk = [&](const LogicalPtr& op) {
+    if (op->kind == LogicalOpKind::kApply) apply = op.get();
+    for (const LogicalPtr& c : op->children) walk(c);
+  };
+  walk(q.root);
+  ASSERT_NE(apply, nullptr);
+  EXPECT_EQ(apply->correlated_cols.size(), 1u);  // Emp.emp_id
+}
+
+TEST_F(BinderTest, ScalarSubquery) {
+  BoundQuery q = MustBind(
+      "SELECT loc FROM Dept WHERE budget > (SELECT AVG(sal) FROM Emp WHERE "
+      "Emp.dept_id = Dept.dept_id)");
+  const LogicalOp* apply = nullptr;
+  std::function<void(const LogicalPtr&)> walk = [&](const LogicalPtr& op) {
+    if (op->kind == LogicalOpKind::kApply) apply = op.get();
+    for (const LogicalPtr& c : op->children) walk(c);
+  };
+  walk(q.root);
+  ASSERT_NE(apply, nullptr);
+  EXPECT_EQ(apply->apply_type, ApplyType::kScalar);
+  EXPECT_TRUE(apply->scalar_output.valid());
+}
+
+TEST_F(BinderTest, OrderByProjectedAliasAndColumn) {
+  BoundQuery q1 = MustBind("SELECT sal AS s FROM Emp ORDER BY s");
+  EXPECT_EQ(Count(q1.root, LogicalOpKind::kSort), 1);
+  BoundQuery q2 = MustBind("SELECT name FROM Emp ORDER BY age");
+  EXPECT_EQ(Count(q2.root, LogicalOpKind::kSort), 1);
+}
+
+TEST_F(BinderTest, DistinctAndLimit) {
+  BoundQuery q = MustBind("SELECT DISTINCT dept_id FROM Emp LIMIT 5");
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kDistinct), 1);
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kLimit), 1);
+}
+
+TEST_F(BinderTest, FreeColumnsDetectsCorrelation) {
+  BoundQuery q = MustBind("SELECT name FROM Emp");
+  EXPECT_TRUE(FreeColumns(q.root).empty());
+}
+
+TEST_F(BinderTest, UnionBinding) {
+  BoundQuery q = MustBind(
+      "SELECT emp_id FROM Emp UNION ALL SELECT dept_id FROM Dept");
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kUnion), 1);
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kDistinct), 0);
+
+  BoundQuery dedup =
+      MustBind("SELECT emp_id FROM Emp UNION SELECT dept_id FROM Dept");
+  EXPECT_EQ(Count(dedup.root, LogicalOpKind::kDistinct), 1);
+}
+
+TEST_F(BinderTest, UnionErrors) {
+  // Arity mismatch.
+  EXPECT_FALSE(
+      BindSql("SELECT emp_id, sal FROM Emp UNION SELECT dept_id FROM Dept")
+          .ok());
+  // Type mismatch.
+  EXPECT_FALSE(
+      BindSql("SELECT name FROM Emp UNION SELECT dept_id FROM Dept").ok());
+  // ORDER BY inside an arm.
+  EXPECT_EQ(BindSql("SELECT emp_id FROM Emp ORDER BY emp_id UNION "
+                    "SELECT dept_id FROM Dept")
+                .status()
+                .code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST_F(BinderTest, DerivedTable) {
+  BoundQuery q = MustBind(
+      "SELECT d.s FROM (SELECT dept_id, SUM(sal) AS s FROM Emp GROUP BY "
+      "dept_id) d WHERE d.s > 10");
+  EXPECT_EQ(Count(q.root, LogicalOpKind::kAggregate), 1);
+}
+
+}  // namespace
+}  // namespace qopt::plan

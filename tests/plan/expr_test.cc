@@ -1,0 +1,118 @@
+#include "plan/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace qopt::plan {
+namespace {
+
+using ast::BinaryOp;
+
+BExpr Col(int rel, int col) {
+  return MakeColumn({rel, col}, TypeId::kInt64,
+                    "c" + std::to_string(rel) + std::to_string(col));
+}
+
+TEST(ExprTest, MakeAndToString) {
+  BExpr e = MakeBinary(BinaryOp::kEq, Col(0, 1), MakeLiteral(Value::Int(5)));
+  EXPECT_EQ(e->type, TypeId::kBool);
+  EXPECT_EQ(e->ToString(), "(c01 = 5)");
+}
+
+TEST(ExprTest, BinaryResultTypes) {
+  EXPECT_EQ(BinaryResultType(BinaryOp::kAdd, TypeId::kInt64, TypeId::kInt64),
+            TypeId::kInt64);
+  EXPECT_EQ(BinaryResultType(BinaryOp::kAdd, TypeId::kInt64, TypeId::kDouble),
+            TypeId::kDouble);
+  EXPECT_EQ(BinaryResultType(BinaryOp::kDiv, TypeId::kInt64, TypeId::kInt64),
+            TypeId::kDouble);
+  EXPECT_EQ(BinaryResultType(BinaryOp::kLt, TypeId::kString, TypeId::kString),
+            TypeId::kBool);
+}
+
+TEST(ExprTest, SplitConjuncts) {
+  BExpr a = MakeBinary(BinaryOp::kEq, Col(0, 0), MakeLiteral(Value::Int(1)));
+  BExpr b = MakeBinary(BinaryOp::kGt, Col(0, 1), MakeLiteral(Value::Int(2)));
+  BExpr c = MakeBinary(BinaryOp::kLt, Col(1, 0), MakeLiteral(Value::Int(3)));
+  BExpr conj = MakeConjunction({a, b, c});
+  std::vector<BExpr> out;
+  SplitConjuncts(conj, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], a);
+  EXPECT_EQ(out[2], c);
+}
+
+TEST(ExprTest, SplitDropsTrueLiterals) {
+  std::vector<BExpr> out;
+  SplitConjuncts(MakeConjunction({}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ExprTest, CollectColumnsAndBoundBy) {
+  BExpr e = MakeBinary(BinaryOp::kAnd,
+                       MakeBinary(BinaryOp::kEq, Col(0, 0), Col(1, 1)),
+                       MakeBinary(BinaryOp::kGt, Col(0, 2),
+                                  MakeLiteral(Value::Int(5))));
+  std::set<ColumnId> cols;
+  CollectColumns(e, &cols);
+  EXPECT_EQ(cols.size(), 3u);
+  EXPECT_TRUE(ColumnsBoundBy(e, {{0, 0}, {1, 1}, {0, 2}}));
+  EXPECT_FALSE(ColumnsBoundBy(e, {{0, 0}, {1, 1}}));
+}
+
+TEST(ExprTest, SubstituteColumns) {
+  BExpr e = MakeBinary(BinaryOp::kEq, Col(0, 0), Col(1, 0));
+  std::unordered_map<ColumnId, BExpr, ColumnIdHash> mapping;
+  mapping[{0, 0}] = Col(7, 3);
+  BExpr out = SubstituteColumns(e, mapping);
+  std::set<ColumnId> cols;
+  CollectColumns(out, &cols);
+  EXPECT_TRUE(cols.count({7, 3}));
+  EXPECT_FALSE(cols.count({0, 0}));
+  EXPECT_TRUE(cols.count({1, 0}));
+  // No-op substitution returns the same node (shared subtrees).
+  BExpr same = SubstituteColumns(e, {});
+  EXPECT_EQ(same, e);
+}
+
+TEST(ExprTest, MatchEquiJoin) {
+  BExpr e = MakeBinary(BinaryOp::kEq, Col(1, 0), Col(0, 2));
+  ColumnId l, r;
+  // Oriented: left set {rel 0}, right set {rel 1}.
+  EXPECT_TRUE(MatchEquiJoin(e, {{0, 2}}, {{1, 0}}, &l, &r));
+  EXPECT_EQ(l, (ColumnId{0, 2}));
+  EXPECT_EQ(r, (ColumnId{1, 0}));
+  // Not an equi-join across the given sets.
+  EXPECT_FALSE(MatchEquiJoin(e, {{0, 2}}, {{2, 0}}, &l, &r));
+  // Non-eq op never matches.
+  BExpr lt = MakeBinary(BinaryOp::kLt, Col(1, 0), Col(0, 2));
+  EXPECT_FALSE(MatchEquiJoin(lt, {{0, 2}}, {{1, 0}}, &l, &r));
+}
+
+TEST(ExprTest, MatchColumnConstantMirrorsOperator) {
+  BExpr e = MakeBinary(BinaryOp::kLt, MakeLiteral(Value::Int(5)), Col(0, 0));
+  ColumnId col;
+  BinaryOp op;
+  Value v;
+  ASSERT_TRUE(MatchColumnConstant(e, &col, &op, &v));
+  EXPECT_EQ(op, BinaryOp::kGt);  // 5 < x  ==  x > 5
+  EXPECT_EQ(v.AsInt(), 5);
+}
+
+TEST(ExprTest, NullRejection) {
+  std::set<int> rels = {1};
+  BExpr cmp = MakeBinary(BinaryOp::kEq, Col(1, 0), MakeLiteral(Value::Int(1)));
+  EXPECT_TRUE(IsNullRejecting(cmp, rels));
+  // Comparison on other relations doesn't reject rel 1's nulls.
+  BExpr other = MakeBinary(BinaryOp::kEq, Col(2, 0),
+                           MakeLiteral(Value::Int(1)));
+  EXPECT_FALSE(IsNullRejecting(other, rels));
+  // IS NULL accepts nulls.
+  EXPECT_FALSE(IsNullRejecting(MakeIsNull(Col(1, 0), false), rels));
+  EXPECT_TRUE(IsNullRejecting(MakeIsNull(Col(1, 0), true), rels));
+  // OR: both branches must reject.
+  EXPECT_FALSE(IsNullRejecting(MakeBinary(BinaryOp::kOr, cmp, other), rels));
+  EXPECT_TRUE(IsNullRejecting(MakeBinary(BinaryOp::kAnd, cmp, other), rels));
+}
+
+}  // namespace
+}  // namespace qopt::plan

@@ -1,0 +1,102 @@
+#include "plan/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "plan/binder.h"
+
+namespace qopt::plan {
+namespace {
+
+// Figure 3 of the paper: nodes are relations, labeled edges are join
+// predicates.
+class QueryGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"A", "B", "C", "D"}) {
+      ASSERT_TRUE(catalog_
+                      .CreateTable(name, {{"x", TypeId::kInt64},
+                                          {"y", TypeId::kInt64}})
+                      .ok());
+    }
+  }
+
+  // Binds and returns the join block under the final projection.
+  LogicalPtr JoinBlock(const std::string& sql) {
+    auto stmt = parser::ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto bound = Bind(**stmt, catalog_);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    LogicalPtr op = bound->root;
+    while (op->kind == LogicalOpKind::kProject ||
+           op->kind == LogicalOpKind::kSort ||
+           op->kind == LogicalOpKind::kLimit) {
+      op = op->children[0];
+    }
+    return op;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(QueryGraphTest, ChainExtraction) {
+  LogicalPtr block = JoinBlock(
+      "SELECT A.x FROM A, B, C WHERE A.x = B.y AND B.x = C.y AND A.y = 5");
+  ASSERT_TRUE(IsJoinBlock(*block));
+  auto graph = ExtractQueryGraph(block);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->relations.size(), 3u);
+  EXPECT_EQ(graph->edges.size(), 2u);
+  EXPECT_TRUE(graph->complex_preds.empty());
+  // Local predicate A.y = 5 attached to A.
+  int a = graph->RelIndex(graph->relations[0].rel_id);
+  EXPECT_EQ(graph->relations[a].local_preds.size(), 1u);
+}
+
+TEST_F(QueryGraphTest, ConnectivityBitmask) {
+  LogicalPtr block =
+      JoinBlock("SELECT A.x FROM A, B, C WHERE A.x = B.y AND B.x = C.y");
+  auto graph = ExtractQueryGraph(block);
+  ASSERT_TRUE(graph.ok());
+  // A(0) - B(1) - C(2): A connected to B, A not connected to C.
+  EXPECT_TRUE(graph->Connected(1ULL << 0, 1ULL << 1));
+  EXPECT_FALSE(graph->Connected(1ULL << 0, 1ULL << 2));
+  EXPECT_TRUE(graph->Connected((1ULL << 0) | (1ULL << 1), 1ULL << 2));
+}
+
+TEST_F(QueryGraphTest, ComplexPredicates) {
+  LogicalPtr block = JoinBlock(
+      "SELECT A.x FROM A, B WHERE A.x + B.x = 10 AND A.y = B.y");
+  auto graph = ExtractQueryGraph(block);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edges.size(), 1u);       // A.y = B.y
+  EXPECT_EQ(graph->complex_preds.size(), 1u);  // A.x + B.x = 10
+}
+
+TEST_F(QueryGraphTest, CartesianProductGraph) {
+  LogicalPtr block = JoinBlock("SELECT A.x FROM A, B");
+  auto graph = ExtractQueryGraph(block);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->relations.size(), 2u);
+  EXPECT_TRUE(graph->edges.empty());
+  EXPECT_FALSE(graph->Connected(1, 2));
+}
+
+TEST_F(QueryGraphTest, NonJoinBlockRejected) {
+  LogicalPtr block = JoinBlock(
+      "SELECT A.x FROM A LEFT JOIN B ON A.x = B.x");
+  EXPECT_FALSE(IsJoinBlock(*block));
+  EXPECT_FALSE(ExtractQueryGraph(block).ok());
+}
+
+TEST_F(QueryGraphTest, CliqueEdges) {
+  LogicalPtr block = JoinBlock(
+      "SELECT A.x FROM A, B, C WHERE A.x = B.x AND B.x = C.x AND A.x = C.x");
+  auto graph = ExtractQueryGraph(block);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edges.size(), 3u);
+  EXPECT_NE(graph->ToString().find("QueryGraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qopt::plan

@@ -1,0 +1,102 @@
+#include "stats/derived_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace qopt::stats {
+namespace {
+
+RelStats MakeRel(int rel, double rows, std::vector<double> ndvs) {
+  RelStats rs;
+  rs.rows = rows;
+  for (size_t i = 0; i < ndvs.size(); ++i) {
+    ColumnStatsView v;
+    v.ndv = ndvs[i];
+    rs.columns[{rel, static_cast<int>(i)}] = v;
+  }
+  return rs;
+}
+
+TEST(DerivedStatsTest, BaseRelFallback) {
+  RelStats rs = BaseRelStats(0, nullptr, 3, 5000);
+  EXPECT_DOUBLE_EQ(rs.rows, 5000);
+  EXPECT_EQ(rs.columns.size(), 3u);
+}
+
+TEST(DerivedStatsTest, ApplyFilterShrinksNdv) {
+  RelStats rs = MakeRel(0, 10000, {10000, 10});
+  RelStats out = ApplyFilter(rs, 0.01);
+  EXPECT_DOUBLE_EQ(out.rows, 100);
+  // Near-unique column shrinks roughly with rows.
+  EXPECT_NEAR(out.column({0, 0})->ndv, 100, 20);
+  // Low-cardinality column keeps most of its values (each has ~1000 dups).
+  EXPECT_GT(out.column({0, 1})->ndv, 9.9);
+}
+
+TEST(DerivedStatsTest, ApplyColumnEqPinsNdv) {
+  RelStats rs = MakeRel(0, 1000, {100, 50});
+  RelStats out = ApplyColumnEq(rs, {0, 0}, 0.01);
+  EXPECT_DOUBLE_EQ(out.rows, 10);
+  EXPECT_DOUBLE_EQ(out.column({0, 0})->ndv, 1);
+}
+
+TEST(DerivedStatsTest, ApplyColumnRangeClampsMinMax) {
+  RelStats rs = MakeRel(0, 1000, {100});
+  rs.columns[{0, 0}].min = 0;
+  rs.columns[{0, 0}].max = 100;
+  RelStats out = ApplyColumnRange(rs, {0, 0}, 0.3, 20, 50);
+  EXPECT_DOUBLE_EQ(*out.column({0, 0})->min, 20);
+  EXPECT_DOUBLE_EQ(*out.column({0, 0})->max, 50);
+}
+
+TEST(DerivedStatsTest, JoinCardinalityContainment) {
+  RelStats r = MakeRel(0, 1000, {100});   // 100 distinct keys
+  RelStats s = MakeRel(1, 5000, {50});    // 50 distinct fks
+  RelStats out = JoinStats(r, s, {0, 0}, {1, 0}, /*use_histograms=*/false);
+  // |R||S| / max(ndv) = 1000*5000/100 = 50000.
+  EXPECT_DOUBLE_EQ(out.rows, 50000);
+  // Join columns inherit min ndv.
+  EXPECT_DOUBLE_EQ(out.column({0, 0})->ndv, 50);
+  EXPECT_DOUBLE_EQ(out.column({1, 0})->ndv, 50);
+}
+
+TEST(DerivedStatsTest, CrossProduct) {
+  RelStats out = CrossStats(MakeRel(0, 10, {5}), MakeRel(1, 20, {4}));
+  EXPECT_DOUBLE_EQ(out.rows, 200);
+  EXPECT_EQ(out.columns.size(), 2u);
+}
+
+TEST(DerivedStatsTest, LeftOuterAtLeastLeftRows) {
+  RelStats left = MakeRel(0, 1000, {1000});
+  RelStats right = MakeRel(1, 10, {10});
+  RelStats out = LeftOuterJoinStats(left, right, {0, 0}, {1, 0});
+  EXPECT_GE(out.rows, 1000);
+}
+
+TEST(DerivedStatsTest, SemiJoinMatchFraction) {
+  RelStats left = MakeRel(0, 1000, {100});
+  RelStats right = MakeRel(1, 500, {20});
+  RelStats out = SemiJoinStats(left, right, {0, 0}, {1, 0});
+  // 20 of the 100 left keys can match: 20%.
+  EXPECT_DOUBLE_EQ(out.rows, 200);
+  // Semijoin keeps only left columns.
+  EXPECT_EQ(out.columns.size(), 1u);
+}
+
+TEST(DerivedStatsTest, AggregateGroupCount) {
+  RelStats rs = MakeRel(0, 10000, {25, 4});
+  RelStats one = AggregateStats(rs, {{0, 0}});
+  EXPECT_DOUBLE_EQ(one.rows, 25);
+  RelStats two = AggregateStats(rs, {{0, 0}, {0, 1}});
+  EXPECT_DOUBLE_EQ(two.rows, 100);
+  RelStats scalar = AggregateStats(rs, {});
+  EXPECT_DOUBLE_EQ(scalar.rows, 1);
+}
+
+TEST(DerivedStatsTest, AggregateCappedByInputRows) {
+  RelStats rs = MakeRel(0, 50, {100, 100});
+  RelStats out = AggregateStats(rs, {{0, 0}, {0, 1}});
+  EXPECT_LE(out.rows, 50);
+}
+
+}  // namespace
+}  // namespace qopt::stats

@@ -1,0 +1,101 @@
+#include "stats/distinct_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qopt::stats {
+namespace {
+
+TEST(SampleProfileTest, FrequencyOfFrequencies) {
+  // Sample: {1,1,1, 2,2, 3} -> f1=1 (value 3), f2=1 (value 2), f3=1.
+  SampleProfile p = ProfileSample({1, 1, 1, 2, 2, 3}, 100);
+  EXPECT_EQ(p.sample_rows, 6u);
+  EXPECT_EQ(p.distinct_in_sample(), 3u);
+  EXPECT_EQ(p.f(1), 1u);
+  EXPECT_EQ(p.f(2), 1u);
+  EXPECT_EQ(p.f(3), 1u);
+  EXPECT_EQ(p.f(4), 0u);
+}
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  // Draws a 1% sample from n rows with d distinct uniform values.
+  SampleProfile UniformSample(uint64_t n, uint64_t d, double rate,
+                              uint64_t seed = 3) {
+    std::mt19937_64 rng(seed);
+    std::vector<double> sample;
+    uint64_t r = static_cast<uint64_t>(n * rate);
+    for (uint64_t i = 0; i < r; ++i) {
+      sample.push_back(static_cast<double>(rng() % d));
+    }
+    return ProfileSample(sample, n);
+  }
+};
+
+TEST_F(EstimatorTest, AllEstimatorsReasonableOnUniform) {
+  SampleProfile p = UniformSample(100000, 500, 0.05);
+  // With r=5000 >> d=500, nearly all values are seen; the statistical
+  // estimators should land within 2x of truth. Naive scale-up famously
+  // overestimates here (it multiplies the saturated sample count by n/r),
+  // so it only gets a lower bound.
+  for (double est : {EstimateDistinctGEE(p), EstimateDistinctChao(p),
+                     EstimateDistinctShlosser(p)}) {
+    EXPECT_GT(est, 250.0);
+    EXPECT_LT(est, 2000.0);
+  }
+  EXPECT_GE(EstimateDistinctScale(p), 500.0);
+}
+
+TEST_F(EstimatorTest, ScaleOverestimatesWhenSampleSeesEverything) {
+  SampleProfile p = UniformSample(100000, 100, 0.05);
+  // The sample contains all 100 values; naive scale-up inflates by n/r=20.
+  double naive = EstimateDistinctScale(p);
+  double gee = EstimateDistinctGEE(p);
+  EXPECT_GT(naive, 1500.0);  // wildly wrong
+  EXPECT_LT(gee, 300.0);     // GEE detects saturation (f1 ~ 0)
+}
+
+TEST_F(EstimatorTest, EstimatorsCappedByTableSize) {
+  SampleProfile p = UniformSample(1000, 1000, 0.5);
+  EXPECT_LE(EstimateDistinctGEE(p), 1000.0);
+  EXPECT_LE(EstimateDistinctScale(p), 1000.0);
+  EXPECT_LE(EstimateDistinctShlosser(p), 1000.0);
+}
+
+TEST_F(EstimatorTest, ChaoUsesDoubletons) {
+  // f1=10, f2=5 -> Chao adds 100/(2*5) = 10 to d.
+  SampleProfile p;
+  p.table_rows = 10000;
+  p.sample_rows = 20;
+  p.freq = {0, 10, 5};
+  EXPECT_DOUBLE_EQ(EstimateDistinctChao(p), 25.0);
+}
+
+TEST_F(EstimatorTest, EmptySample) {
+  SampleProfile p;
+  p.table_rows = 100;
+  p.sample_rows = 0;
+  EXPECT_EQ(EstimateDistinctGEE(p), 0.0);
+  EXPECT_EQ(EstimateDistinctScale(p), 0.0);
+}
+
+// The paper's point (§5.1.2): distinct estimation is provably error-prone —
+// two very different databases can induce the same sample profile. Build
+// one dataset where few values repeat a lot and one where the same sample
+// profile comes from many distinct values; no estimator gets both right.
+TEST_F(EstimatorTest, AdversarialErrorExists) {
+  uint64_t n = 1000000;
+  // Dataset A: 100 distinct values.
+  SampleProfile a = UniformSample(n, 100, 0.001, 11);
+  // Dataset B: 500000 distinct values (nearly unique).
+  SampleProfile b = UniformSample(n, 500000, 0.001, 12);
+  double err_a = std::abs(EstimateDistinctGEE(a) - 100.0) / 100.0;
+  double err_b = std::abs(EstimateDistinctGEE(b) - 500000.0) / 500000.0;
+  // At least one of the regimes has sizable relative error for GEE (its
+  // guarantee is about the *ratio* bound, not small error).
+  EXPECT_GT(std::max(err_a, err_b), 0.3);
+}
+
+}  // namespace
+}  // namespace qopt::stats

@@ -1,0 +1,82 @@
+#include "stats/histogram2d.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qopt::stats {
+namespace {
+
+std::vector<std::pair<double, double>> Correlated(int n, uint64_t seed = 1) {
+  // y = 2x exactly (perfect correlation), x uniform over 0..99.
+  std::mt19937_64 rng(seed);
+  std::vector<std::pair<double, double>> v;
+  for (int i = 0; i < n; ++i) {
+    double x = static_cast<double>(rng() % 100);
+    v.emplace_back(x, 2 * x);
+  }
+  return v;
+}
+
+std::vector<std::pair<double, double>> Independent(int n, uint64_t seed = 2) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::pair<double, double>> v;
+  for (int i = 0; i < n; ++i) {
+    v.emplace_back(static_cast<double>(rng() % 100),
+                   static_cast<double>(rng() % 100));
+  }
+  return v;
+}
+
+TEST(Histogram2DTest, EmptyInput) {
+  EXPECT_EQ(Histogram2D::Build({}, 10), nullptr);
+}
+
+TEST(Histogram2DTest, EqEqOnCorrelatedData) {
+  auto h = Histogram2D::Build(Correlated(50000), 32);
+  ASSERT_NE(h, nullptr);
+  // Truth: P(x=10 AND y=20) = P(x=10) ~ 1%. Full independence estimates
+  // P(x)P(y) ~ 0.01%. The joint histogram retains within-cell independence
+  // (grid histograms do), but must land at least an order of magnitude
+  // closer to truth than the independence assumption.
+  double est = h->SelectivityEqEq(10, 20);
+  EXPECT_GT(est, 0.002);   // >> 1e-4 (independence)
+  EXPECT_LT(est, 0.02);    // sane upper bound
+  // Impossible combination: y must be 2x.
+  EXPECT_NEAR(h->SelectivityEqEq(10, 30), 0.0, 0.003);
+}
+
+TEST(Histogram2DTest, RangeOnCorrelatedData) {
+  auto h = Histogram2D::Build(Correlated(50000), 32);
+  // x < 50 implies y < 100: conjunction selectivity = P(x < 50) ~ 0.5.
+  double joint = h->SelectivityRange({}, 49, {}, 99);
+  EXPECT_NEAR(joint, 0.5, 0.06);
+  // Independence assumption would give ~0.25 — visibly wrong.
+  double indep = h->IndependenceRange({}, 49, {}, 99);
+  EXPECT_NEAR(indep, 0.25, 0.06);
+  // Contradictory rectangle: x < 20 AND y > 120 is empty.
+  EXPECT_NEAR(h->SelectivityRange({}, 19, 121, {}), 0.0, 0.02);
+}
+
+TEST(Histogram2DTest, IndependentDataMatchesIndependence) {
+  auto h = Histogram2D::Build(Independent(50000), 32);
+  double joint = h->SelectivityRange({}, 49, {}, 49);
+  double indep = h->IndependenceRange({}, 49, {}, 49);
+  EXPECT_NEAR(joint, 0.25, 0.05);
+  EXPECT_NEAR(joint, indep, 0.05);
+}
+
+TEST(Histogram2DTest, OpenBoundsCoverEverything) {
+  auto h = Histogram2D::Build(Independent(10000), 16);
+  EXPECT_NEAR(h->SelectivityRange({}, {}, {}, {}), 1.0, 1e-9);
+  EXPECT_NEAR(h->SelectivityRange(0, 99, {}, {}), 1.0, 0.01);
+}
+
+TEST(Histogram2DTest, TotalCountPreserved) {
+  auto h = Histogram2D::Build(Independent(12345), 16);
+  EXPECT_DOUBLE_EQ(h->total_count(), 12345);
+  EXPECT_GT(h->num_x_buckets(), 8u);
+}
+
+}  // namespace
+}  // namespace qopt::stats

@@ -1,0 +1,164 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace qopt::stats {
+namespace {
+
+std::vector<double> Uniform(int n, int ndv, uint64_t seed = 1) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(static_cast<double>(rng() % ndv));
+  }
+  return v;
+}
+
+// True selectivity of a range over raw values.
+double TrueRange(const std::vector<double>& v, double lo, double hi) {
+  double c = 0;
+  for (double x : v) {
+    if (x >= lo && x <= hi) c += 1;
+  }
+  return c / static_cast<double>(v.size());
+}
+
+TEST(HistogramTest, EmptyInputReturnsNull) {
+  EXPECT_EQ(Histogram::Build(HistogramKind::kEquiDepth, {}, 10), nullptr);
+}
+
+TEST(HistogramTest, EquiDepthBucketsBalanced) {
+  auto h = Histogram::Build(HistogramKind::kEquiDepth, Uniform(10000, 1000),
+                            32);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total_count(), 10000);
+  ASSERT_GE(h->buckets().size(), 16u);
+  double total = 0;
+  double target = 10000.0 / 32;  // requested depth
+  for (const Bucket& b : h->buckets()) {
+    total += b.count;
+    // Every bucket holds at most the target depth plus one value-run of
+    // slack (runs of equal values are never split); the final bucket may
+    // hold the remainder and be small.
+    EXPECT_LE(b.count, target + 100);
+  }
+  EXPECT_DOUBLE_EQ(total, 10000.0);
+}
+
+TEST(HistogramTest, EquiWidthCoversDomain) {
+  auto h = Histogram::Build(HistogramKind::kEquiWidth, Uniform(5000, 100), 10);
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->buckets().front().lo, 0);
+  EXPECT_DOUBLE_EQ(h->buckets().back().hi, 99);
+}
+
+TEST(HistogramTest, EqualitySelectivityUniform) {
+  std::vector<double> v = Uniform(20000, 100);
+  auto h = Histogram::Build(HistogramKind::kEquiDepth, v, 50);
+  // Each value occurs ~1% of the time.
+  double sel = h->SelectivityEq(42);
+  EXPECT_NEAR(sel, 0.01, 0.005);
+}
+
+TEST(HistogramTest, RangeSelectivityAccuracy) {
+  std::vector<double> v = Uniform(20000, 1000);
+  auto h = Histogram::Build(HistogramKind::kEquiDepth, v, 64);
+  for (auto [lo, hi] : {std::pair<double, double>{0, 99},
+                        {100, 499},
+                        {900, 999},
+                        {250, 250}}) {
+    double est = h->SelectivityRange(lo, hi);
+    double truth = TrueRange(v, lo, hi);
+    EXPECT_NEAR(est, truth, 0.03) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+TEST(HistogramTest, OpenRanges) {
+  std::vector<double> v = Uniform(10000, 100);
+  auto h = Histogram::Build(HistogramKind::kEquiDepth, v, 32);
+  EXPECT_NEAR(h->SelectivityRange({}, 49), TrueRange(v, -1e18, 49), 0.03);
+  EXPECT_NEAR(h->SelectivityRange(50, {}), TrueRange(v, 50, 1e18), 0.03);
+  EXPECT_DOUBLE_EQ(h->SelectivityRange({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(h->SelectivityRange(200, 300), 0.0);
+}
+
+TEST(HistogramTest, CompressedSingletonsForHeavyHitters) {
+  // One value takes 50% of the data: must land in a singleton bucket.
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(7);
+  std::vector<double> rest = Uniform(5000, 1000);
+  v.insert(v.end(), rest.begin(), rest.end());
+  auto h = Histogram::Build(HistogramKind::kCompressed, v, 32);
+  ASSERT_FALSE(h->singletons().empty());
+  bool found = false;
+  for (const SingletonBucket& s : h->singletons()) {
+    if (s.value == 7) {
+      found = true;
+      EXPECT_NEAR(s.count, 5000, 50);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NEAR(h->SelectivityEq(7), 0.5, 0.02);
+}
+
+TEST(HistogramTest, CompressedBeatsEquiWidthOnSkew) {
+  // Zipf-ish: value k has weight 1/k.
+  std::vector<double> v;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    double u = std::uniform_real_distribution<double>(0, 1)(rng);
+    v.push_back(std::floor(std::exp(u * std::log(1000.0))));
+  }
+  auto comp = Histogram::Build(HistogramKind::kCompressed, v, 32);
+  auto width = Histogram::Build(HistogramKind::kEquiWidth, v, 32);
+  double truth = 0;
+  for (double x : v) {
+    if (x == 1) truth += 1;
+  }
+  truth /= v.size();
+  double err_comp = std::abs(comp->SelectivityEq(1) - truth);
+  double err_width = std::abs(width->SelectivityEq(1) - truth);
+  EXPECT_LT(err_comp, err_width);
+}
+
+TEST(HistogramTest, ScaleMultipliesCounts) {
+  auto h = Histogram::Build(HistogramKind::kEquiDepth, Uniform(1000, 50), 10);
+  double before = h->SelectivityEq(10);
+  h->Scale(10.0);
+  EXPECT_DOUBLE_EQ(h->total_count(), 10000);
+  // Selectivity (a ratio) is unchanged by scaling.
+  EXPECT_NEAR(h->SelectivityEq(10), before, 1e-12);
+}
+
+TEST(HistogramTest, JoinCardinalityKeyForeignKey) {
+  // R.key = 0..99 (once each); S.fk uniform over 0..99, 10000 rows.
+  std::vector<double> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back(i);
+  std::vector<double> fks = Uniform(10000, 100);
+  auto hk = Histogram::Build(HistogramKind::kEquiDepth, keys, 16);
+  auto hf = Histogram::Build(HistogramKind::kEquiDepth, fks, 16);
+  double est = hk->JoinCardinality(*hf);
+  // True cardinality = 10000 (every fk matches exactly one key).
+  EXPECT_NEAR(est, 10000, 2500);
+}
+
+TEST(HistogramTest, JoinCardinalityDisjointDomains) {
+  std::vector<double> a = Uniform(1000, 100);
+  std::vector<double> b;
+  for (double x : Uniform(1000, 100)) b.push_back(x + 1000);
+  auto ha = Histogram::Build(HistogramKind::kEquiDepth, a, 16);
+  auto hb = Histogram::Build(HistogramKind::kEquiDepth, b, 16);
+  EXPECT_NEAR(ha->JoinCardinality(*hb), 0, 1e-6);
+}
+
+TEST(HistogramTest, TotalNdv) {
+  auto h = Histogram::Build(HistogramKind::kEquiDepth, Uniform(10000, 100),
+                            32);
+  EXPECT_NEAR(h->TotalNdv(), 100, 5);
+}
+
+}  // namespace
+}  // namespace qopt::stats

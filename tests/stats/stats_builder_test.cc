@@ -1,0 +1,104 @@
+#include "stats/stats_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qopt::stats {
+namespace {
+
+TEST(StatsBuilderTest, BasicColumnStats) {
+  std::vector<Value> values;
+  for (int i = 0; i < 100; ++i) values.push_back(Value::Int(i % 10));
+  ColumnStats cs = BuildColumnStats(values);
+  EXPECT_DOUBLE_EQ(cs.num_distinct, 10);
+  EXPECT_DOUBLE_EQ(cs.null_fraction, 0);
+  EXPECT_EQ(cs.min.AsInt(), 0);
+  EXPECT_EQ(cs.max.AsInt(), 9);
+  EXPECT_EQ(cs.low2.AsInt(), 1);
+  EXPECT_EQ(cs.high2.AsInt(), 8);
+  ASSERT_NE(cs.histogram, nullptr);
+}
+
+TEST(StatsBuilderTest, NullFraction) {
+  std::vector<Value> values;
+  for (int i = 0; i < 80; ++i) values.push_back(Value::Int(i));
+  for (int i = 0; i < 20; ++i) values.push_back(Value::Null());
+  ColumnStats cs = BuildColumnStats(values);
+  EXPECT_NEAR(cs.null_fraction, 0.2, 1e-9);
+  EXPECT_DOUBLE_EQ(cs.num_distinct, 80);
+}
+
+TEST(StatsBuilderTest, StringColumnNoHistogram) {
+  std::vector<Value> values = {Value::String("a"), Value::String("b"),
+                               Value::String("a")};
+  ColumnStats cs = BuildColumnStats(values);
+  EXPECT_EQ(cs.histogram, nullptr);
+  EXPECT_DOUBLE_EQ(cs.num_distinct, 2);
+  EXPECT_EQ(cs.min.AsString(), "a");
+}
+
+TEST(StatsBuilderTest, SampledBuildScalesHistogram) {
+  std::vector<Value> values;
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    values.push_back(Value::Int(static_cast<int64_t>(rng() % 1000)));
+  }
+  StatsOptions opts;
+  opts.sample_fraction = 0.05;
+  ColumnStats cs = BuildColumnStats(values, opts);
+  ASSERT_NE(cs.histogram, nullptr);
+  // Histogram total is scaled up to approximate the full table.
+  EXPECT_NEAR(cs.histogram->total_count(), 100000, 15000);
+  // GEE estimate of distinct count in the right ballpark.
+  EXPECT_NEAR(cs.num_distinct, 1000, 500);
+}
+
+TEST(StatsBuilderTest, TableStats) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("t", {{"id", TypeId::kInt64},
+                                     {"grp", TypeId::kInt64}})
+                  .ok());
+  Table table(catalog.GetTable("t"));
+  std::vector<Row> rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back({Value::Int(i), Value::Int(i % 7)});
+  }
+  table.AppendUnchecked(std::move(rows));
+  auto ts = BuildTableStats(table);
+  EXPECT_DOUBLE_EQ(ts->row_count, 500);
+  EXPECT_GT(ts->num_pages, 0);
+  ASSERT_EQ(ts->columns.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts->columns[0].num_distinct, 500);
+  EXPECT_DOUBLE_EQ(ts->columns[1].num_distinct, 7);
+  EXPECT_EQ(ts->column(5), nullptr);
+}
+
+TEST(StatsBuilderTest, JointHistogramsBuiltForDeclaredPairs) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("t", {{"a", TypeId::kInt64},
+                                     {"b", TypeId::kInt64},
+                                     {"s", TypeId::kString}})
+                  .ok());
+  Table table(catalog.GetTable("t"));
+  std::vector<Row> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back({Value::Int(i % 50), Value::Int(2 * (i % 50)),
+                    Value::String("x")});
+  }
+  table.AppendUnchecked(std::move(rows));
+  StatsOptions opts;
+  opts.joint_columns = {{"a", "b"}, {"a", "s"}, {"a", "nope"}};
+  auto ts = BuildTableStats(table, opts);
+  // Numeric pair built; string / unknown pairs skipped.
+  ASSERT_NE(ts->joint_histogram(0, 1), nullptr);
+  EXPECT_EQ(ts->joint_histogram(1, 0), ts->joint_histogram(0, 1));
+  EXPECT_EQ(ts->joint.size(), 1u);
+  // Joint selectivity reflects correlation.
+  EXPECT_GT(ts->joint_histogram(0, 1)->SelectivityEqEq(10, 20), 0.005);
+}
+
+}  // namespace
+}  // namespace qopt::stats

@@ -1,0 +1,78 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace qopt {
+namespace {
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .CreateTable("t",
+                                 {{"id", TypeId::kInt64},
+                                  {"v", TypeId::kDouble},
+                                  {"s", TypeId::kString}},
+                                 0)
+                    .ok());
+    def_ = catalog_.GetTable("t");
+  }
+  Catalog catalog_;
+  const TableDef* def_ = nullptr;
+};
+
+TEST_F(TableTest, AppendAndRead) {
+  Table table(def_);
+  ASSERT_TRUE(
+      table.Append({Value::Int(1), Value::Double(2.5), Value::String("a")})
+          .ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.row(0)[0].AsInt(), 1);
+}
+
+TEST_F(TableTest, ArityMismatchRejected) {
+  Table table(def_);
+  EXPECT_FALSE(table.Append({Value::Int(1)}).ok());
+}
+
+TEST_F(TableTest, TypeMismatchRejected) {
+  Table table(def_);
+  EXPECT_FALSE(
+      table.Append({Value::String("x"), Value::Double(1), Value::String("a")})
+          .ok());
+}
+
+TEST_F(TableTest, NumericCoercionAllowed) {
+  Table table(def_);
+  // Int into a double column is allowed.
+  EXPECT_TRUE(
+      table.Append({Value::Int(1), Value::Int(2), Value::String("a")}).ok());
+}
+
+TEST_F(TableTest, NullPrimaryKeyRejected) {
+  Table table(def_);
+  EXPECT_FALSE(
+      table.Append({Value::Null(), Value::Double(1), Value::String("a")})
+          .ok());
+  // NULL in a non-key column is fine.
+  EXPECT_TRUE(
+      table.Append({Value::Int(1), Value::Null(), Value::Null()}).ok());
+}
+
+TEST_F(TableTest, PageAccounting) {
+  Table table(def_);
+  EXPECT_EQ(table.num_pages(), 0.0);
+  std::vector<Row> rows;
+  for (int i = 0; i < 1000; ++i) {
+    rows.push_back({Value::Int(i), Value::Double(i), Value::String("abcdef")});
+  }
+  table.AppendUnchecked(std::move(rows));
+  EXPECT_EQ(table.num_rows(), 1000u);
+  // 26 bytes/row => ~6.3 pages of 4K.
+  EXPECT_GT(table.num_pages(), 5.0);
+  EXPECT_LT(table.num_pages(), 8.0);
+  EXPECT_NEAR(table.avg_row_bytes(), 26.0, 1.0);
+}
+
+}  // namespace
+}  // namespace qopt
