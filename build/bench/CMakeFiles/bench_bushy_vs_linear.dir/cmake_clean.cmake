@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bushy_vs_linear.dir/bench_bushy_vs_linear.cc.o"
+  "CMakeFiles/bench_bushy_vs_linear.dir/bench_bushy_vs_linear.cc.o.d"
+  "bench_bushy_vs_linear"
+  "bench_bushy_vs_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bushy_vs_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

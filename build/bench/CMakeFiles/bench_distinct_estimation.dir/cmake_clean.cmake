@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distinct_estimation.dir/bench_distinct_estimation.cc.o"
+  "CMakeFiles/bench_distinct_estimation.dir/bench_distinct_estimation.cc.o.d"
+  "bench_distinct_estimation"
+  "bench_distinct_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distinct_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enumeration_arch.dir/bench_enumeration_arch.cc.o"
+  "CMakeFiles/bench_enumeration_arch.dir/bench_enumeration_arch.cc.o.d"
+  "bench_enumeration_arch"
+  "bench_enumeration_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enumeration_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_groupby_pushdown.dir/bench_groupby_pushdown.cc.o"
+  "CMakeFiles/bench_groupby_pushdown.dir/bench_groupby_pushdown.cc.o.d"
+  "bench_groupby_pushdown"
+  "bench_groupby_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_groupby_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_histogram_accuracy.dir/bench_histogram_accuracy.cc.o"
+  "CMakeFiles/bench_histogram_accuracy.dir/bench_histogram_accuracy.cc.o.d"
+  "bench_histogram_accuracy"
+  "bench_histogram_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_histogram_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

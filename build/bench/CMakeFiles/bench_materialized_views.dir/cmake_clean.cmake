@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_materialized_views.dir/bench_materialized_views.cc.o"
+  "CMakeFiles/bench_materialized_views.dir/bench_materialized_views.cc.o.d"
+  "bench_materialized_views"
+  "bench_materialized_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_materialized_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

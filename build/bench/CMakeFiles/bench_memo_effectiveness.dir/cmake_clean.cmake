@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memo_effectiveness.dir/bench_memo_effectiveness.cc.o"
+  "CMakeFiles/bench_memo_effectiveness.dir/bench_memo_effectiveness.cc.o.d"
+  "bench_memo_effectiveness"
+  "bench_memo_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memo_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operator_tree.dir/bench_operator_tree.cc.o"
+  "CMakeFiles/bench_operator_tree.dir/bench_operator_tree.cc.o.d"
+  "bench_operator_tree"
+  "bench_operator_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operator_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

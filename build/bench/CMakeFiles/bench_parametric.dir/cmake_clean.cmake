@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parametric.dir/bench_parametric.cc.o"
+  "CMakeFiles/bench_parametric.dir/bench_parametric.cc.o.d"
+  "bench_parametric"
+  "bench_parametric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parametric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

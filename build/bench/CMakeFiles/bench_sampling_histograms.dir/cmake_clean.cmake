@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampling_histograms.dir/bench_sampling_histograms.cc.o"
+  "CMakeFiles/bench_sampling_histograms.dir/bench_sampling_histograms.cc.o.d"
+  "bench_sampling_histograms"
+  "bench_sampling_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_star_cartesian.dir/bench_star_cartesian.cc.o"
+  "CMakeFiles/bench_star_cartesian.dir/bench_star_cartesian.cc.o.d"
+  "bench_star_cartesian"
+  "bench_star_cartesian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_cartesian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

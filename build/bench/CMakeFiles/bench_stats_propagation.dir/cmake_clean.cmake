@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_propagation.dir/bench_stats_propagation.cc.o"
+  "CMakeFiles/bench_stats_propagation.dir/bench_stats_propagation.cc.o.d"
+  "bench_stats_propagation"
+  "bench_stats_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_udf_predicates.dir/bench_udf_predicates.cc.o"
+  "CMakeFiles/bench_udf_predicates.dir/bench_udf_predicates.cc.o.d"
+  "bench_udf_predicates"
+  "bench_udf_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_udf_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

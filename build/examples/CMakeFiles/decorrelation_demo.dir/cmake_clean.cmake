@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decorrelation_demo.dir/decorrelation_demo.cpp.o"
+  "CMakeFiles/decorrelation_demo.dir/decorrelation_demo.cpp.o.d"
+  "decorrelation_demo"
+  "decorrelation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decorrelation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

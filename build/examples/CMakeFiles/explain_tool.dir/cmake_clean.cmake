@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_tool.dir/explain_tool.cpp.o"
+  "CMakeFiles/explain_tool.dir/explain_tool.cpp.o.d"
+  "explain_tool"
+  "explain_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parametric_plans.dir/parametric_plans.cpp.o"
+  "CMakeFiles/parametric_plans.dir/parametric_plans.cpp.o.d"
+  "parametric_plans"
+  "parametric_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parametric_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

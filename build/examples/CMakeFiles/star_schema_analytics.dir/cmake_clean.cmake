@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_schema_analytics.dir/star_schema_analytics.cpp.o"
+  "CMakeFiles/star_schema_analytics.dir/star_schema_analytics.cpp.o.d"
+  "star_schema_analytics"
+  "star_schema_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

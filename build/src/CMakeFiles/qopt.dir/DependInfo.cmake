@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/qopt.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/qopt.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/qopt.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/qopt.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/qopt.dir/common/status.cc.o" "gcc" "src/CMakeFiles/qopt.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/qopt.dir/common/value.cc.o" "gcc" "src/CMakeFiles/qopt.dir/common/value.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/qopt.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/qopt.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/selectivity.cc" "src/CMakeFiles/qopt.dir/cost/selectivity.cc.o" "gcc" "src/CMakeFiles/qopt.dir/cost/selectivity.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/qopt.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/qopt.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/explain.cc" "src/CMakeFiles/qopt.dir/engine/explain.cc.o" "gcc" "src/CMakeFiles/qopt.dir/engine/explain.cc.o.d"
+  "/root/repo/src/engine/parametric.cc" "src/CMakeFiles/qopt.dir/engine/parametric.cc.o" "gcc" "src/CMakeFiles/qopt.dir/engine/parametric.cc.o.d"
+  "/root/repo/src/exec/agg_executors.cc" "src/CMakeFiles/qopt.dir/exec/agg_executors.cc.o" "gcc" "src/CMakeFiles/qopt.dir/exec/agg_executors.cc.o.d"
+  "/root/repo/src/exec/executor_builder.cc" "src/CMakeFiles/qopt.dir/exec/executor_builder.cc.o" "gcc" "src/CMakeFiles/qopt.dir/exec/executor_builder.cc.o.d"
+  "/root/repo/src/exec/executors.cc" "src/CMakeFiles/qopt.dir/exec/executors.cc.o" "gcc" "src/CMakeFiles/qopt.dir/exec/executors.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "src/CMakeFiles/qopt.dir/exec/expr_eval.cc.o" "gcc" "src/CMakeFiles/qopt.dir/exec/expr_eval.cc.o.d"
+  "/root/repo/src/exec/join_executors.cc" "src/CMakeFiles/qopt.dir/exec/join_executors.cc.o" "gcc" "src/CMakeFiles/qopt.dir/exec/join_executors.cc.o.d"
+  "/root/repo/src/exec/physical_plan.cc" "src/CMakeFiles/qopt.dir/exec/physical_plan.cc.o" "gcc" "src/CMakeFiles/qopt.dir/exec/physical_plan.cc.o.d"
+  "/root/repo/src/optimizer/cascades/cascades.cc" "src/CMakeFiles/qopt.dir/optimizer/cascades/cascades.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/cascades/cascades.cc.o.d"
+  "/root/repo/src/optimizer/cascades/memo.cc" "src/CMakeFiles/qopt.dir/optimizer/cascades/memo.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/cascades/memo.cc.o.d"
+  "/root/repo/src/optimizer/cascades/rules.cc" "src/CMakeFiles/qopt.dir/optimizer/cascades/rules.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/cascades/rules.cc.o.d"
+  "/root/repo/src/optimizer/join_common.cc" "src/CMakeFiles/qopt.dir/optimizer/join_common.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/join_common.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/qopt.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/rewrite/groupby_rules.cc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/groupby_rules.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/groupby_rules.cc.o.d"
+  "/root/repo/src/optimizer/rewrite/magic_rules.cc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/magic_rules.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/magic_rules.cc.o.d"
+  "/root/repo/src/optimizer/rewrite/normalize_rules.cc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/normalize_rules.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/normalize_rules.cc.o.d"
+  "/root/repo/src/optimizer/rewrite/outerjoin_rules.cc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/outerjoin_rules.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/outerjoin_rules.cc.o.d"
+  "/root/repo/src/optimizer/rewrite/pushdown_rules.cc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/pushdown_rules.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/pushdown_rules.cc.o.d"
+  "/root/repo/src/optimizer/rewrite/rule_engine.cc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/rule_engine.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/rule_engine.cc.o.d"
+  "/root/repo/src/optimizer/rewrite/unnest_rules.cc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/unnest_rules.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/rewrite/unnest_rules.cc.o.d"
+  "/root/repo/src/optimizer/selinger/access_paths.cc" "src/CMakeFiles/qopt.dir/optimizer/selinger/access_paths.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/selinger/access_paths.cc.o.d"
+  "/root/repo/src/optimizer/selinger/selinger.cc" "src/CMakeFiles/qopt.dir/optimizer/selinger/selinger.cc.o" "gcc" "src/CMakeFiles/qopt.dir/optimizer/selinger/selinger.cc.o.d"
+  "/root/repo/src/parser/ast.cc" "src/CMakeFiles/qopt.dir/parser/ast.cc.o" "gcc" "src/CMakeFiles/qopt.dir/parser/ast.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/qopt.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/qopt.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/qopt.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/qopt.dir/parser/parser.cc.o.d"
+  "/root/repo/src/plan/binder.cc" "src/CMakeFiles/qopt.dir/plan/binder.cc.o" "gcc" "src/CMakeFiles/qopt.dir/plan/binder.cc.o.d"
+  "/root/repo/src/plan/expr.cc" "src/CMakeFiles/qopt.dir/plan/expr.cc.o" "gcc" "src/CMakeFiles/qopt.dir/plan/expr.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/qopt.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/qopt.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/query_graph.cc" "src/CMakeFiles/qopt.dir/plan/query_graph.cc.o" "gcc" "src/CMakeFiles/qopt.dir/plan/query_graph.cc.o.d"
+  "/root/repo/src/stats/column_stats.cc" "src/CMakeFiles/qopt.dir/stats/column_stats.cc.o" "gcc" "src/CMakeFiles/qopt.dir/stats/column_stats.cc.o.d"
+  "/root/repo/src/stats/derived_stats.cc" "src/CMakeFiles/qopt.dir/stats/derived_stats.cc.o" "gcc" "src/CMakeFiles/qopt.dir/stats/derived_stats.cc.o.d"
+  "/root/repo/src/stats/distinct_estimator.cc" "src/CMakeFiles/qopt.dir/stats/distinct_estimator.cc.o" "gcc" "src/CMakeFiles/qopt.dir/stats/distinct_estimator.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/qopt.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/qopt.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/histogram2d.cc" "src/CMakeFiles/qopt.dir/stats/histogram2d.cc.o" "gcc" "src/CMakeFiles/qopt.dir/stats/histogram2d.cc.o.d"
+  "/root/repo/src/stats/stats_builder.cc" "src/CMakeFiles/qopt.dir/stats/stats_builder.cc.o" "gcc" "src/CMakeFiles/qopt.dir/stats/stats_builder.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/qopt.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/qopt.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/storage.cc" "src/CMakeFiles/qopt.dir/storage/storage.cc.o" "gcc" "src/CMakeFiles/qopt.dir/storage/storage.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/qopt.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/qopt.dir/storage/table.cc.o.d"
+  "/root/repo/src/workload/datagen.cc" "src/CMakeFiles/qopt.dir/workload/datagen.cc.o" "gcc" "src/CMakeFiles/qopt.dir/workload/datagen.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/qopt.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/qopt.dir/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/star_schema.cc" "src/CMakeFiles/qopt.dir/workload/star_schema.cc.o" "gcc" "src/CMakeFiles/qopt.dir/workload/star_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

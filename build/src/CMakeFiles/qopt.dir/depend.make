@@ -1,0 +1,2 @@
+# Empty dependencies file for qopt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascades_test.dir/optimizer/cascades_test.cc.o"
+  "CMakeFiles/cascades_test.dir/optimizer/cascades_test.cc.o.d"
+  "cascades_test"
+  "cascades_test.pdb"
+  "cascades_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascades_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/agg_exec_test.cc" "tests/CMakeFiles/exec_test.dir/exec/agg_exec_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/agg_exec_test.cc.o.d"
+  "/root/repo/tests/exec/executor_test.cc" "tests/CMakeFiles/exec_test.dir/exec/executor_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/executor_test.cc.o.d"
+  "/root/repo/tests/exec/expr_eval_test.cc" "tests/CMakeFiles/exec_test.dir/exec/expr_eval_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/expr_eval_test.cc.o.d"
+  "/root/repo/tests/exec/join_exec_test.cc" "tests/CMakeFiles/exec_test.dir/exec/join_exec_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/join_exec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_test.dir/exec/agg_exec_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/agg_exec_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/executor_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/executor_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/expr_eval_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/expr_eval_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/join_exec_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/join_exec_test.cc.o.d"
+  "exec_test"
+  "exec_test.pdb"
+  "exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plan/binder_test.cc" "tests/CMakeFiles/plan_test.dir/plan/binder_test.cc.o" "gcc" "tests/CMakeFiles/plan_test.dir/plan/binder_test.cc.o.d"
+  "/root/repo/tests/plan/expr_test.cc" "tests/CMakeFiles/plan_test.dir/plan/expr_test.cc.o" "gcc" "tests/CMakeFiles/plan_test.dir/plan/expr_test.cc.o.d"
+  "/root/repo/tests/plan/query_graph_test.cc" "tests/CMakeFiles/plan_test.dir/plan/query_graph_test.cc.o" "gcc" "tests/CMakeFiles/plan_test.dir/plan/query_graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selinger_test.dir/optimizer/selinger_test.cc.o"
+  "CMakeFiles/selinger_test.dir/optimizer/selinger_test.cc.o.d"
+  "selinger_test"
+  "selinger_test.pdb"
+  "selinger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selinger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

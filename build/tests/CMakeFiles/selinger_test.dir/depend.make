@@ -1,0 +1,2 @@
+# Empty dependencies file for selinger_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/derived_stats_test.cc" "tests/CMakeFiles/stats_test.dir/stats/derived_stats_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/derived_stats_test.cc.o.d"
+  "/root/repo/tests/stats/distinct_estimator_test.cc" "tests/CMakeFiles/stats_test.dir/stats/distinct_estimator_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/distinct_estimator_test.cc.o.d"
+  "/root/repo/tests/stats/histogram2d_test.cc" "tests/CMakeFiles/stats_test.dir/stats/histogram2d_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/histogram2d_test.cc.o.d"
+  "/root/repo/tests/stats/histogram_test.cc" "tests/CMakeFiles/stats_test.dir/stats/histogram_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/histogram_test.cc.o.d"
+  "/root/repo/tests/stats/stats_builder_test.cc" "tests/CMakeFiles/stats_test.dir/stats/stats_builder_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/stats_builder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
