@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the execution-engine benchmarks and drops their machine-readable
+# results at the repository root.
+#
+# Usage: bench/run_benches.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -d "$build_dir" ]]; then
+  echo "configuring $build_dir" >&2
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$build_dir" --target bench_vectorized_exec -j "$(nproc)"
+
+"$build_dir/bench/bench_vectorized_exec" "$repo_root/BENCH_vectorized.json"
+echo "wrote $repo_root/BENCH_vectorized.json"

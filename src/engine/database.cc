@@ -166,6 +166,8 @@ Result<QueryResult> Database::Query(const std::string& sql,
   exec::ExecContext ctx;
   ctx.storage = &storage_;
   ctx.catalog = &catalog_;
+  ctx.mode = options.execution_mode;
+  ctx.batch_capacity = options.batch_capacity;
   result.rows = exec::ExecuteAll(plan, &ctx);
   result.exec_stats = ctx.stats;
   return result;
@@ -174,6 +176,16 @@ Result<QueryResult> Database::Query(const std::string& sql,
 Result<std::string> Database::Explain(const std::string& sql,
                                       const QueryOptions& options) {
   QOPT_ASSIGN_OR_RETURN(exec::PhysPtr plan, PlanQuery(sql, options));
+  if (options.execution_mode == exec::ExecMode::kBatch) {
+    // Mark the operators the builder will run vectorized; the rest fall
+    // back to row mode (Apply subtrees, index nested-loops, under Limit).
+    std::unordered_set<const exec::PhysicalPlan*> batch_nodes =
+        exec::BatchModeNodes(plan);
+    return "execution mode: batch (capacity " +
+           std::to_string(options.batch_capacity) +
+           "; vectorized operators marked [batch])\n" +
+           plan->ToString(0, &batch_nodes);
+  }
   return plan->ToString();
 }
 

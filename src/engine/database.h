@@ -20,6 +20,14 @@ struct QueryOptions {
   /// The correctness oracle for tests and the "unoptimized" baseline for
   /// benchmarks.
   bool naive_execution = false;
+  /// Execution engine mode: kBatch (default) runs scans, filters,
+  /// projections and hash-join probes vectorized over RowBatches, falling
+  /// back to row-at-a-time operators where tuple-iteration semantics or
+  /// early termination require it. Both modes return identical results and
+  /// identical ExecStats; kRow forces the classic Volcano path everywhere.
+  exec::ExecMode execution_mode = exec::ExecMode::kBatch;
+  /// Rows per batch on the vectorized path.
+  size_t batch_capacity = exec::kDefaultBatchCapacity;
 };
 
 /// A query's results plus diagnostics.

@@ -2,74 +2,160 @@
 
 namespace qopt::exec {
 
-std::unique_ptr<Executor> BuildExecutor(const PhysPtr& plan,
-                                        ExecContext* ctx) {
-  using internal::NewAggregateExec;
-  using internal::NewApplyExec;
-  using internal::NewDistinctExec;
-  using internal::NewFilterExec;
-  using internal::NewJoinExec;
-  using internal::NewLimitExec;
-  using internal::NewProjectExec;
-  using internal::NewScanExec;
-  using internal::NewSortExec;
+// Default row-to-batch adapter: any operator can feed a batch consumer.
+bool Executor::NextBatch(RowBatch* out) {
+  out->Reset(plan_->output_cols.size(), ctx_->batch_capacity);
+  Row r;
+  while (!out->full() && Next(&r)) out->AppendRow(std::move(r));
+  return out->num_rows() > 0;
+}
 
+namespace {
+
+/// Operators with a vectorized implementation.
+bool BatchSupported(PhysOpKind kind) {
+  switch (kind) {
+    case PhysOpKind::kTableScan:
+    case PhysOpKind::kIndexScan:
+    case PhysOpKind::kFilter:
+    case PhysOpKind::kProject:
+    case PhysOpKind::kHashJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Row-mode fallback rules. Batch operators read ahead up to a full batch,
+// which is invisible to results but NOT to ExecStats when (a) the consumer
+// can stop early without draining the input, or (b) another operator's
+// page touches interleave with the subtree's own (read-ahead would reorder
+// the shared LRU buffer pool's access sequence). Subtrees rooted under the
+// following therefore run row-at-a-time:
+//   - Apply: tuple-iteration semantics — the inner subtree is rebound and
+//     re-executed per outer row and short-circuits on semi/anti matches,
+//     and its page touches interleave with the outer scan's.
+//   - IndexNestedLoopJoin: the right child is consumed as an index, and
+//     per-outer-row probe touches interleave with the outer stream.
+//   - Limit: early termination must not over-read the input.
+void CollectBatchNodes(const PhysPtr& plan, bool allow,
+                       std::unordered_set<const PhysicalPlan*>* out) {
+  if (allow && BatchSupported(plan->kind)) out->insert(plan.get());
+  bool child_allow = allow;
+  switch (plan->kind) {
+    case PhysOpKind::kApply:
+    case PhysOpKind::kIndexNestedLoopJoin:
+    case PhysOpKind::kLimit:
+      child_allow = false;
+      break;
+    default:
+      break;
+  }
+  for (const PhysPtr& c : plan->children) {
+    CollectBatchNodes(c, child_allow, out);
+  }
+}
+
+std::unique_ptr<Executor> Build(
+    const PhysPtr& plan, ExecContext* ctx,
+    const std::unordered_set<const PhysicalPlan*>& batch_nodes) {
+  using namespace internal;
+
+  bool batch = batch_nodes.count(plan.get()) > 0;
   switch (plan->kind) {
     case PhysOpKind::kTableScan:
     case PhysOpKind::kIndexScan:
-      return NewScanExec(plan.get(), ctx);
-    case PhysOpKind::kFilter:
-      return NewFilterExec(plan.get(), ctx,
-                           BuildExecutor(plan->children[0], ctx));
-    case PhysOpKind::kProject:
-      return NewProjectExec(plan.get(), ctx,
-                            BuildExecutor(plan->children[0], ctx));
+      return batch ? NewBatchScanExec(plan.get(), ctx)
+                   : NewScanExec(plan.get(), ctx);
+    case PhysOpKind::kFilter: {
+      auto child = Build(plan->children[0], ctx, batch_nodes);
+      return batch ? NewBatchFilterExec(plan.get(), ctx, std::move(child))
+                   : NewFilterExec(plan.get(), ctx, std::move(child));
+    }
+    case PhysOpKind::kProject: {
+      auto child = Build(plan->children[0], ctx, batch_nodes);
+      return batch ? NewBatchProjectExec(plan.get(), ctx, std::move(child))
+                   : NewProjectExec(plan.get(), ctx, std::move(child));
+    }
     case PhysOpKind::kSort:
       return NewSortExec(plan.get(), ctx,
-                         BuildExecutor(plan->children[0], ctx));
+                         Build(plan->children[0], ctx, batch_nodes));
     case PhysOpKind::kDistinct:
       return NewDistinctExec(plan.get(), ctx,
-                             BuildExecutor(plan->children[0], ctx));
+                             Build(plan->children[0], ctx, batch_nodes));
     case PhysOpKind::kLimit:
       return NewLimitExec(plan.get(), ctx,
-                          BuildExecutor(plan->children[0], ctx));
+                          Build(plan->children[0], ctx, batch_nodes));
+    case PhysOpKind::kHashJoin:
+      if (batch) {
+        return NewBatchHashJoinExec(plan.get(), ctx,
+                                    Build(plan->children[0], ctx, batch_nodes),
+                                    Build(plan->children[1], ctx, batch_nodes));
+      }
+      [[fallthrough]];
     case PhysOpKind::kNestedLoopJoin:
     case PhysOpKind::kIndexNestedLoopJoin:
     case PhysOpKind::kMergeJoin:
-    case PhysOpKind::kHashJoin:
-      return NewJoinExec(plan.get(), ctx, BuildExecutor(plan->children[0], ctx),
-                         BuildExecutor(plan->children[1], ctx));
+      return NewJoinExec(plan.get(), ctx,
+                         Build(plan->children[0], ctx, batch_nodes),
+                         Build(plan->children[1], ctx, batch_nodes));
     case PhysOpKind::kApply:
       return NewApplyExec(plan.get(), ctx,
-                          BuildExecutor(plan->children[0], ctx),
-                          BuildExecutor(plan->children[1], ctx));
+                          Build(plan->children[0], ctx, batch_nodes),
+                          Build(plan->children[1], ctx, batch_nodes));
     case PhysOpKind::kHashAggregate:
     case PhysOpKind::kStreamAggregate:
       return NewAggregateExec(plan.get(), ctx,
-                              BuildExecutor(plan->children[0], ctx));
+                              Build(plan->children[0], ctx, batch_nodes));
     case PhysOpKind::kUnionAll: {
       std::vector<std::unique_ptr<Executor>> children;
       for (const PhysPtr& c : plan->children) {
-        children.push_back(BuildExecutor(c, ctx));
+        children.push_back(Build(c, ctx, batch_nodes));
       }
-      return internal::NewUnionAllExec(plan.get(), ctx, std::move(children));
+      return NewUnionAllExec(plan.get(), ctx, std::move(children));
     }
     case PhysOpKind::kHashExcept:
     case PhysOpKind::kHashIntersect:
-      return internal::NewHashSetOpExec(plan.get(), ctx,
-                                        BuildExecutor(plan->children[0], ctx),
-                                        BuildExecutor(plan->children[1], ctx));
+      return NewHashSetOpExec(plan.get(), ctx,
+                              Build(plan->children[0], ctx, batch_nodes),
+                              Build(plan->children[1], ctx, batch_nodes));
   }
   QOPT_DCHECK(false);
   return nullptr;
+}
+
+}  // namespace
+
+std::unordered_set<const PhysicalPlan*> BatchModeNodes(const PhysPtr& plan) {
+  std::unordered_set<const PhysicalPlan*> nodes;
+  CollectBatchNodes(plan, true, &nodes);
+  return nodes;
+}
+
+std::unique_ptr<Executor> BuildExecutor(const PhysPtr& plan,
+                                        ExecContext* ctx) {
+  std::unordered_set<const PhysicalPlan*> batch_nodes;
+  if (ctx->mode == ExecMode::kBatch) batch_nodes = BatchModeNodes(plan);
+  return Build(plan, ctx, batch_nodes);
 }
 
 std::vector<Row> ExecuteAll(const PhysPtr& plan, ExecContext* ctx) {
   std::unique_ptr<Executor> exec = BuildExecutor(plan, ctx);
   exec->Init();
   std::vector<Row> rows;
-  Row r;
-  while (exec->Next(&r)) rows.push_back(std::move(r));
+  if (ctx->mode == ExecMode::kBatch) {
+    RowBatch batch;
+    while (exec->NextBatch(&batch)) {
+      for (size_t k = 0; k < batch.ActiveSize(); ++k) {
+        Row r;
+        batch.StealActive(k, &r);
+        rows.push_back(std::move(r));
+      }
+    }
+  } else {
+    Row r;
+    while (exec->Next(&r)) rows.push_back(std::move(r));
+  }
   return rows;
 }
 

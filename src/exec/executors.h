@@ -1,10 +1,17 @@
 // Volcano-style iterator execution engine (paper Section 2: "physical
-// operators are pieces of code used as building blocks for execution").
+// operators are pieces of code used as building blocks for execution"),
+// plus a vectorized batch path.
 //
 // Each PhysicalPlan node maps to an Executor producing Rows via
 // Init()/Next(). Init() may be called again to rescan (used by the Apply
 // operator, which re-executes its inner subtree per outer tuple — the
 // tuple-iteration semantics of §4.2.2).
+//
+// Every executor additionally supports NextBatch(): the default adapter
+// loops Next(), while the hot operators (scan, filter, project, hash-join
+// probe) have native column-at-a-time implementations selected by the
+// builder when ExecContext::mode is ExecMode::kBatch. Both modes produce
+// identical results and identical ExecStats.
 #ifndef QOPT_EXEC_EXECUTORS_H_
 #define QOPT_EXEC_EXECUTORS_H_
 
@@ -12,12 +19,20 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "exec/expr_eval.h"
 #include "exec/physical_plan.h"
+#include "exec/row_batch.h"
 #include "storage/storage.h"
 
 namespace qopt::exec {
+
+/// Execution mode for an executor tree. kBatch builds vectorized operators
+/// where profitable and falls back to row-at-a-time operators for subtrees
+/// that need tuple-iteration semantics (Apply, index nested-loops) or can
+/// terminate early (Limit), so that observed ExecStats stay exact.
+enum class ExecMode { kRow, kBatch };
 
 /// Observed execution counters, used to validate the cost model (E17).
 struct ExecStats {
@@ -74,6 +89,10 @@ struct ExecContext {
   ParamMap params;
   ExecStats stats;
   BufferPoolSim buffer_pool;
+  /// Executor-tree construction mode (see ExecMode).
+  ExecMode mode = ExecMode::kRow;
+  /// Rows per RowBatch on the vectorized path.
+  size_t batch_capacity = kDefaultBatchCapacity;
 
   /// Records an access to `page_key`, counting a modeled read on miss.
   void TouchPage(uint64_t page_key) {
@@ -99,6 +118,12 @@ class Executor {
   /// Produces the next row; false at end of stream.
   virtual bool Next(Row* out) = 0;
 
+  /// Produces the next batch of rows; false at end of stream. A true
+  /// return may carry zero live rows (a fully filtered batch) — consumers
+  /// must loop. The default implementation adapts Next(), so every
+  /// operator can feed a batch consumer; batch-native operators override.
+  virtual bool NextBatch(RowBatch* out);
+
   const PhysicalPlan& plan() const { return *plan_; }
   const ColMap& colmap() const { return colmap_; }
 
@@ -112,11 +137,16 @@ class Executor {
   ColMap colmap_;
 };
 
-/// Builds the executor tree for `plan`.
+/// Builds the executor tree for `plan`, honoring `ctx->mode`.
 std::unique_ptr<Executor> BuildExecutor(const PhysPtr& plan, ExecContext* ctx);
 
-/// Runs `plan` to completion and returns all rows.
+/// Runs `plan` to completion and returns all rows. In batch mode the root
+/// is driven batch-at-a-time and the result rows materialized per batch.
 std::vector<Row> ExecuteAll(const PhysPtr& plan, ExecContext* ctx);
+
+/// The set of plan nodes that run vectorized under ExecMode::kBatch
+/// (mirrors the builder's mode-selection rules; used by EXPLAIN).
+std::unordered_set<const PhysicalPlan*> BatchModeNodes(const PhysPtr& plan);
 
 }  // namespace qopt::exec
 

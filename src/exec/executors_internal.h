@@ -45,6 +45,20 @@ std::unique_ptr<Executor> NewHashSetOpExec(const PhysicalPlan* plan,
                                            std::unique_ptr<Executor> left,
                                            std::unique_ptr<Executor> right);
 
+// Vectorized (batch-native) implementations; see batch_executors.cc.
+std::unique_ptr<Executor> NewBatchScanExec(const PhysicalPlan* plan,
+                                           ExecContext* ctx);
+std::unique_ptr<Executor> NewBatchFilterExec(const PhysicalPlan* plan,
+                                             ExecContext* ctx,
+                                             std::unique_ptr<Executor> child);
+std::unique_ptr<Executor> NewBatchProjectExec(const PhysicalPlan* plan,
+                                              ExecContext* ctx,
+                                              std::unique_ptr<Executor> child);
+std::unique_ptr<Executor> NewBatchHashJoinExec(const PhysicalPlan* plan,
+                                               ExecContext* ctx,
+                                               std::unique_ptr<Executor> left,
+                                               std::unique_ptr<Executor> right);
+
 }  // namespace qopt::exec::internal
 
 #endif  // QOPT_EXEC_EXECUTORS_INTERNAL_H_

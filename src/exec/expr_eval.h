@@ -1,11 +1,19 @@
 // Runtime expression evaluation with SQL three-valued logic.
+//
+// Two entry points: the scalar evaluator (EvalExpr / EvalPredicate) used by
+// the row-at-a-time Volcano operators, and the batch evaluator
+// (EvalExprBatch / EvalPredicateBatch) used by the vectorized operators,
+// which evaluates an expression over every live row of a RowBatch in one
+// call. Both implement identical SQL semantics.
 #ifndef QOPT_EXEC_EXPR_EVAL_H_
 #define QOPT_EXEC_EXPR_EVAL_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "common/column_id.h"
 #include "common/value.h"
+#include "exec/row_batch.h"
 #include "plan/expr.h"
 
 namespace qopt::exec {
@@ -34,6 +42,26 @@ bool EvalPredicate(const plan::BExpr& pred, const EvalContext& ctx);
 
 /// SQL LIKE with % and _ wildcards.
 bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// Batch evaluation context: an input batch with its column map, plus
+/// optional correlated parameters (consulted when a column is not mapped).
+struct BatchEvalContext {
+  const ColMap* colmap = nullptr;
+  const RowBatch* batch = nullptr;
+  const ParamMap* params = nullptr;
+};
+
+/// Evaluates `e` once per live row of `ctx.batch`; on return `out` holds
+/// one Value per live row (indexed by active position, not physical row).
+/// Semantics match EvalExpr exactly.
+void EvalExprBatch(const plan::BoundExpr& e, const BatchEvalContext& ctx,
+                   std::vector<Value>* out);
+
+/// Refines `batch`'s selection vector in place, keeping exactly the live
+/// rows for which `pred` evaluates to TRUE (NULL and FALSE both reject).
+/// `ctx.batch` must point at `batch`. A null `pred` keeps every row.
+void EvalPredicateBatch(const plan::BExpr& pred, const BatchEvalContext& ctx,
+                        RowBatch* batch);
 
 }  // namespace qopt::exec
 

@@ -34,7 +34,9 @@ int PhysicalPlan::FindOutput(ColumnId id) const {
   return -1;
 }
 
-std::string PhysicalPlan::ToString(int indent) const {
+std::string PhysicalPlan::ToString(
+    int indent, const std::unordered_set<const PhysicalPlan*>* batch_nodes)
+    const {
   std::string pad(indent * 2, ' ');
   std::string s = pad + PhysOpKindName(kind);
   switch (kind) {
@@ -127,8 +129,11 @@ std::string PhysicalPlan::ToString(int indent) const {
   std::snprintf(ann, sizeof(ann), "  [rows=%.0f, %s]", est_rows,
                 est_cost.ToString().c_str());
   s += ann;
+  if (batch_nodes != nullptr && batch_nodes->count(this) > 0) {
+    s += " [batch]";
+  }
   s += "\n";
-  for (const PhysPtr& c : children) s += c->ToString(indent + 1);
+  for (const PhysPtr& c : children) s += c->ToString(indent + 1, batch_nodes);
   return s;
 }
 

@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cost/cost_model.h"
@@ -98,8 +99,13 @@ struct PhysicalPlan {
   /// Position of ColumnId `id` in this node's output row, or -1.
   int FindOutput(ColumnId id) const;
 
-  /// Indented rendering including cost annotations (EXPLAIN).
-  std::string ToString(int indent = 0) const;
+  /// Indented rendering including cost annotations (EXPLAIN). When
+  /// `batch_nodes` is given (see exec::BatchModeNodes), operators that run
+  /// vectorized under batch execution mode are marked "[batch]".
+  std::string ToString(
+      int indent = 0,
+      const std::unordered_set<const PhysicalPlan*>* batch_nodes =
+          nullptr) const;
 };
 
 PhysPtr MakeTableScan(int table_id, int rel_id, std::string alias,

@@ -1,0 +1,88 @@
+// Unit tests for the LRU buffer-pool simulator (§5.2 buffer-utilization
+// modeling): hit/miss accounting, capacity boundary, eviction order, and
+// the ExecContext::TouchPage counter contract.
+#include <gtest/gtest.h>
+
+#include "exec/executors.h"
+
+namespace qopt::exec {
+namespace {
+
+TEST(BufferPoolSimTest, FirstTouchMissesRepeatTouchHits) {
+  BufferPoolSim pool(4);
+  EXPECT_TRUE(pool.Touch(1));   // cold: miss
+  EXPECT_FALSE(pool.Touch(1));  // resident: hit
+  EXPECT_FALSE(pool.Touch(1));
+  EXPECT_TRUE(pool.Touch(2));
+  EXPECT_FALSE(pool.Touch(2));
+  EXPECT_FALSE(pool.Touch(1));  // still resident
+}
+
+TEST(BufferPoolSimTest, CapacityBoundaryExactFitStaysResident) {
+  BufferPoolSim pool(3);
+  EXPECT_TRUE(pool.Touch(1));
+  EXPECT_TRUE(pool.Touch(2));
+  EXPECT_TRUE(pool.Touch(3));
+  // Pool is exactly full: everything still hits.
+  EXPECT_FALSE(pool.Touch(1));
+  EXPECT_FALSE(pool.Touch(2));
+  EXPECT_FALSE(pool.Touch(3));
+}
+
+TEST(BufferPoolSimTest, EvictsLeastRecentlyUsed) {
+  BufferPoolSim pool(3);
+  pool.Touch(1);
+  pool.Touch(2);
+  pool.Touch(3);
+  // LRU order (most→least recent): 3, 2, 1. Touching 4 evicts 1.
+  EXPECT_TRUE(pool.Touch(4));
+  EXPECT_TRUE(pool.Touch(1));   // 1 was evicted → miss (and evicts 2)
+  EXPECT_TRUE(pool.Touch(2));   // 2 was evicted → miss (and evicts 3)
+  EXPECT_FALSE(pool.Touch(4));  // 4 stayed resident throughout
+}
+
+TEST(BufferPoolSimTest, HitRefreshesRecency) {
+  BufferPoolSim pool(3);
+  pool.Touch(1);
+  pool.Touch(2);
+  pool.Touch(3);
+  EXPECT_FALSE(pool.Touch(1));  // refresh 1: LRU order now 1, 3, 2
+  EXPECT_TRUE(pool.Touch(4));   // evicts 2, not 1
+  EXPECT_FALSE(pool.Touch(1));
+  EXPECT_FALSE(pool.Touch(3));
+  EXPECT_TRUE(pool.Touch(2));
+}
+
+TEST(BufferPoolSimTest, CapacityOneThrashes) {
+  BufferPoolSim pool(1);
+  EXPECT_TRUE(pool.Touch(1));
+  EXPECT_FALSE(pool.Touch(1));
+  EXPECT_TRUE(pool.Touch(2));
+  EXPECT_TRUE(pool.Touch(1));
+  EXPECT_TRUE(pool.Touch(2));
+}
+
+TEST(BufferPoolSimTest, PageKeyNamespacesAreDisjoint) {
+  // The same (id, page) pair must map to different keys for data vs index
+  // pages, and different table/index ids must not collide.
+  EXPECT_NE(BufferPoolSim::DataPage(1, 7), BufferPoolSim::IndexPage(1, 7));
+  EXPECT_NE(BufferPoolSim::DataPage(1, 7), BufferPoolSim::DataPage(2, 7));
+  EXPECT_NE(BufferPoolSim::DataPage(1, 7), BufferPoolSim::DataPage(1, 8));
+  EXPECT_NE(BufferPoolSim::IndexPage(3, 0), BufferPoolSim::IndexPage(4, 0));
+}
+
+TEST(BufferPoolSimTest, TouchPageAccounting) {
+  ExecContext ctx;
+  ctx.buffer_pool = BufferPoolSim(2);
+  ctx.TouchPage(10);  // miss
+  ctx.TouchPage(10);  // hit
+  ctx.TouchPage(11);  // miss
+  ctx.TouchPage(10);  // hit
+  ctx.TouchPage(12);  // miss, evicts 11
+  ctx.TouchPage(11);  // miss again
+  EXPECT_EQ(ctx.stats.page_touches, 6u);
+  EXPECT_DOUBLE_EQ(ctx.stats.modeled_pages_read, 4.0);
+}
+
+}  // namespace
+}  // namespace qopt::exec

@@ -157,7 +157,8 @@ TEST_F(BasicOpsTest, RepeatedScansHitBufferPool) {
   ExecContext ctx;
   ctx.storage = storage_.get();
   ctx.catalog = &catalog_;
-  std::unique_ptr<Executor> exec = BuildExecutor(EmpScan(), &ctx);
+  PhysPtr scan = EmpScan();  // must outlive the executor (raw plan pointers)
+  std::unique_ptr<Executor> exec = BuildExecutor(scan, &ctx);
   Row r;
   exec->Init();
   while (exec->Next(&r)) {
