@@ -35,7 +35,7 @@ RunResult RunOnce(Database& db, const exec::PhysPtr& plan, exec::ExecMode mode,
   ctx.mode = mode;
   ctx.batch_capacity = batch_capacity;
   Stopwatch sw;
-  std::vector<Row> rows = exec::ExecuteAll(plan, &ctx);
+  std::vector<Row> rows = exec::ExecuteAll(plan, &ctx).value();
   r.ms = sw.ElapsedMs();
   r.rows = rows.size();
   r.stats = ctx.stats;

@@ -20,9 +20,28 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
+
+namespace internal {
+
+void ValueAccessFail(const Status& status) {
+  std::fprintf(stderr, "Result::value() called on error result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void OkResultWithoutValueFail() {
+  std::fprintf(stderr, "Result constructed from an OK Status without a value\n");
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

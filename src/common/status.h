@@ -24,6 +24,8 @@ enum class StatusCode {
   kBindError,         ///< SQL parsed but references could not be resolved.
   kNotImplemented,    ///< Recognized but unsupported construct.
   kInternal,          ///< Invariant violation; indicates a bug in qopt.
+  kCancelled,         ///< Query gave up cooperatively (deadline / kill).
+  kResourceExhausted, ///< A row/memory/search budget was exceeded.
 };
 
 /// Returns a short human-readable name for `code` ("ParseError", ...).
@@ -58,6 +60,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -71,6 +79,14 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+/// Aborts with the carried Status rendered; used when a Result's value is
+/// read on the error path. Unlike assert(), this fires in ALL build types —
+/// a mishandled error must never become silent UB in release builds.
+[[noreturn]] void ValueAccessFail(const Status& status);
+[[noreturn]] void OkResultWithoutValueFail();
+}  // namespace internal
+
 /// Either a value of type T or an error Status. Move-friendly analogue of
 /// arrow::Result / absl::StatusOr.
 template <typename T>
@@ -78,22 +94,22 @@ class Result {
  public:
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {                  // NOLINT
-    assert(!status_.ok() && "OK Result must carry a value");
+    if (status_.ok()) internal::OkResultWithoutValueFail();
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   T& value() & {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   const T& value() const& {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHasValue();
     return std::move(*value_);
   }
 
@@ -103,6 +119,10 @@ class Result {
   const T* operator->() const { return &value(); }
 
  private:
+  void CheckHasValue() const {
+    if (!ok()) internal::ValueAccessFail(status_);
+  }
+
   Status status_;
   std::optional<T> value_;
 };
@@ -121,11 +141,13 @@ namespace internal {
     if (!(expr)) ::qopt::internal::DCheckFail(#expr, __FILE__, __LINE__); \
   } while (0)
 
-/// Propagates a non-OK Status to the caller.
+/// Propagates a non-OK Status to the caller. The do/while(0) wrapper makes
+/// the expansion a single statement, safe as the unbraced body of an
+/// if/else/for.
 #define QOPT_RETURN_IF_ERROR(expr)          \
   do {                                      \
-    ::qopt::Status _st = (expr);            \
-    if (!_st.ok()) return _st;              \
+    ::qopt::Status _qopt_st = (expr);       \
+    if (!_qopt_st.ok()) return _qopt_st;    \
   } while (0)
 
 #define QOPT_CONCAT_IMPL(a, b) a##b
@@ -133,11 +155,18 @@ namespace internal {
 
 /// Evaluates a Result<T> expression; on error returns the Status, otherwise
 /// move-assigns the value into `lhs` (which may be a declaration).
-#define QOPT_ASSIGN_OR_RETURN(lhs, rexpr)                       \
-  auto QOPT_CONCAT(_res_, __LINE__) = (rexpr);                  \
-  if (!QOPT_CONCAT(_res_, __LINE__).ok())                       \
-    return QOPT_CONCAT(_res_, __LINE__).status();               \
-  lhs = std::move(QOPT_CONCAT(_res_, __LINE__)).value()
+///
+/// Expands to a SINGLE statement (a GNU statement expression on the right
+/// of one assignment/declaration), so it is safe as the unbraced body of an
+/// if/else — the previous two-statement expansion would silently detach the
+/// assignment from the condition. The temporary lives in the statement
+/// expression's own scope, so nested/same-line uses cannot collide.
+#define QOPT_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  lhs = ({                                              \
+    auto _qopt_res = (rexpr);                           \
+    if (!_qopt_res.ok()) return _qopt_res.status();     \
+    std::move(_qopt_res).value();                       \
+  })
 
 }  // namespace qopt
 

@@ -121,6 +121,15 @@ Result<exec::PhysPtr> Database::PlanQuery(const std::string& sql,
                                           const QueryOptions& options,
                                           opt::OptimizeInfo* info,
                                           std::vector<std::string>* names) {
+  ResourceGovernor governor(options.governor);
+  return PlanQueryWithGovernor(sql, options, info, names,
+                               governor.enabled() ? &governor : nullptr);
+}
+
+Result<exec::PhysPtr> Database::PlanQueryWithGovernor(
+    const std::string& sql, const QueryOptions& options,
+    opt::OptimizeInfo* info, std::vector<std::string>* names,
+    const ResourceGovernor* governor) {
   int next_rel_id = 0;
   QOPT_ASSIGN_OR_RETURN(plan::BoundQuery bound, BindSql(sql, &next_rel_id));
   if (names != nullptr) *names = bound.output_names;
@@ -128,12 +137,15 @@ Result<exec::PhysPtr> Database::PlanQuery(const std::string& sql,
     // Normalize + push predicates down (System-R evaluates predicates as
     // early as possible even in the unoptimized plan), but keep syntactic
     // join order, nested-loop joins and tuple-iteration subqueries.
+    if (governor != nullptr) {
+      QOPT_RETURN_IF_ERROR(governor->CheckDeadline());
+    }
     opt::RewriteResult rr = opt::RuleEngine::NormalizeOnly().Rewrite(
         bound.root, catalog_, &next_rel_id);
     return NaivePhysicalPlan(rr.plan, catalog_);
   }
   opt::Optimizer optimizer(catalog_, options.optimizer);
-  return optimizer.Optimize(bound.root, &next_rel_id, info);
+  return optimizer.Optimize(bound.root, &next_rel_id, info, governor);
 }
 
 Result<QueryResult> Database::Query(const std::string& sql,
@@ -160,33 +172,44 @@ Result<QueryResult> Database::Query(const std::string& sql,
     }
   }
   QueryResult result;
+  // One governor instance spans planning and execution, so a deadline set
+  // in QueryOptions bounds the whole query, not each phase separately.
+  ResourceGovernor governor(options.governor);
   QOPT_ASSIGN_OR_RETURN(
       exec::PhysPtr plan,
-      PlanQuery(sql, options, &result.optimize_info, &result.column_names));
+      PlanQueryWithGovernor(sql, options, &result.optimize_info,
+                            &result.column_names,
+                            governor.enabled() ? &governor : nullptr));
   exec::ExecContext ctx;
   ctx.storage = &storage_;
   ctx.catalog = &catalog_;
   ctx.mode = options.execution_mode;
   ctx.batch_capacity = options.batch_capacity;
-  result.rows = exec::ExecuteAll(plan, &ctx);
+  if (governor.enabled()) ctx.governor = &governor;
+  QOPT_ASSIGN_OR_RETURN(result.rows, exec::ExecuteAll(plan, &ctx));
   result.exec_stats = ctx.stats;
   return result;
 }
 
 Result<std::string> Database::Explain(const std::string& sql,
                                       const QueryOptions& options) {
-  QOPT_ASSIGN_OR_RETURN(exec::PhysPtr plan, PlanQuery(sql, options));
+  opt::OptimizeInfo info;
+  QOPT_ASSIGN_OR_RETURN(exec::PhysPtr plan, PlanQuery(sql, options, &info));
+  std::string header;
+  if (info.degraded) {
+    header = "[degraded: " + info.degraded_reason + "]\n";
+  }
   if (options.execution_mode == exec::ExecMode::kBatch) {
     // Mark the operators the builder will run vectorized; the rest fall
     // back to row mode (Apply subtrees, index nested-loops, under Limit).
     std::unordered_set<const exec::PhysicalPlan*> batch_nodes =
         exec::BatchModeNodes(plan);
-    return "execution mode: batch (capacity " +
+    return header + "execution mode: batch (capacity " +
            std::to_string(options.batch_capacity) +
            "; vectorized operators marked [batch])\n" +
            plan->ToString(0, &batch_nodes);
   }
-  return plan->ToString();
+  return header + plan->ToString();
 }
 
 Result<exec::PhysPtr> NaivePhysicalPlan(const plan::LogicalPtr& op,

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/governor.h"
 #include "exec/executors.h"
 #include "optimizer/optimizer.h"
 #include "stats/stats_builder.h"
@@ -28,6 +29,10 @@ struct QueryOptions {
   exec::ExecMode execution_mode = exec::ExecMode::kBatch;
   /// Rows per batch on the vectorized path.
   size_t batch_capacity = exec::kDefaultBatchCapacity;
+  /// Resource governance (deadline, row/memory budgets), enforced across
+  /// both optimization and execution. Defaults to unlimited; see
+  /// GovernorOptions::ServiceDefaults() for production-style caps.
+  GovernorOptions governor;
 };
 
 /// A query's results plus diagnostics.
@@ -94,6 +99,13 @@ class Database {
   Storage& storage() { return storage_; }
 
  private:
+  /// PlanQuery with an optional shared governor (one instance spans
+  /// planning and execution of a query).
+  Result<exec::PhysPtr> PlanQueryWithGovernor(
+      const std::string& sql, const QueryOptions& options,
+      opt::OptimizeInfo* info, std::vector<std::string>* names,
+      const ResourceGovernor* governor);
+
   Catalog catalog_;
   Storage storage_;
 };

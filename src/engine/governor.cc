@@ -1,0 +1,44 @@
+#include "engine/governor.h"
+
+#include <string>
+
+namespace qopt {
+
+ResourceGovernor::ResourceGovernor(const GovernorOptions& options)
+    : has_deadline_(options.deadline_ms >= 0),
+      check_interval_(options.check_interval_rows > 0
+                          ? options.check_interval_rows
+                          : 1),
+      max_rows_(options.max_rows),
+      max_bytes_(options.max_memory_bytes) {
+  enabled_ = has_deadline_ || max_rows_ > 0 || max_bytes_ > 0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(options.deadline_ms);
+  }
+}
+
+Status ResourceGovernor::CheckDeadline() const {
+  if (!has_deadline_) return Status::OK();
+  if (std::chrono::steady_clock::now() < deadline_) return Status::OK();
+  return Status::Cancelled("query deadline exceeded");
+}
+
+Status ResourceGovernor::ChargeMaterialized(uint64_t rows, uint64_t bytes) {
+  if (!enabled_) return Status::OK();
+  rows_charged_ += rows;
+  bytes_charged_ += bytes;
+  if (max_rows_ > 0 && rows_charged_ > max_rows_) {
+    return Status::ResourceExhausted(
+        "row budget exceeded: " + std::to_string(rows_charged_) +
+        " rows materialized (budget " + std::to_string(max_rows_) + ")");
+  }
+  if (max_bytes_ > 0 && bytes_charged_ > max_bytes_) {
+    return Status::ResourceExhausted(
+        "memory budget exceeded: " + std::to_string(bytes_charged_) +
+        " bytes materialized (budget " + std::to_string(max_bytes_) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace qopt

@@ -1,0 +1,100 @@
+// ResourceGovernor: per-query deadline and row/memory budgets with
+// cooperative cancellation.
+//
+// A production optimizer must bound its own work (paper §4: join-order
+// enumeration is combinatorial) and the executor must never hang or OOM on
+// a pathological plan. One governor instance is created per query and
+// carried through Optimizer::Optimize and every Executor::Next/NextBatch
+// via the ExecContext. All checks are cooperative: hot loops call Tick()
+// (amortized to one steady-clock read every `check_interval_rows` rows) and
+// materializing operators charge their buffers as they grow. A tripped
+// limit surfaces as Status::Cancelled / Status::ResourceExhausted, which
+// propagates out of ExecuteAll / Database::Query as a clean Result error.
+#ifndef QOPT_ENGINE_GOVERNOR_H_
+#define QOPT_ENGINE_GOVERNOR_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace qopt {
+
+/// Per-query resource limits. Zero / negative values disable a limit; the
+/// default-constructed options impose no limits at all (zero overhead).
+struct GovernorOptions {
+  /// Wall-clock deadline in milliseconds from governor construction,
+  /// measured on the steady clock. Negative: no deadline. 0: the query is
+  /// cancelled at the first cooperative check.
+  int64_t deadline_ms = -1;
+  /// Budget on rows materialized by blocking operators (hash-join build
+  /// sides, sorts, aggregation tables, set-op hash sets, subquery
+  /// materialization) plus result rows. 0: unlimited. The charge is
+  /// cumulative over the query's lifetime — rescans (e.g. an Apply inner
+  /// subtree re-executed per outer row) re-charge, which deliberately
+  /// bounds total work, not just peak footprint.
+  uint64_t max_rows = 0;
+  /// Budget on modeled bytes of the same materializations. 0: unlimited.
+  uint64_t max_memory_bytes = 0;
+  /// How many rows may pass between deadline checks on the hot path.
+  uint64_t check_interval_rows = 1024;
+
+  /// Production-style limits used by services and the overhead benchmark:
+  /// generous enough to never trip on a healthy query, tight enough to
+  /// keep a runaway one bounded.
+  static GovernorOptions ServiceDefaults() {
+    GovernorOptions o;
+    o.deadline_ms = 30'000;
+    o.max_rows = 200'000'000;
+    o.max_memory_bytes = 4ULL << 30;
+    return o;
+  }
+};
+
+/// Cooperative per-query resource accounting. Not thread-safe: one
+/// governor belongs to exactly one query on one thread (the concurrency PR
+/// will shard governors per worker).
+class ResourceGovernor {
+ public:
+  ResourceGovernor() : ResourceGovernor(GovernorOptions{}) {}
+  explicit ResourceGovernor(const GovernorOptions& options);
+
+  /// True if any limit is configured (callers may skip charging entirely
+  /// for an unlimited governor).
+  bool enabled() const { return enabled_; }
+
+  /// Immediate deadline check; kCancelled once the deadline has passed.
+  Status CheckDeadline() const;
+
+  /// Cooperative hot-path check: accounts `rows` processed and consults the
+  /// deadline once per `check_interval_rows`. Cheap enough for per-row use.
+  Status Tick(uint64_t rows = 1) {
+    if (!has_deadline_) return Status::OK();
+    tick_accum_ += rows;
+    if (tick_accum_ < check_interval_) return Status::OK();
+    tick_accum_ = 0;
+    return CheckDeadline();
+  }
+
+  /// Charges `rows` materialized rows occupying ~`bytes` modeled bytes
+  /// against the row and memory budgets; kResourceExhausted on overflow.
+  Status ChargeMaterialized(uint64_t rows, uint64_t bytes);
+
+  uint64_t rows_charged() const { return rows_charged_; }
+  uint64_t bytes_charged() const { return bytes_charged_; }
+
+ private:
+  bool enabled_ = false;
+  bool has_deadline_ = false;
+  uint64_t check_interval_ = 1024;
+  uint64_t max_rows_ = 0;
+  uint64_t max_bytes_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+  uint64_t tick_accum_ = 0;
+  uint64_t rows_charged_ = 0;
+  uint64_t bytes_charged_ = 0;
+};
+
+}  // namespace qopt
+
+#endif  // QOPT_ENGINE_GOVERNOR_H_

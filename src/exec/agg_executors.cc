@@ -144,9 +144,18 @@ class HashAggregateExec : public AggregateExecBase {
     while (child_->Next(&in)) {
       Row key = KeyOf(in);
       auto [it, inserted] = groups.emplace(std::move(key), NewGroup());
-      if (inserted) order.push_back(&it->first);
+      if (inserted) {
+        // Each new group adds hash-table state; charge the key row plus a
+        // flat per-accumulator estimate.
+        if (!ctx_->GovernorCharge(
+                1, ModeledRowBytes(it->first) + 48 * plan_->aggs.size())) {
+          return;
+        }
+        order.push_back(&it->first);
+      }
       Accumulate(&it->second, in);
     }
+    if (ctx_->Failed()) return;
     if (groups.empty() && plan_->group_by.empty()) {
       // Scalar aggregate over empty input still yields one row
       // (COUNT(*) = 0, SUM = NULL, ...).

@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "exec/executors_internal.h"
+#include "testing/fault_injection.h"
 
 namespace qopt::exec::internal {
 
@@ -69,8 +70,11 @@ class BatchScanExec : public BatchExecutor {
   using BatchExecutor::BatchExecutor;
 
   bool NextBatch(RowBatch* out) override {
+    if (ctx_->Failed()) return false;
+    QOPT_FAULT_POINT_CTX("exec.batch.alloc", ctx_, false);
     size_t n = use_ids_ ? row_ids_.size() : table_->num_rows();
     if (pos_ >= n) return false;
+    const size_t batch_start = pos_;
     out->Reset(plan_->output_cols.size(), ctx_->batch_capacity);
     double rows = std::max<double>(1.0, static_cast<double>(table_->num_rows()));
     if (!use_ids_) {
@@ -129,6 +133,7 @@ class BatchScanExec : public BatchExecutor {
         if (FastPass(row)) out->AppendRow(row);
       }
     }
+    if (!ctx_->GovernorTick(pos_ - batch_start)) return false;
     if (residual_) {
       BatchEvalContext bev{&colmap_, out, &ctx_->params};
       EvalPredicateBatch(residual_, bev, out);
@@ -138,6 +143,7 @@ class BatchScanExec : public BatchExecutor {
 
  protected:
   void InitBatch() override {
+    QOPT_FAULT_POINT_CTX("storage.scan.open", ctx_, );
     table_ = ctx_->storage->GetTable(plan_->table_id);
     QOPT_DCHECK(table_ != nullptr);
     pos_ = 0;
@@ -185,6 +191,7 @@ class BatchScanExec : public BatchExecutor {
       }
     }
     if (plan_->kind == PhysOpKind::kIndexScan) {
+      QOPT_FAULT_POINT_CTX("storage.index.lookup", ctx_, );
       const SortedIndex* index = ctx_->storage->GetSortedIndex(plan_->index_id);
       QOPT_DCHECK(index != nullptr);
       std::optional<IndexBound> lo, hi;
@@ -369,7 +376,7 @@ class BatchHashJoinExec : public BatchExecutor {
   }
 
   bool NextBatch(RowBatch* out) override {
-    if (done_) return false;
+    if (done_ || ctx_->Failed()) return false;
     bool left_only = plan_->join_type == JoinType::kSemi ||
                      plan_->join_type == JoinType::kAnti;
     out->Reset(left_only ? left_width_ : left_width_ + right_width_,
@@ -409,10 +416,12 @@ class BatchHashJoinExec : public BatchExecutor {
     // batches (each batch is reset on the next NextBatch call), avoiding a
     // per-row Row materialization of the entire build input.
     RowBatch build;
-    while (right_->NextBatch(&build)) {
+    while (!ctx_->Failed() && right_->NextBatch(&build)) {
       for (size_t k = 0; k < build.ActiveSize(); ++k) {
         uint32_t r = build.ActiveIndex(k);
         if (build.At(rk, r).is_null()) continue;  // NULL keys never match
+        // Same modeled footprint as the row-mode build charge.
+        if (!ctx_->GovernorCharge(1, 16 + 24 * right_width_)) break;
         for (size_t c = 0; c < right_width_; ++c) {
           build_cols_[c].push_back(std::move(build.column(c)[r]));
         }

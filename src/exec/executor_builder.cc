@@ -1,13 +1,15 @@
 #include "exec/executors_internal.h"
+#include "testing/fault_injection.h"
 
 namespace qopt::exec {
 
 // Default row-to-batch adapter: any operator can feed a batch consumer.
 bool Executor::NextBatch(RowBatch* out) {
+  QOPT_FAULT_POINT_CTX("exec.batch.alloc", ctx_, false);
   out->Reset(plan_->output_cols.size(), ctx_->batch_capacity);
   Row r;
   while (!out->full() && Next(&r)) out->AppendRow(std::move(r));
-  return out->num_rows() > 0;
+  return out->num_rows() > 0 && !ctx_->Failed();
 }
 
 namespace {
@@ -139,14 +141,24 @@ std::unique_ptr<Executor> BuildExecutor(const PhysPtr& plan,
   return Build(plan, ctx, batch_nodes);
 }
 
-std::vector<Row> ExecuteAll(const PhysPtr& plan, ExecContext* ctx) {
+Result<std::vector<Row>> ExecuteAll(const PhysPtr& plan, ExecContext* ctx) {
+  // A zero deadline must cancel even a query too small to reach a
+  // cooperative tick, so check once unconditionally up front.
+  if (ctx->governor != nullptr) {
+    QOPT_RETURN_IF_ERROR(ctx->governor->CheckDeadline());
+  }
   std::unique_ptr<Executor> exec = BuildExecutor(plan, ctx);
   exec->Init();
   std::vector<Row> rows;
+  if (ctx->Failed()) return ctx->status;
   if (ctx->mode == ExecMode::kBatch) {
     RowBatch batch;
     while (exec->NextBatch(&batch)) {
-      for (size_t k = 0; k < batch.ActiveSize(); ++k) {
+      size_t n = batch.ActiveSize();
+      if (!ctx->GovernorCharge(n, n * (16 + 24 * plan->output_cols.size()))) {
+        break;
+      }
+      for (size_t k = 0; k < n; ++k) {
         Row r;
         batch.StealActive(k, &r);
         rows.push_back(std::move(r));
@@ -154,8 +166,12 @@ std::vector<Row> ExecuteAll(const PhysPtr& plan, ExecContext* ctx) {
     }
   } else {
     Row r;
-    while (exec->Next(&r)) rows.push_back(std::move(r));
+    while (exec->Next(&r)) {
+      if (!ctx->GovernorCharge(1, ModeledRowBytes(r))) break;
+      rows.push_back(std::move(r));
+    }
   }
+  if (ctx->Failed()) return ctx->status;
   return rows;
 }
 

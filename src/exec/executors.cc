@@ -2,6 +2,7 @@
 #include <unordered_set>
 
 #include "exec/executors_internal.h"
+#include "testing/fault_injection.h"
 
 namespace qopt::exec::internal {
 
@@ -14,10 +15,12 @@ class ScanExec : public Executor {
   ScanExec(const PhysicalPlan* plan, ExecContext* ctx) : Executor(plan, ctx) {}
 
   void Init() override {
+    QOPT_FAULT_POINT_CTX("storage.scan.open", ctx_, );
     table_ = ctx_->storage->GetTable(plan_->table_id);
     QOPT_DCHECK(table_ != nullptr);
     pos_ = 0;
     if (plan_->kind == PhysOpKind::kIndexScan) {
+      QOPT_FAULT_POINT_CTX("storage.index.lookup", ctx_, );
       const SortedIndex* index =
           ctx_->storage->GetSortedIndex(plan_->index_id);
       QOPT_DCHECK(index != nullptr);
@@ -41,9 +44,13 @@ class ScanExec : public Executor {
   }
 
   bool Next(Row* out) override {
+    // An injected Init fault leaves table_ unset; a tripped deadline must
+    // end the stream rather than keep scanning.
+    if (ctx_->Failed()) return false;
     size_t n = use_ids_ ? row_ids_.size() : table_->num_rows();
     double rows = std::max<double>(1.0, static_cast<double>(table_->num_rows()));
     while (pos_ < n) {
+      if (!ctx_->GovernorTick()) return false;
       uint32_t rid = use_ids_ ? row_ids_[pos_] : static_cast<uint32_t>(pos_);
       const Row& row = table_->row(rid);
       if (use_ids_) {
@@ -124,7 +131,10 @@ class SortExec : public Executor {
     child_->Init();
     rows_.clear();
     Row r;
-    while (child_->Next(&r)) rows_.push_back(std::move(r));
+    while (child_->Next(&r)) {
+      if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      rows_.push_back(std::move(r));
+    }
     // Resolve key positions in the child's layout (same as ours).
     std::vector<std::pair<int, bool>> keys;
     for (const plan::SortKey& k : plan_->sort_keys) {
@@ -168,7 +178,10 @@ class DistinctExec : public Executor {
 
   bool Next(Row* out) override {
     while (child_->Next(out)) {
-      if (seen_.insert(*out).second) return true;
+      if (seen_.insert(*out).second) {
+        if (!ctx_->GovernorCharge(1, ModeledRowBytes(*out))) return false;
+        return true;
+      }
     }
     return false;
   }
@@ -219,7 +232,10 @@ class HashSetOpExec : public Executor {
     right_rows_.clear();
     emitted_.clear();
     Row r;
-    while (right_->Next(&r)) right_rows_.insert(std::move(r));
+    while (right_->Next(&r)) {
+      if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      right_rows_.insert(std::move(r));
+    }
   }
 
   bool Next(Row* out) override {

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/governor.h"
 #include "exec/expr_eval.h"
 #include "exec/physical_plan.h"
 #include "exec/row_batch.h"
@@ -93,13 +94,56 @@ struct ExecContext {
   ExecMode mode = ExecMode::kRow;
   /// Rows per RowBatch on the vectorized path.
   size_t batch_capacity = kDefaultBatchCapacity;
+  /// Per-query resource governor (deadline + row/memory budgets); null when
+  /// the query runs ungoverned. Shared with the optimizer for this query.
+  ResourceGovernor* governor = nullptr;
+  /// Sticky first error. Next()/NextBatch() return false (end of stream)
+  /// and record the cause here, because the iterator signature cannot carry
+  /// a Status; ExecuteAll surfaces it as the query's Result.
+  Status status;
 
   /// Records an access to `page_key`, counting a modeled read on miss.
   void TouchPage(uint64_t page_key) {
     ++stats.page_touches;
     if (buffer_pool.Touch(page_key)) stats.modeled_pages_read += 1;
   }
+
+  /// Records `s` as the query error if none is set yet (first error wins).
+  void Fail(Status s) {
+    if (status.ok()) status = std::move(s);
+  }
+
+  /// True once any executor has failed; drains the rest of the tree fast.
+  bool Failed() const { return !status.ok(); }
+
+  /// Cooperative governor tick from a hot row loop: on deadline expiry,
+  /// records the error and returns false so the caller can end its stream.
+  bool GovernorTick(uint64_t rows = 1) {
+    if (governor == nullptr) return true;
+    Status s = governor->Tick(rows);
+    if (s.ok()) return true;
+    Fail(std::move(s));
+    return false;
+  }
+
+  /// Charges a materialization (hash build, sort buffer, agg table, ...)
+  /// against the governor budgets; false (with the error recorded) on
+  /// exhaustion.
+  bool GovernorCharge(uint64_t rows, uint64_t bytes) {
+    if (governor == nullptr) return true;
+    Status s = governor->ChargeMaterialized(rows, bytes);
+    if (s.ok()) return true;
+    Fail(std::move(s));
+    return false;
+  }
 };
+
+/// Modeled in-memory footprint of `row` for governor accounting: a flat
+/// per-value estimate, deliberately coarse — budgets bound magnitude, not
+/// exact allocator bytes.
+inline uint64_t ModeledRowBytes(const Row& row) {
+  return 16 + 24 * static_cast<uint64_t>(row.size());
+}
 
 /// Iterator-model operator.
 class Executor {
@@ -140,9 +184,11 @@ class Executor {
 /// Builds the executor tree for `plan`, honoring `ctx->mode`.
 std::unique_ptr<Executor> BuildExecutor(const PhysPtr& plan, ExecContext* ctx);
 
-/// Runs `plan` to completion and returns all rows. In batch mode the root
-/// is driven batch-at-a-time and the result rows materialized per batch.
-std::vector<Row> ExecuteAll(const PhysPtr& plan, ExecContext* ctx);
+/// Runs `plan` to completion and returns all rows, or the error recorded on
+/// `ctx` (cancellation, budget exhaustion, injected faults). In batch mode
+/// the root is driven batch-at-a-time and the result rows materialized per
+/// batch.
+Result<std::vector<Row>> ExecuteAll(const PhysPtr& plan, ExecContext* ctx);
 
 /// The set of plan nodes that run vectorized under ExecMode::kBatch
 /// (mirrors the builder's mode-selection rules; used by EXPLAIN).

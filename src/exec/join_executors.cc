@@ -2,6 +2,7 @@
 #include <unordered_map>
 
 #include "exec/executors_internal.h"
+#include "testing/fault_injection.h"
 
 namespace qopt::exec::internal {
 
@@ -72,6 +73,7 @@ class JoinExecBase : public Executor {
 
   bool DrainBuffer(Row* out) {
     if (buffer_pos_ < out_buffer_.size()) {
+      if (!ctx_->GovernorTick()) return false;
       *out = std::move(out_buffer_[buffer_pos_++]);
       ++ctx_->stats.rows_joined;
       return true;
@@ -99,7 +101,10 @@ class NestedLoopJoinExec : public JoinExecBase {
     right_->Init();
     inner_.clear();
     Row r;
-    while (right_->Next(&r)) inner_.push_back(std::move(r));
+    while (right_->Next(&r)) {
+      if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      inner_.push_back(std::move(r));
+    }
     out_buffer_.clear();
     buffer_pos_ = 0;
   }
@@ -151,6 +156,7 @@ class IndexNLJoinExec : public JoinExecBase {
       std::vector<const Row*> matches;
       const Value& key = l[left_key_pos_];
       if (!key.is_null()) {
+        QOPT_FAULT_POINT_CTX("storage.index.lookup", ctx_, false);
         ++ctx_->stats.index_lookups;
         // B-tree path: inner levels (shared, cache quickly) + the leaf
         // holding this key.
@@ -205,8 +211,14 @@ class MergeJoinExec : public JoinExecBase {
     lrows_.clear();
     rrows_.clear();
     Row r;
-    while (left_->Next(&r)) lrows_.push_back(std::move(r));
-    while (right_->Next(&r)) rrows_.push_back(std::move(r));
+    while (left_->Next(&r)) {
+      if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      lrows_.push_back(std::move(r));
+    }
+    while (right_->Next(&r)) {
+      if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      rrows_.push_back(std::move(r));
+    }
     auto lit = left_->colmap().find(plan_->left_key);
     auto rit = right_->colmap().find(plan_->right_key);
     QOPT_DCHECK(lit != left_->colmap().end());
@@ -269,6 +281,7 @@ class HashJoinExec : public JoinExecBase {
     Row r;
     while (right_->Next(&r)) {
       if (r[rk].is_null()) continue;  // NULL keys never match
+      if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
       rows_.push_back(std::move(r));
     }
     for (size_t i = 0; i < rows_.size(); ++i) {
@@ -341,7 +354,11 @@ class ApplyExec : public JoinExecBase {
         }
       }
       right_->Init();
+      if (ctx_->Failed()) return false;
       ++ctx_->stats.subquery_executions;
+      // Each subquery re-execution materializes its outer binding; charge
+      // it so unbounded Apply loops hit the row budget.
+      if (!ctx_->GovernorCharge(1, ModeledRowBytes(l))) return false;
 
       if (plan_->apply_type == plan::ApplyType::kScalar) {
         Row r;

@@ -7,6 +7,7 @@
 #include "optimizer/cascades/rules.h"
 #include "optimizer/join_common.h"
 #include "optimizer/selinger/access_paths.h"
+#include "testing/fault_injection.h"
 
 namespace qopt::opt::cascades {
 
@@ -22,13 +23,22 @@ class Search {
  public:
   Search(const QueryGraph& graph, const Catalog& catalog,
          const cost::CostModel& model, const CascadesOptions& options,
-         Memo* memo, CascadesCounters* counters)
+         Memo* memo, CascadesCounters* counters,
+         const ResourceGovernor* governor = nullptr)
       : graph_(graph),
         catalog_(catalog),
         model_(model),
         options_(options),
         memo_(memo),
-        counters_(counters) {}
+        counters_(counters),
+        governor_(governor) {}
+
+  /// Non-OK once the task budget trips (kResourceExhausted) or the query
+  /// deadline expires (kCancelled); the search unwinds without a plan.
+  const Status& abort_status() const { return abort_status_; }
+
+  /// True if the memo-size budget stopped exploration before closure.
+  bool explore_truncated() const { return explore_truncated_; }
 
   static uint64_t Bit(int i) { return 1ULL << i; }
 
@@ -108,6 +118,13 @@ class Search {
     while (grew) {
       grew = false;
       for (size_t gid = 0; gid < memo_->num_groups(); ++gid) {
+        if (options_.max_memo_exprs > 0 &&
+            memo_->num_exprs() >= options_.max_memo_exprs) {
+          // Stop growing the memo; the expressions derived so far still form
+          // a valid (if narrower) search space, so costing proceeds.
+          explore_truncated_ = true;
+          return;
+        }
         grew |= ExploreGroup(static_cast<int>(gid));
       }
     }
@@ -174,6 +191,7 @@ class Search {
 
   /// Returns the optimal plan for `gid` under `props` (memoized).
   Winner OptimizeGroup(int gid, const PhysProps& props) {
+    if (!abort_status_.ok()) return Winner{};
     Group& g = memo_->group(gid);
     std::string key = props.Key();
     auto it = g.winners.find(key);
@@ -182,6 +200,21 @@ class Search {
       return it->second;
     }
     ++counters_->optimize_group_tasks;
+    if (options_.max_tasks > 0 &&
+        counters_->optimize_group_tasks > options_.max_tasks) {
+      abort_status_ = Status::ResourceExhausted(
+          "cascades task budget exhausted (max_tasks=" +
+          std::to_string(options_.max_tasks) + ")");
+      return Winner{};
+    }
+    if (governor_ != nullptr &&
+        (counters_->optimize_group_tasks % 64) == 0) {
+      Status s = governor_->CheckDeadline();
+      if (!s.ok()) {
+        abort_status_ = std::move(s);
+        return Winner{};
+      }
+    }
     EnsureStats(gid);
 
     Winner best;
@@ -400,6 +433,9 @@ class Search {
   const CascadesOptions& options_;
   Memo* memo_;
   CascadesCounters* counters_;
+  const ResourceGovernor* governor_ = nullptr;
+  Status abort_status_;
+  bool explore_truncated_ = false;
   std::unique_ptr<SubsetStatsCache> stats_cache_;
 };
 
@@ -412,21 +448,42 @@ CascadesOptimizer::CascadesOptimizer(const Catalog& catalog,
 
 Result<exec::PhysPtr> CascadesOptimizer::OptimizeJoinBlock(
     const QueryGraph& graph, const std::vector<SortKey>& required_order) {
+  QOPT_FAULT_POINT("optimizer.stats.load");
+  degraded_ = false;
+  degraded_reason_.clear();
   if (graph.relations.empty()) {
     return Status::InvalidArgument("empty query graph");
   }
   if (graph.relations.size() > 20) {
-    return Status::InvalidArgument("join block too large for memo (n > 20)");
+    // Too large to enumerate at all: degrade straight to the heuristic.
+    degraded_ = true;
+    degraded_reason_ = "join block too large for memo (n > 20)";
+    return GreedyLeftDeepPlan(graph, catalog_, model_, required_order,
+                              &result_stats_);
   }
   memo_ = Memo();
-  Search search(graph, catalog_, model_, options_, &memo_, &counters_);
+  Search search(graph, catalog_, model_, options_, &memo_, &counters_,
+                governor_);
   int root = search.Seed();
   search.ExploreToClosure();
+  // An injected memo-insertion fault leaves the memo sticky-bad; surface it
+  // as a hard error (the memo contents cannot be trusted).
+  QOPT_RETURN_IF_ERROR(memo_.status());
   PhysProps props;
   props.order = required_order;
   Winner w = search.OptimizeGroup(root, props);
   counters_.groups = memo_.num_groups();
   counters_.logical_exprs = memo_.num_exprs();
+  if (!search.abort_status().ok()) {
+    if (search.abort_status().code() == StatusCode::kResourceExhausted) {
+      // Task budget exhausted mid-costing: degrade to the heuristic.
+      degraded_ = true;
+      degraded_reason_ = search.abort_status().message();
+      return GreedyLeftDeepPlan(graph, catalog_, model_, required_order,
+                                &result_stats_);
+    }
+    return search.abort_status();  // kCancelled: hard stop.
+  }
   if (!w.valid) {
     // Disconnected graph under allow_cartesian=false: retry allowing
     // Cartesian products (the deferral fallback, as in Selinger).
@@ -434,12 +491,22 @@ Result<exec::PhysPtr> CascadesOptimizer::OptimizeJoinBlock(
       CascadesOptions retry = options_;
       retry.allow_cartesian = true;
       CascadesOptimizer fallback(catalog_, model_, retry);
+      fallback.set_governor(governor_);
       auto result = fallback.OptimizeJoinBlock(graph, required_order);
       counters_ = fallback.counters_;
       result_stats_ = fallback.result_stats_;
+      degraded_ = fallback.degraded_;
+      degraded_reason_ = fallback.degraded_reason_;
       return result;
     }
     return Status::Internal("cascades search found no plan");
+  }
+  if (search.explore_truncated()) {
+    // The plan is valid but came from a partial memo: flag the degradation.
+    degraded_ = true;
+    degraded_reason_ =
+        "cascades memo budget exhausted (max_memo_exprs=" +
+        std::to_string(options_.max_memo_exprs) + "); plan from partial memo";
   }
   result_stats_ = memo_.group(root).stats;
   return w.plan;

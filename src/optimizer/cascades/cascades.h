@@ -15,8 +15,11 @@
 #ifndef QOPT_OPTIMIZER_CASCADES_CASCADES_H_
 #define QOPT_OPTIMIZER_CASCADES_CASCADES_H_
 
+#include <string>
+
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "engine/governor.h"
 #include "optimizer/cascades/memo.h"
 #include "plan/query_graph.h"
 
@@ -29,6 +32,13 @@ struct CascadesOptions {
   bool enable_merge_join = true;
   bool enable_hash_join = true;
   bool enable_index_nl_join = true;
+  /// Search budgets: maximum OptimizeGroup tasks before costing aborts and
+  /// the optimizer degrades to the greedy left-deep heuristic, and maximum
+  /// memo expressions before exploration stops growing the memo (costing
+  /// then continues over the partial memo — itself a milder degradation).
+  /// 0 = unlimited.
+  uint64_t max_tasks = 500'000;
+  uint64_t max_memo_exprs = 100'000;
 };
 
 /// Search-effort counters (E13/E14).
@@ -57,6 +67,16 @@ class CascadesOptimizer {
   const stats::RelStats& result_stats() const { return result_stats_; }
   const Memo& memo() const { return memo_; }
 
+  /// Shares the per-query governor: the search checks the deadline
+  /// periodically and returns kCancelled once it expires.
+  void set_governor(const ResourceGovernor* governor) { governor_ = governor; }
+
+  /// True if the last OptimizeJoinBlock degraded: task budget tripped (plan
+  /// comes from the greedy heuristic) or the memo budget truncated
+  /// exploration (plan comes from a partial memo).
+  bool degraded() const { return degraded_; }
+  const std::string& degraded_reason() const { return degraded_reason_; }
+
  private:
   const Catalog& catalog_;
   const cost::CostModel& model_;
@@ -64,6 +84,9 @@ class CascadesOptimizer {
   CascadesCounters counters_;
   Memo memo_;
   stats::RelStats result_stats_;
+  const ResourceGovernor* governor_ = nullptr;
+  bool degraded_ = false;
+  std::string degraded_reason_;
 };
 
 }  // namespace qopt::opt::cascades

@@ -1,5 +1,7 @@
 #include "optimizer/cascades/memo.h"
 
+#include "testing/fault_injection.h"
+
 namespace qopt::opt::cascades {
 
 std::string PhysProps::Key() const {
@@ -36,6 +38,14 @@ int Memo::GetOrCreateGroup(uint64_t mask) {
 }
 
 bool Memo::AddExpr(int group_id, LExpr expr) {
+  if (testing::FaultRegistry::AnyArmed()) {
+    Status fault = testing::FaultRegistry::Instance().Check("cascades.memo.insert");
+    if (!fault.ok()) {
+      if (status_.ok()) status_ = std::move(fault);
+      return false;
+    }
+  }
+  if (!status_.ok()) return false;
   Group& g = groups_[group_id];
   std::string key = expr.Key();
   if (g.expr_keys.count(key)) return false;

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "cost/cost_model.h"
 #include "exec/physical_plan.h"
 #include "stats/derived_stats.h"
@@ -71,6 +72,8 @@ class Memo {
   int GetOrCreateGroup(uint64_t mask);
 
   /// Adds `expr` to `group_id` if not already present; true if added.
+  /// On an injected insertion fault the memo goes sticky-bad: `status()`
+  /// turns non-OK and the expression is dropped (returns false).
   bool AddExpr(int group_id, LExpr expr);
 
   Group& group(int id) { return groups_[id]; }
@@ -79,10 +82,14 @@ class Memo {
   size_t num_groups() const { return groups_.size(); }
   size_t num_exprs() const { return num_exprs_; }
 
+  /// First insertion failure, if any (sticky; checked by the search driver).
+  const Status& status() const { return status_; }
+
  private:
   std::vector<Group> groups_;
   std::unordered_map<uint64_t, int> by_mask_;
   size_t num_exprs_ = 0;
+  Status status_;
 };
 
 }  // namespace qopt::opt::cascades

@@ -1,5 +1,7 @@
 #include "optimizer/join_common.h"
 
+#include "optimizer/selinger/access_paths.h"
+
 namespace qopt::opt {
 
 using plan::BExpr;
@@ -92,6 +94,139 @@ BExpr FullPredicateOf(const JoinSpec& spec) {
   if (spec.primary) all.insert(all.begin(), spec.primary);
   if (all.empty()) return nullptr;
   return plan::MakeConjunction(all);
+}
+
+namespace {
+
+bool GreedyOrderSatisfies(const std::vector<plan::SortKey>& have,
+                          const std::vector<plan::SortKey>& need) {
+  if (need.size() > have.size()) return false;
+  for (size_t i = 0; i < need.size(); ++i) {
+    if (!(have[i] == need[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<exec::PhysPtr> GreedyLeftDeepPlan(
+    const plan::QueryGraph& graph, const Catalog& catalog,
+    const cost::CostModel& model,
+    const std::vector<plan::SortKey>& required_order,
+    stats::RelStats* out_stats) {
+  int n = static_cast<int>(graph.relations.size());
+  if (n == 0) return Status::InvalidArgument("empty query graph");
+  if (n > 63) {
+    return Status::InvalidArgument("join block exceeds 63 relations");
+  }
+
+  // Cheapest access path per base relation.
+  struct Base {
+    exec::PhysPtr plan;
+    cost::Cost cost;
+    std::vector<plan::SortKey> order;
+    stats::RelStats stats;
+  };
+  std::vector<Base> base(static_cast<size_t>(n));
+  std::vector<stats::RelStats> base_stats;
+  for (int i = 0; i < n; ++i) {
+    std::vector<AccessPath> paths = EnumerateAccessPaths(
+        graph.relations[static_cast<size_t>(i)], catalog, model,
+        &base[static_cast<size_t>(i)].stats);
+    if (paths.empty()) {
+      return Status::Internal("no access path for relation " +
+                              std::to_string(i));
+    }
+    size_t cheapest = 0;
+    for (size_t p = 1; p < paths.size(); ++p) {
+      if (paths[p].cost.total() < paths[cheapest].cost.total()) cheapest = p;
+    }
+    base[static_cast<size_t>(i)].plan = std::move(paths[cheapest].plan);
+    base[static_cast<size_t>(i)].cost = paths[cheapest].cost;
+    base[static_cast<size_t>(i)].order = std::move(paths[cheapest].order);
+    base_stats.push_back(base[static_cast<size_t>(i)].stats);
+  }
+  SubsetStatsCache cache(&graph, std::move(base_stats));
+
+  // Seed with the smallest relation.
+  int start = 0;
+  for (int i = 1; i < n; ++i) {
+    if (base[static_cast<size_t>(i)].stats.rows <
+        base[static_cast<size_t>(start)].stats.rows) {
+      start = i;
+    }
+  }
+  uint64_t mask = 1ULL << start;
+  exec::PhysPtr cur = base[static_cast<size_t>(start)].plan;
+  cost::Cost cost = base[static_cast<size_t>(start)].cost;
+  stats::RelStats cur_stats = base[static_cast<size_t>(start)].stats;
+  std::vector<plan::SortKey> cur_order = base[static_cast<size_t>(start)].order;
+  cur->est_rows = cur_stats.rows;
+  cur->est_cost = cost;
+
+  while (__builtin_popcountll(mask) < n) {
+    // Next relation: connected beats Cartesian; ties broken by the smaller
+    // estimated intermediate result.
+    int pick = -1;
+    bool pick_connected = false;
+    double pick_rows = 0;
+    for (int b = 0; b < n; ++b) {
+      uint64_t bit = 1ULL << b;
+      if (mask & bit) continue;
+      bool connected = graph.Connected(mask, bit);
+      double rows = cache.Get(mask | bit).rows;
+      if (pick < 0 || (connected && !pick_connected) ||
+          (connected == pick_connected && rows < pick_rows)) {
+        pick = b;
+        pick_connected = connected;
+        pick_rows = rows;
+      }
+    }
+    const Base& rhs = base[static_cast<size_t>(pick)];
+    uint64_t bit = 1ULL << pick;
+    JoinSpec spec = ComputeJoinSpec(graph, mask, bit);
+    const stats::RelStats& joined = cache.Get(mask | bit);
+    double lw = static_cast<double>(cur_stats.columns.size());
+    double rw = static_cast<double>(rhs.stats.columns.size());
+    exec::PhysPtr next;
+    if (spec.has_equi) {
+      cost = cost + rhs.cost +
+             model.HashJoin(rhs.stats.rows, EstimatePages(rhs.stats.rows, rw),
+                            cur_stats.rows, EstimatePages(cur_stats.rows, lw),
+                            joined.rows);
+      next = exec::MakeHashJoin(plan::JoinType::kInner, cur, rhs.plan,
+                                spec.left_col, spec.right_col,
+                                ResidualOf(spec));
+    } else {
+      BExpr pred = FullPredicateOf(spec);
+      cost = cost + rhs.cost +
+             model.NestedLoopCPU(cur_stats.rows, rhs.stats.rows);
+      next = exec::MakeNestedLoopJoin(
+          pred != nullptr ? plan::JoinType::kInner : plan::JoinType::kCross,
+          cur, rhs.plan, pred);
+    }
+    // Both hash and nested-loop joins stream the outer side in order.
+    next->output_order = cur_order;
+    next->est_rows = joined.rows;
+    next->est_cost = cost;
+    cur = std::move(next);
+    cur_stats = joined;
+    mask |= bit;
+  }
+
+  if (!required_order.empty() &&
+      !GreedyOrderSatisfies(cur_order, required_order)) {
+    double width = static_cast<double>(cur_stats.columns.size());
+    cost = cost + model.Sort(cur_stats.rows,
+                             EstimatePages(cur_stats.rows, width));
+    exec::PhysPtr sorted = exec::MakeSortExec(cur, required_order);
+    sorted->output_order = required_order;
+    sorted->est_rows = cur_stats.rows;
+    sorted->est_cost = cost;
+    cur = std::move(sorted);
+  }
+  if (out_stats != nullptr) *out_stats = cur_stats;
+  return cur;
 }
 
 }  // namespace qopt::opt

@@ -9,7 +9,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cost/cost_model.h"
 #include "cost/selectivity.h"
+#include "exec/physical_plan.h"
 #include "plan/query_graph.h"
 #include "stats/derived_stats.h"
 
@@ -63,6 +65,22 @@ class SubsetStatsCache {
 
 /// Conjunction of primary + extra (full join predicate), or nullptr.
 plan::BExpr FullPredicateOf(const JoinSpec& spec);
+
+/// Greedy left-deep heuristic join planner: the degradation target when an
+/// enumerator's search budget is exhausted (or the block is too large to
+/// enumerate at all). Picks the cheapest access path per relation, starts
+/// from the smallest one, then repeatedly joins the remaining relation that
+/// minimizes the intermediate result size — preferring graph-connected
+/// relations (Cartesian products only when forced). Hash join on the equi
+/// key when one exists, nested-loop otherwise; a Sort enforcer delivers
+/// `required_order`. O(n²) and always succeeds, at the price of plan
+/// quality — the classic polynomial-time fallback to the paper's §4
+/// combinatorial enumeration.
+Result<exec::PhysPtr> GreedyLeftDeepPlan(
+    const plan::QueryGraph& graph, const Catalog& catalog,
+    const cost::CostModel& model,
+    const std::vector<plan::SortKey>& required_order,
+    stats::RelStats* out_stats);
 
 }  // namespace qopt::opt
 

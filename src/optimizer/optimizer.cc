@@ -29,8 +29,22 @@ struct Planned {
 class PlannerImpl {
  public:
   PlannerImpl(const Catalog& catalog, const OptimizerOptions& options,
-              const cost::CostModel& model, OptimizeInfo* info)
-      : catalog_(catalog), options_(options), model_(model), info_(info) {}
+              const cost::CostModel& model, OptimizeInfo* info,
+              const ResourceGovernor* governor = nullptr)
+      : catalog_(catalog),
+        options_(options),
+        model_(model),
+        info_(info),
+        governor_(governor) {}
+
+  /// Degradation state accumulated across the current candidate's join
+  /// blocks; the facade resets per candidate and records the winner's.
+  void ResetDegraded() {
+    degraded_ = false;
+    degraded_reason_.clear();
+  }
+  bool degraded() const { return degraded_; }
+  const std::string& degraded_reason() const { return degraded_reason_; }
 
   Result<Planned> Plan(const LogicalPtr& op,
                        const std::vector<SortKey>& required_order) {
@@ -74,23 +88,35 @@ class PlannerImpl {
     Planned out;
     if (options_.enumerator == EnumeratorKind::kSelinger) {
       SelingerOptimizer selinger(catalog_, model_, options_.selinger);
+      selinger.set_governor(governor_);
       QOPT_ASSIGN_OR_RETURN(out.plan,
                             selinger.OptimizeJoinBlock(graph, required_order));
       out.stats = selinger.result_stats();
       if (info_ != nullptr) {
         AccumulateSelinger(selinger.counters());
       }
+      NoteDegraded(selinger.degraded(), selinger.degraded_reason());
     } else {
       cascades::CascadesOptimizer casc(catalog_, model_, options_.cascades);
+      casc.set_governor(governor_);
       QOPT_ASSIGN_OR_RETURN(out.plan,
                             casc.OptimizeJoinBlock(graph, required_order));
       out.stats = casc.result_stats();
       if (info_ != nullptr) {
         AccumulateCascades(casc.counters());
       }
+      NoteDegraded(casc.degraded(), casc.degraded_reason());
     }
     out.cost = out.plan->est_cost;
     return out;
+  }
+
+  void NoteDegraded(bool degraded, const std::string& reason) {
+    if (!degraded) return;
+    if (!degraded_) {
+      degraded_ = true;
+      degraded_reason_ = reason;
+    }
   }
 
   void AccumulateSelinger(const SelingerCounters& c) {
@@ -545,15 +571,22 @@ class PlannerImpl {
   const OptimizerOptions& options_;
   const cost::CostModel& model_;
   OptimizeInfo* info_;
+  const ResourceGovernor* governor_ = nullptr;
+  bool degraded_ = false;
+  std::string degraded_reason_;
 };
 
 }  // namespace
 
 Result<exec::PhysPtr> Optimizer::Optimize(const LogicalPtr& root,
                                           int* next_rel_id,
-                                          OptimizeInfo* info) {
+                                          OptimizeInfo* info,
+                                          const ResourceGovernor* governor) {
   OptimizeInfo local_info;
   if (info == nullptr) info = &local_info;
+  if (governor != nullptr) {
+    QOPT_RETURN_IF_ERROR(governor->CheckDeadline());
+  }
 
   std::vector<LogicalPtr> candidates;
   if (options_.enable_rewrites) {
@@ -571,14 +604,17 @@ Result<exec::PhysPtr> Optimizer::Optimize(const LogicalPtr& root,
   }
   info->alternatives_considered = static_cast<int>(candidates.size()) - 1;
 
-  PlannerImpl planner(catalog_, options_, model_, info);
+  PlannerImpl planner(catalog_, options_, model_, info, governor);
   exec::PhysPtr best;
   double best_cost = 0;
   Status first_error = Status::OK();
   for (size_t i = 0; i < candidates.size(); ++i) {
+    planner.ResetDegraded();
     Result<Planned> planned = planner.Plan(candidates[i], {});
     if (!planned.ok()) {
       if (first_error.ok()) first_error = planned.status();
+      // A cancelled query will not plan any candidate; stop immediately.
+      if (planned.status().code() == StatusCode::kCancelled) break;
       continue;
     }
     double total = planned->cost.total();
@@ -586,6 +622,8 @@ Result<exec::PhysPtr> Optimizer::Optimize(const LogicalPtr& root,
       best = planned->plan;
       best_cost = total;
       info->alternative_chosen = i > 0;
+      info->degraded = planner.degraded();
+      info->degraded_reason = planner.degraded_reason();
     }
   }
   if (!best) {

@@ -43,6 +43,10 @@ struct OptimizeInfo {
   int alternatives_considered = 0;
   double chosen_cost = 0;
   bool alternative_chosen = false;
+  /// True if the chosen plan involved a search-budget degradation (greedy
+  /// fallback or partial-memo costing); `degraded_reason` says which.
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 /// The full optimizer.
@@ -53,10 +57,13 @@ class Optimizer {
 
   /// Optimizes a bound logical plan into an executable physical plan.
   /// `next_rel_id` continues the binder's relation-id allocation (rewrite
-  /// rules may introduce relations).
+  /// rules may introduce relations). A non-null `governor` bounds the
+  /// search: its deadline is checked at entry and cooperatively inside the
+  /// enumerators (kCancelled once expired).
   Result<exec::PhysPtr> Optimize(const plan::LogicalPtr& root,
                                  int* next_rel_id,
-                                 OptimizeInfo* info = nullptr);
+                                 OptimizeInfo* info = nullptr,
+                                 const ResourceGovernor* governor = nullptr);
 
   const cost::CostModel& model() const { return model_; }
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "optimizer/join_common.h"
+#include "testing/fault_injection.h"
 
 namespace qopt::opt {
 
@@ -50,12 +51,14 @@ class SelingerImpl {
  public:
   SelingerImpl(const QueryGraph& graph, const Catalog& catalog,
                const cost::CostModel& model, const SelingerOptions& options,
-               SelingerCounters* counters)
+               SelingerCounters* counters,
+               const ResourceGovernor* governor = nullptr)
       : graph_(graph),
         catalog_(catalog),
         model_(model),
         options_(options),
-        counters_(counters) {
+        counters_(counters),
+        governor_(governor) {
     for (const plan::QGEdge& e : graph.edges) {
       interesting_.insert(e.left);
       interesting_.insert(e.right);
@@ -376,13 +379,13 @@ class SelingerImpl {
     AddCandidate(entry, std::move(*c));
   }
 
-  /// Full bottom-up DP over relation subsets.
+  /// Full bottom-up DP over relation subsets. kResourceExhausted means the
+  /// entry budget tripped mid-search — the caller degrades to the greedy
+  /// heuristic; kCancelled means the query deadline expired.
   Result<Entry> Run() {
     int n = static_cast<int>(graph_.relations.size());
     if (n == 0) return Status::InvalidArgument("empty query graph");
-    if (n > 24) {
-      return Status::InvalidArgument("join block too large for DP (n > 24)");
-    }
+    QOPT_DCHECK(n <= 24);  // caller routes larger blocks to the greedy plan
     std::unordered_map<uint64_t, Entry> dp;
     for (int i = 0; i < n; ++i) {
       Entry base = MakeBaseEntry(i);
@@ -403,7 +406,18 @@ class SelingerImpl {
                      });
     std::vector<uint64_t> comps = GraphComponents();
 
+    uint64_t masks_seen = 0;
     for (uint64_t mask : masks) {
+      if (options_.max_dp_entries > 0 &&
+          counters_->subsets_expanded >= options_.max_dp_entries) {
+        return Status::ResourceExhausted(
+            "selinger DP entry budget exhausted (" +
+            std::to_string(counters_->subsets_expanded) + " of " +
+            std::to_string(options_.max_dp_entries) + " entries)");
+      }
+      if (governor_ != nullptr && (++masks_seen % 128) == 0) {
+        QOPT_RETURN_IF_ERROR(governor_->CheckDeadline());
+      }
       if (options_.defer_cartesian && !AdmissibleSubset(mask, comps)) {
         continue;
       }
@@ -485,6 +499,7 @@ class SelingerImpl {
   const cost::CostModel& model_;
   const SelingerOptions& options_;
   SelingerCounters* counters_;
+  const ResourceGovernor* governor_;
   std::set<ColumnId> interesting_;
   std::unique_ptr<SubsetStatsCache> stats_cache_;
 
@@ -502,8 +517,31 @@ class SelingerImpl {
 
 Result<exec::PhysPtr> SelingerOptimizer::OptimizeJoinBlock(
     const QueryGraph& graph, const std::vector<SortKey>& required_order) {
-  SelingerImpl impl(graph, catalog_, model_, options_, &counters_);
-  return impl.Optimize(required_order, &result_stats_);
+  QOPT_FAULT_POINT("optimizer.stats.load");
+  degraded_ = false;
+  degraded_reason_.clear();
+  int n = static_cast<int>(graph.relations.size());
+  if (n == 0) return Status::InvalidArgument("empty query graph");
+  std::string reason;
+  if (n > 24) {
+    reason = "join block too large for DP (n > 24)";
+  } else {
+    SelingerImpl impl(graph, catalog_, model_, options_, &counters_,
+                      governor_);
+    Result<exec::PhysPtr> result = impl.Optimize(required_order,
+                                                 &result_stats_);
+    if (result.ok() ||
+        result.status().code() != StatusCode::kResourceExhausted) {
+      return result;  // success, or a hard error (e.g. deadline kCancelled)
+    }
+    reason = result.status().message();
+  }
+  // Graceful degradation: the DP budget tripped (or the block is beyond the
+  // DP's reach) — plan greedily instead of failing the query.
+  degraded_ = true;
+  degraded_reason_ = reason;
+  return GreedyLeftDeepPlan(graph, catalog_, model_, required_order,
+                            &result_stats_);
 }
 
 Result<NaiveEnumResult> NaiveEnumerateLinear(const QueryGraph& graph,

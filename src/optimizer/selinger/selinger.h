@@ -15,7 +15,9 @@
 #define QOPT_OPTIMIZER_SELINGER_SELINGER_H_
 
 #include <cstdint>
+#include <string>
 
+#include "engine/governor.h"
 #include "optimizer/selinger/access_paths.h"
 
 namespace qopt::opt {
@@ -32,6 +34,11 @@ struct SelingerOptions {
   bool enable_merge_join = true;
   bool enable_hash_join = true;    ///< Off reproduces the 1979 operator set.
   bool enable_index_nl_join = true;
+  /// Search budget: maximum DP table entries (subsets expanded) before the
+  /// enumeration aborts and the optimizer degrades to the greedy left-deep
+  /// heuristic. The default never trips for n <= 16-ish blocks; tighten it
+  /// to bound optimization time on pathological queries. 0 = unlimited.
+  uint64_t max_dp_entries = 200'000;
 };
 
 /// Enumeration-effort counters (E2, E4).
@@ -62,12 +69,24 @@ class SelingerOptimizer {
   /// (a logical property; used by callers stacking aggregates on top).
   const stats::RelStats& result_stats() const { return result_stats_; }
 
+  /// Shares the per-query governor: the DP loop checks the deadline
+  /// periodically and returns kCancelled once it expires.
+  void set_governor(const ResourceGovernor* governor) { governor_ = governor; }
+
+  /// True if the last OptimizeJoinBlock fell back to the greedy heuristic
+  /// (budget exhausted or block too large for DP).
+  bool degraded() const { return degraded_; }
+  const std::string& degraded_reason() const { return degraded_reason_; }
+
  private:
   const Catalog& catalog_;
   const cost::CostModel& model_;
   SelingerOptions options_;
   SelingerCounters counters_;
   stats::RelStats result_stats_;
+  const ResourceGovernor* governor_ = nullptr;
+  bool degraded_ = false;
+  std::string degraded_reason_;
 };
 
 /// Result of the naive exhaustive linear enumeration (E2's baseline).

@@ -84,12 +84,20 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
         }
       }
       std::string num = sql.substr(start, i - start);
-      if (is_double) {
-        tok.kind = TokenKind::kDoubleLiteral;
-        tok.double_value = std::stod(num);
-      } else {
-        tok.kind = TokenKind::kIntLiteral;
-        tok.int_value = std::stoll(num);
+      // stod/stoll throw on out-of-range input; adversarial literals must
+      // surface as a parse error, not an exception.
+      try {
+        if (is_double) {
+          tok.kind = TokenKind::kDoubleLiteral;
+          tok.double_value = std::stod(num);
+        } else {
+          tok.kind = TokenKind::kIntLiteral;
+          tok.int_value = std::stoll(num);
+        }
+      } catch (const std::exception&) {
+        return Status::ParseError("numeric literal out of range at offset " +
+                                  std::to_string(tok.offset) + " ('" + num +
+                                  "')");
       }
       tok.text = num;
     } else if (c == '\'') {

@@ -81,8 +81,20 @@ class ParserImpl {
   Result<ast::Statement> ParseInsert();
   Result<Value> ParseLiteralValue();
 
+  // Recursion depth caps: adversarial inputs (deeply nested subqueries or
+  // paren towers) must fail with a clean kParseError, not a stack overflow.
+  static constexpr int kMaxSelectDepth = 32;
+  static constexpr int kMaxExprDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : d(depth) { ++*d; }
+    ~DepthGuard() { --*d; }
+    int* d;
+  };
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int select_depth_ = 0;
+  int expr_depth_ = 0;
 };
 
 Result<ast::Statement> ParserImpl::ParseStatement(
@@ -133,6 +145,11 @@ Result<std::unique_ptr<SelectStatement>> ParserImpl::ParseSelectOnly() {
 }
 
 Result<std::unique_ptr<SelectStatement>> ParserImpl::ParseSelectStatement() {
+  if (select_depth_ >= kMaxSelectDepth) {
+    return Err("subquery nesting exceeds limit (" +
+               std::to_string(kMaxSelectDepth) + ")");
+  }
+  DepthGuard depth(&select_depth_);
   QOPT_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
   auto sel = std::make_unique<SelectStatement>();
   if (MatchKeyword("DISTINCT")) sel->distinct = true;
@@ -294,6 +311,11 @@ Result<TableRefPtr> ParserImpl::ParseTablePrimary() {
 }
 
 Result<ExprPtr> ParserImpl::ParseOr() {
+  if (expr_depth_ >= kMaxExprDepth) {
+    return Err("expression nesting exceeds limit (" +
+               std::to_string(kMaxExprDepth) + ")");
+  }
+  DepthGuard depth(&expr_depth_);
   QOPT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
   while (MatchKeyword("OR")) {
     QOPT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());

@@ -1,0 +1,64 @@
+#include "testing/fault_injection.h"
+
+namespace qopt::testing {
+
+std::atomic<int> FaultRegistry::armed_points_{0};
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry registry;
+  return registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultMode mode, int nth,
+                        StatusCode code, std::string message) {
+  auto [it, inserted] = specs_.try_emplace(point);
+  it->second = Spec{mode, nth, code, std::move(message), 0, 0};
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  if (specs_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::DisarmAll() {
+  armed_points_.fetch_sub(static_cast<int>(specs_.size()),
+                          std::memory_order_relaxed);
+  specs_.clear();
+}
+
+int FaultRegistry::EvalCount(const std::string& point) const {
+  auto it = specs_.find(point);
+  return it == specs_.end() ? 0 : it->second.evals;
+}
+
+int FaultRegistry::FireCount(const std::string& point) const {
+  auto it = specs_.find(point);
+  return it == specs_.end() ? 0 : it->second.fires;
+}
+
+Status FaultRegistry::Check(const char* point) {
+  auto it = specs_.find(point);
+  if (it == specs_.end()) return Status::OK();
+  Spec& spec = it->second;
+  ++spec.evals;
+  bool fire = false;
+  switch (spec.mode) {
+    case FaultMode::kAlways:
+      fire = true;
+      break;
+    case FaultMode::kOnce:
+      fire = spec.fires == 0;
+      break;
+    case FaultMode::kNth:
+      fire = spec.evals == spec.nth;
+      break;
+  }
+  if (!fire) return Status::OK();
+  ++spec.fires;
+  return Status(spec.code,
+                spec.message + " [fault point: " + std::string(point) + "]");
+}
+
+}  // namespace qopt::testing

@@ -1,0 +1,115 @@
+// Fault-injection harness: named failure points compiled into production
+// code paths, driven by a per-test registry.
+//
+// A fault point is a `QOPT_FAULT_POINT("domain.site")` check placed where a
+// real system could fail (a file open, an allocation, a corrupted stats
+// block). Disarmed — the normal state — a point costs one relaxed atomic
+// load. A test arms a point with a mode (fail-always, fail-once, fail-nth)
+// and an error code; the next evaluation of the point surfaces that error
+// as a well-formed Status through the regular error-propagation machinery.
+// The fault-injection test suite asserts every point unwinds cleanly (no
+// leaks, no UB under ASan/UBSan, no partially populated QueryResult).
+//
+// The canonical point inventory lives in kFaultPoints below; tests iterate
+// it so adding a point without coverage fails the suite.
+#ifndef QOPT_TESTING_FAULT_INJECTION_H_
+#define QOPT_TESTING_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qopt::testing {
+
+/// All fault points compiled into the engine. Keep in sync with the
+/// QOPT_FAULT_POINT call sites; fault_injection_test.cc injects every entry.
+inline constexpr const char* kFaultPoints[] = {
+    "storage.scan.open",      ///< Base-table scan open (row + batch paths).
+    "storage.index.lookup",   ///< B-tree probe (index scans, index-NL joins).
+    "optimizer.stats.load",   ///< Statistics loading for a join block.
+    "cascades.memo.insert",   ///< Memo expression insertion.
+    "exec.batch.alloc",       ///< RowBatch allocation on the vectorized path.
+};
+
+/// When an armed fault point fires.
+enum class FaultMode {
+  kAlways,  ///< Every evaluation fails.
+  kOnce,    ///< The first evaluation fails, later ones pass.
+  kNth,     ///< The nth evaluation (1-based) fails, all others pass.
+};
+
+/// Process-wide registry of armed fault points. Single-threaded by design
+/// (queries are single-threaded today); the disarmed fast path is an atomic
+/// so it stays valid if probes run while another thread arms.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance();
+
+  /// Arms `point` to fail with `code`/`message` according to `mode`.
+  /// Re-arming an armed point replaces its spec and resets its counters.
+  void Arm(const std::string& point, FaultMode mode, int nth = 1,
+           StatusCode code = StatusCode::kInternal,
+           std::string message = "injected fault");
+
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Evaluations of `point` since it was last armed (armed points only).
+  int EvalCount(const std::string& point) const;
+  /// Times `point` actually fired since it was last armed.
+  int FireCount(const std::string& point) const;
+
+  /// True if any point is armed — the macro's fast path.
+  static bool AnyArmed() {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Evaluates `point`: OK unless armed and due to fire.
+  Status Check(const char* point);
+
+ private:
+  struct Spec {
+    FaultMode mode = FaultMode::kAlways;
+    int nth = 1;
+    StatusCode code = StatusCode::kInternal;
+    std::string message;
+    int evals = 0;
+    int fires = 0;
+  };
+
+  static std::atomic<int> armed_points_;
+  std::map<std::string, Spec> specs_;
+};
+
+}  // namespace qopt::testing
+
+/// Fault point in a function returning Status or Result<T>: on an armed
+/// fault, returns the injected Status.
+#define QOPT_FAULT_POINT(name)                                              \
+  do {                                                                      \
+    if (::qopt::testing::FaultRegistry::AnyArmed()) {                       \
+      ::qopt::Status _qopt_fault =                                          \
+          ::qopt::testing::FaultRegistry::Instance().Check(name);           \
+      if (!_qopt_fault.ok()) return _qopt_fault;                            \
+    }                                                                       \
+  } while (0)
+
+/// Fault point in executor code (bool/void returns): records the injected
+/// Status on the ExecContext (first error wins) and returns `...` — pass
+/// `false` in Next/NextBatch, nothing in void Init.
+#define QOPT_FAULT_POINT_CTX(name, ctx, ...)                                \
+  do {                                                                      \
+    if (::qopt::testing::FaultRegistry::AnyArmed()) {                       \
+      ::qopt::Status _qopt_fault =                                          \
+          ::qopt::testing::FaultRegistry::Instance().Check(name);           \
+      if (!_qopt_fault.ok()) {                                              \
+        (ctx)->Fail(std::move(_qopt_fault));                                \
+        return __VA_ARGS__;                                                 \
+      }                                                                     \
+    }                                                                       \
+  } while (0)
+
+#endif  // QOPT_TESTING_FAULT_INJECTION_H_

@@ -1,0 +1,235 @@
+// ResourceGovernor end-to-end: deadlines and row/memory budgets surface as
+// clean kCancelled / kResourceExhausted errors identically across the
+// naive, row and batch execution modes, and optimizer search budgets
+// degrade to the greedy heuristic instead of failing.
+#include "engine/governor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "testing/db_fixtures.h"
+#include "workload/query_gen.h"
+
+namespace qopt {
+namespace {
+
+struct ModeCase {
+  const char* name;
+  bool naive;
+  exec::ExecMode mode;
+};
+
+constexpr ModeCase kModes[] = {
+    {"naive", true, exec::ExecMode::kRow},
+    {"row", false, exec::ExecMode::kRow},
+    {"batch", false, exec::ExecMode::kBatch},
+};
+
+QueryOptions ModeOptions(const ModeCase& m) {
+  QueryOptions o;
+  o.naive_execution = m.naive;
+  o.execution_mode = m.mode;
+  return o;
+}
+
+class GovernorQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::LoadEmpDept(&db_, 500, 20); }
+  Database db_;
+};
+
+TEST_F(GovernorQueryTest, UnlimitedGovernorIsInert) {
+  QueryOptions options;  // Default GovernorOptions: no limits.
+  auto result = db_.Query(
+      "SELECT e.eid, d.name FROM Emp e, Dept d WHERE e.did = d.did", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 500u);
+}
+
+TEST_F(GovernorQueryTest, ServiceDefaultsPassHealthyQuery) {
+  QueryOptions options;
+  options.governor = GovernorOptions::ServiceDefaults();
+  auto result = db_.Query(
+      "SELECT d.name, COUNT(*) FROM Emp e, Dept d WHERE e.did = d.did "
+      "GROUP BY d.name",
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 20u);
+}
+
+TEST_F(GovernorQueryTest, ZeroDeadlineCancelsEveryMode) {
+  for (const ModeCase& m : kModes) {
+    QueryOptions options = ModeOptions(m);
+    options.governor.deadline_ms = 0;
+    auto result = db_.Query(
+        "SELECT e.eid, d.name FROM Emp e, Dept d WHERE e.did = d.did",
+        options);
+    ASSERT_FALSE(result.ok()) << m.name;
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled) << m.name;
+  }
+}
+
+TEST_F(GovernorQueryTest, OneRowBudgetExhaustsEveryMode) {
+  for (const ModeCase& m : kModes) {
+    QueryOptions options = ModeOptions(m);
+    options.governor.max_rows = 1;
+    auto result = db_.Query(
+        "SELECT e.eid, d.name FROM Emp e, Dept d WHERE e.did = d.did",
+        options);
+    ASSERT_FALSE(result.ok()) << m.name;
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << m.name << ": " << result.status().ToString();
+  }
+}
+
+TEST_F(GovernorQueryTest, MemoryBudgetExhausts) {
+  QueryOptions options;
+  options.governor.max_memory_bytes = 64;  // One modeled row overflows this.
+  auto result = db_.Query(
+      "SELECT e.eid FROM Emp e ORDER BY e.sal", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(GovernorQueryTest, FailedQueryReturnsNoPartialRows) {
+  QueryOptions options;
+  options.governor.max_rows = 10;
+  auto result = db_.Query("SELECT e.eid FROM Emp e", options);
+  ASSERT_FALSE(result.ok());
+  // Result<T> carries no value on error; nothing partially populated leaks.
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(GovernorQueryTest, GenerousBudgetMatchesUnlimitedResults) {
+  QueryOptions limited;
+  limited.governor = GovernorOptions::ServiceDefaults();
+  auto with = db_.Query("SELECT e.did, COUNT(*) FROM Emp e GROUP BY e.did",
+                        limited);
+  auto without = db_.Query("SELECT e.did, COUNT(*) FROM Emp e GROUP BY e.did");
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  testing::ExpectSameRows(with->rows, without->rows);
+}
+
+/// Search-budget degradation on many-relation topologies: the query still
+/// answers correctly via the greedy fallback, and the degradation is
+/// observable in OptimizeInfo and EXPLAIN.
+class GovernorDegradationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Near-unique join keys (ndv == rows) keep every n-way intermediate
+    // result small; these tests exercise the *search*, not the data volume.
+    ASSERT_TRUE(workload::CreateJoinTables(&db_, 12, 40, 40, 99).ok());
+  }
+  Database db_;
+};
+
+TEST_F(GovernorDegradationTest, SelingerBudgetFallsBackOnStar) {
+  std::string sql = workload::JoinQuery(workload::Topology::kStar, 12);
+  QueryOptions tight;
+  tight.optimizer.selinger.max_dp_entries = 16;  // Trips immediately.
+  auto degraded = db_.Query(sql, tight);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->optimize_info.degraded);
+  EXPECT_FALSE(degraded->optimize_info.degraded_reason.empty());
+
+  auto full = db_.Query(sql);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_FALSE(full->optimize_info.degraded);
+  testing::ExpectSameRows(degraded->rows, full->rows, "star-12");
+
+  auto explain = db_.Explain(sql, tight);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("[degraded:"), std::string::npos) << *explain;
+}
+
+TEST_F(GovernorDegradationTest, SelingerBudgetFallsBackOnClique) {
+  std::string sql = workload::JoinQuery(workload::Topology::kClique, 12);
+  QueryOptions tight;
+  tight.optimizer.selinger.max_dp_entries = 16;
+  auto degraded = db_.Query(sql, tight);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->optimize_info.degraded);
+
+  auto full = db_.Query(sql);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  testing::ExpectSameRows(degraded->rows, full->rows, "clique-12");
+}
+
+TEST_F(GovernorDegradationTest, CascadesTaskBudgetFallsBack) {
+  std::string sql = workload::JoinQuery(workload::Topology::kStar, 8);
+  QueryOptions tight;
+  tight.optimizer.enumerator = opt::EnumeratorKind::kCascades;
+  tight.optimizer.cascades.max_tasks = 4;  // Trips immediately.
+  auto degraded = db_.Query(sql, tight);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->optimize_info.degraded);
+
+  QueryOptions full_opts;
+  full_opts.optimizer.enumerator = opt::EnumeratorKind::kCascades;
+  auto full = db_.Query(sql, full_opts);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_FALSE(full->optimize_info.degraded);
+  testing::ExpectSameRows(degraded->rows, full->rows, "cascades-star-8");
+}
+
+TEST_F(GovernorDegradationTest, CascadesMemoBudgetPlansFromPartialMemo) {
+  std::string sql = workload::JoinQuery(workload::Topology::kChain, 8);
+  QueryOptions tight;
+  tight.optimizer.enumerator = opt::EnumeratorKind::kCascades;
+  tight.optimizer.cascades.max_memo_exprs = 20;  // Stops exploration early.
+  auto degraded = db_.Query(sql, tight);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->optimize_info.degraded);
+
+  QueryOptions full_opts;
+  full_opts.optimizer.enumerator = opt::EnumeratorKind::kCascades;
+  auto full = db_.Query(sql, full_opts);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  testing::ExpectSameRows(degraded->rows, full->rows, "cascades-chain-8");
+}
+
+/// Unit-level governor behavior.
+TEST(ResourceGovernorTest, DefaultIsDisabled) {
+  ResourceGovernor g;
+  EXPECT_FALSE(g.enabled());
+  EXPECT_TRUE(g.CheckDeadline().ok());
+  EXPECT_TRUE(g.ChargeMaterialized(1'000'000, 1'000'000'000).ok());
+}
+
+TEST(ResourceGovernorTest, RowBudgetTripsAtLimit) {
+  GovernorOptions o;
+  o.max_rows = 10;
+  ResourceGovernor g(o);
+  EXPECT_TRUE(g.ChargeMaterialized(10, 0).ok());
+  Status s = g.ChargeMaterialized(1, 0);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(g.rows_charged(), 11u);
+}
+
+TEST(ResourceGovernorTest, MemoryBudgetTripsAtLimit) {
+  GovernorOptions o;
+  o.max_memory_bytes = 100;
+  ResourceGovernor g(o);
+  EXPECT_TRUE(g.ChargeMaterialized(0, 100).ok());
+  EXPECT_EQ(g.ChargeMaterialized(0, 1).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceGovernorTest, ExpiredDeadlineCancels) {
+  GovernorOptions o;
+  o.deadline_ms = 0;
+  ResourceGovernor g(o);
+  EXPECT_EQ(g.CheckDeadline().code(), StatusCode::kCancelled);
+  // Tick honors the check interval: the first sub-interval rows pass, the
+  // interval boundary consults the clock.
+  GovernorOptions o2;
+  o2.deadline_ms = 0;
+  o2.check_interval_rows = 4;
+  ResourceGovernor g2(o2);
+  EXPECT_TRUE(g2.Tick(3).ok());
+  EXPECT_EQ(g2.Tick(1).code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace qopt

@@ -254,7 +254,7 @@ class BatchOperatorTest : public ExecTestBase {
     ctx.mode = mode;
     ctx.batch_capacity = batch_capacity;
     ModeResult r;
-    r.rows = ExecuteAll(plan, &ctx);
+    r.rows = ExecuteAll(plan, &ctx).value();
     r.stats = ctx.stats;
     return r;
   }

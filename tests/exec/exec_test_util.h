@@ -81,7 +81,7 @@ class ExecTestBase : public ::testing::Test {
     ExecContext ctx;
     ctx.storage = storage_.get();
     ctx.catalog = &catalog_;
-    return ExecuteAll(plan, &ctx);
+    return ExecuteAll(plan, &ctx).value();
   }
 
   // Order-insensitive row comparison.

@@ -44,7 +44,7 @@ TEST_F(ScanExecTest, ScanStatsCounted) {
   ExecContext ctx;
   ctx.storage = storage_.get();
   ctx.catalog = &catalog_;
-  ExecuteAll(EmpScan(), &ctx);
+  ASSERT_TRUE(ExecuteAll(EmpScan(), &ctx).ok());
   EXPECT_EQ(ctx.stats.rows_scanned, 5u);
   EXPECT_GT(ctx.stats.modeled_pages_read, 0);
 }

@@ -178,7 +178,7 @@ TEST_F(ApplyExecTest, AntiApplyCountsExecutions) {
   ExecContext ctx;
   ctx.storage = storage_.get();
   ctx.catalog = &catalog_;
-  std::vector<Row> rows = ExecuteAll(apply, &ctx);
+  std::vector<Row> rows = ExecuteAll(apply, &ctx).value();
   EXPECT_EQ(rows.size(), 1u);  // dept 40
   // Tuple-iteration: inner executed once per outer row.
   EXPECT_EQ(ctx.stats.subquery_executions, 3u);

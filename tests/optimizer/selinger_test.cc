@@ -222,13 +222,30 @@ TEST_F(SelingerTest, SeqScanKnobKeepsIndexlessTablesPlannable) {
   EXPECT_EQ((*plan)->kind, exec::PhysOpKind::kIndexScan);
 }
 
-TEST_F(SelingerTest, TooManyRelationsRejected) {
+TEST_F(SelingerTest, TooManyRelationsDegradesToGreedy) {
+  // Blocks too large for DP (n > 24) no longer hard-fail: the optimizer
+  // falls back to the greedy left-deep heuristic and flags the degradation.
   plan::QueryGraph g;
   for (int i = 0; i < 30; ++i) {
     g.relations.push_back({i, 0, "r" + std::to_string(i), {}});
   }
   SelingerOptimizer opt(db_.catalog(), model_);
-  EXPECT_FALSE(opt.OptimizeJoinBlock(g).ok());
+  auto plan = opt.OptimizeJoinBlock(g);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(opt.degraded());
+  EXPECT_NE(opt.degraded_reason().find("too large"), std::string::npos);
+}
+
+TEST_F(SelingerTest, DpEntryBudgetDegradesToGreedy) {
+  plan::QueryGraph g = Graph(
+      "SELECT * FROM t0, t1, t2 WHERE t0.a = t1.b AND t1.b = t2.a");
+  SelingerOptions options;
+  options.max_dp_entries = 1;  // Trip immediately.
+  SelingerOptimizer opt(db_.catalog(), model_, options);
+  auto plan = opt.OptimizeJoinBlock(g);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(opt.degraded());
+  EXPECT_NE(opt.degraded_reason().find("budget"), std::string::npos);
 }
 
 }  // namespace

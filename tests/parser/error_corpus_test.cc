@@ -1,0 +1,169 @@
+// Malformed-input corpus: adversarial SQL must fail with a position-bearing
+// kParseError / kBindError — never an abort, hang, or stack overflow. The
+// corpus covers truncation at every clause boundary, unbalanced
+// parentheses, pathological nesting depth, absurd literals, and junk bytes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace qopt {
+namespace {
+
+class ErrorCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT PRIMARY KEY, b INT, "
+                            "c STRING)")
+                    .ok());
+  }
+
+  /// The query must fail cleanly: kParseError or kBindError, with a
+  /// non-empty message that carries a position ("offset") or names the
+  /// offending construct.
+  void ExpectCleanFailure(const std::string& sql) {
+    auto result = db_.Query(sql);
+    ASSERT_FALSE(result.ok()) << "accepted malformed input: " << sql;
+    StatusCode code = result.status().code();
+    EXPECT_TRUE(code == StatusCode::kParseError ||
+                code == StatusCode::kBindError)
+        << sql << " -> " << result.status().ToString();
+    EXPECT_FALSE(result.status().message().empty()) << sql;
+    if (code == StatusCode::kParseError) {
+      EXPECT_NE(result.status().message().find("offset"), std::string::npos)
+          << sql << " -> parse error lacks position: "
+          << result.status().ToString();
+    }
+  }
+
+  Database db_;
+};
+
+TEST_F(ErrorCorpusTest, TruncatedStatements) {
+  for (const char* sql : {
+           "SELECT",
+           "SELECT a FROM",
+           "SELECT a FROM t WHERE",
+           "SELECT a FROM t GROUP",
+           "SELECT a FROM t GROUP BY",
+           "SELECT a FROM t ORDER",
+           "SELECT a FROM t ORDER BY",
+           "SELECT a FROM t LIMIT",
+           "SELECT a FROM t HAVING",
+           "SELECT a FROM t JOIN",
+           "SELECT a FROM t JOIN t ON",
+           "SELECT a, FROM t",
+           "SELECT a FROM t WHERE a =",
+           "SELECT a FROM t WHERE a BETWEEN 1 AND",
+           "SELECT a FROM t WHERE a IN",
+           "SELECT a FROM t UNION",
+       }) {
+    ExpectCleanFailure(sql);
+  }
+}
+
+TEST_F(ErrorCorpusTest, UnbalancedParentheses) {
+  for (const char* sql : {
+           "SELECT a FROM t WHERE (a = 1",
+           "SELECT a FROM t WHERE a = 1)",
+           "SELECT a FROM t WHERE ((a = 1)",
+           "SELECT (a FROM t",
+           "SELECT a FROM (SELECT a FROM t",
+           "SELECT a FROM t WHERE a IN (1, 2",
+           "SELECT SUM(a FROM t",
+           "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM t",
+       }) {
+    ExpectCleanFailure(sql);
+  }
+}
+
+TEST_F(ErrorCorpusTest, DeepNestingFailsWithoutStackOverflow) {
+  // 64 nested scalar subqueries: over the parser's 32-deep subquery cap.
+  std::string deep = "SELECT a FROM t WHERE a = ";
+  for (int i = 0; i < 64; ++i) deep += "(SELECT MAX(a) FROM t WHERE a = ";
+  deep += "1";
+  for (int i = 0; i < 64; ++i) deep += ")";
+  ExpectCleanFailure(deep);
+
+  // A 500-deep parenthesized expression tower: over the 200 expr cap.
+  std::string parens = "SELECT a FROM t WHERE a = ";
+  parens += std::string(500, '(') + "1" + std::string(500, ')');
+  ExpectCleanFailure(parens);
+
+  // 64-deep derived tables.
+  std::string derived = "SELECT a FROM ";
+  for (int i = 0; i < 64; ++i) derived += "(SELECT a FROM ";
+  derived += "t";
+  for (int i = 0; i < 64; ++i) derived += ") d" + std::to_string(i);
+  ExpectCleanFailure(derived);
+}
+
+TEST_F(ErrorCorpusTest, NestingUnderTheCapStillParses) {
+  // 8 nested scalar subqueries is comfortably within the cap.
+  std::string ok = "SELECT a FROM t WHERE a = ";
+  for (int i = 0; i < 8; ++i) ok += "(SELECT MAX(a) FROM t WHERE a >= ";
+  ok += "0";
+  for (int i = 0; i < 8; ++i) ok += ")";
+  auto result = db_.Query(ok);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST_F(ErrorCorpusTest, AbsurdLiteralsAndTokens) {
+  for (const char* sql : {
+           "SELECT a FROM t WHERE a = 999999999999999999999999999999999999",
+           "SELECT a FROM t WHERE a = 1e99999",
+           "SELECT a FROM t WHERE c = 'unterminated string",
+           "SELECT a FROM t WHERE a = @",
+           "SELECT a FROM t WHERE a = #comment",
+           "SELECT a FROM t WHERE a = $$$",
+           "SELECT \x01\x02 FROM t",
+           "SELECT a FROM t WHERE a = 1..2",
+       }) {
+    ExpectCleanFailure(sql);
+  }
+}
+
+TEST_F(ErrorCorpusTest, BindErrorsNameTheProblem) {
+  struct Case {
+    const char* sql;
+    const char* expect_in_message;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"SELECT nope FROM t", "nope"},
+           {"SELECT a FROM missing_table", "missing_table"},
+           {"SELECT x.a FROM t", "x"},
+           {"SELECT a FROM t WHERE zzz = 1", "zzz"},
+           {"SELECT a FROM t GROUP BY a HAVING bogus > 1", "bogus"},
+           {"SELECT a FROM t t1, t t1", "t1"},
+       }) {
+    auto result = db_.Query(c.sql);
+    ASSERT_FALSE(result.ok()) << c.sql;
+    EXPECT_EQ(result.status().code(), StatusCode::kBindError)
+        << c.sql << " -> " << result.status().ToString();
+    EXPECT_NE(result.status().message().find(c.expect_in_message),
+              std::string::npos)
+        << c.sql << " -> " << result.status().ToString();
+  }
+}
+
+TEST_F(ErrorCorpusTest, JunkAfterValidStatement) {
+  for (const char* sql : {
+           "SELECT a FROM t extra garbage here",
+           "SELECT a FROM t; SELECT b FROM t",
+           "SELECT a FROM t))))",
+       }) {
+    ExpectCleanFailure(sql);
+  }
+}
+
+TEST_F(ErrorCorpusTest, EmptyAndWhitespaceInput) {
+  for (const char* sql : {"", "   ", "\n\t\n", ";", "(((((("}) {
+    auto result = db_.Query(sql);
+    EXPECT_FALSE(result.ok()) << "accepted: '" << sql << "'";
+  }
+}
+
+}  // namespace
+}  // namespace qopt
