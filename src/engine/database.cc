@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include <algorithm>
+
 #include "parser/parser.h"
 #include "plan/binder.h"
 
@@ -186,6 +188,16 @@ Result<QueryResult> Database::Query(const std::string& sql,
   ctx.mode = options.execution_mode;
   ctx.batch_capacity = options.batch_capacity;
   if (governor.enabled()) ctx.governor = &governor;
+  if (options.execution_mode == exec::ExecMode::kParallel) {
+    ctx.dop = std::clamp<size_t>(options.dop, 1, ThreadPool::kMaxThreads);
+    ctx.morsel_rows = options.morsel_rows;
+    if (ctx.dop > 1) {
+      // dop workers = the calling thread + dop-1 pool threads.
+      if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(1);
+      pool_->EnsureThreads(ctx.dop - 1);
+      ctx.pool = pool_.get();
+    }
+  }
   QOPT_ASSIGN_OR_RETURN(result.rows, exec::ExecuteAll(plan, &ctx));
   result.exec_stats = ctx.stats;
   return result;
@@ -198,6 +210,19 @@ Result<std::string> Database::Explain(const std::string& sql,
   std::string header;
   if (info.degraded) {
     header = "[degraded: " + info.degraded_reason + "]\n";
+  }
+  if (options.execution_mode == exec::ExecMode::kParallel) {
+    // Mark the morsel-parallel region roots plus the vectorized operators
+    // the serial remainder of the plan will use.
+    std::unordered_set<const exec::PhysicalPlan*> batch_nodes =
+        exec::BatchModeNodes(plan);
+    std::unordered_set<const exec::PhysicalPlan*> parallel_roots =
+        exec::ParallelRegionRoots(plan);
+    return header + "execution mode: parallel (dop " +
+           std::to_string(options.dop) +
+           "; region roots marked [parallel], vectorized operators " +
+           "[batch])\n" +
+           plan->ToString(0, &batch_nodes, &parallel_roots);
   }
   if (options.execution_mode == exec::ExecMode::kBatch) {
     // Mark the operators the builder will run vectorized; the rest fall

@@ -3,10 +3,12 @@
 #ifndef QOPT_ENGINE_DATABASE_H_
 #define QOPT_ENGINE_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "engine/governor.h"
+#include "engine/thread_pool.h"
 #include "exec/executors.h"
 #include "optimizer/optimizer.h"
 #include "stats/stats_builder.h"
@@ -29,6 +31,11 @@ struct QueryOptions {
   exec::ExecMode execution_mode = exec::ExecMode::kBatch;
   /// Rows per batch on the vectorized path.
   size_t batch_capacity = exec::kDefaultBatchCapacity;
+  /// Degree of parallelism under ExecMode::kParallel (workers per parallel
+  /// region, clamped to ThreadPool::kMaxThreads). Ignored in serial modes.
+  size_t dop = 4;
+  /// Target rows per scan morsel under ExecMode::kParallel.
+  size_t morsel_rows = 4096;
   /// Resource governance (deadline, row/memory budgets), enforced across
   /// both optimization and execution. Defaults to unlimited; see
   /// GovernorOptions::ServiceDefaults() for production-style caps.
@@ -108,6 +115,9 @@ class Database {
 
   Catalog catalog_;
   Storage storage_;
+  /// Worker threads for ExecMode::kParallel, created lazily on the first
+  /// parallel query and reused (grow-only) across queries.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Direct 1:1 translation of a logical plan to executors (no optimization);

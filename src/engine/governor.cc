@@ -26,19 +26,33 @@ Status ResourceGovernor::CheckDeadline() const {
 
 Status ResourceGovernor::ChargeMaterialized(uint64_t rows, uint64_t bytes) {
   if (!enabled_) return Status::OK();
-  rows_charged_ += rows;
-  bytes_charged_ += bytes;
-  if (max_rows_ > 0 && rows_charged_ > max_rows_) {
+  uint64_t total_rows =
+      rows_charged_.fetch_add(rows, std::memory_order_relaxed) + rows;
+  uint64_t total_bytes =
+      bytes_charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  bool over_rows = max_rows_ > 0 && total_rows > max_rows_;
+  bool over_bytes = max_bytes_ > 0 && total_bytes > max_bytes_;
+  if (!over_rows && !over_bytes) {
+    // A sibling worker may have tripped already; keep failing so every
+    // thread of the query unwinds, not just the one that crossed the line.
+    if (tripped_.load(std::memory_order_relaxed)) {
+      return Status::ResourceExhausted("resource budget exceeded");
+    }
+    return Status::OK();
+  }
+  bool expected = false;
+  if (tripped_.compare_exchange_strong(expected, true,
+                                       std::memory_order_relaxed)) {
+    trip_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (over_rows) {
     return Status::ResourceExhausted(
-        "row budget exceeded: " + std::to_string(rows_charged_) +
+        "row budget exceeded: " + std::to_string(total_rows) +
         " rows materialized (budget " + std::to_string(max_rows_) + ")");
   }
-  if (max_bytes_ > 0 && bytes_charged_ > max_bytes_) {
-    return Status::ResourceExhausted(
-        "memory budget exceeded: " + std::to_string(bytes_charged_) +
-        " bytes materialized (budget " + std::to_string(max_bytes_) + ")");
-  }
-  return Status::OK();
+  return Status::ResourceExhausted(
+      "memory budget exceeded: " + std::to_string(total_bytes) +
+      " bytes materialized (budget " + std::to_string(max_bytes_) + ")");
 }
 
 }  // namespace qopt

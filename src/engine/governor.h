@@ -13,6 +13,7 @@
 #ifndef QOPT_ENGINE_GOVERNOR_H_
 #define QOPT_ENGINE_GOVERNOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -51,9 +52,14 @@ struct GovernorOptions {
   }
 };
 
-/// Cooperative per-query resource accounting. Not thread-safe: one
-/// governor belongs to exactly one query on one thread (the concurrency PR
-/// will shard governors per worker).
+/// Cooperative per-query resource accounting. Thread-safe: one governor
+/// belongs to exactly one query, but under ExecMode::kParallel every worker
+/// of that query ticks and charges the same instance concurrently. Counters
+/// are relaxed atomics (accounting needs no ordering, only eventual sums);
+/// a budget trip is recorded exactly once via a compare-and-swap on
+/// `tripped_`, and every charge after the trip keeps failing — sticky — so
+/// each worker unwinds with the same clean error regardless of which one
+/// crossed the budget.
 class ResourceGovernor {
  public:
   ResourceGovernor() : ResourceGovernor(GovernorOptions{}) {}
@@ -70,9 +76,12 @@ class ResourceGovernor {
   /// deadline once per `check_interval_rows`. Cheap enough for per-row use.
   Status Tick(uint64_t rows = 1) {
     if (!has_deadline_) return Status::OK();
-    tick_accum_ += rows;
-    if (tick_accum_ < check_interval_) return Status::OK();
-    tick_accum_ = 0;
+    uint64_t accum =
+        tick_accum_.fetch_add(rows, std::memory_order_relaxed) + rows;
+    if (accum < check_interval_) return Status::OK();
+    // Concurrent workers crossing the interval together each reset and
+    // check — at worst a few extra clock reads, never a missed check.
+    tick_accum_.store(0, std::memory_order_relaxed);
     return CheckDeadline();
   }
 
@@ -80,8 +89,20 @@ class ResourceGovernor {
   /// against the row and memory budgets; kResourceExhausted on overflow.
   Status ChargeMaterialized(uint64_t rows, uint64_t bytes);
 
-  uint64_t rows_charged() const { return rows_charged_; }
-  uint64_t bytes_charged() const { return bytes_charged_; }
+  uint64_t rows_charged() const {
+    return rows_charged_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_charged() const {
+    return bytes_charged_.load(std::memory_order_relaxed);
+  }
+
+  /// True once a row/memory budget has tripped (sticky).
+  bool tripped() const { return tripped_.load(std::memory_order_relaxed); }
+  /// How many times a budget trip was *recorded* — exactly 1 after any
+  /// number of concurrent over-budget charges (regression-tested).
+  uint64_t trip_count() const {
+    return trip_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   bool enabled_ = false;
@@ -90,9 +111,11 @@ class ResourceGovernor {
   uint64_t max_rows_ = 0;
   uint64_t max_bytes_ = 0;
   std::chrono::steady_clock::time_point deadline_{};
-  uint64_t tick_accum_ = 0;
-  uint64_t rows_charged_ = 0;
-  uint64_t bytes_charged_ = 0;
+  std::atomic<uint64_t> tick_accum_{0};
+  std::atomic<uint64_t> rows_charged_{0};
+  std::atomic<uint64_t> bytes_charged_{0};
+  std::atomic<bool> tripped_{false};
+  std::atomic<uint64_t> trip_count_{0};
 };
 
 }  // namespace qopt

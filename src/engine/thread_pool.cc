@@ -1,0 +1,130 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <ctime>
+
+namespace qopt {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+  }
+  num_threads = std::clamp<size_t>(num_threads, 1, kMaxThreads);
+  EnsureThreads(num_threads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::unique_ptr<Worker>& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ThreadPool::EnsureThreads(size_t n) {
+  n = std::min(n, kMaxThreads);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < n) {
+    workers_.push_back(std::make_unique<Worker>());
+    size_t idx = workers_.size() - 1;
+    workers_[idx]->thread = std::thread([this, idx] { WorkerLoop(idx); });
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_queue_ = (next_queue_ + 1) % workers_.size();
+    workers_[next_queue_]->tasks.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TryPop(size_t w) {
+  // Caller holds mu_. Own deque first (LIFO: newest task, warm caches),
+  // then steal the oldest task of the other workers.
+  if (!workers_[w]->tasks.empty()) {
+    std::function<void()> fn = std::move(workers_[w]->tasks.back());
+    workers_[w]->tasks.pop_back();
+    return fn;
+  }
+  for (size_t off = 1; off < workers_.size(); ++off) {
+    Worker& victim = *workers_[(w + off) % workers_.size()];
+    if (!victim.tasks.empty()) {
+      std::function<void()> fn = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return fn;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t w) {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Check queues before the shutdown flag so destruction drains any
+      // still-pending tasks instead of dropping them.
+      cv_.wait(lock, [&] { return (fn = TryPop(w)) != nullptr || shutdown_; });
+      if (fn == nullptr) return;  // shutdown with all queues drained
+    }
+    fn();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // All participants — pool workers and the calling thread — claim indices
+  // from one shared counter, so the split adapts to however many threads
+  // actually show up (a busy pool just leaves more work to the caller).
+  struct State {
+    std::atomic<size_t> next{0};
+    size_t total = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t remaining = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->total = n;
+  state->fn = &fn;
+  state->remaining = n;
+  auto drive = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->total) return;
+      (*s->fn)(i);
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (--s->remaining == 0) s->done_cv.notify_all();
+    }
+  };
+  size_t helpers = std::min(n - 1, num_threads());
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state, drive] { drive(state); });
+  }
+  drive(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+}
+
+double ThreadCpuMs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace qopt

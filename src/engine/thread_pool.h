@@ -1,0 +1,81 @@
+// ThreadPool: a small work-stealing thread pool for morsel-driven parallel
+// query execution (DESIGN.md §3.8).
+//
+// Each worker thread owns a deque of tasks: it pops its own work LIFO (hot
+// caches for recently spawned subtasks) and steals FIFO from the other
+// workers when its deque runs dry (oldest task first — the classic
+// work-stealing order, which steals the largest remaining chunks). The pool
+// is created once and reused across queries; ParallelFor is the only
+// primitive query execution needs: run f(0..n-1) to completion with the
+// calling thread participating, so a saturated (or even empty) pool can
+// never deadlock a query.
+#ifndef QOPT_ENGINE_THREAD_POOL_H_
+#define QOPT_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qopt {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means one worker per
+  /// hardware thread (clamped to [1, kMaxThreads]).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Grows the pool to at least `n` workers (never shrinks; capped at
+  /// kMaxThreads). Callable between queries; not concurrently with itself.
+  void EnsureThreads(size_t n);
+
+  /// Enqueues `fn` on one worker's deque (round-robin); any idle worker may
+  /// steal it. `fn` must not block on other pool tasks.
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(0), ..., fn(n-1) to completion. Tasks 1..n-1 are submitted to
+  /// the pool; the calling thread runs fn(0) itself and then helps drain
+  /// the remaining tasks of this call while waiting, so completion never
+  /// depends on pool capacity. Do not call from inside a pool task.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Hard cap on pool width (queries clamp dop against this).
+  static constexpr size_t kMaxThreads = 16;
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> tasks;  // guarded by ThreadPool::mu_
+    std::thread thread;
+  };
+
+  /// Pops a task: own deque back first (w = worker index), then steal from
+  /// the front of the others'. Returns nullptr when everything is empty.
+  std::function<void()> TryPop(size_t w);
+
+  void WorkerLoop(size_t w);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  size_t next_queue_ = 0;  ///< Round-robin submission cursor.
+  bool shutdown_ = false;
+};
+
+/// CPU time of the calling thread in milliseconds (used by the parallel
+/// execution stats: on an oversubscribed machine wall time hides the true
+/// work split, thread CPU time does not). Falls back to 0 where the clock
+/// is unavailable.
+double ThreadCpuMs();
+
+}  // namespace qopt
+
+#endif  // QOPT_ENGINE_THREAD_POOL_H_

@@ -2,6 +2,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "exec/agg_state.h"
 #include "exec/executors_internal.h"
 
 namespace qopt::exec::internal {
@@ -10,72 +11,9 @@ namespace {
 
 using ast::AggFunc;
 
-/// Accumulator for one aggregate function instance.
-class AggAcc {
- public:
-  explicit AggAcc(const plan::AggItem* item) : item_(item) {}
-
-  void Accumulate(const Value& v) {
-    if (item_->func == AggFunc::kCountStar) {
-      ++count_;
-      return;
-    }
-    if (v.is_null()) return;
-    if (item_->distinct && !distinct_.insert(v).second) return;
-    ++count_;
-    switch (item_->func) {
-      case AggFunc::kSum:
-      case AggFunc::kAvg:
-        sum_ += v.AsNumeric();
-        if (v.type() == TypeId::kInt64) isum_ += v.AsInt();
-        else all_int_ = false;
-        break;
-      case AggFunc::kMin:
-        if (min_.is_null() || v.Compare(min_) < 0) min_ = v;
-        break;
-      case AggFunc::kMax:
-        if (max_.is_null() || v.Compare(max_) > 0) max_ = v;
-        break;
-      default:
-        break;
-    }
-  }
-
-  Value Finalize() const {
-    switch (item_->func) {
-      case AggFunc::kCountStar:
-      case AggFunc::kCount:
-        return Value::Int(count_);
-      case AggFunc::kSum:
-        if (count_ == 0) return Value::Null();
-        return all_int_ ? Value::Int(isum_) : Value::Double(sum_);
-      case AggFunc::kAvg:
-        if (count_ == 0) return Value::Null();
-        return Value::Double(sum_ / static_cast<double>(count_));
-      case AggFunc::kMin:
-        return min_;
-      case AggFunc::kMax:
-        return max_;
-    }
-    return Value::Null();
-  }
-
- private:
-  const plan::AggItem* item_;
-  int64_t count_ = 0;
-  double sum_ = 0;
-  int64_t isum_ = 0;
-  bool all_int_ = true;
-  Value min_, max_;
-  std::set<Value> distinct_;
-};
-
-/// Group state: key values + one accumulator per aggregate.
-struct Group {
-  std::vector<AggAcc> accs;
-};
-
 /// Common machinery: grouping keys extraction and result materialization.
+/// AggAcc / Group themselves live in agg_state.h, shared with the parallel
+/// partial-aggregation sink.
 class AggregateExecBase : public Executor {
  public:
   AggregateExecBase(const PhysicalPlan* plan, ExecContext* ctx,
@@ -111,11 +49,7 @@ class AggregateExecBase : public Executor {
     }
   }
 
-  Group NewGroup() const {
-    Group g;
-    for (const plan::AggItem& item : plan_->aggs) g.accs.emplace_back(&item);
-    return g;
-  }
+  Group NewGroup() const { return internal::NewGroup(plan_->aggs); }
 
   Row FinalizeRow(const Row& key, const Group& g) const {
     Row out = key;

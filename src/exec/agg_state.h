@@ -1,0 +1,133 @@
+// AggAcc / Group: per-aggregate accumulator state, shared between the
+// serial aggregation executors (agg_executors.cc) and the parallel
+// partial-aggregation sink (parallel_executors.cc).
+//
+// MergeFrom combines two partial accumulations of disjoint input
+// partitions into the state a single accumulation over their union would
+// have produced — the gather barrier of parallel aggregation merges
+// per-worker partials with it (DESIGN.md §3.8). DISTINCT partials merge by
+// re-accumulating the other side's distinct set, so cross-partition
+// duplicates collapse exactly as they would have serially.
+#ifndef QOPT_EXEC_AGG_STATE_H_
+#define QOPT_EXEC_AGG_STATE_H_
+
+#include <set>
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace qopt::exec::internal {
+
+/// Accumulator for one aggregate function instance.
+class AggAcc {
+ public:
+  explicit AggAcc(const plan::AggItem* item) : item_(item) {}
+
+  void Accumulate(const Value& v) {
+    if (item_->func == ast::AggFunc::kCountStar) {
+      ++count_;
+      return;
+    }
+    if (v.is_null()) return;
+    if (item_->distinct && !distinct_.insert(v).second) return;
+    ++count_;
+    switch (item_->func) {
+      case ast::AggFunc::kSum:
+      case ast::AggFunc::kAvg:
+        sum_ += v.AsNumeric();
+        if (v.type() == TypeId::kInt64) isum_ += v.AsInt();
+        else all_int_ = false;
+        break;
+      case ast::AggFunc::kMin:
+        if (min_.is_null() || v.Compare(min_) < 0) min_ = v;
+        break;
+      case ast::AggFunc::kMax:
+        if (max_.is_null() || v.Compare(max_) > 0) max_ = v;
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Folds another partial accumulation (over a disjoint input partition)
+  /// into this one.
+  void MergeFrom(const AggAcc& other) {
+    if (item_->func == ast::AggFunc::kCountStar) {
+      count_ += other.count_;
+      return;
+    }
+    if (item_->distinct) {
+      // Re-accumulate the other partition's distinct values; the insert
+      // check collapses values seen by both partitions.
+      for (const Value& v : other.distinct_) Accumulate(v);
+      return;
+    }
+    count_ += other.count_;
+    switch (item_->func) {
+      case ast::AggFunc::kSum:
+      case ast::AggFunc::kAvg:
+        sum_ += other.sum_;
+        isum_ += other.isum_;
+        all_int_ = all_int_ && other.all_int_;
+        break;
+      case ast::AggFunc::kMin:
+        if (!other.min_.is_null() &&
+            (min_.is_null() || other.min_.Compare(min_) < 0)) {
+          min_ = other.min_;
+        }
+        break;
+      case ast::AggFunc::kMax:
+        if (!other.max_.is_null() &&
+            (max_.is_null() || other.max_.Compare(max_) > 0)) {
+          max_ = other.max_;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  Value Finalize() const {
+    switch (item_->func) {
+      case ast::AggFunc::kCountStar:
+      case ast::AggFunc::kCount:
+        return Value::Int(count_);
+      case ast::AggFunc::kSum:
+        if (count_ == 0) return Value::Null();
+        return all_int_ ? Value::Int(isum_) : Value::Double(sum_);
+      case ast::AggFunc::kAvg:
+        if (count_ == 0) return Value::Null();
+        return Value::Double(sum_ / static_cast<double>(count_));
+      case ast::AggFunc::kMin:
+        return min_;
+      case ast::AggFunc::kMax:
+        return max_;
+    }
+    return Value::Null();
+  }
+
+ private:
+  const plan::AggItem* item_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  int64_t isum_ = 0;
+  bool all_int_ = true;
+  Value min_, max_;
+  std::set<Value> distinct_;
+};
+
+/// Group state: one accumulator per aggregate.
+struct Group {
+  std::vector<AggAcc> accs;
+};
+
+/// A fresh group with one accumulator per item in `aggs`.
+inline Group NewGroup(const std::vector<plan::AggItem>& aggs) {
+  Group g;
+  for (const plan::AggItem& item : aggs) g.accs.emplace_back(&item);
+  return g;
+}
+
+}  // namespace qopt::exec::internal
+
+#endif  // QOPT_EXEC_AGG_STATE_H_

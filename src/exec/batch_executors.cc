@@ -20,10 +20,13 @@
 // preserves both the hit/miss accounting and the eviction order.
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
 
 #include "exec/executors_internal.h"
+#include "exec/hash_join_state.h"
+#include "exec/morsel.h"
 #include "testing/fault_injection.h"
 
 namespace qopt::exec::internal {
@@ -64,16 +67,29 @@ class BatchExecutor : public Executor {
 };
 
 /// Vectorized sequential / index-range scan with an optional residual
-/// filter evaluated batch-at-a-time.
+/// filter evaluated batch-at-a-time. With a MorselSource attached, the
+/// sequential scan pulls page-aligned row ranges from the shared cursor
+/// instead of walking the whole table — the parallel mode's morsel-driven
+/// scan (index scans never run morsel-driven).
 class BatchScanExec : public BatchExecutor {
  public:
   using BatchExecutor::BatchExecutor;
+  BatchScanExec(const PhysicalPlan* plan, ExecContext* ctx,
+                MorselSource* morsels)
+      : BatchExecutor(plan, ctx), morsels_(morsels) {}
 
   bool NextBatch(RowBatch* out) override {
     if (ctx_->Failed()) return false;
     QOPT_FAULT_POINT_CTX("exec.batch.alloc", ctx_, false);
     size_t n = use_ids_ ? row_ids_.size() : table_->num_rows();
-    if (pos_ >= n) return false;
+    if (morsels_ != nullptr) {
+      // A batch never spans morsels: the page-run accounting below stays
+      // within the claimed page-aligned range.
+      if (pos_ >= limit_ && !morsels_->Next(&pos_, &limit_)) return false;
+    } else {
+      limit_ = n;
+      if (pos_ >= n) return false;
+    }
     const size_t batch_start = pos_;
     out->Reset(plan_->output_cols.size(), ctx_->batch_capacity);
     double rows = std::max<double>(1.0, static_cast<double>(table_->num_rows()));
@@ -93,7 +109,7 @@ class BatchScanExec : public BatchExecutor {
       size_t start = pos_;
       size_t run_end = pos_;  // forces page lookup on the first row
       uint64_t cur_page = 0;
-      while (pos_ < n && !out->full()) {
+      while (pos_ < limit_ && !out->full()) {
         if (pos_ >= run_end) {
           cur_page = page_of(pos_);
           if (ctx_->buffer_pool.Touch(
@@ -104,9 +120,9 @@ class BatchScanExec : public BatchExecutor {
                           ? static_cast<size_t>(
                                 static_cast<double>(cur_page + 1) * rows /
                                 pages)
-                          : n;
-          hi = std::clamp(hi, pos_ + 1, n);
-          while (hi < n && page_of(hi) == cur_page) ++hi;
+                          : limit_;
+          hi = std::clamp(hi, pos_ + 1, limit_);
+          while (hi < limit_ && page_of(hi) == cur_page) ++hi;
           while (hi > pos_ + 1 && page_of(hi - 1) != cur_page) --hi;
           run_end = hi;
         }
@@ -147,6 +163,7 @@ class BatchScanExec : public BatchExecutor {
     table_ = ctx_->storage->GetTable(plan_->table_id);
     QOPT_DCHECK(table_ != nullptr);
     pos_ = 0;
+    limit_ = 0;  // morsel mode claims a range on the first NextBatch
     // Split the scan predicate into `column <op> constant` conjuncts —
     // checked directly against storage rows before any copy — and a
     // residual evaluated batch-wise. Scalar comparison semantics are
@@ -271,6 +288,8 @@ class BatchScanExec : public BatchExecutor {
   plan::BExpr residual_;
   bool use_ids_ = false;
   size_t pos_ = 0;
+  size_t limit_ = 0;  ///< Exclusive end of the current sequential range.
+  MorselSource* morsels_ = nullptr;  ///< Shared scan cursor (parallel mode).
 };
 
 /// Vectorized filter: refines the child batch's selection vector in place;
@@ -358,7 +377,10 @@ class BatchProjectExec : public BatchExecutor {
 
 /// Vectorized hash join: builds on the right input (batch-drained), probes
 /// a whole left batch per NextBatch call. Supports the same join types and
-/// residual-predicate semantics as the row-mode HashJoinExec.
+/// residual-predicate semantics as the row-mode HashJoinExec. In the
+/// probe-only variant the build side (a shared JoinBuildState) was
+/// materialized elsewhere — the parallel gather's build phase — and this
+/// executor only probes it.
 class BatchHashJoinExec : public BatchExecutor {
  public:
   BatchHashJoinExec(const PhysicalPlan* plan, ExecContext* ctx,
@@ -367,12 +389,18 @@ class BatchHashJoinExec : public BatchExecutor {
       : BatchExecutor(plan, ctx),
         left_(std::move(left)),
         right_(std::move(right)) {
-    left_width_ = left_->plan().output_cols.size();
-    right_width_ = right_->plan().output_cols.size();
-    combined_map_ = left_->colmap();
-    for (const auto& [id, pos] : right_->colmap()) {
-      combined_map_[id] = pos + static_cast<int>(left_width_);
-    }
+    InitShape();
+  }
+
+  /// Probe-only: `state` holds a finalized build side shared with other
+  /// probe workers.
+  BatchHashJoinExec(const PhysicalPlan* plan, ExecContext* ctx,
+                    std::unique_ptr<Executor> left,
+                    std::shared_ptr<JoinBuildState> state)
+      : BatchExecutor(plan, ctx),
+        left_(std::move(left)),
+        state_(std::move(state)) {
+    InitShape();
   }
 
   bool NextBatch(RowBatch* out) override {
@@ -402,16 +430,20 @@ class BatchHashJoinExec : public BatchExecutor {
  protected:
   void InitBatch() override {
     left_->Init();
-    right_->Init();
-    table_.clear();
-    generic_built_ = false;
-    build_cols_.assign(right_width_, {});
     probe_.Reset(0, 0);
     probe_pos_ = 0;
     done_ = false;
+    auto lit = left_->colmap().find(plan_->left_key);
+    QOPT_DCHECK(lit != left_->colmap().end());
+    lk_ = lit->second;
+    if (right_ == nullptr) return;  // probe-only: shared state is ready
+    right_->Init();
+    state_ = std::make_shared<JoinBuildState>();  // fresh on rescan
+    state_->build_cols.assign(right_width_, {});
     auto rit = right_->colmap().find(plan_->right_key);
     QOPT_DCHECK(rit != right_->colmap().end());
     size_t rk = static_cast<size_t>(rit->second);
+    state_->rk = rk;
     // The build side stays columnar: values move straight out of the child
     // batches (each batch is reset on the next NextBatch call), avoiding a
     // per-row Row materialization of the entire build input.
@@ -423,65 +455,31 @@ class BatchHashJoinExec : public BatchExecutor {
         // Same modeled footprint as the row-mode build charge.
         if (!ctx_->GovernorCharge(1, 16 + 24 * right_width_)) break;
         for (size_t c = 0; c < right_width_; ++c) {
-          build_cols_[c].push_back(std::move(build.column(c)[r]));
+          state_->build_cols[c].push_back(std::move(build.column(c)[r]));
         }
       }
     }
-    rk_ = rk;
-    auto lit = left_->colmap().find(plan_->left_key);
-    QOPT_DCHECK(lit != left_->colmap().end());
-    lk_ = lit->second;
-    // Int-keyed joins (the common case) use a chained head/next layout:
-    // one hash entry per distinct key and a flat next[] array instead of a
-    // node allocation per build row. Valid only when both key columns are
-    // declared kInt64 and every build key really is an int64 — Value
-    // equality coerces across numeric types (3 == 3.0), which the int
-    // table cannot reproduce.
-    const std::vector<Value>& keys = build_cols_[rk];
-    int_path_ =
-        left_->plan().output_cols[static_cast<size_t>(lk_)].type ==
-            TypeId::kInt64 &&
-        right_->plan().output_cols[rk].type == TypeId::kInt64;
-    for (size_t i = 0; int_path_ && i < keys.size(); ++i) {
-      if (keys[i].type() != TypeId::kInt64) int_path_ = false;
-    }
-    if (int_path_) {
-      iheads_.clear();
-      iheads_.reserve(keys.size());
-      inext_.assign(keys.size(), 0);
-      for (size_t i = 0; i < keys.size(); ++i) {
-        uint32_t& head = iheads_[keys[i].AsInt()];
-        inext_[i] = head;
-        head = static_cast<uint32_t>(i) + 1;  // 0 terminates the chain
-      }
-    } else {
-      BuildGenericTable();
-    }
+    state_->Finalize(
+        left_->plan().output_cols[static_cast<size_t>(lk_)].type,
+        right_->plan().output_cols[rk].type);
   }
 
  private:
-  void BuildGenericTable() {
-    const std::vector<Value>& keys = build_cols_[rk_];
-    table_.reserve(keys.size());
-    for (size_t i = 0; i < keys.size(); ++i) table_.emplace(keys[i], i);
-    generic_built_ = true;
-  }
-
-  /// Calls fn(build_index) for every build row whose key matches `key`
-  /// (never called with a NULL key). A non-int64 probe key against the int
-  /// table falls back to a lazily built generic table, preserving Value's
-  /// cross-numeric equality.
-  template <typename Fn>
-  void ForEachMatch(const Value& key, Fn&& fn) {
-    if (int_path_ && key.type() == TypeId::kInt64) {
-      auto it = iheads_.find(key.AsInt());
-      if (it == iheads_.end()) return;
-      for (uint32_t i = it->second; i != 0; i = inext_[i - 1]) fn(i - 1);
-      return;
+  /// Widths and the combined output column map, derived from the plan's
+  /// children so the probe-only variant (no right executor) agrees exactly
+  /// with the self-building one.
+  void InitShape() {
+    const PhysicalPlan& lp = *plan_->children[0];
+    const PhysicalPlan& rp = *plan_->children[1];
+    left_width_ = lp.output_cols.size();
+    right_width_ = rp.output_cols.size();
+    for (size_t i = 0; i < left_width_; ++i) {
+      combined_map_[lp.output_cols[i].id] = static_cast<int>(i);
     }
-    if (!generic_built_) BuildGenericTable();
-    auto [begin, end] = table_.equal_range(key);
-    for (auto it = begin; it != end; ++it) fn(it->second);
+    for (size_t i = 0; i < right_width_; ++i) {
+      combined_map_[rp.output_cols[i].id] =
+          static_cast<int>(left_width_ + i);
+    }
   }
 
   /// Emits all join output for one probe row.
@@ -492,12 +490,13 @@ class BatchHashJoinExec : public BatchExecutor {
     if (inner && !plan_->predicate) {
       // Hot path: emit matches directly, no intermediate match list.
       if (key.is_null()) return;
-      ForEachMatch(key, [&](size_t b) { AppendCombined(prow, b, out); });
+      state_->ForEachMatch(key,
+                           [&](size_t b) { AppendCombined(prow, b, out); });
       return;
     }
     matches_.clear();
     if (!key.is_null()) {
-      ForEachMatch(key, [&](size_t b) {
+      state_->ForEachMatch(key, [&](size_t b) {
         if (plan_->predicate && !ResidualPass(prow, b)) return;
         matches_.push_back(b);
       });
@@ -530,7 +529,7 @@ class BatchHashJoinExec : public BatchExecutor {
       combined_.push_back(probe_.At(c, prow));
     }
     for (size_t c = 0; c < right_width_; ++c) {
-      combined_.push_back(build_cols_[c][bidx]);
+      combined_.push_back(state_->build_cols[c][bidx]);
     }
     EvalContext ev{&combined_map_, &combined_, &ctx_->params};
     return EvalPredicate(plan_->predicate, ev);
@@ -541,7 +540,7 @@ class BatchHashJoinExec : public BatchExecutor {
       out->column(c).push_back(probe_.At(c, prow));
     }
     for (size_t c = 0; c < right_width_; ++c) {
-      out->column(left_width_ + c).push_back(build_cols_[c][bidx]);
+      out->column(left_width_ + c).push_back(state_->build_cols[c][bidx]);
     }
     out->CommitRow();
     ++ctx_->stats.rows_joined;
@@ -566,24 +565,14 @@ class BatchHashJoinExec : public BatchExecutor {
     ++ctx_->stats.rows_joined;
   }
 
-  struct ValueHash {
-    size_t operator()(const Value& v) const { return v.Hash(); }
-  };
-
   std::unique_ptr<Executor> left_;
-  std::unique_ptr<Executor> right_;
+  std::unique_ptr<Executor> right_;  ///< Null in the probe-only variant.
+  std::shared_ptr<JoinBuildState> state_;
   size_t left_width_ = 0;
   size_t right_width_ = 0;
   ColMap combined_map_;
-  std::unordered_multimap<Value, size_t, ValueHash> table_;
-  bool generic_built_ = false;
-  bool int_path_ = false;
-  std::unordered_map<int64_t, uint32_t> iheads_;  ///< key -> chain head + 1
-  std::vector<uint32_t> inext_;                   ///< per-build-row chain link
-  std::vector<std::vector<Value>> build_cols_;  ///< Columnar build store.
   std::vector<size_t> matches_;
   int lk_ = 0;
-  size_t rk_ = 0;
   RowBatch probe_;
   size_t probe_pos_ = 0;
   bool done_ = false;
@@ -614,6 +603,19 @@ std::unique_ptr<Executor> NewBatchHashJoinExec(
     std::unique_ptr<Executor> left, std::unique_ptr<Executor> right) {
   return std::make_unique<BatchHashJoinExec>(plan, ctx, std::move(left),
                                              std::move(right));
+}
+
+std::unique_ptr<Executor> NewMorselScanExec(const PhysicalPlan* plan,
+                                            ExecContext* ctx,
+                                            MorselSource* morsels) {
+  return std::make_unique<BatchScanExec>(plan, ctx, morsels);
+}
+
+std::unique_ptr<Executor> NewBatchHashProbeExec(
+    const PhysicalPlan* plan, ExecContext* ctx,
+    std::unique_ptr<Executor> left, std::shared_ptr<JoinBuildState> state) {
+  return std::make_unique<BatchHashJoinExec>(plan, ctx, std::move(left),
+                                             std::move(state));
 }
 
 }  // namespace qopt::exec::internal

@@ -28,6 +28,43 @@ bool BatchSupported(PhysOpKind kind) {
   }
 }
 
+/// A node is a parallel region root when it is eligible itself (see
+/// internal::ParallelEligible) or is a hash aggregate directly over an
+/// eligible pipeline — partial aggregation with a merge at the gather
+/// barrier. Aggregates deeper inside a region are not parallelized (their
+/// subtree simply isn't eligible), so a region root is always the highest
+/// such node on its path.
+bool IsParallelRegionRoot(const PhysicalPlan& plan) {
+  if (internal::ParallelEligible(plan)) return true;
+  return plan.kind == PhysOpKind::kHashAggregate &&
+         internal::ParallelEligible(*plan.children[0]);
+}
+
+/// Collects maximal parallel-eligible subtree roots top-down, under the
+/// same row-mode fallback rules as CollectBatchNodes (no parallel region
+/// beneath Apply, index nested-loops, or Limit). Does not descend into a
+/// region: everything below the root belongs to the gather.
+void CollectParallelRoots(const PhysPtr& plan, bool allow,
+                          std::unordered_set<const PhysicalPlan*>* out) {
+  if (allow && IsParallelRegionRoot(*plan)) {
+    out->insert(plan.get());
+    return;
+  }
+  bool child_allow = allow;
+  switch (plan->kind) {
+    case PhysOpKind::kApply:
+    case PhysOpKind::kIndexNestedLoopJoin:
+    case PhysOpKind::kLimit:
+      child_allow = false;
+      break;
+    default:
+      break;
+  }
+  for (const PhysPtr& c : plan->children) {
+    CollectParallelRoots(c, child_allow, out);
+  }
+}
+
 // Row-mode fallback rules. Batch operators read ahead up to a full batch,
 // which is invisible to results but NOT to ExecStats when (a) the consumer
 // can stop early without draining the input, or (b) another operator's
@@ -60,9 +97,13 @@ void CollectBatchNodes(const PhysPtr& plan, bool allow,
 
 std::unique_ptr<Executor> Build(
     const PhysPtr& plan, ExecContext* ctx,
-    const std::unordered_set<const PhysicalPlan*>& batch_nodes) {
+    const std::unordered_set<const PhysicalPlan*>& batch_nodes,
+    const std::unordered_set<const PhysicalPlan*>& parallel_roots) {
   using namespace internal;
 
+  if (parallel_roots.count(plan.get()) > 0) {
+    return NewParallelGatherExec(plan, ctx);
+  }
   bool batch = batch_nodes.count(plan.get()) > 0;
   switch (plan->kind) {
     case PhysOpKind::kTableScan:
@@ -70,57 +111,57 @@ std::unique_ptr<Executor> Build(
       return batch ? NewBatchScanExec(plan.get(), ctx)
                    : NewScanExec(plan.get(), ctx);
     case PhysOpKind::kFilter: {
-      auto child = Build(plan->children[0], ctx, batch_nodes);
+      auto child = Build(plan->children[0], ctx, batch_nodes, parallel_roots);
       return batch ? NewBatchFilterExec(plan.get(), ctx, std::move(child))
                    : NewFilterExec(plan.get(), ctx, std::move(child));
     }
     case PhysOpKind::kProject: {
-      auto child = Build(plan->children[0], ctx, batch_nodes);
+      auto child = Build(plan->children[0], ctx, batch_nodes, parallel_roots);
       return batch ? NewBatchProjectExec(plan.get(), ctx, std::move(child))
                    : NewProjectExec(plan.get(), ctx, std::move(child));
     }
     case PhysOpKind::kSort:
       return NewSortExec(plan.get(), ctx,
-                         Build(plan->children[0], ctx, batch_nodes));
+                         Build(plan->children[0], ctx, batch_nodes, parallel_roots));
     case PhysOpKind::kDistinct:
       return NewDistinctExec(plan.get(), ctx,
-                             Build(plan->children[0], ctx, batch_nodes));
+                             Build(plan->children[0], ctx, batch_nodes, parallel_roots));
     case PhysOpKind::kLimit:
       return NewLimitExec(plan.get(), ctx,
-                          Build(plan->children[0], ctx, batch_nodes));
+                          Build(plan->children[0], ctx, batch_nodes, parallel_roots));
     case PhysOpKind::kHashJoin:
       if (batch) {
         return NewBatchHashJoinExec(plan.get(), ctx,
-                                    Build(plan->children[0], ctx, batch_nodes),
-                                    Build(plan->children[1], ctx, batch_nodes));
+                                    Build(plan->children[0], ctx, batch_nodes, parallel_roots),
+                                    Build(plan->children[1], ctx, batch_nodes, parallel_roots));
       }
       [[fallthrough]];
     case PhysOpKind::kNestedLoopJoin:
     case PhysOpKind::kIndexNestedLoopJoin:
     case PhysOpKind::kMergeJoin:
       return NewJoinExec(plan.get(), ctx,
-                         Build(plan->children[0], ctx, batch_nodes),
-                         Build(plan->children[1], ctx, batch_nodes));
+                         Build(plan->children[0], ctx, batch_nodes, parallel_roots),
+                         Build(plan->children[1], ctx, batch_nodes, parallel_roots));
     case PhysOpKind::kApply:
       return NewApplyExec(plan.get(), ctx,
-                          Build(plan->children[0], ctx, batch_nodes),
-                          Build(plan->children[1], ctx, batch_nodes));
+                          Build(plan->children[0], ctx, batch_nodes, parallel_roots),
+                          Build(plan->children[1], ctx, batch_nodes, parallel_roots));
     case PhysOpKind::kHashAggregate:
     case PhysOpKind::kStreamAggregate:
       return NewAggregateExec(plan.get(), ctx,
-                              Build(plan->children[0], ctx, batch_nodes));
+                              Build(plan->children[0], ctx, batch_nodes, parallel_roots));
     case PhysOpKind::kUnionAll: {
       std::vector<std::unique_ptr<Executor>> children;
       for (const PhysPtr& c : plan->children) {
-        children.push_back(Build(c, ctx, batch_nodes));
+        children.push_back(Build(c, ctx, batch_nodes, parallel_roots));
       }
       return NewUnionAllExec(plan.get(), ctx, std::move(children));
     }
     case PhysOpKind::kHashExcept:
     case PhysOpKind::kHashIntersect:
       return NewHashSetOpExec(plan.get(), ctx,
-                              Build(plan->children[0], ctx, batch_nodes),
-                              Build(plan->children[1], ctx, batch_nodes));
+                              Build(plan->children[0], ctx, batch_nodes, parallel_roots),
+                              Build(plan->children[1], ctx, batch_nodes, parallel_roots));
   }
   QOPT_DCHECK(false);
   return nullptr;
@@ -134,12 +175,32 @@ std::unordered_set<const PhysicalPlan*> BatchModeNodes(const PhysPtr& plan) {
   return nodes;
 }
 
+std::unordered_set<const PhysicalPlan*> ParallelRegionRoots(
+    const PhysPtr& plan) {
+  std::unordered_set<const PhysicalPlan*> roots;
+  CollectParallelRoots(plan, true, &roots);
+  return roots;
+}
+
 std::unique_ptr<Executor> BuildExecutor(const PhysPtr& plan,
                                         ExecContext* ctx) {
   std::unordered_set<const PhysicalPlan*> batch_nodes;
-  if (ctx->mode == ExecMode::kBatch) batch_nodes = BatchModeNodes(plan);
-  return Build(plan, ctx, batch_nodes);
+  std::unordered_set<const PhysicalPlan*> parallel_roots;
+  if (ctx->mode != ExecMode::kRow) batch_nodes = BatchModeNodes(plan);
+  if (ctx->mode == ExecMode::kParallel) {
+    parallel_roots = ParallelRegionRoots(plan);
+  }
+  return Build(plan, ctx, batch_nodes, parallel_roots);
 }
+
+namespace internal {
+
+std::unique_ptr<Executor> BuildBatchTree(const PhysPtr& plan,
+                                         ExecContext* ctx) {
+  return Build(plan, ctx, BatchModeNodes(plan), {});
+}
+
+}  // namespace internal
 
 Result<std::vector<Row>> ExecuteAll(const PhysPtr& plan, ExecContext* ctx) {
   // A zero deadline must cancel even a query too small to reach a
@@ -151,7 +212,7 @@ Result<std::vector<Row>> ExecuteAll(const PhysPtr& plan, ExecContext* ctx) {
   exec->Init();
   std::vector<Row> rows;
   if (ctx->Failed()) return ctx->status;
-  if (ctx->mode == ExecMode::kBatch) {
+  if (ctx->mode != ExecMode::kRow) {
     RowBatch batch;
     while (exec->NextBatch(&batch)) {
       size_t n = batch.ActiveSize();

@@ -27,13 +27,21 @@
 #include "exec/row_batch.h"
 #include "storage/storage.h"
 
+namespace qopt {
+class ThreadPool;
+}
+
 namespace qopt::exec {
 
 /// Execution mode for an executor tree. kBatch builds vectorized operators
 /// where profitable and falls back to row-at-a-time operators for subtrees
 /// that need tuple-iteration semantics (Apply, index nested-loops) or can
 /// terminate early (Limit), so that observed ExecStats stay exact.
-enum class ExecMode { kRow, kBatch };
+/// kParallel additionally runs maximal eligible subtrees (table scans,
+/// filters, projections, hash joins, a root hash aggregate) morsel-parallel
+/// across `ExecContext::dop` workers, gathering at the subtree root; the
+/// rest of the plan runs exactly as kBatch.
+enum class ExecMode { kRow, kBatch, kParallel };
 
 /// Observed execution counters, used to validate the cost model (E17).
 struct ExecStats {
@@ -43,6 +51,12 @@ struct ExecStats {
   uint64_t index_lookups = 0;
   uint64_t rows_joined = 0;       ///< Join output rows.
   uint64_t subquery_executions = 0;  ///< Apply inner re-executions.
+  // Parallel-mode instrumentation (zero in serial modes). Thread CPU time
+  // measures the true work split even when workers time-share cores, so
+  // the bench can report a machine-independent modeled speedup:
+  // serial CPU / critical path.
+  double parallel_worker_cpu_ms = 0;    ///< Σ worker CPU over all phases.
+  double parallel_critical_cpu_ms = 0;  ///< Σ over phases of max worker CPU.
 };
 
 /// LRU buffer-pool simulator: execution counts a modeled page read only on
@@ -94,6 +108,15 @@ struct ExecContext {
   ExecMode mode = ExecMode::kRow;
   /// Rows per RowBatch on the vectorized path.
   size_t batch_capacity = kDefaultBatchCapacity;
+  /// Degree of parallelism under ExecMode::kParallel: number of workers
+  /// per parallel region (clamped to ThreadPool::kMaxThreads). dop=1 runs
+  /// the full parallel machinery on the calling thread.
+  size_t dop = 1;
+  /// Worker threads for parallel regions; null runs all workers on the
+  /// calling thread (still morsel-partitioned — useful for tests).
+  ThreadPool* pool = nullptr;
+  /// Target rows per scan morsel (rounded up to page boundaries).
+  size_t morsel_rows = 4096;
   /// Per-query resource governor (deadline + row/memory budgets); null when
   /// the query runs ungoverned. Shared with the optimizer for this query.
   ResourceGovernor* governor = nullptr;
@@ -193,6 +216,12 @@ Result<std::vector<Row>> ExecuteAll(const PhysPtr& plan, ExecContext* ctx);
 /// The set of plan nodes that run vectorized under ExecMode::kBatch
 /// (mirrors the builder's mode-selection rules; used by EXPLAIN).
 std::unordered_set<const PhysicalPlan*> BatchModeNodes(const PhysPtr& plan);
+
+/// The roots of the maximal subtrees that run morsel-parallel under
+/// ExecMode::kParallel (mirrors the builder's region-selection rules; used
+/// by EXPLAIN).
+std::unordered_set<const PhysicalPlan*> ParallelRegionRoots(
+    const PhysPtr& plan);
 
 }  // namespace qopt::exec
 

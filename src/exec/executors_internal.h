@@ -59,6 +59,39 @@ std::unique_ptr<Executor> NewBatchHashJoinExec(const PhysicalPlan* plan,
                                                std::unique_ptr<Executor> left,
                                                std::unique_ptr<Executor> right);
 
+// Morsel-parallel building blocks; see parallel_executors.cc / DESIGN.md
+// §3.8.
+class MorselSource;
+struct JoinBuildState;
+
+/// Batch scan pulling page-aligned row ranges from a shared MorselSource
+/// (kTableScan only).
+std::unique_ptr<Executor> NewMorselScanExec(const PhysicalPlan* plan,
+                                            ExecContext* ctx,
+                                            MorselSource* morsels);
+
+/// Hash-join probe over a pre-built shared JoinBuildState.
+std::unique_ptr<Executor> NewBatchHashProbeExec(
+    const PhysicalPlan* plan, ExecContext* ctx,
+    std::unique_ptr<Executor> left, std::shared_ptr<JoinBuildState> state);
+
+/// Gather operator running the region rooted at `plan` morsel-parallel
+/// across ctx->dop workers.
+std::unique_ptr<Executor> NewParallelGatherExec(const PhysPtr& plan,
+                                                ExecContext* ctx);
+
+/// Serial batch-mode executor tree over `plan` (the builder's kBatch rules
+/// with no parallel regions); used by the gather for build sides that are
+/// not parallel-eligible.
+std::unique_ptr<Executor> BuildBatchTree(const PhysPtr& plan,
+                                         ExecContext* ctx);
+
+/// True if the subtree rooted at `plan` can run as (part of) a parallel
+/// region: table-scan leaves, filters, projections, and hash joins whose
+/// probe side is eligible (build sides may be anything — ineligible ones
+/// are drained serially by the gather's build phase).
+bool ParallelEligible(const PhysicalPlan& plan);
+
 }  // namespace qopt::exec::internal
 
 #endif  // QOPT_EXEC_EXECUTORS_INTERNAL_H_

@@ -1,0 +1,79 @@
+// MorselSource: a shared cursor handing out page-aligned row ranges
+// ("morsels") of one table scan to competing worker threads (Leis et al.'s
+// morsel-driven parallelism; DESIGN.md §3.8).
+//
+// Morsel boundaries always coincide with modeled page boundaries, computed
+// with the same rid→page formula the scan executors use, so a page is
+// scanned by exactly one worker and per-worker page-touch accounting sums
+// to the serial scan's counts exactly (ExecStats parity across modes).
+#ifndef QOPT_EXEC_MORSEL_H_
+#define QOPT_EXEC_MORSEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace qopt::exec::internal {
+
+class MorselSource {
+ public:
+  /// Splits rows [0, num_rows) of a table with `num_pages` modeled pages
+  /// into morsels of at least `target_rows` rows, each rounded up to the
+  /// next page boundary.
+  MorselSource(size_t num_rows, double num_pages, size_t target_rows) {
+    if (target_rows == 0) target_rows = 1;
+    auto page_of = [&](size_t rid) {
+      return static_cast<uint64_t>(static_cast<double>(rid) * num_pages /
+                                   std::max<double>(1.0, num_rows));
+    };
+    size_t start = 0;
+    while (start < num_rows) {
+      size_t end = std::min(start + target_rows, num_rows);
+      if (num_pages > 0) {
+        // Extend to the end of the page containing the last row.
+        uint64_t p = page_of(end - 1);
+        while (end < num_rows && page_of(end) == p) ++end;
+      } else {
+        end = num_rows;
+      }
+      bounds_.push_back(end);
+      start = end;
+    }
+  }
+
+  /// Claims the next unclaimed morsel as [*begin, *end); false when the
+  /// scan is exhausted or aborted.
+  bool Next(size_t* begin, size_t* end) {
+    if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= bounds_.size()) return false;
+    *begin = i == 0 ? 0 : bounds_[i - 1];
+    *end = bounds_[i];
+    return true;
+  }
+
+  size_t num_morsels() const { return bounds_.size(); }
+
+  /// Resets the cursor for a rescan. Must not race with Next().
+  void Reset() { next_.store(0, std::memory_order_relaxed); }
+
+  /// Installs a shared abort flag: once it is set, Next() reports
+  /// exhaustion so every worker unwinds promptly after a failure.
+  void set_abort_flag(const std::atomic<bool>* abort) { abort_ = abort; }
+
+ private:
+  std::vector<size_t> bounds_;  ///< Exclusive end row of each morsel.
+  std::atomic<size_t> next_{0};
+  const std::atomic<bool>* abort_ = nullptr;
+};
+
+/// Default morsel size in rows. Small enough that dop workers load-balance
+/// on the test tables, large enough to amortize the claim and batch setup.
+inline constexpr size_t kDefaultMorselRows = 4096;
+
+}  // namespace qopt::exec::internal
+
+#endif  // QOPT_EXEC_MORSEL_H_

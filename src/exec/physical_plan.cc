@@ -35,8 +35,8 @@ int PhysicalPlan::FindOutput(ColumnId id) const {
 }
 
 std::string PhysicalPlan::ToString(
-    int indent, const std::unordered_set<const PhysicalPlan*>* batch_nodes)
-    const {
+    int indent, const std::unordered_set<const PhysicalPlan*>* batch_nodes,
+    const std::unordered_set<const PhysicalPlan*>* parallel_roots) const {
   std::string pad(indent * 2, ' ');
   std::string s = pad + PhysOpKindName(kind);
   switch (kind) {
@@ -129,11 +129,15 @@ std::string PhysicalPlan::ToString(
   std::snprintf(ann, sizeof(ann), "  [rows=%.0f, %s]", est_rows,
                 est_cost.ToString().c_str());
   s += ann;
-  if (batch_nodes != nullptr && batch_nodes->count(this) > 0) {
+  if (parallel_roots != nullptr && parallel_roots->count(this) > 0) {
+    s += " [parallel]";
+  } else if (batch_nodes != nullptr && batch_nodes->count(this) > 0) {
     s += " [batch]";
   }
   s += "\n";
-  for (const PhysPtr& c : children) s += c->ToString(indent + 1, batch_nodes);
+  for (const PhysPtr& c : children) {
+    s += c->ToString(indent + 1, batch_nodes, parallel_roots);
+  }
   return s;
 }
 

@@ -101,10 +101,13 @@ struct PhysicalPlan {
 
   /// Indented rendering including cost annotations (EXPLAIN). When
   /// `batch_nodes` is given (see exec::BatchModeNodes), operators that run
-  /// vectorized under batch execution mode are marked "[batch]".
+  /// vectorized under batch execution mode are marked "[batch]"; when
+  /// `parallel_roots` is given (see exec::ParallelRegionRoots), the roots
+  /// of morsel-parallel regions are marked "[parallel]" instead.
   std::string ToString(
       int indent = 0,
-      const std::unordered_set<const PhysicalPlan*>* batch_nodes =
+      const std::unordered_set<const PhysicalPlan*>* batch_nodes = nullptr,
+      const std::unordered_set<const PhysicalPlan*>* parallel_roots =
           nullptr) const;
 };
 

@@ -11,34 +11,40 @@ FaultRegistry& FaultRegistry::Instance() {
 
 void FaultRegistry::Arm(const std::string& point, FaultMode mode, int nth,
                         StatusCode code, std::string message) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = specs_.try_emplace(point);
   it->second = Spec{mode, nth, code, std::move(message), 0, 0};
   if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (specs_.erase(point) > 0) {
     armed_points_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   armed_points_.fetch_sub(static_cast<int>(specs_.size()),
                           std::memory_order_relaxed);
   specs_.clear();
 }
 
 int FaultRegistry::EvalCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = specs_.find(point);
   return it == specs_.end() ? 0 : it->second.evals;
 }
 
 int FaultRegistry::FireCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = specs_.find(point);
   return it == specs_.end() ? 0 : it->second.fires;
 }
 
 Status FaultRegistry::Check(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = specs_.find(point);
   if (it == specs_.end()) return Status::OK();
   Spec& spec = it->second;

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,9 +42,10 @@ enum class FaultMode {
   kNth,     ///< The nth evaluation (1-based) fails, all others pass.
 };
 
-/// Process-wide registry of armed fault points. Single-threaded by design
-/// (queries are single-threaded today); the disarmed fast path is an atomic
-/// so it stays valid if probes run while another thread arms.
+/// Process-wide registry of armed fault points. Thread-safe: parallel-mode
+/// workers evaluate armed points concurrently, so spec lookup and counter
+/// updates are serialized on an internal mutex. The disarmed fast path stays
+/// a single relaxed atomic load — production cost is unchanged.
 class FaultRegistry {
  public:
   static FaultRegistry& Instance();
@@ -81,6 +83,7 @@ class FaultRegistry {
   };
 
   static std::atomic<int> armed_points_;
+  mutable std::mutex mu_;  ///< Guards specs_ (incl. per-spec counters).
   std::map<std::string, Spec> specs_;
 };
 

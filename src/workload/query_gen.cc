@@ -1,6 +1,42 @@
 #include "workload/query_gen.h"
 
+#include <random>
+
 namespace qopt::workload {
+namespace {
+
+/// The WHERE-clause join predicates of JoinQuery, shared with
+/// RandomJoinQuery.
+std::string JoinPredicates(Topology topology, int n) {
+  std::string where;
+  auto add = [&where](const std::string& pred) {
+    if (!where.empty()) where += " AND ";
+    where += pred;
+  };
+  switch (topology) {
+    case Topology::kChain:
+      for (int i = 0; i + 1 < n; ++i) {
+        add("t" + std::to_string(i) + ".a = t" + std::to_string(i + 1) +
+            ".b");
+      }
+      break;
+    case Topology::kStar:
+      for (int i = 1; i < n; ++i) {
+        add("t0.a = t" + std::to_string(i) + ".b");
+      }
+      break;
+    case Topology::kClique:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          add("t" + std::to_string(i) + ".a = t" + std::to_string(j) + ".a");
+        }
+      }
+      break;
+  }
+  return where;
+}
+
+}  // namespace
 
 const char* TopologyName(Topology t) {
   switch (t) {
@@ -35,32 +71,34 @@ std::string JoinQuery(Topology topology, int n, bool count_star) {
     if (i) sql += ", ";
     sql += "t" + std::to_string(i);
   }
-  std::string where;
+  std::string where = JoinPredicates(topology, n);
+  if (!where.empty()) sql += " WHERE " + where;
+  return sql;
+}
+
+std::string RandomJoinQuery(Topology topology, int n, uint64_t seed,
+                            bool group_by) {
+  std::mt19937_64 rng(seed);
+  std::string where = JoinPredicates(topology, n);
   auto add = [&where](const std::string& pred) {
     if (!where.empty()) where += " AND ";
     where += pred;
   };
-  switch (topology) {
-    case Topology::kChain:
-      for (int i = 0; i + 1 < n; ++i) {
-        add("t" + std::to_string(i) + ".a = t" + std::to_string(i + 1) +
-            ".b");
-      }
-      break;
-    case Topology::kStar:
-      for (int i = 1; i < n; ++i) {
-        add("t0.a = t" + std::to_string(i) + ".b");
-      }
-      break;
-    case Topology::kClique:
-      for (int i = 0; i < n; ++i) {
-        for (int j = i + 1; j < n; ++j) {
-          add("t" + std::to_string(i) + ".a = t" + std::to_string(j) + ".a");
-        }
-      }
-      break;
+  int num_filters = 1 + static_cast<int>(rng() % 3);
+  for (int f = 0; f < num_filters; ++f) {
+    std::string t = "t" + std::to_string(rng() % n);
+    add(t + ".c " + (rng() % 2 ? "< " : ">= ") + std::to_string(rng() % 1000));
+  }
+  std::string last = "t" + std::to_string(n - 1);
+  std::string sql = group_by
+                        ? "SELECT t0.a, COUNT(*), SUM(" + last + ".c) FROM "
+                        : "SELECT t0.pk, " + last + ".pk FROM ";
+  for (int i = 0; i < n; ++i) {
+    if (i) sql += ", ";
+    sql += "t" + std::to_string(i);
   }
   if (!where.empty()) sql += " WHERE " + where;
+  if (group_by) sql += " GROUP BY t0.a";
   return sql;
 }
 

@@ -24,6 +24,15 @@ Status CreateJoinTables(Database* db, int n, int64_t rows, int64_t ndv,
 ///   clique: ti.a = tj.a for all i < j
 std::string JoinQuery(Topology topology, int n, bool count_star = true);
 
+/// Seeded random variant of JoinQuery for property tests: the same join
+/// predicates plus 1–3 random range filters on the `c` columns (values in
+/// [0, 1000), matching the column's ndv). With `group_by` the query becomes
+/// an aggregate — SELECT t0.a, COUNT(*), SUM(tlast.c) ... GROUP BY t0.a —
+/// otherwise it projects the first and last tables' primary keys. The same
+/// seed always yields the same SQL.
+std::string RandomJoinQuery(Topology topology, int n, uint64_t seed,
+                            bool group_by = false);
+
 }  // namespace qopt::workload
 
 #endif  // QOPT_WORKLOAD_QUERY_GEN_H_

@@ -1,10 +1,16 @@
 // ResourceGovernor end-to-end: deadlines and row/memory budgets surface as
 // clean kCancelled / kResourceExhausted errors identically across the
-// naive, row and batch execution modes, and optimizer search budgets
-// degrade to the greedy heuristic instead of failing.
+// naive, row, batch and parallel execution modes, and optimizer search
+// budgets degrade to the greedy heuristic instead of failing. Unit tests
+// at the bottom pin the concurrent-trip semantics the parallel engine
+// relies on.
 #include "engine/governor.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "engine/database.h"
 #include "testing/db_fixtures.h"
@@ -23,6 +29,7 @@ constexpr ModeCase kModes[] = {
     {"naive", true, exec::ExecMode::kRow},
     {"row", false, exec::ExecMode::kRow},
     {"batch", false, exec::ExecMode::kBatch},
+    {"parallel", false, exec::ExecMode::kParallel},
 };
 
 QueryOptions ModeOptions(const ModeCase& m) {
@@ -214,6 +221,65 @@ TEST(ResourceGovernorTest, MemoryBudgetTripsAtLimit) {
   EXPECT_TRUE(g.ChargeMaterialized(0, 100).ok());
   EXPECT_EQ(g.ChargeMaterialized(0, 1).code(),
             StatusCode::kResourceExhausted);
+}
+
+// Regression test for the parallel-execution contract: when many workers
+// charge one governor concurrently, the trip is recorded exactly once, the
+// accounting loses nothing, and once any thread has seen a failure no
+// thread ever sees a success again (sticky — monotonic totals guarantee a
+// charge that would have failed cannot later pass).
+TEST(ResourceGovernorTest, ConcurrentChargesTripExactlyOnce) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kChargesPerThread = 5000;
+  constexpr uint64_t kBudget = 10'000;
+  GovernorOptions o;
+  o.max_rows = kBudget;
+  ResourceGovernor g(o);
+
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<int> unsticky_violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      bool failed_before = false;
+      for (uint64_t i = 0; i < kChargesPerThread; ++i) {
+        if (g.ChargeMaterialized(1, 0).ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+          if (failed_before) unsticky_violations.fetch_add(1);
+        } else {
+          failed_before = true;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Charges are atomic increments: exactly the first kBudget of them land
+  // at or under the budget, every later one fails.
+  EXPECT_EQ(ok_count.load(), kBudget);
+  EXPECT_EQ(g.rows_charged(), kThreads * kChargesPerThread);
+  EXPECT_TRUE(g.tripped());
+  EXPECT_EQ(g.trip_count(), 1u);
+  EXPECT_EQ(unsticky_violations.load(), 0);
+  // Still tripped afterwards.
+  EXPECT_EQ(g.ChargeMaterialized(1, 0).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceGovernorTest, ConcurrentMemoryChargesTripOnce) {
+  GovernorOptions o;
+  o.max_memory_bytes = 1 << 20;
+  ResourceGovernor g(o);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) (void)g.ChargeMaterialized(0, 4096);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(g.tripped());
+  EXPECT_EQ(g.trip_count(), 1u);
+  EXPECT_EQ(g.bytes_charged(), 8u * 1000 * 4096);
 }
 
 TEST(ResourceGovernorTest, ExpiredDeadlineCancels) {

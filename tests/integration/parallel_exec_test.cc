@@ -1,0 +1,196 @@
+// Morsel-parallel execution under stress: fault injection and resource
+// budgets at dop 8 with tiny morsels, so many workers race through the
+// instrumented paths at once. Every failure must surface as exactly one
+// clean tagged Status (never an abort, a deadlock, or a torn result), and
+// the database — including its lazily created thread pool — must keep
+// answering queries afterwards. Run under TSan in CI to catch data races
+// on the shared fault registry, governor, and join build states.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/database.h"
+#include "testing/fault_injection.h"
+#include "tests/testing/db_fixtures.h"
+
+namespace qopt {
+namespace {
+
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::LoadEmpDept(&db_, 2000, 50); }
+  void TearDown() override { testing::FaultRegistry::Instance().DisarmAll(); }
+
+  // dop 8 with 64-row morsels over 2000-row tables: every worker claims
+  // several morsels per phase. Index-NL and merge joins are disabled so the
+  // optimizer picks a hash join + hash aggregate — a full morsel region
+  // (parallel build, parallel probe, parallel partial aggregation) instead
+  // of the serial-fallback shapes the default plan would use here.
+  QueryOptions ParallelOptions(size_t dop = 8) {
+    QueryOptions options;
+    options.execution_mode = exec::ExecMode::kParallel;
+    options.dop = dop;
+    options.morsel_rows = 64;
+    options.optimizer.selinger.enable_index_nl_join = false;
+    options.optimizer.selinger.enable_merge_join = false;
+    return options;
+  }
+
+  Database db_;
+};
+
+// Grouping on E.did (not D.name) keeps the sort-based stream aggregate
+// unattractive, so the planned region is HashAggregate over HashJoin with
+// both table scans morsel-parallel.
+constexpr const char* kJoinAggSql =
+    "SELECT E.did, COUNT(*), SUM(E.sal) FROM Emp E, Dept D "
+    "WHERE E.did = D.did AND E.sal > 40000 GROUP BY E.did";
+
+TEST_F(ParallelExecTest, MatchesSerialAcrossDop) {
+  auto reference = db_.Query(kJoinAggSql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (size_t dop : {1u, 2u, 4u, 8u}) {
+    auto result = db_.Query(kJoinAggSql, ParallelOptions(dop));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    testing::ExpectSameRows(result->rows, reference->rows,
+                            "dop=" + std::to_string(dop));
+  }
+}
+
+TEST_F(ParallelExecTest, WorkerCpuStatsAreAggregated) {
+  auto result = db_.Query(kJoinAggSql, ParallelOptions(4));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const exec::ExecStats& s = result->exec_stats;
+  // Total worker CPU covers at least the critical path, and a critical
+  // path exists whenever any phase ran.
+  EXPECT_GE(s.parallel_worker_cpu_ms, s.parallel_critical_cpu_ms);
+  EXPECT_GT(s.parallel_critical_cpu_ms, 0.0);
+  // Serial modes never touch the parallel counters.
+  auto serial = db_.Query(kJoinAggSql);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->exec_stats.parallel_worker_cpu_ms, 0.0);
+}
+
+// The concurrency stress of the issue: arm each batch-path fault point and
+// run a multi-phase parallel query at dop 8 repeatedly. Whichever worker
+// hits the fault first must win the unwind race cleanly: one tagged
+// Status, no partial result, and the pool fully reusable afterwards.
+TEST_F(ParallelExecTest, FaultsUnwindCleanlyAtHighDop) {
+  auto& registry = testing::FaultRegistry::Instance();
+  for (const char* point : {"exec.batch.alloc", "storage.scan.open"}) {
+    SCOPED_TRACE(point);
+    auto baseline = db_.Query(kJoinAggSql, ParallelOptions());
+    ASSERT_TRUE(baseline.ok())
+        << point << " baseline: " << baseline.status().ToString();
+
+    registry.Arm(point, testing::FaultMode::kAlways, 1, StatusCode::kInternal,
+                 "injected fault");
+    for (int run = 0; run < 10; ++run) {
+      auto injected = db_.Query(kJoinAggSql, ParallelOptions());
+      ASSERT_FALSE(injected.ok()) << point << " run " << run;
+      EXPECT_EQ(injected.status().code(), StatusCode::kInternal)
+          << point << ": " << injected.status().ToString();
+      EXPECT_NE(injected.status().message().find(point), std::string::npos)
+          << point << ": message lacks fault-point tag: "
+          << injected.status().ToString();
+    }
+    EXPECT_GE(registry.FireCount(point), 10);
+
+    // Disarmed: the same pool (grow-only, reused across queries) serves
+    // the query again with identical results.
+    registry.DisarmAll();
+    auto recovered = db_.Query(kJoinAggSql, ParallelOptions());
+    ASSERT_TRUE(recovered.ok())
+        << point << " recovery: " << recovered.status().ToString();
+    testing::ExpectSameRows(recovered->rows, baseline->rows, point);
+  }
+}
+
+// kOnce semantics must hold even when eight workers race through the
+// point: exactly one evaluation fires, exactly one query fails.
+TEST_F(ParallelExecTest, OnceFaultFiresExactlyOnceUnderConcurrency) {
+  auto& registry = testing::FaultRegistry::Instance();
+  registry.Arm("exec.batch.alloc", testing::FaultMode::kOnce);
+  auto first = db_.Query(kJoinAggSql, ParallelOptions());
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(registry.FireCount("exec.batch.alloc"), 1);
+  auto second = db_.Query(kJoinAggSql, ParallelOptions());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(registry.FireCount("exec.batch.alloc"), 1);
+}
+
+// Row/memory budgets trip once and unwind every worker with the same
+// kResourceExhausted status, in every parallel configuration.
+TEST_F(ParallelExecTest, GovernorBudgetsTripCleanlyUnderParallelism) {
+  for (size_t dop : {2u, 8u}) {
+    QueryOptions options = ParallelOptions(dop);
+    options.governor.max_rows = 10;
+    auto result = db_.Query(kJoinAggSql, options);
+    ASSERT_FALSE(result.ok()) << "dop=" << dop;
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << "dop=" << dop << ": " << result.status().ToString();
+  }
+  // A generous budget changes nothing.
+  QueryOptions generous = ParallelOptions();
+  generous.governor = GovernorOptions::ServiceDefaults();
+  auto limited = db_.Query(kJoinAggSql, generous);
+  auto unlimited = db_.Query(kJoinAggSql, ParallelOptions());
+  ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+  ASSERT_TRUE(unlimited.ok());
+  testing::ExpectSameRows(limited->rows, unlimited->rows, "generous budget");
+}
+
+TEST_F(ParallelExecTest, ZeroDeadlineCancelsParallelQuery) {
+  QueryOptions options = ParallelOptions();
+  options.governor.deadline_ms = 0;
+  auto result = db_.Query(kJoinAggSql, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  // And the pool is reusable after the cancellation.
+  auto after = db_.Query(kJoinAggSql, ParallelOptions());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+}
+
+// Serial-fallback shapes inside parallel mode: Apply subtrees, index
+// nested-loop joins, sorts and limits run row-at-a-time exactly as in
+// batch mode, with the morsel regions only where eligible.
+TEST_F(ParallelExecTest, SerialFallbackShapesStayCorrect) {
+  auto check = [&](const std::string& sql) {
+    QueryOptions naive;
+    naive.naive_execution = true;
+    auto reference = db_.Query(sql, naive);
+    ASSERT_TRUE(reference.ok()) << sql << ": "
+                                << reference.status().ToString();
+    auto result = db_.Query(sql, ParallelOptions());
+    ASSERT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    testing::ExpectSameRows(result->rows, reference->rows, sql);
+  };
+  check(
+      "SELECT name FROM Dept WHERE EXISTS "
+      "(SELECT eid FROM Emp WHERE Emp.did = Dept.did AND Emp.sal > 100000)");
+  check("SELECT eid, sal FROM Emp ORDER BY sal DESC LIMIT 10");
+  check(
+      "SELECT eid FROM Emp e1 WHERE e1.sal > "
+      "(SELECT AVG(sal) FROM Emp e2 WHERE e2.did = e1.did)");
+}
+
+// dop above the pool cap is clamped, dop 1 runs on the calling thread; the
+// same Database instance serves every mode interleaved back to back.
+TEST_F(ParallelExecTest, ModeInterleavingAndDopClamping) {
+  auto reference = db_.Query(kJoinAggSql);
+  ASSERT_TRUE(reference.ok());
+  for (size_t dop : {1u, 64u}) {  // 64 > ThreadPool::kMaxThreads.
+    auto result = db_.Query(kJoinAggSql, ParallelOptions(dop));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    testing::ExpectSameRows(result->rows, reference->rows,
+                            "dop=" + std::to_string(dop));
+  }
+  QueryOptions row;
+  row.execution_mode = exec::ExecMode::kRow;
+  auto row_result = db_.Query(kJoinAggSql, row);
+  ASSERT_TRUE(row_result.ok());
+  testing::ExpectSameRows(row_result->rows, reference->rows, "row-after");
+}
+
+}  // namespace
+}  // namespace qopt
