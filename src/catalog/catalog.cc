@@ -36,6 +36,7 @@ Result<int> Catalog::CreateTable(const std::string& name,
   def->primary_key = primary_key;
   table_names_[name] = def->id;
   tables_.push_back(std::move(def));
+  ++version_;
   return tables_.back()->id;
 }
 
@@ -71,6 +72,7 @@ Result<int> Catalog::CreateIndex(const std::string& name,
   idx->unique = unique;
   tables_[t->id]->index_ids.push_back(idx->id);
   indexes_.push_back(std::move(idx));
+  ++version_;
   return indexes_.back()->id;
 }
 
@@ -91,6 +93,7 @@ Status Catalog::AddForeignKey(const std::string& table,
         "foreign key must reference a unique/primary key column");
   }
   t->foreign_keys.push_back({col, rt->id, ref_col});
+  ++version_;
   return Status::OK();
 }
 
@@ -99,6 +102,7 @@ Status Catalog::CreateView(const std::string& name, const std::string& sql) {
     return Status::AlreadyExists("table or view '" + name + "' exists");
   }
   views_[name] = ViewDef{name, sql};
+  ++version_;
   return Status::OK();
 }
 

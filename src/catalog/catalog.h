@@ -62,6 +62,10 @@ struct TableDef {
   /// Null until the engine analyzes the table.
   std::shared_ptr<const stats::TableStats> stats;
 
+  /// Bumped every time `stats` is (re)built; cached plans compiled against
+  /// older statistics are invalidated by the plan cache on lookup.
+  uint64_t stats_version = 0;
+
   /// Ordinal of column `name`, or -1.
   int FindColumn(const std::string& name) const;
 };
@@ -114,11 +118,18 @@ class Catalog {
 
   size_t num_tables() const { return tables_.size(); }
 
+  /// Schema epoch: bumped on every DDL (CREATE TABLE / INDEX / VIEW, ADD
+  /// FOREIGN KEY). The plan cache stores the epoch a plan was compiled
+  /// under and drops the plan when the epoch has moved — no stale plan can
+  /// survive a schema change.
+  uint64_t version() const { return version_; }
+
  private:
   std::vector<std::unique_ptr<TableDef>> tables_;
   std::vector<std::unique_ptr<IndexDef>> indexes_;
   std::map<std::string, int> table_names_;
   std::map<std::string, ViewDef> views_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace qopt

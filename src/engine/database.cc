@@ -1,9 +1,14 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
 
+#include "engine/parametric.h"
 #include "parser/parser.h"
 #include "plan/binder.h"
+#include "plan/fingerprint.h"
 
 namespace qopt {
 
@@ -94,8 +99,11 @@ Status Database::Analyze(const std::string& table,
   const TableDef* def = catalog_.GetTable(table);
   if (def == nullptr) return Status::NotFound("no table '" + table + "'");
   Table* t = storage_.GetTable(def->id);
-  catalog_.GetMutableTable(def->id)->stats = stats::BuildTableStats(*t,
-                                                                    options);
+  TableDef* mutable_def = catalog_.GetMutableTable(def->id);
+  mutable_def->stats = stats::BuildTableStats(*t, options);
+  // New statistics mean previously cached plans were costed against a
+  // different data distribution; the version bump invalidates them lazily.
+  ++mutable_def->stats_version;
   return Status::OK();
 }
 
@@ -115,6 +123,10 @@ Result<plan::BoundQuery> Database::BindSql(const std::string& sql,
     return Status::InvalidArgument("expected a SELECT statement");
   }
   int local = 0;
+  // Best-effort literal-slot annotation so every bound plan — whichever
+  // path produced it — carries param_index for the plan cache.
+  plan::QueryFingerprint fp;
+  (void)plan::FingerprintQuery(stmt.select.get(), catalog_, &fp);
   return plan::Bind(*stmt.select, catalog_,
                     next_rel_id != nullptr ? next_rel_id : &local);
 }
@@ -128,13 +140,202 @@ Result<exec::PhysPtr> Database::PlanQuery(const std::string& sql,
                                governor.enabled() ? &governor : nullptr);
 }
 
+namespace {
+
+/// FNV-1a digest of the plan-affecting configuration: optimizer settings,
+/// cost parameters, execution mode and dop. Governor limits are excluded —
+/// they only ever degrade plans, and degraded plans are never cached.
+class OptionsDigest {
+ public:
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= static_cast<uint8_t>(v >> (i * 8));
+      h_ *= 1099511628211ULL;
+    }
+  }
+  void B(bool b) { U64(b ? 1 : 0); }
+  void D(double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    U64(bits);
+  }
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = 1469598103934665603ULL;
+};
+
+uint64_t PlanAffectingOptionsDigest(const QueryOptions& o) {
+  OptionsDigest d;
+  d.U64(static_cast<uint64_t>(o.optimizer.enumerator));
+  const opt::SelingerOptions& s = o.optimizer.selinger;
+  d.B(s.bushy);
+  d.B(s.defer_cartesian);
+  d.B(s.use_interesting_orders);
+  d.B(s.enable_index_scan);
+  d.B(s.enable_seq_scan);
+  d.B(s.enable_nl_join);
+  d.B(s.enable_merge_join);
+  d.B(s.enable_hash_join);
+  d.B(s.enable_index_nl_join);
+  d.U64(s.max_dp_entries);
+  const opt::cascades::CascadesOptions& c = o.optimizer.cascades;
+  d.B(c.allow_cartesian);
+  d.B(c.enable_nl_join);
+  d.B(c.enable_merge_join);
+  d.B(c.enable_hash_join);
+  d.B(c.enable_index_nl_join);
+  d.U64(c.max_tasks);
+  d.U64(c.max_memo_exprs);
+  const cost::CostParams& p = o.optimizer.cost_params;
+  d.D(p.seq_page_io);
+  d.D(p.random_page_io);
+  d.D(p.cpu_tuple);
+  d.D(p.cpu_compare);
+  d.D(p.cpu_hash);
+  d.D(p.buffer_pool_pages);
+  d.D(p.sort_merge_fanin);
+  d.B(o.optimizer.enable_rewrites);
+  d.B(o.optimizer.use_alternatives);
+  d.U64(static_cast<uint64_t>(o.execution_mode));
+  d.U64(o.dop);
+  return d.value();
+}
+
+bool ParamsEqualExcept(const std::vector<Value>& a, const std::vector<Value>& b,
+                       int except) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (static_cast<int>(i) == except) continue;
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// Applies `fn` to every bound expression tree in the operator tree.
+void WalkLogicalExprs(const plan::LogicalPtr& op,
+                      const std::function<void(const plan::BExpr&)>& fn) {
+  if (op == nullptr) return;
+  if (op->predicate != nullptr) fn(op->predicate);
+  for (const plan::BExpr& e : op->proj_exprs) {
+    if (e != nullptr) fn(e);
+  }
+  for (const plan::BExpr& e : op->group_by) {
+    if (e != nullptr) fn(e);
+  }
+  for (const plan::AggItem& a : op->aggs) {
+    if (a.arg != nullptr) fn(a.arg);
+  }
+  for (const plan::LogicalPtr& child : op->children) {
+    WalkLogicalExprs(child, fn);
+  }
+}
+
+/// table_id of the kGet with `rel_id` in the bound tree, or -1.
+int FindRelTable(const plan::LogicalPtr& op, int rel_id) {
+  if (op == nullptr) return -1;
+  if (op->kind == plan::LogicalOpKind::kGet && op->rel_id == rel_id) {
+    return op->table_id;
+  }
+  for (const plan::LogicalPtr& child : op->children) {
+    int t = FindRelTable(child, rel_id);
+    if (t >= 0) return t;
+  }
+  return -1;
+}
+
+// Finds the AST literal annotated with parameter slot `param_index`,
+// searching every clause including nested queries; nullptr if absent.
+ast::Expr* FindParamLiteral(ast::SelectStatement* stmt, int param_index);
+
+ast::Expr* FindParamLiteral(ast::Expr* e, int param_index) {
+  if (e == nullptr) return nullptr;
+  if (e->kind == ast::ExprKind::kLiteral) {
+    return e->param_index == param_index ? e : nullptr;
+  }
+  if (ast::Expr* hit = FindParamLiteral(e->child.get(), param_index)) {
+    return hit;
+  }
+  if (ast::Expr* hit = FindParamLiteral(e->rhs.get(), param_index)) {
+    return hit;
+  }
+  for (ast::ExprPtr& a : e->args) {
+    if (ast::Expr* hit = FindParamLiteral(a.get(), param_index)) return hit;
+  }
+  if (e->subquery != nullptr) {
+    return FindParamLiteral(e->subquery.get(), param_index);
+  }
+  return nullptr;
+}
+
+ast::Expr* FindParamLiteral(ast::TableRef* ref, int param_index) {
+  if (ref == nullptr) return nullptr;
+  if (ast::Expr* hit = FindParamLiteral(ref->on.get(), param_index)) {
+    return hit;
+  }
+  if (ast::Expr* hit = FindParamLiteral(ref->left.get(), param_index)) {
+    return hit;
+  }
+  if (ast::Expr* hit = FindParamLiteral(ref->right.get(), param_index)) {
+    return hit;
+  }
+  if (ref->derived != nullptr) {
+    return FindParamLiteral(ref->derived.get(), param_index);
+  }
+  return nullptr;
+}
+
+ast::Expr* FindParamLiteral(ast::SelectStatement* stmt, int param_index) {
+  if (stmt == nullptr) return nullptr;
+  for (ast::SelectItem& item : stmt->items) {
+    if (ast::Expr* hit = FindParamLiteral(item.expr.get(), param_index)) {
+      return hit;
+    }
+  }
+  for (ast::TableRefPtr& ref : stmt->from) {
+    if (ast::Expr* hit = FindParamLiteral(ref.get(), param_index)) return hit;
+  }
+  if (ast::Expr* hit = FindParamLiteral(stmt->where.get(), param_index)) {
+    return hit;
+  }
+  for (ast::ExprPtr& g : stmt->group_by) {
+    if (ast::Expr* hit = FindParamLiteral(g.get(), param_index)) return hit;
+  }
+  if (ast::Expr* hit = FindParamLiteral(stmt->having.get(), param_index)) {
+    return hit;
+  }
+  for (ast::OrderItem& o : stmt->order_by) {
+    if (ast::Expr* hit = FindParamLiteral(o.expr.get(), param_index)) {
+      return hit;
+    }
+  }
+  return FindParamLiteral(stmt->union_next.get(), param_index);
+}
+
+}  // namespace
+
 Result<exec::PhysPtr> Database::PlanQueryWithGovernor(
     const std::string& sql, const QueryOptions& options,
     opt::OptimizeInfo* info, std::vector<std::string>* names,
     const ResourceGovernor* governor) {
+  QOPT_ASSIGN_OR_RETURN(ast::Statement stmt, parser::Parse(sql));
+  if (stmt.kind != ast::Statement::Kind::kSelect &&
+      stmt.kind != ast::Statement::Kind::kExplain) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return PlanSelectWithGovernor(stmt.select.get(), options, info, names,
+                                governor);
+}
+
+Result<exec::PhysPtr> Database::CompileSelect(
+    const ast::SelectStatement& stmt, const QueryOptions& options,
+    opt::OptimizeInfo* info, std::vector<std::string>* names,
+    const ResourceGovernor* governor, plan::LogicalPtr* bound_root) {
   int next_rel_id = 0;
-  QOPT_ASSIGN_OR_RETURN(plan::BoundQuery bound, BindSql(sql, &next_rel_id));
+  QOPT_ASSIGN_OR_RETURN(plan::BoundQuery bound,
+                        plan::Bind(stmt, catalog_, &next_rel_id));
   if (names != nullptr) *names = bound.output_names;
+  if (bound_root != nullptr) *bound_root = bound.root;
   if (options.naive_execution) {
     // Normalize + push predicates down (System-R evaluates predicates as
     // early as possible even in the unoptimized plan), but keep syntactic
@@ -150,28 +351,245 @@ Result<exec::PhysPtr> Database::PlanQueryWithGovernor(
   return optimizer.Optimize(bound.root, &next_rel_id, info, governor);
 }
 
+bool Database::CacheEntryCurrent(const CachedPlan& entry) const {
+  if (entry.catalog_version != catalog_.version()) return false;
+  for (const auto& [table_id, stats_version] : entry.table_stats) {
+    const TableDef* table = catalog_.GetTable(table_id);
+    if (table == nullptr || table->stats_version != stats_version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<exec::PhysPtr> Database::PlanSelectWithGovernor(
+    ast::SelectStatement* stmt, const QueryOptions& options,
+    opt::OptimizeInfo* info, std::vector<std::string>* names,
+    const ResourceGovernor* governor) {
+  using Outcome = opt::PlanCacheInfo::Outcome;
+  opt::OptimizeInfo local_info;
+  if (info == nullptr) info = &local_info;
+
+  // Fingerprint first: it also annotates the statement's literals with the
+  // parameter slots that every later stage (binder, access paths, cache
+  // rebinding) keys on.
+  plan::QueryFingerprint fp;
+  bool fingerprinted = plan::FingerprintQuery(stmt, catalog_, &fp).ok();
+  if (fingerprinted) {
+    info->plan_cache.fingerprint = fp.hash;
+    info->plan_cache.fingerprint_hex = fp.HexHash();
+  }
+  if (!fingerprinted || !options.use_plan_cache || options.naive_execution) {
+    info->plan_cache.outcome = Outcome::kBypass;
+    return CompileSelect(*stmt, options, info, names, governor);
+  }
+
+  const PlanCacheKey key{fp.hash, PlanAffectingOptionsDigest(options)};
+  Outcome outcome = Outcome::kMiss;
+  std::shared_ptr<const CachedPlan> prior = plan_cache_.Lookup(key);
+  if (prior != nullptr) {
+    if (!CacheEntryCurrent(*prior)) {
+      // Schema or statistics epoch moved: the plan may be arbitrarily
+      // wrong (missing index, stale costs). Drop it and recompile.
+      plan_cache_.Erase(key);
+      plan_cache_.RecordInvalidation();
+      outcome = Outcome::kInvalidated;
+      prior = nullptr;
+    } else if (prior->params == fp.params) {
+      // Identical literal vector: the compiled plan applies verbatim.
+      plan_cache_.RecordHit();
+      opt::PlanCacheInfo cache_info = info->plan_cache;
+      *info = prior->info;
+      info->plan_cache = cache_info;
+      info->plan_cache.outcome = Outcome::kHit;
+      if (names != nullptr) *names = prior->output_names;
+      return prior->plan;
+    } else if (prior->parametric != nullptr && options.plan_cache_parametric &&
+               ParamsEqualExcept(prior->params, fp.params,
+                                 prior->parametric_param)) {
+      // Only the range literal changed: let the parametric plan choose the
+      // interval (§7.4 choose-plan) and rebind its piece to the literal.
+      const int k = prior->parametric_param;
+      const Value& incoming = fp.params[k];
+      const PlanInterval& piece =
+          prior->parametric->Choose(incoming.AsNumeric());
+      exec::PhysPtr rebound = RebindPlanParam(piece.plan, k, incoming);
+      plan_cache_.RecordHit();
+      opt::PlanCacheInfo cache_info = info->plan_cache;
+      *info = prior->info;
+      info->plan_cache = cache_info;
+      info->plan_cache.outcome = Outcome::kHitParametric;
+      info->plan_cache.parametric_interval = static_cast<int>(
+          &piece - prior->parametric->intervals.data());
+      info->plan_cache.parametric_piece_count =
+          static_cast<int>(prior->parametric->intervals.size());
+      info->plan_cache.parametric_lo = piece.lo;
+      info->plan_cache.parametric_hi = piece.hi;
+      if (names != nullptr) *names = prior->output_names;
+      return rebound;
+    }
+    // Same shape but different frozen constants and no usable parametric
+    // plan: recompile; the fresh entry replaces the stale-constant one.
+  }
+  if (outcome == Outcome::kMiss) plan_cache_.RecordMiss();
+
+  plan::LogicalPtr bound_root;
+  std::vector<std::string> compiled_names;
+  QOPT_ASSIGN_OR_RETURN(
+      exec::PhysPtr plan,
+      CompileSelect(*stmt, options, info, &compiled_names, governor,
+                    &bound_root));
+  if (names != nullptr) *names = compiled_names;
+  info->plan_cache.outcome = outcome;
+  // A degraded compile reflects a search budget, not the query: caching it
+  // would pin the inferior plan past the moment budgets allow better.
+  if (info->degraded) return plan;
+
+  auto entry = std::make_shared<CachedPlan>();
+  entry->plan = plan;
+  entry->output_names = compiled_names;
+  entry->params = fp.params;
+  entry->catalog_version = catalog_.version();
+  std::set<int> tables;
+  CollectPlanTables(*plan, &tables);
+  for (int table_id : tables) {
+    const TableDef* table = catalog_.GetTable(table_id);
+    entry->table_stats.emplace_back(
+        table_id, table != nullptr ? table->stats_version : 0);
+  }
+  entry->approx_bytes = EstimatePlanBytes(*plan) + 256;
+  if (options.plan_cache_parametric && fp.range_param >= 0 &&
+      prior != nullptr && !prior->parametric_attempted) {
+    // Second miss on this shape with a varying range literal: the workload
+    // has demonstrated parameter variation, so invest in the parametric
+    // sweep now. One-shot queries never reach here and never pay for it.
+    MaybeAttachParametric(stmt, options, fp, bound_root, entry.get());
+  } else if (prior != nullptr) {
+    entry->parametric_attempted = prior->parametric_attempted;
+  }
+  entry->info = *info;
+  plan_cache_.Insert(key, std::move(entry));
+  return plan;
+}
+
+void Database::MaybeAttachParametric(ast::SelectStatement* stmt,
+                                     const QueryOptions& options,
+                                     const plan::QueryFingerprint& fp,
+                                     const plan::LogicalPtr& bound_root,
+                                     CachedPlan* entry) {
+  entry->parametric_attempted = true;
+  const int k = fp.range_param;
+  if (bound_root == nullptr) return;
+  // The sweep range comes from the compared column's statistics; find the
+  // `col <op> ?k` comparison in the bound tree to learn which column.
+  ColumnId col;
+  bool found = false;
+  WalkLogicalExprs(bound_root, [&](const plan::BExpr& root) {
+    std::function<void(const plan::BExpr&)> visit =
+        [&](const plan::BExpr& e) {
+          if (e == nullptr || found) return;
+          if (e->kind == plan::BoundKind::kBinary && e->children.size() == 2) {
+            const plan::BExpr& a = e->children[0];
+            const plan::BExpr& b = e->children[1];
+            if (a != nullptr && b != nullptr) {
+              if (a->kind == plan::BoundKind::kColumn &&
+                  b->kind == plan::BoundKind::kLiteral &&
+                  b->param_index == k) {
+                col = a->column;
+                found = true;
+                return;
+              }
+              if (b->kind == plan::BoundKind::kColumn &&
+                  a->kind == plan::BoundKind::kLiteral &&
+                  a->param_index == k) {
+                col = b->column;
+                found = true;
+                return;
+              }
+            }
+          }
+          for (const plan::BExpr& child : e->children) visit(child);
+        };
+    visit(root);
+  });
+  if (!found) return;
+  int table_id = FindRelTable(bound_root, col.rel);
+  if (table_id < 0) return;
+  const TableDef* table = catalog_.GetTable(table_id);
+  if (table == nullptr || table->stats == nullptr) return;
+  const stats::ColumnStats* cstats = table->stats->column(col.col);
+  if (cstats == nullptr || cstats->min.is_null() || cstats->max.is_null() ||
+      !IsNumeric(cstats->min.type()) || !IsNumeric(cstats->max.type())) {
+    return;
+  }
+  // Clamp the sweep to the non-negative domain: a negative sample renders
+  // as unary minus over a positive literal, changing the expression shape
+  // the cached pieces would later be rebound through.
+  double lo = std::max(0.0, cstats->min.AsNumeric());
+  double hi = cstats->max.AsNumeric();
+  if (hi <= lo) return;
+
+  ast::Expr* lit = FindParamLiteral(stmt, k);
+  if (lit == nullptr) return;
+  const Value original = lit->literal;
+  auto sql_for = [stmt, lit](double v) {
+    lit->literal = Value::Double(v);
+    return stmt->ToString();
+  };
+  ParametricOptions popts;
+  popts.lo = lo;
+  popts.hi = hi;
+  // A coarser boundary than the analysis default: the fill happens on a
+  // live query, and near a crossover the competing plans cost about the
+  // same anyway, so precision there buys little.
+  popts.refine_tolerance = 0.01;
+  popts.query_options = options;
+  popts.query_options.use_plan_cache = false;  // No self-referential sweeps.
+  Result<ParametricPlan> swept = ParametricOptimize(this, sql_for, popts);
+  lit->literal = original;
+  if (!swept.ok() || swept->intervals.empty()) return;
+  // Soundness screen: every piece must expose slot k as a substitutable
+  // site (a surviving literal or a single-contributor scan bound) and must
+  // not have absorbed k into a multi-predicate bound — otherwise rebinding
+  // cannot reproduce the query's semantics for a new literal.
+  size_t extra_bytes = 0;
+  for (const PlanInterval& piece : swept->intervals) {
+    if (piece.plan == nullptr) return;
+    std::set<int> have, absorbed;
+    CollectPlanParamIndices(*piece.plan, &have);
+    CollectAbsorbedParamIndices(*piece.plan, &absorbed);
+    if (have.count(k) == 0 || absorbed.count(k) != 0) return;
+    extra_bytes += EstimatePlanBytes(*piece.plan);
+  }
+  entry->parametric =
+      std::make_shared<const ParametricPlan>(*std::move(swept));
+  entry->parametric_param = k;
+  entry->approx_bytes += extra_bytes;
+}
+
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const QueryOptions& options) {
-  // EXPLAIN SELECT ... returns the rendered plan as a one-column result.
-  {
-    auto parsed = parser::Parse(sql);
-    if (parsed.ok() && parsed->kind == ast::Statement::Kind::kExplain) {
-      QOPT_ASSIGN_OR_RETURN(std::string text,
-                            Explain(parsed->select->ToString(), options));
-      QueryResult explain_result;
-      explain_result.column_names = {"plan"};
-      std::string line;
-      for (char c : text) {
-        if (c == '\n') {
-          explain_result.rows.push_back({Value::String(line)});
-          line.clear();
-        } else {
-          line += c;
-        }
+  QOPT_ASSIGN_OR_RETURN(ast::Statement stmt, parser::Parse(sql));
+  if (stmt.kind == ast::Statement::Kind::kExplain) {
+    // EXPLAIN SELECT ... returns the rendered plan as a one-column result.
+    QOPT_ASSIGN_OR_RETURN(std::string text,
+                          Explain(stmt.select->ToString(), options));
+    QueryResult explain_result;
+    explain_result.column_names = {"plan"};
+    std::string line;
+    for (char c : text) {
+      if (c == '\n') {
+        explain_result.rows.push_back({Value::String(line)});
+        line.clear();
+      } else {
+        line += c;
       }
-      if (!line.empty()) explain_result.rows.push_back({Value::String(line)});
-      return explain_result;
     }
+    if (!line.empty()) explain_result.rows.push_back({Value::String(line)});
+    return explain_result;
+  }
+  if (stmt.kind != ast::Statement::Kind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
   }
   QueryResult result;
   // One governor instance spans planning and execution, so a deadline set
@@ -179,9 +597,9 @@ Result<QueryResult> Database::Query(const std::string& sql,
   ResourceGovernor governor(options.governor);
   QOPT_ASSIGN_OR_RETURN(
       exec::PhysPtr plan,
-      PlanQueryWithGovernor(sql, options, &result.optimize_info,
-                            &result.column_names,
-                            governor.enabled() ? &governor : nullptr));
+      PlanSelectWithGovernor(stmt.select.get(), options,
+                             &result.optimize_info, &result.column_names,
+                             governor.enabled() ? &governor : nullptr));
   exec::ExecContext ctx;
   ctx.storage = &storage_;
   ctx.catalog = &catalog_;
@@ -192,7 +610,9 @@ Result<QueryResult> Database::Query(const std::string& sql,
     ctx.dop = std::clamp<size_t>(options.dop, 1, ThreadPool::kMaxThreads);
     ctx.morsel_rows = options.morsel_rows;
     if (ctx.dop > 1) {
-      // dop workers = the calling thread + dop-1 pool threads.
+      // dop workers = the calling thread + dop-1 pool threads. The mutex
+      // makes the lazy pool creation safe under concurrent Query() calls.
+      std::lock_guard<std::mutex> lock(pool_mu_);
       if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(1);
       pool_->EnsureThreads(ctx.dop - 1);
       ctx.pool = pool_.get();
@@ -207,9 +627,20 @@ Result<std::string> Database::Explain(const std::string& sql,
                                       const QueryOptions& options) {
   opt::OptimizeInfo info;
   QOPT_ASSIGN_OR_RETURN(exec::PhysPtr plan, PlanQuery(sql, options, &info));
-  std::string header;
+  const opt::PlanCacheInfo& pc = info.plan_cache;
+  std::string header =
+      "[cache: " + std::string(opt::PlanCacheOutcomeName(pc.outcome));
+  if (!pc.fingerprint_hex.empty()) header += " fp=" + pc.fingerprint_hex;
+  if (pc.outcome == opt::PlanCacheInfo::Outcome::kHitParametric) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, " interval %d/%d [%g, %g]",
+                  pc.parametric_interval + 1, pc.parametric_piece_count,
+                  pc.parametric_lo, pc.parametric_hi);
+    header += buf;
+  }
+  header += "]\n";
   if (info.degraded) {
-    header = "[degraded: " + info.degraded_reason + "]\n";
+    header += "[degraded: " + info.degraded_reason + "]\n";
   }
   if (options.execution_mode == exec::ExecMode::kParallel) {
     // Mark the morsel-parallel region roots plus the vectorized operators

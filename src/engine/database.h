@@ -4,16 +4,22 @@
 #define QOPT_ENGINE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "engine/governor.h"
+#include "engine/plan_cache.h"
 #include "engine/thread_pool.h"
 #include "exec/executors.h"
 #include "optimizer/optimizer.h"
 #include "stats/stats_builder.h"
 
 namespace qopt {
+
+namespace plan {
+struct QueryFingerprint;
+}  // namespace plan
 
 /// Per-query knobs.
 struct QueryOptions {
@@ -40,6 +46,17 @@ struct QueryOptions {
   /// both optimization and execution. Defaults to unlimited; see
   /// GovernorOptions::ServiceDefaults() for production-style caps.
   GovernorOptions governor;
+  /// Reuse compiled plans across queries through the fingerprint-keyed
+  /// plan cache (compile once, execute many). Entries are validated
+  /// against the catalog schema epoch and per-table statistics versions on
+  /// every hit, and never reuse a plan compiled with different literal
+  /// types or optimizer settings. Disable to force a fresh optimization.
+  bool use_plan_cache = true;
+  /// When a cached fingerprint keeps missing because one numeric range
+  /// literal varies, also compile a parametric piecewise-optimal plan
+  /// (§7.4) over that literal so later executions pick the interval's plan
+  /// instead of re-optimizing. Requires statistics on the compared column.
+  bool plan_cache_parametric = true;
 };
 
 /// A query's results plus diagnostics.
@@ -105,6 +122,10 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
   Storage& storage() { return storage_; }
 
+  /// The database's plan cache (shared by Query / PlanQuery / Explain).
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   /// PlanQuery with an optional shared governor (one instance spans
   /// planning and execution of a query).
@@ -113,11 +134,44 @@ class Database {
       opt::OptimizeInfo* info, std::vector<std::string>* names,
       const ResourceGovernor* governor);
 
+  /// Plans one parsed SELECT through the plan cache: fingerprint, lookup,
+  /// epoch validation, parameter rebinding on hits, compile-and-insert on
+  /// misses. Annotates `stmt`'s literals with parameter slots in place.
+  Result<exec::PhysPtr> PlanSelectWithGovernor(
+      ast::SelectStatement* stmt, const QueryOptions& options,
+      opt::OptimizeInfo* info, std::vector<std::string>* names,
+      const ResourceGovernor* governor);
+
+  /// Bind + (naive-translate | optimize) — the cache-free compile path.
+  /// `bound_root` (optional) receives the bound logical plan.
+  Result<exec::PhysPtr> CompileSelect(const ast::SelectStatement& stmt,
+                                      const QueryOptions& options,
+                                      opt::OptimizeInfo* info,
+                                      std::vector<std::string>* names,
+                                      const ResourceGovernor* governor,
+                                      plan::LogicalPtr* bound_root = nullptr);
+
+  /// True if `entry` was compiled under the current schema epoch and the
+  /// current statistics version of every table it reads.
+  bool CacheEntryCurrent(const CachedPlan& entry) const;
+
+  /// Attempts to compile a parametric piecewise plan over the query's
+  /// range parameter and attach it to `entry` (marks the attempt either
+  /// way). Restores `stmt` before returning.
+  void MaybeAttachParametric(ast::SelectStatement* stmt,
+                             const QueryOptions& options,
+                             const plan::QueryFingerprint& fp,
+                             const plan::LogicalPtr& bound_root,
+                             CachedPlan* entry);
+
   Catalog catalog_;
   Storage storage_;
+  PlanCache plan_cache_;
   /// Worker threads for ExecMode::kParallel, created lazily on the first
-  /// parallel query and reused (grow-only) across queries.
+  /// parallel query and reused (grow-only) across queries. `pool_mu_`
+  /// guards the lazy creation/growth so concurrent Query() calls are safe.
   std::unique_ptr<ThreadPool> pool_;
+  std::mutex pool_mu_;
 };
 
 /// Direct 1:1 translation of a logical plan to executors (no optimization);

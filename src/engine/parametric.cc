@@ -84,11 +84,17 @@ Result<ParametricPlan> ParametricOptimize(
     exec::PhysPtr plan;
     double cost;
   };
+  // Every sample must be a fresh optimization: a plan-cache hit would hand
+  // back the previously compiled (or piecewise) plan and the sweep would
+  // observe its own output instead of the optimizer's choice at v. This
+  // also breaks the recursion when the sweep itself runs as a cache fill.
+  QueryOptions sample_options = options.query_options;
+  sample_options.use_plan_cache = false;
   auto sample_at = [&](double v) -> Result<Sample> {
     opt::OptimizeInfo info;
     QOPT_ASSIGN_OR_RETURN(
         exec::PhysPtr plan,
-        db->PlanQuery(sql_for(v), options.query_options, &info));
+        db->PlanQuery(sql_for(v), sample_options, &info));
     Sample s;
     s.v = v;
     s.sig = PlanSignature(plan);

@@ -1,0 +1,197 @@
+#include "engine/plan_cache.h"
+
+#include <algorithm>
+
+#include "plan/expr.h"
+
+namespace qopt {
+
+PlanCache::PlanCache(Options options) : options_(options) {
+  shard_max_entries_ = std::max<size_t>(1, options_.max_entries / kShards);
+  shard_max_bytes_ = std::max<size_t>(1, options_.max_bytes / kShards);
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const PlanCacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key,
+                       std::shared_ptr<const CachedPlan> plan) {
+  size_t entry_bytes = plan != nullptr ? plan->approx_bytes : 0;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->second->approx_bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.emplace_front(key, std::move(plan));
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += entry_bytes;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  EvictLocked(shard);
+}
+
+void PlanCache::Erase(const PlanCacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;
+  shard.bytes -= it->second->second->approx_bytes;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+void PlanCache::EvictLocked(Shard& shard) {
+  while (!shard.lru.empty() && (shard.lru.size() > shard_max_entries_ ||
+                                shard.bytes > shard_max_bytes_)) {
+    // Never evict the entry just inserted, even if it alone busts the byte
+    // budget — an uncacheable-size plan simply occupies one slot until the
+    // next insert displaces it.
+    if (shard.lru.size() == 1) break;
+    auto& back = shard.lru.back();
+    shard.bytes -= back.second->approx_bytes;
+    shard.index.erase(back.first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    out.entries += shard.lru.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+exec::PhysPtr RebindPlanParam(const exec::PhysPtr& plan, int param_index,
+                              const Value& v) {
+  if (plan == nullptr) return plan;
+  // Plan trees are small (tens of nodes); copying every node is cheaper
+  // than tracking which paths changed, and guarantees the cached original
+  // is untouched.
+  auto copy = std::make_shared<exec::PhysicalPlan>(*plan);
+  for (exec::PhysPtr& child : copy->children) {
+    child = RebindPlanParam(child, param_index, v);
+  }
+  if (copy->predicate != nullptr) {
+    copy->predicate =
+        plan::SubstituteParamLiteral(copy->predicate, param_index, v);
+  }
+  for (plan::BExpr& e : copy->proj_exprs) {
+    if (e != nullptr) e = plan::SubstituteParamLiteral(e, param_index, v);
+  }
+  for (plan::AggItem& agg : copy->aggs) {
+    if (agg.arg != nullptr) {
+      agg.arg = plan::SubstituteParamLiteral(agg.arg, param_index, v);
+    }
+  }
+  if (copy->lo.has_value() && copy->lo->param_index == param_index) {
+    copy->lo->value = v;
+  }
+  if (copy->hi.has_value() && copy->hi->param_index == param_index) {
+    copy->hi->value = v;
+  }
+  return copy;
+}
+
+void CollectPlanParamIndices(const exec::PhysicalPlan& plan,
+                             std::set<int>* out) {
+  if (plan.predicate != nullptr) plan::CollectParamIndices(plan.predicate, out);
+  for (const plan::BExpr& e : plan.proj_exprs) {
+    if (e != nullptr) plan::CollectParamIndices(e, out);
+  }
+  for (const plan::AggItem& agg : plan.aggs) {
+    if (agg.arg != nullptr) plan::CollectParamIndices(agg.arg, out);
+  }
+  if (plan.lo.has_value() && plan.lo->param_index >= 0) {
+    out->insert(plan.lo->param_index);
+  }
+  if (plan.hi.has_value() && plan.hi->param_index >= 0) {
+    out->insert(plan.hi->param_index);
+  }
+  for (const exec::PhysPtr& child : plan.children) {
+    if (child != nullptr) CollectPlanParamIndices(*child, out);
+  }
+}
+
+void CollectAbsorbedParamIndices(const exec::PhysicalPlan& plan,
+                                 std::set<int>* out) {
+  if (plan.lo.has_value()) {
+    out->insert(plan.lo->absorbed_params.begin(),
+                plan.lo->absorbed_params.end());
+  }
+  if (plan.hi.has_value()) {
+    out->insert(plan.hi->absorbed_params.begin(),
+                plan.hi->absorbed_params.end());
+  }
+  for (const exec::PhysPtr& child : plan.children) {
+    if (child != nullptr) CollectAbsorbedParamIndices(*child, out);
+  }
+}
+
+void CollectPlanTables(const exec::PhysicalPlan& plan, std::set<int>* out) {
+  if (plan.table_id >= 0) out->insert(plan.table_id);
+  for (const exec::PhysPtr& child : plan.children) {
+    if (child != nullptr) CollectPlanTables(*child, out);
+  }
+}
+
+namespace {
+
+size_t EstimateExprBytes(const plan::BExpr& e) {
+  if (e == nullptr) return 0;
+  size_t bytes = sizeof(plan::BoundExpr);
+  if (e->literal.type() == TypeId::kString) {
+    bytes += e->literal.AsString().size();
+  }
+  for (const plan::BExpr& c : e->children) bytes += EstimateExprBytes(c);
+  return bytes;
+}
+
+}  // namespace
+
+size_t EstimatePlanBytes(const exec::PhysicalPlan& plan) {
+  size_t bytes = sizeof(exec::PhysicalPlan);
+  bytes += plan.alias.size();
+  for (const plan::OutputCol& c : plan.output_cols) {
+    bytes += sizeof(plan::OutputCol) + c.name.size();
+  }
+  bytes += EstimateExprBytes(plan.predicate);
+  for (const plan::BExpr& e : plan.proj_exprs) bytes += EstimateExprBytes(e);
+  for (const plan::AggItem& agg : plan.aggs) {
+    bytes += sizeof(plan::AggItem) + agg.name.size();
+    bytes += EstimateExprBytes(agg.arg);
+  }
+  bytes += plan.group_by.size() * sizeof(ColumnId);
+  bytes += plan.sort_keys.size() * sizeof(plan::SortKey);
+  for (const exec::PhysPtr& child : plan.children) {
+    if (child != nullptr) bytes += EstimatePlanBytes(*child);
+  }
+  return bytes;
+}
+
+}  // namespace qopt

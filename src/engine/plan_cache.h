@@ -1,0 +1,201 @@
+// Parameterized plan cache: fingerprint → compiled-plan reuse.
+//
+// Optimization is the expensive phase of query processing (the paper's
+// premise — §3's exhaustive enumeration, §6's extensible search engines);
+// production systems amortize it by caching compiled plans keyed on a
+// normalized query shape. This module provides:
+//
+//   * PlanCache — a thread-safe, sharded LRU map from (query fingerprint,
+//     options digest) to a compiled physical plan plus its compile-time
+//     diagnostics, bounded by entry count and approximate bytes, with
+//     hit/miss/eviction/invalidation counters.
+//   * Epoch validation — every entry records the catalog schema version and
+//     the per-table statistics versions it was compiled under; lookups in a
+//     newer epoch discard the entry (no stale plan survives DDL or ANALYZE).
+//   * Parametric reuse — an entry may carry a piecewise-optimal
+//     ParametricPlan (§7.4) over one numeric range parameter, so a hit with
+//     a different literal can switch plan *structure*, not just constants.
+//   * Plan rebinding helpers — substitute a parameter slot's literal
+//     throughout a physical plan (predicates, projections, aggregate
+//     arguments, index-scan bounds) without mutating the cached tree.
+#ifndef QOPT_ENGINE_PLAN_CACHE_H_
+#define QOPT_ENGINE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/physical_plan.h"
+#include "optimizer/optimizer.h"
+
+namespace qopt {
+
+struct ParametricPlan;  // engine/parametric.h (includes database.h; forward-
+                        // declared here to break the cycle).
+
+/// Cache key: normalized query shape + the plan-affecting configuration
+/// (optimizer options, cost parameters, execution mode / dop) digested to
+/// one word. Two sessions asking the same shape under different optimizer
+/// settings must not share a plan.
+struct PlanCacheKey {
+  uint64_t fingerprint = 0;
+  uint64_t options_digest = 0;
+
+  bool operator==(const PlanCacheKey& o) const {
+    return fingerprint == o.fingerprint && options_digest == o.options_digest;
+  }
+  uint64_t Hash() const {
+    uint64_t h = fingerprint ^ (options_digest * 0x9e3779b97f4a7c15ULL);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  }
+};
+
+/// One cached compilation. Immutable once inserted (shared across threads).
+struct CachedPlan {
+  exec::PhysPtr plan;                     ///< Compiled physical plan.
+  opt::OptimizeInfo info;                 ///< Diagnostics captured at compile time.
+  std::vector<std::string> output_names;  ///< Result column headers.
+  /// Literal vector the plan was compiled with (parallel to the
+  /// fingerprint's parameter slots). A generic reuse requires the incoming
+  /// vector to be equal; a parametric reuse requires equality everywhere
+  /// except `parametric_param`.
+  std::vector<Value> params;
+
+  // Epoch stamps (validated on every lookup).
+  uint64_t catalog_version = 0;
+  /// (table_id, stats_version) for every base table the plan reads —
+  /// derived from the physical plan's scan nodes, so view-expanded tables
+  /// are covered.
+  std::vector<std::pair<int, uint64_t>> table_stats;
+
+  /// Piecewise-optimal plan over parameter slot `parametric_param` (§7.4
+  /// choose-plan), or null when the query has no eligible range parameter.
+  std::shared_ptr<const ParametricPlan> parametric;
+  int parametric_param = -1;
+  /// True once a parametric compile was attempted for this fingerprint —
+  /// successful or not — so a failed attempt is not repeated on every miss.
+  bool parametric_attempted = false;
+
+  size_t approx_bytes = 0;  ///< Rough footprint charged against the cache.
+};
+
+/// Snapshot of the cache's counters and occupancy.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      ///< Capacity evictions (LRU).
+  uint64_t invalidations = 0;  ///< Epoch-stale entries discarded.
+  uint64_t inserts = 0;
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+/// Thread-safe sharded LRU plan cache. Sharding keeps the hot Lookup path's
+/// critical section short under concurrent Query() threads; bounds are
+/// enforced per shard (total budget divided evenly), so occupancy limits
+/// are approximate by up to one shard's rounding.
+class PlanCache {
+ public:
+  struct Options {
+    size_t max_entries = 256;
+    size_t max_bytes = 32u << 20;
+  };
+
+  PlanCache() : PlanCache(Options()) {}
+  explicit PlanCache(Options options);
+
+  /// The entry under `key` (touching its LRU position), or null. Epoch
+  /// validation is the caller's job — the cache knows nothing of catalogs.
+  std::shared_ptr<const CachedPlan> Lookup(const PlanCacheKey& key);
+
+  /// Inserts or replaces `key`, then evicts LRU entries while the shard
+  /// exceeds its entry or byte budget.
+  void Insert(const PlanCacheKey& key, std::shared_ptr<const CachedPlan> plan);
+
+  /// Drops `key` (stale-epoch discard). No-op if absent.
+  void Erase(const PlanCacheKey& key);
+
+  /// Drops everything (counters survive).
+  void Clear();
+
+  // Outcome counters (bumped by the engine so one Query() counts once even
+  // when it touches the cache several times).
+  void RecordHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordInvalidation() {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  PlanCacheStats stats() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const PlanCacheKey& k) const {
+      return static_cast<size_t>(k.Hash());
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    /// MRU-first list of (key, entry); the map points into it.
+    std::list<std::pair<PlanCacheKey, std::shared_ptr<const CachedPlan>>> lru;
+    std::unordered_map<PlanCacheKey, decltype(lru)::iterator, KeyHash> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const PlanCacheKey& key) {
+    return shards_[key.Hash() % kShards];
+  }
+  void EvictLocked(Shard& shard);
+
+  static constexpr size_t kShards = 8;
+
+  Options options_;
+  size_t shard_max_entries_;
+  size_t shard_max_bytes_;
+  Shard shards_[kShards];
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> inserts_{0};
+};
+
+// --- Plan-level parameter helpers (used by the engine's hit path) ---
+
+/// Returns `plan` with every literal holding parameter slot `param_index`
+/// replaced by `v` — in predicates, projection expressions, aggregate
+/// arguments and index-scan bounds. Nodes on changed paths are copied; the
+/// input tree is never mutated (it may be shared by the cache).
+exec::PhysPtr RebindPlanParam(const exec::PhysPtr& plan, int param_index,
+                              const Value& v);
+
+/// Collects every parameter slot that survives in `plan` as a substitutable
+/// site (expression literals and single-contributor scan bounds).
+void CollectPlanParamIndices(const exec::PhysicalPlan& plan,
+                             std::set<int>* out);
+
+/// Collects slots that were absorbed into multi-contributor scan bounds
+/// (see exec::ScanBound::absorbed_params): rebinding these is unsound.
+void CollectAbsorbedParamIndices(const exec::PhysicalPlan& plan,
+                                 std::set<int>* out);
+
+/// Collects the table_id of every base-table scan in `plan`.
+void CollectPlanTables(const exec::PhysicalPlan& plan, std::set<int>* out);
+
+/// Rough per-plan memory footprint (nodes, expressions, strings) charged
+/// against the cache's byte budget.
+size_t EstimatePlanBytes(const exec::PhysicalPlan& plan);
+
+}  // namespace qopt
+
+#endif  // QOPT_ENGINE_PLAN_CACHE_H_

@@ -72,9 +72,11 @@ class HashAggregateExec : public AggregateExecBase {
     pos_ = 0;
 
     std::unordered_map<Row, Group, RowHash, RowEq> groups;
+    groups.reserve(ReserveHint(plan_->est_rows));
     Row in;
     // Preserve first-seen group order for deterministic output.
     std::vector<const Row*> order;
+    order.reserve(ReserveHint(plan_->est_rows));
     while (child_->Next(&in)) {
       Row key = KeyOf(in);
       auto [it, inserted] = groups.emplace(std::move(key), NewGroup());

@@ -444,6 +444,8 @@ class BatchHashJoinExec : public BatchExecutor {
     QOPT_DCHECK(rit != right_->colmap().end());
     size_t rk = static_cast<size_t>(rit->second);
     state_->rk = rk;
+    size_t hint = ReserveHint(plan_->children[1]->est_rows);
+    for (std::vector<Value>& col : state_->build_cols) col.reserve(hint);
     // The build side stays columnar: values move straight out of the child
     // batches (each batch is reset on the next NextBatch call), avoiding a
     // per-row Row materialization of the entire build input.

@@ -3,11 +3,22 @@
 #ifndef QOPT_EXEC_EXECUTORS_INTERNAL_H_
 #define QOPT_EXEC_EXECUTORS_INTERNAL_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 
 #include "exec/executors.h"
 
 namespace qopt::exec::internal {
+
+/// Container pre-size hint from a plan node's cardinality estimate, so hash
+/// tables and build-side buffers skip their doubling-rehash ramp-up. Clamped
+/// so a wild estimate cannot pre-allocate unbounded memory; 0 (no estimate)
+/// leaves the container to grow organically.
+inline size_t ReserveHint(double est_rows, size_t cap = 1u << 20) {
+  if (!(est_rows > 0)) return 0;
+  return std::min(cap, static_cast<size_t>(est_rows));
+}
 
 std::unique_ptr<Executor> NewScanExec(const PhysicalPlan* plan,
                                       ExecContext* ctx);

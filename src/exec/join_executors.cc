@@ -278,12 +278,14 @@ class HashJoinExec : public JoinExecBase {
     auto rit = right_->colmap().find(plan_->right_key);
     QOPT_DCHECK(rit != right_->colmap().end());
     int rk = rit->second;
+    rows_.reserve(ReserveHint(plan_->children[1]->est_rows));
     Row r;
     while (right_->Next(&r)) {
       if (r[rk].is_null()) continue;  // NULL keys never match
       if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
       rows_.push_back(std::move(r));
     }
+    table_.reserve(rows_.size());
     for (size_t i = 0; i < rows_.size(); ++i) {
       table_.emplace(rows_[i][rk], i);
     }

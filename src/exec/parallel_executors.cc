@@ -214,6 +214,8 @@ class ParallelGatherExec : public Executor {
         size_t rwidth = build->output_cols.size();
         state->build_cols.assign(rwidth, {});
         state->rk = static_cast<size_t>(KeyPos(build, node->right_key));
+        size_t hint = ReserveHint(build->est_rows);
+        for (std::vector<Value>& col : state->build_cols) col.reserve(hint);
         if (ParallelEligible(*build)) {
           RunBuildPhases(build);  // nested joins inside the build side
           ParallelBuild(build, state.get());
@@ -340,6 +342,9 @@ class ParallelGatherExec : public Executor {
     RunPhase([&](size_t w) {
       ExecContext* wc = wctx_[w].get();
       Partial& part = partials[w];
+      // Any worker can see every group, so each partial sizes for the full
+      // estimated group count.
+      part.groups.reserve(ReserveHint(plan_->est_rows));
       std::unique_ptr<Executor> tree = BuildWorkerTree(pipeline_root_, wc);
       tree->Init();
       RowBatch b;
@@ -377,7 +382,9 @@ class ParallelGatherExec : public Executor {
     });
     if (Aborted()) return;
     std::unordered_map<Row, Group, RowHash, RowEq> merged;
+    merged.reserve(ReserveHint(plan_->est_rows));
     std::vector<const Row*> order;
+    order.reserve(ReserveHint(plan_->est_rows));
     for (Partial& part : partials) {
       for (const Row* key : part.order) {
         auto pit = part.groups.find(*key);

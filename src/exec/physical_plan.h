@@ -45,6 +45,15 @@ const char* PhysOpKindName(PhysOpKind kind);
 struct ScanBound {
   Value value;
   bool inclusive = true;
+  /// Parameter slot the bound value came from (see plan::BoundExpr), or -1
+  /// when it is a fixed constant or was tightened from several predicates
+  /// (in which case rebinding it alone would be unsound).
+  int param_index = -1;
+  /// Parameter slots of predicates that contributed to this bound but whose
+  /// value is no longer individually recoverable (the bound kept only the
+  /// tightest contributor and the losers were dropped from the residual
+  /// filter). A plan whose bound absorbed slot k cannot be rebound on k.
+  std::vector<int> absorbed_params;
 };
 
 struct PhysicalPlan;

@@ -635,3 +635,23 @@ Result<exec::PhysPtr> Optimizer::Optimize(const LogicalPtr& root,
 }
 
 }  // namespace qopt::opt
+
+namespace qopt::opt {
+
+const char* PlanCacheOutcomeName(PlanCacheInfo::Outcome outcome) {
+  switch (outcome) {
+    case PlanCacheInfo::Outcome::kBypass:
+      return "bypass";
+    case PlanCacheInfo::Outcome::kMiss:
+      return "miss";
+    case PlanCacheInfo::Outcome::kHit:
+      return "hit";
+    case PlanCacheInfo::Outcome::kHitParametric:
+      return "hit-parametric";
+    case PlanCacheInfo::Outcome::kInvalidated:
+      return "invalidated";
+  }
+  return "?";
+}
+
+}  // namespace qopt::opt

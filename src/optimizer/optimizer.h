@@ -35,6 +35,30 @@ struct OptimizerOptions {
   bool use_alternatives = true;
 };
 
+/// Plan-cache outcome for one query. Filled by the engine (the cache lives
+/// on Database, above the optimizer); carried here so it rides along in
+/// QueryResult / EXPLAIN with the rest of the optimization diagnostics.
+struct PlanCacheInfo {
+  enum class Outcome {
+    kBypass,         ///< Cache not consulted (disabled / naive / unfingerprintable).
+    kMiss,           ///< No entry; plan compiled and inserted.
+    kHit,            ///< Entry reused verbatim (identical parameter vector).
+    kHitParametric,  ///< Parametric entry: interval chosen, plan rebound.
+    kInvalidated,    ///< Entry found but stale (DDL / stats); recompiled.
+  };
+  Outcome outcome = Outcome::kBypass;
+  uint64_t fingerprint = 0;
+  std::string fingerprint_hex;  ///< Empty when the query was not fingerprinted.
+  /// kHitParametric only: which piece of the cached piecewise-optimal plan
+  /// (§7.4) the incoming literal selected.
+  int parametric_interval = -1;     ///< Index into the piece list.
+  int parametric_piece_count = 0;
+  double parametric_lo = 0;         ///< Chosen piece's parameter range.
+  double parametric_hi = 0;
+};
+
+const char* PlanCacheOutcomeName(PlanCacheInfo::Outcome outcome);
+
 /// Diagnostics from one optimization.
 struct OptimizeInfo {
   SelingerCounters selinger_counters;
@@ -47,6 +71,9 @@ struct OptimizeInfo {
   /// fallback or partial-memo costing); `degraded_reason` says which.
   bool degraded = false;
   std::string degraded_reason;
+  /// Plan-cache outcome (set by the engine; kBypass when no cache is in
+  /// front of this optimization).
+  PlanCacheInfo plan_cache;
 };
 
 /// The full optimizer.

@@ -274,9 +274,14 @@ class PredicateInferenceRule : public Rule {
         TypeId t = c->children[0]->kind == plan::BoundKind::kColumn
                        ? c->children[0]->type
                        : c->children[1]->type;
+        // Reuse the source literal node (not a fresh MakeLiteral) so a
+        // parameterized constant keeps its param_index in the derived
+        // predicate — the plan cache rebinds every copy together.
+        BExpr lit = c->children[0]->kind == plan::BoundKind::kLiteral
+                        ? c->children[0]
+                        : c->children[1];
         BExpr copy = plan::MakeBinary(
-            op, plan::MakeColumn(cols[i], t, cols[i].ToString()),
-            plan::MakeLiteral(constant));
+            op, plan::MakeColumn(cols[i], t, cols[i].ToString()), lit);
         std::string fp = Fingerprint(copy);
         if (existing.insert(fp).second) derived.push_back(std::move(copy));
       }

@@ -27,23 +27,40 @@ struct BoundSplit {
 
 BoundSplit SplitBounds(const std::vector<BExpr>& preds, ColumnId column) {
   BoundSplit out;
+  // Per-side contributor bookkeeping for the plan cache: a bound built from
+  // exactly one predicate carries that predicate's parameter slot and may be
+  // rebound to a new constant; a bound tightened by several predicates is
+  // "poisoned" (param_index -1, parameterized contributors recorded in
+  // absorbed_params), because the losing predicates are dropped from the
+  // residual filter — rebinding any single contributor could move the scan
+  // range past a dropped constraint in either direction.
+  int lo_contributors = 0, hi_contributors = 0;
+  std::vector<int> lo_slots, hi_slots;
   for (const BExpr& p : preds) {
     ColumnId col;
     BinaryOp op;
     Value constant;
     if (plan::MatchColumnConstant(p, &col, &op, &constant) && col == column &&
         !constant.is_null()) {
+      int pidx = -1;
+      for (const BExpr& c : p->children) {
+        if (c->kind == plan::BoundKind::kLiteral) pidx = c->param_index;
+      }
       auto tighten_lo = [&](const Value& v, bool inclusive) {
         if (!out.lo.has_value() || out.lo->value.Compare(v) < 0 ||
             (out.lo->value.Compare(v) == 0 && !inclusive)) {
           out.lo = exec::ScanBound{v, inclusive};
         }
+        ++lo_contributors;
+        if (pidx >= 0) lo_slots.push_back(pidx);
       };
       auto tighten_hi = [&](const Value& v, bool inclusive) {
         if (!out.hi.has_value() || out.hi->value.Compare(v) > 0 ||
             (out.hi->value.Compare(v) == 0 && !inclusive)) {
           out.hi = exec::ScanBound{v, inclusive};
         }
+        ++hi_contributors;
+        if (pidx >= 0) hi_slots.push_back(pidx);
       };
       switch (op) {
         case BinaryOp::kEq:
@@ -72,6 +89,20 @@ BoundSplit SplitBounds(const std::vector<BExpr>& preds, ColumnId column) {
       }
     }
     out.residual.push_back(p);
+  }
+  if (out.lo.has_value()) {
+    if (lo_contributors == 1 && lo_slots.size() == 1) {
+      out.lo->param_index = lo_slots[0];
+    } else {
+      out.lo->absorbed_params = std::move(lo_slots);
+    }
+  }
+  if (out.hi.has_value()) {
+    if (hi_contributors == 1 && hi_slots.size() == 1) {
+      out.hi->param_index = hi_slots[0];
+    } else {
+      out.hi->absorbed_params = std::move(hi_slots);
+    }
   }
   return out;
 }

@@ -70,6 +70,7 @@ ExprPtr Expr::Clone() const {
   e->agg_distinct = agg_distinct;
   if (subquery) e->subquery = subquery->Clone();
   e->negated = negated;
+  e->param_index = param_index;
   return e;
 }
 

@@ -69,6 +69,12 @@ struct Expr {
   bool agg_distinct = false;        // COUNT(DISTINCT x) etc.
   std::unique_ptr<SelectStatement> subquery;  // subquery kinds
   bool negated = false;             // NOT IN / NOT EXISTS / IS NOT NULL
+  /// Parameter slot of a kLiteral in a normalized (fingerprinted) query:
+  /// position of this constant in the extracted parameter vector, assigned
+  /// by plan::FingerprintQuery. -1 = not parameterized. Carried through the
+  /// binder onto plan::BoundExpr so the plan cache can rebind a cached
+  /// physical plan to new constants.
+  int param_index = -1;
 
   static ExprPtr MakeLiteral(Value v);
   static ExprPtr MakeColumn(std::string table, std::string column);

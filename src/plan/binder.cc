@@ -264,7 +264,7 @@ Result<BExpr> BinderImpl::BindExpr(const ast::Expr& e, Scope* scope,
                                    AggContext* agg) {
   switch (e.kind) {
     case ExprKind::kLiteral:
-      return MakeLiteral(e.literal);
+      return MakeLiteral(e.literal, e.param_index);
     case ExprKind::kColumnRef: {
       // In an aggregate context, a select-list alias may name an aggregate
       // output (checked by caller); plain columns must be grouping columns

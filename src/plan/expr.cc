@@ -53,11 +53,12 @@ BExpr MakeColumn(ColumnId id, TypeId type, std::string name) {
   return e;
 }
 
-BExpr MakeLiteral(Value v) {
+BExpr MakeLiteral(Value v, int param_index) {
   auto e = std::make_shared<BoundExpr>();
   e->kind = BoundKind::kLiteral;
   e->type = v.type();
   e->literal = std::move(v);
+  e->param_index = param_index;
   return e;
 }
 
@@ -171,6 +172,37 @@ BExpr SubstituteColumns(
   auto copy = std::make_shared<BoundExpr>(*e);
   copy->children = std::move(new_children);
   return copy;
+}
+
+BExpr SubstituteParamLiteral(const BExpr& e, int param_index, const Value& v) {
+  if (e->kind == BoundKind::kLiteral) {
+    if (e->param_index != param_index) return e;
+    auto copy = std::make_shared<BoundExpr>(*e);
+    copy->literal = v;
+    copy->type = v.type();
+    return copy;
+  }
+  if (e->children.empty()) return e;
+  bool changed = false;
+  std::vector<BExpr> new_children;
+  new_children.reserve(e->children.size());
+  for (const BExpr& c : e->children) {
+    BExpr nc = SubstituteParamLiteral(c, param_index, v);
+    changed |= (nc != c);
+    new_children.push_back(std::move(nc));
+  }
+  if (!changed) return e;
+  auto copy = std::make_shared<BoundExpr>(*e);
+  copy->children = std::move(new_children);
+  return copy;
+}
+
+void CollectParamIndices(const BExpr& e, std::set<int>* out) {
+  if (e->kind == BoundKind::kLiteral) {
+    if (e->param_index >= 0) out->insert(e->param_index);
+    return;
+  }
+  for (const BExpr& c : e->children) CollectParamIndices(c, out);
 }
 
 bool MatchEquiJoin(const BExpr& e, const std::set<ColumnId>& left_cols,

@@ -44,13 +44,18 @@ struct BoundExpr {
   ast::BinaryOp op = ast::BinaryOp::kEq;  // kBinary
   std::vector<BExpr> children;   // operands
   bool negated = false;          // kIsNull / kInList
+  /// kLiteral: slot in the fingerprinted query's parameter vector (see
+  /// plan::FingerprintQuery), or -1. Constants derived by rewrites (folding)
+  /// stay -1, which makes them "frozen": the plan cache only reuses such a
+  /// plan when the incoming constant is identical.
+  int param_index = -1;
 
   std::string ToString() const;
 };
 
 /// Constructors.
 BExpr MakeColumn(ColumnId id, TypeId type, std::string name);
-BExpr MakeLiteral(Value v);
+BExpr MakeLiteral(Value v, int param_index = -1);
 BExpr MakeBinary(ast::BinaryOp op, BExpr lhs, BExpr rhs);
 BExpr MakeNot(BExpr e);
 BExpr MakeIsNull(BExpr e, bool negated);
@@ -92,6 +97,15 @@ bool IsNullRejecting(const BExpr& e, const std::set<int>& rels);
 
 /// Result type of a binary op over operand types (numeric promotion).
 TypeId BinaryResultType(ast::BinaryOp op, TypeId lhs, TypeId rhs);
+
+/// Rewrites every literal carrying `param_index` to the new value `v`,
+/// sharing unchanged subtrees (plan-cache parameter rebinding). The new
+/// value must have the literal's type (guaranteed when both expressions
+/// hash to the same fingerprint).
+BExpr SubstituteParamLiteral(const BExpr& e, int param_index, const Value& v);
+
+/// Collects the param_index of every parameterized literal under `e`.
+void CollectParamIndices(const BExpr& e, std::set<int>* out);
 
 }  // namespace qopt::plan
 

@@ -1,0 +1,254 @@
+#include "plan/fingerprint.h"
+
+#include <cstdio>
+
+namespace qopt::plan {
+
+namespace {
+
+/// FNV-1a walker over the normalized statement. Every structural element
+/// mixes a distinguishing tag byte first so adjacent fields cannot collide
+/// by concatenation (e.g. alias "ab"+"c" vs "a"+"bc").
+class Fingerprinter {
+ public:
+  Fingerprinter(const Catalog& catalog, QueryFingerprint* out)
+      : catalog_(catalog), out_(out) {}
+
+  Status Run(ast::SelectStatement* stmt) {
+    Status s = HashSelect(stmt);
+    if (!s.ok()) return s;
+    out_->hash = hash_;
+    // The parametric axis must be unambiguous: exactly one numeric literal
+    // compared by range against a column. With several, the per-interval
+    // plan structure would depend on the *other* literals too and the
+    // one-dimensional piecewise plan of §7.4 is no longer well defined.
+    out_->range_param =
+        range_candidates_.size() == 1 ? range_candidates_[0] : -1;
+    return Status::OK();
+  }
+
+ private:
+  void MixByte(uint8_t b) {
+    hash_ ^= b;
+    hash_ *= 1099511628211ULL;
+  }
+  void MixTag(char c) { MixByte(static_cast<uint8_t>(c)); }
+  void MixBool(bool b) { MixByte(b ? 1 : 0); }
+  void MixU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) MixByte(static_cast<uint8_t>(v >> (i * 8)));
+  }
+  void MixI64(int64_t v) { MixU64(static_cast<uint64_t>(v)); }
+  void MixStr(const std::string& s) {
+    MixU64(s.size());
+    for (char c : s) MixByte(static_cast<uint8_t>(c));
+  }
+
+  Status HashSelect(ast::SelectStatement* stmt) {
+    MixTag('S');
+    MixBool(stmt->distinct);
+    MixByte(static_cast<uint8_t>(stmt->grouping));
+    MixU64(stmt->items.size());
+    for (ast::SelectItem& item : stmt->items) {
+      MixTag('i');
+      Status s = HashExpr(item.expr.get());
+      if (!s.ok()) return s;
+      MixStr(item.alias);
+    }
+    MixU64(stmt->from.size());
+    for (ast::TableRefPtr& ref : stmt->from) {
+      Status s = HashTableRef(ref.get());
+      if (!s.ok()) return s;
+    }
+    MixTag('w');
+    Status s = HashExpr(stmt->where.get());
+    if (!s.ok()) return s;
+    MixU64(stmt->group_by.size());
+    for (ast::ExprPtr& g : stmt->group_by) {
+      s = HashExpr(g.get());
+      if (!s.ok()) return s;
+    }
+    MixTag('h');
+    s = HashExpr(stmt->having.get());
+    if (!s.ok()) return s;
+    MixU64(stmt->order_by.size());
+    for (ast::OrderItem& o : stmt->order_by) {
+      s = HashExpr(o.expr.get());
+      if (!s.ok()) return s;
+      MixBool(o.ascending);
+    }
+    // LIMIT is part of the shape, not a parameter: it changes the physical
+    // plan (a Limit node and pull-termination), so different limits must
+    // not share a cached plan.
+    MixI64(stmt->limit);
+    MixTag('u');
+    if (stmt->union_next != nullptr) {
+      MixByte(static_cast<uint8_t>(stmt->set_op));
+      return HashSelect(stmt->union_next.get());
+    }
+    MixTag('0');
+    return Status::OK();
+  }
+
+  Status HashTableRef(ast::TableRef* ref) {
+    switch (ref->kind) {
+      case ast::TableRefKind::kBase: {
+        // Mimic the binder's resolution order (view shadows table) and hash
+        // the resolved object, not the name: after DROP/CREATE cycles or
+        // across Database instances, equal names must not equate different
+        // schemas. Views hash their SQL text — the binder re-parses and
+        // inlines it, so the text *is* the view's definition.
+        if (const ViewDef* view = catalog_.GetView(ref->name)) {
+          MixTag('V');
+          MixStr(view->name);
+          MixStr(view->sql);
+        } else if (const TableDef* table = catalog_.GetTable(ref->name)) {
+          MixTag('T');
+          MixI64(table->id);
+        } else {
+          return Status::NotFound("fingerprint: unknown relation '" +
+                                  ref->name + "'");
+        }
+        MixStr(ref->alias);
+        return Status::OK();
+      }
+      case ast::TableRefKind::kJoin: {
+        MixTag('J');
+        MixByte(static_cast<uint8_t>(ref->join_kind));
+        Status s = HashTableRef(ref->left.get());
+        if (!s.ok()) return s;
+        s = HashTableRef(ref->right.get());
+        if (!s.ok()) return s;
+        return HashExpr(ref->on.get());
+      }
+      case ast::TableRefKind::kDerived: {
+        MixTag('D');
+        MixStr(ref->alias);
+        return HashSelect(ref->derived.get());
+      }
+    }
+    return Status::Internal("fingerprint: unhandled table ref kind");
+  }
+
+  /// Hashes `e` (null allowed: hashes an absent-marker so optional clauses
+  /// keep their position). Literal nodes are replaced by a "?:<type>" marker
+  /// and appended to the parameter vector.
+  Status HashExpr(ast::Expr* e) {
+    if (e == nullptr) {
+      MixTag('_');
+      return Status::OK();
+    }
+    MixByte(static_cast<uint8_t>(e->kind));
+    switch (e->kind) {
+      case ast::ExprKind::kLiteral:
+        if (e->literal.is_null()) {
+          // NULL stays part of the shape: IS-NULL folding and 3VL rewrites
+          // depend on the nullness itself, so `x = NULL` must not share a
+          // plan with `x = 5`.
+          MixTag('N');
+          e->param_index = -1;
+        } else {
+          MixTag('?');
+          MixByte(static_cast<uint8_t>(e->literal.type()));
+          e->param_index = static_cast<int>(out_->params.size());
+          out_->params.push_back(e->literal);
+        }
+        return Status::OK();
+      case ast::ExprKind::kColumnRef:
+        MixStr(e->table);
+        MixStr(e->column);
+        return Status::OK();
+      case ast::ExprKind::kStar:
+        MixStr(e->table);
+        return Status::OK();
+      case ast::ExprKind::kBinary: {
+        MixByte(static_cast<uint8_t>(e->op));
+        Status s = HashExpr(e->child.get());
+        if (!s.ok()) return s;
+        s = HashExpr(e->rhs.get());
+        if (!s.ok()) return s;
+        NoteRangeCandidate(e);
+        return Status::OK();
+      }
+      case ast::ExprKind::kNot:
+      case ast::ExprKind::kNegate:
+        return HashExpr(e->child.get());
+      case ast::ExprKind::kAggCall:
+        MixByte(static_cast<uint8_t>(e->agg));
+        MixBool(e->agg_distinct);
+        return HashExpr(e->child.get());
+      case ast::ExprKind::kIsNull:
+        MixBool(e->negated);
+        return HashExpr(e->child.get());
+      case ast::ExprKind::kBetween:
+      case ast::ExprKind::kInList:
+      case ast::ExprKind::kLike:
+      case ast::ExprKind::kCase: {
+        Status s = HashExpr(e->child.get());
+        if (!s.ok()) return s;
+        MixU64(e->args.size());
+        for (ast::ExprPtr& a : e->args) {
+          s = HashExpr(a.get());
+          if (!s.ok()) return s;
+        }
+        return Status::OK();
+      }
+      case ast::ExprKind::kInSubquery:
+      case ast::ExprKind::kExists:
+      case ast::ExprKind::kScalarSubquery: {
+        MixBool(e->negated);
+        Status s = HashExpr(e->child.get());
+        if (!s.ok()) return s;
+        return HashSelect(e->subquery.get());
+      }
+    }
+    return Status::Internal("fingerprint: unhandled expr kind");
+  }
+
+  /// Records `col <op> ?numeric` / `?numeric <op> col` (op a range
+  /// comparison) as a parametric-axis candidate. Must run after both sides
+  /// are hashed so the literal's slot is assigned.
+  void NoteRangeCandidate(const ast::Expr* e) {
+    if (e->op != ast::BinaryOp::kLt && e->op != ast::BinaryOp::kLe &&
+        e->op != ast::BinaryOp::kGt && e->op != ast::BinaryOp::kGe) {
+      return;
+    }
+    const ast::Expr* lhs = e->child.get();
+    const ast::Expr* rhs = e->rhs.get();
+    const ast::Expr* lit = nullptr;
+    if (lhs->kind == ast::ExprKind::kColumnRef &&
+        rhs->kind == ast::ExprKind::kLiteral) {
+      lit = rhs;
+    } else if (rhs->kind == ast::ExprKind::kColumnRef &&
+               lhs->kind == ast::ExprKind::kLiteral) {
+      lit = lhs;
+    }
+    if (lit == nullptr || lit->param_index < 0) return;
+    if (lit->literal.type() != TypeId::kInt64 &&
+        lit->literal.type() != TypeId::kDouble) {
+      return;
+    }
+    range_candidates_.push_back(lit->param_index);
+  }
+
+  const Catalog& catalog_;
+  QueryFingerprint* out_;
+  std::vector<int> range_candidates_;
+  uint64_t hash_ = 1469598103934665603ULL;  // FNV-1a 64-bit offset basis.
+};
+
+}  // namespace
+
+std::string QueryFingerprint::HexHash() const {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+Status FingerprintQuery(ast::SelectStatement* stmt, const Catalog& catalog,
+                        QueryFingerprint* out) {
+  *out = QueryFingerprint{};
+  return Fingerprinter(catalog, out).Run(stmt);
+}
+
+}  // namespace qopt::plan

@@ -1,0 +1,56 @@
+// Query fingerprinting for the plan cache (Tian's "plan caching with
+// parameterized queries" engineering pillar; paper §3's premise that
+// optimization is expensive enough to be worth amortizing).
+//
+// FingerprintQuery normalizes a parsed SELECT by extracting every literal
+// constant into a parameter vector and hashing the remaining shape: every
+// structural element (operators, names, aliases, DISTINCT, ORDER BY,
+// LIMIT, set operations) plus the *types* of the extracted constants, with
+// FROM references resolved through the catalog to object ids so DDL cannot
+// alias two different queries onto one fingerprint. Two queries that differ
+// only in literal values — `a < 5` vs `a < 90` — share a fingerprint and
+// differ only in `params`; anything that changes binding or output shape
+// (swapped tables, renamed aliases, DISTINCT, a different ORDER BY) hashes
+// differently.
+#ifndef QOPT_PLAN_FINGERPRINT_H_
+#define QOPT_PLAN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/value.h"
+#include "parser/ast.h"
+
+namespace qopt::plan {
+
+/// A normalized query's identity: shape hash + extracted constants.
+struct QueryFingerprint {
+  uint64_t hash = 0;
+  /// Extracted literal constants in normalization (traversal) order. The
+  /// statement's literal nodes are annotated with their slot here
+  /// (ast::Expr::param_index), and the binder carries the slot onto
+  /// plan::BoundExpr literals.
+  std::vector<Value> params;
+  /// Slot of the *unique* numeric literal used in a range comparison
+  /// (`col < ?`, `col >= ?`, either orientation), or -1 when there is no
+  /// such literal or more than one. This is the parameter the cached entry
+  /// may carry a parametric (piecewise-optimal) plan over — the §7.4
+  /// choose-plan axis.
+  int range_param = -1;
+
+  /// Fingerprint rendered as fixed-width hex (EXPLAIN, diagnostics).
+  std::string HexHash() const;
+};
+
+/// Fingerprints `stmt`, annotating its literal nodes with parameter slots
+/// in place. Fails with NotFound when a FROM reference resolves to neither
+/// a table nor a view — callers should bypass the cache and let the binder
+/// report the real error.
+Status FingerprintQuery(ast::SelectStatement* stmt, const Catalog& catalog,
+                        QueryFingerprint* out);
+
+}  // namespace qopt::plan
+
+#endif  // QOPT_PLAN_FINGERPRINT_H_

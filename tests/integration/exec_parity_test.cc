@@ -235,6 +235,43 @@ TEST_F(ExecParityTest, ExplainAnnotatesParallelRegions) {
 // must never change the result multiset — including every floating-point
 // aggregate bit pattern (the corpus data is integer-valued, so sums are
 // exact regardless of merge order).
+TEST_F(ExecParityTest, PlanCacheHitsMatchFreshCompilation) {
+  // A cached plan must execute exactly like a freshly optimized one:
+  // byte-identical rows and row-counter-identical ExecStats, in every
+  // engine mode. The first cache-on run misses (and fills the cache), the
+  // second hits; both must match the cache-off reference.
+  const char* queries[] = {
+      "SELECT eid, sal FROM Emp WHERE sal > 60000",
+      "SELECT E.eid, D.name FROM Emp E, Dept D "
+      "WHERE E.did = D.did AND E.sal > 55000",
+      "SELECT D.name, COUNT(*), AVG(E.sal) FROM Emp E, Dept D "
+      "WHERE E.did = D.did GROUP BY D.name",
+  };
+  for (const char* sql : queries) {
+    for (exec::ExecMode mode :
+         {exec::ExecMode::kRow, exec::ExecMode::kBatch,
+          exec::ExecMode::kParallel}) {
+      std::string label = std::string("cache-parity/") + sql;
+      SCOPED_TRACE(label);
+      QueryOptions off;
+      off.use_plan_cache = false;
+      size_t dop = mode == exec::ExecMode::kParallel ? 4 : 1;
+      RunOutcome reference = Run(sql, off, mode,
+                                 exec::kDefaultBatchCapacity, dop);
+      RunOutcome miss = Run(sql, QueryOptions{}, mode,
+                            exec::kDefaultBatchCapacity, dop);
+      RunOutcome hit = Run(sql, QueryOptions{}, mode,
+                           exec::kDefaultBatchCapacity, dop);
+      testing::ExpectSameRows(miss.rows, reference.rows, label + "/miss");
+      testing::ExpectSameRows(hit.rows, reference.rows, label + "/hit");
+      bool serial = mode != exec::ExecMode::kParallel;
+      ExpectStatsEqual(miss.stats, reference.stats, label + "/miss", serial);
+      ExpectStatsEqual(hit.stats, reference.stats, label + "/hit", serial);
+    }
+    db_.plan_cache().Clear();
+  }
+}
+
 TEST_F(ExecParityTest, ParallelExecutionIsDeterministic) {
   const char* queries[] = {
       "SELECT E.eid, D.name FROM Emp E, Dept D "

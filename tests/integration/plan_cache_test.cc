@@ -1,0 +1,361 @@
+// Plan-cache integration: hit/miss/bypass outcomes, double-execution
+// determinism in every execution mode, DDL and statistics-epoch
+// invalidation (no stale plan survives), parametric interval switching
+// across a selectivity crossover, concurrency (run under TSan in CI), and
+// the cache's LRU bounds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/plan_cache.h"
+#include "testing/db_fixtures.h"
+
+namespace qopt {
+namespace {
+
+using Outcome = opt::PlanCacheInfo::Outcome;
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::LoadEmpDept(&db_, /*num_emps=*/600, /*num_depts=*/20);
+    // A table big enough for a real index/seq-scan selectivity crossover:
+    // `a < X` is X/100-percent selective, indexed; `b` starts unindexed
+    // for the DDL-invalidation test.
+    using workload::ColumnSpec;
+    std::vector<ColumnSpec> cols = {
+        {.name = "pk", .kind = ColumnSpec::Kind::kSequential},
+        {.name = "a", .kind = ColumnSpec::Kind::kUniform, .ndv = 10000},
+        {.name = "b", .kind = ColumnSpec::Kind::kUniform, .ndv = 10000},
+    };
+    ASSERT_TRUE(workload::CreateAndLoadTable(&db_, "events", cols,
+                                             /*rows=*/30000, /*seed=*/11,
+                                             "pk")
+                    .ok());
+    ASSERT_TRUE(db_.CreateIndex("idx_events_a", "events", "a").ok());
+    ASSERT_TRUE(db_.AnalyzeAll().ok());
+  }
+
+  QueryResult MustQuery(const std::string& sql,
+                        const QueryOptions& options = {}) {
+    auto r = db_.Query(sql, options);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    return r.ok() ? std::move(*r) : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(PlanCacheTest, RepeatedQueryHitsCache) {
+  const std::string sql =
+      "SELECT e.eid, d.name FROM Emp e, Dept d "
+      "WHERE e.did = d.did AND e.sal > 70000";
+  QueryResult first = MustQuery(sql);
+  EXPECT_EQ(first.optimize_info.plan_cache.outcome, Outcome::kMiss);
+  EXPECT_EQ(first.optimize_info.plan_cache.fingerprint_hex.size(), 16u);
+
+  QueryResult second = MustQuery(sql);
+  EXPECT_EQ(second.optimize_info.plan_cache.outcome, Outcome::kHit);
+  EXPECT_EQ(second.optimize_info.plan_cache.fingerprint_hex,
+            first.optimize_info.plan_cache.fingerprint_hex);
+  // Byte-identical results, including column headers and row order.
+  EXPECT_EQ(second.column_names, first.column_names);
+  ASSERT_EQ(second.rows.size(), first.rows.size());
+  for (size_t i = 0; i < first.rows.size(); ++i) {
+    EXPECT_TRUE(RowEq()(second.rows[i], first.rows[i])) << "row " << i;
+  }
+
+  PlanCacheStats stats = db_.plan_cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST_F(PlanCacheTest, DoubleExecutionIsDeterministicInEveryMode) {
+  const std::string sql =
+      "SELECT d.name, COUNT(*), SUM(e.sal) FROM Emp e, Dept d "
+      "WHERE e.did = d.did AND e.sal > 45000 GROUP BY d.name";
+  struct ModeCase {
+    const char* label;
+    QueryOptions options;
+    bool ordered;  ///< Parallel row order is not guaranteed; sort first.
+  };
+  std::vector<ModeCase> cases;
+  {
+    ModeCase naive{"naive", {}, true};
+    naive.options.naive_execution = true;
+    cases.push_back(naive);
+    ModeCase row{"row", {}, true};
+    row.options.execution_mode = exec::ExecMode::kRow;
+    cases.push_back(row);
+    ModeCase batch{"batch", {}, true};
+    batch.options.execution_mode = exec::ExecMode::kBatch;
+    cases.push_back(batch);
+    ModeCase par{"parallel", {}, false};
+    par.options.execution_mode = exec::ExecMode::kParallel;
+    par.options.dop = 4;
+    par.options.morsel_rows = 64;
+    cases.push_back(par);
+  }
+  for (ModeCase& c : cases) {
+    SCOPED_TRACE(c.label);
+    QueryResult a = MustQuery(sql, c.options);  // compile (or bypass)
+    QueryResult b = MustQuery(sql, c.options);  // cache hit (or bypass)
+    if (c.options.naive_execution) {
+      EXPECT_EQ(b.optimize_info.plan_cache.outcome, Outcome::kBypass);
+    } else {
+      EXPECT_EQ(b.optimize_info.plan_cache.outcome, Outcome::kHit);
+    }
+    if (c.ordered) {
+      ASSERT_EQ(a.rows.size(), b.rows.size());
+      for (size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_TRUE(RowEq()(a.rows[i], b.rows[i])) << "row " << i;
+      }
+    } else {
+      testing::ExpectSameRows(b.rows, a.rows, c.label);
+    }
+    // Row-counter-identical ExecStats: the cached plan does exactly the
+    // same work as the freshly compiled one.
+    EXPECT_EQ(a.exec_stats.rows_scanned, b.exec_stats.rows_scanned);
+    EXPECT_EQ(a.exec_stats.rows_joined, b.exec_stats.rows_joined);
+    EXPECT_EQ(a.exec_stats.index_lookups, b.exec_stats.index_lookups);
+    EXPECT_EQ(a.exec_stats.page_touches, b.exec_stats.page_touches);
+    EXPECT_EQ(a.exec_stats.subquery_executions,
+              b.exec_stats.subquery_executions);
+  }
+}
+
+TEST_F(PlanCacheTest, DisablingTheCacheBypasses) {
+  QueryOptions off;
+  off.use_plan_cache = false;
+  const std::string sql = "SELECT e.eid FROM Emp e WHERE e.age < 30";
+  QueryResult a = MustQuery(sql, off);
+  QueryResult b = MustQuery(sql, off);
+  EXPECT_EQ(a.optimize_info.plan_cache.outcome, Outcome::kBypass);
+  EXPECT_EQ(b.optimize_info.plan_cache.outcome, Outcome::kBypass);
+  PlanCacheStats stats = db_.plan_cache().stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST_F(PlanCacheTest, PlanAffectingOptionsKeySeparateEntries) {
+  const std::string sql = "SELECT e.eid FROM Emp e WHERE e.age < 30";
+  QueryOptions row;
+  row.execution_mode = exec::ExecMode::kRow;
+  QueryOptions batch;
+  batch.execution_mode = exec::ExecMode::kBatch;
+  MustQuery(sql, row);
+  QueryResult other_mode = MustQuery(sql, batch);
+  // Same fingerprint, different options digest: a miss, not a hit.
+  EXPECT_EQ(other_mode.optimize_info.plan_cache.outcome, Outcome::kMiss);
+  QueryResult again = MustQuery(sql, batch);
+  EXPECT_EQ(again.optimize_info.plan_cache.outcome, Outcome::kHit);
+  EXPECT_EQ(db_.plan_cache().stats().entries, 2u);
+}
+
+TEST_F(PlanCacheTest, DdlInvalidatesCachedPlans) {
+  const std::string sql = "SELECT e.pk FROM events e WHERE e.b < 5";
+  QueryResult before = MustQuery(sql);
+  EXPECT_EQ(before.optimize_info.plan_cache.outcome, Outcome::kMiss);
+  EXPECT_EQ(MustQuery(sql).optimize_info.plan_cache.outcome, Outcome::kHit);
+
+  // DDL bumps the catalog epoch; the cached seq-scan plan must not
+  // survive it — the recompiled plan picks up the brand-new b index.
+  ASSERT_TRUE(db_.CreateIndex("idx_events_b", "events", "b").ok());
+  QueryResult after = MustQuery(sql);
+  EXPECT_EQ(after.optimize_info.plan_cache.outcome, Outcome::kInvalidated);
+  EXPECT_GE(db_.plan_cache().stats().invalidations, 1u);
+  testing::ExpectSameRows(after.rows, before.rows, "post-DDL");
+
+  // The refreshed entry (served as a hit now) must be the new plan.
+  auto explain = db_.Explain(sql);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("[cache: hit"), std::string::npos) << *explain;
+  EXPECT_NE(explain->find("IndexScan"), std::string::npos)
+      << "stale pre-DDL plan survived:\n"
+      << *explain;
+}
+
+TEST_F(PlanCacheTest, AnalyzeInvalidatesCachedPlans) {
+  const std::string sql = "SELECT e.eid FROM Emp e WHERE e.sal > 50000";
+  MustQuery(sql);
+  EXPECT_EQ(MustQuery(sql).optimize_info.plan_cache.outcome, Outcome::kHit);
+  // Rebuilding statistics (same schema epoch) must also invalidate: plan
+  // choice is a function of the stats the entry was costed under.
+  ASSERT_TRUE(db_.Analyze("Emp").ok());
+  QueryResult after = MustQuery(sql);
+  EXPECT_EQ(after.optimize_info.plan_cache.outcome, Outcome::kInvalidated);
+  // Dept stats untouched: a Dept-only entry would still be valid.
+  QueryResult dept = MustQuery("SELECT d.name FROM Dept d");
+  EXPECT_EQ(dept.optimize_info.plan_cache.outcome, Outcome::kMiss);
+  EXPECT_EQ(MustQuery("SELECT d.name FROM Dept d")
+                .optimize_info.plan_cache.outcome,
+            Outcome::kHit);
+}
+
+TEST_F(PlanCacheTest, ParametricReuseSwitchesIntervalAtCrossover) {
+  auto sql_for = [](int v) {
+    return "SELECT e.pk FROM events e WHERE e.a < " + std::to_string(v);
+  };
+  // Miss #1 compiles and caches; miss #2 (different literal) proves the
+  // literal varies and triggers the parametric sweep; from the third
+  // query on, reuse is a choose-plan over the cached pieces.
+  EXPECT_EQ(MustQuery(sql_for(10)).optimize_info.plan_cache.outcome,
+            Outcome::kMiss);
+  EXPECT_EQ(MustQuery(sql_for(12)).optimize_info.plan_cache.outcome,
+            Outcome::kMiss);
+
+  QueryOptions off;
+  off.use_plan_cache = false;
+
+  QueryResult selective = MustQuery(sql_for(8));
+  ASSERT_EQ(selective.optimize_info.plan_cache.outcome,
+            Outcome::kHitParametric);
+  EXPECT_GE(selective.optimize_info.plan_cache.parametric_piece_count, 2);
+  testing::ExpectSameRows(selective.rows, MustQuery(sql_for(8), off).rows,
+                          "selective");
+
+  QueryResult wide = MustQuery(sql_for(9000));
+  ASSERT_EQ(wide.optimize_info.plan_cache.outcome, Outcome::kHitParametric);
+  testing::ExpectSameRows(wide.rows, MustQuery(sql_for(9000), off).rows,
+                          "wide");
+
+  // The selective literal and the near-full-table literal sit on opposite
+  // sides of the index/seq-scan crossover: different pieces, different
+  // plan structure.
+  EXPECT_NE(selective.optimize_info.plan_cache.parametric_interval,
+            wide.optimize_info.plan_cache.parametric_interval);
+
+  // Every subsequent literal keeps choosing from the cache.
+  for (int v : {3, 500, 5000, 9500}) {
+    QueryResult r = MustQuery(sql_for(v));
+    EXPECT_EQ(r.optimize_info.plan_cache.outcome, Outcome::kHitParametric)
+        << "literal " << v;
+    testing::ExpectSameRows(r.rows, MustQuery(sql_for(v), off).rows,
+                            "literal " + std::to_string(v));
+  }
+}
+
+TEST_F(PlanCacheTest, ParametricReuseCanBeDisabled) {
+  QueryOptions no_parametric;
+  no_parametric.plan_cache_parametric = false;
+  auto sql_for = [](double v) {
+    return "SELECT e.eid FROM Emp e WHERE e.sal < " + std::to_string(v);
+  };
+  MustQuery(sql_for(31000), no_parametric);
+  MustQuery(sql_for(32000), no_parametric);
+  QueryResult third = MustQuery(sql_for(33000), no_parametric);
+  EXPECT_EQ(third.optimize_info.plan_cache.outcome, Outcome::kMiss);
+}
+
+TEST_F(PlanCacheTest, ExplainReportsCacheOutcome) {
+  const std::string sql = "SELECT e.eid FROM Emp e WHERE e.age < 33";
+  auto first = db_.Explain(sql);
+  ASSERT_TRUE(first.ok());
+  EXPECT_NE(first->find("[cache: miss fp="), std::string::npos) << *first;
+  auto second = db_.Explain(sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->find("[cache: hit fp="), std::string::npos) << *second;
+  QueryOptions off;
+  off.use_plan_cache = false;
+  auto bypass = db_.Explain(sql, off);
+  ASSERT_TRUE(bypass.ok());
+  EXPECT_NE(bypass->find("[cache: bypass"), std::string::npos) << *bypass;
+}
+
+TEST_F(PlanCacheTest, ConcurrentQueriesOnOneFingerprintAreSafe) {
+  // Hammer one fingerprint (two alternating literals) from many threads,
+  // mixing serial and parallel execution. Run under TSan in CI.
+  const std::string warm = "SELECT e.eid FROM Emp e WHERE e.sal < 70000.0";
+  QueryResult reference = MustQuery(warm);
+  const size_t want_rows = reference.rows.size();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([this, t, want_rows, &failures] {
+      for (int i = 0; i < 25; ++i) {
+        QueryOptions options;
+        if (t % 2 == 0) {
+          options.execution_mode = exec::ExecMode::kParallel;
+          options.dop = 2;
+        }
+        bool alt = (i % 2 == 1);
+        auto r = db_.Query(alt
+                               ? "SELECT e.eid FROM Emp e WHERE "
+                                 "e.sal < 90000.0"
+                               : "SELECT e.eid FROM Emp e WHERE "
+                                 "e.sal < 70000.0",
+                           options);
+        if (!r.ok() || (!alt && r->rows.size() != want_rows)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  PlanCacheStats stats = db_.plan_cache().stats();
+  EXPECT_GT(stats.hits, 0u);
+}
+
+// --- PlanCache unit behavior (no database needed) ---
+
+TEST(PlanCacheUnitTest, LruEvictionRespectsEntryBudget) {
+  PlanCache::Options options;
+  options.max_entries = 8;  // one entry per shard
+  options.max_bytes = 1u << 30;
+  PlanCache cache(options);
+  // Two keys landing in one shard: the second insert evicts the first.
+  std::vector<PlanCacheKey> keys;
+  for (uint64_t i = 0; keys.size() < 2; ++i) {
+    PlanCacheKey key{i, 0};
+    if (key.Hash() % 8 == 0) keys.push_back(key);
+  }
+  for (const PlanCacheKey& key : keys) {
+    auto entry = std::make_shared<CachedPlan>();
+    entry->approx_bytes = 100;
+    cache.Insert(key, std::move(entry));
+  }
+  EXPECT_EQ(cache.Lookup(keys[0]), nullptr);
+  EXPECT_NE(cache.Lookup(keys[1]), nullptr);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCacheUnitTest, ByteBudgetEvictsButKeepsSoleEntry) {
+  PlanCache::Options options;
+  options.max_entries = 1024;
+  options.max_bytes = 8 * 1000;  // 1000 bytes per shard
+  PlanCache cache(options);
+  PlanCacheKey key{42, 0};
+  auto huge = std::make_shared<CachedPlan>();
+  huge->approx_bytes = 50000;  // busts the shard budget on its own
+  cache.Insert(key, std::move(huge));
+  // An over-budget sole entry stays (no thrashing an uncacheable plan).
+  EXPECT_NE(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(PlanCacheUnitTest, EraseAndClear) {
+  PlanCache cache;
+  PlanCacheKey key{7, 7};
+  cache.Insert(key, std::make_shared<CachedPlan>());
+  EXPECT_NE(cache.Lookup(key), nullptr);
+  cache.Erase(key);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Insert(key, std::make_shared<CachedPlan>());
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace qopt

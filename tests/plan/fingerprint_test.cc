@@ -1,0 +1,171 @@
+// Fingerprint corpus: queries that must share a fingerprint (same shape,
+// different literals) and queries that must not (any structural change —
+// tables, aliases, DISTINCT, ORDER BY, LIMIT, operators). The fingerprint
+// is the plan-cache key, so a false collision here would hand one query
+// another query's plan.
+#include "plan/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/database.h"
+#include "parser/parser.h"
+#include "testing/db_fixtures.h"
+
+namespace qopt::plan {
+namespace {
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::LoadEmpDept(&db_, 100, 5); }
+
+  QueryFingerprint FP(const std::string& sql) {
+    auto stmt = parser::Parse(sql);
+    EXPECT_TRUE(stmt.ok()) << sql << ": " << stmt.status().ToString();
+    QueryFingerprint fp;
+    Status s = FingerprintQuery(stmt->select.get(), db_.catalog(), &fp);
+    EXPECT_TRUE(s.ok()) << sql << ": " << s.ToString();
+    return fp;
+  }
+
+  Database db_;
+};
+
+TEST_F(FingerprintTest, SameShapeDifferentLiteralsShareHash) {
+  QueryFingerprint a = FP("SELECT e.eid FROM Emp e WHERE e.sal > 50000");
+  QueryFingerprint b = FP("SELECT e.eid FROM Emp e WHERE e.sal > 90000");
+  EXPECT_EQ(a.hash, b.hash);
+  ASSERT_EQ(a.params.size(), 1u);
+  ASSERT_EQ(b.params.size(), 1u);
+  EXPECT_FALSE(a.params[0] == b.params[0]);
+  EXPECT_EQ(a.HexHash(), b.HexHash());
+}
+
+TEST_F(FingerprintTest, MultipleLiteralsExtractedInTraversalOrder) {
+  QueryFingerprint fp = FP(
+      "SELECT e.eid FROM Emp e WHERE e.sal > 50000 AND e.age < 40 "
+      "AND e.dept_name = 'dept3'");
+  ASSERT_EQ(fp.params.size(), 3u);
+  EXPECT_EQ(fp.params[0].AsNumeric(), 50000);
+  EXPECT_EQ(fp.params[1].AsNumeric(), 40);
+  EXPECT_EQ(fp.params[2].AsString(), "dept3");
+}
+
+TEST_F(FingerprintTest, LiteralTypeIsPartOfShape) {
+  // 40 (int) vs 40.0 (double) must not share a plan: comparison semantics
+  // and index-bound types differ.
+  QueryFingerprint a = FP("SELECT e.eid FROM Emp e WHERE e.age < 40");
+  QueryFingerprint b = FP("SELECT e.eid FROM Emp e WHERE e.age < 40.0");
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST_F(FingerprintTest, DifferentTablesDiffer) {
+  QueryFingerprint a = FP("SELECT e.did FROM Emp e");
+  QueryFingerprint b = FP("SELECT e.did FROM Dept e");
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST_F(FingerprintTest, SwappedJoinOrderDiffers) {
+  QueryFingerprint a = FP(
+      "SELECT e.eid FROM Emp e, Dept d WHERE e.did = d.did");
+  QueryFingerprint b = FP(
+      "SELECT e.eid FROM Dept d, Emp e WHERE e.did = d.did");
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST_F(FingerprintTest, AliasIsPartOfShape) {
+  QueryFingerprint a = FP("SELECT e.eid FROM Emp e");
+  QueryFingerprint b = FP("SELECT x.eid FROM Emp x");
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST_F(FingerprintTest, DistinctIsPartOfShape) {
+  QueryFingerprint a = FP("SELECT e.did FROM Emp e");
+  QueryFingerprint b = FP("SELECT DISTINCT e.did FROM Emp e");
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST_F(FingerprintTest, OrderByIsPartOfShape) {
+  QueryFingerprint none = FP("SELECT e.eid, e.sal FROM Emp e");
+  QueryFingerprint by_sal =
+      FP("SELECT e.eid, e.sal FROM Emp e ORDER BY e.sal");
+  QueryFingerprint by_sal_desc =
+      FP("SELECT e.eid, e.sal FROM Emp e ORDER BY e.sal DESC");
+  QueryFingerprint by_eid =
+      FP("SELECT e.eid, e.sal FROM Emp e ORDER BY e.eid");
+  EXPECT_NE(none.hash, by_sal.hash);
+  EXPECT_NE(by_sal.hash, by_sal_desc.hash);
+  EXPECT_NE(by_sal.hash, by_eid.hash);
+}
+
+TEST_F(FingerprintTest, LimitIsPartOfShapeNotAParameter) {
+  QueryFingerprint a = FP("SELECT e.eid FROM Emp e LIMIT 5");
+  QueryFingerprint b = FP("SELECT e.eid FROM Emp e LIMIT 10");
+  EXPECT_NE(a.hash, b.hash);
+  EXPECT_TRUE(a.params.empty());
+}
+
+TEST_F(FingerprintTest, ComparisonOperatorIsPartOfShape) {
+  QueryFingerprint lt = FP("SELECT e.eid FROM Emp e WHERE e.age < 40");
+  QueryFingerprint le = FP("SELECT e.eid FROM Emp e WHERE e.age <= 40");
+  EXPECT_NE(lt.hash, le.hash);
+}
+
+TEST_F(FingerprintTest, AggregateShape) {
+  QueryFingerprint a =
+      FP("SELECT e.did, COUNT(*) FROM Emp e GROUP BY e.did");
+  QueryFingerprint b =
+      FP("SELECT e.did, SUM(e.sal) FROM Emp e GROUP BY e.did");
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST_F(FingerprintTest, RangeParamDetectedWhenUnique) {
+  QueryFingerprint fp = FP("SELECT e.eid FROM Emp e WHERE e.sal < 60000");
+  EXPECT_EQ(fp.range_param, 0);
+
+  // A second literal that is not a range comparison does not disturb it.
+  QueryFingerprint with_eq = FP(
+      "SELECT e.eid FROM Emp e WHERE e.dept_name = 'dept1' "
+      "AND e.sal < 60000");
+  EXPECT_EQ(with_eq.range_param, 1);
+}
+
+TEST_F(FingerprintTest, RangeParamAmbiguousOrAbsentIsMinusOne) {
+  EXPECT_EQ(FP("SELECT e.eid FROM Emp e WHERE e.sal > 40000 AND e.age < 50")
+                .range_param,
+            -1);
+  EXPECT_EQ(FP("SELECT e.eid FROM Emp e WHERE e.did = 3").range_param, -1);
+  EXPECT_EQ(FP("SELECT e.eid FROM Emp e").range_param, -1);
+}
+
+TEST_F(FingerprintTest, ViewShapeDependsOnViewText) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW HighPaid AS SELECT e.eid, e.sal "
+                          "FROM Emp e WHERE e.sal > 80000")
+                  .ok());
+  QueryFingerprint via_view = FP("SELECT v.eid FROM HighPaid v");
+  QueryFingerprint via_table = FP("SELECT v.eid FROM Emp v");
+  EXPECT_NE(via_view.hash, via_table.hash);
+}
+
+TEST_F(FingerprintTest, UnknownTableIsAnError) {
+  auto stmt = parser::Parse("SELECT t.x FROM NoSuchTable t");
+  ASSERT_TRUE(stmt.ok());
+  QueryFingerprint fp;
+  EXPECT_FALSE(
+      FingerprintQuery(stmt->select.get(), db_.catalog(), &fp).ok());
+}
+
+TEST_F(FingerprintTest, SubqueryLiteralsAreParameters) {
+  QueryFingerprint a = FP(
+      "SELECT e.eid FROM Emp e WHERE e.sal > "
+      "(SELECT AVG(x.sal) FROM Emp x WHERE x.age > 30)");
+  QueryFingerprint b = FP(
+      "SELECT e.eid FROM Emp e WHERE e.sal > "
+      "(SELECT AVG(x.sal) FROM Emp x WHERE x.age > 55)");
+  EXPECT_EQ(a.hash, b.hash);
+  ASSERT_EQ(a.params.size(), 1u);
+}
+
+}  // namespace
+}  // namespace qopt::plan

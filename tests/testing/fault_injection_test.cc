@@ -48,12 +48,16 @@ class FaultInjectionTest : public ::testing::Test {
     {
       Scenario sc;
       sc.sql = "SELECT e.eid, d.name FROM Emp e, Dept d WHERE e.did = d.did";
+      // Optimizer-phase fault: bypass the plan cache so the repeat query
+      // re-optimizes instead of reusing the baseline's cached plan.
+      sc.options.use_plan_cache = false;
       s["optimizer.stats.load"] = sc;
     }
     {
       Scenario sc;
       sc.sql = "SELECT e.eid, d.name FROM Emp e, Dept d WHERE e.did = d.did";
       sc.options.optimizer.enumerator = opt::EnumeratorKind::kCascades;
+      sc.options.use_plan_cache = false;  // Optimizer-phase fault (see above).
       s["cascades.memo.insert"] = sc;
     }
     {
