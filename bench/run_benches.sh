@@ -12,10 +12,14 @@ if [[ ! -d "$build_dir" ]]; then
   echo "configuring $build_dir" >&2
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$build_dir" --target bench_vectorized_exec bench_plan_cache -j "$(nproc)"
+cmake --build "$build_dir" --target bench_vectorized_exec bench_plan_cache \
+  bench_observability -j "$(nproc)"
 
 "$build_dir/bench/bench_vectorized_exec" "$repo_root/BENCH_vectorized.json"
 echo "wrote $repo_root/BENCH_vectorized.json"
 
 "$build_dir/bench/bench_plan_cache" "$repo_root/BENCH_plan_cache.json"
 echo "wrote $repo_root/BENCH_plan_cache.json"
+
+"$build_dir/bench/bench_observability" "$repo_root/BENCH_observability.json"
+echo "wrote $repo_root/BENCH_observability.json"

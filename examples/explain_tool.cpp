@@ -2,7 +2,9 @@
 //
 // Reads statements from stdin (or runs a demo script when stdin is a
 // terminal-less pipe with no input). `EXPLAIN SELECT ...` prints the
-// chosen physical plan with cost annotations; other statements execute.
+// chosen physical plan with cost annotations, `EXPLAIN ANALYZE SELECT ...`
+// executes it and annotates actual rows / q-error / timings per node,
+// `SHOW METRICS` dumps the engine metrics; other statements execute.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -16,12 +18,24 @@ namespace {
 
 void RunStatement(Database* db, const std::string& sql) {
   if (sql.empty()) return;
-  std::string upper = sql.substr(0, 8);
+  std::string upper = sql.substr(0, 16);
   for (char& c : upper) c = std::toupper(static_cast<unsigned char>(c));
+  if (upper.rfind("EXPLAIN ANALYZE", 0) == 0) {
+    auto plan = db->ExplainAnalyze(sql.substr(15));
+    std::printf("%s\n", plan.ok() ? plan->c_str()
+                                  : plan.status().ToString().c_str());
+    return;
+  }
   if (upper.rfind("EXPLAIN", 0) == 0) {
     auto plan = db->Explain(sql.substr(7));
     std::printf("%s\n", plan.ok() ? plan->c_str()
                                   : plan.status().ToString().c_str());
+    return;
+  }
+  if (upper.rfind("SHOW METRICS", 0) == 0) {
+    auto r = db->Query(sql);
+    std::printf("%s\n", r.ok() ? r->ToString(100).c_str()
+                               : r.status().ToString().c_str());
     return;
   }
   if (upper.rfind("SELECT", 0) == 0) {

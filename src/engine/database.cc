@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -11,6 +12,49 @@
 #include "plan/fingerprint.h"
 
 namespace qopt {
+
+Database::Database() : storage_(&catalog_) {
+  // Hot-path handles resolved once; gauges read the existing authoritative
+  // counters (plan-cache stats, thread-pool atomics) at export time so the
+  // hot paths carry no double bookkeeping.
+  queries_ok_ = metrics_.GetCounter("queries.ok");
+  queries_failed_ = metrics_.GetCounter("queries.failed");
+  governor_trips_ = metrics_.GetCounter("governor.trips");
+  optimizer_degraded_ = metrics_.GetCounter("optimizer.degraded");
+  compile_ns_ = metrics_.GetHistogram("query.compile_ns");
+  execute_ns_ = metrics_.GetHistogram("query.execute_ns");
+  metrics_.RegisterGauge("plan_cache.hits",
+                         [this] { return plan_cache_.stats().hits; });
+  metrics_.RegisterGauge("plan_cache.misses",
+                         [this] { return plan_cache_.stats().misses; });
+  metrics_.RegisterGauge("plan_cache.evictions",
+                         [this] { return plan_cache_.stats().evictions; });
+  metrics_.RegisterGauge("plan_cache.invalidations", [this] {
+    return plan_cache_.stats().invalidations;
+  });
+  metrics_.RegisterGauge("plan_cache.inserts",
+                         [this] { return plan_cache_.stats().inserts; });
+  metrics_.RegisterGauge("plan_cache.entries", [this] {
+    return static_cast<uint64_t>(plan_cache_.stats().entries);
+  });
+  metrics_.RegisterGauge("plan_cache.bytes", [this] {
+    return static_cast<uint64_t>(plan_cache_.stats().bytes);
+  });
+  metrics_.RegisterGauge("thread_pool.tasks_submitted",
+                         [this]() -> uint64_t {
+                           std::lock_guard<std::mutex> lock(pool_mu_);
+                           return pool_ != nullptr ? pool_->tasks_submitted()
+                                                   : 0;
+                         });
+  metrics_.RegisterGauge("thread_pool.tasks_stolen", [this]() -> uint64_t {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    return pool_ != nullptr ? pool_->tasks_stolen() : 0;
+  });
+  metrics_.RegisterGauge("thread_pool.queue_depth", [this]() -> uint64_t {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    return pool_ != nullptr ? pool_->QueueDepth() : 0;
+  });
+}
 
 Status Database::Execute(const std::string& sql) {
   QOPT_ASSIGN_OR_RETURN(ast::Statement stmt, parser::Parse(sql));
@@ -60,8 +104,9 @@ Status Database::Execute(const std::string& sql) {
     }
     case ast::Statement::Kind::kSelect:
     case ast::Statement::Kind::kExplain:
+    case ast::Statement::Kind::kShowMetrics:
       return Status::InvalidArgument(
-          "use Query()/Explain() for SELECT statements");
+          "use Query()/Explain() for SELECT / SHOW METRICS statements");
   }
   return Status::Internal("unhandled statement");
 }
@@ -336,6 +381,11 @@ Result<exec::PhysPtr> Database::CompileSelect(
                         plan::Bind(stmt, catalog_, &next_rel_id));
   if (names != nullptr) *names = bound.output_names;
   if (bound_root != nullptr) *bound_root = bound.root;
+  opt::OptTrace* trace = nullptr;
+  if (options.trace_optimizer && info != nullptr) {
+    info->trace = std::make_shared<opt::OptTrace>();
+    trace = info->trace.get();
+  }
   if (options.naive_execution) {
     // Normalize + push predicates down (System-R evaluates predicates as
     // early as possible even in the unoptimized plan), but keep syntactic
@@ -344,7 +394,7 @@ Result<exec::PhysPtr> Database::CompileSelect(
       QOPT_RETURN_IF_ERROR(governor->CheckDeadline());
     }
     opt::RewriteResult rr = opt::RuleEngine::NormalizeOnly().Rewrite(
-        bound.root, catalog_, &next_rel_id);
+        bound.root, catalog_, &next_rel_id, /*budget=*/256, trace);
     return NaivePhysicalPlan(rr.plan, catalog_);
   }
   opt::Optimizer optimizer(catalog_, options.optimizer);
@@ -379,7 +429,10 @@ Result<exec::PhysPtr> Database::PlanSelectWithGovernor(
     info->plan_cache.fingerprint = fp.hash;
     info->plan_cache.fingerprint_hex = fp.HexHash();
   }
-  if (!fingerprinted || !options.use_plan_cache || options.naive_execution) {
+  // trace_optimizer bypasses the cache: a hit would skip the very search
+  // being traced.
+  if (!fingerprinted || !options.use_plan_cache || options.naive_execution ||
+      options.trace_optimizer) {
     info->plan_cache.outcome = Outcome::kBypass;
     return CompileSelect(*stmt, options, info, names, governor);
   }
@@ -567,26 +620,76 @@ void Database::MaybeAttachParametric(ast::SelectStatement* stmt,
   entry->approx_bytes += extra_bytes;
 }
 
+namespace {
+
+/// Splits rendered plan/trace text into one-column result rows.
+QueryResult TextToResult(const std::string& text) {
+  QueryResult result;
+  result.column_names = {"plan"};
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      result.rows.push_back({Value::String(line)});
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) result.rows.push_back({Value::String(line)});
+  return result;
+}
+
+std::chrono::steady_clock::time_point Now() {
+  return std::chrono::steady_clock::now();
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - since)
+          .count());
+}
+
+}  // namespace
+
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const QueryOptions& options) {
-  QOPT_ASSIGN_OR_RETURN(ast::Statement stmt, parser::Parse(sql));
-  if (stmt.kind == ast::Statement::Kind::kExplain) {
-    // EXPLAIN SELECT ... returns the rendered plan as a one-column result.
-    QOPT_ASSIGN_OR_RETURN(std::string text,
-                          Explain(stmt.select->ToString(), options));
-    QueryResult explain_result;
-    explain_result.column_names = {"plan"};
-    std::string line;
-    for (char c : text) {
-      if (c == '\n') {
-        explain_result.rows.push_back({Value::String(line)});
-        line.clear();
-      } else {
-        line += c;
-      }
+  Result<QueryResult> result = QueryInternal(sql, options);
+  if (result.ok()) {
+    queries_ok_->Add();
+    if (result->optimize_info.degraded) optimizer_degraded_->Add();
+  } else {
+    queries_failed_->Add();
+    StatusCode code = result.status().code();
+    if (code == StatusCode::kCancelled ||
+        code == StatusCode::kResourceExhausted) {
+      governor_trips_->Add();
     }
-    if (!line.empty()) explain_result.rows.push_back({Value::String(line)});
-    return explain_result;
+  }
+  return result;
+}
+
+Result<QueryResult> Database::QueryInternal(const std::string& sql,
+                                            const QueryOptions& options) {
+  QOPT_ASSIGN_OR_RETURN(ast::Statement stmt, parser::Parse(sql));
+  if (stmt.kind == ast::Statement::Kind::kShowMetrics) {
+    QueryResult metrics_result;
+    metrics_result.column_names = {"metric", "kind", "value"};
+    for (const MetricsRegistry::Sample& s : metrics_.Snapshot()) {
+      metrics_result.rows.push_back(
+          {Value::String(s.name), Value::String(s.kind),
+           Value::Int(static_cast<int64_t>(s.value))});
+    }
+    return metrics_result;
+  }
+  if (stmt.kind == ast::Statement::Kind::kExplain) {
+    // EXPLAIN [ANALYZE] SELECT ... returns the rendered (and for ANALYZE,
+    // executed and stats-annotated) plan as a one-column result.
+    const std::string select_sql = stmt.select->ToString();
+    QOPT_ASSIGN_OR_RETURN(std::string text,
+                          stmt.explain_analyze
+                              ? ExplainAnalyze(select_sql, options)
+                              : Explain(select_sql, options));
+    return TextToResult(text);
   }
   if (stmt.kind != ast::Statement::Kind::kSelect) {
     return Status::InvalidArgument("expected a SELECT statement");
@@ -595,16 +698,19 @@ Result<QueryResult> Database::Query(const std::string& sql,
   // One governor instance spans planning and execution, so a deadline set
   // in QueryOptions bounds the whole query, not each phase separately.
   ResourceGovernor governor(options.governor);
+  std::chrono::steady_clock::time_point compile_start = Now();
   QOPT_ASSIGN_OR_RETURN(
       exec::PhysPtr plan,
       PlanSelectWithGovernor(stmt.select.get(), options,
                              &result.optimize_info, &result.column_names,
                              governor.enabled() ? &governor : nullptr));
+  compile_ns_->Record(ElapsedNs(compile_start));
   exec::ExecContext ctx;
   ctx.storage = &storage_;
   ctx.catalog = &catalog_;
   ctx.mode = options.execution_mode;
   ctx.batch_capacity = options.batch_capacity;
+  ctx.analyze = options.analyze;
   if (governor.enabled()) ctx.governor = &governor;
   if (options.execution_mode == exec::ExecMode::kParallel) {
     ctx.dop = std::clamp<size_t>(options.dop, 1, ThreadPool::kMaxThreads);
@@ -618,15 +724,22 @@ Result<QueryResult> Database::Query(const std::string& sql,
       ctx.pool = pool_.get();
     }
   }
+  std::chrono::steady_clock::time_point exec_start = Now();
   QOPT_ASSIGN_OR_RETURN(result.rows, exec::ExecuteAll(plan, &ctx));
+  execute_ns_->Record(ElapsedNs(exec_start));
   result.exec_stats = ctx.stats;
+  if (options.analyze) {
+    result.analyzed_plan = plan;
+    result.op_stats = std::move(ctx.op_stats);
+  }
   return result;
 }
 
-Result<std::string> Database::Explain(const std::string& sql,
-                                      const QueryOptions& options) {
-  opt::OptimizeInfo info;
-  QOPT_ASSIGN_OR_RETURN(exec::PhysPtr plan, PlanQuery(sql, options, &info));
+namespace {
+
+/// The "[cache: ...]" / "[degraded: ...]" header shared by EXPLAIN and
+/// EXPLAIN ANALYZE.
+std::string ExplainHeader(const opt::OptimizeInfo& info) {
   const opt::PlanCacheInfo& pc = info.plan_cache;
   std::string header =
       "[cache: " + std::string(opt::PlanCacheOutcomeName(pc.outcome));
@@ -642,6 +755,14 @@ Result<std::string> Database::Explain(const std::string& sql,
   if (info.degraded) {
     header += "[degraded: " + info.degraded_reason + "]\n";
   }
+  return header;
+}
+
+/// Mode banner + rendered plan with the per-mode node markers (and, for
+/// EXPLAIN ANALYZE, the per-node runtime annotations).
+std::string RenderPlanText(const exec::PhysPtr& plan,
+                           const QueryOptions& options,
+                           const exec::PlanAnnotations* annotations) {
   if (options.execution_mode == exec::ExecMode::kParallel) {
     // Mark the morsel-parallel region roots plus the vectorized operators
     // the serial remainder of the plan will use.
@@ -649,23 +770,111 @@ Result<std::string> Database::Explain(const std::string& sql,
         exec::BatchModeNodes(plan);
     std::unordered_set<const exec::PhysicalPlan*> parallel_roots =
         exec::ParallelRegionRoots(plan);
-    return header + "execution mode: parallel (dop " +
-           std::to_string(options.dop) +
+    return "execution mode: parallel (dop " + std::to_string(options.dop) +
            "; region roots marked [parallel], vectorized operators " +
            "[batch])\n" +
-           plan->ToString(0, &batch_nodes, &parallel_roots);
+           plan->ToString(0, &batch_nodes, &parallel_roots, annotations);
   }
   if (options.execution_mode == exec::ExecMode::kBatch) {
     // Mark the operators the builder will run vectorized; the rest fall
     // back to row mode (Apply subtrees, index nested-loops, under Limit).
     std::unordered_set<const exec::PhysicalPlan*> batch_nodes =
         exec::BatchModeNodes(plan);
-    return header + "execution mode: batch (capacity " +
+    return "execution mode: batch (capacity " +
            std::to_string(options.batch_capacity) +
            "; vectorized operators marked [batch])\n" +
-           plan->ToString(0, &batch_nodes);
+           plan->ToString(0, &batch_nodes, nullptr, annotations);
   }
-  return header + plan->ToString();
+  return plan->ToString(0, nullptr, nullptr, annotations);
+}
+
+/// Formats one node's EXPLAIN ANALYZE annotation from its runtime stats.
+std::string AnalyzeAnnotation(const exec::PhysicalPlan& node,
+                              const exec::OperatorStats& os) {
+  uint64_t act = os.ActualRows();
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                " [analyze: est_rows=%.0f act_rows=%llu qerror=%.2f "
+                "wall_ns=%llu",
+                node.est_rows, static_cast<unsigned long long>(act),
+                exec::QError(node.est_rows, act),
+                static_cast<unsigned long long>(os.wall_ns));
+  std::string out = buf;
+  uint64_t mem = std::max(os.peak_mem_bytes, os.worker_peak_mem_bytes);
+  if (mem > 0) {
+    std::snprintf(buf, sizeof buf, " mem=%lluB",
+                  static_cast<unsigned long long>(mem));
+    out += buf;
+  }
+  if (os.workers > 0) {
+    std::snprintf(buf, sizeof buf, " workers=%u worker_wall_ns=%llu",
+                  os.workers,
+                  static_cast<unsigned long long>(os.worker_wall_ns));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+/// Annotation strings for every node in `plan`. Nodes absent from the
+/// stats map never ran (e.g. pruned by an empty input) and are marked so.
+exec::PlanAnnotations BuildAnalyzeAnnotations(
+    const exec::PhysicalPlan* plan, const exec::OperatorStatsMap& stats) {
+  exec::PlanAnnotations ann;
+  std::function<void(const exec::PhysicalPlan*)> visit =
+      [&](const exec::PhysicalPlan* node) {
+        if (node == nullptr) return;
+        auto it = stats.find(node);
+        ann[node] = it != stats.end() ? AnalyzeAnnotation(*node, it->second)
+                                      : " [analyze: not executed]";
+        for (const exec::PhysPtr& child : node->children) {
+          visit(child.get());
+        }
+      };
+  visit(plan);
+  return ann;
+}
+
+}  // namespace
+
+Result<std::string> Database::Explain(const std::string& sql,
+                                      const QueryOptions& options) {
+  opt::OptimizeInfo info;
+  QOPT_ASSIGN_OR_RETURN(exec::PhysPtr plan, PlanQuery(sql, options, &info));
+  std::string out = ExplainHeader(info) + RenderPlanText(plan, options,
+                                                         nullptr);
+  if (info.trace != nullptr) {
+    out += "--- optimizer trace ---\n" + info.trace->ToString();
+  }
+  return out;
+}
+
+Result<std::string> Database::ExplainAnalyze(const std::string& sql,
+                                             const QueryOptions& options) {
+  QueryOptions opts = options;
+  opts.analyze = true;
+  // QueryInternal, not Query: when reached through Query("EXPLAIN ANALYZE
+  // ..."), the outer wrapper already counts the statement once.
+  QOPT_ASSIGN_OR_RETURN(QueryResult result, QueryInternal(sql, opts));
+  exec::PlanAnnotations ann =
+      BuildAnalyzeAnnotations(result.analyzed_plan.get(), result.op_stats);
+  std::string out = ExplainHeader(result.optimize_info);
+  if (result.exec_stats.parallel_pages_divergent) {
+    out += "[note: modeled_pages_read diverges under parallel execution "
+           "(per-worker buffer pools)]\n";
+  }
+  out += RenderPlanText(result.analyzed_plan, opts, &ann);
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "totals: rows=%zu modeled_pages_read=%llu\n",
+                result.rows.size(),
+                static_cast<unsigned long long>(
+                    result.exec_stats.modeled_pages_read));
+  out += buf;
+  if (result.optimize_info.trace != nullptr) {
+    out += "--- optimizer trace ---\n" + result.optimize_info.trace->ToString();
+  }
+  return out;
 }
 
 Result<exec::PhysPtr> NaivePhysicalPlan(const plan::LogicalPtr& op,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "engine/governor.h"
+#include "engine/metrics.h"
 #include "engine/plan_cache.h"
 #include "engine/thread_pool.h"
 #include "exec/executors.h"
@@ -57,6 +58,16 @@ struct QueryOptions {
   /// (§7.4) over that literal so later executions pick the interval's plan
   /// instead of re-optimizing. Requires statistics on the compared column.
   bool plan_cache_parametric = true;
+  /// EXPLAIN ANALYZE: record per-operator runtime statistics (rows/batches
+  /// produced, wall time, peak memory on materializing operators) during
+  /// execution. QueryResult then carries the plan and the stats map so the
+  /// annotated plan can be rendered. Off by default — the instrumented
+  /// dispatch costs one branch per operator call when disabled.
+  bool analyze = false;
+  /// Record an optimizer trace (rewrite firings, DP-table expansions,
+  /// Cascades tasks) into OptimizeInfo::trace. Forces a plan-cache bypass:
+  /// a cache hit would skip the search being traced.
+  bool trace_optimizer = false;
 };
 
 /// A query's results plus diagnostics.
@@ -65,6 +76,11 @@ struct QueryResult {
   std::vector<Row> rows;
   exec::ExecStats exec_stats;
   opt::OptimizeInfo optimize_info;
+  /// QueryOptions::analyze only: the executed physical plan and the
+  /// per-operator runtime statistics collected while running it (keyed by
+  /// plan node; the shared plan pointer keeps the keys alive).
+  exec::PhysPtr analyzed_plan;
+  exec::OperatorStatsMap op_stats;
 
   /// Pretty-printed table (for examples / debugging).
   std::string ToString(size_t max_rows = 25) const;
@@ -73,7 +89,7 @@ struct QueryResult {
 /// An embedded single-threaded SQL database with a cost-based optimizer.
 class Database {
  public:
-  Database() : storage_(&catalog_) {}
+  Database();
 
   // --- DDL / DML (SQL) ---
 
@@ -114,6 +130,13 @@ class Database {
   Result<std::string> Explain(const std::string& sql,
                               const QueryOptions& options = {});
 
+  /// EXPLAIN ANALYZE: executes `sql` with per-operator instrumentation and
+  /// renders the plan annotated with actual rows, q-error, wall time and
+  /// peak memory per node (plus the optimizer trace when
+  /// options.trace_optimizer is set).
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     const QueryOptions& options = {});
+
   /// Binds `sql` to a logical plan (tests / tooling).
   Result<plan::BoundQuery> BindSql(const std::string& sql,
                                    int* next_rel_id = nullptr);
@@ -126,7 +149,21 @@ class Database {
   PlanCache& plan_cache() { return plan_cache_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// Engine-wide observability metrics: query counts, compile / execute
+  /// latency histograms, plan-cache and thread-pool gauges. See
+  /// docs/OBSERVABILITY.md for the catalog.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  /// All metrics as a JSON object (SHOW METRICS returns the same samples
+  /// as rows).
+  std::string MetricsJson() const { return metrics_.ToJson(); }
+
  private:
+  /// Query() body; the public wrapper records the per-query metrics
+  /// (success / failure counters, governor trips).
+  Result<QueryResult> QueryInternal(const std::string& sql,
+                                    const QueryOptions& options);
+
   /// PlanQuery with an optional shared governor (one instance spans
   /// planning and execution of a query).
   Result<exec::PhysPtr> PlanQueryWithGovernor(
@@ -172,6 +209,15 @@ class Database {
   /// guards the lazy creation/growth so concurrent Query() calls are safe.
   std::unique_ptr<ThreadPool> pool_;
   std::mutex pool_mu_;
+  MetricsRegistry metrics_;
+  // Hot-path metric handles, resolved once in the constructor (GetCounter
+  // takes the registry mutex; these pointers are stable).
+  MetricsRegistry::Counter* queries_ok_ = nullptr;
+  MetricsRegistry::Counter* queries_failed_ = nullptr;
+  MetricsRegistry::Counter* governor_trips_ = nullptr;
+  MetricsRegistry::Counter* optimizer_degraded_ = nullptr;
+  MetricsRegistry::Histogram* compile_ns_ = nullptr;
+  MetricsRegistry::Histogram* execute_ns_ = nullptr;
 };
 
 /// Direct 1:1 translation of a logical plan to executors (no optimization);

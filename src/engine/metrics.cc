@@ -1,0 +1,104 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace qopt {
+
+void MetricsRegistry::Histogram::Record(uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  size_t b = v == 0 ? 0 : static_cast<size_t>(std::bit_width(v));
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t MetricsRegistry::Histogram::Percentile(double p) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target sample, 1-based.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                        static_cast<double>(total - 1)) +
+                  1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return b == 0 ? 0 : (uint64_t{1} << b) - 1;  // bucket upper bound
+    }
+  }
+  return (uint64_t{1} << (kBuckets - 1));
+}
+
+MetricsRegistry::Counter* MetricsRegistry::GetCounter(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& c = counters_[name];
+  if (c == nullptr) c = std::make_unique<Counter>();
+  return c.get();
+}
+
+MetricsRegistry::Histogram* MetricsRegistry::GetHistogram(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& h = histograms_[name];
+  if (h == nullptr) h = std::make_unique<Histogram>();
+  return h.get();
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = std::move(fn);
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  // Copy the pointers / callbacks out under the lock, then read values
+  // outside it (a gauge callback may itself take locks, e.g. the
+  // thread-pool queue-depth gauge).
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  std::vector<std::pair<std::string, std::function<uint64_t()>>> gauges;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+    for (const auto& [name, fn] : gauges_) gauges.emplace_back(name, fn);
+  }
+  std::vector<Sample> out;
+  for (const auto& [name, c] : counters) {
+    out.push_back({name, "counter", c->Value()});
+  }
+  for (const auto& [name, fn] : gauges) {
+    out.push_back({name, "gauge", fn ? fn() : 0});
+  }
+  for (const auto& [name, h] : histograms) {
+    uint64_t count = h->Count();
+    out.push_back({name + ".count", "histogram_count", count});
+    out.push_back({name + ".sum", "histogram_sum", h->Sum()});
+    out.push_back(
+        {name + ".avg", "histogram_avg", count ? h->Sum() / count : 0});
+    out.push_back({name + ".p50", "histogram_p50", h->Percentile(50)});
+    out.push_back({name + ".p99", "histogram_p99", h->Percentile(99)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string json = "{";
+  bool first = true;
+  for (const Sample& s : Snapshot()) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + s.name + "\": " + std::to_string(s.value);
+  }
+  json += "}";
+  return json;
+}
+
+}  // namespace qopt

@@ -1,0 +1,104 @@
+// MetricsRegistry: process-wide observability counters, gauges and
+// histograms for the database engine.
+//
+// Industrial optimizers keep themselves debuggable at scale by exporting
+// the counters they already maintain internally (plan-cache hit rates,
+// governor trips, scheduler queue depths) through one uniform surface.
+// qopt had those counters scattered across PlanCacheStats, ExecStats and
+// the thread pool; this registry unifies them:
+//
+//   * Counter    — monotonically increasing relaxed atomic (e.g. number of
+//                  queries executed, governor trips).
+//   * Gauge      — a point-in-time value read through a callback at export
+//                  time (e.g. plan-cache entries, thread-pool queue depth).
+//                  Callbacks keep the hot paths free of double bookkeeping:
+//                  the existing counters stay authoritative.
+//   * Histogram  — power-of-two bucketed distribution of a uint64 sample
+//                  (e.g. per-query compile / execute nanoseconds), tracking
+//                  count, sum and approximate percentiles.
+//
+// All mutation paths are single relaxed atomic operations, so an idle
+// registry costs nothing and instrumented paths pay one uncontended
+// fetch_add. Registration (name lookup) takes a mutex and is meant for
+// setup or cold paths; hot paths hold the returned pointer, which is
+// stable for the registry's lifetime.
+#ifndef QOPT_ENGINE_METRICS_H_
+#define QOPT_ENGINE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qopt {
+
+class MetricsRegistry {
+ public:
+  class Counter {
+   public:
+    void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+   private:
+    std::atomic<uint64_t> v_{0};
+  };
+
+  /// Log2-bucketed histogram: sample v lands in bucket floor(log2(v))+1
+  /// (bucket 0 holds v == 0), so bucket b spans [2^(b-1), 2^b). Percentile
+  /// queries return the upper bound of the containing bucket — a factor-2
+  /// approximation, plenty for latency triage.
+  class Histogram {
+   public:
+    static constexpr size_t kBuckets = 65;
+
+    void Record(uint64_t v);
+    uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+    uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+    /// Upper bound of the bucket containing the p-th percentile (p in
+    /// [0, 100]); 0 when empty.
+    uint64_t Percentile(double p) const;
+
+   private:
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  };
+
+  /// One exported sample (SHOW METRICS row / MetricsJson entry).
+  struct Sample {
+    std::string name;
+    std::string kind;  ///< "counter", "gauge", "histogram_*"
+    uint64_t value = 0;
+  };
+
+  /// Returns the counter / histogram named `name`, creating it on first
+  /// use. Pointers remain valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Registers (or replaces) a gauge whose value is read at export time.
+  /// The callback must be safe to invoke from any thread.
+  void RegisterGauge(const std::string& name, std::function<uint64_t()> fn);
+
+  /// All metrics as flat samples, sorted by name. Histograms expand to
+  /// .count / .sum / .avg / .p50 / .p99 rows.
+  std::vector<Sample> Snapshot() const;
+
+  /// Snapshot rendered as a JSON object {"name": value, ...}.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<uint64_t()>> gauges_;
+};
+
+}  // namespace qopt
+
+#endif  // QOPT_ENGINE_METRICS_H_

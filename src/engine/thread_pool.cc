@@ -41,7 +41,15 @@ void ThreadPool::Submit(std::function<void()> fn) {
     next_queue_ = (next_queue_ + 1) % workers_.size();
     workers_[next_queue_]->tasks.push_back(std::move(fn));
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t depth = 0;
+  for (const std::unique_ptr<Worker>& w : workers_) depth += w->tasks.size();
+  return depth;
 }
 
 std::function<void()> ThreadPool::TryPop(size_t w) {
@@ -57,6 +65,7 @@ std::function<void()> ThreadPool::TryPop(size_t w) {
     if (!victim.tasks.empty()) {
       std::function<void()> fn = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      stolen_.fetch_add(1, std::memory_order_relaxed);
       return fn;
     }
   }

@@ -12,7 +12,9 @@
 #ifndef QOPT_ENGINE_THREAD_POOL_H_
 #define QOPT_ENGINE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -51,6 +53,19 @@ class ThreadPool {
   /// Hard cap on pool width (queries clamp dop against this).
   static constexpr size_t kMaxThreads = 16;
 
+  // --- Observability counters (relaxed; fed into MetricsRegistry gauges) ---
+
+  /// Tasks enqueued via Submit() over the pool's lifetime.
+  uint64_t tasks_submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  /// Tasks a worker popped from another worker's deque (work stealing).
+  uint64_t tasks_stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+  /// Tasks currently queued across all worker deques.
+  size_t QueueDepth() const;
+
  private:
   struct Worker {
     std::deque<std::function<void()>> tasks;  // guarded by ThreadPool::mu_
@@ -63,11 +78,13 @@ class ThreadPool {
 
   void WorkerLoop(size_t w);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::unique_ptr<Worker>> workers_;
   size_t next_queue_ = 0;  ///< Round-robin submission cursor.
   bool shutdown_ = false;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> stolen_{0};
 };
 
 /// CPU time of the calling thread in milliseconds (used by the parallel

@@ -65,7 +65,7 @@ class HashAggregateExec : public AggregateExecBase {
  public:
   using AggregateExecBase::AggregateExecBase;
 
-  void Init() override {
+  void InitImpl() override {
     child_->Init();
     ResolveKeyPositions();
     results_.clear();
@@ -87,6 +87,7 @@ class HashAggregateExec : public AggregateExecBase {
                 1, ModeledRowBytes(it->first) + 48 * plan_->aggs.size())) {
           return;
         }
+        ChargeMem(ModeledRowBytes(it->first) + 48 * plan_->aggs.size());
         order.push_back(&it->first);
       }
       Accumulate(&it->second, in);
@@ -104,7 +105,7 @@ class HashAggregateExec : public AggregateExecBase {
     }
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (pos_ >= results_.size()) return false;
     *out = results_[pos_++];
     return true;
@@ -121,7 +122,7 @@ class StreamAggregateExec : public AggregateExecBase {
  public:
   using AggregateExecBase::AggregateExecBase;
 
-  void Init() override {
+  void InitImpl() override {
     child_->Init();
     ResolveKeyPositions();
     done_ = false;
@@ -129,7 +130,7 @@ class StreamAggregateExec : public AggregateExecBase {
     produced_any_ = false;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (done_) return false;
     Row in;
     while (child_->Next(&in)) {

@@ -41,19 +41,21 @@ class BatchExecutor : public Executor {
  public:
   using Executor::Executor;
 
-  void Init() final {
+  void InitImpl() final {
     InitBatch();
     drain_.Reset(0, 0);
     drain_pos_ = 0;
   }
 
-  bool Next(Row* out) final {
+  bool NextImpl(Row* out) final {
     for (;;) {
       if (drain_pos_ < drain_.ActiveSize()) {
         drain_.StealActive(drain_pos_++, out);
         return true;
       }
-      if (!NextBatch(&drain_)) return false;
+      // Bypass the instrumented NextBatch(): the drain is an internal
+      // adapter, not an operator boundary, and must not double-count.
+      if (!NextBatchImpl(&drain_)) return false;
       drain_pos_ = 0;
     }
   }
@@ -78,7 +80,7 @@ class BatchScanExec : public BatchExecutor {
                 MorselSource* morsels)
       : BatchExecutor(plan, ctx), morsels_(morsels) {}
 
-  bool NextBatch(RowBatch* out) override {
+  bool NextBatchImpl(RowBatch* out) override {
     if (ctx_->Failed()) return false;
     QOPT_FAULT_POINT_CTX("exec.batch.alloc", ctx_, false);
     size_t n = use_ids_ ? row_ids_.size() : table_->num_rows();
@@ -300,7 +302,7 @@ class BatchFilterExec : public BatchExecutor {
                   std::unique_ptr<Executor> child)
       : BatchExecutor(plan, ctx), child_(std::move(child)) {}
 
-  bool NextBatch(RowBatch* out) override {
+  bool NextBatchImpl(RowBatch* out) override {
     if (!child_->NextBatch(out)) return false;
     BatchEvalContext bev{&colmap_, out, &ctx_->params};
     EvalPredicateBatch(plan_->predicate, bev, out);
@@ -322,7 +324,7 @@ class BatchProjectExec : public BatchExecutor {
                    std::unique_ptr<Executor> child)
       : BatchExecutor(plan, ctx), child_(std::move(child)) {}
 
-  bool NextBatch(RowBatch* out) override {
+  bool NextBatchImpl(RowBatch* out) override {
     do {
       if (!child_->NextBatch(&in_)) return false;
     } while (in_.ActiveSize() == 0);
@@ -403,7 +405,7 @@ class BatchHashJoinExec : public BatchExecutor {
     InitShape();
   }
 
-  bool NextBatch(RowBatch* out) override {
+  bool NextBatchImpl(RowBatch* out) override {
     if (done_ || ctx_->Failed()) return false;
     bool left_only = plan_->join_type == JoinType::kSemi ||
                      plan_->join_type == JoinType::kAnti;
@@ -456,6 +458,7 @@ class BatchHashJoinExec : public BatchExecutor {
         if (build.At(rk, r).is_null()) continue;  // NULL keys never match
         // Same modeled footprint as the row-mode build charge.
         if (!ctx_->GovernorCharge(1, 16 + 24 * right_width_)) break;
+        ChargeMem(16 + 24 * right_width_);
         for (size_t c = 0; c < right_width_; ++c) {
           state_->build_cols[c].push_back(std::move(build.column(c)[r]));
         }

@@ -4,11 +4,14 @@
 namespace qopt::exec {
 
 // Default row-to-batch adapter: any operator can feed a batch consumer.
-bool Executor::NextBatch(RowBatch* out) {
+// Pulls via NextImpl() — the adapter runs inside this operator's own
+// instrumented NextBatch() dispatch, so going through Next() would count
+// every row twice.
+bool Executor::NextBatchImpl(RowBatch* out) {
   QOPT_FAULT_POINT_CTX("exec.batch.alloc", ctx_, false);
   out->Reset(plan_->output_cols.size(), ctx_->batch_capacity);
   Row r;
-  while (!out->full() && Next(&r)) out->AppendRow(std::move(r));
+  while (!out->full() && NextImpl(&r)) out->AppendRow(std::move(r));
   return out->num_rows() > 0 && !ctx_->Failed();
 }
 

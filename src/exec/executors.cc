@@ -14,7 +14,7 @@ class ScanExec : public Executor {
  public:
   ScanExec(const PhysicalPlan* plan, ExecContext* ctx) : Executor(plan, ctx) {}
 
-  void Init() override {
+  void InitImpl() override {
     QOPT_FAULT_POINT_CTX("storage.scan.open", ctx_, );
     table_ = ctx_->storage->GetTable(plan_->table_id);
     QOPT_DCHECK(table_ != nullptr);
@@ -43,7 +43,7 @@ class ScanExec : public Executor {
     }
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     // An injected Init fault leaves table_ unset; a tripped deadline must
     // end the stream rather than keep scanning.
     if (ctx_->Failed()) return false;
@@ -84,9 +84,9 @@ class FilterExec : public Executor {
              std::unique_ptr<Executor> child)
       : Executor(plan, ctx), child_(std::move(child)) {}
 
-  void Init() override { child_->Init(); }
+  void InitImpl() override { child_->Init(); }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     while (child_->Next(out)) {
       if (EvalPredicate(plan_->predicate, MakeEval(*out))) return true;
     }
@@ -103,9 +103,9 @@ class ProjectExec : public Executor {
               std::unique_ptr<Executor> child)
       : Executor(plan, ctx), child_(std::move(child)) {}
 
-  void Init() override { child_->Init(); }
+  void InitImpl() override { child_->Init(); }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     Row in;
     if (!child_->Next(&in)) return false;
     EvalContext ev{&child_->colmap(), &in, &ctx_->params};
@@ -127,12 +127,13 @@ class SortExec : public Executor {
            std::unique_ptr<Executor> child)
       : Executor(plan, ctx), child_(std::move(child)) {}
 
-  void Init() override {
+  void InitImpl() override {
     child_->Init();
     rows_.clear();
     Row r;
     while (child_->Next(&r)) {
       if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      ChargeMem(ModeledRowBytes(r));
       rows_.push_back(std::move(r));
     }
     // Resolve key positions in the child's layout (same as ours).
@@ -153,7 +154,7 @@ class SortExec : public Executor {
     pos_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (pos_ >= rows_.size()) return false;
     *out = rows_[pos_++];
     return true;
@@ -171,15 +172,16 @@ class DistinctExec : public Executor {
                std::unique_ptr<Executor> child)
       : Executor(plan, ctx), child_(std::move(child)) {}
 
-  void Init() override {
+  void InitImpl() override {
     child_->Init();
     seen_.clear();
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     while (child_->Next(out)) {
       if (seen_.insert(*out).second) {
         if (!ctx_->GovernorCharge(1, ModeledRowBytes(*out))) return false;
+        ChargeMem(ModeledRowBytes(*out));
         return true;
       }
     }
@@ -197,12 +199,12 @@ class UnionAllExec : public Executor {
                std::vector<std::unique_ptr<Executor>> children)
       : Executor(plan, ctx), children_(std::move(children)) {}
 
-  void Init() override {
+  void InitImpl() override {
     for (auto& c : children_) c->Init();
     current_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     while (current_ < children_.size()) {
       if (children_[current_]->Next(out)) return true;
       ++current_;
@@ -226,7 +228,7 @@ class HashSetOpExec : public Executor {
         left_(std::move(left)),
         right_(std::move(right)) {}
 
-  void Init() override {
+  void InitImpl() override {
     left_->Init();
     right_->Init();
     right_rows_.clear();
@@ -234,11 +236,12 @@ class HashSetOpExec : public Executor {
     Row r;
     while (right_->Next(&r)) {
       if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      ChargeMem(ModeledRowBytes(r));
       right_rows_.insert(std::move(r));
     }
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     bool want_member = plan_->kind == PhysOpKind::kHashIntersect;
     while (left_->Next(out)) {
       if ((right_rows_.count(*out) > 0) != want_member) continue;
@@ -260,12 +263,12 @@ class LimitExec : public Executor {
             std::unique_ptr<Executor> child)
       : Executor(plan, ctx), child_(std::move(child)) {}
 
-  void Init() override {
+  void InitImpl() override {
     child_->Init();
     produced_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (produced_ >= plan_->limit) return false;
     if (!child_->Next(out)) return false;
     ++produced_;

@@ -15,6 +15,7 @@
 #ifndef QOPT_EXEC_EXECUTORS_H_
 #define QOPT_EXEC_EXECUTORS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -57,7 +58,54 @@ struct ExecStats {
   // serial CPU / critical path.
   double parallel_worker_cpu_ms = 0;    ///< Σ worker CPU over all phases.
   double parallel_critical_cpu_ms = 0;  ///< Σ over phases of max worker CPU.
+  /// True once any morsel-parallel region ran: the workers' private LRU
+  /// buffer-pool simulators see different access orders than the serial
+  /// modes' single pool, so `modeled_pages_read` is not comparable against
+  /// a serial run of the same query. Every other counter stays exact
+  /// (`page_touches`, `rows_scanned`, ... are access counts, not pool
+  /// state). Surfaced in the EXPLAIN ANALYZE footer; pinned by
+  /// tests/integration/explain_analyze_test.cc.
+  bool parallel_pages_divergent = false;
 };
+
+/// Per-operator runtime statistics recorded when ExecContext::analyze is
+/// set (EXPLAIN ANALYZE). Keyed by plan node, never stored on the plan
+/// itself: plans are shared (plan cache, parallel worker trees), stats are
+/// per-execution.
+struct OperatorStats {
+  uint64_t inits = 0;        ///< Init calls (rescans under Apply count).
+  uint64_t rows_out = 0;     ///< Rows produced to the parent.
+  uint64_t batches_out = 0;  ///< Batches produced (vectorized path only).
+  uint64_t next_calls = 0;   ///< Next/NextBatch invocations.
+  uint64_t wall_ns = 0;      ///< Inclusive wall time (children included).
+  uint64_t peak_mem_bytes = 0;  ///< Modeled materialization high-water mark.
+  // Parallel mode: worker executor trees share this node's plan pointer;
+  // their per-worker stats are merged into these separate fields at the
+  // gather barrier so the serial fields are never double-counted.
+  uint64_t worker_rows_out = 0;
+  uint64_t worker_wall_ns = 0;       ///< Σ across workers (not wall time).
+  uint64_t worker_peak_mem_bytes = 0;
+  uint32_t workers = 0;              ///< Workers that executed this node.
+
+  /// Actual output cardinality: the serially-observed count when this node
+  /// ran on the main context, else the merged per-worker count.
+  uint64_t ActualRows() const {
+    return rows_out > 0 ? rows_out : worker_rows_out;
+  }
+};
+
+/// Stats per plan node. Value-pointer stability (node-based map) lets each
+/// executor cache its entry across Next calls.
+using OperatorStatsMap = std::unordered_map<const PhysicalPlan*, OperatorStats>;
+
+/// q-error of a cardinality estimate (Datta et al.: the divergence metric
+/// for optimizer quality): max(est/act, act/est) with both sides clamped to
+/// >= 1 so exact small counts and empty results behave. 1.0 iff exact.
+inline double QError(double est_rows, uint64_t act_rows) {
+  double e = est_rows > 1.0 ? est_rows : 1.0;
+  double a = act_rows > 1 ? static_cast<double>(act_rows) : 1.0;
+  return e > a ? e / a : a / e;
+}
 
 /// LRU buffer-pool simulator: execution counts a modeled page read only on
 /// a miss, mirroring the buffer-utilization modeling the paper calls out
@@ -124,6 +172,11 @@ struct ExecContext {
   /// and record the cause here, because the iterator signature cannot carry
   /// a Status; ExecuteAll surfaces it as the query's Result.
   Status status;
+  /// EXPLAIN ANALYZE: when set, every executor records OperatorStats into
+  /// `op_stats` (keyed by plan node). Off by default — the only cost then
+  /// is one predictable branch per Init/Next/NextBatch dispatch.
+  bool analyze = false;
+  OperatorStatsMap op_stats;
 
   /// Records an access to `page_key`, counting a modeled read on miss.
   void TouchPage(uint64_t page_key) {
@@ -169,6 +222,15 @@ inline uint64_t ModeledRowBytes(const Row& row) {
 }
 
 /// Iterator-model operator.
+///
+/// The public Init/Next/NextBatch entry points are non-virtual dispatchers
+/// (template method): when ExecContext::analyze is off they forward
+/// straight to the virtual *Impl hooks, and when it is on they additionally
+/// record OperatorStats (rows/batches out, inclusive wall time) around the
+/// hook. Subclasses implement InitImpl/NextImpl/NextBatchImpl and call the
+/// *public* methods on their children, so instrumentation covers every
+/// operator boundary exactly once — including the parallel worker trees,
+/// which are built from the same classes.
 class Executor {
  public:
   Executor(const PhysicalPlan* plan, ExecContext* ctx)
@@ -180,21 +242,80 @@ class Executor {
   virtual ~Executor() = default;
 
   /// (Re)opens the operator; idempotent, used for rescans.
-  virtual void Init() = 0;
+  void Init() {
+    if (!ctx_->analyze) {
+      InitImpl();
+      return;
+    }
+    ostats_ = &ctx_->op_stats[plan_];
+    ++ostats_->inits;
+    mem_bytes_ = 0;  // rescans rebuild materialized state from scratch
+    auto t0 = std::chrono::steady_clock::now();
+    InitImpl();
+    ostats_->wall_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
 
   /// Produces the next row; false at end of stream.
-  virtual bool Next(Row* out) = 0;
+  bool Next(Row* out) {
+    if (ostats_ == nullptr) return NextImpl(out);
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = NextImpl(out);
+    ostats_->wall_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    ++ostats_->next_calls;
+    if (ok) ++ostats_->rows_out;
+    return ok;
+  }
 
   /// Produces the next batch of rows; false at end of stream. A true
   /// return may carry zero live rows (a fully filtered batch) — consumers
-  /// must loop. The default implementation adapts Next(), so every
-  /// operator can feed a batch consumer; batch-native operators override.
-  virtual bool NextBatch(RowBatch* out);
+  /// must loop. The default implementation adapts NextImpl(), so every
+  /// operator can feed a batch consumer; batch-native operators override
+  /// NextBatchImpl.
+  bool NextBatch(RowBatch* out) {
+    if (ostats_ == nullptr) return NextBatchImpl(out);
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = NextBatchImpl(out);
+    ostats_->wall_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    ++ostats_->next_calls;
+    if (ok) {
+      ++ostats_->batches_out;
+      ostats_->rows_out += out->ActiveSize();
+    }
+    return ok;
+  }
 
   const PhysicalPlan& plan() const { return *plan_; }
   const ColMap& colmap() const { return colmap_; }
 
  protected:
+  virtual void InitImpl() = 0;
+  virtual bool NextImpl(Row* out) = 0;
+  /// Default row-to-batch adapter; defined in executor_builder.cc. Loops
+  /// NextImpl (not Next) so the operator's own rows are counted once, by
+  /// the dispatcher that drives it.
+  virtual bool NextBatchImpl(RowBatch* out);
+
+  /// Accounts `bytes` of modeled materialized state (hash build, sort
+  /// buffer, agg table) toward this operator's peak-memory stat. Call next
+  /// to the matching GovernorCharge; no-op unless EXPLAIN ANALYZE is on.
+  /// The running sum resets on Init (rescans rebuild state).
+  void ChargeMem(uint64_t bytes) {
+    if (ostats_ == nullptr) return;
+    mem_bytes_ += bytes;
+    if (mem_bytes_ > ostats_->peak_mem_bytes) {
+      ostats_->peak_mem_bytes = mem_bytes_;
+    }
+  }
+
   EvalContext MakeEval(const Row& row) const {
     return EvalContext{&colmap_, &row, &ctx_->params};
   }
@@ -202,6 +323,10 @@ class Executor {
   const PhysicalPlan* plan_;
   ExecContext* ctx_;
   ColMap colmap_;
+
+ private:
+  OperatorStats* ostats_ = nullptr;  ///< Set by Init when analyze is on.
+  uint64_t mem_bytes_ = 0;           ///< Modeled bytes since last Init.
 };
 
 /// Builds the executor tree for `plan`, honoring `ctx->mode`.

@@ -96,20 +96,21 @@ class NestedLoopJoinExec : public JoinExecBase {
  public:
   using JoinExecBase::JoinExecBase;
 
-  void Init() override {
+  void InitImpl() override {
     left_->Init();
     right_->Init();
     inner_.clear();
     Row r;
     while (right_->Next(&r)) {
       if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      ChargeMem(ModeledRowBytes(r));
       inner_.push_back(std::move(r));
     }
     out_buffer_.clear();
     buffer_pos_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     for (;;) {
       if (DrainBuffer(out)) return true;
       Row l;
@@ -134,7 +135,7 @@ class IndexNLJoinExec : public JoinExecBase {
  public:
   using JoinExecBase::JoinExecBase;
 
-  void Init() override {
+  void InitImpl() override {
     left_->Init();
     const PhysicalPlan& rp = right_->plan();
     QOPT_DCHECK(rp.kind == PhysOpKind::kIndexScan);
@@ -148,7 +149,7 @@ class IndexNLJoinExec : public JoinExecBase {
     buffer_pos_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     for (;;) {
       if (DrainBuffer(out)) return true;
       Row l;
@@ -205,7 +206,7 @@ class MergeJoinExec : public JoinExecBase {
  public:
   using JoinExecBase::JoinExecBase;
 
-  void Init() override {
+  void InitImpl() override {
     left_->Init();
     right_->Init();
     lrows_.clear();
@@ -213,10 +214,12 @@ class MergeJoinExec : public JoinExecBase {
     Row r;
     while (left_->Next(&r)) {
       if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      ChargeMem(ModeledRowBytes(r));
       lrows_.push_back(std::move(r));
     }
     while (right_->Next(&r)) {
       if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      ChargeMem(ModeledRowBytes(r));
       rrows_.push_back(std::move(r));
     }
     auto lit = left_->colmap().find(plan_->left_key);
@@ -230,7 +233,7 @@ class MergeJoinExec : public JoinExecBase {
     buffer_pos_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     for (;;) {
       if (DrainBuffer(out)) return true;
       if (li_ >= lrows_.size()) return false;
@@ -270,7 +273,7 @@ class HashJoinExec : public JoinExecBase {
  public:
   using JoinExecBase::JoinExecBase;
 
-  void Init() override {
+  void InitImpl() override {
     left_->Init();
     right_->Init();
     table_.clear();
@@ -283,6 +286,7 @@ class HashJoinExec : public JoinExecBase {
     while (right_->Next(&r)) {
       if (r[rk].is_null()) continue;  // NULL keys never match
       if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
+      ChargeMem(ModeledRowBytes(r));
       rows_.push_back(std::move(r));
     }
     table_.reserve(rows_.size());
@@ -296,7 +300,7 @@ class HashJoinExec : public JoinExecBase {
     buffer_pos_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     for (;;) {
       if (DrainBuffer(out)) return true;
       Row l;
@@ -333,14 +337,14 @@ class ApplyExec : public JoinExecBase {
  public:
   using JoinExecBase::JoinExecBase;
 
-  void Init() override {
+  void InitImpl() override {
     left_->Init();
     // Right side re-initialized per outer row.
     out_buffer_.clear();
     buffer_pos_ = 0;
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     for (;;) {
       if (DrainBuffer(out)) return true;
       Row l;

@@ -66,7 +66,7 @@ class ParallelGatherExec : public Executor {
         agg_root_(plan->kind == PhysOpKind::kHashAggregate),
         pipeline_root_(agg_root_ ? plan->children[0] : plan) {}
 
-  void Init() override {
+  void InitImpl() override {
     results_.clear();
     pos_ = 0;
     if (ctx_->Failed()) return;
@@ -83,6 +83,7 @@ class ParallelGatherExec : public Executor {
       wc->mode = ExecMode::kBatch;
       wc->batch_capacity = ctx_->batch_capacity;
       wc->morsel_rows = ctx_->morsel_rows;
+      wc->analyze = ctx_->analyze;
       wc->governor = ctx_->governor;  // thread-safe; shared trip semantics
       wctx_.push_back(std::move(wc));
     }
@@ -96,6 +97,25 @@ class ParallelGatherExec : public Executor {
       ctx_->stats.rows_joined += wc->stats.rows_joined;
       ctx_->stats.subquery_executions += wc->stats.subquery_executions;
     }
+    // Per-worker LRU pools see different access orders, so the summed
+    // modeled_pages_read is not comparable to the serial modes' — surface
+    // that explicitly rather than pretending the number reconciles.
+    ctx_->stats.parallel_pages_divergent = true;
+    if (ctx_->analyze) {
+      // Worker trees share plan-node pointers with the main tree; merge
+      // their per-operator stats into the worker_* side channel so the
+      // gather's own (empty) counts are never conflated with them.
+      for (const std::unique_ptr<ExecContext>& wc : wctx_) {
+        for (const auto& [node, ws] : wc->op_stats) {
+          OperatorStats& os = ctx_->op_stats[node];
+          os.worker_rows_out += ws.rows_out;
+          os.worker_wall_ns += ws.wall_ns;
+          os.worker_peak_mem_bytes =
+              std::max(os.worker_peak_mem_bytes, ws.peak_mem_bytes);
+          if (ws.inits > 0) ++os.workers;
+        }
+      }
+    }
     for (const std::unique_ptr<ExecContext>& wc : wctx_) {
       if (!wc->status.ok()) {
         ctx_->Fail(wc->status);
@@ -105,7 +125,7 @@ class ParallelGatherExec : public Executor {
     wctx_.clear();
   }
 
-  bool Next(Row* out) override {
+  bool NextImpl(Row* out) override {
     if (ctx_->Failed() || pos_ >= results_.size()) return false;
     *out = std::move(results_[pos_++]);
     return true;
@@ -225,6 +245,15 @@ class ParallelGatherExec : public Executor {
         if (!Aborted()) {
           state->Finalize(KeyType(node->children[0], node->left_key),
                           KeyType(build, node->right_key));
+        }
+        if (ctx_->analyze && !state->build_cols.empty()) {
+          // The shared build happens outside any single worker's executor
+          // tree; attribute its modeled footprint to the join node so
+          // EXPLAIN ANALYZE shows the build memory in parallel mode too.
+          uint64_t bytes =
+              state->build_cols[0].size() * (16 + 24 * rwidth);
+          OperatorStats& os = ctx_->op_stats[node.get()];
+          os.peak_mem_bytes = std::max(os.peak_mem_bytes, bytes);
         }
         states_[node.get()] = std::move(state);
         break;
@@ -406,6 +435,16 @@ class ParallelGatherExec : public Executor {
       for (const AggAcc& acc : g.accs) out.push_back(acc.Finalize());
       results_.push_back(std::move(out));
       return;
+    }
+    if (ctx_->analyze) {
+      // The merged group table lives on the gather, not inside a worker
+      // tree; attribute its modeled footprint to the aggregate node.
+      uint64_t bytes = 0;
+      for (const Row* key : order) {
+        bytes += ModeledRowBytes(*key) + 48 * plan_->aggs.size();
+      }
+      OperatorStats& os = ctx_->op_stats[plan_];
+      os.peak_mem_bytes = std::max(os.peak_mem_bytes, bytes);
     }
     results_.reserve(order.size());
     for (const Row* key : order) {

@@ -36,7 +36,8 @@ int PhysicalPlan::FindOutput(ColumnId id) const {
 
 std::string PhysicalPlan::ToString(
     int indent, const std::unordered_set<const PhysicalPlan*>* batch_nodes,
-    const std::unordered_set<const PhysicalPlan*>* parallel_roots) const {
+    const std::unordered_set<const PhysicalPlan*>* parallel_roots,
+    const PlanAnnotations* annotations) const {
   std::string pad(indent * 2, ' ');
   std::string s = pad + PhysOpKindName(kind);
   switch (kind) {
@@ -134,9 +135,13 @@ std::string PhysicalPlan::ToString(
   } else if (batch_nodes != nullptr && batch_nodes->count(this) > 0) {
     s += " [batch]";
   }
+  if (annotations != nullptr) {
+    auto it = annotations->find(this);
+    if (it != annotations->end()) s += it->second;
+  }
   s += "\n";
   for (const PhysPtr& c : children) {
-    s += c->ToString(indent + 1, batch_nodes, parallel_roots);
+    s += c->ToString(indent + 1, batch_nodes, parallel_roots, annotations);
   }
   return s;
 }

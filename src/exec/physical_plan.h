@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -58,6 +59,11 @@ struct ScanBound {
 
 struct PhysicalPlan;
 using PhysPtr = std::shared_ptr<PhysicalPlan>;
+
+/// Per-node annotation strings appended to the rendered plan — EXPLAIN
+/// ANALYZE attaches runtime stats (act_rows, q-error, timings) this way so
+/// the plan tree itself stays free of execution state.
+using PlanAnnotations = std::unordered_map<const PhysicalPlan*, std::string>;
 
 /// A physical plan node.
 struct PhysicalPlan {
@@ -112,12 +118,14 @@ struct PhysicalPlan {
   /// `batch_nodes` is given (see exec::BatchModeNodes), operators that run
   /// vectorized under batch execution mode are marked "[batch]"; when
   /// `parallel_roots` is given (see exec::ParallelRegionRoots), the roots
-  /// of morsel-parallel regions are marked "[parallel]" instead.
+  /// of morsel-parallel regions are marked "[parallel]" instead. When
+  /// `annotations` is given, a node's entry (if any) is appended verbatim
+  /// after the cost annotation (EXPLAIN ANALYZE runtime stats).
   std::string ToString(
       int indent = 0,
       const std::unordered_set<const PhysicalPlan*>* batch_nodes = nullptr,
-      const std::unordered_set<const PhysicalPlan*>* parallel_roots =
-          nullptr) const;
+      const std::unordered_set<const PhysicalPlan*>* parallel_roots = nullptr,
+      const PlanAnnotations* annotations = nullptr) const;
 };
 
 PhysPtr MakeTableScan(int table_id, int rel_id, std::string alias,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 
 #include "optimizer/cascades/rules.h"
@@ -24,14 +25,16 @@ class Search {
   Search(const QueryGraph& graph, const Catalog& catalog,
          const cost::CostModel& model, const CascadesOptions& options,
          Memo* memo, CascadesCounters* counters,
-         const ResourceGovernor* governor = nullptr)
+         const ResourceGovernor* governor = nullptr,
+         OptTrace* trace = nullptr)
       : graph_(graph),
         catalog_(catalog),
         model_(model),
         options_(options),
         memo_(memo),
         counters_(counters),
-        governor_(governor) {}
+        governor_(governor),
+        trace_(trace) {}
 
   /// Non-OK once the task budget trips (kResourceExhausted) or the query
   /// deadline expires (kCancelled); the search unwinds without a plan.
@@ -150,6 +153,7 @@ class Search {
         if (memo_->AddExpr(gid, c)) {
           ++counters_->rules_applied;
           added = true;
+          TraceRule("commute", gid);
         }
       }
 
@@ -172,6 +176,7 @@ class Search {
           if (memo_->AddExpr(bc, inner)) {
             ++counters_->rules_applied;
             added = true;
+            TraceRule("associate (inner)", bc);
           }
           EnsureStats(bc);
           if (!JoinAllowed(amask, bmask | cmask)) continue;
@@ -182,6 +187,7 @@ class Search {
           if (memo_->AddExpr(gid, outer)) {
             ++counters_->rules_applied;
             added = true;
+            TraceRule("associate (outer)", gid);
           }
         }
       }
@@ -200,6 +206,13 @@ class Search {
       return it->second;
     }
     ++counters_->optimize_group_tasks;
+    if (trace_ != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "task OptimizeGroup group=0x%llx props='%s'",
+                    static_cast<unsigned long long>(g.mask), key.c_str());
+      trace_->Add("cascades", buf);
+    }
     if (options_.max_tasks > 0 &&
         counters_->optimize_group_tasks > options_.max_tasks) {
       abort_status_ = Status::ResourceExhausted(
@@ -257,11 +270,34 @@ class Search {
         OptimizeJoin(gid, e, props, offer, best);
       }
     }
+    if (trace_ != nullptr) {
+      char buf[128];
+      if (best.valid) {
+        std::snprintf(buf, sizeof(buf),
+                      "winner group=0x%llx props='%s' cost=%.1f",
+                      static_cast<unsigned long long>(memo_->group(gid).mask),
+                      key.c_str(), best.cost.total());
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "winner group=0x%llx props='%s' (no plan)",
+                      static_cast<unsigned long long>(memo_->group(gid).mask),
+                      key.c_str());
+      }
+      trace_->Add("cascades", buf);
+    }
     memo_->group(gid).winners[key] = best;
     return best;
   }
 
  private:
+  void TraceRule(const char* rule, int gid) {
+    if (trace_ == nullptr) return;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "rule %s fired -> group 0x%llx", rule,
+                  static_cast<unsigned long long>(memo_->group(gid).mask));
+    trace_->Add("cascades", buf);
+  }
+
   template <typename Offer>
   void OptimizeLeaf(int gid, const LExpr& e, const PhysProps& props,
                     Offer&& offer, Winner& best) {
@@ -434,6 +470,7 @@ class Search {
   Memo* memo_;
   CascadesCounters* counters_;
   const ResourceGovernor* governor_ = nullptr;
+  OptTrace* trace_ = nullptr;
   Status abort_status_;
   bool explore_truncated_ = false;
   std::unique_ptr<SubsetStatsCache> stats_cache_;
@@ -463,7 +500,7 @@ Result<exec::PhysPtr> CascadesOptimizer::OptimizeJoinBlock(
   }
   memo_ = Memo();
   Search search(graph, catalog_, model_, options_, &memo_, &counters_,
-                governor_);
+                governor_, trace_);
   int root = search.Seed();
   search.ExploreToClosure();
   // An injected memo-insertion fault leaves the memo sticky-bad; surface it
@@ -479,6 +516,10 @@ Result<exec::PhysPtr> CascadesOptimizer::OptimizeJoinBlock(
       // Task budget exhausted mid-costing: degrade to the heuristic.
       degraded_ = true;
       degraded_reason_ = search.abort_status().message();
+      if (trace_ != nullptr) {
+        trace_->Add("cascades",
+                    "degraded to greedy left-deep: " + degraded_reason_);
+      }
       return GreedyLeftDeepPlan(graph, catalog_, model_, required_order,
                                 &result_stats_);
     }
@@ -507,6 +548,17 @@ Result<exec::PhysPtr> CascadesOptimizer::OptimizeJoinBlock(
     degraded_reason_ =
         "cascades memo budget exhausted (max_memo_exprs=" +
         std::to_string(options_.max_memo_exprs) + "); plan from partial memo";
+  }
+  if (trace_ != nullptr) {
+    trace_->Add("cascades",
+                "search complete: " +
+                    std::to_string(counters_.optimize_group_tasks) +
+                    " tasks, " + std::to_string(counters_.rules_applied) +
+                    " rule firings, " + std::to_string(counters_.groups) +
+                    " groups, " + std::to_string(counters_.logical_exprs) +
+                    " logical exprs, " +
+                    std::to_string(counters_.pruned_by_bound) +
+                    " pruned by bound");
   }
   result_stats_ = memo_.group(root).stats;
   return w.plan;

@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "engine/governor.h"
 #include "optimizer/cascades/memo.h"
+#include "optimizer/trace.h"
 #include "plan/query_graph.h"
 
 namespace qopt::opt::cascades {
@@ -71,6 +72,10 @@ class CascadesOptimizer {
   /// periodically and returns kCancelled once it expires.
   void set_governor(const ResourceGovernor* governor) { governor_ = governor; }
 
+  /// Optional trace sink: task pops, rule firings and memo-group winner
+  /// promotions are logged. Null (the default) disables tracing.
+  void set_trace(OptTrace* trace) { trace_ = trace; }
+
   /// True if the last OptimizeJoinBlock degraded: task budget tripped (plan
   /// comes from the greedy heuristic) or the memo budget truncated
   /// exploration (plan comes from a partial memo).
@@ -85,6 +90,7 @@ class CascadesOptimizer {
   Memo memo_;
   stats::RelStats result_stats_;
   const ResourceGovernor* governor_ = nullptr;
+  opt::OptTrace* trace_ = nullptr;
   bool degraded_ = false;
   std::string degraded_reason_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <optional>
 
 #include "optimizer/join_common.h"
@@ -30,12 +31,14 @@ class PlannerImpl {
  public:
   PlannerImpl(const Catalog& catalog, const OptimizerOptions& options,
               const cost::CostModel& model, OptimizeInfo* info,
-              const ResourceGovernor* governor = nullptr)
+              const ResourceGovernor* governor = nullptr,
+              OptTrace* trace = nullptr)
       : catalog_(catalog),
         options_(options),
         model_(model),
         info_(info),
-        governor_(governor) {}
+        governor_(governor),
+        trace_(trace) {}
 
   /// Degradation state accumulated across the current candidate's join
   /// blocks; the facade resets per candidate and records the winner's.
@@ -89,6 +92,7 @@ class PlannerImpl {
     if (options_.enumerator == EnumeratorKind::kSelinger) {
       SelingerOptimizer selinger(catalog_, model_, options_.selinger);
       selinger.set_governor(governor_);
+      selinger.set_trace(trace_);
       QOPT_ASSIGN_OR_RETURN(out.plan,
                             selinger.OptimizeJoinBlock(graph, required_order));
       out.stats = selinger.result_stats();
@@ -99,6 +103,7 @@ class PlannerImpl {
     } else {
       cascades::CascadesOptimizer casc(catalog_, model_, options_.cascades);
       casc.set_governor(governor_);
+      casc.set_trace(trace_);
       QOPT_ASSIGN_OR_RETURN(out.plan,
                             casc.OptimizeJoinBlock(graph, required_order));
       out.stats = casc.result_stats();
@@ -572,6 +577,7 @@ class PlannerImpl {
   const cost::CostModel& model_;
   OptimizeInfo* info_;
   const ResourceGovernor* governor_ = nullptr;
+  OptTrace* trace_ = nullptr;
   bool degraded_ = false;
   std::string degraded_reason_;
 };
@@ -584,14 +590,15 @@ Result<exec::PhysPtr> Optimizer::Optimize(const LogicalPtr& root,
                                           const ResourceGovernor* governor) {
   OptimizeInfo local_info;
   if (info == nullptr) info = &local_info;
+  OptTrace* trace = info->trace.get();
   if (governor != nullptr) {
     QOPT_RETURN_IF_ERROR(governor->CheckDeadline());
   }
 
   std::vector<LogicalPtr> candidates;
   if (options_.enable_rewrites) {
-    RewriteResult rr =
-        RuleEngine::Default().Rewrite(root->Clone(), catalog_, next_rel_id);
+    RewriteResult rr = RuleEngine::Default().Rewrite(
+        root->Clone(), catalog_, next_rel_id, /*budget=*/256, trace);
     info->rewrite_applications = rr.applications;
     candidates.push_back(rr.plan);
     if (options_.use_alternatives) {
@@ -604,12 +611,18 @@ Result<exec::PhysPtr> Optimizer::Optimize(const LogicalPtr& root,
   }
   info->alternatives_considered = static_cast<int>(candidates.size()) - 1;
 
-  PlannerImpl planner(catalog_, options_, model_, info, governor);
+  PlannerImpl planner(catalog_, options_, model_, info, governor, trace);
   exec::PhysPtr best;
   double best_cost = 0;
   Status first_error = Status::OK();
   for (size_t i = 0; i < candidates.size(); ++i) {
     planner.ResetDegraded();
+    if (trace != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "planning candidate %zu of %zu%s", i + 1,
+                    candidates.size(), i == 0 ? " (canonical)" : "");
+      trace->Add("opt", buf);
+    }
     Result<Planned> planned = planner.Plan(candidates[i], {});
     if (!planned.ok()) {
       if (first_error.ok()) first_error = planned.status();
@@ -618,6 +631,12 @@ Result<exec::PhysPtr> Optimizer::Optimize(const LogicalPtr& root,
       continue;
     }
     double total = planned->cost.total();
+    if (trace != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "candidate %zu cost=%.1f%s", i + 1,
+                    total, (!best || total < best_cost) ? " (new best)" : "");
+      trace->Add("opt", buf);
+    }
     if (!best || total < best_cost) {
       best = planned->plan;
       best_cost = total;
@@ -631,6 +650,13 @@ Result<exec::PhysPtr> Optimizer::Optimize(const LogicalPtr& root,
                             : first_error;
   }
   info->chosen_cost = best_cost;
+  if (trace != nullptr) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "chosen cost=%.1f (%s)", best_cost,
+                  info->alternative_chosen ? "cost-based alternative"
+                                           : "canonical plan");
+    trace->Add("opt", buf);
+  }
   return best;
 }
 

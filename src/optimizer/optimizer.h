@@ -12,6 +12,7 @@
 #define QOPT_OPTIMIZER_OPTIMIZER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "optimizer/cascades/cascades.h"
@@ -74,6 +75,11 @@ struct OptimizeInfo {
   /// Plan-cache outcome (set by the engine; kBypass when no cache is in
   /// front of this optimization).
   PlanCacheInfo plan_cache;
+  /// Optimizer trace. Allocated by the caller (engine) before Optimize()
+  /// when QueryOptions::trace_optimizer is set; null = tracing off. The
+  /// optimizer writes rewrite / enumeration / candidate-selection events
+  /// into it; shared so QueryResult can carry it past OptimizeInfo.
+  std::shared_ptr<OptTrace> trace;
 };
 
 /// The full optimizer.

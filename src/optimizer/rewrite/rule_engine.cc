@@ -35,7 +35,7 @@ RuleEngine RuleEngine::NormalizeOnly() {
 
 RewriteResult RuleEngine::Rewrite(plan::LogicalPtr root,
                                   const Catalog& catalog, int* next_rel_id,
-                                  int budget) const {
+                                  int budget, OptTrace* trace) const {
   RewriteResult result;
   RewriteContext ctx;
   ctx.catalog = &catalog;
@@ -56,6 +56,9 @@ RewriteResult RuleEngine::Rewrite(plan::LogicalPtr root,
             if (!next) break;
             plan = std::move(next);
             ++result.applications[rule->name()];
+            if (trace) {
+              trace->Add("rewrite", std::string(rule->name()) + " applied");
+            }
             changed = true;
             if (--remaining <= 0) break;
           }
@@ -77,6 +80,11 @@ RewriteResult RuleEngine::Rewrite(plan::LogicalPtr root,
       plan::LogicalPtr alt = rule->Apply(result.plan->Clone(), ctx);
       if (alt) {
         ++result.applications[rule->name()];
+        if (trace) {
+          trace->Add("rewrite", std::string(rule->name()) +
+                                    " emitted cost-based alternative #" +
+                                    std::to_string(result.alternatives.size()));
+        }
         result.alternatives.push_back(run_heuristic(std::move(alt)));
       }
     }

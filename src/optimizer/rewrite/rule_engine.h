@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "optimizer/trace.h"
 #include "plan/logical_plan.h"
 
 namespace qopt::opt {
@@ -73,8 +74,10 @@ class RuleEngine {
   static RuleEngine NormalizeOnly();
 
   /// Rewrites `root` to fixpoint (bounded by `budget` total applications).
+  /// `trace`, when non-null, receives one event per rule application.
   RewriteResult Rewrite(plan::LogicalPtr root, const Catalog& catalog,
-                        int* next_rel_id, int budget = 256) const;
+                        int* next_rel_id, int budget = 256,
+                        OptTrace* trace = nullptr) const;
 
  private:
   std::map<RuleClass, std::vector<std::shared_ptr<Rule>>> rules_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -52,13 +53,15 @@ class SelingerImpl {
   SelingerImpl(const QueryGraph& graph, const Catalog& catalog,
                const cost::CostModel& model, const SelingerOptions& options,
                SelingerCounters* counters,
-               const ResourceGovernor* governor = nullptr)
+               const ResourceGovernor* governor = nullptr,
+               OptTrace* trace = nullptr)
       : graph_(graph),
         catalog_(catalog),
         model_(model),
         options_(options),
         counters_(counters),
-        governor_(governor) {
+        governor_(governor),
+        trace_(trace) {
     for (const plan::QGEdge& e : graph.edges) {
       interesting_.insert(e.left);
       interesting_.insert(e.right);
@@ -78,10 +81,20 @@ class SelingerImpl {
         graph_.relations[rel_index], catalog_, model_, &entry.stats,
         options_.enable_index_scan, options_.enable_seq_scan);
     entry.stats_set = true;
+    size_t considered = paths.size();
     for (AccessPath& p : paths) {
       AddCandidate(&entry, {std::move(p.plan), p.cost, std::move(p.order)});
     }
     ++counters_->subsets_expanded;
+    if (trace_ != nullptr) {
+      const QGRelation& rel = graph_.relations[rel_index];
+      trace_->Add("selinger",
+                  "base " + (rel.alias.empty() ? "R" + std::to_string(rel_index)
+                                               : rel.alias) +
+                      ": " + std::to_string(considered) +
+                      " access paths considered, " +
+                      std::to_string(entry.cands.size()) + " retained");
+    }
     return entry;
   }
 
@@ -458,6 +471,19 @@ class SelingerImpl {
       if (!entry.cands.empty()) {
         AddEnforcedOrders(&entry);
         ++counters_->subsets_expanded;
+        if (trace_ != nullptr) {
+          double best = entry.cands.front().cost.total();
+          for (const Cand& c : entry.cands) {
+            best = std::min(best, c.cost.total());
+          }
+          char buf[128];
+          std::snprintf(buf, sizeof(buf),
+                        "dp subset=0x%llx (%d rels): %zu candidate(s) on the "
+                        "frontier, best_cost=%.1f",
+                        static_cast<unsigned long long>(mask),
+                        __builtin_popcountll(mask), entry.cands.size(), best);
+          trace_->Add("selinger", buf);
+        }
         dp[mask] = std::move(entry);
       }
     }
@@ -468,6 +494,18 @@ class SelingerImpl {
     counters_->candidates_retained = 0;
     for (const auto& [m, e] : dp) {
       counters_->candidates_retained += e.cands.size();
+    }
+    if (trace_ != nullptr) {
+      trace_->Add("selinger",
+                  "dp complete: " +
+                      std::to_string(counters_->subsets_expanded) +
+                      " subsets expanded, " +
+                      std::to_string(counters_->join_plans_costed) +
+                      " join plans costed, " +
+                      std::to_string(counters_->candidates_pruned) +
+                      " candidates pruned, " +
+                      std::to_string(counters_->candidates_retained) +
+                      " retained");
     }
     return std::move(it->second);
   }
@@ -500,6 +538,7 @@ class SelingerImpl {
   const SelingerOptions& options_;
   SelingerCounters* counters_;
   const ResourceGovernor* governor_;
+  OptTrace* trace_;
   std::set<ColumnId> interesting_;
   std::unique_ptr<SubsetStatsCache> stats_cache_;
 
@@ -527,7 +566,7 @@ Result<exec::PhysPtr> SelingerOptimizer::OptimizeJoinBlock(
     reason = "join block too large for DP (n > 24)";
   } else {
     SelingerImpl impl(graph, catalog_, model_, options_, &counters_,
-                      governor_);
+                      governor_, trace_);
     Result<exec::PhysPtr> result = impl.Optimize(required_order,
                                                  &result_stats_);
     if (result.ok() ||
@@ -540,6 +579,9 @@ Result<exec::PhysPtr> SelingerOptimizer::OptimizeJoinBlock(
   // DP's reach) — plan greedily instead of failing the query.
   degraded_ = true;
   degraded_reason_ = reason;
+  if (trace_ != nullptr) {
+    trace_->Add("selinger", "degraded to greedy left-deep: " + reason);
+  }
   return GreedyLeftDeepPlan(graph, catalog_, model_, required_order,
                             &result_stats_);
 }

@@ -19,6 +19,7 @@
 
 #include "engine/governor.h"
 #include "optimizer/selinger/access_paths.h"
+#include "optimizer/trace.h"
 
 namespace qopt::opt {
 
@@ -73,6 +74,10 @@ class SelingerOptimizer {
   /// periodically and returns kCancelled once it expires.
   void set_governor(const ResourceGovernor* governor) { governor_ = governor; }
 
+  /// Optional trace sink: DP-table expansions, pruning and degradation
+  /// events are logged per subset. Null (the default) disables tracing.
+  void set_trace(OptTrace* trace) { trace_ = trace; }
+
   /// True if the last OptimizeJoinBlock fell back to the greedy heuristic
   /// (budget exhausted or block too large for DP).
   bool degraded() const { return degraded_; }
@@ -85,6 +90,7 @@ class SelingerOptimizer {
   SelingerCounters counters_;
   stats::RelStats result_stats_;
   const ResourceGovernor* governor_ = nullptr;
+  OptTrace* trace_ = nullptr;
   bool degraded_ = false;
   std::string degraded_reason_;
 };

@@ -1,0 +1,17 @@
+#include "optimizer/trace.h"
+
+namespace qopt::opt {
+
+std::string OptTrace::ToString() const {
+  std::string out;
+  for (const OptTraceEvent& e : events_) {
+    out += "[" + e.phase + "] " + e.detail + "\n";
+  }
+  if (dropped_ > 0) {
+    out += "... (" + std::to_string(dropped_) + " events dropped; cap " +
+           std::to_string(kMaxEvents) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace qopt::opt

@@ -1,0 +1,58 @@
+// OptTrace: a structured, bounded log of optimizer decisions.
+//
+// Industrial optimizers stay debuggable by recording what the search
+// actually did — which rewrites fired, which DP entries were expanded,
+// which memo tasks ran and what they pruned. qopt's enumerators already
+// count these events (SelingerCounters / CascadesCounters); the trace
+// captures the individual events behind those aggregates when a query is
+// run with QueryOptions::trace_optimizer.
+//
+// The trace is owned by the engine (attached to OptimizeInfo as a
+// shared_ptr) and handed to the rewrite engine and enumerators as a raw
+// pointer; a null pointer means tracing is off and costs one branch per
+// would-be event. The event list is bounded: past kMaxEvents events are
+// counted but dropped, so a pathological search cannot balloon memory.
+#ifndef QOPT_OPTIMIZER_TRACE_H_
+#define QOPT_OPTIMIZER_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qopt::opt {
+
+/// One optimizer-trace event.
+struct OptTraceEvent {
+  /// Which phase emitted it: "rewrite", "selinger", "cascades", "opt".
+  std::string phase;
+  std::string detail;
+};
+
+class OptTrace {
+ public:
+  /// Hard cap on retained events; later events only bump dropped().
+  static constexpr size_t kMaxEvents = 4096;
+
+  void Add(const char* phase, std::string detail) {
+    if (events_.size() >= kMaxEvents) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back({phase, std::move(detail)});
+  }
+
+  const std::vector<OptTraceEvent>& events() const { return events_; }
+  uint64_t dropped() const { return dropped_; }
+
+  /// Renders "[phase] detail" lines (plus a dropped-events footer).
+  std::string ToString() const;
+
+ private:
+  std::vector<OptTraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace qopt::opt
+
+#endif  // QOPT_OPTIMIZER_TRACE_H_

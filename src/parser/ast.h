@@ -185,8 +185,12 @@ struct InsertStatement {
 struct Statement {
   enum class Kind {
     kSelect, kCreateTable, kCreateIndex, kCreateView, kInsert, kExplain,
+    kShowMetrics,
   };
   Kind kind = Kind::kSelect;
+  /// EXPLAIN ANALYZE: execute the query and annotate the plan with
+  /// per-operator runtime statistics (kExplain only).
+  bool explain_analyze = false;
   std::unique_ptr<SelectStatement> select;  // kSelect / kExplain
   std::unique_ptr<CreateTableStatement> create_table;
   std::unique_ptr<CreateIndexStatement> create_index;

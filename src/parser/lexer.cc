@@ -20,7 +20,8 @@ const std::set<std::string>& Keywords() {
       "STRING",  "VARCHAR", "BOOL",    "BOOLEAN",  "BIGINT",  "EXPLAIN",
       "TRUE",    "FALSE",   "UNION",   "ALL",      "CASE",    "WHEN",
       "THEN",    "ELSE",    "END",     "ANY",      "SEMI",    "ANTI",
-      "CUBE",    "ROLLUP",  "EXCEPT",  "INTERSECT",
+      "CUBE",    "ROLLUP",  "EXCEPT",  "INTERSECT", "ANALYZE", "SHOW",
+      "METRICS",
   };
   return kKeywords;
 }

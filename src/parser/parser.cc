@@ -103,7 +103,12 @@ Result<ast::Statement> ParserImpl::ParseStatement(
   if (Peek().IsKeyword("EXPLAIN")) {
     Advance();
     stmt.kind = ast::Statement::Kind::kExplain;
+    if (MatchKeyword("ANALYZE")) stmt.explain_analyze = true;
     QOPT_ASSIGN_OR_RETURN(stmt.select, ParseSelectStatement());
+  } else if (Peek().IsKeyword("SHOW")) {
+    Advance();
+    if (!MatchKeyword("METRICS")) return Err("expected METRICS after SHOW");
+    stmt.kind = ast::Statement::Kind::kShowMetrics;
   } else if (Peek().IsKeyword("SELECT")) {
     stmt.kind = ast::Statement::Kind::kSelect;
     QOPT_ASSIGN_OR_RETURN(stmt.select, ParseSelectStatement());
@@ -126,7 +131,7 @@ Result<ast::Statement> ParserImpl::ParseStatement(
   } else if (Peek().IsKeyword("INSERT")) {
     QOPT_ASSIGN_OR_RETURN(stmt, ParseInsert());
   } else {
-    return Err("expected SELECT, CREATE, INSERT or EXPLAIN");
+    return Err("expected SELECT, CREATE, INSERT, EXPLAIN or SHOW");
   }
   MatchSymbol(";");
   if (Peek().kind != TokenKind::kEnd) {
