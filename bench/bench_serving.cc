@@ -1,0 +1,341 @@
+// E24: concurrent serving — sessions, admission control, graceful overload.
+//
+// Hammers one Database from N client threads through the session layer with
+// a mixed workload (point lookups, range scans, join + aggregate, repeated
+// cache-hit queries) and reports throughput plus p50/p99 end-to-end latency
+// from the engine's own serving histograms. A second scenario drives the
+// server far past its admission capacity and checks the degradation
+// contract the paper's production setting implies: overload is answered
+// with explicit kUnavailable + retry-after (never a crash or an unbounded
+// queue), the queue depth stays within its configured bound, and the server
+// serves normally again the moment the spike ends. A third scenario runs
+// the same overload through QueryWithRetry clients, showing jittered
+// backoff turning sheds into eventual successes.
+//
+// Usage: bench_serving [output.json]
+// Writes machine-readable results as JSON (default BENCH_serving.json).
+// Exits nonzero if the degradation contract is violated.
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/database.h"
+#include "engine/session.h"
+
+using namespace qopt;
+using namespace qopt::bench;
+
+namespace {
+
+constexpr int kEmps = 4000;
+constexpr int kDepts = 50;
+
+bool LoadData(Database* db) {
+  if (!db->Execute("CREATE TABLE Dept (did INT PRIMARY KEY, name STRING, "
+                   "loc STRING, budget DOUBLE, num_of_machines INT, mgr INT)")
+           .ok() ||
+      !db->Execute("CREATE TABLE Emp (eid INT PRIMARY KEY, did INT, "
+                   "sal DOUBLE, age INT, dept_name STRING)")
+           .ok() ||
+      !db->CreateIndex("idx_dept_did", "Dept", "did", true, true).ok() ||
+      !db->CreateIndex("idx_emp_did", "Emp", "did").ok() ||
+      !db->AddForeignKey("Emp", "did", "Dept", "did").ok()) {
+    return false;
+  }
+  std::mt19937_64 rng(1234);
+  const char* locs[] = {"Denver", "Seattle", "Austin"};
+  std::vector<Row> depts;
+  for (int d = 0; d < kDepts; ++d) {
+    depts.push_back({Value::Int(d), Value::String("dept" + std::to_string(d)),
+                     Value::String(locs[d % 3]),
+                     Value::Double(50000 + (d % 7) * 30000),
+                     Value::Int(static_cast<int64_t>(rng() % 40)),
+                     Value::Int(static_cast<int64_t>(rng() % kEmps))});
+  }
+  if (!db->BulkLoad("Dept", std::move(depts)).ok()) return false;
+  std::vector<Row> emps;
+  for (int e = 0; e < kEmps; ++e) {
+    int d = static_cast<int>(rng() % kDepts);
+    emps.push_back({Value::Int(e), Value::Int(d),
+                    Value::Double(30000 + static_cast<double>(rng() % 90000)),
+                    Value::Int(20 + static_cast<int64_t>(rng() % 40)),
+                    Value::String("dept" + std::to_string(d))});
+  }
+  if (!db->BulkLoad("Emp", std::move(emps)).ok()) return false;
+  return db->AnalyzeAll().ok();
+}
+
+/// One client's next statement: point lookup / range scan / join+aggregate /
+/// repeated join (plan-cache hit), round-robin with varying literals.
+std::string MixedQuery(int step, uint64_t salt) {
+  switch (step % 4) {
+    case 0:
+      return "SELECT e.eid, e.sal FROM Emp e WHERE e.eid = " +
+             std::to_string((salt * 7 + step) % kEmps);
+    case 1:
+      return "SELECT e.eid FROM Emp e WHERE e.sal > " +
+             std::to_string(40000 + (salt + step) % 50000);
+    case 2:
+      return "SELECT d.name, COUNT(*), SUM(e.sal) FROM Emp e, Dept d "
+             "WHERE e.did = d.did GROUP BY d.name";
+    default:
+      return "SELECT e.eid, d.loc FROM Emp e, Dept d WHERE e.did = d.did "
+             "AND d.budget > 100000";
+  }
+}
+
+struct ThroughputResult {
+  int threads = 0;
+  int queries = 0;
+  int shed = 0;
+  int failed = 0;
+  double wall_ms = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+ThroughputResult RunThroughput(int threads, int per_thread) {
+  // Fresh database per scenario so the latency histograms (and the plan
+  // cache) describe exactly this run.
+  auto db = std::make_unique<Database>();
+  if (!LoadData(db.get())) return {};
+  ServingOptions serving;
+  serving.max_concurrent = 8;
+  (void)db->ConfigureServing(serving);
+
+  ThroughputResult r;
+  r.threads = threads;
+  std::atomic<int> shed{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> clients;
+  Stopwatch wall;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&db, &shed, &failed, t, per_thread] {
+      Session session = db->OpenSession();
+      for (int i = 0; i < per_thread; ++i) {
+        auto result = session.Query(MixedQuery(i, t * 1000003ULL));
+        if (!result.ok()) {
+          (result.status().code() == StatusCode::kUnavailable ? shed : failed)
+              .fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  r.wall_ms = wall.ElapsedMs();
+  r.queries = threads * per_thread;
+  r.shed = shed.load();
+  r.failed = failed.load();
+  r.qps = r.wall_ms > 0 ? r.queries / (r.wall_ms / 1000.0) : 0;
+  const MetricsRegistry::Histogram* lat = db->serving()->query_ns;
+  r.p50_ms = lat->Percentile(50) / 1e6;
+  r.p99_ms = lat->Percentile(99) / 1e6;
+  return r;
+}
+
+struct OverloadResult {
+  int threads = 0;
+  int queries = 0;
+  int ok = 0;
+  int shed = 0;
+  int other_failures = 0;
+  int bad_hints = 0;  ///< Sheds missing a positive retry-after hint.
+  uint64_t peak_queue_depth = 0;
+  uint64_t max_queue = 0;
+  bool drained = false;
+  bool recovered = false;
+
+  bool ContractHolds() const {
+    return shed > 0 && other_failures == 0 && bad_hints == 0 &&
+           peak_queue_depth <= max_queue && drained && recovered;
+  }
+};
+
+OverloadResult RunOverload(Database* db) {
+  ServingOptions serving;
+  serving.max_concurrent = 2;
+  serving.max_queue = 4;
+  serving.max_queue_wait_ms = 10;
+  serving.retry_after_ms = 5;
+  (void)db->ConfigureServing(serving);
+
+  OverloadResult r;
+  r.threads = 8;
+  r.max_queue = serving.max_queue;
+  const std::string heavy =
+      "SELECT e.eid, e.sal, d.name FROM Emp e, Dept d WHERE e.did = d.did "
+      "ORDER BY e.sal";
+  std::atomic<int> ok{0}, shed{0}, other{0}, bad_hints{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < r.threads; ++t) {
+    clients.emplace_back([&] {
+      Session session = db->OpenSession();
+      for (int i = 0; i < 20; ++i) {
+        auto result = session.Query(heavy);
+        if (result.ok()) {
+          ok.fetch_add(1);
+        } else if (result.status().code() == StatusCode::kUnavailable) {
+          shed.fetch_add(1);
+          if (result.status().retry_after_ms() <= 0) bad_hints.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  r.queries = r.threads * 20;
+  r.ok = ok.load();
+  r.shed = shed.load();
+  r.other_failures = other.load();
+  r.bad_hints = bad_hints.load();
+  const ServingState* state = db->serving();
+  r.peak_queue_depth = state->admission.peak_queue_depth();
+  r.drained = state->admission.in_flight() == 0 &&
+              state->admission.queue_depth() == 0;
+  // Clean recovery: the very same query succeeds once the spike is over.
+  Session after = db->OpenSession();
+  auto post = after.Query(heavy);
+  r.recovered = post.ok() && post->rows.size() == kEmps;
+  return r;
+}
+
+struct RetryResult {
+  int clients = 0;
+  int queries = 0;
+  int ok = 0;
+  int gave_up = 0;
+  int64_t attempts = 0;
+  int64_t backoff_ms = 0;
+};
+
+RetryResult RunRetry(Database* db) {
+  // Same saturated server, but clients now follow the retry contract:
+  // jittered exponential backoff floored by the server's hint.
+  RetryResult r;
+  r.clients = 4;
+  std::atomic<int> ok{0}, gave_up{0};
+  std::atomic<int64_t> attempts{0}, backoff{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < r.clients; ++t) {
+    clients.emplace_back([&, t] {
+      Session session = db->OpenSession();
+      RetryPolicy policy;
+      policy.max_attempts = 6;
+      policy.initial_backoff_ms = 2;
+      policy.max_backoff_ms = 40;
+      policy.jitter_seed = 1000 + t;
+      for (int i = 0; i < 10; ++i) {
+        RetryStats stats;
+        auto result = QueryWithRetry(
+            &session,
+            "SELECT e.eid, e.sal, d.name FROM Emp e, Dept d "
+            "WHERE e.did = d.did ORDER BY e.sal",
+            {}, policy, &stats);
+        (result.ok() ? ok : gave_up).fetch_add(1);
+        attempts.fetch_add(stats.attempts);
+        backoff.fetch_add(stats.total_backoff_ms);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  r.queries = r.clients * 10;
+  r.ok = ok.load();
+  r.gave_up = gave_up.load();
+  r.attempts = attempts.load();
+  r.backoff_ms = backoff.load();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_serving.json";
+  Banner("E24", "concurrent serving and graceful overload degradation",
+         "a production optimizer serves many clients at once; overload must "
+         "degrade into explicit, retryable backpressure, never collapse");
+
+  std::vector<ThroughputResult> throughput;
+  TablePrinter tp({"threads", "queries", "qps", "p50_ms", "p99_ms", "shed",
+                   "failed"});
+  for (int threads : {1, 4, 8}) {
+    ThroughputResult r = RunThroughput(threads, 150);
+    throughput.push_back(r);
+    tp.AddRow({FmtInt(r.threads), FmtInt(r.queries), Fmt(r.qps, 0),
+               Fmt(r.p50_ms, 2), Fmt(r.p99_ms, 2), FmtInt(r.shed),
+               FmtInt(r.failed)});
+  }
+  tp.Print();
+
+  Database overload_db;
+  if (!LoadData(&overload_db)) {
+    std::fprintf(stderr, "data load failed\n");
+    return 1;
+  }
+  OverloadResult ov = RunOverload(&overload_db);
+  TablePrinter op({"queries", "ok", "shed", "other", "bad_hints",
+                   "peak_queue", "drained", "recovered"});
+  op.AddRow({FmtInt(ov.queries), FmtInt(ov.ok), FmtInt(ov.shed),
+             FmtInt(ov.other_failures), FmtInt(ov.bad_hints),
+             FmtInt(ov.peak_queue_depth), ov.drained ? "yes" : "no",
+             ov.recovered ? "yes" : "no"});
+  op.Print();
+
+  RetryResult rr = RunRetry(&overload_db);
+  TablePrinter rp({"clients", "queries", "ok", "gave_up", "attempts",
+                   "total_backoff_ms"});
+  rp.AddRow({FmtInt(rr.clients), FmtInt(rr.queries), FmtInt(rr.ok),
+             FmtInt(rr.gave_up), FmtInt(rr.attempts), FmtInt(rr.backoff_ms)});
+  rp.Print();
+
+  bool healthy_clean = true;
+  for (const ThroughputResult& r : throughput) {
+    if (r.failed != 0 || r.queries == 0) healthy_clean = false;
+  }
+  const bool contract = ov.ContractHolds() && healthy_clean;
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  json << "{\n  \"bench\": \"serving\",\n  \"throughput\": [";
+  bool first = true;
+  for (const ThroughputResult& r : throughput) {
+    json << (first ? "" : ",") << "\n    {\"threads\": " << r.threads
+         << ", \"queries\": " << r.queries << ", \"qps\": " << Fmt(r.qps, 0)
+         << ", \"p50_ms\": " << Fmt(r.p50_ms, 3)
+         << ", \"p99_ms\": " << Fmt(r.p99_ms, 3) << ", \"shed\": " << r.shed
+         << ", \"failed\": " << r.failed << "}";
+    first = false;
+  }
+  json << "\n  ],\n  \"overload\": {\"threads\": " << ov.threads
+       << ", \"queries\": " << ov.queries << ", \"ok\": " << ov.ok
+       << ", \"shed\": " << ov.shed
+       << ", \"other_failures\": " << ov.other_failures
+       << ", \"bad_retry_hints\": " << ov.bad_hints
+       << ", \"peak_queue_depth\": " << ov.peak_queue_depth
+       << ", \"max_queue\": " << ov.max_queue
+       << ", \"drained\": " << (ov.drained ? "true" : "false")
+       << ", \"recovered\": " << (ov.recovered ? "true" : "false") << "},\n"
+       << "  \"retry\": {\"clients\": " << rr.clients
+       << ", \"queries\": " << rr.queries << ", \"ok\": " << rr.ok
+       << ", \"gave_up\": " << rr.gave_up
+       << ", \"attempts\": " << rr.attempts
+       << ", \"total_backoff_ms\": " << rr.backoff_ms << "},\n"
+       << "  \"contract_holds\": " << (contract ? "true" : "false") << "\n}\n";
+  json.close();
+  if (!json) {
+    std::fprintf(stderr, "write to %s failed\n", out_path);
+    return 1;
+  }
+  std::printf("degradation contract: %s\n",
+              contract ? "HOLDS" : "VIOLATED");
+  return contract ? 0 : 1;
+}

@@ -161,6 +161,22 @@ bool Catalog::IsUniqueColumn(int table_id, int column) const {
   return false;
 }
 
+std::unique_ptr<Catalog> Catalog::Clone() const {
+  auto copy = std::make_unique<Catalog>();
+  copy->tables_.reserve(tables_.size());
+  for (const auto& t : tables_) {
+    copy->tables_.push_back(std::make_unique<TableDef>(*t));
+  }
+  copy->indexes_.reserve(indexes_.size());
+  for (const auto& i : indexes_) {
+    copy->indexes_.push_back(std::make_unique<IndexDef>(*i));
+  }
+  copy->table_names_ = table_names_;
+  copy->views_ = views_;
+  copy->version_ = version_;
+  return copy;
+}
+
 const ForeignKeyDef* Catalog::FindForeignKey(int table_id, int column) const {
   const TableDef* t = GetTable(table_id);
   if (t == nullptr) return nullptr;

@@ -78,6 +78,14 @@ struct ViewDef {
 };
 
 /// In-memory catalog of table / index / view metadata.
+///
+/// Concurrency contract: a Catalog instance is not internally synchronized.
+/// The engine keeps one mutable "live" catalog that only DDL/ANALYZE touch
+/// (serialized by the database's DDL mutex) and publishes an immutable
+/// Clone() snapshot after every change; each query plans, validates the
+/// plan cache and executes against the snapshot it acquired at admission,
+/// so readers never observe a half-applied DDL and version_/stats_version
+/// reads need no atomics.
 class Catalog {
  public:
   /// Registers a table; returns its id.
@@ -123,6 +131,11 @@ class Catalog {
   /// under and drops the plan when the epoch has moved — no stale plan can
   /// survive a schema change.
   uint64_t version() const { return version_; }
+
+  /// Deep copy for copy-on-write snapshots: table and index definitions
+  /// are duplicated (statistics blocks are immutable and shared), so the
+  /// clone is unaffected by later mutation of this catalog.
+  std::unique_ptr<Catalog> Clone() const;
 
  private:
   std::vector<std::unique_ptr<TableDef>> tables_;

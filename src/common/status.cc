@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -48,6 +50,9 @@ std::string Status::ToString() const {
   std::string s = StatusCodeName(code_);
   s += ": ";
   s += message_;
+  if (retry_after_ms_ > 0) {
+    s += " (retry after " + std::to_string(retry_after_ms_) + "ms)";
+  }
   return s;
 }
 

@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation; indicates a bug in qopt.
   kCancelled,         ///< Query gave up cooperatively (deadline / kill).
   kResourceExhausted, ///< A row/memory/search budget was exceeded.
+  kUnavailable,       ///< Server overloaded; transient — retry with backoff.
 };
 
 /// Returns a short human-readable name for `code` ("ParseError", ...).
@@ -66,10 +67,24 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Attaches a client backoff hint (milliseconds) to an overload error;
+  /// returns *this so it chains onto the factory:
+  ///   Status::Unavailable("queue full").WithRetryAfter(25)
+  Status& WithRetryAfter(int64_t ms) {
+    retry_after_ms_ = ms;
+    return *this;
+  }
+  /// Suggested client backoff before retrying, or 0 when the error carries
+  /// no hint. Only overload errors (kUnavailable) set it.
+  int64_t retry_after_ms() const { return retry_after_ms_; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -77,6 +92,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  int64_t retry_after_ms_ = 0;
 };
 
 namespace internal {

@@ -1,0 +1,99 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace qopt {
+
+Status AdmissionController::ShedLocked(std::atomic<uint64_t>* counter,
+                                       const char* why) {
+  counter->fetch_add(1, std::memory_order_relaxed);
+  // Scale the hint with the backlog: a client shed behind a deep queue
+  // should wait roughly one drain period longer per waiter ahead of it.
+  int64_t hint = options_.retry_after_ms *
+                 static_cast<int64_t>(1 + std::min<size_t>(waiting_, 32));
+  return Status::Unavailable(std::string("admission rejected: ") + why)
+      .WithRetryAfter(hint);
+}
+
+Status AdmissionController::AdmitShared(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Fast path: free slot and nobody queued ahead of us.
+  if (CanAdmitLocked() && waiting_ == 0) {
+    ++in_flight_;
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  if (waiting_ >= options_.max_queue) {
+    return ShedLocked(&shed_queue_full_,
+                      "admission queue full, server saturated");
+  }
+  ++waiting_;
+  peak_waiting_ = std::max(peak_waiting_, waiting_);
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  while (!CanAdmitLocked()) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !CanAdmitLocked()) {
+      --waiting_;
+      return ShedLocked(&shed_timeout_, "admission wait deadline exceeded");
+    }
+  }
+  --waiting_;
+  ++in_flight_;
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void AdmissionController::ReleaseShared() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  cv_.notify_all();
+}
+
+Status AdmissionController::AdmitExclusive(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++exclusive_waiting_;  // Blocks new shared admissions (writer priority).
+  while (in_flight_ > 0 || exclusive_active_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        (in_flight_ > 0 || exclusive_active_)) {
+      --exclusive_waiting_;
+      lock.unlock();
+      cv_.notify_all();  // Reopen the gate for parked shared waiters.
+      std::lock_guard<std::mutex> relock(mu_);
+      return ShedLocked(&shed_timeout_, "drain deadline exceeded");
+    }
+  }
+  --exclusive_waiting_;
+  exclusive_active_ = true;
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void AdmissionController::ReleaseExclusive() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    exclusive_active_ = false;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+size_t AdmissionController::peak_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_waiting_;
+}
+
+}  // namespace qopt

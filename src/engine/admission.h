@@ -1,0 +1,101 @@
+// AdmissionController: bounded concurrent-query admission with deadline-
+// aware queueing and explicit load shedding.
+//
+// A multi-user server must bound what it accepts, not just what each query
+// spends (the per-query ResourceGovernor's job). The controller grants a
+// fixed number of shared execution slots; when all are busy, callers wait
+// in a bounded FIFO-ish queue until a slot frees or their wait deadline
+// passes. Saturation beyond the queue bound is answered immediately with
+// kUnavailable plus a retry-after hint — fail fast and let the client's
+// jittered backoff (see engine/session.h) spread the retries — instead of
+// letting waiters pile up without bound.
+//
+// Exclusive admission drains the server for data-plane writes: an
+// exclusive caller blocks new shared admissions (writer priority, so a
+// steady query stream cannot starve it), waits for in-flight queries to
+// finish, runs alone, then reopens the gate. DDL and ANALYZE do NOT need
+// it — they run alongside readers via copy-on-write catalog snapshots.
+#ifndef QOPT_ENGINE_ADMISSION_H_
+#define QOPT_ENGINE_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace qopt {
+
+/// Admission policy knobs (a subset of ServingOptions, see session.h).
+struct AdmissionOptions {
+  /// Shared slots: queries executing concurrently.
+  size_t max_concurrent = 8;
+  /// Waiters allowed behind the slots before new arrivals are shed.
+  size_t max_queue = 32;
+  /// Base of the retry-after hint attached to sheds; scaled by the current
+  /// queue depth so clients back off harder the deeper the overload.
+  int64_t retry_after_ms = 25;
+};
+
+/// Thread-safe shared/exclusive admission gate with a bounded wait queue.
+/// Pure mutex + condvar; no spinning. All counters are monotonic and
+/// exported through MetricsRegistry gauges by the owning Database.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options)
+      : options_(options) {}
+
+  /// Acquires a shared slot, waiting until `deadline` if none is free.
+  /// Fails fast with kUnavailable (+retry-after) when the wait queue is
+  /// full, or with the same once `deadline` passes while queued. Every OK
+  /// return must be paired with ReleaseShared().
+  Status AdmitShared(std::chrono::steady_clock::time_point deadline);
+  void ReleaseShared();
+
+  /// Drains the server: blocks new shared admissions, waits (until
+  /// `deadline`) for in-flight shared holders to release, then holds the
+  /// gate alone. Every OK return must be paired with ReleaseExclusive().
+  Status AdmitExclusive(std::chrono::steady_clock::time_point deadline);
+  void ReleaseExclusive();
+
+  // --- Observability (relaxed reads; exact under the mutex) ---
+
+  uint64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  uint64_t queued() const { return queued_.load(std::memory_order_relaxed); }
+  uint64_t shed_queue_full() const {
+    return shed_queue_full_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_timeout() const {
+    return shed_timeout_.load(std::memory_order_relaxed);
+  }
+  size_t in_flight() const;
+  size_t queue_depth() const;
+  /// High-water mark of the wait queue — the overload test's bound.
+  size_t peak_queue_depth() const;
+
+ private:
+  bool CanAdmitLocked() const {
+    return in_flight_ < options_.max_concurrent && !exclusive_active_ &&
+           exclusive_waiting_ == 0;
+  }
+  Status ShedLocked(std::atomic<uint64_t>* counter, const char* why);
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_flight_ = 0;         ///< Shared holders executing now.
+  size_t waiting_ = 0;           ///< Shared callers queued for a slot.
+  size_t peak_waiting_ = 0;
+  bool exclusive_active_ = false;
+  size_t exclusive_waiting_ = 0;
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> queued_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> shed_timeout_{0};
+};
+
+}  // namespace qopt
+
+#endif  // QOPT_ENGINE_ADMISSION_H_

@@ -7,13 +7,18 @@
 #include <functional>
 
 #include "engine/parametric.h"
+#include "engine/session.h"
 #include "parser/parser.h"
 #include "plan/binder.h"
 #include "plan/fingerprint.h"
+#include "testing/fault_injection.h"
 
 namespace qopt {
 
 Database::Database() : storage_(&catalog_) {
+  // Publish the empty-schema snapshot so queries racing the first DDL see a
+  // consistent (empty) catalog rather than a null pointer.
+  catalog_snapshot_ = std::shared_ptr<const Catalog>(catalog_.Clone());
   // Hot-path handles resolved once; gauges read the existing authoritative
   // counters (plan-cache stats, thread-pool atomics) at export time so the
   // hot paths carry no double bookkeeping.
@@ -54,6 +59,52 @@ Database::Database() : storage_(&catalog_) {
     std::lock_guard<std::mutex> lock(pool_mu_);
     return pool_ != nullptr ? pool_->QueueDepth() : 0;
   });
+  queries_shed_ = metrics_.GetCounter("queries.shed");
+}
+
+// Out of line: ServingState is incomplete in the header.
+Database::~Database() = default;
+
+std::shared_ptr<const Catalog> Database::CatalogSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return catalog_snapshot_;
+}
+
+Result<std::shared_ptr<const Catalog>> Database::AcquireQuerySnapshot() const {
+  QOPT_FAULT_POINT("catalog.snapshot");
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return catalog_snapshot_;
+}
+
+void Database::PublishSnapshotLocked() {
+  std::shared_ptr<const Catalog> fresh(catalog_.Clone());
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  catalog_snapshot_ = std::move(fresh);
+}
+
+Status Database::ConfigureServing(const ServingOptions& options) {
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  if (serving_ != nullptr && serving_->admission.in_flight() > 0) {
+    return Status::InvalidArgument(
+        "cannot reconfigure serving while queries are in flight");
+  }
+  // The new state's gauges re-register under the same names, replacing the
+  // old state's callbacks before it is destroyed.
+  serving_ = std::make_unique<ServingState>(options, &metrics_);
+  return Status::OK();
+}
+
+Session Database::OpenSession() {
+  {
+    std::lock_guard<std::mutex> ddl(ddl_mu_);
+    if (serving_ == nullptr) {
+      serving_ = std::make_unique<ServingState>(ServingOptions(), &metrics_);
+    }
+  }
+  serving_->sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  return Session(this, serving_.get(),
+                 serving_->next_session_id.fetch_add(
+                     1, std::memory_order_relaxed));
 }
 
 Status Database::Execute(const std::string& sql) {
@@ -67,30 +118,45 @@ Status Database::Execute(const std::string& sql) {
         cols.push_back({ct.columns[i].first, ct.columns[i].second});
         if (ct.columns[i].first == ct.primary_key) pk = static_cast<int>(i);
       }
+      std::lock_guard<std::mutex> ddl(ddl_mu_);
       QOPT_ASSIGN_OR_RETURN(int table_id,
                             catalog_.CreateTable(ct.name, cols, pk));
-      (void)table_id;
+      storage_.EnsureTable(catalog_.GetTable(table_id));
+      // Publish even when a foreign-key clause fails below: the table is
+      // already live, and the snapshot must reflect the catalog as it is.
+      Status fk_status;
       for (const auto& fk : ct.foreign_keys) {
-        QOPT_RETURN_IF_ERROR(catalog_.AddForeignKey(ct.name, fk.column,
-                                                    fk.ref_table,
-                                                    fk.ref_column));
+        fk_status = catalog_.AddForeignKey(ct.name, fk.column, fk.ref_table,
+                                           fk.ref_column);
+        if (!fk_status.ok()) break;
       }
-      return Status::OK();
+      PublishSnapshotLocked();
+      return fk_status;
     }
     case ast::Statement::Kind::kCreateIndex: {
       const ast::CreateIndexStatement& ci = *stmt.create_index;
+      std::lock_guard<std::mutex> ddl(ddl_mu_);
       QOPT_ASSIGN_OR_RETURN(int id, catalog_.CreateIndex(ci.name, ci.table,
                                                          ci.column,
                                                          ci.clustered,
                                                          ci.unique));
-      (void)id;
+      storage_.RegisterIndex(catalog_.GetIndex(id));
+      PublishSnapshotLocked();
       return Status::OK();
     }
-    case ast::Statement::Kind::kCreateView:
-      return catalog_.CreateView(stmt.create_view->name,
-                                 stmt.create_view->body_sql);
+    case ast::Statement::Kind::kCreateView: {
+      std::lock_guard<std::mutex> ddl(ddl_mu_);
+      QOPT_RETURN_IF_ERROR(catalog_.CreateView(stmt.create_view->name,
+                                               stmt.create_view->body_sql));
+      PublishSnapshotLocked();
+      return Status::OK();
+    }
     case ast::Statement::Kind::kInsert: {
       const ast::InsertStatement& ins = *stmt.insert;
+      // ddl_mu_ serializes the catalog lookup and the write against DDL;
+      // concurrency with *queries* is the session layer's job (INSERT is
+      // admitted exclusively there — table contents are unsynchronized).
+      std::lock_guard<std::mutex> ddl(ddl_mu_);
       const TableDef* def = catalog_.GetTable(ins.table);
       if (def == nullptr) {
         return Status::NotFound("no table '" + ins.table + "'");
@@ -114,24 +180,43 @@ Status Database::Execute(const std::string& sql) {
 Result<int> Database::CreateTable(const std::string& name,
                                   std::vector<ColumnDef> columns,
                                   int primary_key) {
-  return catalog_.CreateTable(name, std::move(columns), primary_key);
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  QOPT_ASSIGN_OR_RETURN(int id,
+                        catalog_.CreateTable(name, std::move(columns),
+                                             primary_key));
+  storage_.EnsureTable(catalog_.GetTable(id));
+  PublishSnapshotLocked();
+  return id;
 }
 
 Result<int> Database::CreateIndex(const std::string& name,
                                   const std::string& table,
                                   const std::string& column, bool clustered,
                                   bool unique) {
-  return catalog_.CreateIndex(name, table, column, clustered, unique);
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  QOPT_ASSIGN_OR_RETURN(
+      int id, catalog_.CreateIndex(name, table, column, clustered, unique));
+  storage_.RegisterIndex(catalog_.GetIndex(id));
+  PublishSnapshotLocked();
+  return id;
 }
 
 Status Database::AddForeignKey(const std::string& table,
                                const std::string& column,
                                const std::string& ref_table,
                                const std::string& ref_column) {
-  return catalog_.AddForeignKey(table, column, ref_table, ref_column);
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  QOPT_RETURN_IF_ERROR(
+      catalog_.AddForeignKey(table, column, ref_table, ref_column));
+  PublishSnapshotLocked();
+  return Status::OK();
 }
 
 Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
+  // Serialized against DDL only; loads must not race queries (the serving
+  // layer's exclusive admission is the guard). No snapshot publish: data
+  // loads change table contents, not catalog metadata.
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
   const TableDef* def = catalog_.GetTable(table);
   if (def == nullptr) return Status::NotFound("no table '" + table + "'");
   storage_.GetTable(def->id)->AppendUnchecked(std::move(rows));
@@ -139,8 +224,8 @@ Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
   return Status::OK();
 }
 
-Status Database::Analyze(const std::string& table,
-                         const stats::StatsOptions& options) {
+Status Database::AnalyzeLocked(const std::string& table,
+                               const stats::StatsOptions& options) {
   const TableDef* def = catalog_.GetTable(table);
   if (def == nullptr) return Status::NotFound("no table '" + table + "'");
   Table* t = storage_.GetTable(def->id);
@@ -152,11 +237,23 @@ Status Database::Analyze(const std::string& table,
   return Status::OK();
 }
 
+Status Database::Analyze(const std::string& table,
+                         const stats::StatsOptions& options) {
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  QOPT_RETURN_IF_ERROR(AnalyzeLocked(table, options));
+  // Readers in flight keep their snapshot (and its stats); the next query
+  // admits against the freshly analyzed catalog.
+  PublishSnapshotLocked();
+  return Status::OK();
+}
+
 Status Database::AnalyzeAll(const stats::StatsOptions& options) {
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
   for (size_t i = 0; i < catalog_.num_tables(); ++i) {
     const TableDef* def = catalog_.GetTable(static_cast<int>(i));
-    QOPT_RETURN_IF_ERROR(Analyze(def->name, options));
+    QOPT_RETURN_IF_ERROR(AnalyzeLocked(def->name, options));
   }
+  PublishSnapshotLocked();
   return Status::OK();
 }
 
@@ -180,8 +277,10 @@ Result<exec::PhysPtr> Database::PlanQuery(const std::string& sql,
                                           const QueryOptions& options,
                                           opt::OptimizeInfo* info,
                                           std::vector<std::string>* names) {
-  ResourceGovernor governor(options.governor);
-  return PlanQueryWithGovernor(sql, options, info, names,
+  QOPT_ASSIGN_OR_RETURN(std::shared_ptr<const Catalog> snapshot,
+                        AcquireQuerySnapshot());
+  ResourceGovernor governor(options.governor, options.shared_pool);
+  return PlanQueryWithGovernor(sql, *snapshot, options, info, names,
                                governor.enabled() ? &governor : nullptr);
 }
 
@@ -360,25 +459,26 @@ ast::Expr* FindParamLiteral(ast::SelectStatement* stmt, int param_index) {
 }  // namespace
 
 Result<exec::PhysPtr> Database::PlanQueryWithGovernor(
-    const std::string& sql, const QueryOptions& options,
-    opt::OptimizeInfo* info, std::vector<std::string>* names,
-    const ResourceGovernor* governor) {
+    const std::string& sql, const Catalog& catalog,
+    const QueryOptions& options, opt::OptimizeInfo* info,
+    std::vector<std::string>* names, const ResourceGovernor* governor) {
   QOPT_ASSIGN_OR_RETURN(ast::Statement stmt, parser::Parse(sql));
   if (stmt.kind != ast::Statement::Kind::kSelect &&
       stmt.kind != ast::Statement::Kind::kExplain) {
     return Status::InvalidArgument("expected a SELECT statement");
   }
-  return PlanSelectWithGovernor(stmt.select.get(), options, info, names,
-                                governor);
+  return PlanSelectWithGovernor(stmt.select.get(), catalog, options, info,
+                                names, governor);
 }
 
 Result<exec::PhysPtr> Database::CompileSelect(
-    const ast::SelectStatement& stmt, const QueryOptions& options,
-    opt::OptimizeInfo* info, std::vector<std::string>* names,
-    const ResourceGovernor* governor, plan::LogicalPtr* bound_root) {
+    const ast::SelectStatement& stmt, const Catalog& catalog,
+    const QueryOptions& options, opt::OptimizeInfo* info,
+    std::vector<std::string>* names, const ResourceGovernor* governor,
+    plan::LogicalPtr* bound_root) {
   int next_rel_id = 0;
   QOPT_ASSIGN_OR_RETURN(plan::BoundQuery bound,
-                        plan::Bind(stmt, catalog_, &next_rel_id));
+                        plan::Bind(stmt, catalog, &next_rel_id));
   if (names != nullptr) *names = bound.output_names;
   if (bound_root != nullptr) *bound_root = bound.root;
   opt::OptTrace* trace = nullptr;
@@ -394,17 +494,18 @@ Result<exec::PhysPtr> Database::CompileSelect(
       QOPT_RETURN_IF_ERROR(governor->CheckDeadline());
     }
     opt::RewriteResult rr = opt::RuleEngine::NormalizeOnly().Rewrite(
-        bound.root, catalog_, &next_rel_id, /*budget=*/256, trace);
-    return NaivePhysicalPlan(rr.plan, catalog_);
+        bound.root, catalog, &next_rel_id, /*budget=*/256, trace);
+    return NaivePhysicalPlan(rr.plan, catalog);
   }
-  opt::Optimizer optimizer(catalog_, options.optimizer);
+  opt::Optimizer optimizer(catalog, options.optimizer);
   return optimizer.Optimize(bound.root, &next_rel_id, info, governor);
 }
 
-bool Database::CacheEntryCurrent(const CachedPlan& entry) const {
-  if (entry.catalog_version != catalog_.version()) return false;
+bool Database::CacheEntryCurrent(const CachedPlan& entry,
+                                 const Catalog& catalog) {
+  if (entry.catalog_version != catalog.version()) return false;
   for (const auto& [table_id, stats_version] : entry.table_stats) {
-    const TableDef* table = catalog_.GetTable(table_id);
+    const TableDef* table = catalog.GetTable(table_id);
     if (table == nullptr || table->stats_version != stats_version) {
       return false;
     }
@@ -413,9 +514,9 @@ bool Database::CacheEntryCurrent(const CachedPlan& entry) const {
 }
 
 Result<exec::PhysPtr> Database::PlanSelectWithGovernor(
-    ast::SelectStatement* stmt, const QueryOptions& options,
-    opt::OptimizeInfo* info, std::vector<std::string>* names,
-    const ResourceGovernor* governor) {
+    ast::SelectStatement* stmt, const Catalog& catalog,
+    const QueryOptions& options, opt::OptimizeInfo* info,
+    std::vector<std::string>* names, const ResourceGovernor* governor) {
   using Outcome = opt::PlanCacheInfo::Outcome;
   opt::OptimizeInfo local_info;
   if (info == nullptr) info = &local_info;
@@ -424,7 +525,7 @@ Result<exec::PhysPtr> Database::PlanSelectWithGovernor(
   // parameter slots that every later stage (binder, access paths, cache
   // rebinding) keys on.
   plan::QueryFingerprint fp;
-  bool fingerprinted = plan::FingerprintQuery(stmt, catalog_, &fp).ok();
+  bool fingerprinted = plan::FingerprintQuery(stmt, catalog, &fp).ok();
   if (fingerprinted) {
     info->plan_cache.fingerprint = fp.hash;
     info->plan_cache.fingerprint_hex = fp.HexHash();
@@ -434,14 +535,14 @@ Result<exec::PhysPtr> Database::PlanSelectWithGovernor(
   if (!fingerprinted || !options.use_plan_cache || options.naive_execution ||
       options.trace_optimizer) {
     info->plan_cache.outcome = Outcome::kBypass;
-    return CompileSelect(*stmt, options, info, names, governor);
+    return CompileSelect(*stmt, catalog, options, info, names, governor);
   }
 
   const PlanCacheKey key{fp.hash, PlanAffectingOptionsDigest(options)};
   Outcome outcome = Outcome::kMiss;
   std::shared_ptr<const CachedPlan> prior = plan_cache_.Lookup(key);
   if (prior != nullptr) {
-    if (!CacheEntryCurrent(*prior)) {
+    if (!CacheEntryCurrent(*prior, catalog)) {
       // Schema or statistics epoch moved: the plan may be arbitrarily
       // wrong (missing index, stale costs). Drop it and recompile.
       plan_cache_.Erase(key);
@@ -490,7 +591,7 @@ Result<exec::PhysPtr> Database::PlanSelectWithGovernor(
   std::vector<std::string> compiled_names;
   QOPT_ASSIGN_OR_RETURN(
       exec::PhysPtr plan,
-      CompileSelect(*stmt, options, info, &compiled_names, governor,
+      CompileSelect(*stmt, catalog, options, info, &compiled_names, governor,
                     &bound_root));
   if (names != nullptr) *names = compiled_names;
   info->plan_cache.outcome = outcome;
@@ -502,11 +603,11 @@ Result<exec::PhysPtr> Database::PlanSelectWithGovernor(
   entry->plan = plan;
   entry->output_names = compiled_names;
   entry->params = fp.params;
-  entry->catalog_version = catalog_.version();
+  entry->catalog_version = catalog.version();
   std::set<int> tables;
   CollectPlanTables(*plan, &tables);
   for (int table_id : tables) {
-    const TableDef* table = catalog_.GetTable(table_id);
+    const TableDef* table = catalog.GetTable(table_id);
     entry->table_stats.emplace_back(
         table_id, table != nullptr ? table->stats_version : 0);
   }
@@ -516,7 +617,8 @@ Result<exec::PhysPtr> Database::PlanSelectWithGovernor(
     // Second miss on this shape with a varying range literal: the workload
     // has demonstrated parameter variation, so invest in the parametric
     // sweep now. One-shot queries never reach here and never pay for it.
-    MaybeAttachParametric(stmt, options, fp, bound_root, entry.get());
+    MaybeAttachParametric(stmt, catalog, options, fp, bound_root,
+                          entry.get());
   } else if (prior != nullptr) {
     entry->parametric_attempted = prior->parametric_attempted;
   }
@@ -526,6 +628,7 @@ Result<exec::PhysPtr> Database::PlanSelectWithGovernor(
 }
 
 void Database::MaybeAttachParametric(ast::SelectStatement* stmt,
+                                     const Catalog& catalog,
                                      const QueryOptions& options,
                                      const plan::QueryFingerprint& fp,
                                      const plan::LogicalPtr& bound_root,
@@ -568,7 +671,7 @@ void Database::MaybeAttachParametric(ast::SelectStatement* stmt,
   if (!found) return;
   int table_id = FindRelTable(bound_root, col.rel);
   if (table_id < 0) return;
-  const TableDef* table = catalog_.GetTable(table_id);
+  const TableDef* table = catalog.GetTable(table_id);
   if (table == nullptr || table->stats == nullptr) return;
   const stats::ColumnStats* cstats = table->stats->column(col.col);
   if (cstats == nullptr || cstats->min.is_null() || cstats->max.is_null() ||
@@ -662,7 +765,12 @@ Result<QueryResult> Database::Query(const std::string& sql,
     StatusCode code = result.status().code();
     if (code == StatusCode::kCancelled ||
         code == StatusCode::kResourceExhausted) {
+      // The *query's* own limits tripped (deadline, per-query budget).
       governor_trips_->Add();
+    } else if (code == StatusCode::kUnavailable) {
+      // The *server* was saturated (shared pool); distinct from a governor
+      // trip — the same query would succeed on an idle server.
+      queries_shed_->Add();
     }
   }
   return result;
@@ -695,19 +803,25 @@ Result<QueryResult> Database::QueryInternal(const std::string& sql,
     return Status::InvalidArgument("expected a SELECT statement");
   }
   QueryResult result;
+  // The snapshot pins a consistent catalog for the query's whole life:
+  // planning, plan-cache validation and execution all see the same schema
+  // and statistics even while DDL/ANALYZE publish newer snapshots.
+  QOPT_ASSIGN_OR_RETURN(std::shared_ptr<const Catalog> snapshot,
+                        AcquireQuerySnapshot());
   // One governor instance spans planning and execution, so a deadline set
-  // in QueryOptions bounds the whole query, not each phase separately.
-  ResourceGovernor governor(options.governor);
+  // in QueryOptions bounds the whole query, not each phase separately. The
+  // shared pool (if any) makes its charges visible server-wide.
+  ResourceGovernor governor(options.governor, options.shared_pool);
   std::chrono::steady_clock::time_point compile_start = Now();
   QOPT_ASSIGN_OR_RETURN(
       exec::PhysPtr plan,
-      PlanSelectWithGovernor(stmt.select.get(), options,
+      PlanSelectWithGovernor(stmt.select.get(), *snapshot, options,
                              &result.optimize_info, &result.column_names,
                              governor.enabled() ? &governor : nullptr));
   compile_ns_->Record(ElapsedNs(compile_start));
   exec::ExecContext ctx;
   ctx.storage = &storage_;
-  ctx.catalog = &catalog_;
+  ctx.catalog = snapshot.get();
   ctx.mode = options.execution_mode;
   ctx.batch_capacity = options.batch_capacity;
   ctx.analyze = options.analyze;

@@ -22,6 +22,10 @@ namespace plan {
 struct QueryFingerprint;
 }  // namespace plan
 
+class Session;
+struct ServingOptions;
+struct ServingState;
+
 /// Per-query knobs.
 struct QueryOptions {
   opt::OptimizerOptions optimizer;
@@ -68,6 +72,13 @@ struct QueryOptions {
   /// Cascades tasks) into OptimizeInfo::trace. Forces a plan-cache bypass:
   /// a cache hit would skip the search being traced.
   bool trace_optimizer = false;
+  /// Global in-flight budget shared across concurrent queries (the serving
+  /// layer's SharedResourcePool); the query's governor mirrors its
+  /// materialization charges into it and fails with kUnavailable when the
+  /// *server* (not this query) is over budget. Set by Session::Query; raw
+  /// Database::Query callers normally leave it null. Not plan-affecting
+  /// (excluded from the plan-cache options digest).
+  SharedResourcePool* shared_pool = nullptr;
 };
 
 /// A query's results plus diagnostics.
@@ -86,10 +97,21 @@ struct QueryResult {
   std::string ToString(size_t max_rows = 25) const;
 };
 
-/// An embedded single-threaded SQL database with a cost-based optimizer.
+/// An embedded SQL database with a cost-based optimizer.
+///
+/// Concurrency model: queries (Query / PlanQuery / Explain) may run from
+/// any number of threads. Each query plans, validates the plan cache and
+/// executes against an immutable catalog snapshot acquired up front; DDL
+/// and ANALYZE serialize on an internal mutex, mutate the live catalog and
+/// publish a fresh snapshot (copy-on-write), so they can run alongside
+/// readers. Data-plane writes (INSERT / BulkLoad) mutate unsynchronized
+/// table contents and must not run concurrently with queries — route them
+/// through a Session, which drains in-flight queries via exclusive
+/// admission first (see engine/session.h).
 class Database {
  public:
   Database();
+  ~Database();
 
   // --- DDL / DML (SQL) ---
 
@@ -141,6 +163,26 @@ class Database {
   Result<plan::BoundQuery> BindSql(const std::string& sql,
                                    int* next_rel_id = nullptr);
 
+  // --- Serving (sessions, admission control) ---
+
+  /// Installs the serving policy (admission limits, shared budgets, session
+  /// query defaults). Call before opening sessions; reconfiguring while
+  /// queries are in flight is refused. OpenSession() installs the default
+  /// policy automatically if none was configured.
+  Status ConfigureServing(const ServingOptions& options);
+
+  /// Opens a client session (lightweight handle; one per client thread).
+  Session OpenSession();
+
+  /// Serving machinery for introspection (admission counters, shared pool),
+  /// or nullptr before the first ConfigureServing/OpenSession.
+  ServingState* serving() { return serving_.get(); }
+  const ServingState* serving() const { return serving_.get(); }
+
+  /// The current immutable catalog snapshot (what new queries plan
+  /// against). Snapshots are replaced, never mutated, on DDL/ANALYZE.
+  std::shared_ptr<const Catalog> CatalogSnapshot() const;
+
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
   Storage& storage() { return storage_; }
@@ -159,49 +201,77 @@ class Database {
   std::string MetricsJson() const { return metrics_.ToJson(); }
 
  private:
+  friend class Session;
+
   /// Query() body; the public wrapper records the per-query metrics
   /// (success / failure counters, governor trips).
   Result<QueryResult> QueryInternal(const std::string& sql,
                                     const QueryOptions& options);
 
+  /// The snapshot a starting query plans and executes against. Carries the
+  /// "catalog.snapshot" fault point (simulated acquisition failure).
+  Result<std::shared_ptr<const Catalog>> AcquireQuerySnapshot() const;
+
+  /// Re-clones the live catalog and publishes it as the current snapshot.
+  /// Caller must hold ddl_mu_.
+  void PublishSnapshotLocked();
+
+  /// Analyze body shared by Analyze / AnalyzeAll; caller holds ddl_mu_ and
+  /// publishes the snapshot after all tables are done.
+  Status AnalyzeLocked(const std::string& table,
+                       const stats::StatsOptions& options);
+
   /// PlanQuery with an optional shared governor (one instance spans
-  /// planning and execution of a query).
+  /// planning and execution of a query). `catalog` is the query's snapshot.
   Result<exec::PhysPtr> PlanQueryWithGovernor(
-      const std::string& sql, const QueryOptions& options,
-      opt::OptimizeInfo* info, std::vector<std::string>* names,
-      const ResourceGovernor* governor);
+      const std::string& sql, const Catalog& catalog,
+      const QueryOptions& options, opt::OptimizeInfo* info,
+      std::vector<std::string>* names, const ResourceGovernor* governor);
 
   /// Plans one parsed SELECT through the plan cache: fingerprint, lookup,
   /// epoch validation, parameter rebinding on hits, compile-and-insert on
   /// misses. Annotates `stmt`'s literals with parameter slots in place.
   Result<exec::PhysPtr> PlanSelectWithGovernor(
-      ast::SelectStatement* stmt, const QueryOptions& options,
-      opt::OptimizeInfo* info, std::vector<std::string>* names,
-      const ResourceGovernor* governor);
+      ast::SelectStatement* stmt, const Catalog& catalog,
+      const QueryOptions& options, opt::OptimizeInfo* info,
+      std::vector<std::string>* names, const ResourceGovernor* governor);
 
   /// Bind + (naive-translate | optimize) — the cache-free compile path.
   /// `bound_root` (optional) receives the bound logical plan.
   Result<exec::PhysPtr> CompileSelect(const ast::SelectStatement& stmt,
+                                      const Catalog& catalog,
                                       const QueryOptions& options,
                                       opt::OptimizeInfo* info,
                                       std::vector<std::string>* names,
                                       const ResourceGovernor* governor,
                                       plan::LogicalPtr* bound_root = nullptr);
 
-  /// True if `entry` was compiled under the current schema epoch and the
-  /// current statistics version of every table it reads.
-  bool CacheEntryCurrent(const CachedPlan& entry) const;
+  /// True if `entry` was compiled under `catalog`'s schema epoch and the
+  /// statistics version of every table it reads.
+  static bool CacheEntryCurrent(const CachedPlan& entry,
+                                const Catalog& catalog);
 
   /// Attempts to compile a parametric piecewise plan over the query's
   /// range parameter and attach it to `entry` (marks the attempt either
   /// way). Restores `stmt` before returning.
   void MaybeAttachParametric(ast::SelectStatement* stmt,
+                             const Catalog& catalog,
                              const QueryOptions& options,
                              const plan::QueryFingerprint& fp,
                              const plan::LogicalPtr& bound_root,
                              CachedPlan* entry);
 
+  /// Live catalog: the single mutable copy, touched only under ddl_mu_.
+  /// Its TableDef/IndexDef addresses are stable (unique_ptr-backed), so
+  /// Storage and long-lived index structures may point into it.
   Catalog catalog_;
+  /// Serializes DDL / ANALYZE / programmatic loading against each other.
+  /// Never held while planning or executing queries.
+  std::mutex ddl_mu_;
+  /// Current published snapshot; guarded by snapshot_mu_ (pointer swap
+  /// only — the pointee is immutable).
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Catalog> catalog_snapshot_;
   Storage storage_;
   PlanCache plan_cache_;
   /// Worker threads for ExecMode::kParallel, created lazily on the first
@@ -209,11 +279,15 @@ class Database {
   /// guards the lazy creation/growth so concurrent Query() calls are safe.
   std::unique_ptr<ThreadPool> pool_;
   std::mutex pool_mu_;
+  /// Serving machinery (admission controller, shared pool, session ids);
+  /// created by ConfigureServing / first OpenSession.
+  std::unique_ptr<ServingState> serving_;
   MetricsRegistry metrics_;
   // Hot-path metric handles, resolved once in the constructor (GetCounter
   // takes the registry mutex; these pointers are stable).
   MetricsRegistry::Counter* queries_ok_ = nullptr;
   MetricsRegistry::Counter* queries_failed_ = nullptr;
+  MetricsRegistry::Counter* queries_shed_ = nullptr;
   MetricsRegistry::Counter* governor_trips_ = nullptr;
   MetricsRegistry::Counter* optimizer_degraded_ = nullptr;
   MetricsRegistry::Histogram* compile_ns_ = nullptr;

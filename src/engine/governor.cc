@@ -4,17 +4,46 @@
 
 namespace qopt {
 
-ResourceGovernor::ResourceGovernor(const GovernorOptions& options)
+Status SharedResourcePool::TryReserve(uint64_t rows, uint64_t bytes) {
+  if (!enabled()) return Status::OK();
+  uint64_t total_rows = rows_.fetch_add(rows, std::memory_order_relaxed) + rows;
+  uint64_t total_bytes =
+      bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  bool over_rows = max_rows_ > 0 && total_rows > max_rows_;
+  bool over_bytes = max_bytes_ > 0 && total_bytes > max_bytes_;
+  if (!over_rows && !over_bytes) return Status::OK();
+  // Roll back so concurrent queries keep their headroom; the pool may
+  // transiently read over budget between the add and the undo, but nothing
+  // blocks on it and nothing is admitted against the transient value.
+  Release(rows, bytes);
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+  std::string which = over_rows ? "row" : "memory";
+  return Status::Unavailable("shared " + which +
+                             " budget saturated by concurrent queries")
+      .WithRetryAfter(retry_after_ms_);
+}
+
+ResourceGovernor::ResourceGovernor(const GovernorOptions& options,
+                                   SharedResourcePool* pool)
     : has_deadline_(options.deadline_ms >= 0),
       check_interval_(options.check_interval_rows > 0
                           ? options.check_interval_rows
                           : 1),
       max_rows_(options.max_rows),
-      max_bytes_(options.max_memory_bytes) {
-  enabled_ = has_deadline_ || max_rows_ > 0 || max_bytes_ > 0;
+      max_bytes_(options.max_memory_bytes),
+      pool_(pool != nullptr && pool->enabled() ? pool : nullptr) {
+  enabled_ = has_deadline_ || max_rows_ > 0 || max_bytes_ > 0 ||
+             pool_ != nullptr;
   if (has_deadline_) {
     deadline_ = std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(options.deadline_ms);
+  }
+}
+
+ResourceGovernor::~ResourceGovernor() {
+  if (pool_ != nullptr) {
+    pool_->Release(pool_rows_.load(std::memory_order_relaxed),
+                   pool_bytes_.load(std::memory_order_relaxed));
   }
 }
 
@@ -36,7 +65,26 @@ Status ResourceGovernor::ChargeMaterialized(uint64_t rows, uint64_t bytes) {
     // A sibling worker may have tripped already; keep failing so every
     // thread of the query unwinds, not just the one that crossed the line.
     if (tripped_.load(std::memory_order_relaxed)) {
+      if (pool_tripped_.load(std::memory_order_relaxed)) {
+        return Status::Unavailable("shared resource budget saturated");
+      }
       return Status::ResourceExhausted("resource budget exceeded");
+    }
+    if (pool_ != nullptr) {
+      Status pooled = pool_->TryReserve(rows, bytes);
+      if (!pooled.ok()) {
+        // The server, not this query, is out of headroom: trip sticky so
+        // the query sheds exactly once, and surface the retry-able error.
+        pool_tripped_.store(true, std::memory_order_relaxed);
+        bool expected = false;
+        if (tripped_.compare_exchange_strong(expected, true,
+                                             std::memory_order_relaxed)) {
+          trip_count_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return pooled;
+      }
+      pool_rows_.fetch_add(rows, std::memory_order_relaxed);
+      pool_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     }
     return Status::OK();
   }

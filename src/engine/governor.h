@@ -40,9 +40,18 @@ struct GovernorOptions {
   /// How many rows may pass between deadline checks on the hot path.
   uint64_t check_interval_rows = 1024;
 
+  /// True when no per-query limit is configured — the default-constructed
+  /// state. The session layer substitutes ServiceDefaults() for unlimited
+  /// options, so an explicit per-query limit always wins over the serving
+  /// defaults.
+  bool Unlimited() const {
+    return deadline_ms < 0 && max_rows == 0 && max_memory_bytes == 0;
+  }
+
   /// Production-style limits used by services and the overhead benchmark:
   /// generous enough to never trip on a healthy query, tight enough to
-  /// keep a runaway one bounded.
+  /// keep a runaway one bounded. Session-scoped queries get these by
+  /// default (ServingOptions::query_defaults).
   static GovernorOptions ServiceDefaults() {
     GovernorOptions o;
     o.deadline_ms = 30'000;
@@ -50,6 +59,63 @@ struct GovernorOptions {
     o.max_memory_bytes = 4ULL << 30;
     return o;
   }
+};
+
+/// Global in-flight resource budget shared by every admitted query of one
+/// database. Per-query governors forward their materialization charges here
+/// as reservations and release them when the query finishes (success or
+/// failure), so the pool tracks the footprint of the queries currently
+/// running — unlike per-query budgets, which are cumulative work bounds.
+///
+/// Reservations never block: a charge that would push the pool over budget
+/// fails immediately with kUnavailable (server overload, retry-able), and
+/// the accounting is rolled back so concurrent queries are unaffected.
+/// fetch_add serializes concurrent reservations, so when N one-shot
+/// reservations race a pool with room for N-1, exactly one observes an
+/// over-budget total and fails (regression-tested).
+class SharedResourcePool {
+ public:
+  SharedResourcePool() = default;
+
+  /// Sets the budgets (0 disables a limit) and the retry hint attached to
+  /// rejections. Not thread-safe: call before queries start.
+  void Configure(uint64_t max_rows, uint64_t max_bytes,
+                 int64_t retry_after_ms) {
+    max_rows_ = max_rows;
+    max_bytes_ = max_bytes;
+    retry_after_ms_ = retry_after_ms;
+  }
+
+  bool enabled() const { return max_rows_ > 0 || max_bytes_ > 0; }
+
+  /// Reserves `rows`/`bytes` against the global budget; on overflow the
+  /// reservation is rolled back and kUnavailable (with the retry hint) is
+  /// returned. Thread-safe.
+  Status TryReserve(uint64_t rows, uint64_t bytes);
+
+  /// Returns a reservation to the pool. Thread-safe.
+  void Release(uint64_t rows, uint64_t bytes) {
+    rows_.fetch_sub(rows, std::memory_order_relaxed);
+    bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t rows_reserved() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_reserved() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  /// Failed reservations. Each saturated query sheds exactly once: its
+  /// governor trips sticky on the first rejection and stops reserving.
+  uint64_t sheds() const { return sheds_.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t max_rows_ = 0;
+  uint64_t max_bytes_ = 0;
+  int64_t retry_after_ms_ = 0;
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> sheds_{0};
 };
 
 /// Cooperative per-query resource accounting. Thread-safe: one governor
@@ -63,7 +129,17 @@ struct GovernorOptions {
 class ResourceGovernor {
  public:
   ResourceGovernor() : ResourceGovernor(GovernorOptions{}) {}
-  explicit ResourceGovernor(const GovernorOptions& options);
+  explicit ResourceGovernor(const GovernorOptions& options)
+      : ResourceGovernor(options, nullptr) {}
+  /// A governor wired to a shared pool forwards every materialization
+  /// charge there as a reservation (released wholesale on destruction) and
+  /// trips with kUnavailable when the pool rejects — the query is healthy,
+  /// the server is saturated, so the client should back off and retry.
+  ResourceGovernor(const GovernorOptions& options, SharedResourcePool* pool);
+  ~ResourceGovernor();
+
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
 
   /// True if any limit is configured (callers may skip charging entirely
   /// for an unlimited governor).
@@ -116,6 +192,14 @@ class ResourceGovernor {
   std::atomic<uint64_t> bytes_charged_{0};
   std::atomic<bool> tripped_{false};
   std::atomic<uint64_t> trip_count_{0};
+  /// Shared in-flight pool (null when the query runs unpooled) and this
+  /// query's outstanding reservations, refunded in the destructor.
+  SharedResourcePool* pool_ = nullptr;
+  std::atomic<uint64_t> pool_rows_{0};
+  std::atomic<uint64_t> pool_bytes_{0};
+  /// True when the sticky trip came from a pool rejection: sibling workers
+  /// then unwind with the same kUnavailable the crossing worker saw.
+  std::atomic<bool> pool_tripped_{false};
 };
 
 }  // namespace qopt

@@ -1,0 +1,177 @@
+#include "engine/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <thread>
+
+#include "parser/parser.h"
+#include "testing/fault_injection.h"
+
+namespace qopt {
+
+namespace {
+
+std::chrono::steady_clock::time_point Now() {
+  return std::chrono::steady_clock::now();
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - since)
+          .count());
+}
+
+}  // namespace
+
+ServingState::ServingState(const ServingOptions& opts,
+                           MetricsRegistry* metrics)
+    : options(opts),
+      admission(AdmissionOptions{opts.max_concurrent, opts.max_queue,
+                                 opts.retry_after_ms}) {
+  pool.Configure(opts.shared_max_rows, opts.shared_max_memory_bytes,
+                 opts.retry_after_ms);
+  queries = metrics->GetCounter("serving.queries");
+  shed = metrics->GetCounter("serving.shed");
+  wait_ns = metrics->GetHistogram("admission.wait_ns");
+  query_ns = metrics->GetHistogram("serving.query_ns");
+  // Gauges read the controller/pool's own counters at export time; when the
+  // serving state is replaced (ConfigureServing), the successor re-registers
+  // the same names, dropping these callbacks before `this` is destroyed.
+  metrics->RegisterGauge("admission.in_flight", [this] {
+    return static_cast<uint64_t>(admission.in_flight());
+  });
+  metrics->RegisterGauge("admission.queue_depth", [this] {
+    return static_cast<uint64_t>(admission.queue_depth());
+  });
+  metrics->RegisterGauge("admission.peak_queue_depth", [this] {
+    return static_cast<uint64_t>(admission.peak_queue_depth());
+  });
+  metrics->RegisterGauge("admission.admitted",
+                         [this] { return admission.admitted(); });
+  metrics->RegisterGauge("admission.queued",
+                         [this] { return admission.queued(); });
+  metrics->RegisterGauge("admission.shed_queue_full",
+                         [this] { return admission.shed_queue_full(); });
+  metrics->RegisterGauge("admission.shed_timeout",
+                         [this] { return admission.shed_timeout(); });
+  metrics->RegisterGauge("serving.pool_rows",
+                         [this] { return pool.rows_reserved(); });
+  metrics->RegisterGauge("serving.pool_bytes",
+                         [this] { return pool.bytes_reserved(); });
+  metrics->RegisterGauge("serving.pool_sheds",
+                         [this] { return pool.sheds(); });
+  metrics->RegisterGauge("serving.sessions", [this] {
+    return sessions_opened.load(std::memory_order_relaxed);
+  });
+}
+
+Result<QueryResult> Session::Query(const std::string& sql,
+                                   const QueryOptions& options) {
+  QOPT_FAULT_POINT("session.admit");
+  state_->queries->Add();
+  QueryOptions effective = options;
+  // Serving defaults apply only when the caller set no limit at all, so an
+  // explicit per-query governor (even a looser one) always wins.
+  if (effective.governor.Unlimited()) {
+    effective.governor = state_->options.query_defaults;
+  }
+  effective.shared_pool = state_->pool.enabled() ? &state_->pool : nullptr;
+
+  const std::chrono::steady_clock::time_point start = Now();
+  auto deadline =
+      start + std::chrono::milliseconds(state_->options.max_queue_wait_ms);
+  if (effective.governor.deadline_ms >= 0) {
+    // Never queue past the point where the query could not finish anyway.
+    auto query_deadline =
+        start + std::chrono::milliseconds(effective.governor.deadline_ms);
+    deadline = std::min(deadline, query_deadline);
+  }
+  Status admitted = state_->admission.AdmitShared(deadline);
+  state_->wait_ns->Record(ElapsedNs(start));
+  if (!admitted.ok()) {
+    ++stats_.shed;
+    state_->shed->Add();
+    return admitted;
+  }
+  Result<QueryResult> result = db_->Query(sql, effective);
+  state_->admission.ReleaseShared();
+  state_->query_ns->Record(ElapsedNs(start));
+  if (result.ok()) {
+    ++stats_.ok;
+  } else if (result.status().code() == StatusCode::kUnavailable) {
+    ++stats_.shed;
+    state_->shed->Add();
+  } else {
+    ++stats_.failed;
+  }
+  return result;
+}
+
+Status Session::Execute(const std::string& sql) {
+  QOPT_ASSIGN_OR_RETURN(ast::Statement stmt, parser::Parse(sql));
+  if (stmt.kind == ast::Statement::Kind::kInsert) {
+    // Table contents are not versioned the way the catalog is, so a write
+    // must run alone: drain the in-flight queries, write, reopen the gate.
+    auto deadline =
+        Now() +
+        std::chrono::milliseconds(state_->options.max_queue_wait_ms);
+    QOPT_RETURN_IF_ERROR(state_->admission.AdmitExclusive(deadline));
+    Status status = db_->Execute(sql);
+    state_->admission.ReleaseExclusive();
+    return status;
+  }
+  // DDL (CREATE TABLE / INDEX / VIEW): runs alongside readers; the catalog
+  // change publishes as a fresh snapshot that only later queries see.
+  return db_->Execute(sql);
+}
+
+Status Session::Analyze(const std::string& table,
+                        const stats::StatsOptions& options) {
+  return db_->Analyze(table, options);
+}
+
+Result<QueryResult> QueryWithRetry(Session* session, const std::string& sql,
+                                   const QueryOptions& options,
+                                   const RetryPolicy& policy,
+                                   RetryStats* retry_stats) {
+  RetryStats local;
+  RetryStats* stats = retry_stats != nullptr ? retry_stats : &local;
+  *stats = RetryStats();
+  uint64_t seed = policy.jitter_seed;
+  if (seed == 0) {
+    // No portable entropy without a clock; the session id and policy
+    // address decorrelate concurrent clients well enough for jitter.
+    seed = session->id() * 0x9E3779B97F4A7C15ULL ^
+           reinterpret_cast<uintptr_t>(&policy);
+  }
+  std::mt19937_64 rng(seed);
+  const int attempts = std::max(1, policy.max_attempts);
+  double backoff_ms = static_cast<double>(policy.initial_backoff_ms);
+  Result<QueryResult> result = Status::Internal("retry loop did not run");
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    stats->attempts = attempt;
+    result = session->Query(sql, options);
+    if (result.ok() ||
+        result.status().code() != StatusCode::kUnavailable) {
+      return result;
+    }
+    ++stats->sheds;
+    if (attempt == attempts) break;
+    // Equal jitter over the current exponential cap, floored by the
+    // server's own hint — the server knows its backlog better than we do.
+    int64_t cap = std::min<int64_t>(policy.max_backoff_ms,
+                                    std::llround(backoff_ms));
+    cap = std::max<int64_t>(cap, 1);
+    std::uniform_int_distribution<int64_t> jitter(cap - cap / 2, cap);
+    int64_t delay_ms =
+        std::max(jitter(rng), result.status().retry_after_ms());
+    stats->total_backoff_ms += delay_ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    backoff_ms *= policy.multiplier;
+  }
+  return result;
+}
+
+}  // namespace qopt

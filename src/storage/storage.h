@@ -3,6 +3,7 @@
 #define QOPT_STORAGE_STORAGE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -15,6 +16,15 @@ namespace qopt {
 /// Physical store for all tables and indexes in one database instance.
 /// Indexes are built lazily on first access and invalidated when the base
 /// table grows.
+///
+/// Thread-safety: the lazy table/index containers are guarded by an
+/// internal mutex, so concurrent queries may open scans and trigger index
+/// builds safely. Table *contents* are not synchronized — data writes
+/// (Append / AppendUnchecked) and index invalidation must not run
+/// concurrently with readers; the serving layer admits DML exclusively to
+/// guarantee this. On the concurrent read path the engine registers table
+/// and index definitions eagerly at DDL time (EnsureTable / RegisterIndex),
+/// so queries never consult the mutable live catalog.
 class Storage {
  public:
   explicit Storage(const Catalog* catalog) : catalog_(catalog) {}
@@ -23,16 +33,33 @@ class Storage {
   Table* GetTable(int table_id);
   const Table* GetTableConst(int table_id) const;
 
+  /// Eagerly creates the table for `def` (DDL time, before the defining
+  /// catalog snapshot is published), so later GetTable calls from
+  /// concurrent queries hit the created-entry fast path. `def` must stay
+  /// valid for the storage's lifetime (the live catalog's defs are).
+  Table* EnsureTable(const TableDef* def);
+
+  /// Eagerly registers an index definition (DDL time, same contract as
+  /// EnsureTable); the index *structure* is still built lazily on first
+  /// GetSortedIndex, under the storage mutex.
+  void RegisterIndex(const IndexDef* def);
+
   /// Returns (building if needed) the sorted index structure for `index_id`.
   const SortedIndex* GetSortedIndex(int index_id);
 
-  /// Drops cached index structures on `table_id` (after data load).
+  /// Drops cached index structures on `table_id` (after data load). Must
+  /// not run concurrently with queries (DML is admitted exclusively).
   void InvalidateIndexes(int table_id);
 
  private:
+  Table* GetTableLocked(int table_id);
+
   const Catalog* catalog_;
+  /// Guards the lazy containers below (not table contents).
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Table>> tables_;          // by table id
   std::vector<std::unique_ptr<SortedIndex>> indexes_;   // by index id
+  std::vector<const IndexDef*> index_defs_;             // by index id
 };
 
 }  // namespace qopt

@@ -33,6 +33,8 @@ inline constexpr const char* kFaultPoints[] = {
     "optimizer.stats.load",   ///< Statistics loading for a join block.
     "cascades.memo.insert",   ///< Memo expression insertion.
     "exec.batch.alloc",       ///< RowBatch allocation on the vectorized path.
+    "session.admit",          ///< Session admission (before queueing).
+    "catalog.snapshot",       ///< Catalog snapshot acquisition per query.
 };
 
 /// When an armed fault point fires.

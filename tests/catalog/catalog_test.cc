@@ -104,5 +104,42 @@ TEST(CatalogTest, Views) {
   EXPECT_FALSE(catalog.CreateTable("v", EmpColumns()).ok());
 }
 
+TEST(CatalogTest, CloneIsDeepAndUnaffectedByLaterMutation) {
+  Catalog catalog;
+  auto emp = catalog.CreateTable("emp", EmpColumns(), 0);
+  ASSERT_TRUE(emp.ok());
+  ASSERT_TRUE(catalog.CreateIndex("idx_dept", "emp", "dept_id").ok());
+  ASSERT_TRUE(catalog.CreateView("v", "SELECT e.emp_id FROM emp e").ok());
+
+  std::unique_ptr<Catalog> snapshot = catalog.Clone();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->version(), catalog.version());
+  const TableDef* snap_emp = snapshot->GetTable("emp");
+  ASSERT_NE(snap_emp, nullptr);
+  // Deep copy: distinct definition objects, same content.
+  EXPECT_NE(snap_emp, catalog.GetTable("emp"));
+  EXPECT_EQ(snap_emp->columns.size(), 4u);
+  ASSERT_NE(snapshot->GetIndex(0), nullptr);
+  EXPECT_NE(snapshot->GetIndex(0), catalog.GetIndex(0));
+  ASSERT_NE(snapshot->GetView("v"), nullptr);
+
+  // Later DDL and stats bumps on the source leave the clone untouched.
+  uint64_t snap_version = snapshot->version();
+  ASSERT_TRUE(catalog.CreateTable("dept", EmpColumns()).ok());
+  ++catalog.GetMutableTable(*emp)->stats_version;
+  EXPECT_EQ(snapshot->GetTable("dept"), nullptr);
+  EXPECT_EQ(snapshot->version(), snap_version);
+  EXPECT_EQ(snapshot->GetTable("emp")->stats_version, 0u);
+  EXPECT_LT(snapshot->version(), catalog.version());
+}
+
+TEST(CatalogTest, CloneSharesImmutableStatsBlocks) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("emp", EmpColumns(), 0).ok());
+  std::unique_ptr<Catalog> snapshot = catalog.Clone();
+  // Stats are shared_ptr-to-const: the clone points at the same block.
+  EXPECT_EQ(snapshot->GetTable("emp")->stats, catalog.GetTable("emp")->stats);
+}
+
 }  // namespace
 }  // namespace qopt

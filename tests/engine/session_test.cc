@@ -1,0 +1,489 @@
+// Serving-layer tests: admission control, the shared resource pool,
+// session defaults, catalog snapshots under concurrent DDL/ANALYZE,
+// overload shedding with recovery, and client-side retry.
+//
+// The concurrency suites here are the TSan tier's regression tests for the
+// catalog-snapshot mechanism (unsynchronized version_/stats_version reads
+// before it) — keep them in engine_test, which CI runs under TSan.
+#include "engine/session.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "engine/admission.h"
+#include "engine/database.h"
+#include "engine/governor.h"
+#include "testing/db_fixtures.h"
+#include "testing/fault_injection.h"
+
+namespace qopt {
+namespace {
+
+using ::qopt::testing::ExpectSameRows;
+using ::qopt::testing::FaultMode;
+using ::qopt::testing::FaultRegistry;
+using ::qopt::testing::LoadEmpDept;
+
+std::chrono::steady_clock::time_point After(int64_t ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+// --- AdmissionController ---
+
+TEST(AdmissionControllerTest, FastPathAdmitsUpToCapacity) {
+  AdmissionController admission(AdmissionOptions{2, 4, 10});
+  ASSERT_TRUE(admission.AdmitShared(After(1000)).ok());
+  ASSERT_TRUE(admission.AdmitShared(After(1000)).ok());
+  EXPECT_EQ(admission.in_flight(), 2u);
+  EXPECT_EQ(admission.admitted(), 2u);
+  EXPECT_EQ(admission.queued(), 0u);
+  admission.ReleaseShared();
+  admission.ReleaseShared();
+  EXPECT_EQ(admission.in_flight(), 0u);
+}
+
+TEST(AdmissionControllerTest, QueueFullShedsImmediatelyWithRetryAfter) {
+  // One slot, zero queue: any arrival while the slot is busy is shed
+  // without waiting, regardless of its deadline.
+  AdmissionController admission(AdmissionOptions{1, 0, 10});
+  ASSERT_TRUE(admission.AdmitShared(After(1000)).ok());
+  Status shed = admission.AdmitShared(After(1000));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_GT(shed.retry_after_ms(), 0);
+  EXPECT_EQ(admission.shed_queue_full(), 1u);
+  admission.ReleaseShared();
+}
+
+TEST(AdmissionControllerTest, DeadlineExpiryShedsWhileQueued) {
+  AdmissionController admission(AdmissionOptions{1, 4, 10});
+  ASSERT_TRUE(admission.AdmitShared(After(1000)).ok());
+  Status shed = admission.AdmitShared(After(20));  // Queued, then times out.
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_GT(shed.retry_after_ms(), 0);
+  EXPECT_EQ(admission.shed_timeout(), 1u);
+  EXPECT_EQ(admission.queued(), 1u);
+  EXPECT_EQ(admission.queue_depth(), 0u);  // Waiter removed after shed.
+  admission.ReleaseShared();
+}
+
+TEST(AdmissionControllerTest, WaiterAdmittedWhenSlotFrees) {
+  AdmissionController admission(AdmissionOptions{1, 4, 10});
+  ASSERT_TRUE(admission.AdmitShared(After(1000)).ok());
+  std::thread holder([&admission] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    admission.ReleaseShared();
+  });
+  Status admitted = admission.AdmitShared(After(5000));
+  holder.join();
+  ASSERT_TRUE(admitted.ok()) << admitted.ToString();
+  EXPECT_EQ(admission.queued(), 1u);
+  EXPECT_EQ(admission.peak_queue_depth(), 1u);
+  admission.ReleaseShared();
+  EXPECT_EQ(admission.in_flight(), 0u);
+}
+
+TEST(AdmissionControllerTest, ExclusiveDrainsInFlightAndBlocksNewShared) {
+  AdmissionController admission(AdmissionOptions{4, 4, 10});
+  ASSERT_TRUE(admission.AdmitShared(After(1000)).ok());
+  ASSERT_TRUE(admission.AdmitShared(After(1000)).ok());
+
+  std::atomic<bool> exclusive_admitted{false};
+  std::thread writer([&] {
+    Status s = admission.AdmitExclusive(After(5000));
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    exclusive_admitted.store(true);
+  });
+  // Writer priority: while the writer waits, new shared admissions queue
+  // (and here, time out) instead of overtaking it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(exclusive_admitted.load());
+  Status blocked = admission.AdmitShared(After(20));
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.code(), StatusCode::kUnavailable);
+
+  admission.ReleaseShared();
+  admission.ReleaseShared();
+  writer.join();
+  ASSERT_TRUE(exclusive_admitted.load());
+  admission.ReleaseExclusive();
+  // Gate reopens completely after the write.
+  ASSERT_TRUE(admission.AdmitShared(After(1000)).ok());
+  admission.ReleaseShared();
+}
+
+TEST(AdmissionControllerTest, ExclusiveTimesOutWithoutDeadlockingReaders) {
+  AdmissionController admission(AdmissionOptions{1, 4, 10});
+  ASSERT_TRUE(admission.AdmitShared(After(10000)).ok());  // Never released
+                                                          // in time.
+  Status shed = admission.AdmitExclusive(After(20));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  admission.ReleaseShared();
+  // The failed drain left no writer-priority latch behind.
+  ASSERT_TRUE(admission.AdmitShared(After(1000)).ok());
+  admission.ReleaseShared();
+}
+
+// --- SharedResourcePool ---
+
+TEST(SharedResourcePoolTest, ReservationsAccumulateAndRelease) {
+  SharedResourcePool pool;
+  pool.Configure(100, 1000, 5);
+  ASSERT_TRUE(pool.TryReserve(60, 500).ok());
+  ASSERT_TRUE(pool.TryReserve(40, 500).ok());
+  EXPECT_EQ(pool.rows_reserved(), 100u);
+  Status over = pool.TryReserve(1, 0);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(over.retry_after_ms(), 5);
+  // Rolled back: the failed reservation left no residue.
+  EXPECT_EQ(pool.rows_reserved(), 100u);
+  pool.Release(100, 1000);
+  EXPECT_EQ(pool.rows_reserved(), 0u);
+  EXPECT_EQ(pool.bytes_reserved(), 0u);
+  EXPECT_EQ(pool.sheds(), 1u);
+}
+
+TEST(SharedResourcePoolTest, ExactlyOneRacingReservationFails) {
+  // N one-shot reservations race a pool with room for N-1. fetch_add
+  // serializes the observed totals, so exactly one thread sees an
+  // over-budget sum — deterministically, on every run.
+  constexpr int kThreads = 8;
+  SharedResourcePool pool;
+  pool.Configure(kThreads - 1, 0, 3);
+  std::promise<void> go;
+  std::shared_future<void> start = go.get_future().share();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&pool, &failures, start] {
+      start.wait();
+      Status s = pool.TryReserve(1, 0);
+      if (!s.ok()) {
+        EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+        EXPECT_EQ(s.retry_after_ms(), 3);
+        failures.fetch_add(1);
+      }
+    });
+  }
+  go.set_value();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_EQ(pool.sheds(), 1u);
+  EXPECT_EQ(pool.rows_reserved(), static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(GovernorPoolTest, PoolRejectionTripsOnceStickyAndRefunds) {
+  SharedResourcePool pool;
+  pool.Configure(100, 0, 9);
+  {
+    GovernorOptions opts;
+    opts.max_rows = 1'000'000;  // Local budget far above the pool's.
+    ResourceGovernor governor(opts, &pool);
+    ASSERT_TRUE(governor.ChargeMaterialized(50, 0).ok());
+    Status tripped = governor.ChargeMaterialized(60, 0);  // Pool over.
+    ASSERT_FALSE(tripped.ok());
+    EXPECT_EQ(tripped.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(tripped.retry_after_ms(), 9);
+    // Sticky: sibling workers see the same kUnavailable, and the trip is
+    // recorded exactly once.
+    Status sticky = governor.ChargeMaterialized(1, 0);
+    EXPECT_EQ(sticky.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(governor.trip_count(), 1u);
+    EXPECT_EQ(pool.sheds(), 1u);
+    EXPECT_EQ(pool.rows_reserved(), 50u);
+  }
+  // Governor destruction returns the query's whole reservation.
+  EXPECT_EQ(pool.rows_reserved(), 0u);
+}
+
+TEST(GovernorPoolTest, LocalBudgetStillWinsOverPool) {
+  // A query violating its own budget is the query's fault
+  // (kResourceExhausted, don't retry), even when a pool is attached.
+  SharedResourcePool pool;
+  pool.Configure(1'000'000, 0, 9);
+  GovernorOptions opts;
+  opts.max_rows = 10;
+  ResourceGovernor governor(opts, &pool);
+  Status s = governor.ChargeMaterialized(11, 0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.sheds(), 0u);
+}
+
+// --- Sessions ---
+
+TEST(SessionTest, ServiceDefaultsApplyOnlyWhenGovernorUnlimited) {
+  Database db;
+  LoadEmpDept(&db, 300, 15);
+  const std::string sql =
+      "SELECT e.eid, d.name FROM Emp e, Dept d WHERE e.did = d.did";
+  // Raw Database::Query has no serving defaults: no deadline, succeeds.
+  ASSERT_TRUE(db.Query(sql).ok());
+
+  ServingOptions serving;
+  serving.query_defaults.deadline_ms = 0;  // Trips at the first check.
+  ASSERT_TRUE(db.ConfigureServing(serving).ok());
+  Session session = db.OpenSession();
+  // Session query with default options inherits the serving deadline.
+  auto defaulted = session.Query(sql);
+  ASSERT_FALSE(defaulted.ok());
+  EXPECT_EQ(defaulted.status().code(), StatusCode::kCancelled);
+  // An explicit per-query governor overrides the serving defaults.
+  QueryOptions relaxed;
+  relaxed.governor.deadline_ms = 30'000;
+  auto overridden = session.Query(sql, relaxed);
+  ASSERT_TRUE(overridden.ok()) << overridden.status().ToString();
+  EXPECT_EQ(session.stats().ok, 1u);
+  EXPECT_EQ(session.stats().failed, 1u);
+}
+
+TEST(SessionTest, SnapshotIsStableAcrossDdl) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t1 (a INT PRIMARY KEY, b INT)").ok());
+  std::shared_ptr<const Catalog> before = db.CatalogSnapshot();
+  ASSERT_NE(before->GetTable("t1"), nullptr);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t2 (a INT PRIMARY KEY)").ok());
+  // The old snapshot is immutable; the new one sees the DDL.
+  EXPECT_EQ(before->GetTable("t2"), nullptr);
+  std::shared_ptr<const Catalog> after = db.CatalogSnapshot();
+  ASSERT_NE(after->GetTable("t2"), nullptr);
+  EXPECT_LT(before->version(), after->version());
+}
+
+TEST(SessionTest, ExecuteRoutesDmlThroughExclusiveAdmission) {
+  Database db;
+  LoadEmpDept(&db, 100, 10);
+  Session session = db.OpenSession();
+  ASSERT_TRUE(session
+                  .Execute("INSERT INTO Dept VALUES (97, 'ops', 'Lab', "
+                           "12000.0, 3, 1)")
+                  .ok());
+  ASSERT_TRUE(session.Execute("CREATE TABLE scratch (k INT PRIMARY KEY)")
+                  .ok());
+  ASSERT_TRUE(session.Analyze("Dept").ok());
+  auto count = session.Query("SELECT COUNT(*) FROM Dept d");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count->rows[0][0].AsInt(), 11);
+  // The exclusive gate is fully reopened afterwards.
+  EXPECT_EQ(db.serving()->admission.in_flight(), 0u);
+}
+
+TEST(SessionTest, SharedPoolShedsHealthyQueryWithRetryHint) {
+  Database db;
+  LoadEmpDept(&db, 1000, 20);
+  const std::string sql = "SELECT e.eid, e.sal FROM Emp e ORDER BY e.sal";
+  ASSERT_TRUE(db.Query(sql).ok());  // Fine without a pool.
+
+  ServingOptions serving;
+  serving.shared_max_rows = 10;  // Tiny global in-flight budget.
+  serving.retry_after_ms = 7;
+  ASSERT_TRUE(db.ConfigureServing(serving).ok());
+  Session session = db.OpenSession();
+  auto shed = session.Query(sql);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(shed.status().retry_after_ms(), 7);
+  EXPECT_EQ(session.stats().shed, 1u);
+  // The failed query's reservations were refunded in full.
+  EXPECT_EQ(db.serving()->pool.rows_reserved(), 0u);
+  EXPECT_GE(db.serving()->pool.sheds(), 1u);
+}
+
+TEST(SessionTest, ConcurrentSessionsServeMixedWorkload) {
+  Database db;
+  LoadEmpDept(&db, 500, 20);
+  ASSERT_TRUE(db.ConfigureServing(ServingOptions()).ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &failures, t] {
+      Session session = db.OpenSession();
+      for (int i = 0; i < kPerThread; ++i) {
+        const int pick = (t + i) % 3;
+        std::string sql =
+            pick == 0 ? "SELECT e.eid FROM Emp e WHERE e.eid = " +
+                            std::to_string(i * 7 % 500)
+            : pick == 1
+                ? "SELECT e.eid, e.sal FROM Emp e WHERE e.sal > 60000"
+                : "SELECT d.name, COUNT(*) FROM Emp e, Dept d "
+                  "WHERE e.did = d.did GROUP BY d.name";
+        auto result = session.Query(sql);
+        if (!result.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const ServingState* serving = db.serving();
+  EXPECT_EQ(serving->admission.in_flight(), 0u);
+  EXPECT_EQ(serving->admission.queue_depth(), 0u);
+  EXPECT_GE(serving->admission.admitted(), uint64_t{kThreads * kPerThread});
+  // Serving metrics flowed into the registry.
+  std::string json = db.MetricsJson();
+  EXPECT_NE(json.find("admission.in_flight"), std::string::npos);
+  EXPECT_NE(json.find("serving.query_ns.p99"), std::string::npos);
+}
+
+TEST(SessionTest, DdlAndAnalyzeRunAlongsideReaders) {
+  // TSan regression for the catalog snapshot mechanism: before it, readers
+  // raced DDL/ANALYZE on catalog_.version_ and TableDef::stats_version.
+  Database db;
+  LoadEmpDept(&db, 400, 10);
+  ASSERT_TRUE(db.ConfigureServing(ServingOptions()).ok());
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&db, &stop, &reader_failures] {
+      Session session = db.OpenSession();
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = session.Query(
+            "SELECT e.eid, d.name FROM Emp e, Dept d WHERE e.did = d.did "
+            "AND e.sal > 50000");
+        if (!result.ok()) reader_failures.fetch_add(1);
+      }
+    });
+  }
+  Session ddl = db.OpenSession();
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(ddl.Analyze("Emp").ok());
+    ASSERT_TRUE(ddl.Analyze("Dept").ok());
+    ASSERT_TRUE(ddl.Execute("CREATE TABLE side_" + std::to_string(i) +
+                            " (k INT PRIMARY KEY, v INT)")
+                    .ok());
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(reader_failures.load(), 0);
+  // Every published snapshot was a fresh clone: 15 tables + 30 analyzes.
+  EXPECT_GE(db.CatalogSnapshot()->num_tables(), 17u);
+}
+
+TEST(SessionTest, OverloadShedsBoundedlyAndRecovers) {
+  Database db;
+  LoadEmpDept(&db, 2000, 50);
+  ServingOptions serving;
+  serving.max_concurrent = 1;
+  serving.max_queue = 2;
+  serving.max_queue_wait_ms = 5;
+  serving.retry_after_ms = 2;
+  ASSERT_TRUE(db.ConfigureServing(serving).ok());
+  const std::string sql =
+      "SELECT e.eid, e.sal, d.name FROM Emp e, Dept d "
+      "WHERE e.did = d.did ORDER BY e.sal";
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 20;
+  std::atomic<int> ok{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> other_failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Session session = db.OpenSession();
+      for (int i = 0; i < kPerThread; ++i) {
+        auto result = session.Query(sql);
+        if (result.ok()) {
+          ok.fetch_add(1);
+        } else if (result.status().code() == StatusCode::kUnavailable) {
+          // The shedding contract: explicit, immediate, with a hint.
+          EXPECT_GT(result.status().retry_after_ms(), 0);
+          shed.fetch_add(1);
+        } else {
+          ADD_FAILURE() << result.status().ToString();
+          other_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const ServingState* state = db.serving();
+  EXPECT_EQ(ok.load() + shed.load(), kThreads * kPerThread);
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_GE(shed.load(), 1) << "overload never shed — raise the load";
+  EXPECT_EQ(other_failures.load(), 0);
+  // Graceful degradation: the queue never grew past its bound, and the
+  // server is fully drained afterwards.
+  EXPECT_LE(state->admission.peak_queue_depth(), serving.max_queue);
+  EXPECT_EQ(state->admission.in_flight(), 0u);
+  EXPECT_EQ(state->admission.queue_depth(), 0u);
+  // Full recovery: the same query succeeds once the spike is over.
+  Session after = db.OpenSession();
+  auto recovered = after.Query(sql);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->rows.size(), 2000u);
+}
+
+// --- QueryWithRetry ---
+
+class RetryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(RetryTest, RetriesShedQueriesUntilSuccess) {
+  Database db;
+  LoadEmpDept(&db, 100, 10);
+  Session session = db.OpenSession();
+  FaultRegistry::Instance().Arm("session.admit", FaultMode::kOnce, 1,
+                                StatusCode::kUnavailable, "server saturated");
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  policy.jitter_seed = 42;
+  RetryStats stats;
+  auto result = QueryWithRetry(&session, "SELECT COUNT(*) FROM Emp e", {},
+                               policy, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].AsInt(), 100);
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_EQ(stats.sheds, 1);
+  EXPECT_GE(stats.total_backoff_ms, 1);
+}
+
+TEST_F(RetryTest, GivesUpAfterMaxAttempts) {
+  Database db;
+  LoadEmpDept(&db, 100, 10);
+  Session session = db.OpenSession();
+  FaultRegistry::Instance().Arm("session.admit", FaultMode::kAlways, 1,
+                                StatusCode::kUnavailable, "still saturated");
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 1;
+  policy.jitter_seed = 7;
+  RetryStats stats;
+  auto result = QueryWithRetry(&session, "SELECT COUNT(*) FROM Emp e", {},
+                               policy, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.sheds, 3);
+}
+
+TEST_F(RetryTest, DoesNotRetryNonOverloadErrors) {
+  Database db;
+  LoadEmpDept(&db, 100, 10);
+  Session session = db.OpenSession();
+  RetryStats stats;
+  auto result = QueryWithRetry(&session, "SELECT nope FROM nowhere n", {},
+                               RetryPolicy(), &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.sheds, 0);
+}
+
+}  // namespace
+}  // namespace qopt

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "engine/database.h"
+#include "engine/session.h"
 #include "testing/db_fixtures.h"
 
 namespace qopt::testing {
@@ -22,6 +23,9 @@ namespace {
 struct Scenario {
   std::string sql;
   QueryOptions options;
+  /// Issue through a Session (serving-layer fault points live before the
+  /// raw Database::Query path).
+  bool via_session = false;
 };
 
 class FaultInjectionTest : public ::testing::Test {
@@ -66,7 +70,26 @@ class FaultInjectionTest : public ::testing::Test {
       sc.options.execution_mode = exec::ExecMode::kBatch;
       s["exec.batch.alloc"] = sc;
     }
+    {
+      Scenario sc;
+      sc.sql = "SELECT e.eid FROM Emp e";
+      sc.via_session = true;  // The point guards Session::Query admission.
+      s["session.admit"] = sc;
+    }
+    {
+      Scenario sc;
+      sc.sql = "SELECT e.eid FROM Emp e";
+      s["catalog.snapshot"] = sc;
+    }
     return s;
+  }
+
+  Result<QueryResult> Run(const Scenario& sc) {
+    if (sc.via_session) {
+      Session session = db_.OpenSession();
+      return session.Query(sc.sql, sc.options);
+    }
+    return db_.Query(sc.sql, sc.options);
   }
 
   Database db_;
@@ -81,14 +104,14 @@ TEST_F(FaultInjectionTest, EveryFaultPointFailsCleanlyAndRecovers) {
     const Scenario& sc = it->second;
 
     // Baseline: the scenario succeeds with no fault armed.
-    auto baseline = db_.Query(sc.sql, sc.options);
+    auto baseline = Run(sc);
     ASSERT_TRUE(baseline.ok())
         << point << " baseline: " << baseline.status().ToString();
 
     // Armed: the query fails with the injected status, fully formed.
     FaultRegistry::Instance().Arm(point, FaultMode::kAlways, 1,
                                   StatusCode::kInternal, "injected fault");
-    auto injected = db_.Query(sc.sql, sc.options);
+    auto injected = Run(sc);
     ASSERT_FALSE(injected.ok()) << point << ": fault did not surface";
     EXPECT_EQ(injected.status().code(), StatusCode::kInternal) << point;
     EXPECT_NE(injected.status().message().find(point), std::string::npos)
@@ -98,7 +121,7 @@ TEST_F(FaultInjectionTest, EveryFaultPointFailsCleanlyAndRecovers) {
 
     // Disarmed: the engine recovers completely — same results as baseline.
     FaultRegistry::Instance().DisarmAll();
-    auto recovered = db_.Query(sc.sql, sc.options);
+    auto recovered = Run(sc);
     ASSERT_TRUE(recovered.ok())
         << point << " recovery: " << recovered.status().ToString();
     ExpectSameRows(recovered->rows, baseline->rows, point);
