@@ -13,7 +13,7 @@ if [[ ! -d "$build_dir" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$build_dir" --target bench_vectorized_exec bench_plan_cache \
-  bench_observability bench_serving -j "$(nproc)"
+  bench_observability bench_serving bench_feedback -j "$(nproc)"
 
 "$build_dir/bench/bench_vectorized_exec" "$repo_root/BENCH_vectorized.json"
 echo "wrote $repo_root/BENCH_vectorized.json"
@@ -26,3 +26,6 @@ echo "wrote $repo_root/BENCH_observability.json"
 
 "$build_dir/bench/bench_serving" "$repo_root/BENCH_serving.json"
 echo "wrote $repo_root/BENCH_serving.json"
+
+"$build_dir/bench/bench_feedback" "$repo_root/BENCH_feedback.json"
+echo "wrote $repo_root/BENCH_feedback.json"

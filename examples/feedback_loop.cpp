@@ -1,0 +1,57 @@
+// Cardinality feedback loop (paper §5.1: estimation, not cost formulas,
+// is the optimizer's weakest link). Builds a Zipf-skewed star schema whose
+// foreign-key skew defeats static histograms, runs one star query cold,
+// lets the engine harvest the observed cardinalities, and shows the same
+// query re-planned against the feedback store: corrected estimates, a
+// `[feedback: ...]` EXPLAIN header, and q-errors back at 1.0.
+#include <cstdio>
+
+#include "workload/query_gen.h"
+#include "workload/star_schema.h"
+
+using qopt::Database;
+using qopt::QueryOptions;
+
+int main() {
+  Database db;
+  qopt::workload::StarSchemaSpec spec;
+  spec.num_dimensions = 3;
+  spec.fact_rows = 30000;
+  spec.dim_rows = 500;          // More FK values than histogram buckets.
+  spec.fact_fk_theta = 1.3;     // Skewed FKs: per-value join cardinality
+  spec.dim_attr_theta = 1.2;    // diverges from the uniform assumption.
+  qopt::Status s = qopt::workload::BuildStarSchema(&db, spec);
+  if (!s.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::string sql = qopt::workload::RandomStarQuery(spec, /*seed=*/1002);
+  std::printf("Star query:\n  %s\n\n", sql.c_str());
+
+  // Cold: estimates come from histograms + independence. EXPLAIN ANALYZE
+  // exposes the misestimates as per-node q-errors.
+  QueryOptions analyze;
+  analyze.analyze = true;
+  // Bypass the plan cache so the second run visibly re-plans. (With the
+  // cache on, a cached plan is only re-optimized once the regression
+  // detector sees its estimates diverge past the eviction threshold.)
+  analyze.use_plan_cache = false;
+  auto cold = db.ExplainAnalyze(sql, analyze);
+  std::printf("==== cold (histograms only) ====\n%s\n",
+              cold.ok() ? cold->c_str() : cold.status().ToString().c_str());
+
+  // That instrumented execution harvested per-fragment observed
+  // cardinalities into db.feedback_store(). Re-plan: the estimator now
+  // consults the store before falling back to histograms.
+  auto warmed = db.ExplainAnalyze(sql, analyze);
+  std::printf("==== warmed (feedback store consulted) ====\n%s\n",
+              warmed.ok() ? warmed->c_str()
+                          : warmed.status().ToString().c_str());
+
+  auto stats = db.feedback_store().stats();
+  std::printf("store: %zu fragment entries, %llu hits, %llu inserts\n",
+              stats.entries, static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.inserts));
+  return 0;
+}

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "stats/feedback.h"
 
 namespace qopt::cost {
 
@@ -292,6 +295,18 @@ RelStats ApplyPredicateStats(const RelStats& input, const BExpr& pred) {
     cur = stats::ApplyFilter(cur, sel);
   }
   return cur;
+}
+
+}  // namespace qopt::cost
+
+namespace qopt::cost {
+
+double FeedbackRows(stats::FeedbackContext* feedback, uint64_t fragment,
+                    double fallback_rows) {
+  if (feedback == nullptr || fragment == 0) return fallback_rows;
+  std::optional<double> observed = feedback->Consult(fragment);
+  if (!observed.has_value()) return fallback_rows;
+  return *observed >= 0 ? *observed : fallback_rows;
 }
 
 }  // namespace qopt::cost

@@ -11,6 +11,10 @@
 #include "plan/expr.h"
 #include "stats/derived_stats.h"
 
+namespace qopt::stats {
+struct FeedbackContext;
+}
+
 namespace qopt::cost {
 
 /// System-R style magic constants used in the absence of statistics.
@@ -32,6 +36,14 @@ stats::RelStats ApplyPredicateStats(const stats::RelStats& input,
 /// Modeled per-tuple evaluation cost of `e` (expression node count — the
 /// stand-in for user-defined-function cost declarations, §7.2).
 double PredicateEvalCost(const plan::BExpr& e);
+
+/// Feedback-before-fallback (the cardinality feedback loop): when the
+/// query's feedback context holds a live observation for `fragment`, the
+/// observed row count replaces `fallback_rows` — the histogram/magic-
+/// constant estimate computed by the functions above. Null context or an
+/// unkeyable fragment (0) returns the fallback unchanged.
+double FeedbackRows(stats::FeedbackContext* feedback, uint64_t fragment,
+                    double fallback_rows);
 
 /// Orders conjuncts by descending rank = (1 - selectivity) / cost, the
 /// optimal ordering for a predicate pipeline (Hellerstein-Stonebraker

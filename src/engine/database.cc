@@ -8,6 +8,7 @@
 
 #include "engine/parametric.h"
 #include "engine/session.h"
+#include "exec/feedback_harvest.h"
 #include "parser/parser.h"
 #include "plan/binder.h"
 #include "plan/fingerprint.h"
@@ -60,6 +61,15 @@ Database::Database() : storage_(&catalog_) {
     return pool_ != nullptr ? pool_->QueueDepth() : 0;
   });
   queries_shed_ = metrics_.GetCounter("queries.shed");
+  feedback_drift_analyzes_ = metrics_.GetCounter("feedback.drift_analyzes");
+  feedback_plan_evictions_ = metrics_.GetCounter("feedback.plan_evictions");
+  metrics_.RegisterGauge("feedback.hits",
+                         [this] { return feedback_store_.stats().hits; });
+  metrics_.RegisterGauge("feedback.misses",
+                         [this] { return feedback_store_.stats().misses; });
+  metrics_.RegisterGauge("feedback.entries", [this] {
+    return static_cast<uint64_t>(feedback_store_.stats().entries);
+  });
 }
 
 // Out of line: ServingState is incomplete in the header.
@@ -279,8 +289,14 @@ Result<exec::PhysPtr> Database::PlanQuery(const std::string& sql,
                                           std::vector<std::string>* names) {
   QOPT_ASSIGN_OR_RETURN(std::shared_ptr<const Catalog> snapshot,
                         AcquireQuerySnapshot());
-  ResourceGovernor governor(options.governor, options.shared_pool);
-  return PlanQueryWithGovernor(sql, *snapshot, options, info, names,
+  QueryOptions opts = options;
+  stats::FeedbackContext fctx;
+  if (opts.use_feedback && !opts.naive_execution) {
+    fctx.store = &feedback_store_;
+    opts.optimizer.feedback = &fctx;
+  }
+  ResourceGovernor governor(opts.governor, opts.shared_pool);
+  return PlanQueryWithGovernor(sql, *snapshot, opts, info, names,
                                governor.enabled() ? &governor : nullptr);
 }
 
@@ -341,6 +357,7 @@ uint64_t PlanAffectingOptionsDigest(const QueryOptions& o) {
   d.D(p.sort_merge_fanin);
   d.B(o.optimizer.enable_rewrites);
   d.B(o.optimizer.use_alternatives);
+  d.B(o.use_feedback);
   d.U64(static_cast<uint64_t>(o.execution_mode));
   d.U64(o.dop);
   return d.value();
@@ -486,6 +503,12 @@ Result<exec::PhysPtr> Database::CompileSelect(
     info->trace = std::make_shared<opt::OptTrace>();
     trace = info->trace.get();
   }
+  stats::FeedbackContext* fctx = options.optimizer.feedback;
+  if (fctx != nullptr && trace != nullptr && !fctx->trace) {
+    fctx->trace = [trace](const std::string& msg) {
+      trace->Add("feedback", msg);
+    };
+  }
   if (options.naive_execution) {
     // Normalize + push predicates down (System-R evaluates predicates as
     // early as possible even in the unoptimized plan), but keep syntactic
@@ -498,7 +521,13 @@ Result<exec::PhysPtr> Database::CompileSelect(
     return NaivePhysicalPlan(rr.plan, catalog);
   }
   opt::Optimizer optimizer(catalog, options.optimizer);
-  return optimizer.Optimize(bound.root, &next_rel_id, info, governor);
+  Result<exec::PhysPtr> plan =
+      optimizer.Optimize(bound.root, &next_rel_id, info, governor);
+  if (fctx != nullptr && info != nullptr) {
+    info->feedback_lookups = fctx->lookups;
+    info->feedback_hits = fctx->hits;
+  }
+  return plan;
 }
 
 bool Database::CacheEntryCurrent(const CachedPlan& entry,
@@ -808,27 +837,37 @@ Result<QueryResult> Database::QueryInternal(const std::string& sql,
   // and statistics even while DDL/ANALYZE publish newer snapshots.
   QOPT_ASSIGN_OR_RETURN(std::shared_ptr<const Catalog> snapshot,
                         AcquireQuerySnapshot());
+  // Cardinality feedback: the context rides on the optimizer options into
+  // estimation; after a successful instrumented execution the observed
+  // fragment cardinalities are harvested back into the shared store.
+  QueryOptions opts = options;
+  stats::FeedbackContext fctx;
+  const bool feedback_active = opts.use_feedback && !opts.naive_execution;
+  if (feedback_active) {
+    fctx.store = &feedback_store_;
+    opts.optimizer.feedback = &fctx;
+  }
   // One governor instance spans planning and execution, so a deadline set
   // in QueryOptions bounds the whole query, not each phase separately. The
   // shared pool (if any) makes its charges visible server-wide.
-  ResourceGovernor governor(options.governor, options.shared_pool);
+  ResourceGovernor governor(opts.governor, opts.shared_pool);
   std::chrono::steady_clock::time_point compile_start = Now();
   QOPT_ASSIGN_OR_RETURN(
       exec::PhysPtr plan,
-      PlanSelectWithGovernor(stmt.select.get(), *snapshot, options,
+      PlanSelectWithGovernor(stmt.select.get(), *snapshot, opts,
                              &result.optimize_info, &result.column_names,
                              governor.enabled() ? &governor : nullptr));
   compile_ns_->Record(ElapsedNs(compile_start));
   exec::ExecContext ctx;
   ctx.storage = &storage_;
   ctx.catalog = snapshot.get();
-  ctx.mode = options.execution_mode;
-  ctx.batch_capacity = options.batch_capacity;
-  ctx.analyze = options.analyze;
+  ctx.mode = opts.execution_mode;
+  ctx.batch_capacity = opts.batch_capacity;
+  ctx.analyze = opts.analyze;
   if (governor.enabled()) ctx.governor = &governor;
-  if (options.execution_mode == exec::ExecMode::kParallel) {
-    ctx.dop = std::clamp<size_t>(options.dop, 1, ThreadPool::kMaxThreads);
-    ctx.morsel_rows = options.morsel_rows;
+  if (opts.execution_mode == exec::ExecMode::kParallel) {
+    ctx.dop = std::clamp<size_t>(opts.dop, 1, ThreadPool::kMaxThreads);
+    ctx.morsel_rows = opts.morsel_rows;
     if (ctx.dop > 1) {
       // dop workers = the calling thread + dop-1 pool threads. The mutex
       // makes the lazy pool creation safe under concurrent Query() calls.
@@ -842,11 +881,73 @@ Result<QueryResult> Database::QueryInternal(const std::string& sql,
   QOPT_ASSIGN_OR_RETURN(result.rows, exec::ExecuteAll(plan, &ctx));
   execute_ns_->Record(ElapsedNs(exec_start));
   result.exec_stats = ctx.stats;
-  if (options.analyze) {
+  if (feedback_active && opts.analyze) {
+    HarvestFeedbackAfterQuery(plan, ctx.op_stats, *snapshot, opts, &result);
+  }
+  if (opts.analyze) {
     result.analyzed_plan = plan;
     result.op_stats = std::move(ctx.op_stats);
   }
   return result;
+}
+
+void Database::HarvestFeedbackAfterQuery(const exec::PhysPtr& plan,
+                                         const exec::OperatorStatsMap& op_stats,
+                                         const Catalog& snapshot,
+                                         const QueryOptions& options,
+                                         QueryResult* result) {
+  std::vector<stats::FeedbackObservation> observations =
+      exec::HarvestFeedback(plan.get(), op_stats, snapshot);
+  if (observations.empty()) return;
+  opt::OptTrace* qtrace = result->optimize_info.trace.get();
+  // Advisory: a failed harvest insert (e.g. an injected fault) must never
+  // fail the query that already executed successfully.
+  Status recorded = feedback_store_.RecordBatch(observations);
+  if (qtrace != nullptr) {
+    qtrace->Add("feedback",
+                recorded.ok()
+                    ? "harvested " + std::to_string(observations.size()) +
+                          " fragment observation(s)"
+                    : "harvest dropped: " + recorded.message());
+  }
+  if (!recorded.ok()) return;
+  // Drift: tables whose median fragment q-error crossed the threshold are
+  // re-ANALYZEd now; the stats_version bump lazily invalidates every cached
+  // plan reading them.
+  for (int table_id : feedback_store_.TakeTablesNeedingAnalyze()) {
+    const TableDef* table = snapshot.GetTable(table_id);
+    if (table == nullptr) continue;
+    if (Analyze(table->name).ok()) {
+      feedback_drift_analyzes_->Add();
+      if (qtrace != nullptr) {
+        qtrace->Add("feedback", "drift detected: auto-ANALYZE " + table->name);
+      }
+    }
+  }
+  // Plan regression: a cached plan whose observed cardinalities diverged
+  // far from its estimates is evicted; the next execution re-optimizes
+  // against the corrected feedback.
+  using Outcome = opt::PlanCacheInfo::Outcome;
+  const opt::PlanCacheInfo& pc = result->optimize_info.plan_cache;
+  if (pc.outcome != Outcome::kHit && pc.outcome != Outcome::kHitParametric) {
+    return;
+  }
+  double worst = 0;
+  for (const stats::FeedbackObservation& o : observations) {
+    if (o.est_rows < 0) continue;
+    worst = std::max(
+        worst, exec::QError(o.est_rows, static_cast<uint64_t>(o.act_rows)));
+  }
+  if (worst <= feedback_store_.options().regression_threshold) return;
+  plan_cache_.Erase({pc.fingerprint, PlanAffectingOptionsDigest(options)});
+  feedback_plan_evictions_->Add();
+  if (qtrace != nullptr) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "plan regression: qerror=%.1f > %.1f, cached plan evicted",
+                  worst, feedback_store_.options().regression_threshold);
+    qtrace->Add("feedback", buf);
+  }
 }
 
 namespace {
@@ -866,6 +967,10 @@ std::string ExplainHeader(const opt::OptimizeInfo& info) {
     header += buf;
   }
   header += "]\n";
+  if (info.feedback_hits > 0) {
+    header += "[feedback: hits=" + std::to_string(info.feedback_hits) +
+              " lookups=" + std::to_string(info.feedback_lookups) + "]\n";
+  }
   if (info.degraded) {
     header += "[degraded: " + info.degraded_reason + "]\n";
   }

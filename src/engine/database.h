@@ -14,6 +14,7 @@
 #include "engine/thread_pool.h"
 #include "exec/executors.h"
 #include "optimizer/optimizer.h"
+#include "stats/feedback.h"
 #include "stats/stats_builder.h"
 
 namespace qopt {
@@ -72,6 +73,14 @@ struct QueryOptions {
   /// Cascades tasks) into OptimizeInfo::trace. Forces a plan-cache bypass:
   /// a cache hit would skip the search being traced.
   bool trace_optimizer = false;
+  /// Cardinality feedback (§5: estimation is the optimizer's weakest link):
+  /// consult the database's feedback store of observed fragment
+  /// cardinalities during estimation, and — when `analyze` is also set —
+  /// harvest this query's observed cardinalities back into the store after
+  /// execution. Ignored under naive execution (the correctness oracle must
+  /// not depend on execution history). Plan-affecting (digested into the
+  /// plan-cache key), so feedback-on and feedback-off plans never collide.
+  bool use_feedback = true;
   /// Global in-flight budget shared across concurrent queries (the serving
   /// layer's SharedResourcePool); the query's governor mirrors its
   /// materialization charges into it and fails with kUnavailable when the
@@ -191,6 +200,14 @@ class Database {
   PlanCache& plan_cache() { return plan_cache_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// The cardinality-feedback store: observed plan-fragment cardinalities
+  /// harvested from executed queries (QueryOptions::use_feedback +
+  /// analyze), consulted by the selectivity estimator on later queries.
+  stats::CardinalityFeedbackStore& feedback_store() { return feedback_store_; }
+  const stats::CardinalityFeedbackStore& feedback_store() const {
+    return feedback_store_;
+  }
+
   /// Engine-wide observability metrics: query counts, compile / execute
   /// latency histograms, plan-cache and thread-pool gauges. See
   /// docs/OBSERVABILITY.md for the catalog.
@@ -211,6 +228,17 @@ class Database {
   /// The snapshot a starting query plans and executes against. Carries the
   /// "catalog.snapshot" fault point (simulated acquisition failure).
   Result<std::shared_ptr<const Catalog>> AcquireQuerySnapshot() const;
+
+  /// Post-execution cardinality-feedback pass (use_feedback + analyze):
+  /// harvests observed fragment cardinalities from the executed plan into
+  /// the store, auto-ANALYZEs drifted tables, and evicts a cached plan
+  /// whose observed cost diverged from its estimate. Advisory throughout —
+  /// never fails the query.
+  void HarvestFeedbackAfterQuery(const exec::PhysPtr& plan,
+                                 const exec::OperatorStatsMap& op_stats,
+                                 const Catalog& snapshot,
+                                 const QueryOptions& options,
+                                 QueryResult* result);
 
   /// Re-clones the live catalog and publishes it as the current snapshot.
   /// Caller must hold ddl_mu_.
@@ -274,6 +302,9 @@ class Database {
   std::shared_ptr<const Catalog> catalog_snapshot_;
   Storage storage_;
   PlanCache plan_cache_;
+  /// Observed fragment cardinalities shared by every query on this database
+  /// (thread-safe; see stats/feedback.h).
+  stats::CardinalityFeedbackStore feedback_store_;
   /// Worker threads for ExecMode::kParallel, created lazily on the first
   /// parallel query and reused (grow-only) across queries. `pool_mu_`
   /// guards the lazy creation/growth so concurrent Query() calls are safe.
@@ -290,6 +321,8 @@ class Database {
   MetricsRegistry::Counter* queries_shed_ = nullptr;
   MetricsRegistry::Counter* governor_trips_ = nullptr;
   MetricsRegistry::Counter* optimizer_degraded_ = nullptr;
+  MetricsRegistry::Counter* feedback_drift_analyzes_ = nullptr;
+  MetricsRegistry::Counter* feedback_plan_evictions_ = nullptr;
   MetricsRegistry::Histogram* compile_ns_ = nullptr;
   MetricsRegistry::Histogram* execute_ns_ = nullptr;
 };

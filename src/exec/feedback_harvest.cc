@@ -1,0 +1,220 @@
+#include "exec/feedback_harvest.h"
+
+#include <unordered_map>
+
+namespace qopt::exec {
+
+namespace {
+
+using stats::FeedbackObservation;
+
+/// Fragment composition state for one subtree: the base tables it covers
+/// and the hashes of every predicate conjunct applied within it.
+struct Frag {
+  bool keyable = true;
+  std::vector<int> tables;
+  std::vector<uint64_t> conjuncts;
+};
+
+class Harvester {
+ public:
+  Harvester(const OperatorStatsMap& op_stats, const Catalog& catalog)
+      : op_stats_(op_stats), catalog_(catalog) {}
+
+  void CollectRelTables(const PhysicalPlan* node) {
+    if (node == nullptr) return;
+    if (node->kind == PhysOpKind::kTableScan ||
+        node->kind == PhysOpKind::kIndexScan) {
+      rel_tables_[node->rel_id] = node->table_id;
+    }
+    for (const PhysPtr& c : node->children) CollectRelTables(c.get());
+  }
+
+  /// Walks `node`, composing its fragment bottom-up and emitting an
+  /// observation when the observed count is trustworthy: `emit_ok` is false
+  /// anywhere an ancestor may not consume this subtree fully.
+  Frag Walk(const PhysicalPlan* node, bool emit_ok) {
+    Frag f;
+    switch (node->kind) {
+      case PhysOpKind::kTableScan:
+        f.tables.push_back(node->table_id);
+        AddPredicate(node->predicate, &f);
+        break;
+      case PhysOpKind::kIndexScan:
+        f.tables.push_back(node->table_id);
+        AddPredicate(node->predicate, &f);
+        AddIndexBounds(node, &f);
+        break;
+      case PhysOpKind::kFilter:
+        f = Walk(node->children[0].get(), emit_ok);
+        AddPredicate(node->predicate, &f);
+        break;
+      case PhysOpKind::kProject:
+      case PhysOpKind::kSort:
+        // Cardinality-preserving: pass the child's fragment through so
+        // enforcers inside a join tree stay transparent; the child already
+        // emits this fragment's observation.
+        return Walk(node->children[0].get(), emit_ok);
+      case PhysOpKind::kHashJoin:
+        f = JoinFrag(node, emit_ok, emit_ok, /*hash_keys=*/true);
+        break;
+      case PhysOpKind::kIndexNestedLoopJoin:
+        // The inner side is re-probed per outer row: its counts are sums
+        // over rescans, never a fragment cardinality.
+        f = JoinFrag(node, emit_ok, /*right_emit=*/false, /*hash_keys=*/true);
+        break;
+      case PhysOpKind::kMergeJoin:
+        // Either input may be only partially consumed (the join ends when
+        // one side exhausts), so neither child's count is trustworthy.
+        f = JoinFrag(node, /*left_emit=*/false, /*right_emit=*/false,
+                     /*hash_keys=*/true);
+        break;
+      case PhysOpKind::kNestedLoopJoin:
+        f = JoinFrag(node, emit_ok, emit_ok, /*hash_keys=*/false);
+        break;
+      case PhysOpKind::kLimit:
+        Walk(node->children[0].get(), false);
+        f.keyable = false;
+        break;
+      case PhysOpKind::kApply:
+        Walk(node->children[0].get(), emit_ok);
+        Walk(node->children[1].get(), false);  // Re-executed per outer row.
+        f.keyable = false;
+        break;
+      default:
+        // Aggregates, distinct, set operations, union: fully consume their
+        // children but their own output is not a join-fragment cardinality.
+        for (const PhysPtr& c : node->children) Walk(c.get(), emit_ok);
+        f.keyable = false;
+        break;
+    }
+    MaybeEmit(node, f, emit_ok);
+    return f;
+  }
+
+  std::vector<FeedbackObservation> Take() {
+    std::vector<FeedbackObservation> out;
+    out.reserve(observations_.size());
+    for (auto& [frag, obs] : observations_) out.push_back(std::move(obs));
+    return out;
+  }
+
+ private:
+  int TableOf(int rel_id) const {
+    auto it = rel_tables_.find(rel_id);
+    return it != rel_tables_.end() ? it->second : -1;
+  }
+
+  void AddPredicate(const plan::BExpr& pred, Frag* f) {
+    if (pred == nullptr) return;
+    std::vector<plan::BExpr> conjuncts;
+    plan::SplitConjuncts(pred, &conjuncts);
+    auto rel_table = [this](int rel) { return TableOf(rel); };
+    for (const plan::BExpr& c : conjuncts) {
+      f->conjuncts.push_back(stats::HashConjunct(c, rel_table));
+    }
+  }
+
+  /// Reconstructs the predicate conjuncts an index scan's range bounds were
+  /// compiled from (inverting access-path bound extraction), so the scan's
+  /// fragment matches the logical relation + local predicates. A bound
+  /// tightened from several predicates dropped the losers' constraints —
+  /// no faithful reconstruction exists, so the fragment becomes unkeyable.
+  void AddIndexBounds(const PhysicalPlan* node, Frag* f) {
+    if (!node->lo.has_value() && !node->hi.has_value()) return;
+    const IndexDef* index = catalog_.GetIndex(node->index_id);
+    if (index == nullptr) {
+      f->keyable = false;
+      return;
+    }
+    if ((node->lo.has_value() && !node->lo->absorbed_params.empty()) ||
+        (node->hi.has_value() && !node->hi->absorbed_params.empty())) {
+      f->keyable = false;
+      return;
+    }
+    int table = node->table_id;
+    int col = index->column;
+    if (node->lo.has_value() && node->hi.has_value() &&
+        node->lo->inclusive && node->hi->inclusive &&
+        node->lo->value.Compare(node->hi->value) == 0) {
+      f->conjuncts.push_back(stats::HashComparisonConjunct(
+          ast::BinaryOp::kEq, table, col, node->lo->value));
+      return;
+    }
+    if (node->lo.has_value()) {
+      f->conjuncts.push_back(stats::HashComparisonConjunct(
+          node->lo->inclusive ? ast::BinaryOp::kGe : ast::BinaryOp::kGt, table,
+          col, node->lo->value));
+    }
+    if (node->hi.has_value()) {
+      f->conjuncts.push_back(stats::HashComparisonConjunct(
+          node->hi->inclusive ? ast::BinaryOp::kLe : ast::BinaryOp::kLt, table,
+          col, node->hi->value));
+    }
+  }
+
+  Frag JoinFrag(const PhysicalPlan* node, bool left_emit, bool right_emit,
+                bool hash_keys) {
+    Frag l = Walk(node->children[0].get(), left_emit);
+    Frag r = Walk(node->children[1].get(), right_emit);
+    Frag f;
+    if (node->join_type != plan::JoinType::kInner &&
+        node->join_type != plan::JoinType::kCross) {
+      f.keyable = false;
+      return f;
+    }
+    f.keyable = l.keyable && r.keyable;
+    f.tables = std::move(l.tables);
+    f.tables.insert(f.tables.end(), r.tables.begin(), r.tables.end());
+    f.conjuncts = std::move(l.conjuncts);
+    f.conjuncts.insert(f.conjuncts.end(), r.conjuncts.begin(),
+                       r.conjuncts.end());
+    if (hash_keys) {
+      int lt = TableOf(node->left_key.rel);
+      int rt = TableOf(node->right_key.rel);
+      if (lt < 0 || rt < 0) {
+        f.keyable = false;
+      } else {
+        f.conjuncts.push_back(stats::HashEquiJoinConjunct(
+            lt, node->left_key.col, rt, node->right_key.col));
+      }
+    }
+    AddPredicate(node->predicate, &f);
+    return f;
+  }
+
+  void MaybeEmit(const PhysicalPlan* node, const Frag& f, bool emit_ok) {
+    if (!emit_ok || !f.keyable || f.tables.empty()) return;
+    auto it = op_stats_.find(node);
+    if (it == op_stats_.end()) return;
+    const OperatorStats& os = it->second;
+    if (os.inits > 1) return;  // Rescanned: counts are summed over rescans.
+    uint64_t fragment = stats::FragmentFingerprint(f.tables, f.conjuncts);
+    if (fragment == 0) return;
+    FeedbackObservation obs;
+    obs.fragment = fragment;
+    obs.tables = f.tables;
+    obs.est_rows = node->est_rows;
+    obs.act_rows = static_cast<double>(os.ActualRows());
+    observations_[fragment] = std::move(obs);
+  }
+
+  const OperatorStatsMap& op_stats_;
+  const Catalog& catalog_;
+  std::unordered_map<int, int> rel_tables_;
+  std::unordered_map<uint64_t, FeedbackObservation> observations_;
+};
+
+}  // namespace
+
+std::vector<FeedbackObservation> HarvestFeedback(
+    const PhysicalPlan* plan, const OperatorStatsMap& op_stats,
+    const Catalog& catalog) {
+  if (plan == nullptr || op_stats.empty()) return {};
+  Harvester h(op_stats, catalog);
+  h.CollectRelTables(plan);
+  h.Walk(plan, /*emit_ok=*/true);
+  return h.Take();
+}
+
+}  // namespace qopt::exec

@@ -1,0 +1,36 @@
+// Physical-side cardinality harvesting for the feedback store: after a
+// query executes with EXPLAIN-ANALYZE instrumentation on, walk the physical
+// plan, recompute each fragment's fingerprint from what the plan actually
+// contains (scan residuals, reconstructed index bounds, join predicates) and
+// pair it with the observed output cardinality. In parallel mode the
+// per-worker counts were already merged at the gather barrier
+// (OperatorStats::ActualRows), so one harvest sees the whole query.
+//
+// The fingerprints here must agree with the estimation side
+// (stats::FragmentKeys over the query graph) — that agreement is what makes
+// an observation from one query correct the estimates of another.
+#ifndef QOPT_EXEC_FEEDBACK_HARVEST_H_
+#define QOPT_EXEC_FEEDBACK_HARVEST_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/executors.h"
+#include "stats/feedback.h"
+
+namespace qopt::exec {
+
+/// Extracts fragment observations from an executed plan. Only nodes whose
+/// observed count is trustworthy are harvested: every ancestor must consume
+/// its input fully (nothing under a Limit or a merge join's early-exit
+/// sides) and the node must have run exactly once (no Apply / index-NL
+/// rescans). Non-inner joins, aggregates, distinct and set operations end
+/// the fragment (children are still harvested). `catalog` resolves
+/// index-scan bound columns.
+std::vector<stats::FeedbackObservation> HarvestFeedback(
+    const PhysicalPlan* plan, const OperatorStatsMap& op_stats,
+    const Catalog& catalog);
+
+}  // namespace qopt::exec
+
+#endif  // QOPT_EXEC_FEEDBACK_HARVEST_H_

@@ -26,7 +26,8 @@ class Search {
          const cost::CostModel& model, const CascadesOptions& options,
          Memo* memo, CascadesCounters* counters,
          const ResourceGovernor* governor = nullptr,
-         OptTrace* trace = nullptr)
+         OptTrace* trace = nullptr,
+         stats::FeedbackContext* feedback = nullptr)
       : graph_(graph),
         catalog_(catalog),
         model_(model),
@@ -34,7 +35,8 @@ class Search {
         memo_(memo),
         counters_(counters),
         governor_(governor),
-        trace_(trace) {}
+        trace_(trace),
+        feedback_(feedback) {}
 
   /// Non-OK once the task budget trips (kResourceExhausted) or the query
   /// deadline expires (kCancelled); the search unwinds without a plan.
@@ -87,13 +89,24 @@ class Search {
       std::vector<RelStats> base;
       for (size_t i = 0; i < graph_.relations.size(); ++i) {
         RelStats rs;
-        EnumerateAccessPaths(graph_.relations[i], catalog_, model_, &rs);
+        EnumerateAccessPaths(
+            graph_.relations[i], catalog_, model_, &rs,
+            /*include_index_paths=*/true, /*include_seq_scan=*/true, feedback_,
+            feedback_ != nullptr ? Keys().ForSubset(Bit(static_cast<int>(i)))
+                                 : 0);
         base.push_back(std::move(rs));
       }
-      stats_cache_ =
-          std::make_unique<SubsetStatsCache>(&graph_, std::move(base));
+      stats_cache_ = std::make_unique<SubsetStatsCache>(&graph_,
+                                                        std::move(base),
+                                                        feedback_);
     }
     return *stats_cache_;
+  }
+
+  /// Fragment fingerprints for feedback lookups, built on first use.
+  stats::FragmentKeys& Keys() {
+    if (!keys_) keys_ = std::make_unique<stats::FragmentKeys>(&graph_);
+    return *keys_;
   }
 
   /// True if every ordering column is produced by group `gid` — only then
@@ -305,7 +318,9 @@ class Search {
     (void)best;
     stats::RelStats rs;
     std::vector<AccessPath> paths = EnumerateAccessPaths(
-        graph_.relations[e.rel_index], catalog_, model_, &rs);
+        graph_.relations[e.rel_index], catalog_, model_, &rs,
+        /*include_index_paths=*/true, /*include_seq_scan=*/true, feedback_,
+        feedback_ != nullptr ? Keys().ForSubset(Bit(e.rel_index)) : 0);
     for (AccessPath& p : paths) {
       if (props.SatisfiedBy(p.order)) {
         offer(std::move(p.plan), p.cost);
@@ -471,9 +486,11 @@ class Search {
   CascadesCounters* counters_;
   const ResourceGovernor* governor_ = nullptr;
   OptTrace* trace_ = nullptr;
+  stats::FeedbackContext* feedback_ = nullptr;
   Status abort_status_;
   bool explore_truncated_ = false;
   std::unique_ptr<SubsetStatsCache> stats_cache_;
+  std::unique_ptr<stats::FragmentKeys> keys_;
 };
 
 }  // namespace
@@ -496,11 +513,11 @@ Result<exec::PhysPtr> CascadesOptimizer::OptimizeJoinBlock(
     degraded_ = true;
     degraded_reason_ = "join block too large for memo (n > 20)";
     return GreedyLeftDeepPlan(graph, catalog_, model_, required_order,
-                              &result_stats_);
+                              &result_stats_, feedback_);
   }
   memo_ = Memo();
   Search search(graph, catalog_, model_, options_, &memo_, &counters_,
-                governor_, trace_);
+                governor_, trace_, feedback_);
   int root = search.Seed();
   search.ExploreToClosure();
   // An injected memo-insertion fault leaves the memo sticky-bad; surface it
@@ -521,7 +538,7 @@ Result<exec::PhysPtr> CascadesOptimizer::OptimizeJoinBlock(
                     "degraded to greedy left-deep: " + degraded_reason_);
       }
       return GreedyLeftDeepPlan(graph, catalog_, model_, required_order,
-                                &result_stats_);
+                                &result_stats_, feedback_);
     }
     return search.abort_status();  // kCancelled: hard stop.
   }
@@ -533,6 +550,7 @@ Result<exec::PhysPtr> CascadesOptimizer::OptimizeJoinBlock(
       retry.allow_cartesian = true;
       CascadesOptimizer fallback(catalog_, model_, retry);
       fallback.set_governor(governor_);
+      fallback.set_feedback(feedback_);
       auto result = fallback.OptimizeJoinBlock(graph, required_order);
       counters_ = fallback.counters_;
       result_stats_ = fallback.result_stats_;

@@ -24,6 +24,10 @@
 #include "optimizer/trace.h"
 #include "plan/query_graph.h"
 
+namespace qopt::stats {
+struct FeedbackContext;
+}  // namespace qopt::stats
+
 namespace qopt::opt::cascades {
 
 /// Search-space knobs (mirrors SelingerOptions where meaningful).
@@ -76,6 +80,11 @@ class CascadesOptimizer {
   /// promotions are logged. Null (the default) disables tracing.
   void set_trace(OptTrace* trace) { trace_ = trace; }
 
+  /// Optional cardinality-feedback context: observed fragment cardinalities
+  /// override derived estimates for base relations and join subsets. Null
+  /// (the default) estimates from statistics alone.
+  void set_feedback(stats::FeedbackContext* feedback) { feedback_ = feedback; }
+
   /// True if the last OptimizeJoinBlock degraded: task budget tripped (plan
   /// comes from the greedy heuristic) or the memo budget truncated
   /// exploration (plan comes from a partial memo).
@@ -91,6 +100,7 @@ class CascadesOptimizer {
   stats::RelStats result_stats_;
   const ResourceGovernor* governor_ = nullptr;
   opt::OptTrace* trace_ = nullptr;
+  stats::FeedbackContext* feedback_ = nullptr;
   bool degraded_ = false;
   std::string degraded_reason_;
 };

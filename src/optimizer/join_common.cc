@@ -86,6 +86,10 @@ const stats::RelStats& SubsetStatsCache::Get(uint64_t mask) {
   stats::RelStats right = Get(low);
   JoinSpec spec = ComputeJoinSpec(*graph_, rest, low);
   stats::RelStats joined = ComputeJoinStats(left, right, spec);
+  // Feedback before fallback: an observed cardinality for this subset's
+  // fragment beats the histogram/independence-derived estimate.
+  joined.rows =
+      cost::FeedbackRows(feedback_, keys_.ForSubset(mask), joined.rows);
   return memo_.emplace(mask, std::move(joined)).first->second;
 }
 
@@ -113,12 +117,13 @@ Result<exec::PhysPtr> GreedyLeftDeepPlan(
     const plan::QueryGraph& graph, const Catalog& catalog,
     const cost::CostModel& model,
     const std::vector<plan::SortKey>& required_order,
-    stats::RelStats* out_stats) {
+    stats::RelStats* out_stats, stats::FeedbackContext* feedback) {
   int n = static_cast<int>(graph.relations.size());
   if (n == 0) return Status::InvalidArgument("empty query graph");
   if (n > 63) {
     return Status::InvalidArgument("join block exceeds 63 relations");
   }
+  stats::FragmentKeys frag_keys(&graph);
 
   // Cheapest access path per base relation.
   struct Base {
@@ -132,7 +137,8 @@ Result<exec::PhysPtr> GreedyLeftDeepPlan(
   for (int i = 0; i < n; ++i) {
     std::vector<AccessPath> paths = EnumerateAccessPaths(
         graph.relations[static_cast<size_t>(i)], catalog, model,
-        &base[static_cast<size_t>(i)].stats);
+        &base[static_cast<size_t>(i)].stats, /*include_index_paths=*/true,
+        /*include_seq_scan=*/true, feedback, frag_keys.ForSubset(1ULL << i));
     if (paths.empty()) {
       return Status::Internal("no access path for relation " +
                               std::to_string(i));
@@ -146,7 +152,7 @@ Result<exec::PhysPtr> GreedyLeftDeepPlan(
     base[static_cast<size_t>(i)].order = std::move(paths[cheapest].order);
     base_stats.push_back(base[static_cast<size_t>(i)].stats);
   }
-  SubsetStatsCache cache(&graph, std::move(base_stats));
+  SubsetStatsCache cache(&graph, std::move(base_stats), feedback);
 
   // Seed with the smallest relation.
   int start = 0;

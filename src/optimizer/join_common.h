@@ -14,6 +14,7 @@
 #include "exec/physical_plan.h"
 #include "plan/query_graph.h"
 #include "stats/derived_stats.h"
+#include "stats/feedback.h"
 
 namespace qopt::opt {
 
@@ -49,9 +50,17 @@ plan::BExpr ResidualOf(const JoinSpec& spec);
 /// property, but the cost of a plan is a physical property".
 class SubsetStatsCache {
  public:
+  /// With a feedback context, each join subset's derived row count is
+  /// overridden by an observed cardinality when the feedback store holds
+  /// one for the subset's fragment fingerprint (base relations are assumed
+  /// already corrected in `base_stats` by EnumerateAccessPaths).
   SubsetStatsCache(const plan::QueryGraph* graph,
-                   std::vector<stats::RelStats> base_stats)
-      : graph_(graph), base_(std::move(base_stats)) {}
+                   std::vector<stats::RelStats> base_stats,
+                   stats::FeedbackContext* feedback = nullptr)
+      : graph_(graph),
+        base_(std::move(base_stats)),
+        feedback_(feedback),
+        keys_(graph) {}
 
   /// Statistics for the join of the relations in `mask` (bit i = relation
   /// index i).
@@ -60,6 +69,8 @@ class SubsetStatsCache {
  private:
   const plan::QueryGraph* graph_;
   std::vector<stats::RelStats> base_;
+  stats::FeedbackContext* feedback_;
+  stats::FragmentKeys keys_;
   std::unordered_map<uint64_t, stats::RelStats> memo_;
 };
 
@@ -80,7 +91,7 @@ Result<exec::PhysPtr> GreedyLeftDeepPlan(
     const plan::QueryGraph& graph, const Catalog& catalog,
     const cost::CostModel& model,
     const std::vector<plan::SortKey>& required_order,
-    stats::RelStats* out_stats);
+    stats::RelStats* out_stats, stats::FeedbackContext* feedback = nullptr);
 
 }  // namespace qopt::opt
 

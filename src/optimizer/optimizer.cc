@@ -93,6 +93,7 @@ class PlannerImpl {
       SelingerOptimizer selinger(catalog_, model_, options_.selinger);
       selinger.set_governor(governor_);
       selinger.set_trace(trace_);
+      selinger.set_feedback(options_.feedback);
       QOPT_ASSIGN_OR_RETURN(out.plan,
                             selinger.OptimizeJoinBlock(graph, required_order));
       out.stats = selinger.result_stats();
@@ -104,6 +105,7 @@ class PlannerImpl {
       cascades::CascadesOptimizer casc(catalog_, model_, options_.cascades);
       casc.set_governor(governor_);
       casc.set_trace(trace_);
+      casc.set_feedback(options_.feedback);
       QOPT_ASSIGN_OR_RETURN(out.plan,
                             casc.OptimizeJoinBlock(graph, required_order));
       out.stats = casc.result_stats();

@@ -34,6 +34,11 @@ struct OptimizerOptions {
   /// Consider the rewrite phase's cost-based alternatives (group-by
   /// pushdown, eager aggregation, magic sets) and keep the cheapest.
   bool use_alternatives = true;
+  /// Optional cardinality-feedback context (not owned; per-query). When set,
+  /// observed fragment cardinalities from earlier executions override the
+  /// estimator's derived row counts. Deliberately excluded from any options
+  /// digest: feedback changes estimates, never the option surface.
+  stats::FeedbackContext* feedback = nullptr;
 };
 
 /// Plan-cache outcome for one query. Filled by the engine (the cache lives
@@ -72,6 +77,10 @@ struct OptimizeInfo {
   /// fallback or partial-memo costing); `degraded_reason` says which.
   bool degraded = false;
   std::string degraded_reason;
+  /// Cardinality-feedback usage during this optimization (0/0 when no
+  /// feedback context was attached).
+  uint64_t feedback_lookups = 0;
+  uint64_t feedback_hits = 0;
   /// Plan-cache outcome (set by the engine; kBypass when no cache is in
   /// front of this optimization).
   PlanCacheInfo plan_cache;

@@ -109,12 +109,11 @@ BoundSplit SplitBounds(const std::vector<BExpr>& preds, ColumnId column) {
 
 }  // namespace
 
-std::vector<AccessPath> EnumerateAccessPaths(const plan::QGRelation& rel,
-                                             const Catalog& catalog,
-                                             const cost::CostModel& model,
-                                             stats::RelStats* out_stats,
-                                             bool include_index_paths,
-                                             bool include_seq_scan) {
+std::vector<AccessPath> EnumerateAccessPaths(
+    const plan::QGRelation& rel, const Catalog& catalog,
+    const cost::CostModel& model, stats::RelStats* out_stats,
+    bool include_index_paths, bool include_seq_scan,
+    stats::FeedbackContext* feedback, uint64_t fragment) {
   std::vector<AccessPath> paths;
   const TableDef* table = catalog.GetTable(rel.table_id);
   QOPT_DCHECK(table != nullptr);
@@ -129,6 +128,9 @@ std::vector<AccessPath> EnumerateAccessPaths(const plan::QGRelation& rel,
           ? base
           : cost::ApplyPredicateStats(
                 base, plan::MakeConjunction(rel.local_preds));
+  // Feedback before fallback: an observed cardinality for this exact
+  // relation + predicate fragment beats the derived estimate.
+  after.rows = cost::FeedbackRows(feedback, fragment, after.rows);
   *out_stats = after;
 
   double table_rows = base.rows;

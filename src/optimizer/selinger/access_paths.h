@@ -27,13 +27,14 @@ struct AccessPath {
 /// Populates `out_stats` with the relation's post-predicate derived
 /// statistics (a logical property shared by all paths). With
 /// `include_index_paths` false only the sequential scan is produced
-/// (search-space knob for experiments).
-std::vector<AccessPath> EnumerateAccessPaths(const plan::QGRelation& rel,
-                                             const Catalog& catalog,
-                                             const cost::CostModel& model,
-                                             stats::RelStats* out_stats,
-                                             bool include_index_paths = true,
-                                             bool include_seq_scan = true);
+/// (search-space knob for experiments). When a feedback context and the
+/// relation's fragment fingerprint are given, an observed cardinality
+/// overrides the post-predicate row estimate (feedback before fallback).
+std::vector<AccessPath> EnumerateAccessPaths(
+    const plan::QGRelation& rel, const Catalog& catalog,
+    const cost::CostModel& model, stats::RelStats* out_stats,
+    bool include_index_paths = true, bool include_seq_scan = true,
+    stats::FeedbackContext* feedback = nullptr, uint64_t fragment = 0);
 
 /// Modeled page count of an intermediate result (8 bytes/column).
 double EstimatePages(double rows, double num_cols);

@@ -54,14 +54,16 @@ class SelingerImpl {
                const cost::CostModel& model, const SelingerOptions& options,
                SelingerCounters* counters,
                const ResourceGovernor* governor = nullptr,
-               OptTrace* trace = nullptr)
+               OptTrace* trace = nullptr,
+               stats::FeedbackContext* feedback = nullptr)
       : graph_(graph),
         catalog_(catalog),
         model_(model),
         options_(options),
         counters_(counters),
         governor_(governor),
-        trace_(trace) {
+        trace_(trace),
+        feedback_(feedback) {
     for (const plan::QGEdge& e : graph.edges) {
       interesting_.insert(e.left);
       interesting_.insert(e.right);
@@ -75,11 +77,18 @@ class SelingerImpl {
   /// Bitmask with relation index `i` set.
   static uint64_t Bit(int i) { return 1ULL << i; }
 
+  /// Fragment fingerprints for feedback lookups, built on first use.
+  stats::FragmentKeys& Keys() {
+    if (!keys_) keys_ = std::make_unique<stats::FragmentKeys>(&graph_);
+    return *keys_;
+  }
+
   Entry MakeBaseEntry(int rel_index) {
     Entry entry;
     std::vector<AccessPath> paths = EnumerateAccessPaths(
         graph_.relations[rel_index], catalog_, model_, &entry.stats,
-        options_.enable_index_scan, options_.enable_seq_scan);
+        options_.enable_index_scan, options_.enable_seq_scan, feedback_,
+        feedback_ != nullptr ? Keys().ForSubset(Bit(rel_index)) : 0);
     entry.stats_set = true;
     size_t considered = paths.size();
     for (AccessPath& p : paths) {
@@ -104,11 +113,16 @@ class SelingerImpl {
       std::vector<RelStats> base;
       for (size_t i = 0; i < graph_.relations.size(); ++i) {
         RelStats rs;
-        EnumerateAccessPaths(graph_.relations[i], catalog_, model_, &rs);
+        EnumerateAccessPaths(
+            graph_.relations[i], catalog_, model_, &rs,
+            /*include_index_paths=*/true, /*include_seq_scan=*/true, feedback_,
+            feedback_ != nullptr ? Keys().ForSubset(Bit(static_cast<int>(i)))
+                                 : 0);
         base.push_back(std::move(rs));
       }
-      stats_cache_ =
-          std::make_unique<SubsetStatsCache>(&graph_, std::move(base));
+      stats_cache_ = std::make_unique<SubsetStatsCache>(&graph_,
+                                                        std::move(base),
+                                                        feedback_);
     }
     return *stats_cache_;
   }
@@ -539,8 +553,10 @@ class SelingerImpl {
   SelingerCounters* counters_;
   const ResourceGovernor* governor_;
   OptTrace* trace_;
+  stats::FeedbackContext* feedback_;
   std::set<ColumnId> interesting_;
   std::unique_ptr<SubsetStatsCache> stats_cache_;
+  std::unique_ptr<stats::FragmentKeys> keys_;
 
  public:
   Result<exec::PhysPtr> Optimize(const std::vector<SortKey>& required_order,
@@ -566,7 +582,7 @@ Result<exec::PhysPtr> SelingerOptimizer::OptimizeJoinBlock(
     reason = "join block too large for DP (n > 24)";
   } else {
     SelingerImpl impl(graph, catalog_, model_, options_, &counters_,
-                      governor_, trace_);
+                      governor_, trace_, feedback_);
     Result<exec::PhysPtr> result = impl.Optimize(required_order,
                                                  &result_stats_);
     if (result.ok() ||
@@ -583,7 +599,7 @@ Result<exec::PhysPtr> SelingerOptimizer::OptimizeJoinBlock(
     trace_->Add("selinger", "degraded to greedy left-deep: " + reason);
   }
   return GreedyLeftDeepPlan(graph, catalog_, model_, required_order,
-                            &result_stats_);
+                            &result_stats_, feedback_);
 }
 
 Result<NaiveEnumResult> NaiveEnumerateLinear(const QueryGraph& graph,

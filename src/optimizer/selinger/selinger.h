@@ -78,6 +78,11 @@ class SelingerOptimizer {
   /// events are logged per subset. Null (the default) disables tracing.
   void set_trace(OptTrace* trace) { trace_ = trace; }
 
+  /// Optional cardinality-feedback context: observed fragment cardinalities
+  /// override derived estimates for base relations and join subsets. Null
+  /// (the default) estimates from statistics alone.
+  void set_feedback(stats::FeedbackContext* feedback) { feedback_ = feedback; }
+
   /// True if the last OptimizeJoinBlock fell back to the greedy heuristic
   /// (budget exhausted or block too large for DP).
   bool degraded() const { return degraded_; }
@@ -91,6 +96,7 @@ class SelingerOptimizer {
   stats::RelStats result_stats_;
   const ResourceGovernor* governor_ = nullptr;
   OptTrace* trace_ = nullptr;
+  stats::FeedbackContext* feedback_ = nullptr;
   bool degraded_ = false;
   std::string degraded_reason_;
 };

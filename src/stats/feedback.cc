@@ -1,0 +1,365 @@
+#include "stats/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "testing/fault_injection.h"
+
+namespace qopt::stats {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  // FNV-1a over the value's bytes, one word at a time.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Domain tags keep structurally different conjuncts from colliding.
+enum Tag : uint64_t {
+  kTagComparison = 0x9d3f,
+  kTagEquiJoin = 0xa17b,
+  kTagColumn = 0xb2c9,
+  kTagLiteral = 0xc48d,
+  kTagNode = 0xd56f,
+  kTagFragment = 0xe683,
+};
+
+uint64_t ColumnHash(ColumnId c, const std::function<int(int)>& rel_table) {
+  int table = rel_table ? rel_table(c.rel) : -1;
+  uint64_t h = Mix(kFnvOffset, kTagColumn);
+  // Unknown table: fall back to the rel id, offset so it cannot collide
+  // with a real table id.
+  h = Mix(h, table >= 0 ? static_cast<uint64_t>(table)
+                        : 0x8000000000000000ULL + static_cast<uint64_t>(c.rel));
+  return Mix(h, static_cast<uint64_t>(c.col));
+}
+
+/// Structural hash of an arbitrary expression node. AND/OR/IN operand order
+/// is canonicalized (commutative); everything else hashes in order.
+uint64_t HashExpr(const plan::BExpr& e,
+                  const std::function<int(int)>& rel_table) {
+  if (e == nullptr) return 0;
+  uint64_t h = Mix(kFnvOffset, kTagNode);
+  h = Mix(h, static_cast<uint64_t>(e->kind));
+  switch (e->kind) {
+    case plan::BoundKind::kColumn:
+      return Mix(h, ColumnHash(e->column, rel_table));
+    case plan::BoundKind::kLiteral:
+      h = Mix(h, kTagLiteral);
+      return Mix(h, static_cast<uint64_t>(e->literal.Hash()));
+    default:
+      break;
+  }
+  h = Mix(h, static_cast<uint64_t>(e->op));
+  h = Mix(h, e->negated ? 1 : 0);
+  std::vector<uint64_t> kids;
+  kids.reserve(e->children.size());
+  for (const plan::BExpr& c : e->children) kids.push_back(HashExpr(c, rel_table));
+  bool commutative =
+      e->kind == plan::BoundKind::kBinary &&
+      (e->op == ast::BinaryOp::kAnd || e->op == ast::BinaryOp::kOr);
+  if (e->kind == plan::BoundKind::kInList && kids.size() > 1) {
+    // The probed expression stays first; the list is a set.
+    std::sort(kids.begin() + 1, kids.end());
+  } else if (commutative) {
+    std::sort(kids.begin(), kids.end());
+  }
+  for (uint64_t k : kids) h = Mix(h, k);
+  return h;
+}
+
+double Median(std::deque<double> window) {
+  std::sort(window.begin(), window.end());
+  size_t n = window.size();
+  if (n == 0) return 0;
+  return n % 2 == 1 ? window[n / 2]
+                    : (window[n / 2 - 1] + window[n / 2]) / 2.0;
+}
+
+double FeedbackQError(double est, double act) {
+  double e = est > 1.0 ? est : 1.0;
+  double a = act > 1.0 ? act : 1.0;
+  return e > a ? e / a : a / e;
+}
+
+}  // namespace
+
+uint64_t HashComparisonConjunct(ast::BinaryOp op, int table_id, int column,
+                                const Value& constant) {
+  uint64_t h = Mix(kFnvOffset, kTagComparison);
+  h = Mix(h, static_cast<uint64_t>(op));
+  h = Mix(h, static_cast<uint64_t>(table_id));
+  h = Mix(h, static_cast<uint64_t>(column));
+  return Mix(h, static_cast<uint64_t>(constant.Hash()));
+}
+
+uint64_t HashEquiJoinConjunct(int table1, int col1, int table2, int col2) {
+  if (table2 < table1 || (table2 == table1 && col2 < col1)) {
+    std::swap(table1, table2);
+    std::swap(col1, col2);
+  }
+  uint64_t h = Mix(kFnvOffset, kTagEquiJoin);
+  h = Mix(h, static_cast<uint64_t>(table1));
+  h = Mix(h, static_cast<uint64_t>(col1));
+  h = Mix(h, static_cast<uint64_t>(table2));
+  return Mix(h, static_cast<uint64_t>(col2));
+}
+
+uint64_t HashConjunct(const plan::BExpr& e,
+                      const std::function<int(int)>& rel_table) {
+  if (e == nullptr) return 0;
+  ColumnId col;
+  ast::BinaryOp op;
+  Value constant;
+  if (plan::MatchColumnConstant(e, &col, &op, &constant)) {
+    int table = rel_table ? rel_table(col.rel) : -1;
+    if (table >= 0) return HashComparisonConjunct(op, table, col.col, constant);
+  }
+  if (e->kind == plan::BoundKind::kBinary && e->op == ast::BinaryOp::kEq &&
+      e->children.size() == 2 &&
+      e->children[0]->kind == plan::BoundKind::kColumn &&
+      e->children[1]->kind == plan::BoundKind::kColumn) {
+    int t1 = rel_table ? rel_table(e->children[0]->column.rel) : -1;
+    int t2 = rel_table ? rel_table(e->children[1]->column.rel) : -1;
+    if (t1 >= 0 && t2 >= 0) {
+      return HashEquiJoinConjunct(t1, e->children[0]->column.col, t2,
+                                  e->children[1]->column.col);
+    }
+  }
+  return HashExpr(e, rel_table);
+}
+
+uint64_t FragmentFingerprint(std::vector<int> table_ids,
+                             std::vector<uint64_t> conjunct_hashes) {
+  if (table_ids.empty()) return 0;
+  std::sort(table_ids.begin(), table_ids.end());
+  std::sort(conjunct_hashes.begin(), conjunct_hashes.end());
+  uint64_t h = Mix(kFnvOffset, kTagFragment);
+  h = Mix(h, table_ids.size());
+  for (int t : table_ids) h = Mix(h, static_cast<uint64_t>(t));
+  h = Mix(h, conjunct_hashes.size());
+  for (uint64_t c : conjunct_hashes) h = Mix(h, c);
+  return h != 0 ? h : 1;  // Reserve 0 for "unkeyable".
+}
+
+// --- FragmentKeys ----------------------------------------------------------
+
+FragmentKeys::FragmentKeys(const plan::QueryGraph* graph) {
+  auto rel_table = [graph](int rel_id) {
+    int idx = graph->RelIndex(rel_id);
+    return idx >= 0 ? graph->relations[static_cast<size_t>(idx)].table_id : -1;
+  };
+  rels_.reserve(graph->relations.size());
+  for (const plan::QGRelation& r : graph->relations) {
+    RelInfo info;
+    info.table_id = r.table_id;
+    for (const plan::BExpr& p : r.local_preds) {
+      std::vector<plan::BExpr> conjuncts;
+      plan::SplitConjuncts(p, &conjuncts);
+      for (const plan::BExpr& c : conjuncts) {
+        info.conjuncts.push_back(HashConjunct(c, rel_table));
+      }
+    }
+    rels_.push_back(std::move(info));
+  }
+  auto pred_mask = [&](const plan::BExpr& p) {
+    std::set<ColumnId> cols;
+    plan::CollectColumns(p, &cols);
+    uint64_t m = 0;
+    for (ColumnId c : cols) {
+      int idx = graph->RelIndex(c.rel);
+      if (idx >= 0) m |= 1ULL << idx;
+    }
+    return m;
+  };
+  for (const plan::QGEdge& e : graph->edges) {
+    PredInfo info;
+    info.mask = pred_mask(e.pred);
+    info.conjuncts.push_back(HashConjunct(e.pred, rel_table));
+    preds_.push_back(std::move(info));
+  }
+  for (const plan::BExpr& p : graph->complex_preds) {
+    PredInfo info;
+    info.mask = pred_mask(p);
+    std::vector<plan::BExpr> conjuncts;
+    plan::SplitConjuncts(p, &conjuncts);
+    for (const plan::BExpr& c : conjuncts) {
+      info.conjuncts.push_back(HashConjunct(c, rel_table));
+    }
+    preds_.push_back(std::move(info));
+  }
+}
+
+uint64_t FragmentKeys::ForSubset(uint64_t mask) const {
+  std::vector<int> tables;
+  std::vector<uint64_t> conjuncts;
+  for (size_t i = 0; i < rels_.size(); ++i) {
+    if (!(mask & (1ULL << i))) continue;
+    if (rels_[i].table_id < 0) return 0;
+    tables.push_back(rels_[i].table_id);
+    conjuncts.insert(conjuncts.end(), rels_[i].conjuncts.begin(),
+                     rels_[i].conjuncts.end());
+  }
+  for (const PredInfo& p : preds_) {
+    if (p.mask != 0 && (p.mask & mask) == p.mask) {
+      conjuncts.insert(conjuncts.end(), p.conjuncts.begin(), p.conjuncts.end());
+    }
+  }
+  return FragmentFingerprint(std::move(tables), std::move(conjuncts));
+}
+
+// --- CardinalityFeedbackStore ----------------------------------------------
+
+CardinalityFeedbackStore::CardinalityFeedbackStore(FeedbackOptions options)
+    : options_(options) {}
+
+void CardinalityFeedbackStore::Configure(const FeedbackOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+}
+
+FeedbackOptions CardinalityFeedbackStore::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+double CardinalityFeedbackStore::WeightLocked(uint64_t entry_epoch) const {
+  if (options_.decay_half_life <= 0) return 1.0;
+  double age = static_cast<double>(epoch_ - entry_epoch);
+  return std::exp2(-age / options_.decay_half_life);
+}
+
+void CardinalityFeedbackStore::EraseLocked(uint64_t fragment) {
+  auto it = map_.find(fragment);
+  if (it == map_.end()) return;
+  lru_.erase(it->second.lru);
+  map_.erase(it);
+}
+
+std::optional<double> CardinalityFeedbackStore::Lookup(uint64_t fragment) {
+  if (fragment == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(fragment);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (WeightLocked(it->second.epoch) < options_.min_weight) {
+    // Decayed out: the observation is too stale to trust.
+    EraseLocked(fragment);
+    ++evictions_;
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  ++hits_;
+  return it->second.rows;
+}
+
+Status CardinalityFeedbackStore::RecordBatch(
+    const std::vector<FeedbackObservation>& observations) {
+  QOPT_FAULT_POINT("feedback.store.insert");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
+  for (const FeedbackObservation& obs : observations) {
+    if (obs.fragment == 0) continue;
+    auto it = map_.find(obs.fragment);
+    if (it != map_.end()) {
+      Entry& e = it->second;
+      e.rows = (1.0 - options_.ewma_alpha) * e.rows +
+               options_.ewma_alpha * obs.act_rows;
+      e.epoch = epoch_;
+      lru_.splice(lru_.begin(), lru_, e.lru);
+    } else {
+      lru_.push_front(obs.fragment);
+      Entry e;
+      e.rows = obs.act_rows;
+      e.epoch = epoch_;
+      e.lru = lru_.begin();
+      map_.emplace(obs.fragment, e);
+      ++inserts_;
+      while (map_.size() > options_.capacity && !lru_.empty()) {
+        EraseLocked(lru_.back());
+        ++evictions_;
+      }
+    }
+    if (obs.est_rows >= 0) {
+      double q = FeedbackQError(obs.est_rows, obs.act_rows);
+      for (int table : obs.tables) {
+        TableDrift& d = drift_[table];
+        d.window.push_back(q);
+        while (d.window.size() > options_.drift_window) d.window.pop_front();
+        if (!d.pending && d.window.size() >= options_.drift_min_samples &&
+            epoch_ - d.last_analyze_epoch >= options_.drift_cooldown &&
+            Median(d.window) > options_.drift_threshold) {
+          d.pending = true;
+          ++drift_flags_;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int> CardinalityFeedbackStore::TakeTablesNeedingAnalyze() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> tables;
+  for (auto& [table, d] : drift_) {
+    if (!d.pending) continue;
+    d.pending = false;
+    d.last_analyze_epoch = epoch_;
+    d.window.clear();  // Post-ANALYZE estimates deserve a fresh window.
+    tables.push_back(table);
+  }
+  std::sort(tables.begin(), tables.end());
+  return tables;
+}
+
+void CardinalityFeedbackStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  drift_.clear();
+}
+
+FeedbackStoreStats CardinalityFeedbackStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FeedbackStoreStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.inserts = inserts_;
+  s.evictions = evictions_;
+  s.drift_flags = drift_flags_;
+  s.entries = map_.size();
+  s.epoch = epoch_;
+  return s;
+}
+
+// --- FeedbackContext -------------------------------------------------------
+
+std::optional<double> FeedbackContext::Consult(uint64_t fragment) {
+  if (store == nullptr || fragment == 0) return std::nullopt;
+  ++lookups;
+  std::optional<double> rows = store->Lookup(fragment);
+  if (rows.has_value()) {
+    ++hits;
+    if (trace) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "hit frag=%016llx observed_rows=%.0f",
+                    static_cast<unsigned long long>(fragment), *rows);
+      trace(buf);
+    }
+  }
+  return rows;
+}
+
+}  // namespace qopt::stats

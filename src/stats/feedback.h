@@ -1,0 +1,211 @@
+// Cardinality feedback store (ROADMAP item 1, after Chaudhuri §5's
+// observation that estimation is the optimizer's weakest link): observed
+// per-plan-fragment cardinalities harvested from executed queries, consulted
+// by the selectivity estimator before it falls back to histograms or magic
+// constants.
+//
+// A *fragment* is a logical sub-result of an inner-join block: a set of base
+// tables together with every predicate conjunct applied within it (scan
+// bounds, residual filters, join predicates). Its fingerprint is
+// order-insensitive and alias-free — columns hash as (table id, column
+// index), literal values are included — so an observation made while
+// executing one query corrects the estimate of any later query computing the
+// same logical sub-result, exactly the value-specific correction histograms
+// miss on skewed data.
+//
+// The store is a thread-safe bounded LRU owned by the Database. Entries
+// carry an epoch stamp (one epoch per harvested query); a stale entry's
+// trust decays exponentially with age and it is dropped once below a floor.
+// Per-table q-error windows drive drift detection: when the median q-error
+// of a table's fragments exceeds a threshold the engine re-ANALYZEs it,
+// bumping `stats_version` and thereby invalidating affected plan-cache
+// entries.
+#ifndef QOPT_STATS_FEEDBACK_H_
+#define QOPT_STATS_FEEDBACK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/expr.h"
+#include "plan/query_graph.h"
+
+namespace qopt::stats {
+
+// --- Fragment fingerprints -------------------------------------------------
+
+/// Hash of one comparison conjunct `table.col <op> constant`, with `op`
+/// already normalized to column-on-left (plan::MatchColumnConstant form).
+/// Shared by the logical side (expression trees) and the physical side
+/// (index-scan bounds reconstructed into conjuncts) so both produce the
+/// same fragment fingerprints.
+uint64_t HashComparisonConjunct(ast::BinaryOp op, int table_id, int column,
+                                const Value& constant);
+
+/// Hash of an equi-join conjunct `t1.c1 = t2.c2`; operand order does not
+/// matter.
+uint64_t HashEquiJoinConjunct(int table1, int col1, int table2, int col2);
+
+/// Hash of an arbitrary predicate conjunct, normalized so the same logical
+/// predicate hashes identically wherever it appears (scan residual, Filter
+/// node, join predicate or residual). `rel_table` maps a relation id to its
+/// table id (-1 if unknown — the conjunct then hashes by rel id, still
+/// stable within one plan).
+uint64_t HashConjunct(const plan::BExpr& e,
+                      const std::function<int(int)>& rel_table);
+
+/// Combines a fragment's table-id multiset and conjunct-hash multiset into
+/// its fingerprint. Both inputs are unordered; 0 is never returned for a
+/// non-empty table set (0 means "unkeyable" throughout this module).
+uint64_t FragmentFingerprint(std::vector<int> table_ids,
+                             std::vector<uint64_t> conjunct_hashes);
+
+/// Fragment fingerprints for the relation subsets of one join block's query
+/// graph — the estimation-side mirror of what the executor harvests from
+/// physical plans. A subset's fragment covers its tables, their local
+/// predicates, every join edge internal to the subset and every complex
+/// predicate first covered by it.
+class FragmentKeys {
+ public:
+  explicit FragmentKeys(const plan::QueryGraph* graph);
+
+  /// Fingerprint for the join of the relations in `mask` (bit i = relation
+  /// index i). A single-bit mask is a base relation with its local
+  /// predicates.
+  uint64_t ForSubset(uint64_t mask) const;
+
+ private:
+  struct RelInfo {
+    int table_id = -1;
+    std::vector<uint64_t> conjuncts;  ///< Local predicate conjunct hashes.
+  };
+  struct PredInfo {
+    uint64_t mask = 0;  ///< Relations the predicate touches.
+    std::vector<uint64_t> conjuncts;
+  };
+  std::vector<RelInfo> rels_;
+  std::vector<PredInfo> preds_;  ///< Edges + complex predicates.
+};
+
+// --- Store -----------------------------------------------------------------
+
+/// Tuning knobs; defaults are deliberately conservative. All thresholds are
+/// runtime-configurable (tests shrink them to force drift deterministically).
+struct FeedbackOptions {
+  size_t capacity = 4096;       ///< Max fragments retained (LRU beyond).
+  double ewma_alpha = 0.5;      ///< Weight of the newest observation.
+  double decay_half_life = 64;  ///< Epochs for an entry's trust to halve.
+  double min_weight = 0.05;     ///< Entries decayed below this are dropped.
+  /// Median q-error over a table's fragment window that triggers
+  /// auto-ANALYZE (the drift detector).
+  double drift_threshold = 2.0;
+  size_t drift_min_samples = 8;    ///< Window size required before drifting.
+  size_t drift_window = 64;        ///< Max q-error samples kept per table.
+  uint64_t drift_cooldown = 4;     ///< Epochs between auto-ANALYZEs per table.
+  /// Observed/estimated divergence beyond which a cached plan is evicted
+  /// and re-optimized (the plan-regression detector, applied by the engine).
+  double regression_threshold = 4.0;
+};
+
+/// One harvested fragment cardinality.
+struct FeedbackObservation {
+  uint64_t fragment = 0;     ///< Fragment fingerprint; 0 = unkeyable.
+  std::vector<int> tables;   ///< Base tables the fragment covers.
+  double est_rows = -1;      ///< Optimizer estimate; <0 = unknown (no
+                             ///< q-error sample is recorded).
+  double act_rows = 0;       ///< Observed rows (gather-merged in parallel).
+};
+
+struct FeedbackStoreStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;    ///< Capacity + decay evictions.
+  uint64_t drift_flags = 0;  ///< Tables flagged for auto-ANALYZE.
+  size_t entries = 0;
+  uint64_t epoch = 0;
+};
+
+/// Thread-safe bounded LRU of fragment cardinalities with exponential decay
+/// of stale entries and per-table drift detection. One instance lives on the
+/// Database; every concurrently executing query reads and writes it.
+class CardinalityFeedbackStore {
+ public:
+  explicit CardinalityFeedbackStore(FeedbackOptions options = {});
+
+  /// Replaces the tuning knobs (test hook; existing entries are kept).
+  void Configure(const FeedbackOptions& options);
+  FeedbackOptions options() const;
+
+  /// Observed row count for `fragment`, or nullopt on miss / decayed-out
+  /// entry. Counts a hit or a miss; fragment 0 is always a silent miss.
+  std::optional<double> Lookup(uint64_t fragment);
+
+  /// Records one query's harvested observations and advances the epoch.
+  /// Observations with fragment 0 are skipped; observations with a known
+  /// estimate additionally feed the owning tables' drift windows. The
+  /// fault point `feedback.store.insert` guards the mutation: on an armed
+  /// fault nothing is inserted and the injected Status is returned (the
+  /// caller treats feedback as advisory and must not fail the query).
+  Status RecordBatch(const std::vector<FeedbackObservation>& observations);
+
+  /// Tables whose predicate q-error has drifted beyond the threshold since
+  /// the last call; clears the flag and resets their windows (the caller
+  /// runs ANALYZE on them).
+  std::vector<int> TakeTablesNeedingAnalyze();
+
+  void Clear();
+  FeedbackStoreStats stats() const;
+
+ private:
+  struct Entry {
+    double rows = 0;
+    uint64_t epoch = 0;
+    std::list<uint64_t>::iterator lru;
+  };
+  struct TableDrift {
+    std::deque<double> window;        ///< Recent q-errors, bounded.
+    uint64_t last_analyze_epoch = 0;  ///< Cooldown anchor.
+    bool pending = false;
+  };
+
+  /// Trust of an entry last refreshed at `entry_epoch`: 2^(-age/half_life).
+  double WeightLocked(uint64_t entry_epoch) const;
+  void EraseLocked(uint64_t fragment);
+
+  mutable std::mutex mu_;
+  FeedbackOptions options_;
+  std::list<uint64_t> lru_;  ///< Front = most recently used.
+  std::unordered_map<uint64_t, Entry> map_;
+  std::unordered_map<int, TableDrift> drift_;
+  uint64_t epoch_ = 0;
+  uint64_t hits_ = 0, misses_ = 0, inserts_ = 0, evictions_ = 0;
+  uint64_t drift_flags_ = 0;
+};
+
+/// Per-query view of the store threaded through the optimizer (mirrors how
+/// the governor and trace ride along): counts consultations and optionally
+/// narrates hits into the optimizer trace. One context serves one query
+/// compilation; the store itself is shared and thread-safe.
+struct FeedbackContext {
+  CardinalityFeedbackStore* store = nullptr;
+  /// Optional sink for per-hit trace lines (wired to OptTrace by the engine;
+  /// a std::function keeps this module independent of the optimizer layer).
+  std::function<void(const std::string&)> trace;
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+
+  /// Observed rows for `fragment`, or nullopt. Counts the consultation.
+  std::optional<double> Consult(uint64_t fragment);
+};
+
+}  // namespace qopt::stats
+
+#endif  // QOPT_STATS_FEEDBACK_H_

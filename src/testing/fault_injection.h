@@ -35,6 +35,7 @@ inline constexpr const char* kFaultPoints[] = {
     "exec.batch.alloc",       ///< RowBatch allocation on the vectorized path.
     "session.admit",          ///< Session admission (before queueing).
     "catalog.snapshot",       ///< Catalog snapshot acquisition per query.
+    "feedback.store.insert",  ///< Cardinality-feedback harvest insertion.
 };
 
 /// When an armed fault point fires.

@@ -102,4 +102,43 @@ std::string RandomJoinQuery(Topology topology, int n, uint64_t seed,
   return sql;
 }
 
+std::string RandomStarQuery(const StarSchemaSpec& spec, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  int ndims = spec.num_dimensions > 0 ? spec.num_dimensions : 1;
+  // Random non-empty dimension subset, stable under the seed.
+  std::vector<int> dims;
+  for (int d = 0; d < ndims; ++d) dims.push_back(d);
+  for (int d = ndims - 1; d > 0; --d) {
+    std::swap(dims[d], dims[rng() % (d + 1)]);
+  }
+  dims.resize(1 + static_cast<size_t>(rng() % ndims));
+
+  // COUNT rather than SUM(measure): feedback may legally change the join
+  // order, and a reordered double summation is not bit-identical — the
+  // differential harness needs exact arithmetic.
+  bool aggregate = rng() % 2 == 0;
+  std::string sql = aggregate ? "SELECT COUNT(*) FROM fact f"
+                              : "SELECT f.id FROM fact f";
+  for (int d : dims) {
+    std::string ds = std::to_string(d);
+    sql += ", dim" + ds + " d" + ds;
+  }
+  std::string where;
+  auto add = [&where](const std::string& pred) {
+    if (!where.empty()) where += " AND ";
+    where += pred;
+  };
+  int64_t attr_ndv =
+      spec.dim_filter_ndv >= 1 ? static_cast<int64_t>(spec.dim_filter_ndv) : 1;
+  for (int d : dims) {
+    std::string ds = std::to_string(d);
+    add("f.d" + ds + "_id = d" + ds + ".id");
+    add("d" + ds + ".attr = " + std::to_string(rng() % attr_ndv));
+  }
+  if (rng() % 2 == 0) {
+    add("f.measure < " + std::to_string(100 + rng() % 900));
+  }
+  return sql + " WHERE " + where;
+}
+
 }  // namespace qopt::workload

@@ -4,6 +4,7 @@
 #define QOPT_WORKLOAD_QUERY_GEN_H_
 
 #include "workload/datagen.h"
+#include "workload/star_schema.h"
 
 namespace qopt::workload {
 
@@ -32,6 +33,16 @@ std::string JoinQuery(Topology topology, int n, bool count_star = true);
 /// seed always yields the same SQL.
 std::string RandomJoinQuery(Topology topology, int n, uint64_t seed,
                             bool group_by = false);
+
+/// Seeded random star query over a BuildStarSchema database: joins the fact
+/// table with a random non-empty subset of the dimensions, an equality
+/// filter on each joined dimension's attr (drawn from [0, dim_filter_ndv)
+/// so values repeat across seeds — the repetition cardinality feedback
+/// learns from), optionally a range filter on the measure, and either
+/// COUNT(*) or a plain projection on top (exact arithmetic, so results are
+/// bit-identical regardless of join order). The same seed always yields
+/// the same SQL.
+std::string RandomStarQuery(const StarSchemaSpec& spec, uint64_t seed);
 
 }  // namespace qopt::workload
 

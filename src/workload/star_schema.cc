@@ -9,8 +9,10 @@ Status BuildStarSchema(Database* db, const StarSchemaSpec& spec) {
     std::vector<ColumnSpec> cols = {
         {.name = "id", .kind = ColumnSpec::Kind::kSequential},
         {.name = "attr",
-         .kind = ColumnSpec::Kind::kUniform,
-         .ndv = static_cast<int64_t>(spec.dim_filter_ndv)},
+         .kind = spec.dim_attr_theta > 0 ? ColumnSpec::Kind::kZipf
+                                         : ColumnSpec::Kind::kUniform,
+         .ndv = static_cast<int64_t>(spec.dim_filter_ndv),
+         .theta = spec.dim_attr_theta},
     };
     QOPT_RETURN_IF_ERROR(CreateAndLoadTable(db, name, cols, spec.dim_rows,
                                             spec.seed + d, "id"));
@@ -24,8 +26,11 @@ Status BuildStarSchema(Database* db, const StarSchemaSpec& spec) {
       {.name = "id", .kind = ColumnSpec::Kind::kSequential}};
   for (int d = 0; d < spec.num_dimensions; ++d) {
     fact_cols.push_back({.name = "d" + std::to_string(d) + "_id",
-                         .kind = ColumnSpec::Kind::kUniform,
-                         .ndv = spec.dim_rows});
+                         .kind = spec.fact_fk_theta > 0
+                                     ? ColumnSpec::Kind::kZipf
+                                     : ColumnSpec::Kind::kUniform,
+                         .ndv = spec.dim_rows,
+                         .theta = spec.fact_fk_theta});
   }
   fact_cols.push_back({.name = "measure",
                        .kind = ColumnSpec::Kind::kUniformReal,

@@ -15,6 +15,12 @@ struct StarSchemaSpec {
   int64_t dim_rows = 50;          ///< Rows per dimension table.
   double dim_filter_ndv = 10;     ///< Distinct values of each dim attribute.
   bool index_fact_fks = true;     ///< Secondary indexes on fact FKs.
+  /// Zipf skew of the fact foreign keys / dimension attributes (0 =
+  /// uniform, the default). Skew makes per-value cardinalities diverge from
+  /// the uniform-frequency assumption histograms fall back on — the setting
+  /// where value-specific cardinality feedback pays off.
+  double fact_fk_theta = 0;
+  double dim_attr_theta = 0;
   uint64_t seed = 42;
 };
 

@@ -1,0 +1,126 @@
+// Concurrency coverage for the cardinality feedback loop, run fully under
+// TSan in CI: many sessions execute instrumented queries (each harvesting
+// observations into the shared CardinalityFeedbackStore) while DDL and
+// ANALYZE race the catalog snapshots, and stale statistics push the
+// drift detector into triggering auto-ANALYZE mid-flight. The assertions
+// are about safety and accounting — no data race (TSan), no failed query,
+// and store/metric counters that add up — not about specific plans.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/session.h"
+#include "tests/testing/db_fixtures.h"
+
+namespace qopt {
+namespace {
+
+using testing::LoadEmpDept;
+
+/// Bulk-loads extra Emp rows WITHOUT re-analyzing, so the optimizer's
+/// estimates are stale by roughly `factor`× — enough to push the per-table
+/// median q-error over the drift threshold once harvests accumulate.
+void StaleGrowEmp(Database* db, int base_rows, int factor) {
+  std::mt19937_64 rng(777);
+  std::vector<Row> extra;
+  for (int e = 0; e < base_rows * (factor - 1); ++e) {
+    int d = static_cast<int>(rng() % 10);
+    extra.push_back({Value::Int(base_rows + e), Value::Int(d),
+                     Value::Double(30000 + static_cast<double>(rng() % 90000)),
+                     Value::Int(20 + static_cast<int64_t>(rng() % 40)),
+                     Value::String("dept" + std::to_string(d))});
+  }
+  ASSERT_TRUE(db->BulkLoad("Emp", std::move(extra)).ok());
+}
+
+TEST(FeedbackConcurrencyTest, HarvestsRaceQueriesDdlAndDrift) {
+  Database db;
+  LoadEmpDept(&db, 400, 10);
+  StaleGrowEmp(&db, 400, 4);  // 1600 rows, stats still say 400.
+
+  constexpr int kSessions = 8;
+  constexpr int kPerSession = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSessions; ++t) {
+    threads.emplace_back([&db, &failures, t] {
+      Session session = db.OpenSession();
+      QueryOptions options;
+      options.analyze = true;  // Instrumented: every run harvests.
+      for (int i = 0; i < kPerSession; ++i) {
+        const int pick = (t + i) % 3;
+        std::string sql =
+            pick == 0 ? "SELECT e.eid, d.name FROM Emp e, Dept d "
+                        "WHERE e.did = d.did AND e.sal > 50000"
+            : pick == 1 ? "SELECT e.eid FROM Emp e WHERE e.did = " +
+                              std::to_string(i % 10)
+                        : "SELECT d.name, COUNT(*) FROM Emp e, Dept d "
+                          "WHERE e.did = d.did GROUP BY d.name";
+        auto result = session.Query(sql, options);
+        if (!result.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  // DDL thread: races fresh catalog snapshots (and stats_version bumps)
+  // against the harvesting readers and the drift-triggered auto-ANALYZEs.
+  std::thread ddl([&db] {
+    Session session = db.OpenSession();
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(session.Execute("CREATE TABLE fb_side_" +
+                                  std::to_string(i) +
+                                  " (k INT PRIMARY KEY, v INT)")
+                      .ok());
+      ASSERT_TRUE(session.Analyze("Dept").ok());
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  ddl.join();
+
+  EXPECT_EQ(failures.load(), 0);
+
+  // Accounting is consistent after the storm.
+  stats::FeedbackStoreStats s = db.feedback_store().stats();
+  EXPECT_GT(s.inserts, 0u);
+  EXPECT_GT(s.entries, 0u);
+  EXPECT_LE(s.entries, db.feedback_store().options().capacity);
+  EXPECT_LE(s.evictions, s.inserts);  // Can't evict what was never inserted.
+
+  // The stale Emp statistics must have tripped the drift detector at least
+  // once; the auto-ANALYZE it issued repaired table_rows.
+  EXPECT_GE(db.metrics().GetCounter("feedback.drift_analyzes")->Value(), 1u);
+  EXPECT_EQ(db.CatalogSnapshot()->GetTable("Emp")->stats->row_count, 1600);
+}
+
+// Clear() while queries are in flight: the store may be wiped at any time
+// (e.g. by an operator) without affecting correctness.
+TEST(FeedbackConcurrencyTest, ClearRacesInFlightHarvests) {
+  Database db;
+  LoadEmpDept(&db, 300, 10);
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&db, &stop, &failures] {
+      Session session = db.OpenSession();
+      QueryOptions options;
+      options.analyze = true;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = session.Query(
+            "SELECT e.eid, d.name FROM Emp e, Dept d WHERE e.did = d.did",
+            options);
+        if (!result.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) db.feedback_store().Clear();
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace qopt

@@ -52,8 +52,11 @@ class ExplainAnalyzeTest : public ::testing::Test {
     QueryOptions options;
     options.execution_mode = mode;
     // Keep the golden output independent of what ran before: the cache
-    // header would otherwise read miss/hit depending on test order.
+    // header would otherwise read miss/hit depending on test order, and
+    // cardinality feedback harvested by an earlier sub-test could shift
+    // the plan (and the estimate annotations) mid-fixture.
     options.use_plan_cache = false;
+    options.use_feedback = false;
     if (mode == exec::ExecMode::kParallel) {
       options.dop = 4;
       options.morsel_rows = 64;

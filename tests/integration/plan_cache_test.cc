@@ -305,6 +305,168 @@ TEST_F(PlanCacheTest, ConcurrentQueriesOnOneFingerprintAreSafe) {
   EXPECT_GT(stats.hits, 0u);
 }
 
+// --- Cardinality-feedback interaction with the cache ---
+
+class PlanCacheFeedbackTest : public PlanCacheTest {
+ protected:
+  /// Bulk-loads `extra` additional Emp rows WITHOUT re-analyzing: the
+  /// statistics stay frozen at 600 rows, so every Emp estimate is off by
+  /// the growth factor — raw material for drift and regression detection.
+  void StaleGrowEmp(int extra) {
+    std::mt19937_64 rng(4242);
+    std::vector<Row> rows;
+    for (int e = 0; e < extra; ++e) {
+      int d = static_cast<int>(rng() % 20);
+      rows.push_back(
+          {Value::Int(600 + e), Value::Int(d),
+           Value::Double(30000 + static_cast<double>(rng() % 90000)),
+           Value::Int(20 + static_cast<int64_t>(rng() % 40)),
+           Value::String("dept" + std::to_string(d))});
+    }
+    ASSERT_TRUE(db_.BulkLoad("Emp", std::move(rows)).ok());
+  }
+
+  uint64_t DriftAnalyzes() {
+    return db_.metrics().GetCounter("feedback.drift_analyzes")->Value();
+  }
+  uint64_t PlanEvictions() {
+    return db_.metrics().GetCounter("feedback.plan_evictions")->Value();
+  }
+};
+
+// A feedback-driven auto-ANALYZE bumps only the drifted table's
+// stats_version: cached plans over that table are invalidated, everyone
+// else's entries keep hitting.
+TEST_F(PlanCacheFeedbackTest, DriftAnalyzeInvalidatesOnlyAffectedEntries) {
+  StaleGrowEmp(1800);  // 4x growth, stats still say 600.
+
+  // Warm three entries: one over Emp, two that never touch it.
+  const std::string emp_sql = "SELECT e.eid FROM Emp e WHERE e.sal > 70000";
+  const std::string dept_sql = "SELECT d.name FROM Dept d";
+  const std::string events_sql = "SELECT e.pk FROM events e WHERE e.b < 5";
+  for (const std::string& sql : {emp_sql, dept_sql, events_sql}) {
+    MustQuery(sql);
+    EXPECT_EQ(MustQuery(sql).optimize_info.plan_cache.outcome, Outcome::kHit);
+  }
+
+  // Instrumented Emp queries with fresh literals (cold fragments, so the
+  // store can't have pre-corrected the estimates) harvest ~4x q-errors
+  // until the drift detector pulls the auto-ANALYZE trigger.
+  QueryOptions analyze;
+  analyze.analyze = true;
+  for (int i = 0; i < 20 && DriftAnalyzes() == 0; ++i) {
+    MustQuery("SELECT e.eid FROM Emp e WHERE e.age < " + std::to_string(21 + i),
+              analyze);
+  }
+  ASSERT_GE(DriftAnalyzes(), 1u) << "drift never triggered auto-ANALYZE";
+
+  // Only the Emp entry fell out.
+  EXPECT_EQ(MustQuery(emp_sql).optimize_info.plan_cache.outcome,
+            Outcome::kInvalidated);
+  EXPECT_EQ(MustQuery(dept_sql).optimize_info.plan_cache.outcome,
+            Outcome::kHit);
+  EXPECT_EQ(MustQuery(events_sql).optimize_info.plan_cache.outcome,
+            Outcome::kHit);
+  // And the repair took: the auto-ANALYZE saw the grown table.
+  EXPECT_EQ(db_.CatalogSnapshot()->GetTable("Emp")->stats->row_count, 2400);
+}
+
+// A cached plan whose estimates diverge >k× from observed cardinality is
+// evicted by the regression detector, then re-enters the cache on the next
+// execution — recompiled against feedback-corrected estimates.
+TEST_F(PlanCacheFeedbackTest, RegressionEvictedPlanReentersCache) {
+  StaleGrowEmp(3000);  // 6x: worst-node q-error ~6 > regression threshold 4.
+  const std::string sql = "SELECT e.eid FROM Emp e WHERE e.sal > 40000";
+  QueryOptions analyze;
+  analyze.analyze = true;
+
+  QueryResult r1 = MustQuery(sql, analyze);
+  EXPECT_EQ(r1.optimize_info.plan_cache.outcome, Outcome::kMiss);
+  EXPECT_EQ(PlanEvictions(), 0u);  // A miss never triggers the detector.
+
+  // Cache hit executes the stale plan; the harvest sees the divergence and
+  // evicts the entry.
+  QueryResult r2 = MustQuery(sql, analyze);
+  EXPECT_EQ(r2.optimize_info.plan_cache.outcome, Outcome::kHit);
+  EXPECT_GE(PlanEvictions(), 1u) << "regression eviction never fired";
+
+  // Re-optimized (kMiss) with the store now holding the observed
+  // cardinality for this fragment, then served as an ordinary hit again.
+  QueryResult r3 = MustQuery(sql, analyze);
+  EXPECT_EQ(r3.optimize_info.plan_cache.outcome, Outcome::kMiss);
+  QueryResult r4 = MustQuery(sql, analyze);
+  EXPECT_EQ(r4.optimize_info.plan_cache.outcome, Outcome::kHit);
+
+  // Results were identical throughout the churn.
+  testing::ExpectSameRows(r2.rows, r1.rows, "stale hit");
+  testing::ExpectSameRows(r3.rows, r1.rows, "re-optimized");
+  testing::ExpectSameRows(r4.rows, r1.rows, "re-cached");
+}
+
+// Parametric entries are re-screened against corrected selectivities by
+// whole-entry eviction: once the observed cardinality contradicts the
+// pieces' estimates past the threshold, the entry is dropped and the next
+// literals rebuild the parametric sweep from feedback-corrected stats.
+TEST_F(PlanCacheFeedbackTest, ParametricEntriesRescreenedAfterFeedback) {
+  using workload::ColumnSpec;
+  std::vector<ColumnSpec> cols = {
+      {.name = "pk", .kind = ColumnSpec::Kind::kSequential},
+      {.name = "a", .kind = ColumnSpec::Kind::kUniform, .ndv = 10000},
+  };
+  ASSERT_TRUE(workload::CreateAndLoadTable(&db_, "obs", cols, /*rows=*/5000,
+                                           /*seed=*/13, "pk")
+                  .ok());
+  ASSERT_TRUE(db_.CreateIndex("idx_obs_a", "obs", "a").ok());
+  ASSERT_TRUE(db_.Analyze("obs").ok());
+  {
+    // 6x stale growth, mirroring StaleGrowEmp.
+    std::mt19937_64 rng(99);
+    std::vector<Row> rows;
+    for (int e = 0; e < 25000; ++e) {
+      rows.push_back({Value::Int(5000 + e),
+                      Value::Int(static_cast<int64_t>(rng() % 10000))});
+    }
+    ASSERT_TRUE(db_.BulkLoad("obs", std::move(rows)).ok());
+  }
+  auto sql_for = [](int v) {
+    return "SELECT o.pk FROM obs o WHERE o.a < " + std::to_string(v);
+  };
+  QueryOptions analyze;
+  analyze.analyze = true;
+
+  // Two misses with different literals build the parametric entry.
+  EXPECT_EQ(MustQuery(sql_for(500)).optimize_info.plan_cache.outcome,
+            Outcome::kMiss);
+  EXPECT_EQ(MustQuery(sql_for(600)).optimize_info.plan_cache.outcome,
+            Outcome::kMiss);
+
+  // Parametric hit, instrumented: the pieces were costed on 6x-stale
+  // stats, so the harvest evicts the whole entry.
+  QueryResult hit = MustQuery(sql_for(550), analyze);
+  ASSERT_EQ(hit.optimize_info.plan_cache.outcome, Outcome::kHitParametric);
+  EXPECT_GE(PlanEvictions(), 1u)
+      << "parametric entry survived a >threshold estimate divergence";
+
+  // The entry is gone: the next literals recompile (against corrected
+  // estimates where feedback has matching fragments) and rebuild the
+  // parametric sweep, which then serves hits again.
+  EXPECT_EQ(MustQuery(sql_for(700)).optimize_info.plan_cache.outcome,
+            Outcome::kMiss);
+  EXPECT_EQ(MustQuery(sql_for(800)).optimize_info.plan_cache.outcome,
+            Outcome::kMiss);
+  QueryResult rebuilt = MustQuery(sql_for(750));
+  EXPECT_EQ(rebuilt.optimize_info.plan_cache.outcome,
+            Outcome::kHitParametric);
+
+  // Correctness throughout: the parametric answers match an uncached run.
+  QueryOptions off;
+  off.use_plan_cache = false;
+  testing::ExpectSameRows(hit.rows, MustQuery(sql_for(550), off).rows,
+                          "stale parametric hit");
+  testing::ExpectSameRows(rebuilt.rows, MustQuery(sql_for(750), off).rows,
+                          "rebuilt parametric hit");
+}
+
 // --- PlanCache unit behavior (no database needed) ---
 
 TEST(PlanCacheUnitTest, LruEvictionRespectsEntryBudget) {

@@ -15,7 +15,9 @@ namespace {
 //   P3  enabling more of the search space never increases the chosen
 //       plan's estimated cost (monotonicity);
 //   P4  every execution mode — row, batch, and morsel-parallel at dop
-//       1/2/4/8 — returns the same result multiset (cross-mode parity).
+//       1/2/4/8 — returns the same result multiset (cross-mode parity);
+//   P5  cardinality feedback only changes plans and estimates, never row
+//       outputs — cold or warm, on or off.
 class QueryPropertyTest : public ::testing::TestWithParam<int> {
  protected:
   static Database* db() {
@@ -200,6 +202,32 @@ TEST_P(QueryPropertyTest, ExecutionModesAgreeOnRandomQueries) {
     testing::ExpectSameRows(result->rows, reference->rows,
                             sql + " dop=" + std::to_string(dop));
   }
+}
+
+TEST_P(QueryPropertyTest, FeedbackNeverChangesResults) {
+  uint64_t seed = 6000 + GetParam();
+  auto topology = static_cast<workload::Topology>(seed % 3);
+  int n = 2 + static_cast<int>(seed % 3);
+  std::string sql = workload::RandomJoinQuery(topology, n, seed,
+                                              /*group_by=*/seed % 2 == 0);
+  QueryOptions off;
+  off.use_feedback = false;
+  auto reference = db()->Query(sql, off);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString() << " " << sql;
+
+  // Instrumented feedback-on run: harvests observed cardinalities into the
+  // (suite-shared) store, so later seeds plan against a warmer store.
+  QueryOptions on;
+  on.analyze = true;  // use_feedback defaults on.
+  auto warmed = db()->Query(sql, on);
+  ASSERT_TRUE(warmed.ok()) << warmed.status().ToString() << " " << sql;
+  testing::ExpectSameRows(warmed->rows, reference->rows, "warming " + sql);
+
+  // Re-plan with the store now warmed for exactly this query's fragments:
+  // the plan may shift, the rows may not.
+  auto again = db()->Query(sql, on);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << " " << sql;
+  testing::ExpectSameRows(again->rows, reference->rows, "warmed " + sql);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest, ::testing::Range(0, 50));

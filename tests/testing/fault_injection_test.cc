@@ -26,6 +26,10 @@ struct Scenario {
   /// Issue through a Session (serving-layer fault points live before the
   /// raw Database::Query path).
   bool via_session = false;
+  /// The instrumented subsystem is advisory (cardinality feedback): the
+  /// injected fault must be swallowed — the query still succeeds with
+  /// correct rows — while the point itself must have fired.
+  bool advisory = false;
 };
 
 class FaultInjectionTest : public ::testing::Test {
@@ -81,6 +85,13 @@ class FaultInjectionTest : public ::testing::Test {
       sc.sql = "SELECT e.eid FROM Emp e";
       s["catalog.snapshot"] = sc;
     }
+    {
+      Scenario sc;
+      sc.sql = "SELECT e.eid, d.name FROM Emp e, Dept d WHERE e.did = d.did";
+      sc.options.analyze = true;  // Harvest runs only on instrumented queries.
+      sc.advisory = true;         // Feedback loss must never fail the query.
+      s["feedback.store.insert"] = sc;
+    }
     return s;
   }
 
@@ -108,15 +119,24 @@ TEST_F(FaultInjectionTest, EveryFaultPointFailsCleanlyAndRecovers) {
     ASSERT_TRUE(baseline.ok())
         << point << " baseline: " << baseline.status().ToString();
 
-    // Armed: the query fails with the injected status, fully formed.
+    // Armed: the query fails with the injected status, fully formed —
+    // except for advisory points, where the fault is swallowed and the
+    // query must succeed with correct rows regardless.
     FaultRegistry::Instance().Arm(point, FaultMode::kAlways, 1,
                                   StatusCode::kInternal, "injected fault");
     auto injected = Run(sc);
-    ASSERT_FALSE(injected.ok()) << point << ": fault did not surface";
-    EXPECT_EQ(injected.status().code(), StatusCode::kInternal) << point;
-    EXPECT_NE(injected.status().message().find(point), std::string::npos)
-        << point << ": message lacks fault-point tag: "
-        << injected.status().ToString();
+    if (sc.advisory) {
+      ASSERT_TRUE(injected.ok())
+          << point << ": advisory fault failed the query: "
+          << injected.status().ToString();
+      ExpectSameRows(injected->rows, baseline->rows, point);
+    } else {
+      ASSERT_FALSE(injected.ok()) << point << ": fault did not surface";
+      EXPECT_EQ(injected.status().code(), StatusCode::kInternal) << point;
+      EXPECT_NE(injected.status().message().find(point), std::string::npos)
+          << point << ": message lacks fault-point tag: "
+          << injected.status().ToString();
+    }
     EXPECT_GE(FaultRegistry::Instance().FireCount(point), 1) << point;
 
     // Disarmed: the engine recovers completely — same results as baseline.
@@ -176,6 +196,32 @@ TEST_F(FaultInjectionTest, InjectedCodePropagatesVerbatim) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
   EXPECT_NE(result.status().message().find("stats block corrupted"),
             std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, FeedbackInsertFaultIsAdvisoryAndRecovers) {
+  QueryOptions options;
+  options.analyze = true;  // Instrumented execution triggers the harvest.
+  const std::string sql =
+      "SELECT e.eid, d.name FROM Emp e, Dept d WHERE e.did = d.did";
+
+  // Armed: the harvest insert fails, the query does not, and nothing is
+  // recorded in the store.
+  FaultRegistry::Instance().Arm("feedback.store.insert", FaultMode::kAlways, 1,
+                                StatusCode::kUnavailable, "store wedged");
+  auto armed = db_.Query(sql, options);
+  ASSERT_TRUE(armed.ok()) << armed.status().ToString();
+  EXPECT_GE(FaultRegistry::Instance().FireCount("feedback.store.insert"), 1);
+  EXPECT_EQ(db_.feedback_store().stats().inserts, 0u);
+  EXPECT_EQ(db_.feedback_store().stats().entries, 0u);
+
+  // Disarmed: the next instrumented query harvests normally — the store
+  // comes back without any residue from the failed insert.
+  FaultRegistry::Instance().DisarmAll();
+  auto recovered = db_.Query(sql, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectSameRows(recovered->rows, armed->rows, "feedback.store.insert");
+  EXPECT_GT(db_.feedback_store().stats().inserts, 0u);
+  EXPECT_GT(db_.feedback_store().stats().entries, 0u);
 }
 
 TEST_F(FaultInjectionTest, DisarmedRegistryIsInert) {
