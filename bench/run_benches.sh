@@ -12,11 +12,16 @@ if [[ ! -d "$build_dir" ]]; then
   echo "configuring $build_dir" >&2
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$build_dir" --target bench_vectorized_exec bench_plan_cache \
-  bench_observability bench_serving bench_feedback -j "$(nproc)"
+cmake --build "$build_dir" --target bench_vectorized_exec bench_compiled_expr \
+  bench_plan_cache bench_observability bench_serving bench_feedback \
+  -j "$(nproc)"
 
 "$build_dir/bench/bench_vectorized_exec" "$repo_root/BENCH_vectorized.json"
 echo "wrote $repo_root/BENCH_vectorized.json"
+
+# Exits nonzero if the compiled-vs-interpreted speedup gate (>= 2x) fails.
+"$build_dir/bench/bench_compiled_expr" "$repo_root/BENCH_compiled_expr.json"
+echo "wrote $repo_root/BENCH_compiled_expr.json"
 
 "$build_dir/bench/bench_plan_cache" "$repo_root/BENCH_plan_cache.json"
 echo "wrote $repo_root/BENCH_plan_cache.json"

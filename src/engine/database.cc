@@ -29,6 +29,9 @@ Database::Database() : storage_(&catalog_) {
   optimizer_degraded_ = metrics_.GetCounter("optimizer.degraded");
   compile_ns_ = metrics_.GetHistogram("query.compile_ns");
   execute_ns_ = metrics_.GetHistogram("query.execute_ns");
+  expr_compiled_ = metrics_.GetCounter("expr.compiled");
+  expr_fallback_ = metrics_.GetCounter("expr.fallback");
+  expr_compile_ns_ = metrics_.GetHistogram("expr.compile_ns");
   metrics_.RegisterGauge("plan_cache.hits",
                          [this] { return plan_cache_.stats().hits; });
   metrics_.RegisterGauge("plan_cache.misses",
@@ -359,6 +362,7 @@ uint64_t PlanAffectingOptionsDigest(const QueryOptions& o) {
   d.B(o.optimizer.use_alternatives);
   d.B(o.use_feedback);
   d.U64(static_cast<uint64_t>(o.execution_mode));
+  d.B(o.compile_expressions);
   d.U64(o.dop);
   return d.value();
 }
@@ -864,6 +868,10 @@ Result<QueryResult> Database::QueryInternal(const std::string& sql,
   ctx.mode = opts.execution_mode;
   ctx.batch_capacity = opts.batch_capacity;
   ctx.analyze = opts.analyze;
+  ctx.compile_expressions = opts.compile_expressions;
+  ctx.expr_compiled_metric = expr_compiled_;
+  ctx.expr_fallback_metric = expr_fallback_;
+  ctx.expr_compile_ns = expr_compile_ns_;
   if (governor.enabled()) ctx.governor = &governor;
   if (opts.execution_mode == exec::ExecMode::kParallel) {
     ctx.dop = std::clamp<size_t>(opts.dop, 1, ThreadPool::kMaxThreads);
@@ -1032,6 +1040,16 @@ std::string AnalyzeAnnotation(const exec::PhysicalPlan& node,
     out += buf;
   }
   out += "]";
+  if (os.expr_compiled > 0 || os.expr_fallback > 0) {
+    // Expression mode of this operator's predicates/projections/agg args:
+    // all compiled, all interpreted (fallback), or a mix per expression.
+    const char* mode = os.expr_fallback == 0
+                           ? "compiled"
+                           : (os.expr_compiled == 0 ? "interpreted" : "mixed");
+    out += " [expr: ";
+    out += mode;
+    out += "]";
+  }
   return out;
 }
 

@@ -41,6 +41,14 @@ struct QueryOptions {
   /// early termination require it. Both modes return identical results and
   /// identical ExecStats; kRow forces the classic Volcano path everywhere.
   exec::ExecMode execution_mode = exec::ExecMode::kBatch;
+  /// Compile bound predicates, projections and aggregate arguments into
+  /// flat type-specialized programs on the vectorized paths (batch and
+  /// parallel modes), falling back to the interpreter per expression for
+  /// shapes the compiler does not cover (CASE, correlated columns, ...).
+  /// Results are byte-identical either way — the interpreter stays the
+  /// parity oracle; disable to force interpretation everywhere.
+  /// Plan-affecting (compiled programs are cached on the physical plan).
+  bool compile_expressions = true;
   /// Rows per batch on the vectorized path.
   size_t batch_capacity = exec::kDefaultBatchCapacity;
   /// Degree of parallelism under ExecMode::kParallel (workers per parallel
@@ -325,6 +333,9 @@ class Database {
   MetricsRegistry::Counter* feedback_plan_evictions_ = nullptr;
   MetricsRegistry::Histogram* compile_ns_ = nullptr;
   MetricsRegistry::Histogram* execute_ns_ = nullptr;
+  MetricsRegistry::Counter* expr_compiled_ = nullptr;
+  MetricsRegistry::Counter* expr_fallback_ = nullptr;
+  MetricsRegistry::Histogram* expr_compile_ns_ = nullptr;
 };
 
 /// Direct 1:1 translation of a logical plan to executors (no optimization);

@@ -4,6 +4,7 @@
 
 #include "exec/agg_state.h"
 #include "exec/executors_internal.h"
+#include "exec/expr_compile.h"
 
 namespace qopt::exec::internal {
 
@@ -73,24 +74,31 @@ class HashAggregateExec : public AggregateExecBase {
 
     std::unordered_map<Row, Group, RowHash, RowEq> groups;
     groups.reserve(ReserveHint(plan_->est_rows));
-    Row in;
     // Preserve first-seen group order for deterministic output.
     std::vector<const Row*> order;
     order.reserve(ReserveHint(plan_->est_rows));
-    while (child_->Next(&in)) {
-      Row key = KeyOf(in);
-      auto [it, inserted] = groups.emplace(std::move(key), NewGroup());
-      if (inserted) {
-        // Each new group adds hash-table state; charge the key row plus a
-        // flat per-accumulator estimate.
-        if (!ctx_->GovernorCharge(
-                1, ModeledRowBytes(it->first) + 48 * plan_->aggs.size())) {
-          return;
+    if (ctx_->mode != ExecMode::kRow && ctx_->compile_expressions) {
+      // Vectorized drain: aggregate arguments evaluate whole batches at a
+      // time (compiled when possible), and keys gather straight from the
+      // batch columns — no per-input-row Row materialization.
+      if (!BatchDrain(&groups, &order)) return;
+    } else {
+      Row in;
+      while (child_->Next(&in)) {
+        Row key = KeyOf(in);
+        auto [it, inserted] = groups.emplace(std::move(key), NewGroup());
+        if (inserted) {
+          // Each new group adds hash-table state; charge the key row plus a
+          // flat per-accumulator estimate.
+          if (!ctx_->GovernorCharge(
+                  1, ModeledRowBytes(it->first) + 48 * plan_->aggs.size())) {
+            return;
+          }
+          ChargeMem(ModeledRowBytes(it->first) + 48 * plan_->aggs.size());
+          order.push_back(&it->first);
         }
-        ChargeMem(ModeledRowBytes(it->first) + 48 * plan_->aggs.size());
-        order.push_back(&it->first);
+        Accumulate(&it->second, in);
       }
-      Accumulate(&it->second, in);
     }
     if (ctx_->Failed()) return;
     if (groups.empty() && plan_->group_by.empty()) {
@@ -112,6 +120,66 @@ class HashAggregateExec : public AggregateExecBase {
   }
 
  private:
+  /// Batch-at-a-time input drain. Returns false on governor abort (the
+  /// caller abandons the aggregation, matching the row path).
+  bool BatchDrain(std::unordered_map<Row, Group, RowHash, RowEq>* groups,
+                  std::vector<const Row*>* order) {
+    const size_t na = plan_->aggs.size();
+    std::vector<std::shared_ptr<const expr::ExprProgram>> progs(na);
+    const expr::CompileEnv env = expr::MakeCompileEnv(
+        child_->colmap(), plan_->children[0]->output_cols);
+    for (size_t i = 0; i < na; ++i) {
+      const plan::AggItem& item = plan_->aggs[i];
+      if (item.func == AggFunc::kCountStar || item.arg == nullptr) continue;
+      progs[i] = expr::ResolveProgram(
+          plan_, expr::kSlotAggBase + static_cast<int>(i), item.arg.get(),
+          env, /*as_predicate=*/false, ctx_);
+      RecordExprMode(progs[i] != nullptr);
+    }
+    expr::ExprExecState state;
+    RowBatch b;
+    std::vector<std::vector<Value>> argv(na);
+    BatchEvalContext bev{&child_->colmap(), &b, &ctx_->params};
+    while (!ctx_->Failed() && child_->NextBatch(&b)) {
+      const size_t n = b.ActiveSize();
+      if (n == 0) continue;
+      for (size_t i = 0; i < na; ++i) {
+        const plan::AggItem& item = plan_->aggs[i];
+        if (item.func == AggFunc::kCountStar || item.arg == nullptr) continue;
+        if (progs[i] != nullptr) {
+          progs[i]->EvalColumn(b, &state, &argv[i]);
+        } else {
+          EvalExprBatch(*item.arg, bev, &argv[i]);
+        }
+      }
+      for (size_t k = 0; k < n; ++k) {
+        const uint32_t r = b.ActiveIndex(k);
+        Row key;
+        key.reserve(key_pos_.size());
+        for (int p : key_pos_) key.push_back(b.At(p, r));
+        auto [it, inserted] = groups->emplace(std::move(key), NewGroup());
+        if (inserted) {
+          if (!ctx_->GovernorCharge(
+                  1, ModeledRowBytes(it->first) + 48 * na)) {
+            return false;
+          }
+          ChargeMem(ModeledRowBytes(it->first) + 48 * na);
+          order->push_back(&it->first);
+        }
+        Group& g = it->second;
+        for (size_t i = 0; i < na; ++i) {
+          if (plan_->aggs[i].func == AggFunc::kCountStar ||
+              plan_->aggs[i].arg == nullptr) {
+            g.accs[i].Accumulate(Value::Null());
+          } else {
+            g.accs[i].Accumulate(argv[i][k]);
+          }
+        }
+      }
+    }
+    return true;
+  }
+
   std::vector<Row> results_;
   size_t pos_ = 0;
 };

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "exec/executors_internal.h"
+#include "exec/expr_compile.h"
 #include "exec/hash_join_state.h"
 #include "exec/morsel.h"
 #include "testing/fault_injection.h"
@@ -153,8 +154,12 @@ class BatchScanExec : public BatchExecutor {
     }
     if (!ctx_->GovernorTick(pos_ - batch_start)) return false;
     if (residual_) {
-      BatchEvalContext bev{&colmap_, out, &ctx_->params};
-      EvalPredicateBatch(residual_, bev, out);
+      if (residual_prog_ != nullptr) {
+        residual_prog_->FilterBatch(out, &expr_state_);
+      } else {
+        BatchEvalContext bev{&colmap_, out, &ctx_->params};
+        EvalPredicateBatch(residual_, bev, out);
+      }
     }
     return true;
   }
@@ -208,6 +213,17 @@ class BatchScanExec : public BatchExecutor {
         residual_ =
             rest.empty() ? nullptr : plan::MakeConjunction(std::move(rest));
       }
+    }
+    // The FastPred split is deterministic per plan node, so the compiled
+    // residual can be cached on the node and shared by every executor
+    // instance (including morsel-parallel workers).
+    residual_prog_ = nullptr;
+    if (residual_) {
+      residual_prog_ = expr::ResolveProgram(
+          plan_, expr::kSlotPredicate, residual_.get(),
+          expr::MakeCompileEnv(colmap_, plan_->output_cols),
+          /*as_predicate=*/true, ctx_);
+      RecordExprMode(residual_prog_ != nullptr);
     }
     if (plan_->kind == PhysOpKind::kIndexScan) {
       QOPT_FAULT_POINT_CTX("storage.index.lookup", ctx_, );
@@ -288,6 +304,8 @@ class BatchScanExec : public BatchExecutor {
   std::vector<uint32_t> row_ids_;
   std::vector<FastPred> fast_preds_;
   plan::BExpr residual_;
+  std::shared_ptr<const expr::ExprProgram> residual_prog_;
+  expr::ExprExecState expr_state_;
   bool use_ids_ = false;
   size_t pos_ = 0;
   size_t limit_ = 0;  ///< Exclusive end of the current sequential range.
@@ -304,16 +322,32 @@ class BatchFilterExec : public BatchExecutor {
 
   bool NextBatchImpl(RowBatch* out) override {
     if (!child_->NextBatch(out)) return false;
-    BatchEvalContext bev{&colmap_, out, &ctx_->params};
-    EvalPredicateBatch(plan_->predicate, bev, out);
+    if (prog_ != nullptr) {
+      prog_->FilterBatch(out, &expr_state_);
+    } else {
+      BatchEvalContext bev{&colmap_, out, &ctx_->params};
+      EvalPredicateBatch(plan_->predicate, bev, out);
+    }
     return true;
   }
 
  protected:
-  void InitBatch() override { child_->Init(); }
+  void InitBatch() override {
+    child_->Init();
+    prog_ = nullptr;
+    if (plan_->predicate) {
+      prog_ = expr::ResolveProgram(
+          plan_, expr::kSlotPredicate, plan_->predicate.get(),
+          expr::MakeCompileEnv(colmap_, plan_->output_cols),
+          /*as_predicate=*/true, ctx_);
+      RecordExprMode(prog_ != nullptr);
+    }
+  }
 
  private:
   std::unique_ptr<Executor> child_;
+  std::shared_ptr<const expr::ExprProgram> prog_;
+  expr::ExprExecState expr_state_;
 };
 
 /// Vectorized projection: evaluates each output expression over the whole
@@ -341,7 +375,11 @@ class BatchProjectExec : public BatchExecutor {
         out->AdoptColumn(c, std::move(in_.column(move_src_[c])));
         continue;
       }
-      EvalExprBatch(*plan_->proj_exprs[c], bev, &col);
+      if (progs_[c] != nullptr) {
+        progs_[c]->EvalColumn(in_, &expr_state_, &col);
+      } else {
+        EvalExprBatch(*plan_->proj_exprs[c], bev, &col);
+      }
       out->AdoptColumn(c, std::move(col));
       col.clear();
     }
@@ -369,12 +407,26 @@ class BatchProjectExec : public BatchExecutor {
       auto it = child_->colmap().find(e->column);
       if (it != child_->colmap().end()) move_src_[c] = it->second;
     }
+    // One program per output expression, evaluated against the child's
+    // column layout. Pure-move columns still compile: non-identity input
+    // batches take the evaluation path.
+    progs_.assign(plan_->proj_exprs.size(), nullptr);
+    const expr::CompileEnv env = expr::MakeCompileEnv(
+        child_->colmap(), plan_->children[0]->output_cols);
+    for (size_t c = 0; c < plan_->proj_exprs.size(); ++c) {
+      progs_[c] = expr::ResolveProgram(
+          plan_, expr::kSlotProjBase + static_cast<int>(c),
+          plan_->proj_exprs[c].get(), env, /*as_predicate=*/false, ctx_);
+      RecordExprMode(progs_[c] != nullptr);
+    }
   }
 
  private:
   std::unique_ptr<Executor> child_;
   RowBatch in_;
   std::vector<int> move_src_;
+  std::vector<std::shared_ptr<const expr::ExprProgram>> progs_;
+  expr::ExprExecState expr_state_;
 };
 
 /// Vectorized hash join: builds on the right input (batch-drained), probes
@@ -438,6 +490,21 @@ class BatchHashJoinExec : public BatchExecutor {
     auto lit = left_->colmap().find(plan_->left_key);
     QOPT_DCHECK(lit != left_->colmap().end());
     lk_ = lit->second;
+    residual_prog_ = nullptr;
+    if (plan_->predicate) {
+      expr::CompileEnv env;
+      env.colmap = &combined_map_;
+      for (const auto& c : plan_->children[0]->output_cols) {
+        env.col_types.push_back(c.type);
+      }
+      for (const auto& c : plan_->children[1]->output_cols) {
+        env.col_types.push_back(c.type);
+      }
+      residual_prog_ = expr::ResolveProgram(
+          plan_, expr::kSlotJoinResidual, plan_->predicate.get(), env,
+          /*as_predicate=*/true, ctx_);
+      RecordExprMode(residual_prog_ != nullptr);
+    }
     if (right_ == nullptr) return;  // probe-only: shared state is ready
     right_->Init();
     state_ = std::make_shared<JoinBuildState>();  // fresh on rescan
@@ -501,10 +568,19 @@ class BatchHashJoinExec : public BatchExecutor {
     }
     matches_.clear();
     if (!key.is_null()) {
-      state_->ForEachMatch(key, [&](size_t b) {
-        if (plan_->predicate && !ResidualPass(prow, b)) return;
-        matches_.push_back(b);
-      });
+      if (plan_->predicate && residual_prog_ != nullptr) {
+        // Vectorized residual: gather the candidate matches into a scratch
+        // batch (only the columns the program reads) and filter them in
+        // one program run instead of one tree-walk per match.
+        candidates_.clear();
+        state_->ForEachMatch(key, [&](size_t b) { candidates_.push_back(b); });
+        FilterCandidates(prow);
+      } else {
+        state_->ForEachMatch(key, [&](size_t b) {
+          if (plan_->predicate && !ResidualPass(prow, b)) return;
+          matches_.push_back(b);
+        });
+      }
     }
     switch (plan_->join_type) {
       case JoinType::kInner:
@@ -524,6 +600,32 @@ class BatchHashJoinExec : public BatchExecutor {
       case JoinType::kAnti:
         if (matches_.empty()) AppendLeft(prow, out);
         break;
+    }
+  }
+
+  /// Runs the compiled residual over `candidates_`, appending survivors to
+  /// `matches_` (in candidate order, matching the interpreted path).
+  void FilterCandidates(uint32_t prow) {
+    const size_t m = candidates_.size();
+    if (m == 0) return;
+    scratch_.Reset(left_width_ + right_width_, m);
+    for (int pos : residual_prog_->referenced_cols()) {
+      std::vector<Value>& col = scratch_.column(static_cast<size_t>(pos));
+      col.resize(m);
+      if (static_cast<size_t>(pos) < left_width_) {
+        // Left columns splat the probe row's value.
+        const Value& v = probe_.At(static_cast<size_t>(pos), prow);
+        for (size_t k = 0; k < m; ++k) col[k] = v;
+      } else {
+        const std::vector<Value>& build =
+            state_->build_cols[static_cast<size_t>(pos) - left_width_];
+        for (size_t k = 0; k < m; ++k) col[k] = build[candidates_[k]];
+      }
+    }
+    scratch_.SetIdentitySelection(m);
+    residual_prog_->FilterBatch(&scratch_, &expr_state_);
+    for (uint32_t k : scratch_.selection()) {
+      matches_.push_back(candidates_[k]);
     }
   }
 
@@ -582,6 +684,10 @@ class BatchHashJoinExec : public BatchExecutor {
   size_t probe_pos_ = 0;
   bool done_ = false;
   Row combined_;
+  std::shared_ptr<const expr::ExprProgram> residual_prog_;
+  std::vector<size_t> candidates_;
+  RowBatch scratch_;
+  expr::ExprExecState expr_state_;
 };
 
 }  // namespace

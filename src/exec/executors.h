@@ -23,6 +23,7 @@
 #include <unordered_set>
 
 #include "engine/governor.h"
+#include "engine/metrics.h"
 #include "exec/expr_eval.h"
 #include "exec/physical_plan.h"
 #include "exec/row_batch.h"
@@ -86,6 +87,10 @@ struct OperatorStats {
   uint64_t worker_wall_ns = 0;       ///< Σ across workers (not wall time).
   uint64_t worker_peak_mem_bytes = 0;
   uint32_t workers = 0;              ///< Workers that executed this node.
+  // Expression slots this node evaluated with a compiled program vs. the
+  // interpreter (EXPLAIN ANALYZE renders these as "[expr: ...]").
+  uint32_t expr_compiled = 0;
+  uint32_t expr_fallback = 0;
 
   /// Actual output cardinality: the serially-observed count when this node
   /// ran on the main context, else the merged per-worker count.
@@ -177,6 +182,14 @@ struct ExecContext {
   /// is one predictable branch per Init/Next/NextBatch dispatch.
   bool analyze = false;
   OperatorStatsMap op_stats;
+  /// Compile expressions to vectorized programs on the batch/parallel path
+  /// (QueryOptions::compile_expressions). Off forces the interpreter
+  /// everywhere, which is the parity oracle.
+  bool compile_expressions = true;
+  /// Optional metric handles (owned by the engine's MetricsRegistry).
+  MetricsRegistry::Counter* expr_compiled_metric = nullptr;
+  MetricsRegistry::Counter* expr_fallback_metric = nullptr;
+  MetricsRegistry::Histogram* expr_compile_ns = nullptr;
 
   /// Records an access to `page_key`, counting a modeled read on miss.
   void TouchPage(uint64_t page_key) {
@@ -303,6 +316,18 @@ class Executor {
   /// NextImpl (not Next) so the operator's own rows are counted once, by
   /// the dispatcher that drives it.
   virtual bool NextBatchImpl(RowBatch* out);
+
+  /// Records whether one of this operator's expression slots runs compiled
+  /// or interpreted (EXPLAIN ANALYZE only). Call once per slot per Init,
+  /// right after resolving the program.
+  void RecordExprMode(bool compiled) {
+    if (ostats_ == nullptr) return;
+    if (compiled) {
+      ++ostats_->expr_compiled;
+    } else {
+      ++ostats_->expr_fallback;
+    }
+  }
 
   /// Accounts `bytes` of modeled materialized state (hash build, sort
   /// buffer, agg table) toward this operator's peak-memory stat. Call next

@@ -1,0 +1,68 @@
+// Per-plan-node cache of compiled expression programs.
+//
+// A PhysicalPlan owns one PlanExprCache; executors resolve the compiled
+// program for each expression slot (predicate, projection column, agg
+// argument) through it so that plan-cache hits — which re-execute the same
+// shared PhysicalPlan — skip recompilation entirely. Failures are cached
+// too: an expression shape the compiler doesn't cover is probed once per
+// plan, not once per execution.
+#ifndef QOPT_EXEC_EXPR_CACHE_H_
+#define QOPT_EXEC_EXPR_CACHE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace qopt::exec::expr {
+
+class ExprProgram;
+
+/// Well-known slot numbers within one plan node. Projections and aggregate
+/// arguments are indexed, so they get a base offset each.
+enum ExprSlot : int {
+  kSlotPredicate = 0,     // Filter predicate / scan residual.
+  kSlotJoinResidual = 1,  // Hash-join non-equi residual predicate.
+  kSlotProjBase = 100,    // kSlotProjBase + c for projection column c.
+  kSlotAggBase = 200,     // kSlotAggBase + i for aggregate argument i.
+};
+
+class PlanExprCache {
+ public:
+  struct Entry {
+    // Null program means compilation was attempted and the expression is
+    // not coverable — callers fall back to the interpreter without
+    // re-probing.
+    std::shared_ptr<const ExprProgram> program;
+  };
+
+  PlanExprCache() = default;
+  // Plans are copied when the plan cache rebinds parameter literals
+  // (RebindPlanParam); the copy holds different constants, so it must start
+  // with an empty cache rather than inherit programs compiled against the
+  // original literals.
+  PlanExprCache(const PlanExprCache&) {}
+  PlanExprCache& operator=(const PlanExprCache&) { return *this; }
+
+  /// Returns the entry for `slot`, invoking `make` exactly once per slot
+  /// (thread-safe: concurrent executions of a shared cached plan race here).
+  std::shared_ptr<const Entry> GetOrCompile(
+      int slot,
+      const std::function<std::shared_ptr<const ExprProgram>()>& make) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(slot);
+    if (it != slots_.end()) return it->second;
+    auto entry = std::make_shared<Entry>();
+    entry->program = make();
+    slots_.emplace(slot, entry);
+    return entry;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::unordered_map<int, std::shared_ptr<const Entry>> slots_;
+};
+
+}  // namespace qopt::exec::expr
+
+#endif  // QOPT_EXEC_EXPR_CACHE_H_

@@ -85,10 +85,8 @@ Value EvalBinary(const BoundExpr& e, const EvalContext& ctx) {
   return EvalBinaryScalar(e.op, l, r);
 }
 
-}  // namespace
-
-bool LikeMatch(const std::string& text, const std::string& pattern) {
-  // Iterative greedy matcher with backtracking on '%'.
+// Iterative greedy matcher with backtracking on '%'.
+bool LikeMatchGeneric(const std::string& text, const std::string& pattern) {
   size_t t = 0, p = 0;
   size_t star_p = std::string::npos, star_t = 0;
   while (t < text.size()) {
@@ -108,6 +106,90 @@ bool LikeMatch(const std::string& text, const std::string& pattern) {
   }
   while (p < pattern.size() && pattern[p] == '%') ++p;
   return p == pattern.size();
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Allocation-free fast paths for the common shapes.
+  const size_t wild = pattern.find_first_of("%_");
+  if (wild == std::string::npos) return text == pattern;  // exact
+  if (pattern[wild] == '%' && wild == pattern.size() - 1) {
+    // 'abc%' — prefix compare.
+    return text.size() >= wild && text.compare(0, wild, pattern, 0, wild) == 0;
+  }
+  if (wild == 0 && pattern[0] == '%' &&
+      pattern.find_first_of("%_", 1) == std::string::npos) {
+    // '%abc' — suffix compare.
+    const size_t n = pattern.size() - 1;
+    return text.size() >= n &&
+           text.compare(text.size() - n, n, pattern, 1, n) == 0;
+  }
+  return LikeMatchGeneric(text, pattern);
+}
+
+LikePattern CompileLikePattern(const std::string& pattern) {
+  LikePattern out;
+  out.pattern = pattern;
+  // Normalize: collapse runs of '%'; '_' forces the generic matcher.
+  std::string norm;
+  norm.reserve(pattern.size());
+  size_t pct = 0;
+  for (char c : pattern) {
+    if (c == '_') return out;
+    if (c == '%') {
+      if (!norm.empty() && norm.back() == '%') continue;
+      ++pct;
+    }
+    norm.push_back(c);
+  }
+  using Kind = LikePattern::Kind;
+  if (pct == 0) {
+    out.kind = Kind::kExact;
+    out.pre = std::move(norm);
+  } else if (pct == 1) {
+    const size_t pos = norm.find('%');
+    if (pos == norm.size() - 1) {
+      out.kind = Kind::kPrefix;  // also covers the match-all pattern '%'
+      out.pre = norm.substr(0, pos);
+    } else if (pos == 0) {
+      out.kind = Kind::kSuffix;
+      out.suf = norm.substr(1);
+    } else {
+      out.kind = Kind::kPrefixSuffix;
+      out.pre = norm.substr(0, pos);
+      out.suf = norm.substr(pos + 1);
+    }
+  } else if (pct == 2 && norm.front() == '%' && norm.back() == '%') {
+    out.kind = Kind::kContains;
+    out.pre = norm.substr(1, norm.size() - 2);
+  }
+  return out;
+}
+
+bool LikeMatch(const std::string& text, const LikePattern& p) {
+  using Kind = LikePattern::Kind;
+  switch (p.kind) {
+    case Kind::kExact:
+      return text == p.pre;
+    case Kind::kPrefix:
+      return text.size() >= p.pre.size() &&
+             text.compare(0, p.pre.size(), p.pre) == 0;
+    case Kind::kSuffix:
+      return text.size() >= p.suf.size() &&
+             text.compare(text.size() - p.suf.size(), p.suf.size(), p.suf) ==
+                 0;
+    case Kind::kContains:
+      return text.find(p.pre) != std::string::npos;
+    case Kind::kPrefixSuffix:
+      return text.size() >= p.pre.size() + p.suf.size() &&
+             text.compare(0, p.pre.size(), p.pre) == 0 &&
+             text.compare(text.size() - p.suf.size(), p.suf.size(), p.suf) ==
+                 0;
+    case Kind::kGeneric:
+      return LikeMatchGeneric(text, p.pattern);
+  }
+  return false;
 }
 
 Value EvalExpr(const BoundExpr& e, const EvalContext& ctx) {
@@ -458,7 +540,10 @@ void EvalExprBatch(const BoundExpr& e, const BatchEvalContext& ctx,
     }
     case BoundKind::kLike: {
       OperandView v = MakeOperand(*e.children[0], ctx);
-      const std::string& pattern = e.children[1]->literal.AsString();
+      // Classify once per batch so fast-path patterns skip the general
+      // matcher on every row.
+      const LikePattern pattern =
+          CompileLikePattern(e.children[1]->literal.AsString());
       out->clear();
       out->reserve(n);
       for (size_t k = 0; k < n; ++k) {

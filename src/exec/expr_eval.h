@@ -40,8 +40,34 @@ Value EvalExpr(const plan::BoundExpr& e, const EvalContext& ctx);
 /// True iff `pred` evaluates to TRUE (NULL and FALSE both reject).
 bool EvalPredicate(const plan::BExpr& pred, const EvalContext& ctx);
 
-/// SQL LIKE with % and _ wildcards.
+/// SQL LIKE with % and _ wildcards. Patterns of the common shapes —
+/// no wildcards, 'abc%', '%abc' — take a direct string-compare fast path;
+/// everything else runs the general backtracking matcher.
 bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// A LIKE pattern classified once so repeated matching (batch loops,
+/// compiled programs) can use direct string comparisons instead of the
+/// general wildcard matcher. Patterns containing '_' or more '%' structure
+/// than prefix/suffix/contains stay generic.
+struct LikePattern {
+  enum class Kind : uint8_t {
+    kExact,         // no wildcards : text == pattern
+    kPrefix,        // 'abc%'       : text starts with pre
+    kSuffix,        // '%abc'       : text ends with suf
+    kContains,      // '%abc%'      : text contains pre
+    kPrefixSuffix,  // 'ab%cd'      : starts with pre and ends with suf
+    kGeneric,       // anything else: full wildcard matcher
+  };
+  Kind kind = Kind::kGeneric;
+  std::string pattern;   // original pattern, used for generic matching
+  std::string pre, suf;  // literal pieces for the fast kinds
+};
+
+/// Classifies `pattern` for repeated matching (runs of '%' collapse first).
+LikePattern CompileLikePattern(const std::string& pattern);
+
+/// Matches `text` against a pre-classified pattern.
+bool LikeMatch(const std::string& text, const LikePattern& pattern);
 
 /// Batch evaluation context: an input batch with its column map, plus
 /// optional correlated parameters (consulted when a column is not mapped).

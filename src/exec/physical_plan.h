@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "exec/expr_cache.h"
 #include "plan/logical_plan.h"
 
 namespace qopt::exec {
@@ -110,6 +111,13 @@ struct PhysicalPlan {
   cost::Cost est_cost;          ///< Cumulative estimated cost of subtree.
   double est_rows = 0;          ///< Estimated output cardinality.
   std::vector<plan::SortKey> output_order;  ///< Known ordering, if any.
+
+  /// Compiled expression programs for this node, keyed by expression slot
+  /// (exec::expr::ExprSlot). Mutable because compilation is lazy (first
+  /// execution) while cached plans are shared as const; the cache is
+  /// internally synchronized, and copying a plan (parameter rebinding)
+  /// starts the copy empty.
+  mutable expr::PlanExprCache expr_cache;
 
   /// Position of ColumnId `id` in this node's output row, or -1.
   int FindOutput(ColumnId id) const;

@@ -3,6 +3,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "exec/expr_eval.h"
 #include "parser/parser.h"
 
 namespace qopt::plan {
@@ -11,6 +12,50 @@ using ast::BinaryOp;
 using ast::ExprKind;
 
 namespace {
+
+/// True iff every leaf under `e` is a plain (non-parameterized) literal, so
+/// the subtree's value is fixed at bind time. Parameterized literals are
+/// excluded — folding them would break plan-cache parameter rebinding.
+/// CASE is excluded conservatively (its type inference treats the branch
+/// types asymmetrically, so collapsing it could change the static type).
+bool IsLiteralOnly(const BoundExpr& e) {
+  switch (e.kind) {
+    case BoundKind::kLiteral:
+      return e.param_index == -1;
+    case BoundKind::kBinary:
+    case BoundKind::kNot:
+    case BoundKind::kNegate:
+    case BoundKind::kIsNull:
+    case BoundKind::kInList:
+    case BoundKind::kLike:
+      for (const BExpr& c : e.children) {
+        if (c == nullptr || !IsLiteralOnly(*c)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Bind-time constant folding: a literal-only subtree (`1 + 2` in
+/// `1 + 2 < x`) evaluates once here instead of once per row at execution.
+/// Binding is bottom-up, so wrapping every composite result site folds
+/// maximal literal-only subtrees. Uses the runtime interpreter, so folded
+/// semantics (Kleene logic, division by zero -> NULL, int/double
+/// promotion) are exactly the per-row semantics. A NULL result keeps the
+/// expression's static type — type checks in enclosing operators (AND/OR
+/// require kBool) must see the same types as the unfolded tree.
+BExpr MaybeFold(BExpr e) {
+  if (e == nullptr || e->kind == BoundKind::kLiteral || !IsLiteralOnly(*e)) {
+    return e;
+  }
+  Value v = exec::EvalExpr(*e, exec::EvalContext{});
+  auto lit = std::make_shared<BoundExpr>();
+  lit->kind = BoundKind::kLiteral;
+  lit->type = v.type() == TypeId::kNull ? e->type : v.type();
+  lit->literal = std::move(v);
+  return BExpr(lit);
+}
 
 /// One visible relation in a name-resolution scope.
 struct RelEntry {
@@ -315,14 +360,14 @@ Result<BExpr> BinderImpl::BindExpr(const ast::Expr& e, Scope* scope,
                 " with " + TypeName(rhs->type));
           }
       }
-      return MakeBinary(e.op, std::move(lhs), std::move(rhs));
+      return MaybeFold(MakeBinary(e.op, std::move(lhs), std::move(rhs)));
     }
     case ExprKind::kNot: {
       QOPT_ASSIGN_OR_RETURN(BExpr inner, BindExpr(*e.child, scope, agg));
       if (inner->type != TypeId::kBool) {
         return Status::BindError("NOT operand must be boolean");
       }
-      return MakeNot(std::move(inner));
+      return MaybeFold(MakeNot(std::move(inner)));
     }
     case ExprKind::kNegate: {
       QOPT_ASSIGN_OR_RETURN(BExpr inner, BindExpr(*e.child, scope, agg));
@@ -333,19 +378,20 @@ Result<BExpr> BinderImpl::BindExpr(const ast::Expr& e, Scope* scope,
       n->kind = BoundKind::kNegate;
       n->type = inner->type;
       n->children = {std::move(inner)};
-      return BExpr(n);
+      return MaybeFold(BExpr(n));
     }
     case ExprKind::kIsNull: {
       QOPT_ASSIGN_OR_RETURN(BExpr inner, BindExpr(*e.child, scope, agg));
-      return MakeIsNull(std::move(inner), e.negated);
+      return MaybeFold(MakeIsNull(std::move(inner), e.negated));
     }
     case ExprKind::kBetween: {
       QOPT_ASSIGN_OR_RETURN(BExpr v, BindExpr(*e.child, scope, agg));
       QOPT_ASSIGN_OR_RETURN(BExpr lo, BindExpr(*e.args[0], scope, agg));
       QOPT_ASSIGN_OR_RETURN(BExpr hi, BindExpr(*e.args[1], scope, agg));
       // Desugar to v >= lo AND v <= hi.
-      return MakeBinary(BinaryOp::kAnd, MakeBinary(BinaryOp::kGe, v, lo),
-                        MakeBinary(BinaryOp::kLe, v, hi));
+      return MaybeFold(MakeBinary(BinaryOp::kAnd,
+                                  MakeBinary(BinaryOp::kGe, v, lo),
+                                  MakeBinary(BinaryOp::kLe, v, hi)));
     }
     case ExprKind::kInList: {
       QOPT_ASSIGN_OR_RETURN(BExpr v, BindExpr(*e.child, scope, agg));
@@ -358,7 +404,7 @@ Result<BExpr> BinderImpl::BindExpr(const ast::Expr& e, Scope* scope,
         QOPT_ASSIGN_OR_RETURN(BExpr item, BindExpr(*a, scope, agg));
         n->children.push_back(std::move(item));
       }
-      return BExpr(n);
+      return MaybeFold(BExpr(n));
     }
     case ExprKind::kLike: {
       QOPT_ASSIGN_OR_RETURN(BExpr v, BindExpr(*e.child, scope, agg));
@@ -371,7 +417,7 @@ Result<BExpr> BinderImpl::BindExpr(const ast::Expr& e, Scope* scope,
       n->kind = BoundKind::kLike;
       n->type = TypeId::kBool;
       n->children = {std::move(v), std::move(pat)};
-      return BExpr(n);
+      return MaybeFold(BExpr(n));
     }
     case ExprKind::kCase: {
       auto n = std::make_shared<BoundExpr>();

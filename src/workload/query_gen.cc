@@ -102,6 +102,111 @@ std::string RandomJoinQuery(Topology topology, int n, uint64_t seed,
   return sql;
 }
 
+Status CreateExprTables(Database* db, int n, int64_t rows, int64_t ndv,
+                        uint64_t seed) {
+  for (int i = 0; i < n; ++i) {
+    std::string name = "e" + std::to_string(i);
+    std::vector<ColumnSpec> cols = {
+        {.name = "pk", .kind = ColumnSpec::Kind::kSequential},
+        {.name = "a", .kind = ColumnSpec::Kind::kUniform, .ndv = ndv},
+        {.name = "x",
+         .kind = ColumnSpec::Kind::kUniform,
+         .ndv = 1000,
+         .null_fraction = 0.2},
+        {.name = "y",
+         .kind = ColumnSpec::Kind::kUniformReal,
+         .lo = 0,
+         .hi = 1000,
+         .null_fraction = 0.2},
+        {.name = "s",
+         .kind = ColumnSpec::Kind::kString,
+         .ndv = 50,
+         .null_fraction = 0.1},
+    };
+    QOPT_RETURN_IF_ERROR(
+        CreateAndLoadTable(db, name, cols, rows, seed + i, "pk"));
+    QOPT_RETURN_IF_ERROR(
+        db->CreateIndex("idx_" + name + "_a", name, "a").status());
+  }
+  return Status::OK();
+}
+
+std::string RandomExprQuery(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto tbl = [&] { return "e" + std::to_string(rng() % n); };
+  std::string where;
+  auto add = [&where](const std::string& pred) {
+    if (!where.empty()) where += " AND ";
+    where += pred;
+  };
+  for (int i = 0; i + 1 < n; ++i) {
+    add("e" + std::to_string(i) + ".a = e" + std::to_string(i + 1) + ".a");
+  }
+  int num_preds = 2 + static_cast<int>(rng() % 3);
+  for (int p = 0; p < num_preds; ++p) {
+    switch (rng() % 7) {
+      case 0: {  // Nested arithmetic across two columns.
+        add("(" + tbl() + ".x + " + std::to_string(1 + rng() % 9) + ") * " +
+            std::to_string(1 + rng() % 4) + " - " + tbl() + ".x < " +
+            std::to_string(rng() % 3000));
+        break;
+      }
+      case 1: {  // Division (double result, NULL on zero divisor is
+                 // unreachable here but int/double promotion is not).
+        add(tbl() + ".x / " + std::to_string(1 + rng() % 9) + " <= " +
+            std::to_string(rng() % 300) + "." + std::to_string(rng() % 10));
+        break;
+      }
+      case 2: {  // CASE-like branch via AND/OR over NULL-heavy columns.
+        add("(" + tbl() + ".x < " + std::to_string(rng() % 1000) + " OR " +
+            tbl() + ".y >= " + std::to_string(rng() % 1000) + ".0)");
+        break;
+      }
+      case 3: {  // IS [NOT] NULL on a 20%-NULL column.
+        add(tbl() + (rng() % 2 ? ".x IS NULL" : ".y IS NOT NULL"));
+        break;
+      }
+      case 4: {  // [NOT] IN list.
+        std::string t = tbl();
+        add(t + ".x " + (rng() % 2 ? "IN (" : "NOT IN (") +
+            std::to_string(rng() % 1000) + ", " +
+            std::to_string(rng() % 1000) + ", " +
+            std::to_string(rng() % 1000) + ")");
+        break;
+      }
+      case 5: {  // LIKE with prefix / suffix / infix shapes.
+        const char* shapes[] = {"'v1%'", "'%3'", "'v%2'", "'%4%'"};
+        add(tbl() + ".s LIKE " + shapes[rng() % 4]);
+        break;
+      }
+      default: {  // Literal-only subexpression: folds at bind time.
+        add(std::to_string(rng() % 500) + " + " + std::to_string(rng() % 500) +
+            " < " + tbl() + ".x");
+        break;
+      }
+    }
+  }
+  std::string last = "e" + std::to_string(n - 1);
+  bool aggregate = rng() % 2 == 0;
+  std::string sql;
+  if (aggregate) {
+    // DOUBLE aggregates stick to MIN/MAX: a SUM of doubles depends on
+    // accumulation order, which morsel parallelism does not fix.
+    sql = "SELECT e0.a, COUNT(*), SUM(" + last + ".x + 2), MIN(" + last +
+          ".y), MAX(e0.x * 2) FROM ";
+  } else {
+    sql = "SELECT e0.pk, (e0.x + 1) * 2, " + last + ".x / 4, " + last +
+          ".s FROM ";
+  }
+  for (int i = 0; i < n; ++i) {
+    if (i) sql += ", ";
+    sql += "e" + std::to_string(i);
+  }
+  sql += " WHERE " + where;
+  if (aggregate) sql += " GROUP BY e0.a";
+  return sql;
+}
+
 std::string RandomStarQuery(const StarSchemaSpec& spec, uint64_t seed) {
   std::mt19937_64 rng(seed);
   int ndims = spec.num_dimensions > 0 ? spec.num_dimensions : 1;

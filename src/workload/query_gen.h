@@ -34,6 +34,25 @@ std::string JoinQuery(Topology topology, int n, bool count_star = true);
 std::string RandomJoinQuery(Topology topology, int n, uint64_t seed,
                             bool group_by = false);
 
+/// Creates `n` tables e0..e(n-1) for expression-heavy workloads: columns
+/// (pk, a, x, y, s) where `a` is a join attribute with `ndv` distinct
+/// values (indexed), `x` is an INT in [0, 1000) with 20% NULLs, `y` a
+/// DOUBLE in [0, 1000) with 20% NULLs and `s` a STRING ("v0".."v49") with
+/// 10% NULLs; loads `rows` rows each.
+Status CreateExprTables(Database* db, int n, int64_t rows, int64_t ndv,
+                        uint64_t seed);
+
+/// Seeded random expression-heavy query over CreateExprTables tables:
+/// chain joins on `a` plus 2-4 predicates drawn from nested arithmetic
+/// (with literal-only subexpressions that fold at bind time), CASE-like
+/// AND/OR branches, IS [NOT] NULL tests on the NULL-heavy columns,
+/// [NOT] IN lists and LIKE patterns; the select list is either projected
+/// arithmetic or a GROUP BY aggregate whose arguments are themselves
+/// expressions. Aggregates over DOUBLE use MIN/MAX only (order-
+/// insensitive), so results are bit-identical across execution modes.
+/// The same seed always yields the same SQL.
+std::string RandomExprQuery(int n, uint64_t seed);
+
 /// Seeded random star query over a BuildStarSchema database: joins the fact
 /// table with a random non-empty subset of the dimensions, an equality
 /// filter on each joined dimension's attr (drawn from [0, dim_filter_ndv)

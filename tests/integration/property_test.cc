@@ -17,13 +17,27 @@ namespace {
 //   P4  every execution mode — row, batch, and morsel-parallel at dop
 //       1/2/4/8 — returns the same result multiset (cross-mode parity);
 //   P5  cardinality feedback only changes plans and estimates, never row
-//       outputs — cold or warm, on or off.
+//       outputs — cold or warm, on or off;
+//   P6  compiled expression pipelines return exactly the interpreter's
+//       rows, per execution mode, over expression-heavy queries with
+//       NULL-heavy columns (the interpreter is the parity oracle).
 class QueryPropertyTest : public ::testing::TestWithParam<int> {
  protected:
   static Database* db() {
     static Database* db = [] {
       auto* d = new Database();
       EXPECT_TRUE(workload::CreateJoinTables(d, 4, 400, 30, 21).ok());
+      return d;
+    }();
+    return db;
+  }
+
+  // Expression-heavy tables (nested arithmetic targets, 20%-NULL numeric
+  // columns, LIKE-able strings) for the compiled-expression parity suite.
+  static Database* exprdb() {
+    static Database* db = [] {
+      auto* d = new Database();
+      EXPECT_TRUE(workload::CreateExprTables(d, 3, 300, 20, 77).ok());
       return d;
     }();
     return db;
@@ -228,6 +242,49 @@ TEST_P(QueryPropertyTest, FeedbackNeverChangesResults) {
   auto again = db()->Query(sql, on);
   ASSERT_TRUE(again.ok()) << again.status().ToString() << " " << sql;
   testing::ExpectSameRows(again->rows, reference->rows, "warmed " + sql);
+}
+
+TEST_P(QueryPropertyTest, CompiledExpressionsMatchInterpreter) {
+  uint64_t seed = 7000 + GetParam();
+  int n = 2 + static_cast<int>(seed % 2);
+  std::string sql = workload::RandomExprQuery(n, seed);
+
+  // The oracle: naive execution with expression compilation off — the
+  // row-at-a-time interpreter with the syntactic plan.
+  QueryOptions oracle;
+  oracle.naive_execution = true;
+  oracle.compile_expressions = false;
+  auto reference = exprdb()->Query(sql, oracle);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString() << " " << sql;
+
+  struct ModeSpec {
+    const char* name;
+    bool naive;
+    exec::ExecMode mode;
+  };
+  const ModeSpec modes[] = {
+      {"naive", true, exec::ExecMode::kBatch},
+      {"row", false, exec::ExecMode::kRow},
+      {"batch", false, exec::ExecMode::kBatch},
+      {"parallel", false, exec::ExecMode::kParallel},
+  };
+  for (const ModeSpec& m : modes) {
+    for (bool compiled : {false, true}) {
+      QueryOptions options;
+      options.naive_execution = m.naive;
+      options.execution_mode = m.mode;
+      options.compile_expressions = compiled;
+      if (m.mode == exec::ExecMode::kParallel) {
+        options.dop = 4;
+        options.morsel_rows = 64;  // 300-row tables: force multiple morsels.
+      }
+      auto result = exprdb()->Query(sql, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString() << " " << sql;
+      testing::ExpectSameRows(result->rows, reference->rows,
+                              sql + " [" + m.name +
+                                  (compiled ? " compiled]" : " interpreted]"));
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest, ::testing::Range(0, 50));
