@@ -195,7 +195,7 @@ int main(int argc, char** argv) {
            << ", \"serial_cpu_ms\": " << Fmt(serial.cpu_ms, 3)
            << ", \"critical_cpu_ms\": " << Fmt(par.cpu_ms, 3)
            << ", \"worker_cpu_ms\": " << Fmt(par.worker_cpu, 3)
-           << ", \"speedup\": " << Fmt(modeled_x, 3)
+           << ", \"modeled_speedup\": " << Fmt(modeled_x, 3)
            << ", \"rows\": " << par.rows
            << ", \"stats_match\": " << (match ? "true" : "false") << "}";
       first = false;
@@ -203,7 +203,8 @@ int main(int argc, char** argv) {
   }
   json << "\n  ],\n  \"all_stats_match\": " << (all_match ? "true" : "false")
        << ",\n  \"meets_2x_at_dop4\": " << (meets_2x ? "true" : "false")
-       << "\n}\n";
+       << ",\n  \"wall_speedup_meaningful\": "
+       << (hardware >= 4 ? "true" : "false") << "\n}\n";
   json.close();
   if (!json) {
     std::fprintf(stderr, "error: write to %s failed\n", out_path);

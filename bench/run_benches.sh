@@ -14,7 +14,7 @@ if [[ ! -d "$build_dir" ]]; then
 fi
 cmake --build "$build_dir" --target bench_vectorized_exec bench_compiled_expr \
   bench_plan_cache bench_observability bench_serving bench_feedback \
-  -j "$(nproc)"
+  bench_data_plane -j "$(nproc)"
 
 "$build_dir/bench/bench_vectorized_exec" "$repo_root/BENCH_vectorized.json"
 echo "wrote $repo_root/BENCH_vectorized.json"
@@ -34,3 +34,8 @@ echo "wrote $repo_root/BENCH_serving.json"
 
 "$build_dir/bench/bench_feedback" "$repo_root/BENCH_feedback.json"
 echo "wrote $repo_root/BENCH_feedback.json"
+
+# Exits nonzero if a data-plane claim fails (pruning proportionality,
+# spill byte-identity, parallel speedup gate).
+"$build_dir/bench/bench_data_plane" "$repo_root/BENCH_data_plane.json"
+echo "wrote $repo_root/BENCH_data_plane.json"

@@ -2,6 +2,26 @@
 
 namespace qopt {
 
+int PartitionSpec::PartitionOf(const Value& key) const {
+  switch (kind) {
+    case PartitionKind::kNone:
+      return 0;
+    case PartitionKind::kRange: {
+      if (key.is_null()) return 0;
+      // First partition whose exclusive upper bound exceeds the key.
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        if (key.Compare(bounds[i]) < 0) return static_cast<int>(i);
+      }
+      return static_cast<int>(bounds.size());
+    }
+    case PartitionKind::kHash: {
+      if (key.is_null()) return 0;
+      return static_cast<int>(key.Hash() % static_cast<size_t>(num_partitions));
+    }
+  }
+  return 0;
+}
+
 int TableDef::FindColumn(const std::string& col_name) const {
   for (size_t i = 0; i < columns.size(); ++i) {
     if (columns[i].name == col_name) return static_cast<int>(i);
@@ -38,6 +58,39 @@ Result<int> Catalog::CreateTable(const std::string& name,
   tables_.push_back(std::move(def));
   ++version_;
   return tables_.back()->id;
+}
+
+Result<int> Catalog::CreateTable(const std::string& name,
+                                 std::vector<ColumnDef> columns,
+                                 int primary_key, PartitionSpec partition) {
+  if (partition.enabled()) {
+    if (partition.column < 0 ||
+        partition.column >= static_cast<int>(columns.size())) {
+      return Status::InvalidArgument("partition column ordinal out of range");
+    }
+    if (partition.kind == PartitionKind::kRange) {
+      if (partition.bounds.empty()) {
+        return Status::InvalidArgument(
+            "range partitioning needs at least one bound");
+      }
+      for (size_t i = 0; i < partition.bounds.size(); ++i) {
+        if (partition.bounds[i].is_null()) {
+          return Status::InvalidArgument("partition bound may not be NULL");
+        }
+        if (i > 0 &&
+            partition.bounds[i - 1].Compare(partition.bounds[i]) >= 0) {
+          return Status::InvalidArgument(
+              "range partition bounds must be strictly ascending");
+        }
+      }
+    } else if (partition.num_partitions < 2) {
+      return Status::InvalidArgument("hash partitioning needs >= 2 partitions");
+    }
+  }
+  QOPT_ASSIGN_OR_RETURN(int id,
+                        CreateTable(name, std::move(columns), primary_key));
+  tables_[id]->partition = std::move(partition);
+  return id;
 }
 
 Result<int> Catalog::CreateIndex(const std::string& name,

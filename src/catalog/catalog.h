@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "common/value.h"
 
 namespace qopt {
 
@@ -49,6 +50,46 @@ struct ForeignKeyDef {
   int ref_column = -1;
 };
 
+/// Horizontal partitioning scheme of a base table.
+enum class PartitionKind : uint8_t {
+  kNone = 0,
+  kRange,  ///< Partition p holds rows with bounds[p-1] <= key < bounds[p].
+  kHash,   ///< Partition of a row is Hash(key) % num_partitions.
+};
+
+/// Declarative partitioning of a base table on a single column. The storage
+/// layer clusters rows partition-major, so each partition occupies a
+/// contiguous row (and therefore modeled-page) range; the optimizer prunes
+/// partitions whose range/hash cannot satisfy the query's conjuncts.
+struct PartitionSpec {
+  PartitionKind kind = PartitionKind::kNone;
+  int column = -1;  ///< Ordinal of the partitioning column.
+  /// Hash partitioning: the fixed partition count (>= 2).
+  int num_partitions = 0;
+  /// Range partitioning: strictly ascending *exclusive* upper bounds.
+  /// Partition i covers [bounds[i-1], bounds[i]); the last partition
+  /// (index bounds.size()) is unbounded above. NULL keys go to partition 0.
+  std::vector<Value> bounds;
+
+  bool enabled() const { return kind != PartitionKind::kNone; }
+
+  /// Total partition count (range: bounds.size() + 1).
+  int count() const {
+    switch (kind) {
+      case PartitionKind::kNone:
+        return 1;
+      case PartitionKind::kRange:
+        return static_cast<int>(bounds.size()) + 1;
+      case PartitionKind::kHash:
+        return num_partitions;
+    }
+    return 1;
+  }
+
+  /// Partition index of a key value (NULL -> 0).
+  int PartitionOf(const Value& key) const;
+};
+
 /// Base-table definition.
 struct TableDef {
   int id = -1;
@@ -57,6 +98,9 @@ struct TableDef {
   int primary_key = -1;  ///< Column ordinal, or -1 if none.
   std::vector<ForeignKeyDef> foreign_keys;
   std::vector<int> index_ids;  ///< Indexes declared on this table.
+
+  /// Horizontal partitioning, or kind == kNone when unpartitioned.
+  PartitionSpec partition;
 
   /// Statistical summary (row count, pages, per-column histograms).
   /// Null until the engine analyzes the table.
@@ -92,6 +136,13 @@ class Catalog {
   Result<int> CreateTable(const std::string& name,
                           std::vector<ColumnDef> columns,
                           int primary_key = -1);
+
+  /// Registers a partitioned table. Validates the spec: the partitioning
+  /// column must exist, range bounds must be strictly ascending and
+  /// non-NULL, hash partition counts must be >= 2.
+  Result<int> CreateTable(const std::string& name,
+                          std::vector<ColumnDef> columns, int primary_key,
+                          PartitionSpec partition);
 
   /// Registers a single-column index; returns its id.
   Result<int> CreateIndex(const std::string& name, const std::string& table,

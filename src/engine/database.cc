@@ -32,6 +32,9 @@ Database::Database() : storage_(&catalog_) {
   expr_compiled_ = metrics_.GetCounter("expr.compiled");
   expr_fallback_ = metrics_.GetCounter("expr.fallback");
   expr_compile_ns_ = metrics_.GetHistogram("expr.compile_ns");
+  spill_runs_ = metrics_.GetCounter("spill.runs");
+  spill_bytes_ = metrics_.GetCounter("spill.bytes_written");
+  spill_run_bytes_ = metrics_.GetHistogram("spill.run_bytes");
   metrics_.RegisterGauge("plan_cache.hits",
                          [this] { return plan_cache_.stats().hits; });
   metrics_.RegisterGauge("plan_cache.misses",
@@ -197,6 +200,18 @@ Result<int> Database::CreateTable(const std::string& name,
   QOPT_ASSIGN_OR_RETURN(int id,
                         catalog_.CreateTable(name, std::move(columns),
                                              primary_key));
+  storage_.EnsureTable(catalog_.GetTable(id));
+  PublishSnapshotLocked();
+  return id;
+}
+
+Result<int> Database::CreateTable(const std::string& name,
+                                  std::vector<ColumnDef> columns,
+                                  int primary_key, PartitionSpec partition) {
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  QOPT_ASSIGN_OR_RETURN(
+      int id, catalog_.CreateTable(name, std::move(columns), primary_key,
+                                   std::move(partition)));
   storage_.EnsureTable(catalog_.GetTable(id));
   PublishSnapshotLocked();
   return id;
@@ -748,6 +763,9 @@ void Database::MaybeAttachParametric(ast::SelectStatement* stmt,
     CollectPlanParamIndices(*piece.plan, &have);
     CollectAbsorbedParamIndices(*piece.plan, &absorbed);
     if (have.count(k) == 0 || absorbed.count(k) != 0) return;
+    // A partially pruned scan froze a literal-derived partition list into
+    // the piece; rebinding the literal cannot recompute it.
+    if (PlanHasPartialPartitionPrune(*piece.plan)) return;
     extra_bytes += EstimatePlanBytes(*piece.plan);
   }
   entry->parametric =
@@ -873,6 +891,26 @@ Result<QueryResult> Database::QueryInternal(const std::string& sql,
   ctx.expr_fallback_metric = expr_fallback_;
   ctx.expr_compile_ns = expr_compile_ns_;
   if (governor.enabled()) ctx.governor = &governor;
+  // Spill resolution: arm when enabled and there is a budget to degrade
+  // against — an explicit per-operator budget, or a quarter of the
+  // governor's byte budget (64 KiB floor) so four materializing operators
+  // fit. Not plan-affecting: the same plan runs spilled or in-memory.
+  if (opts.spill.enabled &&
+      (opts.spill.operator_budget_bytes > 0 ||
+       opts.governor.max_memory_bytes > 0)) {
+    ctx.spill.armed = true;
+    ctx.spill.budget_bytes =
+        opts.spill.operator_budget_bytes > 0
+            ? opts.spill.operator_budget_bytes
+            : std::max<uint64_t>(opts.governor.max_memory_bytes / 4,
+                                 64 * 1024);
+    ctx.spill.partitions = opts.spill.partitions;
+    ctx.spill.merge_fanin = opts.spill.merge_fanin;
+    ctx.spill.dir = opts.spill.dir;
+    ctx.spill_runs_metric = spill_runs_;
+    ctx.spill_bytes_metric = spill_bytes_;
+    ctx.spill_run_bytes = spill_run_bytes_;
+  }
   if (opts.execution_mode == exec::ExecMode::kParallel) {
     ctx.dop = std::clamp<size_t>(opts.dop, 1, ThreadPool::kMaxThreads);
     ctx.morsel_rows = opts.morsel_rows;
@@ -990,13 +1028,18 @@ std::string ExplainHeader(const opt::OptimizeInfo& info) {
 std::string RenderPlanText(const exec::PhysPtr& plan,
                            const QueryOptions& options,
                            const exec::PlanAnnotations* annotations) {
+  // Mirrors QueryInternal's spill arming: a spill-armed hash join runs as
+  // a row-mode grace join, so it must not be marked [batch]/[parallel].
+  const bool spill_armed =
+      options.spill.enabled && (options.spill.operator_budget_bytes > 0 ||
+                                options.governor.max_memory_bytes > 0);
   if (options.execution_mode == exec::ExecMode::kParallel) {
     // Mark the morsel-parallel region roots plus the vectorized operators
     // the serial remainder of the plan will use.
     std::unordered_set<const exec::PhysicalPlan*> batch_nodes =
-        exec::BatchModeNodes(plan);
+        exec::BatchModeNodes(plan, spill_armed);
     std::unordered_set<const exec::PhysicalPlan*> parallel_roots =
-        exec::ParallelRegionRoots(plan);
+        exec::ParallelRegionRoots(plan, spill_armed);
     return "execution mode: parallel (dop " + std::to_string(options.dop) +
            "; region roots marked [parallel], vectorized operators " +
            "[batch])\n" +
@@ -1006,7 +1049,7 @@ std::string RenderPlanText(const exec::PhysPtr& plan,
     // Mark the operators the builder will run vectorized; the rest fall
     // back to row mode (Apply subtrees, index nested-loops, under Limit).
     std::unordered_set<const exec::PhysicalPlan*> batch_nodes =
-        exec::BatchModeNodes(plan);
+        exec::BatchModeNodes(plan, spill_armed);
     return "execution mode: batch (capacity " +
            std::to_string(options.batch_capacity) +
            "; vectorized operators marked [batch])\n" +
@@ -1040,6 +1083,14 @@ std::string AnalyzeAnnotation(const exec::PhysicalPlan& node,
     out += buf;
   }
   out += "]";
+  if (os.spill_runs > 0) {
+    // Spill degradation: runs (sorted runs or grace-join partition files)
+    // and bytes this operator wrote to temporary spill storage.
+    std::snprintf(buf, sizeof buf, " [spill: %llu runs, %lluB]",
+                  static_cast<unsigned long long>(os.spill_runs),
+                  static_cast<unsigned long long>(os.spill_bytes));
+    out += buf;
+  }
   if (os.expr_compiled > 0 || os.expr_fallback > 0) {
     // Expression mode of this operator's predicates/projections/agg args:
     // all compiled, all interpreted (fallback), or a mix per expression.

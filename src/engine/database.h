@@ -60,6 +60,16 @@ struct QueryOptions {
   /// both optimization and execution. Defaults to unlimited; see
   /// GovernorOptions::ServiceDefaults() for production-style caps.
   GovernorOptions governor;
+  /// Spill-to-disk degradation for materializing operators (external sort,
+  /// grace hash join). Arms when enabled and a memory budget exists to
+  /// degrade against — an explicit operator_budget_bytes here, or the
+  /// governor's max_memory_bytes (a quarter of it per operator, 64 KiB
+  /// floor). Armed operators keep their working set under the budget by
+  /// writing sorted runs / build+probe partitions to temporary files
+  /// instead of failing with kResourceExhausted; results are identical.
+  /// Not plan-affecting (excluded from the plan-cache options digest) —
+  /// the same plan executes spilled or in-memory. See docs/DATA_PLANE.md.
+  SpillOptions spill;
   /// Reuse compiled plans across queries through the fingerprint-keyed
   /// plan cache (compile once, execute many). Entries are validated
   /// against the catalog schema epoch and per-table statistics versions on
@@ -140,6 +150,10 @@ class Database {
   Result<int> CreateTable(const std::string& name,
                           std::vector<ColumnDef> columns,
                           int primary_key = -1);
+  /// Creates a range- or hash-partitioned table (see PartitionSpec).
+  Result<int> CreateTable(const std::string& name,
+                          std::vector<ColumnDef> columns, int primary_key,
+                          PartitionSpec partition);
   Result<int> CreateIndex(const std::string& name, const std::string& table,
                           const std::string& column, bool clustered = false,
                           bool unique = false);
@@ -336,6 +350,9 @@ class Database {
   MetricsRegistry::Counter* expr_compiled_ = nullptr;
   MetricsRegistry::Counter* expr_fallback_ = nullptr;
   MetricsRegistry::Histogram* expr_compile_ns_ = nullptr;
+  MetricsRegistry::Counter* spill_runs_ = nullptr;
+  MetricsRegistry::Counter* spill_bytes_ = nullptr;
+  MetricsRegistry::Histogram* spill_run_bytes_ = nullptr;
 };
 
 /// Direct 1:1 translation of a logical plan to executors (no optimization);

@@ -160,6 +160,18 @@ void CollectPlanTables(const exec::PhysicalPlan& plan, std::set<int>* out) {
   }
 }
 
+bool PlanHasPartialPartitionPrune(const exec::PhysicalPlan& plan) {
+  if (plan.total_partitions > 0 &&
+      plan.partitions.size() <
+          static_cast<size_t>(plan.total_partitions)) {
+    return true;
+  }
+  for (const exec::PhysPtr& child : plan.children) {
+    if (child != nullptr && PlanHasPartialPartitionPrune(*child)) return true;
+  }
+  return false;
+}
+
 namespace {
 
 size_t EstimateExprBytes(const plan::BExpr& e) {

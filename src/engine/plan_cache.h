@@ -192,6 +192,12 @@ void CollectAbsorbedParamIndices(const exec::PhysicalPlan& plan,
 /// Collects the table_id of every base-table scan in `plan`.
 void CollectPlanTables(const exec::PhysicalPlan& plan, std::set<int>* out);
 
+/// True when any scan in `plan` keeps only a subset of its table's
+/// partitions. The surviving-partition list was computed from the query's
+/// literals at optimize time, so rebinding a parameter cannot reproduce it:
+/// such plans are ineligible for parametric reuse.
+bool PlanHasPartialPartitionPrune(const exec::PhysicalPlan& plan);
+
 /// Rough per-plan memory footprint (nodes, expressions, strings) charged
 /// against the cache's byte budget.
 size_t EstimatePlanBytes(const exec::PhysicalPlan& plan);

@@ -89,9 +89,19 @@ class BatchScanExec : public BatchExecutor {
       // A batch never spans morsels: the page-run accounting below stays
       // within the claimed page-aligned range.
       if (pos_ >= limit_ && !morsels_->Next(&pos_, &limit_)) return false;
-    } else {
+    } else if (use_ids_) {
       limit_ = n;
       if (pos_ >= n) return false;
+    } else {
+      // Sequential scan over the surviving partitions' row ranges (one
+      // full-table range when unpartitioned or unpruned). A batch never
+      // spans ranges.
+      while (pos_ >= limit_) {
+        if (range_idx_ >= ranges_.size()) return false;
+        pos_ = ranges_[range_idx_].first;
+        limit_ = ranges_[range_idx_].second;
+        ++range_idx_;
+      }
     }
     const size_t batch_start = pos_;
     out->Reset(plan_->output_cols.size(), ctx_->batch_capacity);
@@ -170,7 +180,17 @@ class BatchScanExec : public BatchExecutor {
     table_ = ctx_->storage->GetTable(plan_->table_id);
     QOPT_DCHECK(table_ != nullptr);
     pos_ = 0;
-    limit_ = 0;  // morsel mode claims a range on the first NextBatch
+    limit_ = 0;  // morsel/range mode claims a range on the first NextBatch
+    ranges_.clear();
+    range_idx_ = 0;
+    if (plan_->total_partitions > 0 &&
+        plan_->total_partitions == table_->num_partitions()) {
+      for (int p : plan_->partitions) {
+        ranges_.push_back(table_->PartitionRange(p));
+      }
+    } else {
+      ranges_.push_back({0, table_->num_rows()});
+    }
     // Split the scan predicate into `column <op> constant` conjuncts —
     // checked directly against storage rows before any copy — and a
     // residual evaluated batch-wise. Scalar comparison semantics are
@@ -309,6 +329,9 @@ class BatchScanExec : public BatchExecutor {
   bool use_ids_ = false;
   size_t pos_ = 0;
   size_t limit_ = 0;  ///< Exclusive end of the current sequential range.
+  /// Row ranges of the surviving partitions (serial sequential scan).
+  std::vector<std::pair<size_t, size_t>> ranges_;
+  size_t range_idx_ = 0;
   MorselSource* morsels_ = nullptr;  ///< Shared scan cursor (parallel mode).
 };
 

@@ -40,6 +40,20 @@ class ScanExec : public Executor {
       }
     } else {
       use_ids_ = false;
+      // Sequential scan covers the surviving partitions' contiguous row
+      // ranges (all rows when unpartitioned or the plan did not prune).
+      ranges_.clear();
+      if (plan_->total_partitions > 0 &&
+          plan_->total_partitions == table_->num_partitions()) {
+        for (int p : plan_->partitions) {
+          auto [begin, end] = table_->PartitionRange(p);
+          if (begin < end) ranges_.emplace_back(begin, end);
+        }
+      } else {
+        ranges_.emplace_back(0, table_->num_rows());
+      }
+      range_idx_ = 0;
+      pos_ = ranges_.empty() ? 0 : ranges_[0].first;
     }
   }
 
@@ -47,11 +61,22 @@ class ScanExec : public Executor {
     // An injected Init fault leaves table_ unset; a tripped deadline must
     // end the stream rather than keep scanning.
     if (ctx_->Failed()) return false;
-    size_t n = use_ids_ ? row_ids_.size() : table_->num_rows();
     double rows = std::max<double>(1.0, static_cast<double>(table_->num_rows()));
-    while (pos_ < n) {
+    while (true) {
+      uint32_t rid;
+      if (use_ids_) {
+        if (pos_ >= row_ids_.size()) return false;
+        rid = row_ids_[pos_];
+      } else {
+        while (range_idx_ < ranges_.size() &&
+               pos_ >= ranges_[range_idx_].second) {
+          ++range_idx_;
+          if (range_idx_ < ranges_.size()) pos_ = ranges_[range_idx_].first;
+        }
+        if (range_idx_ >= ranges_.size()) return false;
+        rid = static_cast<uint32_t>(pos_);
+      }
       if (!ctx_->GovernorTick()) return false;
-      uint32_t rid = use_ids_ ? row_ids_[pos_] : static_cast<uint32_t>(pos_);
       const Row& row = table_->row(rid);
       if (use_ids_) {
         // Leaf page along the scan, then the row's data page.
@@ -68,12 +93,14 @@ class ScanExec : public Executor {
         return true;
       }
     }
-    return false;
   }
 
  private:
   const Table* table_ = nullptr;
   std::vector<uint32_t> row_ids_;
+  /// Row ranges of the sequential scan (one per surviving partition).
+  std::vector<std::pair<size_t, size_t>> ranges_;
+  size_t range_idx_ = 0;
   bool use_ids_ = false;
   size_t pos_ = 0;
 };
@@ -121,6 +148,13 @@ class ProjectExec : public Executor {
   std::unique_ptr<Executor> child_;
 };
 
+/// Sort with graceful degradation: fully in-memory while the input fits,
+/// external merge sort once the spill policy is armed and the buffer
+/// exceeds its budget. Run generation writes sorted SpillFiles; runs above
+/// the merge fan-in are first combined in intermediate disk-to-disk merge
+/// passes; the final merge streams from the surviving runs plus the sorted
+/// in-memory tail, so peak memory stays bounded by the spill budget plus
+/// one head row per merge input.
 class SortExec : public Executor {
  public:
   SortExec(const PhysicalPlan* plan, ExecContext* ctx,
@@ -130,39 +164,219 @@ class SortExec : public Executor {
   void InitImpl() override {
     child_->Init();
     rows_.clear();
-    Row r;
-    while (child_->Next(&r)) {
-      if (!ctx_->GovernorCharge(1, ModeledRowBytes(r))) break;
-      ChargeMem(ModeledRowBytes(r));
-      rows_.push_back(std::move(r));
-    }
+    runs_.clear();
+    heads_.clear();
+    pos_ = 0;
     // Resolve key positions in the child's layout (same as ours).
-    std::vector<std::pair<int, bool>> keys;
+    keys_.clear();
     for (const plan::SortKey& k : plan_->sort_keys) {
       auto it = colmap_.find(k.column);
       QOPT_DCHECK(it != colmap_.end());
-      keys.emplace_back(it->second, k.ascending);
+      keys_.emplace_back(it->second, k.ascending);
     }
-    std::stable_sort(rows_.begin(), rows_.end(),
-                     [&keys](const Row& a, const Row& b) {
-                       for (const auto& [pos, asc] : keys) {
-                         int c = a[pos].Compare(b[pos]);
-                         if (c != 0) return asc ? c < 0 : c > 0;
-                       }
-                       return false;
-                     });
-    pos_ = 0;
+    const SpillConfig& sp = ctx_->spill;
+    uint64_t buffered = 0, max_buffered = 0;
+    Row r;
+    while (child_->Next(&r)) {
+      uint64_t rb = ModeledRowBytes(r);
+      // Spill-armed, this operator's memory is bounded by construction
+      // (the spill budget), so only the row budget/deadline is charged;
+      // disarmed, the byte charge preserves the fail-fast contract.
+      if (!ctx_->GovernorCharge(1, sp.armed ? 0 : rb)) break;
+      if (!sp.armed) ChargeMem(rb);
+      buffered += rb;
+      rows_.push_back(std::move(r));
+      if (sp.armed && buffered > sp.budget_bytes && rows_.size() > 1) {
+        if (buffered > max_buffered) max_buffered = buffered;
+        if (!SpillRun()) break;
+        buffered = 0;
+      }
+    }
+    if (buffered > max_buffered) max_buffered = buffered;
+    if (sp.armed) ChargeMem(max_buffered);
+    SortBuffer();
+    if (!runs_.empty() && !ctx_->Failed()) PrepareMerge();
   }
 
   bool NextImpl(Row* out) override {
-    if (pos_ >= rows_.size()) return false;
-    *out = rows_[pos_++];
-    return true;
+    if (ctx_->Failed()) return false;
+    if (runs_.empty()) {
+      if (pos_ >= rows_.size()) return false;
+      *out = std::move(rows_[pos_++]);
+      return true;
+    }
+    // Streaming k-way merge across run heads and the in-memory tail. Only
+    // strictly-smaller rows displace the current best, so ties resolve to
+    // the earliest run (earliest input rows) and the merge is stable.
+    int best = -1;
+    for (size_t i = 0; i < heads_.size(); ++i) {
+      if (!heads_[i].has_value()) continue;
+      if (best < 0 || Less(*heads_[i], *heads_[static_cast<size_t>(best)])) {
+        best = static_cast<int>(i);
+      }
+    }
+    bool tail_best =
+        pos_ < rows_.size() &&
+        (best < 0 || Less(rows_[pos_], *heads_[static_cast<size_t>(best)]));
+    if (tail_best) {
+      *out = std::move(rows_[pos_++]);
+      return true;
+    }
+    if (best < 0) return false;
+    *out = std::move(*heads_[static_cast<size_t>(best)]);
+    return Refill(static_cast<size_t>(best));
   }
 
  private:
+  bool Less(const Row& a, const Row& b) const {
+    for (const auto& [pos, asc] : keys_) {
+      int c = a[static_cast<size_t>(pos)].Compare(b[static_cast<size_t>(pos)]);
+      if (c != 0) return asc ? c < 0 : c > 0;
+    }
+    return false;
+  }
+
+  void SortBuffer() {
+    std::stable_sort(
+        rows_.begin(), rows_.end(),
+        [this](const Row& a, const Row& b) { return Less(a, b); });
+  }
+
+  /// Sorts the buffer and writes it out as one run; false on error (the
+  /// Status is recorded on the context).
+  bool SpillRun() {
+    SortBuffer();
+    auto file_or = SpillFile::Create(ctx_->spill.dir);
+    if (!file_or.ok()) {
+      ctx_->Fail(file_or.status());
+      return false;
+    }
+    std::unique_ptr<SpillFile> file = std::move(file_or).value();
+    for (const Row& row : rows_) {
+      Status s = file->Append(row);
+      if (!s.ok()) {
+        ctx_->Fail(std::move(s));
+        return false;
+      }
+    }
+    Status s = file->FinishWrite();
+    if (!s.ok()) {
+      ctx_->Fail(std::move(s));
+      return false;
+    }
+    RecordSpill(1, file->bytes_written());
+    runs_.push_back(std::move(file));
+    rows_.clear();
+    return true;
+  }
+
+  /// Reloads heads_[i] from its run; false (stream over) only on error.
+  bool Refill(size_t i) {
+    Row next;
+    auto more = runs_[i]->ReadNext(&next);
+    if (!more.ok()) {
+      ctx_->Fail(more.status());
+      return false;
+    }
+    if (more.value()) {
+      heads_[i] = std::move(next);
+    } else {
+      heads_[i].reset();
+    }
+    return true;
+  }
+
+  /// Collapses runs above the merge fan-in with intermediate disk-to-disk
+  /// passes, then opens the survivors for the streaming final merge.
+  void PrepareMerge() {
+    size_t fanin = std::max<size_t>(2, ctx_->spill.merge_fanin);
+    while (runs_.size() > fanin && !ctx_->Failed()) {
+      // Merge the first `fanin` runs (the earliest input rows) into one
+      // replacement run at the front, keeping run order == input order.
+      std::vector<std::unique_ptr<SpillFile>> group;
+      for (size_t i = 0; i < fanin; ++i) group.push_back(std::move(runs_[i]));
+      runs_.erase(runs_.begin(), runs_.begin() + static_cast<ptrdiff_t>(fanin));
+      std::unique_ptr<SpillFile> merged = MergeGroup(std::move(group));
+      if (merged == nullptr) return;
+      runs_.insert(runs_.begin(), std::move(merged));
+    }
+    if (ctx_->Failed()) return;
+    heads_.assign(runs_.size(), std::nullopt);
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      Status s = runs_[i]->Rewind();
+      if (!s.ok()) {
+        ctx_->Fail(std::move(s));
+        return;
+      }
+      if (!Refill(i)) return;
+    }
+  }
+
+  /// Merges sorted `group` files into one new sorted run (nullptr on error).
+  std::unique_ptr<SpillFile> MergeGroup(
+      std::vector<std::unique_ptr<SpillFile>> group) {
+    std::vector<std::optional<Row>> heads(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      Status s = group[i]->Rewind();
+      if (!s.ok()) {
+        ctx_->Fail(std::move(s));
+        return nullptr;
+      }
+      Row r;
+      auto more = group[i]->ReadNext(&r);
+      if (!more.ok()) {
+        ctx_->Fail(more.status());
+        return nullptr;
+      }
+      if (more.value()) heads[i] = std::move(r);
+    }
+    auto out_or = SpillFile::Create(ctx_->spill.dir);
+    if (!out_or.ok()) {
+      ctx_->Fail(out_or.status());
+      return nullptr;
+    }
+    std::unique_ptr<SpillFile> out = std::move(out_or).value();
+    for (;;) {
+      int best = -1;
+      for (size_t i = 0; i < heads.size(); ++i) {
+        if (!heads[i].has_value()) continue;
+        if (best < 0 || Less(*heads[i], *heads[static_cast<size_t>(best)])) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      size_t b = static_cast<size_t>(best);
+      Status s = out->Append(*heads[b]);
+      if (!s.ok()) {
+        ctx_->Fail(std::move(s));
+        return nullptr;
+      }
+      Row r;
+      auto more = group[b]->ReadNext(&r);
+      if (!more.ok()) {
+        ctx_->Fail(more.status());
+        return nullptr;
+      }
+      if (more.value()) {
+        heads[b] = std::move(r);
+      } else {
+        heads[b].reset();
+      }
+    }
+    Status s = out->FinishWrite();
+    if (!s.ok()) {
+      ctx_->Fail(std::move(s));
+      return nullptr;
+    }
+    RecordSpill(1, out->bytes_written());
+    return out;
+  }
+
   std::unique_ptr<Executor> child_;
-  std::vector<Row> rows_;
+  std::vector<Row> rows_;  ///< In-memory buffer / sorted tail.
+  std::vector<std::pair<int, bool>> keys_;
+  std::vector<std::unique_ptr<SpillFile>> runs_;
+  std::vector<std::optional<Row>> heads_;  ///< Merge head per run.
   size_t pos_ = 0;
 };
 

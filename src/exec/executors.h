@@ -27,6 +27,7 @@
 #include "exec/expr_eval.h"
 #include "exec/physical_plan.h"
 #include "exec/row_batch.h"
+#include "storage/spill.h"
 #include "storage/storage.h"
 
 namespace qopt {
@@ -53,6 +54,9 @@ struct ExecStats {
   uint64_t index_lookups = 0;
   uint64_t rows_joined = 0;       ///< Join output rows.
   uint64_t subquery_executions = 0;  ///< Apply inner re-executions.
+  // Spill instrumentation (external sort runs + grace-join partitions).
+  uint64_t spill_runs = 0;           ///< Spill files written.
+  uint64_t spill_bytes_written = 0;  ///< Total bytes spilled to disk.
   // Parallel-mode instrumentation (zero in serial modes). Thread CPU time
   // measures the true work split even when workers time-share cores, so
   // the bench can report a machine-independent modeled speedup:
@@ -91,6 +95,10 @@ struct OperatorStats {
   // interpreter (EXPLAIN ANALYZE renders these as "[expr: ...]").
   uint32_t expr_compiled = 0;
   uint32_t expr_fallback = 0;
+  // Spill events attributed to this operator (EXPLAIN ANALYZE renders
+  // these as "[spill: N runs, B bytes]").
+  uint64_t spill_runs = 0;
+  uint64_t spill_bytes = 0;
 
   /// Actual output cardinality: the serially-observed count when this node
   /// ran on the main context, else the merged per-worker count.
@@ -190,6 +198,14 @@ struct ExecContext {
   MetricsRegistry::Counter* expr_compiled_metric = nullptr;
   MetricsRegistry::Counter* expr_fallback_metric = nullptr;
   MetricsRegistry::Histogram* expr_compile_ns = nullptr;
+  /// Resolved spill policy (see SpillConfig). When `spill.armed`, the
+  /// spill-capable materializing operators (Sort, hash join) degrade to
+  /// their external variants at `spill.budget_bytes` instead of failing
+  /// with kResourceExhausted on the governor's byte budget.
+  SpillConfig spill;
+  MetricsRegistry::Counter* spill_runs_metric = nullptr;
+  MetricsRegistry::Counter* spill_bytes_metric = nullptr;
+  MetricsRegistry::Histogram* spill_run_bytes = nullptr;
 
   /// Records an access to `page_key`, counting a modeled read on miss.
   void TouchPage(uint64_t page_key) {
@@ -329,6 +345,25 @@ class Executor {
     }
   }
 
+  /// Records `runs` spill files totalling `bytes` written by this operator:
+  /// query-level ExecStats, the engine's spill.* metrics, and (under
+  /// EXPLAIN ANALYZE) this operator's stats entry.
+  void RecordSpill(uint64_t runs, uint64_t bytes) {
+    ctx_->stats.spill_runs += runs;
+    ctx_->stats.spill_bytes_written += bytes;
+    if (ctx_->spill_runs_metric != nullptr) ctx_->spill_runs_metric->Add(runs);
+    if (ctx_->spill_bytes_metric != nullptr) {
+      ctx_->spill_bytes_metric->Add(bytes);
+    }
+    if (ctx_->spill_run_bytes != nullptr && runs > 0) {
+      ctx_->spill_run_bytes->Record(bytes / runs);
+    }
+    if (ostats_ != nullptr) {
+      ostats_->spill_runs += runs;
+      ostats_->spill_bytes += bytes;
+    }
+  }
+
   /// Accounts `bytes` of modeled materialized state (hash build, sort
   /// buffer, agg table) toward this operator's peak-memory stat. Call next
   /// to the matching GovernorCharge; no-op unless EXPLAIN ANALYZE is on.
@@ -364,14 +399,17 @@ std::unique_ptr<Executor> BuildExecutor(const PhysPtr& plan, ExecContext* ctx);
 Result<std::vector<Row>> ExecuteAll(const PhysPtr& plan, ExecContext* ctx);
 
 /// The set of plan nodes that run vectorized under ExecMode::kBatch
-/// (mirrors the builder's mode-selection rules; used by EXPLAIN).
-std::unordered_set<const PhysicalPlan*> BatchModeNodes(const PhysPtr& plan);
+/// (mirrors the builder's mode-selection rules; used by EXPLAIN). When
+/// `spill_armed`, hash joins leave the batch set: they run as row-mode
+/// grace joins so they can partition to disk under memory pressure.
+std::unordered_set<const PhysicalPlan*> BatchModeNodes(
+    const PhysPtr& plan, bool spill_armed = false);
 
 /// The roots of the maximal subtrees that run morsel-parallel under
 /// ExecMode::kParallel (mirrors the builder's region-selection rules; used
-/// by EXPLAIN).
+/// by EXPLAIN). `spill_armed` as in BatchModeNodes.
 std::unordered_set<const PhysicalPlan*> ParallelRegionRoots(
-    const PhysPtr& plan);
+    const PhysPtr& plan, bool spill_armed = false);
 
 }  // namespace qopt::exec
 

@@ -100,8 +100,10 @@ std::unique_ptr<Executor> BuildBatchTree(const PhysPtr& plan,
 /// True if the subtree rooted at `plan` can run as (part of) a parallel
 /// region: table-scan leaves, filters, projections, and hash joins whose
 /// probe side is eligible (build sides may be anything — ineligible ones
-/// are drained serially by the gather's build phase).
-bool ParallelEligible(const PhysicalPlan& plan);
+/// are drained serially by the gather's build phase). When `spill_armed`,
+/// hash joins are ineligible: they must run as serial row-mode grace joins
+/// so they can partition to disk under memory pressure.
+bool ParallelEligible(const PhysicalPlan& plan, bool spill_armed = false);
 
 }  // namespace qopt::exec::internal
 

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace qopt::exec::internal {
@@ -21,24 +22,35 @@ class MorselSource {
   /// Splits rows [0, num_rows) of a table with `num_pages` modeled pages
   /// into morsels of at least `target_rows` rows, each rounded up to the
   /// next page boundary.
-  MorselSource(size_t num_rows, double num_pages, size_t target_rows) {
+  MorselSource(size_t num_rows, double num_pages, size_t target_rows)
+      : MorselSource(std::vector<std::pair<size_t, size_t>>{{0, num_rows}},
+                     num_rows, num_pages, target_rows) {}
+
+  /// Morsels over explicit disjoint row ranges (a pruned partitioned
+  /// scan's surviving partitions). A morsel never crosses a range
+  /// boundary; page rounding uses the whole table's rid→page mapping so
+  /// page accounting matches the serial pruned scan.
+  MorselSource(const std::vector<std::pair<size_t, size_t>>& ranges,
+               size_t num_rows, double num_pages, size_t target_rows) {
     if (target_rows == 0) target_rows = 1;
     auto page_of = [&](size_t rid) {
       return static_cast<uint64_t>(static_cast<double>(rid) * num_pages /
                                    std::max<double>(1.0, num_rows));
     };
-    size_t start = 0;
-    while (start < num_rows) {
-      size_t end = std::min(start + target_rows, num_rows);
-      if (num_pages > 0) {
-        // Extend to the end of the page containing the last row.
-        uint64_t p = page_of(end - 1);
-        while (end < num_rows && page_of(end) == p) ++end;
-      } else {
-        end = num_rows;
+    for (const auto& [rbegin, rend] : ranges) {
+      size_t start = rbegin;
+      while (start < rend) {
+        size_t end = std::min(start + target_rows, rend);
+        if (num_pages > 0) {
+          // Extend to the end of the page containing the last row.
+          uint64_t p = page_of(end - 1);
+          while (end < rend && page_of(end) == p) ++end;
+        } else {
+          end = rend;
+        }
+        morsels_.push_back({start, end});
+        start = end;
       }
-      bounds_.push_back(end);
-      start = end;
     }
   }
 
@@ -49,13 +61,13 @@ class MorselSource {
       return false;
     }
     size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= bounds_.size()) return false;
-    *begin = i == 0 ? 0 : bounds_[i - 1];
-    *end = bounds_[i];
+    if (i >= morsels_.size()) return false;
+    *begin = morsels_[i].first;
+    *end = morsels_[i].second;
     return true;
   }
 
-  size_t num_morsels() const { return bounds_.size(); }
+  size_t num_morsels() const { return morsels_.size(); }
 
   /// Resets the cursor for a rescan. Must not race with Next().
   void Reset() { next_.store(0, std::memory_order_relaxed); }
@@ -65,7 +77,8 @@ class MorselSource {
   void set_abort_flag(const std::atomic<bool>* abort) { abort_ = abort; }
 
  private:
-  std::vector<size_t> bounds_;  ///< Exclusive end row of each morsel.
+  /// [begin, end) row range of each morsel, in claim order.
+  std::vector<std::pair<size_t, size_t>> morsels_;
   std::atomic<size_t> next_{0};
   const std::atomic<bool>* abort_ = nullptr;
 };

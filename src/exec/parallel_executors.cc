@@ -41,17 +41,20 @@
 
 namespace qopt::exec::internal {
 
-bool ParallelEligible(const PhysicalPlan& plan) {
+bool ParallelEligible(const PhysicalPlan& plan, bool spill_armed) {
   switch (plan.kind) {
     case PhysOpKind::kTableScan:
       return true;
     case PhysOpKind::kFilter:
     case PhysOpKind::kProject:
-      return ParallelEligible(*plan.children[0]);
+      return ParallelEligible(*plan.children[0], spill_armed);
     case PhysOpKind::kHashJoin:
-      // The probe side must be eligible (it carries the morsel scan); the
+      // A spill-armed hash join must run as a serial grace join so it can
+      // partition its inputs to disk under memory pressure; otherwise the
+      // probe side must be eligible (it carries the morsel scan) while the
       // build side is handled either way by a build phase.
-      return ParallelEligible(*plan.children[0]);
+      if (spill_armed) return false;
+      return ParallelEligible(*plan.children[0], spill_armed);
     default:
       return false;
   }
@@ -90,6 +93,10 @@ class ParallelGatherExec : public Executor {
       wc->expr_compiled_metric = ctx_->expr_compiled_metric;
       wc->expr_fallback_metric = ctx_->expr_fallback_metric;
       wc->expr_compile_ns = ctx_->expr_compile_ns;
+      wc->spill = ctx_->spill;
+      wc->spill_runs_metric = ctx_->spill_runs_metric;
+      wc->spill_bytes_metric = ctx_->spill_bytes_metric;
+      wc->spill_run_bytes = ctx_->spill_run_bytes;
       wctx_.push_back(std::move(wc));
     }
     RunBuildPhases(pipeline_root_);
@@ -187,8 +194,24 @@ class ParallelGatherExec : public Executor {
       case PhysOpKind::kTableScan: {
         const Table* table = ctx_->storage->GetTable(node->table_id);
         QOPT_DCHECK(table != nullptr);
-        auto src = std::make_unique<MorselSource>(
-            table->num_rows(), table->num_pages(), ctx_->morsel_rows);
+        std::unique_ptr<MorselSource> src;
+        if (node->total_partitions > 0 &&
+            node->total_partitions == table->num_partitions()) {
+          // Pruned partitioned scan: morsels cover only the surviving
+          // partitions' row ranges (partition-major clustering makes each
+          // partition a contiguous range).
+          std::vector<std::pair<size_t, size_t>> ranges;
+          ranges.reserve(node->partitions.size());
+          for (int p : node->partitions) {
+            ranges.push_back(table->PartitionRange(p));
+          }
+          src = std::make_unique<MorselSource>(ranges, table->num_rows(),
+                                               table->num_pages(),
+                                               ctx_->morsel_rows);
+        } else {
+          src = std::make_unique<MorselSource>(
+              table->num_rows(), table->num_pages(), ctx_->morsel_rows);
+        }
         src->set_abort_flag(&abort_);
         sources_[node.get()] = std::move(src);
         break;

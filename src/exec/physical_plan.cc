@@ -130,6 +130,10 @@ std::string PhysicalPlan::ToString(
   std::snprintf(ann, sizeof(ann), "  [rows=%.0f, %s]", est_rows,
                 est_cost.ToString().c_str());
   s += ann;
+  if (total_partitions > 0) {
+    s += " [partitions: " + std::to_string(partitions.size()) + "/" +
+         std::to_string(total_partitions) + "]";
+  }
   if (parallel_roots != nullptr && parallel_roots->count(this) > 0) {
     s += " [parallel]";
   } else if (batch_nodes != nullptr && batch_nodes->count(this) > 0) {

@@ -80,6 +80,14 @@ struct PhysicalPlan {
   std::optional<ScanBound> lo;  ///< kIndexScan range bounds.
   std::optional<ScanBound> hi;
 
+  /// Partition pruning (kTableScan over a partitioned table): the surviving
+  /// partition indexes and the table's total partition count. Empty
+  /// `partitions` with total_partitions == 0 means "unpartitioned / no
+  /// pruning applied" (scan everything); total_partitions > 0 means only
+  /// the listed partitions' row ranges are scanned.
+  std::vector<int> partitions;
+  int total_partitions = 0;
+
   /// Residual predicate (scan filter, join residual, or kFilter predicate).
   plan::BExpr predicate;
 

@@ -320,7 +320,7 @@ class Search {
     std::vector<AccessPath> paths = EnumerateAccessPaths(
         graph_.relations[e.rel_index], catalog_, model_, &rs,
         /*include_index_paths=*/true, /*include_seq_scan=*/true, feedback_,
-        feedback_ != nullptr ? Keys().ForSubset(Bit(e.rel_index)) : 0);
+        feedback_ != nullptr ? Keys().ForSubset(Bit(e.rel_index)) : 0, trace_);
     for (AccessPath& p : paths) {
       if (props.SatisfiedBy(p.order)) {
         offer(std::move(p.plan), p.cost);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "storage/table.h"
 
@@ -109,11 +110,71 @@ BoundSplit SplitBounds(const std::vector<BExpr>& preds, ColumnId column) {
 
 }  // namespace
 
+std::vector<int> PrunePartitions(const TableDef& table, int rel_id,
+                                 const std::vector<BExpr>& preds) {
+  const PartitionSpec& spec = table.partition;
+  int nparts = spec.count();
+  std::vector<bool> keep(static_cast<size_t>(nparts), true);
+  if (!spec.enabled()) {
+    return {0};
+  }
+  ColumnId part_col{rel_id, spec.column};
+  size_t last = static_cast<size_t>(nparts) - 1;
+  for (const BExpr& p : preds) {
+    ColumnId col;
+    BinaryOp op;
+    Value v;
+    if (!plan::MatchColumnConstant(p, &col, &op, &v) || !(col == part_col) ||
+        v.is_null()) {
+      continue;
+    }
+    if (op == BinaryOp::kEq) {
+      int target = spec.PartitionOf(v);
+      for (size_t i = 0; i < keep.size(); ++i) {
+        if (static_cast<int>(i) != target) keep[i] = false;
+      }
+      continue;
+    }
+    // Inequalities prune only under range partitioning, where partition i
+    // covers [bounds[i-1], bounds[i]).
+    if (spec.kind != PartitionKind::kRange) continue;
+    for (size_t i = 0; i < keep.size(); ++i) {
+      const Value* lo = i == 0 ? nullptr : &spec.bounds[i - 1];
+      const Value* hi = i == last ? nullptr : &spec.bounds[i];
+      bool possible = true;
+      switch (op) {
+        case BinaryOp::kLt:
+          // Needs some key < v: impossible when the partition's inclusive
+          // lower bound is already >= v.
+          possible = lo == nullptr || lo->Compare(v) < 0;
+          break;
+        case BinaryOp::kLe:
+          possible = lo == nullptr || lo->Compare(v) <= 0;
+          break;
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          // Needs some key >= v (conservative for >): impossible when the
+          // partition's exclusive upper bound is <= v.
+          possible = hi == nullptr || hi->Compare(v) > 0;
+          break;
+        default:
+          break;
+      }
+      if (!possible) keep[i] = false;
+    }
+  }
+  std::vector<int> out;
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
 std::vector<AccessPath> EnumerateAccessPaths(
     const plan::QGRelation& rel, const Catalog& catalog,
     const cost::CostModel& model, stats::RelStats* out_stats,
     bool include_index_paths, bool include_seq_scan,
-    stats::FeedbackContext* feedback, uint64_t fragment) {
+    stats::FeedbackContext* feedback, uint64_t fragment, OptTrace* trace) {
   std::vector<AccessPath> paths;
   const TableDef* table = catalog.GetTable(rel.table_id);
   QOPT_DCHECK(table != nullptr);
@@ -148,6 +209,7 @@ std::vector<AccessPath> EnumerateAccessPaths(
 
   // 1. Sequential scan, all local predicates as residual filter (rank-
   // ordered, §7.2). Kept unconditionally when the table has no index.
+  // On a partitioned table the scan covers only the surviving partitions.
   if (include_seq_scan || catalog.IndexesOn(rel.table_id).empty() ||
       !include_index_paths) {
     AccessPath path;
@@ -158,8 +220,46 @@ std::vector<AccessPath> EnumerateAccessPaths(
                   cost::OrderConjunctsByRank(rel.local_preds, base));
     path.plan = exec::MakeTableScan(rel.table_id, rel.rel_id, alias, cols,
                                     filter);
-    path.cost = model.SeqScan(table_pages, table_rows);
-    path.cost += model.Filter(table_rows,
+    double scan_pages = table_pages;
+    double scan_rows = table_rows;
+    if (table->partition.enabled()) {
+      int nparts = table->partition.count();
+      std::vector<int> survivors =
+          PrunePartitions(*table, rel.rel_id, rel.local_preds);
+      path.plan->partitions = survivors;
+      path.plan->total_partitions = nparts;
+      // Scale the scan's I/O input to the surviving partitions, using
+      // per-partition sizes when the table has been analyzed and a uniform
+      // k/N fraction otherwise. The row *estimate* is untouched: the
+      // predicates that pruned also filter, so `after` already accounts
+      // for them.
+      bool have_psizes =
+          tstats != nullptr &&
+          tstats->partition_rows.size() == static_cast<size_t>(nparts);
+      double kept_pages = 0, kept_rows = 0;
+      for (int p : survivors) {
+        if (have_psizes) {
+          kept_pages += tstats->partition_pages[static_cast<size_t>(p)];
+          kept_rows += tstats->partition_rows[static_cast<size_t>(p)];
+        } else {
+          kept_pages += table_pages / nparts;
+          kept_rows += table_rows / nparts;
+        }
+      }
+      scan_pages = kept_pages;
+      scan_rows = kept_rows;
+      if (trace != nullptr &&
+          survivors.size() < static_cast<size_t>(nparts)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " (%.0f of %.0f pages)", scan_pages,
+                      table_pages);
+        trace->Add("prune", "base " + alias + ": kept " +
+                                std::to_string(survivors.size()) + "/" +
+                                std::to_string(nparts) + " partitions" + buf);
+      }
+    }
+    path.cost = model.SeqScan(scan_pages, scan_rows);
+    path.cost += model.Filter(scan_rows,
                               static_cast<int>(rel.local_preds.size()));
     path.plan->est_cost = path.cost;
     path.plan->est_rows = after.rows;

@@ -11,6 +11,7 @@
 #include "cost/cost_model.h"
 #include "cost/selectivity.h"
 #include "exec/physical_plan.h"
+#include "optimizer/trace.h"
 #include "plan/query_graph.h"
 #include "stats/derived_stats.h"
 
@@ -30,11 +31,25 @@ struct AccessPath {
 /// (search-space knob for experiments). When a feedback context and the
 /// relation's fragment fingerprint are given, an observed cardinality
 /// overrides the post-predicate row estimate (feedback before fallback).
+///
+/// On a partitioned table the sequential-scan path is partition-pruned:
+/// column-vs-constant conjuncts on the partitioning column eliminate
+/// partitions whose range/hash cannot satisfy them, the scan cost is scaled
+/// to the surviving partitions' pages/rows (per-partition stats when
+/// available), and the surviving set is recorded on the plan node (rendered
+/// as "[partitions: k/N]" by EXPLAIN). A `trace` records pruning decisions.
 std::vector<AccessPath> EnumerateAccessPaths(
     const plan::QGRelation& rel, const Catalog& catalog,
     const cost::CostModel& model, stats::RelStats* out_stats,
     bool include_index_paths = true, bool include_seq_scan = true,
-    stats::FeedbackContext* feedback = nullptr, uint64_t fragment = 0);
+    stats::FeedbackContext* feedback = nullptr, uint64_t fragment = 0,
+    OptTrace* trace = nullptr);
+
+/// Partitions of `table` that can contain rows satisfying every predicate
+/// in `preds` (conjuncts on the partitioning column of relation `rel_id`).
+/// Returns all partitions when nothing prunes. Exposed for tests.
+std::vector<int> PrunePartitions(const TableDef& table, int rel_id,
+                                 const std::vector<plan::BExpr>& preds);
 
 /// Modeled page count of an intermediate result (8 bytes/column).
 double EstimatePages(double rows, double num_cols);

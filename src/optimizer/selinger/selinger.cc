@@ -88,7 +88,7 @@ class SelingerImpl {
     std::vector<AccessPath> paths = EnumerateAccessPaths(
         graph_.relations[rel_index], catalog_, model_, &entry.stats,
         options_.enable_index_scan, options_.enable_seq_scan, feedback_,
-        feedback_ != nullptr ? Keys().ForSubset(Bit(rel_index)) : 0);
+        feedback_ != nullptr ? Keys().ForSubset(Bit(rel_index)) : 0, trace_);
     entry.stats_set = true;
     size_t considered = paths.size();
     for (AccessPath& p : paths) {

@@ -38,6 +38,11 @@ struct TableStats {
   double row_count = 0;
   double num_pages = 0;
   std::vector<ColumnStats> columns;
+  /// Per-partition row counts / modeled page counts (empty when the table
+  /// is unpartitioned). Used by partition pruning to scale scan costs by
+  /// the surviving fraction instead of assuming uniform partition sizes.
+  std::vector<double> partition_rows;
+  std::vector<double> partition_pages;
   /// Joint histograms keyed by column-ordinal pair (lower ordinal first).
   std::map<std::pair<int, int>, std::shared_ptr<const Histogram2D>> joint;
 

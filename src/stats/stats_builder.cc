@@ -128,6 +128,21 @@ std::shared_ptr<const TableStats> BuildTableStats(const Table& table,
     ts->columns[c] = BuildColumnStats(values, options);
   }
 
+  // Per-partition row/page counts. Rows are clustered partition-major, so
+  // a partition's modeled page count is its byte share of the table.
+  if (table.num_partitions() > 1 && table.num_rows() > 0) {
+    int nparts = table.num_partitions();
+    ts->partition_rows.resize(static_cast<size_t>(nparts), 0);
+    ts->partition_pages.resize(static_cast<size_t>(nparts), 0);
+    for (int p = 0; p < nparts; ++p) {
+      auto [begin, end] = table.PartitionRange(p);
+      double rows = static_cast<double>(end - begin);
+      ts->partition_rows[static_cast<size_t>(p)] = rows;
+      ts->partition_pages[static_cast<size_t>(p)] =
+          ts->num_pages * rows / ts->row_count;
+    }
+  }
+
   // Joint (2-D) histograms for declared numeric column pairs.
   for (const auto& [name_a, name_b] : options.joint_columns) {
     int a = table.def().FindColumn(name_a);

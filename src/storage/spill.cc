@@ -1,0 +1,158 @@
+#include "storage/spill.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "testing/fault_injection.h"
+
+namespace qopt {
+
+namespace {
+
+std::atomic<uint64_t> g_spill_counter{0};
+
+Status IoError(const char* what, const std::string& path) {
+  return Status::Internal(std::string("spill ") + what + " failed for '" +
+                          path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir) {
+  QOPT_FAULT_POINT("storage.spill.open");
+  std::error_code ec;
+  std::filesystem::path base =
+      dir.empty() ? std::filesystem::temp_directory_path(ec)
+                  : std::filesystem::path(dir);
+  if (ec) base = ".";
+  uint64_t id = g_spill_counter.fetch_add(1, std::memory_order_relaxed);
+  std::filesystem::path p =
+      base / ("qopt_spill_" + std::to_string(::getpid()) + "_" +
+              std::to_string(id) + ".tmp");
+  std::FILE* f = std::fopen(p.string().c_str(), "w+b");
+  if (f == nullptr) return IoError("open", p.string());
+  return std::unique_ptr<SpillFile>(new SpillFile(f, p.string()));
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // Best effort; never throws.
+}
+
+Status SpillFile::WriteValue(const Value& v) {
+  auto put = [&](const void* data, size_t n) -> bool {
+    if (std::fwrite(data, 1, n, file_) != n) return false;
+    bytes_written_ += n;
+    return true;
+  };
+  uint8_t tag = static_cast<uint8_t>(v.type());
+  if (!put(&tag, 1)) return IoError("write", path_);
+  switch (v.type()) {
+    case TypeId::kNull:
+      return Status::OK();
+    case TypeId::kBool: {
+      uint8_t b = v.AsBool() ? 1 : 0;
+      if (!put(&b, 1)) return IoError("write", path_);
+      return Status::OK();
+    }
+    case TypeId::kInt64: {
+      int64_t i = v.AsInt();
+      if (!put(&i, sizeof i)) return IoError("write", path_);
+      return Status::OK();
+    }
+    case TypeId::kDouble: {
+      double d = v.AsDouble();
+      if (!put(&d, sizeof d)) return IoError("write", path_);
+      return Status::OK();
+    }
+    case TypeId::kString: {
+      const std::string& s = v.AsString();
+      uint32_t len = static_cast<uint32_t>(s.size());
+      if (!put(&len, sizeof len)) return IoError("write", path_);
+      if (len > 0 && !put(s.data(), s.size())) return IoError("write", path_);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("spill write: unknown value type");
+}
+
+Status SpillFile::Append(const Row& row) {
+  QOPT_FAULT_POINT("storage.spill.write");
+  uint32_t arity = static_cast<uint32_t>(row.size());
+  if (std::fwrite(&arity, 1, sizeof arity, file_) != sizeof arity) {
+    return IoError("write", path_);
+  }
+  bytes_written_ += sizeof arity;
+  for (const Value& v : row) QOPT_RETURN_IF_ERROR(WriteValue(v));
+  ++rows_;
+  return Status::OK();
+}
+
+Status SpillFile::FinishWrite() {
+  if (std::fflush(file_) != 0) return IoError("flush", path_);
+  return Status::OK();
+}
+
+Status SpillFile::Rewind() {
+  if (std::fseek(file_, 0, SEEK_SET) != 0) return IoError("seek", path_);
+  rows_read_ = 0;
+  return Status::OK();
+}
+
+Result<Value> SpillFile::ReadValue() {
+  auto get = [&](void* data, size_t n) {
+    return std::fread(data, 1, n, file_) == n;
+  };
+  uint8_t tag = 0;
+  if (!get(&tag, 1)) return IoError("read", path_);
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kBool: {
+      uint8_t b = 0;
+      if (!get(&b, 1)) return IoError("read", path_);
+      return Value::Bool(b != 0);
+    }
+    case TypeId::kInt64: {
+      int64_t i = 0;
+      if (!get(&i, sizeof i)) return IoError("read", path_);
+      return Value::Int(i);
+    }
+    case TypeId::kDouble: {
+      double d = 0;
+      if (!get(&d, sizeof d)) return IoError("read", path_);
+      return Value::Double(d);
+    }
+    case TypeId::kString: {
+      uint32_t len = 0;
+      if (!get(&len, sizeof len)) return IoError("read", path_);
+      std::string s(len, '\0');
+      if (len > 0 && !get(s.data(), len)) return IoError("read", path_);
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::Internal("spill read: corrupt value tag in '" + path_ + "'");
+}
+
+Result<bool> SpillFile::ReadNext(Row* row) {
+  if (rows_read_ >= rows_) return false;
+  uint32_t arity = 0;
+  if (std::fread(&arity, 1, sizeof arity, file_) != sizeof arity) {
+    return IoError("read", path_);
+  }
+  row->clear();
+  row->reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    QOPT_ASSIGN_OR_RETURN(Value v, ReadValue());
+    row->push_back(std::move(v));
+  }
+  ++rows_read_;
+  return true;
+}
+
+}  // namespace qopt

@@ -27,15 +27,52 @@ Status Table::Append(Row row) {
     }
   }
   total_bytes_ += RowBytes(row);
-  rows_.push_back(std::move(row));
+  if (part_ends_.empty()) {
+    rows_.push_back(std::move(row));
+    return Status::OK();
+  }
+  const PartitionSpec& spec = def_->partition;
+  int p = spec.PartitionOf(row[static_cast<size_t>(spec.column)]);
+  rows_.insert(rows_.begin() + static_cast<ptrdiff_t>(part_ends_[p]),
+               std::move(row));
+  for (size_t i = static_cast<size_t>(p); i < part_ends_.size(); ++i) {
+    ++part_ends_[i];
+  }
   return Status::OK();
 }
 
 void Table::AppendUnchecked(std::vector<Row> new_rows) {
-  for (Row& r : new_rows) {
-    total_bytes_ += RowBytes(r);
-    rows_.push_back(std::move(r));
+  for (const Row& r : new_rows) total_bytes_ += RowBytes(r);
+  if (part_ends_.empty()) {
+    for (Row& r : new_rows) rows_.push_back(std::move(r));
+    return;
   }
+  // Classify the new rows, then rebuild the partition-major clustering by
+  // concatenating (old segment p, new rows of p) for each partition.
+  const PartitionSpec& spec = def_->partition;
+  std::vector<std::vector<Row>> incoming(part_ends_.size());
+  for (Row& r : new_rows) {
+    int p = spec.PartitionOf(r[static_cast<size_t>(spec.column)]);
+    incoming[static_cast<size_t>(p)].push_back(std::move(r));
+  }
+  std::vector<Row> rebuilt;
+  rebuilt.reserve(rows_.size() + new_rows.size());
+  size_t begin = 0;
+  for (size_t p = 0; p < part_ends_.size(); ++p) {
+    for (size_t i = begin; i < part_ends_[p]; ++i) {
+      rebuilt.push_back(std::move(rows_[i]));
+    }
+    begin = part_ends_[p];
+    for (Row& r : incoming[p]) rebuilt.push_back(std::move(r));
+    part_ends_[p] = rebuilt.size();
+  }
+  rows_ = std::move(rebuilt);
+}
+
+std::pair<size_t, size_t> Table::PartitionRange(int p) const {
+  if (part_ends_.empty()) return {0, rows_.size()};
+  size_t begin = p == 0 ? 0 : part_ends_[static_cast<size_t>(p) - 1];
+  return {begin, part_ends_[static_cast<size_t>(p)]};
 }
 
 double Table::RowBytes(const Row& row) const {

@@ -8,6 +8,7 @@
 #define QOPT_STORAGE_TABLE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -20,17 +21,31 @@ namespace qopt {
 inline constexpr double kPageSizeBytes = 4096.0;
 
 /// Row storage for one base table.
+///
+/// When the table's TableDef carries a PartitionSpec, rows are kept
+/// partition-major (clustered): partition p occupies the contiguous index
+/// range [PartitionRange(p).first, PartitionRange(p).second). Because the
+/// rid -> modeled-page mapping is monotone in rid, clustering makes each
+/// partition occupy a disjoint page range, so a pruned partition's pages
+/// are genuinely never touched.
 class Table {
  public:
-  explicit Table(const TableDef* def) : def_(def) {}
+  explicit Table(const TableDef* def) : def_(def) {
+    if (def_->partition.enabled()) {
+      part_ends_.assign(static_cast<size_t>(def_->partition.count()), 0);
+    }
+  }
 
   const TableDef& def() const { return *def_; }
 
   /// Appends a row after validating arity and column types (NULL allowed
-  /// in any column except the primary key).
+  /// in any column except the primary key). On a partitioned table the row
+  /// is inserted into its partition's segment (O(n) tail shift).
   Status Append(Row row);
 
-  /// Bulk-append without per-row validation (workload generators).
+  /// Bulk-append without per-row validation (workload generators). On a
+  /// partitioned table this rebuilds the partition-major clustering in one
+  /// O(old + new) pass.
   void AppendUnchecked(std::vector<Row> rows);
 
   size_t num_rows() const { return rows_.size(); }
@@ -44,10 +59,20 @@ class Table {
   /// Modeled number of pages occupied by the table (>= 1 once non-empty).
   double num_pages() const;
 
+  /// Partition count (1 when unpartitioned).
+  int num_partitions() const {
+    return part_ends_.empty() ? 1 : static_cast<int>(part_ends_.size());
+  }
+
+  /// Half-open row-index range [begin, end) of partition `p`.
+  std::pair<size_t, size_t> PartitionRange(int p) const;
+
  private:
   const TableDef* def_;
   std::vector<Row> rows_;
   double total_bytes_ = 0;
+  /// Exclusive end row index of each partition (empty when unpartitioned).
+  std::vector<size_t> part_ends_;
 
   double RowBytes(const Row& row) const;
 };

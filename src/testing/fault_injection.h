@@ -30,6 +30,8 @@ namespace qopt::testing {
 inline constexpr const char* kFaultPoints[] = {
     "storage.scan.open",      ///< Base-table scan open (row + batch paths).
     "storage.index.lookup",   ///< B-tree probe (index scans, index-NL joins).
+    "storage.spill.open",     ///< Spill-file creation (external sort, grace join).
+    "storage.spill.write",    ///< Spill-file row append.
     "optimizer.stats.load",   ///< Statistics loading for a join block.
     "cascades.memo.insert",   ///< Memo expression insertion.
     "exec.batch.alloc",       ///< RowBatch allocation on the vectorized path.

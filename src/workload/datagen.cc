@@ -63,6 +63,12 @@ std::vector<Row> GenerateRows(const std::vector<ColumnSpec>& specs,
               "v" + std::to_string(std::uniform_int_distribution<int64_t>(
                         0, s.ndv - 1)(rng))));
           break;
+        case ColumnSpec::Kind::kCorrelated: {
+          const Value& src = row.at(static_cast<size_t>(s.source));
+          row.push_back(src.is_null() ? Value::Null()
+                                      : Value::Int(src.AsInt() % s.ndv));
+          break;
+        }
       }
     }
     out.push_back(std::move(row));
@@ -73,7 +79,8 @@ std::vector<Row> GenerateRows(const std::vector<ColumnSpec>& specs,
 Status CreateAndLoadTable(Database* db, const std::string& name,
                           const std::vector<ColumnSpec>& specs, int64_t rows,
                           uint64_t seed, const std::string& primary_key,
-                          const stats::StatsOptions& stats_options) {
+                          const stats::StatsOptions& stats_options,
+                          PartitionSpec partition) {
   std::vector<ColumnDef> cols;
   int pk = -1;
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -85,7 +92,11 @@ Status CreateAndLoadTable(Database* db, const std::string& name,
     cols.push_back({specs[i].name, type});
     if (specs[i].name == primary_key) pk = static_cast<int>(i);
   }
-  QOPT_ASSIGN_OR_RETURN(int table_id, db->CreateTable(name, cols, pk));
+  QOPT_ASSIGN_OR_RETURN(
+      int table_id,
+      partition.enabled()
+          ? db->CreateTable(name, cols, pk, std::move(partition))
+          : db->CreateTable(name, cols, pk));
   (void)table_id;
   QOPT_RETURN_IF_ERROR(db->BulkLoad(name, GenerateRows(specs, rows, seed)));
   return db->Analyze(name, stats_options);

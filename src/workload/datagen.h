@@ -35,6 +35,7 @@ struct ColumnSpec {
     kZipf,        ///< Zipf(theta) over [0, ndv).
     kUniformReal, ///< Uniform double over [lo, hi).
     kString,      ///< "v<uniform 0..ndv>".
+    kCorrelated,  ///< `source` column's value mod ndv (see below).
   };
   std::string name;
   Kind kind = Kind::kUniform;
@@ -42,6 +43,11 @@ struct ColumnSpec {
   double theta = 1.0;  ///< kZipf skew.
   double lo = 0, hi = 1;
   double null_fraction = 0;
+  /// kCorrelated: index of an earlier integer column in the same spec list;
+  /// this column's value is that column's value mod `ndv` (NULL propagates).
+  /// A deterministic functional dependency — exactly the correlation the
+  /// optimizer's independence assumption misses (paper §5.2).
+  int source = -1;
 };
 
 /// Generates `rows` rows according to `specs` (deterministic under seed).
@@ -50,11 +56,14 @@ std::vector<Row> GenerateRows(const std::vector<ColumnSpec>& specs,
 
 /// Creates a table from the specs (sequential columns become INT, strings
 /// STRING, reals DOUBLE; `primary_key` names a column or empty), loads
-/// generated rows and analyzes it.
+/// generated rows and analyzes it. A non-trivial `partition` spec creates
+/// a range/hash-partitioned table (rows are clustered partition-major on
+/// load; see storage/table.h).
 Status CreateAndLoadTable(Database* db, const std::string& name,
                           const std::vector<ColumnSpec>& specs, int64_t rows,
                           uint64_t seed, const std::string& primary_key = "",
-                          const stats::StatsOptions& stats_options = {});
+                          const stats::StatsOptions& stats_options = {},
+                          PartitionSpec partition = {});
 
 }  // namespace qopt::workload
 

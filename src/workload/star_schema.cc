@@ -1,5 +1,7 @@
 #include "workload/star_schema.h"
 
+#include <algorithm>
+
 namespace qopt::workload {
 
 Status BuildStarSchema(Database* db, const StarSchemaSpec& spec) {
@@ -32,13 +34,35 @@ Status BuildStarSchema(Database* db, const StarSchemaSpec& spec) {
                          .ndv = spec.dim_rows,
                          .theta = spec.fact_fk_theta});
   }
+  if (spec.correlated_column) {
+    // d0_id is fact column 1 (after the sequential id).
+    fact_cols.push_back({.name = "corr_d0",
+                         .kind = ColumnSpec::Kind::kCorrelated,
+                         .ndv = 10,
+                         .source = 1});
+  }
   fact_cols.push_back({.name = "measure",
                        .kind = ColumnSpec::Kind::kUniformReal,
                        .lo = 0,
                        .hi = 1000});
+  PartitionSpec fact_partition;
+  // Clamped so the equi-width bounds stay strictly ascending when there
+  // are fewer distinct d0_id values than requested partitions.
+  const int64_t parts =
+      std::min<int64_t>(spec.fact_partitions, spec.dim_rows);
+  if (parts > 1) {
+    // Range partitions on d0_id with equi-width bounds over [0, dim_rows):
+    // exclusive upper bounds for partitions 0..n-2, last one unbounded.
+    fact_partition.kind = PartitionKind::kRange;
+    fact_partition.column = 1;  // d0_id
+    for (int64_t p = 1; p < parts; ++p) {
+      fact_partition.bounds.push_back(
+          Value::Int(p * spec.dim_rows / parts));
+    }
+  }
   QOPT_RETURN_IF_ERROR(CreateAndLoadTable(db, "fact", fact_cols,
                                           spec.fact_rows, spec.seed + 100,
-                                          "id"));
+                                          "id", {}, fact_partition));
   for (int d = 0; d < spec.num_dimensions; ++d) {
     std::string fk = "d" + std::to_string(d) + "_id";
     QOPT_RETURN_IF_ERROR(

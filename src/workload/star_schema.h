@@ -21,6 +21,15 @@ struct StarSchemaSpec {
   /// where value-specific cardinality feedback pays off.
   double fact_fk_theta = 0;
   double dim_attr_theta = 0;
+  /// Range-partition the fact table on d0_id into this many partitions
+  /// (0 = unpartitioned). Equality / range predicates on d0_id then prune
+  /// partitions at plan time and the parallel engine scans surviving
+  /// partitions morsel-wise. See docs/DATA_PLANE.md.
+  int fact_partitions = 0;
+  /// Add a fact column "corr_d0" = d0_id mod 10: a functional dependency
+  /// the optimizer's independence assumption misses when both columns are
+  /// filtered (paper §5.2).
+  bool correlated_column = false;
   uint64_t seed = 42;
 };
 

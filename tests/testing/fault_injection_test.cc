@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <string>
 
@@ -91,6 +92,15 @@ class FaultInjectionTest : public ::testing::Test {
       sc.options.analyze = true;  // Harvest runs only on instrumented queries.
       sc.advisory = true;         // Feedback loss must never fail the query.
       s["feedback.store.insert"] = sc;
+    }
+    {
+      // A sort over all 300 Emp rows under a 1 KiB budget must spill, so
+      // run generation opens (and writes) spill files.
+      Scenario sc;
+      sc.sql = "SELECT e.eid, e.dept_name FROM Emp e ORDER BY e.dept_name, e.eid";
+      sc.options.spill.operator_budget_bytes = 1024;
+      s["storage.spill.open"] = sc;
+      s["storage.spill.write"] = sc;
     }
     return s;
   }
@@ -184,6 +194,43 @@ TEST_F(FaultInjectionTest, FailNthSkipsEarlierEvaluations) {
   EXPECT_EQ(second.status().code(), StatusCode::kNotFound);
   EXPECT_EQ(FaultRegistry::Instance().EvalCount("storage.scan.open"), 2);
   EXPECT_EQ(FaultRegistry::Instance().FireCount("storage.scan.open"), 1);
+}
+
+TEST_F(FaultInjectionTest, SpillFaultsLeaveNoOrphanedFiles) {
+  // A mid-query spill I/O failure must unwind the whole operator: the
+  // query fails with the injected status and every spill file written so
+  // far is removed. A retry with the fault cleared succeeds from scratch.
+  namespace fs = std::filesystem;
+  auto count_spill_files = [] {
+    size_t n = 0;
+    for (const auto& e : fs::directory_iterator(fs::temp_directory_path())) {
+      if (e.path().filename().string().rfind("qopt_spill_", 0) == 0) ++n;
+    }
+    return n;
+  };
+  QueryOptions options;
+  options.spill.operator_budget_bytes = 1024;
+  const std::string sql =
+      "SELECT e.eid, e.dept_name FROM Emp e ORDER BY e.dept_name, e.eid";
+  auto baseline = db_.Query(sql, options);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_GT(baseline->exec_stats.spill_runs, 0u);
+
+  const size_t before = count_spill_files();
+  for (const char* point : {"storage.spill.open", "storage.spill.write"}) {
+    // kNth so some spill files are created successfully before the fault
+    // fires — the interesting cleanup case.
+    FaultRegistry::Instance().Arm(point, FaultMode::kNth, 3,
+                                  StatusCode::kInternal, "disk full");
+    auto injected = db_.Query(sql, options);
+    ASSERT_FALSE(injected.ok()) << point;
+    EXPECT_EQ(count_spill_files(), before)
+        << point << ": orphaned spill files left behind";
+    FaultRegistry::Instance().DisarmAll();
+    auto retried = db_.Query(sql, options);
+    ASSERT_TRUE(retried.ok()) << point;
+    ExpectSameRows(retried->rows, baseline->rows, point);
+  }
 }
 
 TEST_F(FaultInjectionTest, InjectedCodePropagatesVerbatim) {

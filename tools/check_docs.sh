@@ -25,6 +25,7 @@ err() {
 [ -f "$root/docs/SERVING.md" ] || err "docs/SERVING.md is missing"
 [ -f "$root/docs/FEEDBACK.md" ] || err "docs/FEEDBACK.md is missing"
 [ -f "$root/docs/EXPRESSIONS.md" ] || err "docs/EXPRESSIONS.md is missing"
+[ -f "$root/docs/DATA_PLANE.md" ] || err "docs/DATA_PLANE.md is missing"
 [ "$fail" -eq 0 ] || exit 1
 
 for dir in "$root"/src/*/; do
